@@ -1,0 +1,30 @@
+#ifndef STREAMSC_BENCH_BENCH_COMMON_H_
+#define STREAMSC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+/// \file bench_common.h
+/// Shared scaffolding for the experiment binaries. Each bench regenerates
+/// one DESIGN.md experiment (E1..E12) as self-describing tables; see
+/// EXPERIMENTS.md for the paper-claim-vs-measured record.
+
+namespace streamsc::bench {
+
+/// Prints the standard experiment banner.
+inline void Banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n########################################################\n"
+            << "# " << id << "\n"
+            << "# claim: " << claim << "\n"
+            << "########################################################\n";
+}
+
+/// Prints a "parameters" line so every table is reproducible standalone.
+inline void Params(const std::string& text) {
+  std::cout << "# params: " << text << "\n";
+}
+
+}  // namespace streamsc::bench
+
+#endif  // STREAMSC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,102 @@
+// E12 — Result 1, footnote 1: for *exact* streaming set cover the right
+// pass/space tradeoff is linear (n/p), not exponential (n^{1/p}). The
+// chunked exact pair finder realizes the upper-bound side on the paper's
+// own hard instances (opt = 2): p passes, ~2m·n/p bits of projections per
+// pass. This bench sweeps p and compares measured space against both
+// curves.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/pair_finder.h"
+#include "instance/hard_set_cover.h"
+#include "stream/set_stream.h"
+#include "util/math.h"
+#include "util/table_printer.h"
+
+namespace streamsc {
+namespace {
+
+void PassSweep() {
+  bench::Banner("E12: exact recovery, space vs passes",
+                "exact algorithms track m*n/p (linear), far above "
+                "m*n^{1/p} for p >= 2  [Result 1, footnote 1]");
+  HardSetCoverParams params;
+  params.n = 8192;
+  params.m = 48;
+  params.alpha = 2.0;
+  params.t_scale = 1.0;
+  bench::Params("D_SC theta=1: n=8192, 2m=96 sets; exact pair recovery");
+  HardSetCoverDistribution dist(params);
+  Rng rng(3);
+  const HardSetCoverInstance inst = dist.SampleThetaOne(rng);
+  const SetSystem system = inst.ToSetSystem();
+  const double mn = static_cast<double>(2 * params.m) *
+                    static_cast<double>(params.n);
+
+  TablePrinter table({"p", "found", "space_bits", "2m*n/p", "bits/(2mn/p)",
+                      "2m*n^{1/p}", "candidates_pass1"});
+  for (const std::size_t p : {1, 2, 4, 8, 16}) {
+    VectorSetStream stream(system);
+    ExactPairFinder finder(PairFinderConfig{p, 2'000'000});
+    const PairFinderResult result = finder.Run(stream);
+    const double bits = static_cast<double>(result.peak_space_bytes) * 8;
+    const double linear = mn / static_cast<double>(p);
+    const double exponential =
+        static_cast<double>(2 * params.m) *
+        NthRoot(static_cast<double>(params.n), static_cast<double>(p));
+    table.BeginRow();
+    table.AddCell(static_cast<std::uint64_t>(p));
+    table.AddCell(result.found ? "yes" : "NO");
+    table.AddCell(bits, 0);
+    table.AddCell(linear, 0);
+    table.AddCell(bits / linear, 3);
+    table.AddCell(exponential, 0);
+    table.AddCell(result.candidates_after_first_pass);
+  }
+  table.Print(std::cout);
+  std::cout << "# expect: found=yes everywhere; bits/(2mn/p) roughly flat "
+               "(linear law) while 2m*n^{1/p} collapses far below measured "
+               "space — the n^{1/p} tradeoff is unattainable for exact "
+               "recovery, as Theorem 1 proves\n";
+}
+
+void CorrectnessBothThetas() {
+  bench::Banner("E12b: exactness check",
+                "pair finder accepts theta=1 and rejects theta=0");
+  HardSetCoverParams params;
+  params.n = 2048;
+  params.m = 24;
+  params.alpha = 2.0;
+  params.t_scale = 1.0;
+  HardSetCoverDistribution dist(params);
+  TablePrinter table({"theta", "trials", "found_pair"});
+  for (const int theta : {1, 0}) {
+    Rng rng(70 + theta);
+    const int trials = 10;
+    int found = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const HardSetCoverInstance inst =
+          theta == 1 ? dist.SampleThetaOne(rng) : dist.SampleThetaZero(rng);
+      const SetSystem system = inst.ToSetSystem();
+      VectorSetStream stream(system);
+      ExactPairFinder finder(PairFinderConfig{4, 2'000'000});
+      if (finder.Run(stream).found) ++found;
+    }
+    table.BeginRow();
+    table.AddCell(theta);
+    table.AddCell(trials);
+    table.AddCell(found);
+  }
+  table.Print(std::cout);
+  std::cout << "# expect: 10/10 for theta=1, 0/10 for theta=0\n";
+}
+
+}  // namespace
+}  // namespace streamsc
+
+int main() {
+  streamsc::PassSweep();
+  streamsc::CorrectnessBothThetas();
+  return 0;
+}

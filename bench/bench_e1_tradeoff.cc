@@ -1,0 +1,140 @@
+// E1 — Theorem 2: Algorithm 1 achieves an (α+ε)-approximation in (2α+1)
+// passes and Õ(m·n^{1/α}/ε² + n/ε) space. This bench sweeps α, n, m on
+// planted-cover instances with known opt and reports measured passes,
+// approximation ratio, peak space, and the ratio of measured space to the
+// m·n^{1/α}·log m + n prediction (which should stay in a constant band).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/assadi_set_cover.h"
+#include "instance/generators.h"
+#include "stream/set_stream.h"
+#include "util/math.h"
+#include "util/table_printer.h"
+
+namespace streamsc {
+namespace {
+
+// The paper's sampling constant 16·õpt·log m saturates the rate (clamps to
+// 1, i.e. "store everything") at laptop-scale n, flattening the n^{1/alpha}
+// exponent the bench is after. A uniform boost < 1 rescales the constant
+// for every row equally, preserving the shape while keeping the rate in
+// (0, 1). DESIGN.md documents this substitution.
+constexpr double kBoost = 1.0 / 64.0;
+
+void SweepAlpha() {
+  bench::Banner("E1a: space vs alpha",
+                "space ~ m*n^{1/alpha}, passes = 2*alpha+1, ratio <= "
+                "alpha+eps  [Theorem 2]");
+  const std::size_t n = 16384, m = 256, opt = 4;
+  const double eps = 0.5;
+  bench::Params("n=16384 m=256 opt=4 eps=0.5 boost=1/64 planted-cover");
+  Rng rng(1);
+  const SetSystem system = PlantedCoverInstance(n, m, opt, rng);
+
+  TablePrinter table({"alpha", "passes", "sets", "ratio", "space", "bits",
+                      "pred_bits(m*n^{1/a}*lnm + n)", "meas/pred"});
+  for (std::size_t alpha = 1; alpha <= 6; ++alpha) {
+    VectorSetStream stream(system);
+    AssadiConfig config;
+    config.alpha = alpha;
+    config.epsilon = eps;
+    config.sampling_boost = kBoost;
+    AssadiSetCover algorithm(config);
+    Rng run_rng(100 + alpha);
+    const AssadiGuessResult result =
+        algorithm.RunWithGuess(stream, opt, run_rng);
+    const double predicted_bits =
+        static_cast<double>(m) *
+            NthRoot(static_cast<double>(n), static_cast<double>(alpha)) *
+            SafeLog(static_cast<double>(m)) / (eps) +
+        static_cast<double>(n);
+    const double measured_bits =
+        static_cast<double>(result.peak_space_bytes) * 8.0;
+    table.BeginRow();
+    table.AddCell(static_cast<std::uint64_t>(alpha));
+    table.AddCell(result.passes);
+    table.AddCell(static_cast<std::uint64_t>(result.solution.size()));
+    table.AddCell(static_cast<double>(result.solution.size()) / opt, 2);
+    table.AddCell(HumanBytes(result.peak_space_bytes));
+    table.AddCell(measured_bits, 0);
+    table.AddCell(predicted_bits, 0);
+    table.AddCell(measured_bits / predicted_bits, 3);
+  }
+  table.Print(std::cout);
+}
+
+void SweepN() {
+  bench::Banner("E1b: space vs n at fixed alpha",
+                "space grows ~ n^{1/alpha} (sublinear in n)  [Theorem 2]");
+  const std::size_t m = 256, opt = 4, alpha = 2;
+  bench::Params("m=256 opt=4 alpha=2 eps=0.5 boost=1/64 planted-cover");
+  TablePrinter table(
+      {"n", "space_bits", "n^{1/2}", "bits/(m*sqrt(n)*lnm)", "passes"});
+  for (const std::size_t n : {2048, 4096, 8192, 16384, 32768}) {
+    Rng rng(n);
+    const SetSystem system = PlantedCoverInstance(n, m, opt, rng);
+    VectorSetStream stream(system);
+    AssadiConfig config;
+    config.alpha = alpha;
+    config.epsilon = 0.5;
+    config.sampling_boost = kBoost;
+    AssadiSetCover algorithm(config);
+    Rng run_rng(200 + n);
+    const AssadiGuessResult result =
+        algorithm.RunWithGuess(stream, opt, run_rng);
+    const double bits = static_cast<double>(result.peak_space_bytes) * 8.0;
+    const double norm =
+        bits / (static_cast<double>(m) * NthRoot(n, 2.0) *
+                SafeLog(static_cast<double>(m)));
+    table.BeginRow();
+    table.AddCell(static_cast<std::uint64_t>(n));
+    table.AddCell(bits, 0);
+    table.AddCell(NthRoot(n, 2.0), 1);
+    table.AddCell(norm, 3);
+    table.AddCell(result.passes);
+  }
+  table.Print(std::cout);
+  std::cout << "# expect: last column roughly flat (constant band) while "
+               "n grows 16x\n";
+}
+
+void SweepM() {
+  bench::Banner("E1c: space vs m at fixed alpha",
+                "space grows linearly in m  [Theorem 2]");
+  const std::size_t n = 8192, opt = 4, alpha = 3;
+  bench::Params("n=8192 opt=4 alpha=3 eps=0.5 boost=1/64 planted-cover");
+  TablePrinter table({"m", "space_bits", "bits/m"});
+  for (const std::size_t m : {64, 128, 256, 512, 1024}) {
+    Rng rng(m);
+    const SetSystem system = PlantedCoverInstance(n, m, opt, rng);
+    VectorSetStream stream(system);
+    AssadiConfig config;
+    config.alpha = alpha;
+    config.epsilon = 0.5;
+    config.sampling_boost = kBoost;
+    AssadiSetCover algorithm(config);
+    Rng run_rng(300 + m);
+    const AssadiGuessResult result =
+        algorithm.RunWithGuess(stream, opt, run_rng);
+    const double bits = static_cast<double>(result.peak_space_bytes) * 8.0;
+    table.BeginRow();
+    table.AddCell(static_cast<std::uint64_t>(m));
+    table.AddCell(bits, 0);
+    table.AddCell(bits / static_cast<double>(m), 1);
+  }
+  table.Print(std::cout);
+  std::cout << "# expect: bits/m roughly flat after the n-bit floor "
+               "amortizes\n";
+}
+
+}  // namespace
+}  // namespace streamsc
+
+int main() {
+  streamsc::SweepAlpha();
+  streamsc::SweepN();
+  streamsc::SweepM();
+  return 0;
+}

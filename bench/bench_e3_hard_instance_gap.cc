@@ -1,0 +1,146 @@
+// E3 — Lemma 3.2 / Remark 3.1: on D_SC, θ = 1 plants an opt-2 cover while
+// θ = 0 has opt > 2α w.h.p. This bench samples both conditionals over a
+// parameter grid and reports the exact decision "is there a cover of size
+// <= 2α?" (branch-and-bound with size_limit), plus the block structure
+// (|S_i ∪ T_i| misses exactly one f_i-block).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "instance/hard_set_cover.h"
+#include "offline/exact_set_cover.h"
+#include "util/table_printer.h"
+
+namespace streamsc {
+namespace {
+
+void OptGap() {
+  bench::Banner("E3a: opt gap on D_SC",
+                "theta=1 -> opt = 2;  theta=0 -> opt > 2*alpha w.h.p.  "
+                "[Lemma 3.2]");
+  TablePrinter table({"n", "m", "alpha", "t", "theta", "trials",
+                      "opt<=2a", "frac"});
+  struct Grid {
+    std::size_t n, m;
+    double alpha;
+    double t_scale;  // keeps t in the Lemma 3.2 regime n/t^alpha >> 1
+    int trials;
+  };
+  // t_scale plays the role of the paper's 2^{-15}: it pulls t down so the
+  // missing blocks of any alpha pair-unions still intersect (n/t^alpha
+  // ~ 16+ expected doubly-missed elements). t_scale = 1 rows are included
+  // as the out-of-regime contrast the E2 bench sweeps in detail.
+  for (const Grid g : {Grid{2048, 8, 2.0, 0.35, 12},
+                       Grid{4096, 8, 2.0, 0.34, 12},
+                       Grid{8192, 8, 2.0, 0.32, 8},
+                       Grid{4096, 12, 2.0, 0.36, 8},
+                       Grid{16384, 6, 3.0, 0.53, 6},
+                       Grid{1024, 8, 2.0, 1.0, 8}}) {
+    HardSetCoverParams params;
+    params.n = g.n;
+    params.m = g.m;
+    params.alpha = g.alpha;
+    params.t_scale = g.t_scale;
+    HardSetCoverDistribution dist(params);
+    for (const int theta : {1, 0}) {
+      Rng rng(g.n * 7 + g.m + theta);
+      int small_opt = 0;
+      for (int trial = 0; trial < g.trials; ++trial) {
+        const HardSetCoverInstance inst =
+            theta == 1 ? dist.SampleThetaOne(rng) : dist.SampleThetaZero(rng);
+        ExactSetCoverOptions options;
+        options.size_limit = static_cast<std::size_t>(2 * g.alpha);
+        const ExactSetCoverResult result =
+            SolveExactSetCover(inst.ToSetSystem(), options);
+        if (result.feasible) ++small_opt;
+      }
+      table.BeginRow();
+      table.AddCell(static_cast<std::uint64_t>(g.n));
+      table.AddCell(static_cast<std::uint64_t>(g.m));
+      table.AddCell(g.alpha, 1);
+      table.AddCell(static_cast<std::uint64_t>(dist.DisjT()));
+      table.AddCell(theta);
+      table.AddCell(g.trials);
+      table.AddCell(small_opt);
+      table.AddCell(static_cast<double>(small_opt) / g.trials, 2);
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "# expect: frac = 1.00 rows for theta=1, frac ~ 0.00 rows "
+               "for theta=0\n";
+}
+
+void BlockStructure() {
+  bench::Banner("E3b: pair-union block structure",
+                "S_i u T_i misses exactly the block f_i(A_i n B_i) of "
+                "~n/t elements  [Remark 3.1(iii)]");
+  HardSetCoverParams params;
+  params.n = 1024;
+  params.m = 32;
+  params.alpha = 2.0;
+  params.t_scale = 1.0;
+  bench::Params("n=1024 m=32 alpha=2");
+  HardSetCoverDistribution dist(params);
+  Rng rng(9);
+  const HardSetCoverInstance inst = dist.SampleThetaZero(rng);
+  TablePrinter table({"quantity", "min", "mean", "max", "n/t"});
+  double min_missing = 1e18, max_missing = 0, sum_missing = 0;
+  for (std::size_t i = 0; i < inst.m(); ++i) {
+    DynamicBitset missing = inst.s_sets[i] | inst.t_sets[i];
+    missing.Complement();
+    const double count = static_cast<double>(missing.CountSet());
+    min_missing = std::min(min_missing, count);
+    max_missing = std::max(max_missing, count);
+    sum_missing += count;
+  }
+  table.BeginRow();
+  table.AddCell("|[n] \\ (S_i u T_i)|");
+  table.AddCell(min_missing, 1);
+  table.AddCell(sum_missing / static_cast<double>(inst.m()), 1);
+  table.AddCell(max_missing, 1);
+  table.AddCell(static_cast<double>(params.n) /
+                    static_cast<double>(inst.t),
+                1);
+  table.Print(std::cout);
+  std::cout << "# expect: min = mean = max = n/t (up to rounding)\n";
+}
+
+void SetSizes() {
+  bench::Banner("E3c: set sizes",
+                "|S_i|, |T_i| = 2n/3 +- o(n)  [Remark 3.1(i)]");
+  HardSetCoverParams params;
+  params.n = 8192;
+  params.m = 64;
+  params.alpha = 3.0;
+  params.t_scale = 2.0;
+  bench::Params("n=8192 m=64 alpha=3 t_scale=2");
+  HardSetCoverDistribution dist(params);
+  Rng rng(10);
+  const HardSetCoverInstance inst = dist.Sample(rng);
+  double min_frac = 1.0, max_frac = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < inst.m(); ++i) {
+    const double frac = static_cast<double>(inst.s_sets[i].CountSet()) /
+                        static_cast<double>(params.n);
+    min_frac = std::min(min_frac, frac);
+    max_frac = std::max(max_frac, frac);
+    sum += frac;
+  }
+  TablePrinter table({"quantity", "min", "mean", "max", "target"});
+  table.BeginRow();
+  table.AddCell("|S_i| / n");
+  table.AddCell(min_frac, 3);
+  table.AddCell(sum / static_cast<double>(inst.m()), 3);
+  table.AddCell(max_frac, 3);
+  table.AddCell(2.0 / 3.0, 3);
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace streamsc
+
+int main() {
+  streamsc::OptGap();
+  streamsc::BlockStructure();
+  streamsc::SetSizes();
+  return 0;
+}

@@ -1,0 +1,166 @@
+// E8 — Result 2 (upper side, [9,42]-style algorithms): (1-ε)-approximate
+// streaming maximum coverage with space of the m/ε² shape, matching the
+// Ω̃(m/ε²) lower bound. Sweeps ε and m, reports space and achieved
+// accuracy vs the exact optimum, plus the sieve baseline.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/max_coverage.h"
+#include "instance/generators.h"
+#include "instance/hard_max_coverage.h"
+#include "offline/exact_max_coverage.h"
+#include "stream/set_stream.h"
+#include "util/math.h"
+#include "util/table_printer.h"
+
+namespace streamsc {
+namespace {
+
+void EpsilonSweep() {
+  bench::Banner("E8a: space and accuracy vs eps",
+                "space ~ m*k*log(m)/eps^2; coverage >= (1-O(eps))*opt  "
+                "[Result 2 upper bound]");
+  const std::size_t n = 32768, m = 128, k = 2;
+  bench::Params("n=32768 m=128 k=2 uniform sets of n/4");
+  Rng rng(1);
+  const SetSystem system = UniformRandomInstance(n, m, n / 4, rng);
+  const ExactMaxCoverageResult exact = SolveExactMaxCoverage(system, k);
+  TablePrinter table({"eps", "space_bits", "m*lnm/eps^2", "bits/pred",
+                      "coverage", "opt", "cov/opt"});
+  for (const double eps : {0.4, 0.2, 0.1, 0.05}) {
+    VectorSetStream stream(system);
+    ElementSamplingMcConfig config;
+    config.epsilon = eps;
+    config.seed = static_cast<std::uint64_t>(1000 * eps);
+    ElementSamplingMaxCoverage algorithm(config);
+    const MaxCoverageRunResult result = algorithm.Run(stream, k);
+    const double bits = static_cast<double>(result.stats.peak_space_bytes) * 8;
+    const double pred = static_cast<double>(m) *
+                        SafeLog(static_cast<double>(m)) / (eps * eps);
+    table.BeginRow();
+    table.AddCell(eps, 2);
+    table.AddCell(bits, 0);
+    table.AddCell(pred, 0);
+    table.AddCell(bits / pred, 3);
+    table.AddCell(result.coverage);
+    table.AddCell(exact.coverage);
+    table.AddCell(static_cast<double>(result.coverage) /
+                      static_cast<double>(exact.coverage),
+                  4);
+  }
+  table.Print(std::cout);
+  std::cout << "# expect: bits/pred roughly flat (1/eps^2 shape); cov/opt "
+               ">= 1 - O(eps) on every row\n";
+}
+
+void MSweep() {
+  bench::Banner("E8b: space vs m", "space linear in m  [Result 2]");
+  const std::size_t n = 16384, k = 2;
+  const double eps = 0.1;
+  bench::Params("n=16384 k=2 eps=0.1");
+  TablePrinter table({"m", "space_bits", "bits/m"});
+  for (const std::size_t m : {32, 64, 128, 256, 512}) {
+    Rng rng(m);
+    const SetSystem system = UniformRandomInstance(n, m, n / 4, rng);
+    VectorSetStream stream(system);
+    ElementSamplingMcConfig config;
+    config.epsilon = eps;
+    ElementSamplingMaxCoverage algorithm(config);
+    const MaxCoverageRunResult result = algorithm.Run(stream, k);
+    const double bits = static_cast<double>(result.stats.peak_space_bytes) * 8;
+    table.BeginRow();
+    table.AddCell(static_cast<std::uint64_t>(m));
+    table.AddCell(bits, 0);
+    table.AddCell(bits / static_cast<double>(m), 1);
+  }
+  table.Print(std::cout);
+}
+
+void HardDistribution() {
+  bench::Banner("E8c: separating theta on D_MC with the sketch",
+                "the (1-eps)-approx sketch determines theta, i.e. solves "
+                "the embedded GHD instance  [Theorem 4 engine]");
+  HardMaxCoverageParams params;
+  params.epsilon = 0.2;
+  params.m = 16;
+  bench::Params("D_MC eps=0.2 m=16; sketch eps'=0.05; 20 trials/side");
+  HardMaxCoverageDistribution dist(params);
+  TablePrinter table({"theta", "trials", "correct", "mean_value/tau"});
+  for (const int theta : {1, 0}) {
+    Rng rng(40 + theta);
+    const int trials = 20;
+    int correct = 0;
+    double ratio = 0.0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const HardMaxCoverageInstance inst =
+          theta == 1 ? dist.SampleThetaOne(rng) : dist.SampleThetaZero(rng);
+      const SetSystem system = inst.ToSetSystem();
+      VectorSetStream stream(system);
+      ElementSamplingMcConfig config;
+      config.epsilon = 0.05;
+      config.seed = 500 + trial;
+      ElementSamplingMaxCoverage algorithm(config);
+      const MaxCoverageRunResult result = algorithm.Run(stream, 2);
+      const double r = static_cast<double>(result.coverage) / inst.tau;
+      ratio += r;
+      if ((r > 1.0) == (theta == 1)) ++correct;
+    }
+    table.BeginRow();
+    table.AddCell(theta);
+    table.AddCell(trials);
+    table.AddCell(correct);
+    table.AddCell(ratio / trials, 4);
+  }
+  table.Print(std::cout);
+}
+
+void SieveBaseline() {
+  bench::Banner("E8d: sieve baseline",
+                "constant-factor single-pass sieve: smaller guarantees, "
+                "k*n-bit state per guess");
+  const std::size_t n = 16384, m = 128, k = 3;
+  Rng rng(9);
+  const SetSystem system = UniformRandomInstance(n, m, n / 4, rng);
+  const ExactMaxCoverageResult exact = SolveExactMaxCoverage(system, k);
+  TablePrinter table({"algorithm", "space_bits", "coverage", "cov/opt"});
+  {
+    VectorSetStream stream(system);
+    SieveMaxCoverage sieve(SieveMcConfig{0.1});
+    const MaxCoverageRunResult result = sieve.Run(stream, k);
+    table.BeginRow();
+    table.AddCell("sieve(eps=0.1)");
+    table.AddCell(static_cast<double>(result.stats.peak_space_bytes) * 8, 0);
+    table.AddCell(result.coverage);
+    table.AddCell(static_cast<double>(result.coverage) /
+                      static_cast<double>(exact.coverage),
+                  4);
+  }
+  {
+    VectorSetStream stream(system);
+    ElementSamplingMcConfig config;
+    config.epsilon = 0.1;
+    ElementSamplingMaxCoverage es(config);
+    const MaxCoverageRunResult result = es.Run(stream, k);
+    table.BeginRow();
+    table.AddCell("element-sampling(eps=0.1)");
+    table.AddCell(static_cast<double>(result.stats.peak_space_bytes) * 8, 0);
+    table.AddCell(result.coverage);
+    table.AddCell(static_cast<double>(result.coverage) /
+                      static_cast<double>(exact.coverage),
+                  4);
+  }
+  table.Print(std::cout);
+  return;
+}
+
+}  // namespace
+}  // namespace streamsc
+
+int main() {
+  streamsc::EpsilonSweep();
+  streamsc::MSweep();
+  streamsc::HardDistribution();
+  streamsc::SieveBaseline();
+  return 0;
+}

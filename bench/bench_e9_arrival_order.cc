@@ -1,0 +1,146 @@
+// E9 — Robustness to arrival order (Theorem 1 holds even for random
+// arrival; Theorem 2's algorithm works in adversarial order). This bench
+// runs every algorithm under adversarial, random-once, and random-per-pass
+// orders on the same instances and reports feasibility / ratio / space:
+// the sampling-based algorithms should be order-insensitive, while
+// one-pass greedy collapses on the ascending-size adversarial order.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/assadi_set_cover.h"
+#include "core/one_pass_set_cover.h"
+#include "core/threshold_greedy.h"
+#include "instance/generators.h"
+#include "stream/set_stream.h"
+#include "util/table_printer.h"
+
+namespace streamsc {
+namespace {
+
+const char* OrderName(StreamOrder order) {
+  switch (order) {
+    case StreamOrder::kAdversarial:
+      return "adversarial";
+    case StreamOrder::kRandomOnce:
+      return "random-once";
+    case StreamOrder::kRandomEachPass:
+      return "random-each-pass";
+  }
+  return "?";
+}
+
+// Ascending-size instance: singletons first, the one-set optimum last —
+// worst case for take-anything one-pass algorithms.
+SetSystem AscendingTrap(std::size_t n) {
+  SetSystem system(n);
+  for (ElementId e = 0; e < n / 2; ++e) {
+    system.AddSetFromIndices({e});
+  }
+  DynamicBitset rest(n);
+  for (std::size_t e = 0; e < n; ++e) rest.Set(e);
+  system.AddSet(std::move(rest));  // full set, arrives last
+  return system;
+}
+
+void OrderSweep() {
+  bench::Banner("E9: arrival-order robustness",
+                "sampling algorithms are order-insensitive; one-pass "
+                "greedy collapses on adversarial order  [Theorem 1 "
+                "robustness / Remark on random arrival]");
+  Rng gen_rng(1);
+  struct Workload {
+    std::string name;
+    SetSystem system;
+    std::size_t opt;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"planted(n=2048,m=64,opt=4)",
+       PlantedCoverInstance(2048, 64, 4, gen_rng), 4});
+  workloads.push_back({"ascending-trap(n=512)", AscendingTrap(512), 1});
+
+  TablePrinter table({"workload", "algorithm", "order", "feasible", "sets",
+                      "ratio", "passes"});
+  for (const Workload& workload : workloads) {
+    for (const StreamOrder order :
+         {StreamOrder::kAdversarial, StreamOrder::kRandomOnce,
+          StreamOrder::kRandomEachPass}) {
+      std::vector<std::pair<std::string,
+                            std::unique_ptr<StreamingSetCoverAlgorithm>>>
+          algorithms;
+      AssadiConfig config;
+      config.alpha = 2;
+      config.epsilon = 0.5;
+      algorithms.emplace_back("assadi(a=2)",
+                              std::make_unique<AssadiSetCover>(config));
+      algorithms.emplace_back("threshold-greedy",
+                              std::make_unique<ThresholdGreedySetCover>());
+      algorithms.emplace_back("one-pass",
+                              std::make_unique<OnePassSetCover>());
+      for (auto& [name, algorithm] : algorithms) {
+        Rng order_rng(7);
+        VectorSetStream stream(workload.system, order, &order_rng);
+        const SetCoverRunResult result = algorithm->Run(stream);
+        table.BeginRow();
+        table.AddCell(workload.name);
+        table.AddCell(name);
+        table.AddCell(OrderName(order));
+        table.AddCell(result.feasible ? "yes" : "NO");
+        table.AddCell(static_cast<std::uint64_t>(result.solution.size()));
+        table.AddCell(static_cast<double>(result.solution.size()) /
+                          static_cast<double>(workload.opt),
+                      2);
+        table.AddCell(result.stats.passes);
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "# expect: assadi rows stable across orders (the Theorem 1 "
+               "robustness direction: random arrival does not make the "
+               "problem easier for, or break, sampling-based algorithms); "
+               "one-pass ratio explodes on ascending-trap under *every* "
+               "order (its take-anything rule pays for each helpful set "
+               "it meets, and the trap's singleton tail is order-proof); "
+               "threshold-greedy prefers adversarial-sorted planted "
+               "streams to shuffled ones — order sensitivity the "
+               "multi-pass algorithms are built to avoid\n";
+}
+
+void RandomOrderErrorRates() {
+  bench::Banner("E9b: feasibility across 20 random orders",
+                "random arrival does not break the Theorem 2 algorithm");
+  Rng gen_rng(2);
+  const SetSystem system = PlantedCoverInstance(1024, 48, 4, gen_rng);
+  int feasible = 0;
+  double ratio_sum = 0.0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng order_rng(trial * 13 + 1);
+    VectorSetStream stream(system, StreamOrder::kRandomOnce, &order_rng);
+    AssadiConfig config;
+    config.alpha = 2;
+    config.epsilon = 0.5;
+    config.seed = trial;
+    AssadiSetCover algorithm(config);
+    const SetCoverRunResult result = algorithm.Run(stream);
+    if (result.feasible) ++feasible;
+    ratio_sum += static_cast<double>(result.solution.size()) / 4.0;
+  }
+  TablePrinter table({"trials", "feasible", "mean_ratio"});
+  table.BeginRow();
+  table.AddCell(trials);
+  table.AddCell(feasible);
+  table.AddCell(ratio_sum / trials, 3);
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace streamsc
+
+int main() {
+  streamsc::OrderSweep();
+  streamsc::RandomOrderErrorRates();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the data-path primitives that
+// dominate every experiment: bitset boolean algebra, popcount counting,
+// Bernoulli subsampling, projections, the greedy / exact solvers, and
+// D_SC sampling. These guard against performance regressions in the
+// library itself.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sampling.h"
+#include "instance/generators.h"
+#include "instance/hard_set_cover.h"
+#include "offline/exact_set_cover.h"
+#include "instance/serialization.h"
+#include "offline/greedy.h"
+#include "offline/lower_bounds.h"
+#include "util/bitset.h"
+#include "util/random.h"
+
+namespace streamsc {
+namespace {
+
+void BM_BitsetCountAnd(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const DynamicBitset a = rng.BernoulliSubset(n, 0.5);
+  const DynamicBitset b = rng.BernoulliSubset(n, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.CountAnd(b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BitsetCountAnd)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_BitsetUnionInPlace(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  DynamicBitset a = rng.BernoulliSubset(n, 0.5);
+  const DynamicBitset b = rng.BernoulliSubset(n, 0.5);
+  for (auto _ : state) {
+    a |= b;
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BitsetUnionInPlace)->Arg(16384)->Arg(262144);
+
+void BM_BernoulliSubset(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.BernoulliSubset(n, 0.01));
+  }
+}
+BENCHMARK(BM_BernoulliSubset)->Arg(16384)->Arg(262144);
+
+void BM_SubUniverseProject(benchmark::State& state) {
+  const std::size_t n = 65536;
+  Rng rng(4);
+  const DynamicBitset sampled =
+      rng.BernoulliSubset(n, static_cast<double>(state.range(0)) / 1000.0);
+  SubUniverse sub(sampled);
+  const DynamicBitset set = rng.BernoulliSubset(n, 0.6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sub.Project(set));
+  }
+}
+BENCHMARK(BM_SubUniverseProject)->Arg(10)->Arg(100);
+
+void BM_GreedySetCover(benchmark::State& state) {
+  Rng rng(5);
+  const SetSystem system = PlantedCoverInstance(
+      static_cast<std::size_t>(state.range(0)), 64, 6, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedySetCover(system));
+  }
+}
+BENCHMARK(BM_GreedySetCover)->Arg(1024)->Arg(8192);
+
+void BM_ExactSetCoverPlanted(benchmark::State& state) {
+  Rng rng(6);
+  const SetSystem system = PlantedCoverInstance(256, 24, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveExactSetCover(system));
+  }
+}
+BENCHMARK(BM_ExactSetCoverPlanted);
+
+void BM_HardSetCoverSample(benchmark::State& state) {
+  HardSetCoverParams params;
+  params.n = static_cast<std::size_t>(state.range(0));
+  params.m = 32;
+  params.alpha = 2.0;
+  params.t_scale = 1.0;
+  HardSetCoverDistribution dist(params);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.Sample(rng));
+  }
+}
+BENCHMARK(BM_HardSetCoverSample)->Arg(1024)->Arg(8192);
+
+void BM_SerializationRoundTrip(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const SetSystem system = PlantedCoverInstance(n, 64, 4, rng);
+  for (auto _ : state) {
+    const StatusOr<SetSystem> parsed =
+        SetSystemFromString(SetSystemToString(system));
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(system.TotalIncidences()));
+}
+BENCHMARK(BM_SerializationRoundTrip)->Arg(1024)->Arg(8192);
+
+void BM_PackingLowerBound(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  const SetSystem system = UniformRandomInstance(n, 64, n / 16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PackingLowerBound(system));
+  }
+}
+BENCHMARK(BM_PackingLowerBound)->Arg(1024)->Arg(8192);
+
+void BM_DualLowerBound(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  const SetSystem system = UniformRandomInstance(n, 64, n / 16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DualLowerBound(system));
+  }
+}
+BENCHMARK(BM_DualLowerBound)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace streamsc
+
+BENCHMARK_MAIN();

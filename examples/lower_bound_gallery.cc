@@ -1,0 +1,98 @@
+// lower_bound_gallery: a guided tour of the paper's lower-bound machinery.
+//
+// Walks through, with live numbers:
+//   1. the hard Disj distribution (Section 2.2),
+//   2. the mapping-extension embedding into set cover (Definition 3),
+//   3. a D_SC instance and its opt-2 / opt>2α dichotomy (Lemma 3.2),
+//   4. the Lemma 3.4 reduction executed end-to-end with a real streaming
+//      algorithm as the inner SetCover protocol.
+
+#include <iostream>
+#include <memory>
+
+#include "comm/reductions.h"
+#include "instance/mapping_extension.h"
+#include "core/assadi_set_cover.h"
+#include "instance/hard_set_cover.h"
+#include "offline/exact_set_cover.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace streamsc;
+  Rng rng(11);
+
+  std::cout << "=== 1. The hard Disj distribution (t = 12) ===\n";
+  DisjDistribution disj(12);
+  const DisjInstance yes = disj.SampleYes(rng);
+  const DisjInstance no = disj.SampleNo(rng);
+  std::cout << "Yes instance: A = " << yes.a.ToString()
+            << ", B = " << yes.b.ToString() << "  (disjoint)\n";
+  std::cout << "No  instance: A = " << no.a.ToString()
+            << ", B = " << no.b.ToString() << "  (|A∩B| = "
+            << (no.a & no.b).CountSet() << ")\n\n";
+
+  std::cout << "=== 2. Mapping-extension into [n = 48] ===\n";
+  MappingExtension f(12, 48, rng);
+  std::cout << "f(0) = " << f.Block(0).ToString() << "\n";
+  std::cout << "S = [n] \\ f(A) has " << f.ExtendComplement(no.a).CountSet()
+            << " of 48 elements; T misses f(B)'s blocks; S ∪ T misses "
+               "exactly f(A∩B): "
+            << (f.ExtendComplement(no.a) | f.ExtendComplement(no.b))
+                   .Difference(DynamicBitset::Full(48))
+                   .CountSet()
+            << " == 0 means covered, else the missing block size\n\n";
+
+  std::cout << "=== 3. D_SC and the Lemma 3.2 dichotomy ===\n";
+  HardSetCoverParams params;
+  params.n = 512;
+  params.m = 8;
+  params.alpha = 2.0;
+  params.t_scale = 1.0;
+  HardSetCoverDistribution dist(params);
+  TablePrinter table({"theta", "opt<=2", "opt<=2*alpha(=4)"});
+  for (const int theta : {1, 0}) {
+    const HardSetCoverInstance inst =
+        theta == 1 ? dist.SampleThetaOne(rng) : dist.SampleThetaZero(rng);
+    const SetSystem system = inst.ToSetSystem();
+    ExactSetCoverOptions two;
+    two.size_limit = 2;
+    ExactSetCoverOptions four;
+    four.size_limit = 4;
+    table.BeginRow();
+    table.AddCell(theta);
+    table.AddCell(SolveExactSetCover(system, two).feasible ? "yes" : "no");
+    table.AddCell(SolveExactSetCover(system, four).feasible ? "yes" : "no");
+  }
+  table.Print(std::cout);
+  std::cout << "(θ=1 plants {S_i*, T_i*}; θ=0 has no small cover → any\n"
+               " 2-approximation must tell the cases apart)\n\n";
+
+  std::cout << "=== 4. Lemma 3.4 reduction, end to end ===\n";
+  StreamingSetCoverValueProtocol backend(
+      []() -> std::unique_ptr<StreamingSetCoverAlgorithm> {
+        AssadiConfig config;
+        config.alpha = 2;
+        config.epsilon = 0.5;
+        return std::make_unique<AssadiSetCover>(config);
+      },
+      /*shuffle_stream=*/true);
+  HardSetCoverParams red_params;
+  red_params.n = 256;
+  red_params.m = 6;
+  red_params.alpha = 2.0;
+  red_params.t_scale = 1.0;
+  DisjFromSetCoverProtocol reduction(red_params, &backend);
+  DisjDistribution input_dist(reduction.DisjT());
+  Rng eval_rng(13);
+  const ProtocolEvaluation eval =
+      EvaluateDisjProtocol(reduction, input_dist, 25, eval_rng);
+  std::cout << "solved Disj_" << reduction.DisjT() << " via a streaming "
+            << "2-approximation of set cover on m = " << red_params.m
+            << " embedded instances:\n  error "
+            << eval.errors << "/" << eval.trials << " = " << eval.error_rate
+            << ", mean transcript " << eval.mean_bits << " bits\n";
+  std::cout << "\n(The paper's Theorem 3 says *every* such protocol pays "
+               "Ω̃(m·n^{1/α}) bits;\n the measured transcript shows this "
+               "simulation cost concretely.)\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// newsroom_coverage: streaming maximum k-coverage on a news-feed workload.
+//
+// Scenario (the maximum coverage motivation of Saha-Getoor and the paper's
+// Section 4): a newsroom can syndicate k feeds out of m candidates and
+// wants the chosen feeds to jointly mention as many of the day's n topics
+// as possible. Feeds arrive as a stream (one pass over the catalog); we
+// compare:
+//   * element-sampling (1-ε) scheme — the algorithm whose m/ε² space
+//     Result 2 proves optimal,
+//   * the single-pass threshold sieve baseline,
+//   * offline greedy (the (1-1/e) yardstick) and the exact optimum.
+//
+// Run:  ./build/examples/newsroom_coverage
+
+#include <iostream>
+
+#include "core/max_coverage.h"
+#include "instance/generators.h"
+#include "offline/exact_max_coverage.h"
+#include "offline/greedy.h"
+#include "stream/set_stream.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace streamsc;
+
+  // The day's topics and candidate feeds: hub feeds cover many topics,
+  // niche feeds few (the BlogTopicInstance skew).
+  const std::size_t n_topics = 600, m_feeds = 120, k = 4;
+  Rng rng(2026);
+  const SetSystem feeds = BlogTopicInstance(n_topics, m_feeds, 0.1, rng);
+  std::cout << "catalog: " << feeds.DebugString() << ", syndication slots k="
+            << k << "\n\n";
+
+  TablePrinter table(
+      {"algorithm", "topics covered", "fraction", "passes", "space_bytes"});
+
+  // Ground truth: exact optimum (k is small) and offline greedy.
+  const ExactMaxCoverageResult exact = SolveExactMaxCoverage(feeds, k);
+  const double opt = static_cast<double>(exact.coverage);
+  {
+    table.BeginRow();
+    table.AddCell("exact optimum (offline)");
+    table.AddCell(exact.coverage);
+    table.AddCell(1.0, 3);
+    table.AddCell("-");
+    table.AddCell("-");
+  }
+  {
+    const Solution greedy = GreedyMaxCoverage(feeds, k);
+    const Count covered = feeds.CoverageOf(greedy.chosen);
+    table.BeginRow();
+    table.AddCell("offline greedy (1-1/e)");
+    table.AddCell(covered);
+    table.AddCell(static_cast<double>(covered) / opt, 3);
+    table.AddCell("-");
+    table.AddCell("-");
+  }
+
+  // Streaming contenders at a few precision levels.
+  for (const double eps : {0.25, 0.1}) {
+    ElementSamplingMcConfig config;
+    config.epsilon = eps;
+    config.exact_k_limit = k;
+    ElementSamplingMaxCoverage algorithm(config);
+    VectorSetStream stream(feeds);
+    const MaxCoverageRunResult result = algorithm.Run(stream, k);
+    table.BeginRow();
+    table.AddCell(algorithm.name());
+    table.AddCell(result.coverage);
+    table.AddCell(static_cast<double>(result.coverage) / opt, 3);
+    table.AddCell(result.stats.passes);
+    table.AddCell(result.stats.peak_space_bytes);
+  }
+  {
+    SieveMaxCoverage sieve;
+    VectorSetStream stream(feeds);
+    const MaxCoverageRunResult result = sieve.Run(stream, k);
+    table.BeginRow();
+    table.AddCell(sieve.name());
+    table.AddCell(result.coverage);
+    table.AddCell(static_cast<double>(result.coverage) / opt, 3);
+    table.AddCell(result.stats.passes);
+    table.AddCell(result.stats.peak_space_bytes);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nReading the table: the element-sampling scheme tracks the "
+               "optimum within its (1-eps)\nguarantee while storing only "
+               "sampled projections. (At this toy n the k*log m/eps^2\n"
+               "sample rate saturates, so both eps rows store the same "
+               "projections — bench_e8\nsweeps the regime where the m/eps^2 "
+               "space law, which Theorem 4 proves necessary,\nis visible.) "
+               "The sieve is cheaper still but gives only its ~1/2-style "
+               "guarantee.\n";
+  return 0;
+}

@@ -1,0 +1,159 @@
+// workload_tool: generate / inspect / solve set cover workload files.
+//
+// A small CLI over the library's generator + serialization + solver
+// surface — the "data engineer" entry point. Workloads are stored in the
+// documented ssc1 text format (see instance/serialization.h), so they can
+// be produced once and replayed across benches, tests, and notebooks.
+//
+// Usage:
+//   workload_tool gen <kind> <n> <m> <param> <seed> <path>
+//       kind: planted (param = opt) | uniform (param = set size)
+//           | zipf (param = max size) | blog (param = hub % as integer)
+//   workload_tool info <path>
+//   workload_tool solve <path> <alpha>
+//
+// Examples:
+//   ./build/examples/workload_tool gen planted 4096 128 4 7 /tmp/w.ssc
+//   ./build/examples/workload_tool info /tmp/w.ssc
+//   ./build/examples/workload_tool solve /tmp/w.ssc 3
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/assadi_set_cover.h"
+#include "instance/generators.h"
+#include "instance/serialization.h"
+#include "offline/greedy.h"
+#include "stream/set_stream.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace streamsc;
+
+int Usage() {
+  std::cerr << "usage:\n"
+            << "  workload_tool gen <planted|uniform|zipf|blog> <n> <m> "
+               "<param> <seed> <path>\n"
+            << "  workload_tool info <path>\n"
+            << "  workload_tool solve <path> <alpha>\n";
+  return 2;
+}
+
+int Generate(int argc, char** argv) {
+  if (argc != 8) return Usage();
+  const std::string kind = argv[2];
+  const std::size_t n = std::strtoull(argv[3], nullptr, 10);
+  const std::size_t m = std::strtoull(argv[4], nullptr, 10);
+  const std::size_t param = std::strtoull(argv[5], nullptr, 10);
+  const std::uint64_t seed = std::strtoull(argv[6], nullptr, 10);
+  const std::string path = argv[7];
+
+  Rng rng(seed);
+  SetSystem system(0);
+  if (kind == "planted") {
+    system = PlantedCoverInstance(n, m, param, rng);
+  } else if (kind == "uniform") {
+    system = UniformRandomInstance(n, m, param, rng);
+  } else if (kind == "zipf") {
+    system = ZipfInstance(n, m, 1.1, param, rng);
+  } else if (kind == "blog") {
+    system = BlogTopicInstance(n, m, static_cast<double>(param) / 100.0, rng);
+  } else {
+    return Usage();
+  }
+
+  const Status status = SaveSetSystem(system, path);
+  if (!status.ok()) {
+    std::cerr << "save failed: " << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << system.DebugString() << " to " << path << "\n";
+  return 0;
+}
+
+int Info(int argc, char** argv) {
+  if (argc != 3) return Usage();
+  const StatusOr<SetSystem> loaded = LoadSetSystem(argv[2]);
+  if (!loaded.ok()) {
+    std::cerr << "load failed: " << loaded.status().ToString() << "\n";
+    return 1;
+  }
+  const SetSystem& system = *loaded;
+  Count min_size = system.universe_size(), max_size = 0;
+  for (SetId id = 0; id < system.num_sets(); ++id) {
+    const Count size = system.set(id).CountSet();
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
+  }
+  TablePrinter table({"property", "value"});
+  table.BeginRow();
+  table.AddCell("universe n");
+  table.AddCell(static_cast<std::uint64_t>(system.universe_size()));
+  table.BeginRow();
+  table.AddCell("sets m");
+  table.AddCell(static_cast<std::uint64_t>(system.num_sets()));
+  table.BeginRow();
+  table.AddCell("incidences");
+  table.AddCell(system.TotalIncidences());
+  table.BeginRow();
+  table.AddCell("min |S_i|");
+  table.AddCell(min_size);
+  table.BeginRow();
+  table.AddCell("max |S_i|");
+  table.AddCell(max_size);
+  table.BeginRow();
+  table.AddCell("coverable");
+  table.AddCell(system.IsCoverable() ? "yes" : "NO");
+  table.Print(std::cout);
+  return 0;
+}
+
+int Solve(int argc, char** argv) {
+  if (argc != 4) return Usage();
+  const StatusOr<SetSystem> loaded = LoadSetSystem(argv[2]);
+  if (!loaded.ok()) {
+    std::cerr << "load failed: " << loaded.status().ToString() << "\n";
+    return 1;
+  }
+  const std::size_t alpha = std::strtoull(argv[3], nullptr, 10);
+  if (alpha < 1) return Usage();
+
+  AssadiConfig config;
+  config.alpha = alpha;
+  config.epsilon = 0.5;
+  AssadiSetCover algorithm(config);
+  VectorSetStream stream(*loaded);
+  const SetCoverRunResult result = algorithm.Run(stream);
+
+  const Solution greedy = GreedySetCover(*loaded);
+  TablePrinter table({"solver", "sets", "passes", "space_bytes"});
+  table.BeginRow();
+  table.AddCell(algorithm.name());
+  table.AddCell(static_cast<std::uint64_t>(result.solution.size()));
+  table.AddCell(result.stats.passes);
+  table.AddCell(result.stats.peak_space_bytes);
+  table.BeginRow();
+  table.AddCell("offline greedy");
+  table.AddCell(static_cast<std::uint64_t>(greedy.size()));
+  table.AddCell(static_cast<std::uint64_t>(1));
+  table.AddCell(static_cast<std::uint64_t>(loaded->TotalIncidences() * 4));
+  table.Print(std::cout);
+  if (!result.feasible) {
+    std::cerr << "streaming solver did not find a feasible cover\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "gen") return Generate(argc, argv);
+  if (command == "info") return Info(argc, argv);
+  if (command == "solve") return Solve(argc, argv);
+  return Usage();
+}

@@ -1,0 +1,70 @@
+#include "comm/protocol.h"
+
+namespace streamsc {
+
+const char* PlayerName(Player p) {
+  return p == Player::kAlice ? "alice" : "bob";
+}
+
+void Transcript::Append(Player sender, std::uint64_t bits,
+                        std::uint64_t token) {
+  messages_.push_back(Message{sender, bits, token});
+  total_bits_ += bits;
+}
+
+std::uint64_t Transcript::Digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const Message& msg : messages_) {
+    h ^= msg.token + (msg.sender == Player::kAlice ? 0x9e37ull : 0x79b9ull);
+    h *= 0x100000001b3ull;
+    h ^= msg.bits;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool TrivialDisjProtocol::Run(const DisjInstance& instance, Rng& shared_rng,
+                              Transcript* transcript) {
+  (void)shared_rng;
+  // Alice -> Bob: her whole characteristic vector (t bits).
+  transcript->Append(Player::kAlice, instance.a.size(), instance.a.Hash());
+  // Bob -> out: the one-bit answer.
+  const bool yes = instance.IsDisjoint();
+  transcript->Append(Player::kBob, 1, yes ? 1 : 0);
+  return yes;
+}
+
+bool TrivialGhdProtocol::Run(const GhdInstance& instance, Rng& shared_rng,
+                             Transcript* transcript) {
+  (void)shared_rng;
+  transcript->Append(Player::kAlice, instance.a.size(), instance.a.Hash());
+  // Bob resolves the promise; on ⋆ he answers Yes (any answer is legal).
+  const GhdAnswer answer = distribution_.Classify(instance);
+  const bool yes = answer != GhdAnswer::kNo;
+  transcript->Append(Player::kBob, 1, yes ? 1 : 0);
+  return yes;
+}
+
+std::string SampledDisjProtocol::name() const {
+  return "sampled-disj(bits=" + std::to_string(budget_bits_) + ")";
+}
+
+bool SampledDisjProtocol::Run(const DisjInstance& instance, Rng& shared_rng,
+                              Transcript* transcript) {
+  const std::size_t t = instance.a.size();
+  const std::size_t budget = std::min(budget_bits_, t);
+  // Public randomness: both players agree on a random coordinate sample.
+  const DynamicBitset coords = shared_rng.RandomSubsetOfSize(t, budget);
+  // Alice -> Bob: her membership bits on the sampled coordinates.
+  DynamicBitset a_sample = instance.a;
+  a_sample &= coords;
+  transcript->Append(Player::kAlice, budget, a_sample.Hash());
+  // Bob: sees an intersection only if it lies inside the sample.
+  DynamicBitset common = a_sample;
+  common &= instance.b;
+  const bool yes = common.None();
+  transcript->Append(Player::kBob, 1, yes ? 1 : 0);
+  return yes;
+}
+
+}  // namespace streamsc

@@ -1,0 +1,135 @@
+#ifndef STREAMSC_COMM_PROTOCOL_H_
+#define STREAMSC_COMM_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "instance/disj_distribution.h"
+#include "instance/ghd_distribution.h"
+#include "util/common.h"
+#include "util/random.h"
+
+/// \file protocol.h
+/// Two-party communication substrate (Yao's model, Section 2.1 of the
+/// paper). A Transcript records every message's sender, bit-length, and a
+/// content token; the content tokens make the transcript usable as a
+/// discrete random variable for the empirical information-cost estimators
+/// in src/info.
+
+namespace streamsc {
+
+/// The two players.
+enum class Player { kAlice, kBob };
+
+/// Returns "alice" / "bob".
+const char* PlayerName(Player p);
+
+/// One message of a protocol execution.
+struct Message {
+  Player sender = Player::kAlice;
+  std::uint64_t bits = 0;     ///< Charged communication, in bits.
+  std::uint64_t token = 0;    ///< Content digest (for information cost).
+};
+
+/// An ordered record of the messages exchanged in one execution.
+class Transcript {
+ public:
+  Transcript() = default;
+
+  /// Appends a message of \p bits bits with content digest \p token.
+  void Append(Player sender, std::uint64_t bits, std::uint64_t token);
+
+  /// Total bits communicated.
+  std::uint64_t TotalBits() const { return total_bits_; }
+
+  /// Number of messages.
+  std::size_t NumMessages() const { return messages_.size(); }
+
+  const std::vector<Message>& messages() const { return messages_; }
+
+  /// Order-sensitive 64-bit digest of the whole transcript — the value of
+  /// the random variable Π in the information-cost estimators.
+  std::uint64_t Digest() const;
+
+ private:
+  std::vector<Message> messages_;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// A randomized two-party protocol for Disj_t. `shared_rng` models public
+/// randomness (both players see the same stream); protocols derive private
+/// coins by forking it. Returns true for "Yes" (disjoint).
+class DisjProtocol {
+ public:
+  virtual ~DisjProtocol() = default;
+
+  /// Protocol name for tables.
+  virtual std::string name() const = 0;
+
+  /// Executes on \p instance, appending messages to \p transcript.
+  virtual bool Run(const DisjInstance& instance, Rng& shared_rng,
+                   Transcript* transcript) = 0;
+};
+
+/// A randomized two-party protocol for GHD_t. Returns true for "Yes"
+/// (distance above the upper threshold).
+class GhdProtocol {
+ public:
+  virtual ~GhdProtocol() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual bool Run(const GhdInstance& instance, Rng& shared_rng,
+                   Transcript* transcript) = 0;
+};
+
+/// The trivial one-way Disj protocol: Alice sends her entire set (t bits);
+/// Bob answers. Communication t + 1 bits; zero error. The upper-bound
+/// reference point for the Ω(t) information bound (Prop. 2.5).
+class TrivialDisjProtocol : public DisjProtocol {
+ public:
+  std::string name() const override { return "trivial-disj"; }
+
+  bool Run(const DisjInstance& instance, Rng& shared_rng,
+           Transcript* transcript) override;
+};
+
+/// The trivial one-way GHD protocol: Alice sends her set; Bob answers.
+class TrivialGhdProtocol : public GhdProtocol {
+ public:
+  /// \p distribution supplies the thresholds for classification.
+  explicit TrivialGhdProtocol(const GhdDistribution& distribution)
+      : distribution_(distribution) {}
+
+  std::string name() const override { return "trivial-ghd"; }
+
+  bool Run(const GhdInstance& instance, Rng& shared_rng,
+           Transcript* transcript) override;
+
+ private:
+  const GhdDistribution& distribution_;
+};
+
+/// A sketching Disj protocol with tunable communication: Alice sends the
+/// membership bits of a public random subset of coordinates (budget bits).
+/// Bob answers "No" (intersecting) iff a shared coordinate is revealed
+/// inside the sample, i.e. it errs toward "Yes". Used by the benches to
+/// exhibit error growing as communication shrinks below t.
+class SampledDisjProtocol : public DisjProtocol {
+ public:
+  explicit SampledDisjProtocol(std::size_t budget_bits)
+      : budget_bits_(budget_bits) {}
+
+  std::string name() const override;
+
+  bool Run(const DisjInstance& instance, Rng& shared_rng,
+           Transcript* transcript) override;
+
+ private:
+  std::size_t budget_bits_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_COMM_PROTOCOL_H_

@@ -1,0 +1,243 @@
+#include "comm/reductions.h"
+
+#include <cassert>
+#include <vector>
+
+#include "instance/mapping_extension.h"
+#include "util/math.h"
+
+namespace streamsc {
+
+DynamicBitset SampleDisjNoMarginal(std::size_t t, Rng& rng) {
+  DynamicBitset a = rng.BernoulliSubset(t, 1.0 / 3.0);
+  a.Set(static_cast<std::size_t>(rng.UniformInt(t)));
+  return a;
+}
+
+DynamicBitset SampleDisjNoGivenOther(const DynamicBitset& other, Rng& rng) {
+  const std::size_t t = other.size();
+  DynamicBitset out(t);
+  // Planted common element: uniform within `other` (posterior of e⋆).
+  const std::vector<ElementId> members = other.ToIndices();
+  assert(!members.empty() && "D^N marginals are never empty");
+  out.Set(members[rng.UniformInt(members.size())]);
+  // Outside `other`, membership is an independent fair coin (posterior of
+  // the "dropped from other only" vs "dropped from both" states).
+  for (std::size_t e = 0; e < t; ++e) {
+    if (!other.Test(e) && rng.Bernoulli(0.5)) out.Set(e);
+  }
+  return out;
+}
+
+DisjFromSetCoverProtocol::DisjFromSetCoverProtocol(
+    HardSetCoverParams params, SetCoverValueProtocol* sc_protocol,
+    double decision_threshold)
+    : params_(params),
+      t_(DisjUniverseSize(params.n, params.m, params.alpha, params.t_scale)),
+      sc_protocol_(sc_protocol),
+      decision_threshold_(decision_threshold > 0.0 ? decision_threshold
+                                                   : 2.0 * params.alpha) {
+  assert(sc_protocol_ != nullptr);
+}
+
+std::string DisjFromSetCoverProtocol::name() const {
+  return "disj-from-setcover[" + sc_protocol_->name() + "]";
+}
+
+bool DisjFromSetCoverProtocol::Run(const DisjInstance& instance,
+                                   Rng& shared_rng, Transcript* transcript) {
+  assert(instance.a.size() == t_);
+  const std::size_t m = params_.m;
+  const std::size_t n = params_.n;
+
+  // Public randomness: the embedding index and the mapping-extensions.
+  const std::size_t i_star = static_cast<std::size_t>(shared_rng.UniformInt(m));
+
+  // Private randomness is modeled by forking the shared generator once per
+  // player (the fork happens deterministically, but its outputs are used
+  // only by the owning player, which is all the simulation needs).
+  Rng alice_private = shared_rng.Fork();
+  Rng bob_private = shared_rng.Fork();
+
+  std::vector<DynamicBitset> alice_sets;
+  std::vector<DynamicBitset> bob_sets;
+  alice_sets.reserve(m);
+  bob_sets.reserve(m);
+
+  for (std::size_t j = 0; j < m; ++j) {
+    MappingExtension f(t_, n, shared_rng);  // public
+    DynamicBitset a_j(t_), b_j(t_);
+    if (j == i_star) {
+      a_j = instance.a;
+      b_j = instance.b;
+    } else if (j < i_star) {
+      // A^{<i⋆} public; Bob completes his half privately.
+      a_j = SampleDisjNoMarginal(t_, shared_rng);
+      b_j = SampleDisjNoGivenOther(a_j, bob_private);
+    } else {
+      // B^{>i⋆} public; Alice completes her half privately.
+      b_j = SampleDisjNoMarginal(t_, shared_rng);
+      a_j = SampleDisjNoGivenOther(b_j, alice_private);
+    }
+    alice_sets.push_back(f.ExtendComplement(a_j));
+    bob_sets.push_back(f.ExtendComplement(b_j));
+  }
+
+  const double estimate = sc_protocol_->EstimateOpt(alice_sets, bob_sets, n,
+                                                    shared_rng, transcript);
+  // Small opt ⇔ the embedded pair was disjoint (Lemma 3.2): answer Yes.
+  const bool yes = estimate <= decision_threshold_;
+  transcript->Append(Player::kBob, 1, yes ? 1 : 0);
+  return yes;
+}
+
+GhdFromMaxCoverProtocol::GhdFromMaxCoverProtocol(
+    HardMaxCoverageParams params, MaxCoverageValueProtocol* mc_protocol)
+    : params_(params), dist_(params), mc_protocol_(mc_protocol) {
+  assert(mc_protocol_ != nullptr);
+}
+
+std::string GhdFromMaxCoverProtocol::name() const {
+  return "ghd-from-maxcover[" + mc_protocol_->name() + "]";
+}
+
+std::size_t GhdFromMaxCoverProtocol::SizeA() const { return dist_.t1() / 2; }
+std::size_t GhdFromMaxCoverProtocol::SizeB() const { return dist_.t1() / 2; }
+
+bool GhdFromMaxCoverProtocol::Run(const GhdInstance& instance,
+                                  Rng& shared_rng, Transcript* transcript) {
+  const std::size_t t1 = dist_.t1();
+  const std::size_t t2 = dist_.t2();
+  const std::size_t n = t1 + t2;
+  const std::size_t m = params_.m;
+  assert(instance.a.size() == t1);
+
+  GhdDistribution ghd(t1, SizeA(), SizeB());
+  const std::size_t i_star = static_cast<std::size_t>(shared_rng.UniformInt(m));
+  Rng alice_private = shared_rng.Fork();
+  Rng bob_private = shared_rng.Fork();
+
+  auto embed = [&](const DynamicBitset& u1_part, const DynamicBitset& u2_part) {
+    DynamicBitset out(n);
+    u1_part.ForEach([&](ElementId e) { out.Set(e); });
+    u2_part.ForEach([&](ElementId e) { out.Set(t1 + e); });
+    return out;
+  };
+
+  // B | A under D^N_GHD: uniform b-subset conditioned on the distance
+  // bound — rejection sampling against the fixed half.
+  auto sample_no_given = [&](const DynamicBitset& fixed, bool fixed_is_a,
+                             Rng& rng) {
+    while (true) {
+      DynamicBitset candidate =
+          rng.RandomSubsetOfSize(t1, fixed_is_a ? SizeB() : SizeA());
+      GhdInstance probe{fixed_is_a ? fixed : candidate,
+                        fixed_is_a ? candidate : fixed};
+      if (ghd.Classify(probe) == GhdAnswer::kNo) return candidate;
+    }
+  };
+
+  std::vector<DynamicBitset> alice_sets;
+  std::vector<DynamicBitset> bob_sets;
+  alice_sets.reserve(m);
+  bob_sets.reserve(m);
+
+  for (std::size_t j = 0; j < m; ++j) {
+    // Public: the U2 partition (C_j, D_j).
+    DynamicBitset c = shared_rng.BernoulliSubset(t2, 0.5);
+    DynamicBitset d = c;
+    d.Complement();
+
+    DynamicBitset a_j(t1), b_j(t1);
+    if (j == i_star) {
+      a_j = instance.a;
+      b_j = instance.b;
+    } else if (j < i_star) {
+      a_j = shared_rng.RandomSubsetOfSize(t1, SizeA());  // public marginal
+      b_j = sample_no_given(a_j, /*fixed_is_a=*/true, bob_private);
+    } else {
+      b_j = shared_rng.RandomSubsetOfSize(t1, SizeB());  // public marginal
+      a_j = sample_no_given(b_j, /*fixed_is_a=*/false, alice_private);
+    }
+    alice_sets.push_back(embed(a_j, c));
+    bob_sets.push_back(embed(b_j, d));
+  }
+
+  const double estimate = mc_protocol_->EstimateValue(
+      alice_sets, bob_sets, n, HardMaxCoverageInstance::kCoverageBudget,
+      shared_rng, transcript);
+  // Coverage > τ ⇔ the embedded pair has large distance: answer Yes.
+  const bool yes = estimate > dist_.Tau();
+  transcript->Append(Player::kBob, 1, yes ? 1 : 0);
+  return yes;
+}
+
+ProtocolEvaluation EvaluateDisjProtocol(DisjProtocol& protocol,
+                                        const DisjDistribution& distribution,
+                                        std::size_t trials, Rng& rng) {
+  ProtocolEvaluation eval;
+  eval.trials = trials;
+  double bits_total = 0.0, bits_yes = 0.0, bits_no = 0.0;
+  std::size_t yes_count = 0, no_count = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    DisjInstance instance = distribution.Sample(rng);
+    const bool truth = instance.IsDisjoint();
+    Transcript transcript;
+    Rng shared = rng.Fork();
+    const bool answer = protocol.Run(instance, shared, &transcript);
+    if (answer != truth) ++eval.errors;
+    const double bits = static_cast<double>(transcript.TotalBits());
+    bits_total += bits;
+    if (truth) {
+      bits_yes += bits;
+      ++yes_count;
+    } else {
+      bits_no += bits;
+      ++no_count;
+    }
+  }
+  eval.error_rate =
+      trials == 0 ? 0.0
+                  : static_cast<double>(eval.errors) /
+                        static_cast<double>(trials);
+  eval.mean_bits = trials == 0 ? 0.0 : bits_total / trials;
+  eval.mean_bits_yes = yes_count == 0 ? 0.0 : bits_yes / yes_count;
+  eval.mean_bits_no = no_count == 0 ? 0.0 : bits_no / no_count;
+  return eval;
+}
+
+ProtocolEvaluation EvaluateGhdProtocol(GhdProtocol& protocol,
+                                       const GhdDistribution& distribution,
+                                       std::size_t trials, Rng& rng) {
+  ProtocolEvaluation eval;
+  eval.trials = trials;
+  double bits_total = 0.0, bits_yes = 0.0, bits_no = 0.0;
+  std::size_t yes_count = 0, no_count = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    bool truth = false;
+    GhdInstance instance = distribution.Sample(rng, &truth);
+    Transcript transcript;
+    Rng shared = rng.Fork();
+    const bool answer = protocol.Run(instance, shared, &transcript);
+    if (answer != truth) ++eval.errors;
+    const double bits = static_cast<double>(transcript.TotalBits());
+    bits_total += bits;
+    if (truth) {
+      bits_yes += bits;
+      ++yes_count;
+    } else {
+      bits_no += bits;
+      ++no_count;
+    }
+  }
+  eval.error_rate =
+      trials == 0 ? 0.0
+                  : static_cast<double>(eval.errors) /
+                        static_cast<double>(trials);
+  eval.mean_bits = trials == 0 ? 0.0 : bits_total / trials;
+  eval.mean_bits_yes = yes_count == 0 ? 0.0 : bits_yes / yes_count;
+  eval.mean_bits_no = no_count == 0 ? 0.0 : bits_no / no_count;
+  return eval;
+}
+
+}  // namespace streamsc

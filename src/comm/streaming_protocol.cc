@@ -1,0 +1,88 @@
+#include "comm/streaming_protocol.h"
+
+#include <utility>
+
+#include "stream/set_stream.h"
+
+namespace streamsc {
+namespace {
+
+// Builds the combined system Alice-then-Bob; returns it together with the
+// number of Alice sets (the party boundary in stream position).
+SetSystem CombineInputs(const std::vector<DynamicBitset>& alice,
+                        const std::vector<DynamicBitset>& bob,
+                        std::size_t n) {
+  SetSystem system(n);
+  for (const auto& s : alice) system.AddSet(s);
+  for (const auto& s : bob) system.AddSet(s);
+  return system;
+}
+
+// Charges the standard simulation cost onto the transcript: two state
+// crossings per pass, each bounded by the peak retained space.
+void ChargeSimulation(const StreamRunStats& stats, std::uint64_t answer_token,
+                      Transcript* transcript) {
+  const std::uint64_t state_bits = stats.peak_space_bytes * 8;
+  for (std::uint64_t pass = 0; pass < stats.passes; ++pass) {
+    transcript->Append(Player::kAlice, state_bits,
+                       answer_token * 0x9e3779b97f4a7c15ull + 2 * pass);
+    transcript->Append(Player::kBob, state_bits,
+                       answer_token * 0xc2b2ae3d27d4eb4full + 2 * pass + 1);
+  }
+}
+
+}  // namespace
+
+StreamingSetCoverValueProtocol::StreamingSetCoverValueProtocol(
+    AlgorithmFactory factory, bool shuffle_stream)
+    : factory_(std::move(factory)), shuffle_stream_(shuffle_stream) {}
+
+std::string StreamingSetCoverValueProtocol::name() const {
+  return std::string("streaming-sc-protocol") +
+         (shuffle_stream_ ? "(random-order)" : "(alice-then-bob)");
+}
+
+double StreamingSetCoverValueProtocol::EstimateOpt(
+    const std::vector<DynamicBitset>& alice,
+    const std::vector<DynamicBitset>& bob, std::size_t n, Rng& shared_rng,
+    Transcript* transcript) {
+  SetSystem system = CombineInputs(alice, bob, n);
+  VectorSetStream stream(
+      system,
+      shuffle_stream_ ? StreamOrder::kRandomOnce : StreamOrder::kAdversarial,
+      &shared_rng);
+  auto algorithm = factory_();
+  SetCoverRunResult result = algorithm->Run(stream);
+  const double estimate =
+      result.feasible ? static_cast<double>(result.solution.size())
+                      : static_cast<double>(n) + 1.0;  // "no cover found"
+  ChargeSimulation(result.stats,
+                   static_cast<std::uint64_t>(estimate), transcript);
+  return estimate;
+}
+
+StreamingMaxCoverageValueProtocol::StreamingMaxCoverageValueProtocol(
+    AlgorithmFactory factory, bool shuffle_stream)
+    : factory_(std::move(factory)), shuffle_stream_(shuffle_stream) {}
+
+std::string StreamingMaxCoverageValueProtocol::name() const {
+  return std::string("streaming-mc-protocol") +
+         (shuffle_stream_ ? "(random-order)" : "(alice-then-bob)");
+}
+
+double StreamingMaxCoverageValueProtocol::EstimateValue(
+    const std::vector<DynamicBitset>& alice,
+    const std::vector<DynamicBitset>& bob, std::size_t n, std::size_t k,
+    Rng& shared_rng, Transcript* transcript) {
+  SetSystem system = CombineInputs(alice, bob, n);
+  VectorSetStream stream(
+      system,
+      shuffle_stream_ ? StreamOrder::kRandomOnce : StreamOrder::kAdversarial,
+      &shared_rng);
+  auto algorithm = factory_();
+  MaxCoverageRunResult result = algorithm->Run(stream, k);
+  ChargeSimulation(result.stats, result.coverage, transcript);
+  return static_cast<double>(result.coverage);
+}
+
+}  // namespace streamsc

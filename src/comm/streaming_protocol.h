@@ -1,0 +1,101 @@
+#ifndef STREAMSC_COMM_STREAMING_PROTOCOL_H_
+#define STREAMSC_COMM_STREAMING_PROTOCOL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/protocol.h"
+#include "instance/set_system.h"
+#include "stream/stream_algorithm.h"
+
+/// \file streaming_protocol.h
+/// The streaming-to-communication simulation used throughout the paper's
+/// lower-bound arguments (proof of Theorem 1): a p-pass, s-space streaming
+/// algorithm yields a two-party protocol with O(p·s) communication — the
+/// players stream their own sets and hand the algorithm's state across at
+/// every boundary crossing (2 crossings per pass).
+
+namespace streamsc {
+
+/// A two-party set cover *value* protocol: estimates opt of the union
+/// instance whose sets are split between Alice and Bob.
+class SetCoverValueProtocol {
+ public:
+  virtual ~SetCoverValueProtocol() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Estimates the optimal cover size of (alice ∪ bob, universe [n]).
+  /// Appends the communication to \p transcript.
+  virtual double EstimateOpt(const std::vector<DynamicBitset>& alice,
+                             const std::vector<DynamicBitset>& bob,
+                             std::size_t n, Rng& shared_rng,
+                             Transcript* transcript) = 0;
+};
+
+/// Wraps a streaming set cover algorithm as a communication protocol.
+/// Per pass: Alice streams her sets through the algorithm, "sends" its
+/// retained state (charged as the run's peak space, an upper bound on any
+/// individual crossing) to Bob, who streams his sets; the end-of-pass
+/// state returns to Alice. The estimate is the returned solution size.
+class StreamingSetCoverValueProtocol : public SetCoverValueProtocol {
+ public:
+  using AlgorithmFactory =
+      std::function<std::unique_ptr<StreamingSetCoverAlgorithm>()>;
+
+  /// \p factory builds a fresh algorithm per execution (protocols are
+  /// single-shot); \p shuffle_stream streams the combined input in random
+  /// order (the D_SC^rnd regime) instead of Alice-then-Bob.
+  StreamingSetCoverValueProtocol(AlgorithmFactory factory,
+                                 bool shuffle_stream);
+
+  std::string name() const override;
+
+  double EstimateOpt(const std::vector<DynamicBitset>& alice,
+                     const std::vector<DynamicBitset>& bob, std::size_t n,
+                     Rng& shared_rng, Transcript* transcript) override;
+
+ private:
+  AlgorithmFactory factory_;
+  bool shuffle_stream_;
+};
+
+/// Same simulation for maximum coverage: estimates the best k-cover value.
+class MaxCoverageValueProtocol {
+ public:
+  virtual ~MaxCoverageValueProtocol() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual double EstimateValue(const std::vector<DynamicBitset>& alice,
+                               const std::vector<DynamicBitset>& bob,
+                               std::size_t n, std::size_t k, Rng& shared_rng,
+                               Transcript* transcript) = 0;
+};
+
+/// Streaming max coverage algorithm as a communication protocol.
+class StreamingMaxCoverageValueProtocol : public MaxCoverageValueProtocol {
+ public:
+  using AlgorithmFactory =
+      std::function<std::unique_ptr<StreamingMaxCoverageAlgorithm>()>;
+
+  StreamingMaxCoverageValueProtocol(AlgorithmFactory factory,
+                                    bool shuffle_stream);
+
+  std::string name() const override;
+
+  double EstimateValue(const std::vector<DynamicBitset>& alice,
+                       const std::vector<DynamicBitset>& bob, std::size_t n,
+                       std::size_t k, Rng& shared_rng,
+                       Transcript* transcript) override;
+
+ private:
+  AlgorithmFactory factory_;
+  bool shuffle_stream_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_COMM_STREAMING_PROTOCOL_H_

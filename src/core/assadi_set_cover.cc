@@ -1,0 +1,233 @@
+#include "core/assadi_set_cover.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/sampling.h"
+#include "offline/exact_set_cover.h"
+#include "offline/greedy.h"
+#include "util/math.h"
+#include "util/space_meter.h"
+#include "util/stopwatch.h"
+
+namespace streamsc {
+namespace {
+
+// Space charged for the solution id list.
+Bytes SolutionBytes(std::size_t size) { return size * sizeof(SetId); }
+
+}  // namespace
+
+AssadiSetCover::AssadiSetCover(AssadiConfig config) : config_(config) {
+  assert(config_.alpha >= 1);
+  assert(config_.epsilon > 0.0);
+}
+
+std::string AssadiSetCover::name() const {
+  return "assadi(alpha=" + std::to_string(config_.alpha) +
+         ",eps=" + std::to_string(config_.epsilon) + ")";
+}
+
+AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
+                                               std::size_t opt_guess,
+                                               Rng& rng) const {
+  const std::size_t n = stream.universe_size();
+  const std::size_t m = stream.num_sets();
+  const double alpha = static_cast<double>(config_.alpha);
+  const std::uint64_t passes_before = stream.passes();
+
+  AssadiGuessResult result;
+  SpaceMeter meter;
+
+  // Retained state: the uncovered-elements bitset U and the solution ids.
+  DynamicBitset uncovered = DynamicBitset::Full(n);
+  meter.Charge(uncovered.ByteSize(), "uncovered");
+  Solution solution;
+
+  // --- Pass 0: one-shot pruning. -----------------------------------------
+  // Any set still covering >= n/(ε·õpt) uncovered elements is taken. At
+  // most ε·õpt sets can be taken (each removes >= n/(ε·õpt) elements).
+  const double prune_threshold =
+      static_cast<double>(n) /
+      (config_.epsilon * static_cast<double>(std::max<std::size_t>(
+                             opt_guess, 1)));
+  stream.BeginPass();
+  StreamItem item;
+  while (stream.Next(&item)) {
+    const Count gain = item.set->CountAnd(uncovered);
+    if (static_cast<double>(gain) >= prune_threshold && gain > 0) {
+      solution.chosen.push_back(item.id);
+      meter.SetCategory(SolutionBytes(solution.size()), "solution");
+      uncovered.AndNot(*item.set);
+    }
+  }
+
+  // --- α iterations of sample / store / solve / subtract. ----------------
+  const double rho = 1.0 / NthRoot(static_cast<double>(n), alpha);
+  const double rate = ElementSamplingRate(n, m, std::max<std::size_t>(
+                                                    opt_guess, 1),
+                                          rho, config_.sampling_boost);
+  bool guess_ok = true;
+  for (std::size_t iter = 0; iter < config_.alpha && guess_ok; ++iter) {
+    if (uncovered.None()) break;
+
+    // (a) Sample U_smpl from the still-uncovered universe.
+    const DynamicBitset sampled = SampleElements(uncovered, rate, rng);
+    if (sampled.None()) continue;  // nothing sampled; iteration is a no-op
+    SubUniverse sub(sampled);
+
+    // (b) One pass storing the projections S'_i = S_i ∩ U_smpl. This is
+    // the space-dominant structure: m projections of |U_smpl| bits each.
+    SetSystem projections(sub.size());
+    std::vector<SetId> projection_ids;
+    projection_ids.reserve(m);
+    stream.BeginPass();
+    while (stream.Next(&item)) {
+      DynamicBitset proj = sub.Project(*item.set);
+      meter.Charge(proj.ByteSize() + sizeof(SetId), "projections");
+      projections.AddSet(std::move(proj));
+      projection_ids.push_back(item.id);
+    }
+
+    // (c) Solve the sub-instance *optimally* (the model allows unbounded
+    // computation; we keep a node budget and degrade to greedy if hit).
+    // The A2 ablation flips use_exact_subsolver off to quantify what the
+    // paper's optimal sub-solve buys over plain greedy.
+    std::vector<SetId> chosen_local;
+    if (config_.use_exact_subsolver) {
+      ExactSetCoverOptions exact_options;
+      exact_options.max_nodes = config_.exact_node_budget;
+      exact_options.size_limit = opt_guess;
+      ExactSetCoverResult sub_result = SolveExactSetCover(
+          projections, DynamicBitset::Full(sub.size()), exact_options);
+      if (sub_result.feasible) {
+        chosen_local = sub_result.solution.chosen;
+      } else if (!sub_result.complete) {
+        // Node budget exhausted without a within-budget cover: fall back
+        // to greedy; if even greedy exceeds the guess budget, the guess
+        // fails.
+        Solution greedy = GreedySetCover(projections);
+        if (projections.IsFeasibleCover(greedy.chosen) &&
+            greedy.chosen.size() <= opt_guess) {
+          chosen_local = greedy.chosen;
+        } else {
+          guess_ok = false;
+        }
+      } else {
+        // Proven: no cover of size <= õpt exists, so õpt < opt. Guess
+        // fails.
+        guess_ok = false;
+      }
+    } else {
+      Solution greedy = GreedySetCover(projections);
+      if (projections.IsFeasibleCover(greedy.chosen)) {
+        chosen_local = greedy.chosen;
+      } else {
+        guess_ok = false;
+      }
+    }
+
+    // Stored projections are dropped once the sub-instance is solved.
+    meter.Release(meter.CategoryCurrent("projections"), "projections");
+
+    if (!guess_ok) break;
+
+    std::vector<SetId> chosen_global;
+    chosen_global.reserve(chosen_local.size());
+    for (SetId local : chosen_local) {
+      chosen_global.push_back(projection_ids[local]);
+      solution.chosen.push_back(projection_ids[local]);
+    }
+    meter.SetCategory(SolutionBytes(solution.size()), "solution");
+
+    // (d) One pass subtracting the chosen sets' *full* contents from U.
+    // (The paper stores only projections, so recovering the full contents
+    // of OPT' requires this extra pass.)
+    if (!chosen_global.empty()) {
+      stream.BeginPass();
+      while (stream.Next(&item)) {
+        if (std::find(chosen_global.begin(), chosen_global.end(), item.id) !=
+            chosen_global.end()) {
+          uncovered.AndNot(*item.set);
+        }
+      }
+    }
+  }
+
+  result.residual_after_iterations = uncovered.CountSet();
+
+  // --- Optional cleanup pass: guarantee feasibility. ----------------------
+  // W.h.p. U is already empty (Lemma 3.11); at laptop scale a small
+  // residue can survive, and the paper requires the returned solution to
+  // always be feasible.
+  if (guess_ok && config_.ensure_feasible && !uncovered.None()) {
+    stream.BeginPass();
+    while (stream.Next(&item) && !uncovered.None()) {
+      if (item.set->Intersects(uncovered)) {
+        solution.chosen.push_back(item.id);
+        meter.SetCategory(SolutionBytes(solution.size()), "solution");
+        uncovered.AndNot(*item.set);
+      }
+    }
+  }
+
+  const double budget =
+      (alpha + config_.epsilon) * static_cast<double>(opt_guess);
+  result.solution = std::move(solution);
+  result.feasible = guess_ok && uncovered.None();
+  result.within_budget =
+      result.feasible && static_cast<double>(result.solution.size()) <= budget;
+  result.passes = stream.passes() - passes_before;
+  result.peak_space_bytes = meter.peak();
+  return result;
+}
+
+SetCoverRunResult AssadiSetCover::Run(SetStream& stream) {
+  Stopwatch timer;
+  const std::size_t n = stream.universe_size();
+  const std::uint64_t passes_before = stream.passes();
+  Rng rng(config_.seed);
+
+  SetCoverRunResult out;
+  Bytes peak = 0;
+
+  auto try_guess = [&](std::size_t guess) -> bool {
+    AssadiGuessResult r = RunWithGuess(stream, guess, rng);
+    peak = std::max(peak, r.peak_space_bytes);
+    if (r.feasible && r.within_budget) {
+      // Keep the smallest solution across successful guesses.
+      if (out.solution.empty() ||
+          r.solution.size() < out.solution.size()) {
+        out.solution = std::move(r.solution);
+      }
+      out.feasible = true;
+      return true;
+    }
+    return false;
+  };
+
+  if (config_.known_opt > 0) {
+    try_guess(config_.known_opt);
+  } else {
+    // Geometric guesses õpt = ceil((1+ε)^j), smallest first; stop at the
+    // first guess that succeeds within budget (larger guesses only yield
+    // larger budgets).
+    std::size_t prev = 0;
+    for (double g = 1.0; static_cast<std::size_t>(g) <= n;
+         g *= (1.0 + config_.epsilon)) {
+      const std::size_t guess = static_cast<std::size_t>(std::ceil(g));
+      if (guess == prev) continue;
+      prev = guess;
+      if (try_guess(guess)) break;
+    }
+  }
+
+  out.stats.passes = stream.passes() - passes_before;
+  out.stats.peak_space_bytes = peak;
+  out.stats.items_seen = out.stats.passes * stream.num_sets();
+  out.stats.wall_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace streamsc

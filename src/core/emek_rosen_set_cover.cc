@@ -1,0 +1,95 @@
+#include "core/emek_rosen_set_cover.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/space_meter.h"
+#include "util/stopwatch.h"
+
+namespace streamsc {
+
+EmekRosenSetCover::EmekRosenSetCover(EmekRosenConfig config)
+    : config_(config) {}
+
+std::string EmekRosenSetCover::name() const {
+  return config_.threshold == 0
+             ? "emek-rosen(sqrt n)"
+             : "emek-rosen(theta=" + std::to_string(config_.threshold) + ")";
+}
+
+std::size_t EmekRosenSetCover::ThresholdFor(std::size_t n) const {
+  if (config_.threshold > 0) return config_.threshold;
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(std::sqrt(
+             static_cast<double>(n)))));
+}
+
+SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream) {
+  Stopwatch timer;
+  const std::size_t n = stream.universe_size();
+  const std::uint64_t passes_before = stream.passes();
+  const std::size_t theta = ThresholdFor(n);
+
+  SetCoverRunResult result;
+  SpaceMeter meter;
+  DynamicBitset uncovered = DynamicBitset::Full(n);
+  meter.Charge(uncovered.ByteSize(), "uncovered");
+  // Witness id per element; kInvalidSetId = none seen yet. Elements
+  // covered by a taken set keep their (now unused) witness slot — the
+  // array is the Õ(n) term of the space bound either way.
+  std::vector<SetId> witness(n, kInvalidSetId);
+  meter.Charge(n * sizeof(SetId), "witnesses");
+  Solution solution;
+
+  stream.BeginPass();
+  StreamItem item;
+  while (stream.Next(&item)) {
+    const Count gain = item.set->CountAnd(uncovered);
+    if (gain >= theta) {
+      solution.chosen.push_back(item.id);
+      meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+      uncovered.AndNot(*item.set);
+    } else if (gain > 0) {
+      const SetId id = item.id;
+      item.set->ForEach([&](ElementId e) {
+        if (uncovered.Test(e) && witness[e] == kInvalidSetId) {
+          witness[e] = id;
+        }
+      });
+    }
+  }
+
+  // End of pass: close the cover with the witnesses of the survivors.
+  std::vector<SetId> leftovers;
+  uncovered.ForEach([&](ElementId e) {
+    if (witness[e] != kInvalidSetId) leftovers.push_back(witness[e]);
+  });
+  std::sort(leftovers.begin(), leftovers.end());
+  leftovers.erase(std::unique(leftovers.begin(), leftovers.end()),
+                  leftovers.end());
+
+  if (!leftovers.empty()) {
+    // One more (cheap) pass to subtract the witnesses' actual contents —
+    // needed only to *verify* feasibility; the ids were already final.
+    stream.BeginPass();
+    while (stream.Next(&item) && !uncovered.None()) {
+      if (std::binary_search(leftovers.begin(), leftovers.end(), item.id)) {
+        uncovered.AndNot(*item.set);
+      }
+    }
+    solution.chosen.insert(solution.chosen.end(), leftovers.begin(),
+                           leftovers.end());
+    meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+  }
+
+  result.solution = std::move(solution);
+  result.feasible = uncovered.None();
+  result.stats.passes = stream.passes() - passes_before;
+  result.stats.peak_space_bytes = meter.peak();
+  result.stats.items_seen = result.stats.passes * stream.num_sets();
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace streamsc

@@ -1,0 +1,55 @@
+#ifndef STREAMSC_CORE_EMEK_ROSEN_SET_COVER_H_
+#define STREAMSC_CORE_EMEK_ROSEN_SET_COVER_H_
+
+#include <string>
+
+#include "stream/stream_algorithm.h"
+
+/// \file emek_rosen_set_cover.h
+/// Emek-Rosén (ICALP 2014) style semi-streaming set cover: a single pass,
+/// Õ(n) space, and an O(√n) approximation guarantee — reference [26] in
+/// the paper and the single-pass point on the tradeoff curve that
+/// Assadi-Khanna-Li (STOC 2016) proved tight.
+///
+/// Mechanism (the threshold-and-witness simplification that realizes the
+/// O(√n) bound):
+///   * a set is taken outright when it covers >= θ = √n still-uncovered
+///     elements — at most n/θ = √n such "big" picks can happen;
+///   * every other uncovered element remembers the id of the first set
+///     containing it (a 1-word witness per element);
+///   * at end of pass, the witnesses of the still-uncovered elements are
+///     added (deduplicated).
+/// Each surviving element's witness gain was < θ when it was remembered,
+/// so opt >= (#leftover)/θ and the witness picks number <= θ·opt; total
+/// <= √n + √n·opt = O(√n)·opt.
+///
+/// Space: the uncovered bitset (n bits) + the witness array (n words) +
+/// the solution ids — semi-streaming Õ(n), independent of m.
+
+namespace streamsc {
+
+/// Configuration of the Emek-Rosén style baseline.
+struct EmekRosenConfig {
+  /// Threshold override; 0 means the √n default.
+  std::size_t threshold = 0;
+};
+
+/// Single-pass O(√n)-approximation semi-streaming set cover.
+class EmekRosenSetCover : public StreamingSetCoverAlgorithm {
+ public:
+  explicit EmekRosenSetCover(EmekRosenConfig config = {});
+
+  std::string name() const override;
+
+  SetCoverRunResult Run(SetStream& stream) override;
+
+  /// The big-set threshold used for a universe of size \p n.
+  std::size_t ThresholdFor(std::size_t n) const;
+
+ private:
+  EmekRosenConfig config_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_CORE_EMEK_ROSEN_SET_COVER_H_

@@ -1,0 +1,188 @@
+#include "core/har_peled_set_cover.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/sampling.h"
+#include "offline/exact_set_cover.h"
+#include "offline/greedy.h"
+#include "util/math.h"
+#include "util/space_meter.h"
+#include "util/stopwatch.h"
+
+namespace streamsc {
+
+HarPeledSetCover::HarPeledSetCover(HarPeledConfig config) : config_(config) {
+  assert(config_.alpha >= 1);
+}
+
+std::string HarPeledSetCover::name() const {
+  return "har-peled(alpha=" + std::to_string(config_.alpha) + ")";
+}
+
+SetCoverRunResult HarPeledSetCover::RunWithGuess(SetStream& stream,
+                                                 std::size_t opt_guess,
+                                                 Rng& rng) const {
+  const std::size_t n = stream.universe_size();
+  const std::size_t m = stream.num_sets();
+  const std::uint64_t passes_before = stream.passes();
+  Stopwatch timer;
+
+  SetCoverRunResult result;
+  SpaceMeter meter;
+
+  DynamicBitset uncovered = DynamicBitset::Full(n);
+  meter.Charge(uncovered.ByteSize(), "uncovered");
+  Solution solution;
+  StreamItem item;
+
+  // ceil(α/2) iterations, each reducing |U| by ~n^{2/α} (the c = 2
+  // exponent in the original's n^{Θ(1/α)} space).
+  const std::size_t iterations = (config_.alpha + 1) / 2;
+  const double rho =
+      1.0 / std::pow(static_cast<double>(n),
+                     2.0 / static_cast<double>(config_.alpha));
+
+  bool guess_ok = true;
+  for (std::size_t iter = 0; iter < iterations && guess_ok; ++iter) {
+    if (uncovered.None()) break;
+
+    // 1. Iterative pruning pass (per-iteration, threshold |U|/(2·õpt)).
+    const double threshold =
+        static_cast<double>(uncovered.CountSet()) /
+        (2.0 * static_cast<double>(std::max<std::size_t>(opt_guess, 1)));
+    stream.BeginPass();
+    while (stream.Next(&item)) {
+      const Count gain = item.set->CountAnd(uncovered);
+      if (static_cast<double>(gain) >= threshold && gain > 0) {
+        solution.chosen.push_back(item.id);
+        meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+        uncovered.AndNot(*item.set);
+      }
+    }
+    if (uncovered.None()) break;
+
+    // 2. Sampling pass with the looser rate (ρ = n^{-2/α}).
+    const double rate = ElementSamplingRate(
+        n, m, std::max<std::size_t>(opt_guess, 1), rho,
+        config_.sampling_boost);
+    const DynamicBitset sampled = SampleElements(uncovered, rate, rng);
+    if (sampled.None()) continue;
+    SubUniverse sub(sampled);
+
+    SetSystem projections(sub.size());
+    std::vector<SetId> projection_ids;
+    projection_ids.reserve(m);
+    stream.BeginPass();
+    while (stream.Next(&item)) {
+      DynamicBitset proj = sub.Project(*item.set);
+      meter.Charge(proj.ByteSize() + sizeof(SetId), "projections");
+      projections.AddSet(std::move(proj));
+      projection_ids.push_back(item.id);
+    }
+
+    // 3. Optimal sub-solve + subtraction pass.
+    ExactSetCoverOptions exact_options;
+    exact_options.max_nodes = config_.exact_node_budget;
+    exact_options.size_limit = opt_guess;
+    ExactSetCoverResult sub_result = SolveExactSetCover(
+        projections, DynamicBitset::Full(sub.size()), exact_options);
+    std::vector<SetId> chosen_local;
+    if (sub_result.feasible) {
+      chosen_local = sub_result.solution.chosen;
+    } else if (!sub_result.complete) {
+      Solution greedy = GreedySetCover(projections);
+      if (projections.IsFeasibleCover(greedy.chosen) &&
+          greedy.chosen.size() <= opt_guess) {
+        chosen_local = greedy.chosen;
+      } else {
+        guess_ok = false;
+      }
+    } else {
+      guess_ok = false;
+    }
+    meter.Release(meter.CategoryCurrent("projections"), "projections");
+    if (!guess_ok) break;
+
+    std::vector<SetId> chosen_global;
+    for (SetId local : chosen_local) {
+      chosen_global.push_back(projection_ids[local]);
+      solution.chosen.push_back(projection_ids[local]);
+    }
+    meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+
+    if (!chosen_global.empty()) {
+      stream.BeginPass();
+      while (stream.Next(&item)) {
+        if (std::find(chosen_global.begin(), chosen_global.end(), item.id) !=
+            chosen_global.end()) {
+          uncovered.AndNot(*item.set);
+        }
+      }
+    }
+  }
+
+  // Cleanup pass for feasibility (as in the Assadi implementation).
+  if (guess_ok && !uncovered.None()) {
+    stream.BeginPass();
+    while (stream.Next(&item) && !uncovered.None()) {
+      if (item.set->Intersects(uncovered)) {
+        solution.chosen.push_back(item.id);
+        uncovered.AndNot(*item.set);
+      }
+    }
+  }
+
+  result.solution = std::move(solution);
+  result.feasible = guess_ok && uncovered.None();
+  result.stats.passes = stream.passes() - passes_before;
+  result.stats.peak_space_bytes = meter.peak();
+  result.stats.items_seen = result.stats.passes * m;
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+SetCoverRunResult HarPeledSetCover::Run(SetStream& stream) {
+  Stopwatch timer;
+  Rng rng(config_.seed);
+  const std::uint64_t passes_before = stream.passes();
+  SetCoverRunResult out;
+  Bytes peak = 0;
+
+  auto try_guess = [&](std::size_t guess) {
+    SetCoverRunResult r = RunWithGuess(stream, guess, rng);
+    peak = std::max(peak, r.stats.peak_space_bytes);
+    const double budget = (static_cast<double>(config_.alpha) + 1.0) *
+                          static_cast<double>(guess);
+    if (r.feasible && static_cast<double>(r.solution.size()) <= budget) {
+      if (out.solution.empty() || r.solution.size() < out.solution.size()) {
+        out.solution = std::move(r.solution);
+      }
+      out.feasible = true;
+      return true;
+    }
+    return false;
+  };
+
+  if (config_.known_opt > 0) {
+    try_guess(config_.known_opt);
+  } else {
+    std::size_t prev = 0;
+    for (double g = 1.0;
+         static_cast<std::size_t>(g) <= stream.universe_size(); g *= 2.0) {
+      const std::size_t guess = static_cast<std::size_t>(std::ceil(g));
+      if (guess == prev) continue;
+      prev = guess;
+      if (try_guess(guess)) break;
+    }
+  }
+
+  out.stats.passes = stream.passes() - passes_before;
+  out.stats.peak_space_bytes = peak;
+  out.stats.items_seen = out.stats.passes * stream.num_sets();
+  out.stats.wall_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace streamsc

@@ -1,0 +1,175 @@
+#include "core/max_coverage.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "core/sampling.h"
+#include "offline/exact_max_coverage.h"
+#include "offline/greedy.h"
+#include "util/math.h"
+#include "util/space_meter.h"
+#include "util/stopwatch.h"
+
+namespace streamsc {
+
+ElementSamplingMaxCoverage::ElementSamplingMaxCoverage(
+    ElementSamplingMcConfig config)
+    : config_(config) {
+  assert(config_.epsilon > 0.0 && config_.epsilon < 1.0);
+}
+
+std::string ElementSamplingMaxCoverage::name() const {
+  return "element-sampling-mc(eps=" + std::to_string(config_.epsilon) + ")";
+}
+
+double ElementSamplingMaxCoverage::SampleRate(std::size_t n, std::size_t m,
+                                              std::size_t k) const {
+  // Target sample size Θ(k·log m / ε²); rate = target / n, clamped.
+  const double target = config_.sampling_boost * 12.0 *
+                        static_cast<double>(k) *
+                        SafeLog(static_cast<double>(m)) /
+                        (config_.epsilon * config_.epsilon);
+  return std::clamp(target / static_cast<double>(n), 1e-12, 1.0);
+}
+
+MaxCoverageRunResult ElementSamplingMaxCoverage::Run(SetStream& stream,
+                                                     std::size_t k) {
+  Stopwatch timer;
+  const std::size_t n = stream.universe_size();
+  const std::size_t m = stream.num_sets();
+  const std::uint64_t passes_before = stream.passes();
+  Rng rng(config_.seed);
+
+  MaxCoverageRunResult result;
+  SpaceMeter meter;
+
+  // Sample the universe once, up front (public coins in the paper's
+  // communication view).
+  const double rate = SampleRate(n, m, k);
+  const DynamicBitset sampled =
+      rng.BernoulliSubset(n, rate);
+  SubUniverse sub(sampled);
+  meter.Charge(CeilDiv(sub.size(), 8), "sample-universe");
+
+  // One pass: store every set's projection onto the sample.
+  SetSystem projections(sub.size());
+  std::vector<SetId> projection_ids;
+  projection_ids.reserve(m);
+  StreamItem item;
+  stream.BeginPass();
+  while (stream.Next(&item)) {
+    DynamicBitset proj = sub.Project(*item.set);
+    meter.Charge(proj.ByteSize() + sizeof(SetId), "projections");
+    projections.AddSet(std::move(proj));
+    projection_ids.push_back(item.id);
+  }
+
+  // Offline solve on the sampled instance.
+  Solution local;
+  if (k <= config_.exact_k_limit) {
+    ExactMaxCoverageOptions options;
+    options.max_nodes = config_.exact_node_budget;
+    ExactMaxCoverageResult exact = SolveExactMaxCoverage(
+        projections, DynamicBitset::Full(sub.size()), k, options);
+    local = exact.solution;
+  } else {
+    local = GreedyMaxCoverage(projections, k);
+  }
+
+  result.solution.chosen.reserve(local.chosen.size());
+  for (SetId id : local.chosen) {
+    result.solution.chosen.push_back(projection_ids[id]);
+  }
+
+  // One more pass to compute the *true* coverage of the returned sets
+  // (verification; not charged against the sketch space).
+  DynamicBitset covered(n);
+  stream.BeginPass();
+  while (stream.Next(&item)) {
+    if (std::find(result.solution.chosen.begin(),
+                  result.solution.chosen.end(),
+                  item.id) != result.solution.chosen.end()) {
+      covered |= *item.set;
+    }
+  }
+  result.coverage = covered.CountSet();
+
+  result.stats.passes = stream.passes() - passes_before;
+  result.stats.peak_space_bytes = meter.peak();
+  result.stats.items_seen = result.stats.passes * m;
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+SieveMaxCoverage::SieveMaxCoverage(SieveMcConfig config) : config_(config) {
+  assert(config_.epsilon > 0.0 && config_.epsilon < 1.0);
+}
+
+std::string SieveMaxCoverage::name() const {
+  return "sieve-mc(eps=" + std::to_string(config_.epsilon) + ")";
+}
+
+MaxCoverageRunResult SieveMaxCoverage::Run(SetStream& stream, std::size_t k) {
+  Stopwatch timer;
+  const std::size_t n = stream.universe_size();
+  const std::uint64_t passes_before = stream.passes();
+
+  MaxCoverageRunResult result;
+  SpaceMeter meter;
+
+  // One candidate solution per OPT guess v on the grid (1+ε)^j in
+  // [1, k·n]. Each candidate retains its covered-elements bitset.
+  struct Candidate {
+    double guess;
+    DynamicBitset covered;
+    std::vector<SetId> chosen;
+  };
+  std::vector<Candidate> candidates;
+  for (double v = 1.0; v <= static_cast<double>(k) * static_cast<double>(n);
+       v *= (1.0 + config_.epsilon)) {
+    candidates.push_back({v, DynamicBitset(n), {}});
+    meter.Charge(candidates.back().covered.ByteSize(), "candidates");
+  }
+
+  StreamItem item;
+  stream.BeginPass();
+  while (stream.Next(&item)) {
+    for (Candidate& cand : candidates) {
+      if (cand.chosen.size() >= k) continue;
+      const Count gain = item.set->CountAndNot(cand.covered);
+      const double needed =
+          (cand.guess / 2.0 -
+           static_cast<double>(cand.covered.CountSet())) /
+          static_cast<double>(k - cand.chosen.size());
+      if (static_cast<double>(gain) >= needed && gain > 0) {
+        cand.chosen.push_back(item.id);
+        cand.covered |= *item.set;
+      }
+    }
+  }
+
+  // Return the best candidate by actual (full-universe) coverage.
+  const Candidate* best = nullptr;
+  Count best_coverage = 0;
+  for (const Candidate& cand : candidates) {
+    const Count cov = cand.covered.CountSet();
+    if (cov > best_coverage || best == nullptr) {
+      best_coverage = cov;
+      best = &cand;
+    }
+  }
+  if (best != nullptr) {
+    result.solution.chosen = best->chosen;
+    result.coverage = best_coverage;
+  }
+
+  result.stats.passes = stream.passes() - passes_before;
+  result.stats.peak_space_bytes = meter.peak();
+  result.stats.items_seen = stream.num_sets();
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace streamsc

@@ -1,0 +1,75 @@
+#ifndef STREAMSC_CORE_MAX_COVERAGE_H_
+#define STREAMSC_CORE_MAX_COVERAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "stream/stream_algorithm.h"
+#include "util/random.h"
+
+/// \file max_coverage.h
+/// Streaming maximum k-coverage algorithms:
+///
+/// * ElementSamplingMaxCoverage — the (1-ε)-approximation scheme of
+///   McGregor-Vu / Bateni et al. that Result 2's lower bound matches:
+///   subsample the universe to Õ(k·log m / ε²) elements in one pass while
+///   storing every set's projection, then solve the sampled instance
+///   offline (exactly for small k, greedily otherwise). Space has the
+///   m/ε² shape of the upper bounds quoted in the paper.
+///
+/// * SieveMaxCoverage — a single-pass threshold sieve
+///   (Badanidiyuru et al. KDD'14 style): guesses of OPT on a geometric
+///   grid; a set is added to a guess's candidate iff its marginal gain
+///   meets (v/2 - current)/(k - picked). Gives (1/2 - ε) offline-style
+///   guarantees with k·n-bit state per guess; used as the cheap baseline.
+
+namespace streamsc {
+
+/// Configuration of the element-sampling (1-ε) scheme.
+struct ElementSamplingMcConfig {
+  double epsilon = 0.1;          ///< Target (1-ε) accuracy.
+  double sampling_boost = 1.0;   ///< Multiplier on the sample rate.
+  std::uint64_t seed = 1;
+  std::uint64_t exact_node_budget = 5'000'000;
+  std::size_t exact_k_limit = 3;  ///< Solve sampled instance exactly for
+                                  ///< k <= this; greedily otherwise.
+};
+
+/// The (1-ε)-approximation, single-pass element-sampling algorithm.
+class ElementSamplingMaxCoverage : public StreamingMaxCoverageAlgorithm {
+ public:
+  explicit ElementSamplingMaxCoverage(ElementSamplingMcConfig config);
+
+  std::string name() const override;
+
+  MaxCoverageRunResult Run(SetStream& stream, std::size_t k) override;
+
+  /// The universe-sampling rate used for a given instance shape — exposed
+  /// so benches can report the predicted space m·(rate·n) directly.
+  double SampleRate(std::size_t n, std::size_t m, std::size_t k) const;
+
+ private:
+  ElementSamplingMcConfig config_;
+};
+
+/// Configuration of the sieve baseline.
+struct SieveMcConfig {
+  double epsilon = 0.1;  ///< Guess-grid resolution (1+ε).
+};
+
+/// Single-pass threshold sieve baseline.
+class SieveMaxCoverage : public StreamingMaxCoverageAlgorithm {
+ public:
+  explicit SieveMaxCoverage(SieveMcConfig config = {});
+
+  std::string name() const override;
+
+  MaxCoverageRunResult Run(SetStream& stream, std::size_t k) override;
+
+ private:
+  SieveMcConfig config_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_CORE_MAX_COVERAGE_H_

@@ -1,0 +1,52 @@
+#include "core/one_pass_set_cover.h"
+
+#include <algorithm>
+
+#include "util/space_meter.h"
+#include "util/stopwatch.h"
+
+namespace streamsc {
+
+OnePassSetCover::OnePassSetCover(OnePassConfig config) : config_(config) {}
+
+std::string OnePassSetCover::name() const {
+  return "one-pass-greedy(frac=" + std::to_string(config_.min_gain_fraction) +
+         ")";
+}
+
+SetCoverRunResult OnePassSetCover::Run(SetStream& stream) {
+  Stopwatch timer;
+  const std::size_t n = stream.universe_size();
+  const std::uint64_t passes_before = stream.passes();
+
+  SetCoverRunResult result;
+  SpaceMeter meter;
+  DynamicBitset uncovered = DynamicBitset::Full(n);
+  meter.Charge(uncovered.ByteSize(), "uncovered");
+  Solution solution;
+  StreamItem item;
+
+  stream.BeginPass();
+  while (stream.Next(&item)) {
+    if (uncovered.None()) break;
+    const Count gain = item.set->CountAnd(uncovered);
+    const double needed = std::max(
+        1.0, config_.min_gain_fraction *
+                 static_cast<double>(uncovered.CountSet()));
+    if (static_cast<double>(gain) >= needed) {
+      solution.chosen.push_back(item.id);
+      meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+      uncovered.AndNot(*item.set);
+    }
+  }
+
+  result.solution = std::move(solution);
+  result.feasible = uncovered.None();
+  result.stats.passes = stream.passes() - passes_before;
+  result.stats.peak_space_bytes = meter.peak();
+  result.stats.items_seen = stream.num_sets();
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace streamsc

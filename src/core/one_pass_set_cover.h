@@ -1,0 +1,40 @@
+#ifndef STREAMSC_CORE_ONE_PASS_SET_COVER_H_
+#define STREAMSC_CORE_ONE_PASS_SET_COVER_H_
+
+#include <string>
+
+#include "stream/stream_algorithm.h"
+
+/// \file one_pass_set_cover.h
+/// Baseline: single-pass greedy set cover (Saha-Getoor 2009 style).
+/// Takes a set the moment it covers at least max(1, frac·|U_current|)
+/// uncovered elements. Always feasible when the instance is (every new
+/// element's first containing set is taken when frac = 0), one pass,
+/// Õ(n) space, but the approximation can degrade to Θ(n) on adversarial
+/// orders — exactly the regime the multi-pass tradeoff escapes.
+
+namespace streamsc {
+
+/// Configuration of the single-pass baseline.
+struct OnePassConfig {
+  /// Minimum marginal gain as a fraction of the current uncovered count;
+  /// 0 means "take anything that helps" (always feasible).
+  double min_gain_fraction = 0.0;
+};
+
+/// Single-pass greedy.
+class OnePassSetCover : public StreamingSetCoverAlgorithm {
+ public:
+  explicit OnePassSetCover(OnePassConfig config = {});
+
+  std::string name() const override;
+
+  SetCoverRunResult Run(SetStream& stream) override;
+
+ private:
+  OnePassConfig config_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_CORE_ONE_PASS_SET_COVER_H_

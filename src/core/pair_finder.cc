@@ -1,0 +1,120 @@
+#include "core/pair_finder.h"
+
+#include <cassert>
+#include <vector>
+
+#include "util/space_meter.h"
+
+namespace streamsc {
+
+ExactPairFinder::ExactPairFinder(PairFinderConfig config) : config_(config) {
+  assert(config_.passes >= 1);
+}
+
+std::string ExactPairFinder::name() const {
+  return "exact-pair-finder(p=" + std::to_string(config_.passes) + ")";
+}
+
+PairFinderResult ExactPairFinder::Run(SetStream& stream) const {
+  const std::size_t n = stream.universe_size();
+  const std::size_t m = stream.num_sets();
+  const std::size_t p = std::min(config_.passes, std::max<std::size_t>(n, 1));
+  const std::uint64_t passes_before = stream.passes();
+
+  PairFinderResult result;
+  SpaceMeter meter;
+
+  // Candidate pairs (i <= j) surviving all chunks seen so far. Seeded from
+  // the first chunk instead of materializing all m² pairs.
+  std::vector<std::pair<SetId, SetId>> candidates;
+  bool seeded = false;
+  bool aborted = false;
+
+  for (std::size_t chunk = 0; chunk < p && !aborted; ++chunk) {
+    // Contiguous chunk [lo, hi) of the universe.
+    const std::size_t lo = chunk * n / p;
+    const std::size_t hi = (chunk + 1) * n / p;
+    const std::size_t width = hi - lo;
+    if (width == 0) continue;
+
+    // One pass: store all projections onto this chunk (m·n/p bits).
+    std::vector<DynamicBitset> proj(m, DynamicBitset(width));
+    std::vector<SetId> ids(m, kInvalidSetId);
+    StreamItem item;
+    std::size_t pos = 0;
+    stream.BeginPass();
+    while (stream.Next(&item)) {
+      DynamicBitset slice(width);
+      for (std::size_t e = lo; e < hi; ++e) {
+        if (item.set->Test(e)) slice.Set(e - lo);
+      }
+      meter.Charge(slice.ByteSize() + sizeof(SetId), "projections");
+      proj[pos] = std::move(slice);
+      ids[pos] = item.id;
+      ++pos;
+    }
+
+    auto pair_covers_chunk = [&](std::size_t i, std::size_t j) {
+      DynamicBitset u = proj[i];
+      u |= proj[j];
+      return u.All();
+    };
+
+    if (!seeded) {
+      for (std::size_t i = 0; i < m && !aborted; ++i) {
+        for (std::size_t j = i; j < m; ++j) {
+          if (pair_covers_chunk(i, j)) {
+            candidates.emplace_back(static_cast<SetId>(i),
+                                    static_cast<SetId>(j));
+            if (candidates.size() > config_.max_candidates) {
+              aborted = true;
+              break;
+            }
+          }
+        }
+      }
+      seeded = true;
+      result.candidates_after_first_pass = candidates.size();
+    } else {
+      std::vector<std::pair<SetId, SetId>> survivors;
+      survivors.reserve(candidates.size());
+      for (const auto& [i, j] : candidates) {
+        if (pair_covers_chunk(i, j)) survivors.emplace_back(i, j);
+      }
+      candidates = std::move(survivors);
+    }
+    meter.SetCategory(candidates.size() * sizeof(std::pair<SetId, SetId>),
+                      "candidates");
+
+    // Projections are discarded between passes — that is the point of the
+    // n/p chunking.
+    meter.Release(meter.CategoryCurrent("projections"), "projections");
+
+    if (!aborted && !candidates.empty()) {
+      // Prefer a singleton candidate (i, i) — a 1-set cover beats a pair.
+      // NOTE: candidates store stream *positions*; ids[] maps position ->
+      // SetId for the most recent pass. For kRandomEachPass streams the
+      // mapping is not stable; Run() requires a pass-stable order.
+      std::pair<SetId, SetId> pick = candidates.front();
+      for (const auto& cand : candidates) {
+        if (cand.first == cand.second) {
+          pick = cand;
+          break;
+        }
+      }
+      result.solution.chosen = {ids[pick.first], ids[pick.second]};
+    }
+  }
+
+  result.found = !aborted && !candidates.empty();
+  if (!result.found) result.solution.chosen.clear();
+  if (result.found && result.solution.chosen.size() == 2 &&
+      result.solution.chosen[0] == result.solution.chosen[1]) {
+    result.solution.chosen.pop_back();  // single-set cover
+  }
+  result.passes = stream.passes() - passes_before;
+  result.peak_space_bytes = meter.peak();
+  return result;
+}
+
+}  // namespace streamsc

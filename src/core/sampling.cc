@@ -1,0 +1,34 @@
+#include "core/sampling.h"
+
+namespace streamsc {
+
+SubUniverse::SubUniverse(const DynamicBitset& sampled)
+    : full_size_(sampled.size()), full_to_sample_plus1_(sampled.size(), 0) {
+  sample_to_full_.reserve(static_cast<std::size_t>(sampled.CountSet()));
+  sampled.ForEach([&](ElementId e) {
+    full_to_sample_plus1_[e] =
+        static_cast<std::uint32_t>(sample_to_full_.size() + 1);
+    sample_to_full_.push_back(e);
+  });
+}
+
+DynamicBitset SubUniverse::Project(const DynamicBitset& full_set) const {
+  DynamicBitset out(sample_to_full_.size());
+  for (std::size_t i = 0; i < sample_to_full_.size(); ++i) {
+    if (full_set.Test(sample_to_full_[i])) out.Set(i);
+  }
+  return out;
+}
+
+DynamicBitset SubUniverse::Lift(const DynamicBitset& sample_set) const {
+  DynamicBitset out(full_size_);
+  sample_set.ForEach([&](ElementId i) { out.Set(sample_to_full_[i]); });
+  return out;
+}
+
+DynamicBitset SampleElements(const DynamicBitset& universe, double rate,
+                             Rng& rng) {
+  return rng.BernoulliSubsample(universe, rate);
+}
+
+}  // namespace streamsc

@@ -1,0 +1,54 @@
+#ifndef STREAMSC_CORE_SAMPLING_H_
+#define STREAMSC_CORE_SAMPLING_H_
+
+#include <vector>
+
+#include "instance/set_system.h"
+#include "util/bitset.h"
+#include "util/random.h"
+
+/// \file sampling.h
+/// Element-sampling machinery (Lemma 3.12 of the paper): a sampled
+/// sub-universe with compact re-indexing, so stored projections use bits
+/// proportional to the *sample* size rather than n.
+
+namespace streamsc {
+
+/// A sampled subset of the universe with a dense re-indexing
+/// {sampled elements} -> [0, sample_size).
+class SubUniverse {
+ public:
+  /// Builds the sub-universe consisting of the members of \p sampled
+  /// (a bitset over the full universe [n]).
+  explicit SubUniverse(const DynamicBitset& sampled);
+
+  /// Number of sampled elements.
+  std::size_t size() const { return sample_to_full_.size(); }
+
+  /// Full-universe size this sample came from.
+  std::size_t full_size() const { return full_size_; }
+
+  /// Projects a full-universe set onto the sample (dense indexing).
+  DynamicBitset Project(const DynamicBitset& full_set) const;
+
+  /// Lifts a sample-indexed set back to full-universe indexing.
+  DynamicBitset Lift(const DynamicBitset& sample_set) const;
+
+  /// Full-universe id of sampled element \p i.
+  ElementId ToFull(std::size_t i) const { return sample_to_full_[i]; }
+
+ private:
+  std::size_t full_size_;
+  std::vector<ElementId> sample_to_full_;
+  // full id -> sample id + 1; 0 means "not sampled".
+  std::vector<std::uint32_t> full_to_sample_plus1_;
+};
+
+/// Builds the Lemma 3.12 sample of \p universe: each element kept
+/// independently with probability \p rate.
+DynamicBitset SampleElements(const DynamicBitset& universe, double rate,
+                             Rng& rng);
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_CORE_SAMPLING_H_

@@ -1,0 +1,60 @@
+#include "core/threshold_greedy.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/space_meter.h"
+#include "util/stopwatch.h"
+
+namespace streamsc {
+
+ThresholdGreedySetCover::ThresholdGreedySetCover(ThresholdGreedyConfig config)
+    : config_(config) {
+  assert(config_.beta > 1.0);
+}
+
+std::string ThresholdGreedySetCover::name() const {
+  return "threshold-greedy(beta=" + std::to_string(config_.beta) + ")";
+}
+
+SetCoverRunResult ThresholdGreedySetCover::Run(SetStream& stream) {
+  Stopwatch timer;
+  const std::size_t n = stream.universe_size();
+  const std::uint64_t passes_before = stream.passes();
+
+  SetCoverRunResult result;
+  SpaceMeter meter;
+  DynamicBitset uncovered = DynamicBitset::Full(n);
+  meter.Charge(uncovered.ByteSize(), "uncovered");
+  Solution solution;
+  StreamItem item;
+
+  // Thresholds n, n/β, n/β², ..., ending with a final pass at exactly 1 —
+  // one pass each. A set is taken the moment its marginal gain meets the
+  // current threshold, which emulates offline greedy within a factor β.
+  double threshold = static_cast<double>(n);
+  while (!uncovered.None()) {
+    const double effective = std::max(threshold, 1.0);
+    stream.BeginPass();
+    while (stream.Next(&item)) {
+      const Count gain = item.set->CountAnd(uncovered);
+      if (gain > 0 && static_cast<double>(gain) >= effective) {
+        solution.chosen.push_back(item.id);
+        meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+        uncovered.AndNot(*item.set);
+      }
+    }
+    if (threshold <= 1.0) break;
+    threshold /= config_.beta;
+  }
+
+  result.solution = std::move(solution);
+  result.feasible = uncovered.None();
+  result.stats.passes = stream.passes() - passes_before;
+  result.stats.peak_space_bytes = meter.peak();
+  result.stats.items_seen = result.stats.passes * stream.num_sets();
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace streamsc

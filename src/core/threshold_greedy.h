@@ -1,0 +1,41 @@
+#ifndef STREAMSC_CORE_THRESHOLD_GREEDY_H_
+#define STREAMSC_CORE_THRESHOLD_GREEDY_H_
+
+#include <string>
+
+#include "stream/stream_algorithm.h"
+
+/// \file threshold_greedy.h
+/// Baseline: multi-pass threshold greedy set cover (Cormode-Karloff-Wirth,
+/// CIKM 2010 style) — the classic O(log n)-approximation regime the paper
+/// contrasts against ([9, 45]): geometrically decreasing thresholds, one
+/// pass per threshold, taking any set that covers at least the threshold
+/// many uncovered elements. Space is Õ(n) (the uncovered bitset plus the
+/// solution ids) — *independent of m* — at the price of a log n
+/// approximation factor and ~log_β(n) passes.
+
+namespace streamsc {
+
+/// Configuration of the threshold-greedy baseline.
+struct ThresholdGreedyConfig {
+  /// Threshold shrink factor per pass (β > 1). β = 2 gives a
+  /// 2·H_n-style guarantee in ~log2(n) passes.
+  double beta = 2.0;
+};
+
+/// Multi-pass threshold greedy.
+class ThresholdGreedySetCover : public StreamingSetCoverAlgorithm {
+ public:
+  explicit ThresholdGreedySetCover(ThresholdGreedyConfig config = {});
+
+  std::string name() const override;
+
+  SetCoverRunResult Run(SetStream& stream) override;
+
+ private:
+  ThresholdGreedyConfig config_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_CORE_THRESHOLD_GREEDY_H_

@@ -1,0 +1,80 @@
+#include "info/entropy.h"
+
+#include <cmath>
+
+namespace streamsc {
+namespace {
+
+double Log2(double x) { return std::log2(x); }
+
+// Packs a pair of 64-bit values into a joint key with negligible collision
+// probability for the supports we use.
+std::uint64_t PairKey(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t h = a * 0x9e3779b97f4a7c15ull;
+  h ^= b + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+double EntropyFromCounts(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  for (const auto& [value, count] : counts) total += count;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [value, count] : counts) {
+    if (count == 0) continue;
+    const double p =
+        static_cast<double>(count) / static_cast<double>(total);
+    h -= p * Log2(p);
+  }
+  return h;
+}
+
+double EstimateEntropy(const std::vector<std::uint64_t>& xs) {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  for (std::uint64_t x : xs) ++counts[x];
+  return EntropyFromCounts(counts);
+}
+
+double EstimateMutualInformation(const std::vector<std::uint64_t>& xs,
+                                 const std::vector<std::uint64_t>& ys) {
+  std::unordered_map<std::uint64_t, std::uint64_t> cx, cy, cxy;
+  const std::size_t count = std::min(xs.size(), ys.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    ++cx[xs[i]];
+    ++cy[ys[i]];
+    ++cxy[PairKey(xs[i], ys[i])];
+  }
+  // I(X : Y) = H(X) + H(Y) - H(X, Y); clamp tiny negatives from rounding.
+  const double mi =
+      EntropyFromCounts(cx) + EntropyFromCounts(cy) - EntropyFromCounts(cxy);
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+double EstimateConditionalMutualInformation(
+    const std::vector<Triple>& samples) {
+  // Group by z, then average the per-group mutual information.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    groups[samples[i].z].push_back(i);
+  }
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& [z, indices] : groups) {
+    std::vector<std::uint64_t> xs, ys;
+    xs.reserve(indices.size());
+    ys.reserve(indices.size());
+    for (std::size_t i : indices) {
+      xs.push_back(samples[i].x);
+      ys.push_back(samples[i].y);
+    }
+    const double weight = static_cast<double>(indices.size()) /
+                          static_cast<double>(samples.size());
+    total += weight * EstimateMutualInformation(xs, ys);
+  }
+  return total;
+}
+
+}  // namespace streamsc

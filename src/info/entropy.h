@@ -1,0 +1,44 @@
+#ifndef STREAMSC_INFO_ENTROPY_H_
+#define STREAMSC_INFO_ENTROPY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+/// \file entropy.h
+/// Plug-in (empirical) Shannon entropy and mutual information estimators
+/// over discrete samples, mirroring the information-theory toolkit of the
+/// paper's Appendix A. Random variables are represented by 64-bit values
+/// (hashes of sets / transcript digests). Estimates are in bits.
+///
+/// Plug-in estimators are biased for small samples; the info-cost bench
+/// reports sample counts alongside estimates and sticks to tiny supports
+/// (t <= 8) where the bias is negligible at 10^4+ samples.
+
+namespace streamsc {
+
+/// One observation of (X, Y, Z).
+struct Triple {
+  std::uint64_t x;
+  std::uint64_t y;
+  std::uint64_t z;
+};
+
+/// H(X) from a histogram of value -> count.
+double EntropyFromCounts(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& counts);
+
+/// Empirical H(X) of a sample.
+double EstimateEntropy(const std::vector<std::uint64_t>& xs);
+
+/// Empirical I(X : Y) of paired samples (xs[i], ys[i]).
+double EstimateMutualInformation(const std::vector<std::uint64_t>& xs,
+                                 const std::vector<std::uint64_t>& ys);
+
+/// Empirical conditional mutual information I(X : Y | Z) over triples:
+/// sum over z of p(z) · I(X : Y | Z = z).
+double EstimateConditionalMutualInformation(const std::vector<Triple>& samples);
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_INFO_ENTROPY_H_

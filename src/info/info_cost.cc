@@ -1,0 +1,82 @@
+#include "info/info_cost.h"
+
+#include <vector>
+
+#include "info/entropy.h"
+
+namespace streamsc {
+namespace {
+
+InfoCostEstimate EstimateFromTriples(std::vector<Triple>& pi_a_b) {
+  // pi_a_b: x = Π, y = A, z = B  ->  I(Π : A | B).
+  InfoCostEstimate out;
+  out.samples = pi_a_b.size();
+  out.i_pi_x_given_y = EstimateConditionalMutualInformation(pi_a_b);
+  // Swap roles for I(Π : B | A).
+  for (Triple& tr : pi_a_b) std::swap(tr.y, tr.z);
+  out.i_pi_y_given_x = EstimateConditionalMutualInformation(pi_a_b);
+  out.icost = out.i_pi_x_given_y + out.i_pi_y_given_x;
+  return out;
+}
+
+}  // namespace
+
+InfoCostEstimate EstimateDisjInfoCost(DisjProtocol& protocol,
+                                      const DisjDistribution& distribution,
+                                      DisjConditioning conditioning,
+                                      std::size_t samples, Rng& rng) {
+  std::vector<Triple> triples;
+  triples.reserve(samples);
+  const std::uint64_t public_seed = rng.Next();
+  for (std::size_t i = 0; i < samples; ++i) {
+    DisjInstance instance;
+    switch (conditioning) {
+      case DisjConditioning::kMixed:
+        instance = distribution.Sample(rng);
+        break;
+      case DisjConditioning::kYesOnly:
+        instance = distribution.SampleYes(rng);
+        break;
+      case DisjConditioning::kNoOnly:
+        instance = distribution.SampleNo(rng);
+        break;
+    }
+    Transcript transcript;
+    Rng shared(public_seed);  // fixed public randomness across executions
+    protocol.Run(instance, shared, &transcript);
+    triples.push_back(
+        Triple{transcript.Digest(), instance.a.Hash(), instance.b.Hash()});
+  }
+  return EstimateFromTriples(triples);
+}
+
+InfoCostEstimate EstimateGhdInfoCost(GhdProtocol& protocol,
+                                     const GhdDistribution& distribution,
+                                     GhdConditioning conditioning,
+                                     std::size_t samples, Rng& rng) {
+  std::vector<Triple> triples;
+  triples.reserve(samples);
+  const std::uint64_t public_seed = rng.Next();
+  for (std::size_t i = 0; i < samples; ++i) {
+    GhdInstance instance;
+    switch (conditioning) {
+      case GhdConditioning::kMixed:
+        instance = distribution.Sample(rng);
+        break;
+      case GhdConditioning::kYesOnly:
+        instance = distribution.SampleYes(rng);
+        break;
+      case GhdConditioning::kNoOnly:
+        instance = distribution.SampleNo(rng);
+        break;
+    }
+    Transcript transcript;
+    Rng shared(public_seed);
+    protocol.Run(instance, shared, &transcript);
+    triples.push_back(
+        Triple{transcript.Digest(), instance.a.Hash(), instance.b.Hash()});
+  }
+  return EstimateFromTriples(triples);
+}
+
+}  // namespace streamsc

@@ -1,0 +1,54 @@
+#ifndef STREAMSC_INFO_INFO_COST_H_
+#define STREAMSC_INFO_INFO_COST_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "comm/protocol.h"
+#include "instance/disj_distribution.h"
+#include "instance/ghd_distribution.h"
+#include "util/random.h"
+
+/// \file info_cost.h
+/// Monte-Carlo estimation of the *internal information cost* of a protocol
+/// (Definition 2 of the paper):
+///   ICost_D(π) = I(Π : X | Y) + I(Π : Y | X),
+/// where Π is the transcript (digest), X = Alice's input, Y = Bob's input,
+/// all estimated empirically over samples from D. Restricted to tiny
+/// universes (t <= ~8) where plug-in estimation converges; this is the
+/// engine behind the E10 bench that exhibits the Yes/No information-cost
+/// relationship used via the information-odometer argument (Lemma 3.5).
+
+namespace streamsc {
+
+/// The two conditional-information terms and their sum, in bits.
+struct InfoCostEstimate {
+  double i_pi_x_given_y = 0.0;  ///< I(Π : A | B).
+  double i_pi_y_given_x = 0.0;  ///< I(Π : B | A).
+  double icost = 0.0;           ///< Their sum.
+  std::size_t samples = 0;
+};
+
+/// Which conditional of the hard distribution to sample.
+enum class DisjConditioning { kMixed, kYesOnly, kNoOnly };
+
+/// Estimates ICost of \p protocol on D_Disj (or its conditionals) with
+/// \p samples Monte-Carlo executions. Public randomness is *fixed* across
+/// executions (a single shared seed), matching the convention that Π
+/// includes the public random string R (Claim 2.3: conditioning on R).
+InfoCostEstimate EstimateDisjInfoCost(DisjProtocol& protocol,
+                                      const DisjDistribution& distribution,
+                                      DisjConditioning conditioning,
+                                      std::size_t samples, Rng& rng);
+
+/// Same for GHD distributions.
+enum class GhdConditioning { kMixed, kYesOnly, kNoOnly };
+
+InfoCostEstimate EstimateGhdInfoCost(GhdProtocol& protocol,
+                                     const GhdDistribution& distribution,
+                                     GhdConditioning conditioning,
+                                     std::size_t samples, Rng& rng);
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_INFO_INFO_COST_H_

@@ -1,0 +1,134 @@
+#include "info/odometer.h"
+
+#include <algorithm>
+
+#include "info/entropy.h"
+
+namespace streamsc {
+namespace {
+
+// Digest of the first `prefix` messages, mirroring Transcript::Digest()'s
+// running-hash structure so prefixes of the same run chain consistently.
+std::uint64_t PrefixDigest(const Transcript& transcript, std::size_t prefix) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto& messages = transcript.messages();
+  const std::size_t limit = std::min(prefix, messages.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Message& msg = messages[i];
+    h ^= msg.token + (msg.sender == Player::kAlice ? 0x9e37ull : 0x79b9ull);
+    h *= 0x100000001b3ull;
+    h ^= msg.bits;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+DisjInstance SampleConditioned(const DisjDistribution& distribution,
+                               OdometerConditioning conditioning, Rng& rng) {
+  switch (conditioning) {
+    case OdometerConditioning::kYesOnly:
+      return distribution.SampleYes(rng);
+    case OdometerConditioning::kNoOnly:
+      return distribution.SampleNo(rng);
+    case OdometerConditioning::kMixed:
+      break;
+  }
+  return distribution.Sample(rng);
+}
+
+}  // namespace
+
+OdometerProfile EstimatePrefixInformation(
+    DisjProtocol& protocol, const DisjDistribution& distribution,
+    OdometerConditioning conditioning, std::size_t samples, Rng& rng) {
+  // One execution per sample; remember the full transcript plus inputs.
+  struct Run {
+    Transcript transcript;
+    std::uint64_t a_hash;
+    std::uint64_t b_hash;
+  };
+  std::vector<Run> runs;
+  runs.reserve(samples);
+  std::size_t max_messages = 0;
+  const std::uint64_t public_seed = rng.Next();
+  for (std::size_t i = 0; i < samples; ++i) {
+    const DisjInstance instance =
+        SampleConditioned(distribution, conditioning, rng);
+    Run run;
+    Rng shared(public_seed);  // fixed public randomness, as in info_cost
+    protocol.Run(instance, shared, &run.transcript);
+    run.a_hash = instance.a.Hash();
+    run.b_hash = instance.b.Hash();
+    max_messages = std::max(max_messages, run.transcript.NumMessages());
+    runs.push_back(std::move(run));
+  }
+
+  OdometerProfile profile;
+  profile.samples = samples;
+  profile.cumulative_bits.reserve(max_messages);
+  std::vector<Triple> triples(runs.size());
+  for (std::size_t prefix = 1; prefix <= max_messages; ++prefix) {
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      triples[i] = Triple{PrefixDigest(runs[i].transcript, prefix),
+                          runs[i].a_hash, runs[i].b_hash};
+    }
+    double info = EstimateConditionalMutualInformation(triples);
+    for (Triple& tr : triples) std::swap(tr.y, tr.z);
+    info += EstimateConditionalMutualInformation(triples);
+    // Undo the swap for the next prefix round.
+    for (Triple& tr : triples) std::swap(tr.y, tr.z);
+    profile.cumulative_bits.push_back(info);
+  }
+  return profile;
+}
+
+BudgetedOdometerProtocol::BudgetedOdometerProtocol(DisjProtocol* inner,
+                                                   OdometerProfile profile,
+                                                   double budget_bits)
+    : inner_(inner), profile_(std::move(profile)), budget_bits_(budget_bits) {}
+
+std::string BudgetedOdometerProtocol::name() const {
+  return "odometer[" + inner_->name() + "]";
+}
+
+bool BudgetedOdometerProtocol::Run(const DisjInstance& instance,
+                                   Rng& shared_rng, Transcript* transcript) {
+  // Run the inner protocol to completion on a scratch transcript, then
+  // replay only the prefix the odometer budget admits. (The real
+  // construction interleaves; for accounting purposes the replay is
+  // equivalent because the inner protocol's messages don't depend on the
+  // odometer.)
+  Transcript full;
+  const bool inner_answer = inner_->Run(instance, shared_rng, &full);
+
+  std::size_t admitted = full.NumMessages();
+  for (std::size_t j = 0; j < profile_.cumulative_bits.size() &&
+                          j < full.NumMessages();
+       ++j) {
+    if (profile_.cumulative_bits[j] > budget_bits_) {
+      admitted = j;  // truncate before the offending message
+      break;
+    }
+  }
+
+  for (std::size_t i = 0; i < admitted; ++i) {
+    const Message& msg = full.messages()[i];
+    transcript->Append(msg.sender, msg.bits, msg.token);
+  }
+
+  if (admitted < full.NumMessages()) {
+    ++truncations_;
+    // The paper's sketch (Section 3.2, discussion before Lemma 3.6):
+    // "whenever the odometer estimates the information cost to be larger
+    // than c·τ, the players terminate the protocol and declare that the
+    // answer is No". We follow that fixed-answer-on-truncation rule; the
+    // demonstrative point (bench E10) is that with the budget set near
+    // the D^N information cost, truncation is rare and the wrapped
+    // protocol keeps both its accuracy and an O(τ) information cost.
+    transcript->Append(Player::kBob, 1, 0);
+    return false;
+  }
+  return inner_answer;
+}
+
+}  // namespace streamsc

@@ -1,0 +1,75 @@
+#include "instance/cover_free.h"
+
+#include <cassert>
+
+namespace streamsc {
+namespace {
+
+// Recursively extends `chosen` with sets from `from` onward until either
+// `target` is covered (violation) or depth r is exhausted.
+bool SearchCoverers(const SetSystem& system, SetId target,
+                    const DynamicBitset& remaining, std::size_t budget,
+                    SetId from, std::vector<SetId>& chosen) {
+  if (remaining.None()) return true;
+  if (budget == 0) return false;
+  for (SetId j = from; j < system.num_sets(); ++j) {
+    if (j == target) continue;
+    if (!system.set(j).Intersects(remaining)) continue;
+    chosen.push_back(j);
+    DynamicBitset next = remaining;
+    next.AndNot(system.set(j));
+    if (SearchCoverers(system, target, next, budget - 1, j + 1, chosen)) {
+      return true;
+    }
+    chosen.pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<CoveringViolation> FindCoveringViolationExhaustive(
+    const SetSystem& system, std::size_t r) {
+  for (SetId target = 0; target < system.num_sets(); ++target) {
+    std::vector<SetId> chosen;
+    if (SearchCoverers(system, target, system.set(target), r, 0, chosen)) {
+      return CoveringViolation{target, std::move(chosen)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CoveringViolation> FindCoveringViolationRandom(
+    const SetSystem& system, std::size_t r, std::size_t trials, Rng& rng) {
+  const std::size_t m = system.num_sets();
+  if (m < 2) return std::nullopt;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const SetId target = static_cast<SetId>(rng.UniformInt(m));
+    DynamicBitset remaining = system.set(target);
+    std::vector<SetId> chosen;
+    for (std::size_t pick = 0; pick < r && !remaining.None(); ++pick) {
+      // Greedy random probe: pick a random set, keep it if it helps.
+      const SetId j = static_cast<SetId>(rng.UniformInt(m));
+      if (j == target) continue;
+      if (!system.set(j).Intersects(remaining)) continue;
+      remaining.AndNot(system.set(j));
+      chosen.push_back(j);
+    }
+    if (remaining.None() && !chosen.empty()) {
+      return CoveringViolation{target, std::move(chosen)};
+    }
+  }
+  return std::nullopt;
+}
+
+SetSystem RandomCoverFreeCandidate(std::size_t n, std::size_t m,
+                                   std::size_t s, Rng& rng) {
+  assert(s <= n);
+  SetSystem system(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    system.AddSet(rng.RandomSubsetOfSize(n, s));
+  }
+  return system;
+}
+
+}  // namespace streamsc

@@ -1,0 +1,48 @@
+#ifndef STREAMSC_INSTANCE_COVER_FREE_H_
+#define STREAMSC_INSTANCE_COVER_FREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "instance/set_system.h"
+#include "util/random.h"
+
+/// \file cover_free.h
+/// r-covering / cover-free family utilities.
+///
+/// The paper (Section 1.2, footnote 2) notes that essentially all streaming
+/// set cover lower bounds rest on a variant of the r-covering property of
+/// Lund-Yannakakis: no small collection of sets in the family covers
+/// another member entirely. These helpers let tests and benches certify
+/// that property on sampled families (exhaustively for small r, by random
+/// search otherwise).
+
+namespace streamsc {
+
+/// A witness that the r-covering property fails: sets `coverers` (|.| <= r)
+/// jointly cover set `covered`.
+struct CoveringViolation {
+  SetId covered = kInvalidSetId;
+  std::vector<SetId> coverers;
+};
+
+/// Exhaustively searches for a violation with at most \p r coverers.
+/// Cost: O(m^{r+1}) unions — intended for small m and r <= 3.
+std::optional<CoveringViolation> FindCoveringViolationExhaustive(
+    const SetSystem& system, std::size_t r);
+
+/// Randomized search: \p trials random (target, r coverers) probes.
+/// Returns the first violation found, if any. One-sided: finding nothing
+/// is evidence, not proof.
+std::optional<CoveringViolation> FindCoveringViolationRandom(
+    const SetSystem& system, std::size_t r, std::size_t trials, Rng& rng);
+
+/// Generates a random family of m s-subsets of [n]; by the probabilistic
+/// method such families are r-cover-free w.h.p. for suitable (n, m, s, r).
+SetSystem RandomCoverFreeCandidate(std::size_t n, std::size_t m,
+                                   std::size_t s, Rng& rng);
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_INSTANCE_COVER_FREE_H_

@@ -1,0 +1,46 @@
+#include "instance/disj_distribution.h"
+
+#include <cassert>
+
+namespace streamsc {
+
+DisjDistribution::DisjDistribution(std::size_t t) : t_(t) { assert(t >= 1); }
+
+DisjInstance DisjDistribution::SampleBase(Rng& rng) const {
+  DisjInstance inst{DynamicBitset(t_), DynamicBitset(t_)};
+  for (std::size_t e = 0; e < t_; ++e) {
+    switch (rng.UniformInt(3)) {
+      case 0:
+        break;  // dropped from both
+      case 1:
+        inst.b.Set(e);  // dropped from A only
+        break;
+      default:
+        inst.a.Set(e);  // dropped from B only
+        break;
+    }
+  }
+  return inst;
+}
+
+DisjInstance DisjDistribution::Sample(Rng& rng, int* z_out) const {
+  const int z = rng.Bernoulli(0.5) ? 1 : 0;
+  if (z_out != nullptr) *z_out = z;
+  return z == 0 ? SampleYes(rng) : SampleNo(rng);
+}
+
+DisjInstance DisjDistribution::SampleYes(Rng& rng) const {
+  return SampleBase(rng);
+}
+
+DisjInstance DisjDistribution::SampleNo(Rng& rng,
+                                        ElementId* e_star_out) const {
+  DisjInstance inst = SampleBase(rng);
+  const ElementId e_star = static_cast<ElementId>(rng.UniformInt(t_));
+  inst.a.Set(e_star);
+  inst.b.Set(e_star);
+  if (e_star_out != nullptr) *e_star_out = e_star;
+  return inst;
+}
+
+}  // namespace streamsc

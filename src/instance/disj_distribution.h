@@ -1,0 +1,58 @@
+#ifndef STREAMSC_INSTANCE_DISJ_DISTRIBUTION_H_
+#define STREAMSC_INSTANCE_DISJ_DISTRIBUTION_H_
+
+#include "util/bitset.h"
+#include "util/random.h"
+
+/// \file disj_distribution.h
+/// The set-disjointness problem Disj_t and its hard input distribution
+/// D_Disj (paper, Section 2.2).
+///
+/// In Disj_t, Alice holds A ⊆ [t], Bob holds B ⊆ [t]; the answer is Yes iff
+/// A ∩ B = ∅. The hard distribution:
+///   * start with A = B = [t];
+///   * per element e, w.p. 1/3 each: drop e from both / from A / from B
+///     (so after this phase A ∩ B = ∅ always);
+///   * flip Z ∈ {0,1}; if Z = 1, pick e* ∈R [t] and add it to both sets.
+/// D^Y := (D | Z = 0) is supported on disjoint (Yes) instances;
+/// D^N := (D | Z = 1) has |A ∩ B| = 1 (No instances).
+
+namespace streamsc {
+
+/// One Disj_t input with its ground truth.
+struct DisjInstance {
+  DynamicBitset a;  ///< Alice's set, over universe [t].
+  DynamicBitset b;  ///< Bob's set, over universe [t].
+
+  /// Ground truth: Yes iff a ∩ b = ∅.
+  bool IsDisjoint() const { return !a.Intersects(b); }
+};
+
+/// Sampler for D_Disj and its Yes/No conditionals.
+class DisjDistribution {
+ public:
+  /// Distribution over instances of Disj_t. Precondition: t >= 1.
+  explicit DisjDistribution(std::size_t t);
+
+  std::size_t t() const { return t_; }
+
+  /// Samples from D_Disj (fair coin on Z). Sets \p z_out (when non-null)
+  /// to the latent bit Z (1 means intersecting / No instance).
+  DisjInstance Sample(Rng& rng, int* z_out = nullptr) const;
+
+  /// Samples from D^Y (disjoint instances, Z = 0).
+  DisjInstance SampleYes(Rng& rng) const;
+
+  /// Samples from D^N (uniquely-intersecting instances, Z = 1). When
+  /// \p e_star_out is non-null, receives the planted common element.
+  DisjInstance SampleNo(Rng& rng, ElementId* e_star_out = nullptr) const;
+
+ private:
+  DisjInstance SampleBase(Rng& rng) const;
+
+  std::size_t t_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_INSTANCE_DISJ_DISTRIBUTION_H_

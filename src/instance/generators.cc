@@ -1,0 +1,137 @@
+#include "instance/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace streamsc {
+namespace {
+
+// Appends one set covering everything the system currently misses, if any.
+void PatchToFeasible(SetSystem& system) {
+  DynamicBitset missing = system.UnionAll();
+  missing.Complement();
+  if (!missing.None()) {
+    system.AddSet(std::move(missing));
+  }
+}
+
+}  // namespace
+
+SetSystem UniformRandomInstance(std::size_t n, std::size_t m,
+                                std::size_t set_size, Rng& rng) {
+  assert(set_size <= n);
+  SetSystem system(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    system.AddSet(rng.RandomSubsetOfSize(n, set_size));
+  }
+  PatchToFeasible(system);
+  return system;
+}
+
+SetSystem PlantedCoverInstance(std::size_t n, std::size_t m,
+                               std::size_t cover_size, Rng& rng,
+                               std::vector<SetId>* planted_out) {
+  assert(cover_size >= 1 && cover_size <= n && m >= cover_size);
+  SetSystem system(n);
+
+  // Random partition of [n] into cover_size blocks (sizes differ by <= 1).
+  const std::vector<std::uint32_t> perm = rng.RandomPermutation(n);
+  std::vector<DynamicBitset> blocks(cover_size, DynamicBitset(n));
+  // The first element of each block is that block's "private" element: no
+  // decoy may contain it, which keeps the planted cover optimal.
+  std::vector<ElementId> private_elements(cover_size);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t b = i % cover_size;
+    blocks[b].Set(perm[i]);
+    if (i < cover_size) private_elements[b] = perm[i];
+  }
+  DynamicBitset privates(n);
+  for (ElementId e : private_elements) privates.Set(e);
+
+  std::vector<SetId> planted;
+  planted.reserve(cover_size);
+  for (auto& block : blocks) planted.push_back(system.AddSet(std::move(block)));
+
+  // Decoys: random subsets that avoid all private elements.
+  const std::size_t decoy_size = std::max<std::size_t>(1, n / cover_size);
+  for (std::size_t i = cover_size; i < m; ++i) {
+    DynamicBitset decoy =
+        rng.RandomSubsetOfSize(n, std::min(decoy_size, n - cover_size));
+    decoy.AndNot(privates);
+    system.AddSet(std::move(decoy));
+  }
+  if (planted_out != nullptr) *planted_out = std::move(planted);
+  return system;
+}
+
+SetSystem ZipfInstance(std::size_t n, std::size_t m, double zipf_exponent,
+                       std::size_t max_size, Rng& rng) {
+  assert(max_size >= 1 && max_size <= n);
+  SetSystem system(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    // Size of the i-th set follows rank^-exponent scaling.
+    const double scale =
+        std::pow(static_cast<double>(i + 1), -zipf_exponent);
+    const std::size_t size = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(scale * max_size)));
+    system.AddSet(rng.RandomSubsetOfSize(n, size));
+  }
+  PatchToFeasible(system);
+  return system;
+}
+
+SetSystem BlogTopicInstance(std::size_t n, std::size_t m, double hub_fraction,
+                            Rng& rng) {
+  assert(hub_fraction >= 0.0 && hub_fraction <= 1.0);
+  SetSystem system(n);
+  const std::size_t num_hubs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(hub_fraction * static_cast<double>(m)));
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i < num_hubs) {
+      // Hubs cover a large random slice of topics.
+      const std::size_t size =
+          std::max<std::size_t>(n / 4, 1 + rng.UniformInt(std::max<std::uint64_t>(1, n / 2)));
+      system.AddSet(rng.RandomSubsetOfSize(n, std::min(size, n)));
+    } else {
+      // Niche blogs cover a geometric number of topics; topic choice is
+      // popularity-biased (low-index topics are popular).
+      std::size_t size = 1;
+      while (size < n / 8 && rng.Bernoulli(0.6)) ++size;
+      DynamicBitset set(n);
+      for (std::size_t j = 0; j < size; ++j) {
+        // Bias toward popular topics: square a uniform variate.
+        const double u = rng.UniformDouble();
+        set.Set(static_cast<ElementId>(u * u * static_cast<double>(n)));
+      }
+      system.AddSet(std::move(set));
+    }
+  }
+  PatchToFeasible(system);
+  return system;
+}
+
+SetSystem NeedleInstance(std::size_t n, std::size_t m, std::size_t k,
+                         Rng& rng) {
+  assert(k >= 1 && k <= n && m >= k);
+  SetSystem system(n);
+  // Needles: a partition of [n] into k blocks.
+  const std::vector<std::uint32_t> perm = rng.RandomPermutation(n);
+  std::vector<DynamicBitset> needles(k, DynamicBitset(n));
+  for (std::size_t i = 0; i < n; ++i) needles[i % k].Set(perm[i]);
+  for (auto& needle : needles) system.AddSet(std::move(needle));
+  // Private elements: one per needle (perm[0..k-1] land in distinct
+  // blocks). No haystack set may contain them, so every feasible cover
+  // includes all k needles and opt == k exactly.
+  DynamicBitset privates(n);
+  for (std::size_t i = 0; i < k; ++i) privates.Set(perm[i]);
+  // Haystack: individually huge sets that all miss the private sliver.
+  for (std::size_t i = k; i < m; ++i) {
+    DynamicBitset dup = rng.BernoulliSubset(n, 0.9);
+    dup.AndNot(privates);
+    system.AddSet(std::move(dup));
+  }
+  return system;
+}
+
+}  // namespace streamsc

@@ -1,0 +1,55 @@
+#ifndef STREAMSC_INSTANCE_GENERATORS_H_
+#define STREAMSC_INSTANCE_GENERATORS_H_
+
+#include <cstdint>
+
+#include "instance/set_system.h"
+#include "util/random.h"
+
+/// \file generators.h
+/// Synthetic workload generators. The paper evaluates on distributions it
+/// constructs itself (D_SC, D_MC) plus "any collection of m subsets"; the
+/// generators here provide the realistic-workload side: planted covers with
+/// known optimum (ground truth for approximation ratios), uniform random
+/// systems, heavy-tailed (Zipf) systems resembling web/document data
+/// [Saha-Getoor 2009, Cormode et al. 2010], and a blog-topic coverage
+/// workload for the examples.
+
+namespace streamsc {
+
+/// m sets, each a uniformly random subset of [n] of size \p set_size.
+/// If the union misses elements, one patch set covering the residue is
+/// appended so the instance is always feasible (so m may be size+1).
+SetSystem UniformRandomInstance(std::size_t n, std::size_t m,
+                                std::size_t set_size, Rng& rng);
+
+/// A feasible instance with a *planted* optimal cover of size
+/// \p cover_size: the universe is partitioned into cover_size blocks (the
+/// planted optimum), and m - cover_size decoy sets are random subsets that
+/// each avoid at least one planted block's private element, keeping the
+/// planted cover optimal. Returns the planted ids through \p planted_out
+/// when non-null.
+SetSystem PlantedCoverInstance(std::size_t n, std::size_t m,
+                               std::size_t cover_size, Rng& rng,
+                               std::vector<SetId>* planted_out = nullptr);
+
+/// m sets whose sizes follow a Zipf law with exponent \p zipf_exponent and
+/// maximum size \p max_size; membership uniform. A patch set is appended if
+/// needed for feasibility.
+SetSystem ZipfInstance(std::size_t n, std::size_t m, double zipf_exponent,
+                       std::size_t max_size, Rng& rng);
+
+/// Blog-watch workload (Saha-Getoor motivation): n topics, m blogs. Each
+/// blog covers a geometric number of topics with popularity-biased topic
+/// choice (a few "hub" blogs cover many topics). Always feasible.
+SetSystem BlogTopicInstance(std::size_t n, std::size_t m, double hub_fraction,
+                            Rng& rng);
+
+/// k pairwise-disjoint "needles" hidden among m - k near-duplicates of a
+/// large block — a classic stress case where greedy and sampling disagree.
+SetSystem NeedleInstance(std::size_t n, std::size_t m, std::size_t k,
+                         Rng& rng);
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_INSTANCE_GENERATORS_H_

@@ -1,0 +1,70 @@
+#include "instance/ghd_distribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace streamsc {
+
+GhdDistribution::GhdDistribution(std::size_t t, std::size_t a, std::size_t b)
+    : t_(t), a_(a), b_(b) {
+  assert(t >= 4);
+  assert(a <= t && b <= t);
+  // Fail fast on unsatisfiable promises: Δ ranges over
+  // [|a-b|, min(a+b, 2t-a-b)], so both conditionals must intersect it —
+  // otherwise the rejection samplers below would never terminate.
+  const double min_distance =
+      static_cast<double>(a > b ? a - b : b - a);
+  const double max_distance = static_cast<double>(
+      std::min(a + b, 2 * t - a - b));
+  assert(min_distance <= NoThreshold() &&
+         "No-instances are unsatisfiable for these (t, a, b)");
+  assert(max_distance >= YesThreshold() &&
+         "Yes-instances are unsatisfiable for these (t, a, b)");
+  (void)min_distance;
+  (void)max_distance;
+}
+
+double GhdDistribution::YesThreshold() const {
+  return static_cast<double>(t_) / 2.0 + std::sqrt(static_cast<double>(t_));
+}
+
+double GhdDistribution::NoThreshold() const {
+  return static_cast<double>(t_) / 2.0 - std::sqrt(static_cast<double>(t_));
+}
+
+GhdAnswer GhdDistribution::Classify(const GhdInstance& inst) const {
+  const double d = static_cast<double>(inst.Distance());
+  if (d >= YesThreshold()) return GhdAnswer::kYes;
+  if (d <= NoThreshold()) return GhdAnswer::kNo;
+  return GhdAnswer::kStar;
+}
+
+GhdInstance GhdDistribution::SampleUnconditioned(Rng& rng) const {
+  return GhdInstance{rng.RandomSubsetOfSize(t_, a_),
+                     rng.RandomSubsetOfSize(t_, b_)};
+}
+
+GhdInstance GhdDistribution::Sample(Rng& rng, bool* yes_out) const {
+  const bool yes = rng.Bernoulli(0.5);
+  if (yes_out != nullptr) *yes_out = yes;
+  return yes ? SampleYes(rng) : SampleNo(rng);
+}
+
+GhdInstance GhdDistribution::SampleYes(Rng& rng) const {
+  // Rejection sampling; acceptance probability is a constant (the upper
+  // tail past one standard deviation of Δ), so this terminates quickly.
+  while (true) {
+    GhdInstance inst = SampleUnconditioned(rng);
+    if (Classify(inst) == GhdAnswer::kYes) return inst;
+  }
+}
+
+GhdInstance GhdDistribution::SampleNo(Rng& rng) const {
+  while (true) {
+    GhdInstance inst = SampleUnconditioned(rng);
+    if (Classify(inst) == GhdAnswer::kNo) return inst;
+  }
+}
+
+}  // namespace streamsc

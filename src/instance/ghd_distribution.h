@@ -1,0 +1,76 @@
+#ifndef STREAMSC_INSTANCE_GHD_DISTRIBUTION_H_
+#define STREAMSC_INSTANCE_GHD_DISTRIBUTION_H_
+
+#include <cstdint>
+
+#include "util/bitset.h"
+#include "util/random.h"
+
+/// \file ghd_distribution.h
+/// The gap-hamming-distance problem GHD_t and the distribution D_GHD used
+/// by the maximum coverage lower bound (paper, Section 4.1).
+///
+/// GHD(A, B) = Yes  if Δ(A,B) >= t/2 + sqrt(t)
+///           = No   if Δ(A,B) <= t/2 - sqrt(t)
+///           = ⋆    otherwise (any answer accepted),
+/// where Δ is the symmetric-difference size. D_GHD fixes |A| = a, |B| = b
+/// and mixes D^Y (the Yes-conditioned uniform distribution) and D^N (the
+/// No-conditioned one) with weight 1/2 each.
+
+namespace streamsc {
+
+/// Ternary GHD answer.
+enum class GhdAnswer { kYes, kNo, kStar };
+
+/// One GHD_t input.
+struct GhdInstance {
+  DynamicBitset a;  ///< Alice's set, over universe [t].
+  DynamicBitset b;  ///< Bob's set, over universe [t].
+
+  /// Hamming distance Δ(A, B).
+  Count Distance() const { return a.HammingDistance(b); }
+};
+
+/// Sampler for D_GHD and its Yes/No conditionals (rejection sampling from
+/// the uniform distribution over (a,b)-size pairs).
+class GhdDistribution {
+ public:
+  /// Distribution over GHD_t instances with |A| = a and |B| = b.
+  /// Preconditions: t >= 4, a <= t, b <= t.
+  GhdDistribution(std::size_t t, std::size_t a, std::size_t b);
+
+  std::size_t t() const { return t_; }
+  std::size_t a() const { return a_; }
+  std::size_t b() const { return b_; }
+
+  /// Yes threshold t/2 + sqrt(t).
+  double YesThreshold() const;
+
+  /// No threshold t/2 - sqrt(t).
+  double NoThreshold() const;
+
+  /// Classifies an instance per the gap promise.
+  GhdAnswer Classify(const GhdInstance& inst) const;
+
+  /// Samples from D_GHD (fair mix of D^Y and D^N). \p yes_out, when
+  /// non-null, receives the branch taken.
+  GhdInstance Sample(Rng& rng, bool* yes_out = nullptr) const;
+
+  /// Samples from D^Y: uniform over size-constrained pairs conditioned on
+  /// Δ >= t/2 + sqrt(t).
+  GhdInstance SampleYes(Rng& rng) const;
+
+  /// Samples from D^N: uniform conditioned on Δ <= t/2 - sqrt(t).
+  GhdInstance SampleNo(Rng& rng) const;
+
+ private:
+  GhdInstance SampleUnconditioned(Rng& rng) const;
+
+  std::size_t t_;
+  std::size_t a_;
+  std::size_t b_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_INSTANCE_GHD_DISTRIBUTION_H_

@@ -1,0 +1,110 @@
+#include "instance/hard_max_coverage.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace streamsc {
+namespace {
+
+std::size_t T1FromEpsilon(double epsilon) {
+  assert(epsilon > 0.0 && epsilon < 1.0);
+  return static_cast<std::size_t>(
+      std::ceil(1.0 / (epsilon * epsilon)));
+}
+
+}  // namespace
+
+SetSystem HardMaxCoverageInstance::ToSetSystem() const {
+  SetSystem system(n());
+  for (const auto& s : s_sets) system.AddSet(s);
+  for (const auto& t : t_sets) system.AddSet(t);
+  return system;
+}
+
+HardMaxCoverageDistribution::HardMaxCoverageDistribution(
+    HardMaxCoverageParams params)
+    : params_(params),
+      t1_(T1FromEpsilon(params.epsilon)),
+      t2_(10 * t1_),
+      ghd_dist_(std::max<std::size_t>(t1_, 4), std::max<std::size_t>(t1_, 4) / 2,
+                std::max<std::size_t>(t1_, 4) / 2) {
+  t1_ = std::max<std::size_t>(t1_, 4);  // GHD needs a minimal universe.
+  t2_ = 10 * t1_;
+  assert(params_.m >= 1);
+}
+
+double HardMaxCoverageDistribution::Tau() const {
+  const double a = static_cast<double>(ghd_dist_.a());
+  const double b = static_cast<double>(ghd_dist_.b());
+  return static_cast<double>(t2_) + (a + b) / 2.0 +
+         static_cast<double>(t1_) / 4.0;
+}
+
+HardMaxCoverageInstance HardMaxCoverageDistribution::Sample(Rng& rng) const {
+  return SampleWithTheta(rng, rng.Bernoulli(0.5) ? 1 : 0);
+}
+
+HardMaxCoverageInstance HardMaxCoverageDistribution::SampleThetaZero(
+    Rng& rng) const {
+  return SampleWithTheta(rng, 0);
+}
+
+HardMaxCoverageInstance HardMaxCoverageDistribution::SampleThetaOne(
+    Rng& rng) const {
+  return SampleWithTheta(rng, 1);
+}
+
+HardMaxCoverageInstance HardMaxCoverageDistribution::SampleWithTheta(
+    Rng& rng, int theta) const {
+  HardMaxCoverageInstance out;
+  out.params = params_;
+  out.t1 = t1_;
+  out.t2 = t2_;
+  out.a = ghd_dist_.a();
+  out.b = ghd_dist_.b();
+  out.theta = theta;
+  out.tau = Tau();
+  const std::size_t n = t1_ + t2_;
+  out.s_sets.reserve(params_.m);
+  out.t_sets.reserve(params_.m);
+  out.ghd.reserve(params_.m);
+
+  // Embeds a subset of [t1] into the low-order slice U1 of [n], unioned
+  // with a subset of U2 given as a bitset over [t2] shifted by t1.
+  auto build_set = [&](const DynamicBitset& u1_part,
+                       const DynamicBitset& u2_part) {
+    DynamicBitset set(n);
+    u1_part.ForEach([&](ElementId e) { set.Set(e); });
+    u2_part.ForEach([&](ElementId e) { set.Set(t1_ + e); });
+    return set;
+  };
+
+  std::vector<DynamicBitset> c_parts, d_parts;
+  c_parts.reserve(params_.m);
+  d_parts.reserve(params_.m);
+
+  for (std::size_t i = 0; i < params_.m; ++i) {
+    GhdInstance pair = ghd_dist_.SampleNo(rng);
+    // Random 2-partition of U2: each element to C_i w.p. 1/2, else D_i.
+    DynamicBitset c = rng.BernoulliSubset(t2_, 0.5);
+    DynamicBitset d = c;
+    d.Complement();
+    out.s_sets.push_back(build_set(pair.a, c));
+    out.t_sets.push_back(build_set(pair.b, d));
+    out.ghd.push_back(std::move(pair));
+    c_parts.push_back(std::move(c));
+    d_parts.push_back(std::move(d));
+  }
+
+  if (theta == 1) {
+    out.i_star = static_cast<SetId>(rng.UniformInt(params_.m));
+    // Resample only the GHD part; C_i⋆ and D_i⋆ are kept, per D_MC.
+    GhdInstance pair = ghd_dist_.SampleYes(rng);
+    out.s_sets[out.i_star] = build_set(pair.a, c_parts[out.i_star]);
+    out.t_sets[out.i_star] = build_set(pair.b, d_parts[out.i_star]);
+    out.ghd[out.i_star] = std::move(pair);
+  }
+  return out;
+}
+
+}  // namespace streamsc

@@ -1,0 +1,95 @@
+#ifndef STREAMSC_INSTANCE_HARD_MAX_COVERAGE_H_
+#define STREAMSC_INSTANCE_HARD_MAX_COVERAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "instance/ghd_distribution.h"
+#include "instance/set_system.h"
+#include "util/random.h"
+
+/// \file hard_max_coverage.h
+/// The hard input distribution D_MC for the maximum coverage lower bound
+/// (paper, Section 4.2).
+///
+/// Parameters: ε, m. Let t1 = 1/ε², t2 = 10·t1, U1 = [t1] and U2 the next
+/// t2 elements (n = t1 + t2, k = 2). For each i:
+///   * (A_i, B_i) ~ D^N_GHD over U1 (sizes fixed to a = b = t1/2);
+///   * (C_i, D_i): a uniformly random 2-partition of U2;
+///   * S_i := A_i ∪ C_i, T_i := B_i ∪ D_i.
+/// θ ∈R {0,1}; if θ = 1, resample (A_i⋆, B_i⋆) ~ D^Y_GHD (keeping C, D).
+/// With τ := t2 + (a+b)/2 + t1/4, Lemma 4.3: opt ≥ (1+Θ(ε))τ when θ = 1
+/// and opt ≤ (1−Θ(ε))τ when θ = 0, so any (1−ε)-approximation of the k=2
+/// maximum coverage value determines θ.
+
+namespace streamsc {
+
+/// Parameters of D_MC.
+struct HardMaxCoverageParams {
+  double epsilon = 0.1;  ///< Gap parameter; t1 = ceil(1/ε²).
+  std::size_t m = 64;    ///< Number of (S_i, T_i) pairs; 2m sets total.
+};
+
+/// One sampled D_MC instance with its latent variables.
+struct HardMaxCoverageInstance {
+  HardMaxCoverageParams params;
+  std::size_t t1 = 0;  ///< |U1| = ceil(1/ε²).
+  std::size_t t2 = 0;  ///< |U2| = 10·t1.
+  std::size_t a = 0;   ///< Fixed |A_i| within U1.
+  std::size_t b = 0;   ///< Fixed |B_i| within U1.
+  int theta = 0;
+  SetId i_star = kInvalidSetId;  ///< Valid iff theta == 1.
+  double tau = 0.0;              ///< The pivot value τ of Lemma 4.3.
+
+  std::vector<DynamicBitset> s_sets;  ///< Over [n] = [t1 + t2].
+  std::vector<DynamicBitset> t_sets;
+
+  /// The underlying GHD instances over [t1] (for tests and reductions).
+  std::vector<GhdInstance> ghd;
+
+  /// Universe size n = t1 + t2.
+  std::size_t n() const { return t1 + t2; }
+
+  /// Number of pairs m.
+  std::size_t m() const { return s_sets.size(); }
+
+  /// All 2m sets as one system: ids [0, m) are S_i, ids [m, 2m) are T_i.
+  SetSystem ToSetSystem() const;
+
+  /// The max-coverage budget: always k = 2 in this construction.
+  static constexpr std::size_t kCoverageBudget = 2;
+};
+
+/// Sampler for D_MC.
+class HardMaxCoverageDistribution {
+ public:
+  explicit HardMaxCoverageDistribution(HardMaxCoverageParams params);
+
+  const HardMaxCoverageParams& params() const { return params_; }
+  std::size_t t1() const { return t1_; }
+  std::size_t t2() const { return t2_; }
+
+  /// The pivot τ = t2 + (a+b)/2 + t1/4.
+  double Tau() const;
+
+  /// Samples a full instance (θ mixed fairly).
+  HardMaxCoverageInstance Sample(Rng& rng) const;
+
+  /// Samples conditioned on θ = 0 (all pairs from D^N; opt below τ).
+  HardMaxCoverageInstance SampleThetaZero(Rng& rng) const;
+
+  /// Samples conditioned on θ = 1 (planted D^Y pair; opt above τ).
+  HardMaxCoverageInstance SampleThetaOne(Rng& rng) const;
+
+ private:
+  HardMaxCoverageInstance SampleWithTheta(Rng& rng, int theta) const;
+
+  HardMaxCoverageParams params_;
+  std::size_t t1_;
+  std::size_t t2_;
+  GhdDistribution ghd_dist_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_INSTANCE_HARD_MAX_COVERAGE_H_

@@ -1,0 +1,93 @@
+#include "instance/hard_set_cover.h"
+
+#include <cassert>
+
+#include "instance/mapping_extension.h"
+#include "util/math.h"
+
+namespace streamsc {
+
+SetSystem HardSetCoverInstance::ToSetSystem() const {
+  SetSystem system(params.n);
+  for (const auto& s : s_sets) system.AddSet(s);
+  for (const auto& t : t_sets) system.AddSet(t);
+  return system;
+}
+
+bool HardSetCoverInstance::IsPlantedPair(SetId combined_s,
+                                         SetId combined_t) const {
+  if (theta != 1) return false;
+  const SetId m_count = static_cast<SetId>(s_sets.size());
+  return combined_s == i_star && combined_t == m_count + i_star;
+}
+
+HardSetCoverDistribution::HardSetCoverDistribution(HardSetCoverParams params)
+    : params_(params),
+      t_(DisjUniverseSize(params.n, params.m, params.alpha, params.t_scale)),
+      disj_dist_(std::max<std::size_t>(t_, 1)) {
+  assert(params_.n >= 1 && params_.m >= 1 && params_.alpha >= 1.0);
+  assert(t_ >= 1 && t_ <= params_.n);
+}
+
+HardSetCoverInstance HardSetCoverDistribution::Sample(Rng& rng) const {
+  return SampleWithTheta(rng, rng.Bernoulli(0.5) ? 1 : 0);
+}
+
+HardSetCoverInstance HardSetCoverDistribution::SampleThetaZero(
+    Rng& rng) const {
+  return SampleWithTheta(rng, 0);
+}
+
+HardSetCoverInstance HardSetCoverDistribution::SampleThetaOne(Rng& rng) const {
+  return SampleWithTheta(rng, 1);
+}
+
+HardSetCoverInstance HardSetCoverDistribution::SampleWithTheta(
+    Rng& rng, int theta) const {
+  HardSetCoverInstance out;
+  out.params = params_;
+  out.t = t_;
+  out.theta = theta;
+  out.s_sets.reserve(params_.m);
+  out.t_sets.reserve(params_.m);
+  out.disj.reserve(params_.m);
+
+  for (std::size_t i = 0; i < params_.m; ++i) {
+    DisjInstance pair = disj_dist_.SampleNo(rng);
+    MappingExtension f(t_, params_.n, rng);
+    out.s_sets.push_back(f.ExtendComplement(pair.a));
+    out.t_sets.push_back(f.ExtendComplement(pair.b));
+    out.disj.push_back(std::move(pair));
+  }
+
+  if (theta == 1) {
+    out.i_star = static_cast<SetId>(rng.UniformInt(params_.m));
+    // Resample the planted pair from D^Y and rebuild S_i⋆, T_i⋆ with a
+    // fresh mapping-extension, exactly as the distribution specifies.
+    DisjInstance pair = disj_dist_.SampleYes(rng);
+    MappingExtension f(t_, params_.n, rng);
+    out.s_sets[out.i_star] = f.ExtendComplement(pair.a);
+    out.t_sets[out.i_star] = f.ExtendComplement(pair.b);
+    out.disj[out.i_star] = std::move(pair);
+  }
+  return out;
+}
+
+RandomPartition SampleRandomPartition(const HardSetCoverInstance& instance,
+                                      Rng& rng) {
+  RandomPartition partition;
+  const SetId m = static_cast<SetId>(instance.m());
+  std::vector<bool> s_to_alice(m), t_to_alice(m);
+  for (SetId i = 0; i < m; ++i) {
+    s_to_alice[i] = rng.Bernoulli(0.5);
+    t_to_alice[i] = rng.Bernoulli(0.5);
+    (s_to_alice[i] ? partition.alice : partition.bob).push_back(i);
+    (t_to_alice[i] ? partition.alice : partition.bob).push_back(m + i);
+    if (s_to_alice[i] != t_to_alice[i]) {
+      partition.good_indices.push_back(i);
+    }
+  }
+  return partition;
+}
+
+}  // namespace streamsc

@@ -1,0 +1,41 @@
+#include "instance/mapping_extension.h"
+
+#include <cassert>
+
+namespace streamsc {
+
+MappingExtension::MappingExtension(std::size_t t, std::size_t n, Rng& rng)
+    : t_(t), n_(n), element_block_(n) {
+  assert(t >= 1 && t <= n);
+  const std::vector<std::uint32_t> perm = rng.RandomPermutation(n);
+  blocks_.assign(t, DynamicBitset(n));
+  // Slice the permuted universe into t nearly-equal consecutive runs.
+  const std::size_t base = n / t;
+  const std::size_t extra = n % t;  // first `extra` blocks get one more
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < t; ++i) {
+    const std::size_t block_size = base + (i < extra ? 1 : 0);
+    for (std::size_t j = 0; j < block_size; ++j) {
+      const ElementId e = perm[pos++];
+      blocks_[i].Set(e);
+      element_block_[e] = static_cast<std::uint32_t>(i);
+    }
+  }
+  assert(pos == n);
+}
+
+DynamicBitset MappingExtension::Extend(const DynamicBitset& a) const {
+  assert(a.size() == t_);
+  DynamicBitset out(n_);
+  a.ForEach([&](ElementId i) { out |= blocks_[i]; });
+  return out;
+}
+
+DynamicBitset MappingExtension::ExtendComplement(
+    const DynamicBitset& a) const {
+  DynamicBitset out = Extend(a);
+  out.Complement();
+  return out;
+}
+
+}  // namespace streamsc

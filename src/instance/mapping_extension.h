@@ -1,0 +1,58 @@
+#ifndef STREAMSC_INSTANCE_MAPPING_EXTENSION_H_
+#define STREAMSC_INSTANCE_MAPPING_EXTENSION_H_
+
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/common.h"
+#include "util/random.h"
+
+/// \file mapping_extension.h
+/// Mapping-extension of [t] to [n] (Definition 3 of the paper): a function
+/// f : [t] -> 2^[n] mapping each i in [t] to a block of ~n/t unique
+/// elements, with blocks pairwise disjoint. For A ⊆ [t],
+/// f(A) := union of f(i) over i in A.
+///
+/// The paper assumes t | n so each block has exactly n/t elements. When
+/// t does not divide n we distribute the remainder so block sizes differ by
+/// at most one; all structural properties used in the constructions
+/// (disjointness, f(A ∪ B) = f(A) ∪ f(B), |f(A)| ≈ |A|·n/t) are preserved.
+
+namespace streamsc {
+
+/// A uniformly random mapping-extension of [t] into [n].
+class MappingExtension {
+ public:
+  /// Samples a uniform mapping-extension: a random permutation of [n]
+  /// sliced into t nearly-equal blocks. Precondition: 1 <= t <= n.
+  MappingExtension(std::size_t t, std::size_t n, Rng& rng);
+
+  /// Source domain size t.
+  std::size_t t() const { return t_; }
+
+  /// Target universe size n.
+  std::size_t n() const { return n_; }
+
+  /// The block f(i) ⊆ [n]. Precondition: i < t.
+  const DynamicBitset& Block(std::size_t i) const { return blocks_[i]; }
+
+  /// f(A) = union of blocks of members of A. \p a must be over universe [t].
+  DynamicBitset Extend(const DynamicBitset& a) const;
+
+  /// [n] \ f(A) — the "complement extension" used to build the sets
+  /// S_i = [n] \ f_i(A_i) of distribution D_SC.
+  DynamicBitset ExtendComplement(const DynamicBitset& a) const;
+
+  /// The block index i with e ∈ f(i). Precondition: e < n.
+  std::size_t BlockOf(ElementId e) const { return element_block_[e]; }
+
+ private:
+  std::size_t t_;
+  std::size_t n_;
+  std::vector<DynamicBitset> blocks_;
+  std::vector<std::uint32_t> element_block_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_INSTANCE_MAPPING_EXTENSION_H_

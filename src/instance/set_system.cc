@@ -1,0 +1,63 @@
+#include "instance/set_system.h"
+
+#include <cassert>
+
+namespace streamsc {
+
+SetId SetSystem::AddSet(DynamicBitset set) {
+  assert(set.size() == universe_size_);
+  sets_.push_back(std::move(set));
+  return static_cast<SetId>(sets_.size() - 1);
+}
+
+SetId SetSystem::AddSetFromIndices(const std::vector<ElementId>& indices) {
+  return AddSet(DynamicBitset::FromIndices(universe_size_, indices));
+}
+
+DynamicBitset SetSystem::UnionOf(const std::vector<SetId>& ids) const {
+  DynamicBitset u(universe_size_);
+  for (SetId id : ids) {
+    assert(id < sets_.size());
+    u |= sets_[id];
+  }
+  return u;
+}
+
+DynamicBitset SetSystem::UnionAll() const {
+  DynamicBitset u(universe_size_);
+  for (const auto& s : sets_) u |= s;
+  return u;
+}
+
+Count SetSystem::CoverageOf(const std::vector<SetId>& ids) const {
+  return UnionOf(ids).CountSet();
+}
+
+bool SetSystem::IsFeasibleCover(const std::vector<SetId>& ids) const {
+  return UnionOf(ids).All();
+}
+
+bool SetSystem::IsCoverable() const { return UnionAll().All(); }
+
+Status SetSystem::Validate() const {
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    if (sets_[i].size() != universe_size_) {
+      return Status::Internal("set " + std::to_string(i) +
+                              " has mismatched universe size");
+    }
+  }
+  return Status::Ok();
+}
+
+Count SetSystem::TotalIncidences() const {
+  Count total = 0;
+  for (const auto& s : sets_) total += s.CountSet();
+  return total;
+}
+
+std::string SetSystem::DebugString() const {
+  return "SetSystem(n=" + std::to_string(universe_size_) +
+         ", m=" + std::to_string(sets_.size()) + ")";
+}
+
+}  // namespace streamsc

@@ -1,0 +1,85 @@
+#ifndef STREAMSC_INSTANCE_SET_SYSTEM_H_
+#define STREAMSC_INSTANCE_SET_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/common.h"
+#include "util/status.h"
+
+/// \file set_system.h
+/// SetSystem: a collection of m subsets of a universe [n]. This is the
+/// shared input representation for the offline solvers, the streaming
+/// algorithms (which consume it through SetStream), and the hard-instance
+/// distributions.
+
+namespace streamsc {
+
+/// An immutable-universe, growable collection of subsets of [n].
+class SetSystem {
+ public:
+  /// Creates an empty collection over a universe of \p universe_size.
+  explicit SetSystem(std::size_t universe_size = 0)
+      : universe_size_(universe_size) {}
+
+  /// Appends \p set (must be over the same universe); returns its SetId.
+  SetId AddSet(DynamicBitset set);
+
+  /// Appends a set given by its member elements.
+  SetId AddSetFromIndices(const std::vector<ElementId>& indices);
+
+  /// Universe size n.
+  std::size_t universe_size() const { return universe_size_; }
+
+  /// Number of sets m.
+  std::size_t num_sets() const { return sets_.size(); }
+
+  /// The \p id-th set. Precondition: id < num_sets().
+  const DynamicBitset& set(SetId id) const { return sets_[id]; }
+
+  /// All sets, in insertion order.
+  const std::vector<DynamicBitset>& sets() const { return sets_; }
+
+  /// Union of the sets with the given ids.
+  DynamicBitset UnionOf(const std::vector<SetId>& ids) const;
+
+  /// Union of every set in the system.
+  DynamicBitset UnionAll() const;
+
+  /// Number of universe elements covered by the given ids.
+  Count CoverageOf(const std::vector<SetId>& ids) const;
+
+  /// True iff the given ids cover the whole universe.
+  bool IsFeasibleCover(const std::vector<SetId>& ids) const;
+
+  /// True iff some subcollection covers the universe (i.e., UnionAll() is
+  /// everything) — precondition for set cover feasibility.
+  bool IsCoverable() const;
+
+  /// Checks internal consistency (set sizes match the universe).
+  Status Validate() const;
+
+  /// Total number of (set, element) incidences — the paper's "input size
+  /// mn" is the dense analogue; this is the sparse analogue.
+  Count TotalIncidences() const;
+
+  /// Short human-readable summary like "SetSystem(n=100, m=20)".
+  std::string DebugString() const;
+
+ private:
+  std::size_t universe_size_;
+  std::vector<DynamicBitset> sets_;
+};
+
+/// A set cover / max coverage solution: set ids plus bookkeeping helpers.
+struct Solution {
+  std::vector<SetId> chosen;
+
+  std::size_t size() const { return chosen.size(); }
+  bool empty() const { return chosen.empty(); }
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_INSTANCE_SET_SYSTEM_H_

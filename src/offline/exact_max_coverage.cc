@@ -1,0 +1,135 @@
+#include "offline/exact_max_coverage.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "offline/greedy.h"
+
+namespace streamsc {
+namespace {
+
+struct SearchState {
+  const SetSystem* system = nullptr;
+  ExactMaxCoverageOptions options;
+  std::size_t k = 0;
+  std::vector<SetId> current;
+  std::vector<SetId> best;
+  Count best_coverage = 0;
+  std::uint64_t nodes = 0;
+  bool budget_exhausted = false;
+  // Sets ordered by raw size (descending) — the branch order.
+  std::vector<SetId> order;
+};
+
+void Search(SearchState& state, const DynamicBitset& covered,
+            Count covered_count, std::size_t order_pos) {
+  if (state.budget_exhausted) return;
+  if (++state.nodes > state.options.max_nodes) {
+    state.budget_exhausted = true;
+    return;
+  }
+  if (covered_count > state.best_coverage) {
+    state.best_coverage = covered_count;
+    state.best = state.current;
+  }
+  if (state.current.size() == state.k || order_pos >= state.order.size()) {
+    return;
+  }
+
+  // Upper bound: current coverage + sum of the top (k - depth) marginal
+  // gains among remaining sets. Computing exact marginals for all
+  // remaining sets is the dominant node cost but prunes aggressively.
+  const std::size_t picks_left = state.k - state.current.size();
+  std::vector<std::pair<Count, SetId>> gains;
+  gains.reserve(state.order.size() - order_pos);
+  for (std::size_t p = order_pos; p < state.order.size(); ++p) {
+    const SetId id = state.order[p];
+    const Count gain = state.system->set(id).CountAndNot(covered);
+    if (gain > 0) gains.emplace_back(gain, id);
+  }
+  std::sort(gains.begin(), gains.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+  Count ub = covered_count;
+  for (std::size_t j = 0; j < picks_left && j < gains.size(); ++j) {
+    ub += gains[j].first;
+  }
+  if (ub <= state.best_coverage) return;
+
+  // Branch: for each candidate (in gain order), either take it (recurse
+  // with it added) — candidates after position p in gain order are handled
+  // by later iterations, which effectively enumerates subsets.
+  for (std::size_t p = 0; p < gains.size(); ++p) {
+    if (state.budget_exhausted) return;
+    const SetId id = gains[p].second;
+    state.current.push_back(id);
+    DynamicBitset next = covered;
+    next |= state.system->set(id);
+    // Re-derive a position list: sets ranked after `p` in this node's gain
+    // order form the remaining candidate pool. To keep the recursion
+    // simple we rebuild `order` as the tail of the gain ranking.
+    std::vector<SetId> saved_order = state.order;
+    std::vector<SetId> tail;
+    tail.reserve(gains.size() - p - 1);
+    for (std::size_t q = p + 1; q < gains.size(); ++q) {
+      tail.push_back(gains[q].second);
+    }
+    state.order = std::move(tail);
+    Search(state, next, covered_count + gains[p].first, 0);
+    state.order = std::move(saved_order);
+    state.current.pop_back();
+  }
+}
+
+}  // namespace
+
+ExactMaxCoverageResult SolveExactMaxCoverage(
+    const SetSystem& system, const DynamicBitset& universe, std::size_t k,
+    const ExactMaxCoverageOptions& options) {
+  assert(universe.size() == system.universe_size());
+  ExactMaxCoverageResult result;
+  if (k == 0 || system.num_sets() == 0) {
+    result.proven_optimal = true;
+    return result;
+  }
+
+  SearchState state;
+  state.system = &system;
+  state.options = options;
+  state.k = std::min(k, system.num_sets());
+
+  // Work on the restriction to `universe`: coverage outside it is free but
+  // irrelevant, so we track "covered" as (chosen union) restricted later.
+  // We instead mark non-universe elements as pre-covered, which makes
+  // CountAndNot directly measure marginal gain within the universe.
+  DynamicBitset pre_covered = universe;
+  pre_covered.Complement();
+
+  // Greedy warm start.
+  Solution greedy = GreedyMaxCoverage(system, universe, state.k);
+  state.best = greedy.chosen;
+  state.best_coverage = system.UnionOf(greedy.chosen).CountAnd(universe);
+
+  state.order.reserve(system.num_sets());
+  for (SetId i = 0; i < system.num_sets(); ++i) state.order.push_back(i);
+  std::sort(state.order.begin(), state.order.end(), [&](SetId x, SetId y) {
+    return system.set(x).CountAnd(universe) > system.set(y).CountAnd(universe);
+  });
+
+  Search(state, pre_covered, 0, 0);
+
+  result.solution.chosen = state.best;
+  result.coverage = state.best_coverage;
+  result.proven_optimal = !state.budget_exhausted;
+  result.nodes = state.nodes;
+  return result;
+}
+
+ExactMaxCoverageResult SolveExactMaxCoverage(
+    const SetSystem& system, std::size_t k,
+    const ExactMaxCoverageOptions& options) {
+  return SolveExactMaxCoverage(
+      system, DynamicBitset::Full(system.universe_size()), k, options);
+}
+
+}  // namespace streamsc

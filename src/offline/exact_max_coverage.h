@@ -1,0 +1,41 @@
+#ifndef STREAMSC_OFFLINE_EXACT_MAX_COVERAGE_H_
+#define STREAMSC_OFFLINE_EXACT_MAX_COVERAGE_H_
+
+#include <cstdint>
+
+#include "instance/set_system.h"
+
+/// \file exact_max_coverage.h
+/// Exact maximum k-coverage via branch-and-bound with a top-k marginal
+/// upper bound. Intended for the small k the paper uses (k = 2 in D_MC,
+/// k = õpt in Algorithm 1's sub-instances); complexity grows as roughly
+/// m^k without pruning.
+
+namespace streamsc {
+
+/// Tuning knobs for the exact max coverage search.
+struct ExactMaxCoverageOptions {
+  std::uint64_t max_nodes = 50'000'000;
+};
+
+/// Result of an exact max coverage solve.
+struct ExactMaxCoverageResult {
+  Solution solution;       ///< Best k (or fewer) sets found.
+  Count coverage = 0;      ///< Elements of the target universe covered.
+  bool proven_optimal = false;
+  std::uint64_t nodes = 0;
+};
+
+/// Maximizes |union of k chosen sets ∩ universe|.
+ExactMaxCoverageResult SolveExactMaxCoverage(
+    const SetSystem& system, const DynamicBitset& universe, std::size_t k,
+    const ExactMaxCoverageOptions& options = {});
+
+/// Full-universe variant.
+ExactMaxCoverageResult SolveExactMaxCoverage(
+    const SetSystem& system, std::size_t k,
+    const ExactMaxCoverageOptions& options = {});
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_OFFLINE_EXACT_MAX_COVERAGE_H_

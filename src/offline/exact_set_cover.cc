@@ -1,0 +1,188 @@
+#include "offline/exact_set_cover.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "offline/greedy.h"
+#include "util/math.h"
+
+namespace streamsc {
+namespace {
+
+/// 128-bit content key for a bitset (two independent multiplicative
+/// hashes), used by the transposition table. Collision probability over
+/// millions of entries is negligible (~2^-90).
+struct StateKey {
+  std::uint64_t h1;
+  std::uint64_t h2;
+  bool operator==(const StateKey& o) const { return h1 == o.h1 && h2 == o.h2; }
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& k) const {
+    return static_cast<std::size_t>(k.h1 ^ (k.h2 * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+StateKey KeyOf(const DynamicBitset& bs) {
+  std::uint64_t h1 = 0x243f6a8885a308d3ull;
+  std::uint64_t h2 = 0x13198a2e03707344ull;
+  bs.ForEach([&](ElementId e) {
+    h1 = (h1 ^ (e + 0x9e3779b97f4a7c15ull)) * 0xff51afd7ed558ccdull;
+    h2 = (h2 + e) * 0xc4ceb9fe1a85ec53ull + (h2 >> 29);
+  });
+  return {h1, h2};
+}
+
+/// Shared search state for the branch-and-bound recursion.
+struct SearchState {
+  const SetSystem* system = nullptr;
+  ExactSetCoverOptions options;
+  std::vector<SetId> current;
+  std::vector<SetId> best;
+  bool best_feasible = false;
+  std::uint64_t nodes = 0;
+  bool budget_exhausted = false;
+  // Transposition table: uncovered-state -> smallest depth at which it was
+  // fully explored. Re-visiting at the same or greater depth is redundant.
+  std::unordered_map<StateKey, std::size_t, StateKeyHash> seen;
+};
+
+// Returns an uncovered element with (approximately) the fewest covering
+// sets. Scans at most 64 uncovered elements: min-degree is a branching
+// heuristic, so an approximate argmin is fine and keeps node cost bounded.
+ElementId PickBranchElement(const SearchState& state,
+                            const DynamicBitset& uncovered,
+                            std::size_t& degree_out) {
+  ElementId best_e = kInvalidElementId;
+  std::size_t best_degree = ~std::size_t{0};
+  std::size_t scanned = 0;
+  for (ElementId e = uncovered.FindFirst();
+       e != kInvalidElementId && scanned < 64 && best_degree > 1;
+       e = uncovered.FindNext(e), ++scanned) {
+    std::size_t degree = 0;
+    for (SetId i = 0; i < state.system->num_sets(); ++i) {
+      if (state.system->set(i).Test(e)) {
+        if (++degree >= best_degree) break;
+      }
+    }
+    if (degree < best_degree) {
+      best_degree = degree;
+      best_e = e;
+    }
+  }
+  degree_out = (best_e == kInvalidElementId) ? 0 : best_degree;
+  return best_e;
+}
+
+void Search(SearchState& state, const DynamicBitset& uncovered) {
+  if (state.budget_exhausted) return;
+  if (++state.nodes > state.options.max_nodes) {
+    state.budget_exhausted = true;
+    return;
+  }
+  if (uncovered.None()) {
+    if (!state.best_feasible || state.current.size() < state.best.size()) {
+      state.best = state.current;
+      state.best_feasible = true;
+    }
+    return;
+  }
+
+  const std::size_t budget =
+      std::min(state.options.size_limit,
+               state.best_feasible ? state.best.size() - 1 : ~std::size_t{0});
+  if (state.current.size() >= budget) return;
+
+  // Transposition pruning: if this uncovered state was already explored at
+  // a depth <= ours, nothing new can be found here.
+  const StateKey key = KeyOf(uncovered);
+  auto [it, inserted] = state.seen.try_emplace(key, state.current.size());
+  if (!inserted) {
+    if (it->second <= state.current.size()) return;
+    it->second = state.current.size();
+  }
+
+  // Per-node counting lower bound using the best achievable single-set
+  // gain against the *current* uncovered region.
+  const Count remaining = uncovered.CountSet();
+  Count max_gain = 0;
+  for (SetId i = 0; i < state.system->num_sets(); ++i) {
+    max_gain = std::max(max_gain, state.system->set(i).CountAnd(uncovered));
+  }
+  if (max_gain == 0) return;  // infeasible branch
+  const std::size_t lb =
+      static_cast<std::size_t>(CeilDiv(remaining, max_gain));
+  if (state.current.size() + lb > budget) return;
+
+  std::size_t degree = 0;
+  const ElementId e = PickBranchElement(state, uncovered, degree);
+  if (degree == 0) return;  // e is coverable by no set: infeasible branch
+
+  // Candidate sets containing e, largest marginal gain first.
+  std::vector<std::pair<Count, SetId>> candidates;
+  candidates.reserve(degree);
+  for (SetId i = 0; i < state.system->num_sets(); ++i) {
+    if (state.system->set(i).Test(e)) {
+      candidates.emplace_back(state.system->set(i).CountAnd(uncovered), i);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+
+  for (const auto& [gain, id] : candidates) {
+    (void)gain;
+    if (state.budget_exhausted) return;
+    state.current.push_back(id);
+    DynamicBitset next = uncovered;
+    next.AndNot(state.system->set(id));
+    Search(state, next);
+    state.current.pop_back();
+  }
+}
+
+}  // namespace
+
+ExactSetCoverResult SolveExactSetCover(const SetSystem& system,
+                                       const DynamicBitset& universe,
+                                       const ExactSetCoverOptions& options) {
+  assert(universe.size() == system.universe_size());
+  ExactSetCoverResult result;
+  if (universe.None()) {
+    result.feasible = true;
+    result.proven_optimal = true;
+    return result;
+  }
+
+  SearchState state;
+  state.system = &system;
+  state.options = options;
+
+  // Greedy warm start gives the incumbent upper bound (if feasible and
+  // within the requested size limit).
+  Solution greedy = GreedySetCover(system, universe);
+  if (universe.IsSubsetOf(system.UnionOf(greedy.chosen)) &&
+      greedy.chosen.size() <= options.size_limit) {
+    state.best = greedy.chosen;
+    state.best_feasible = true;
+  }
+
+  Search(state, universe);
+
+  result.solution.chosen = state.best;
+  result.feasible = state.best_feasible;
+  result.complete = !state.budget_exhausted;
+  result.proven_optimal = state.best_feasible && result.complete;
+  result.nodes = state.nodes;
+  return result;
+}
+
+ExactSetCoverResult SolveExactSetCover(const SetSystem& system,
+                                       const ExactSetCoverOptions& options) {
+  return SolveExactSetCover(
+      system, DynamicBitset::Full(system.universe_size()), options);
+}
+
+}  // namespace streamsc

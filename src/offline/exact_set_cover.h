@@ -1,0 +1,59 @@
+#ifndef STREAMSC_OFFLINE_EXACT_SET_COVER_H_
+#define STREAMSC_OFFLINE_EXACT_SET_COVER_H_
+
+#include <cstdint>
+
+#include "instance/set_system.h"
+
+/// \file exact_set_cover.h
+/// Exact minimum set cover via branch-and-bound.
+///
+/// The streaming model of the paper does not restrict computation time, and
+/// Algorithm 1 (step 3c) explicitly requires an *optimal* cover of the
+/// in-memory sub-instance. This solver provides that: min-degree element
+/// branching, greedy warm start, a counting lower bound, and a node budget
+/// after which it degrades gracefully to the best solution found (flagged
+/// as not proven optimal).
+
+namespace streamsc {
+
+/// Tuning knobs for the branch-and-bound search.
+struct ExactSetCoverOptions {
+  /// Maximum number of search nodes before giving up on optimality.
+  std::uint64_t max_nodes = 50'000'000;
+  /// Optional upper bound on solution size; the search only looks for
+  /// covers strictly smaller than incumbent bounds anyway, but callers
+  /// with a known budget (e.g. õpt) can prune harder.
+  std::size_t size_limit = ~std::size_t{0};
+};
+
+/// Result of an exact solve.
+struct ExactSetCoverResult {
+  /// Best cover found (empty if the target universe is empty; also empty
+  /// if infeasible — check `feasible`).
+  Solution solution;
+  /// True iff `solution` covers the requested universe.
+  bool feasible = false;
+  /// True iff the search ran to completion (node budget not hit). When
+  /// complete && !feasible, there is provably no cover within
+  /// options.size_limit — the decision primitive the D_SC experiments use.
+  bool complete = false;
+  /// True iff the solver proved `solution` minimum among covers of size
+  /// <= options.size_limit.
+  bool proven_optimal = false;
+  /// Search nodes expanded.
+  std::uint64_t nodes = 0;
+};
+
+/// Finds a minimum collection of sets covering \p universe.
+ExactSetCoverResult SolveExactSetCover(
+    const SetSystem& system, const DynamicBitset& universe,
+    const ExactSetCoverOptions& options = {});
+
+/// Finds a minimum cover of the system's full universe.
+ExactSetCoverResult SolveExactSetCover(
+    const SetSystem& system, const ExactSetCoverOptions& options = {});
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_OFFLINE_EXACT_SET_COVER_H_

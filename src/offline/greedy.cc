@@ -1,0 +1,57 @@
+#include "offline/greedy.h"
+
+namespace streamsc {
+
+Solution GreedySetCover(const SetSystem& system,
+                        const DynamicBitset& universe) {
+  Solution solution;
+  DynamicBitset uncovered = universe;
+  while (!uncovered.None()) {
+    SetId best = kInvalidSetId;
+    Count best_gain = 0;
+    for (SetId i = 0; i < system.num_sets(); ++i) {
+      const Count gain = system.set(i).CountAnd(uncovered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == kInvalidSetId) break;  // nothing helps; infeasible residue
+    solution.chosen.push_back(best);
+    uncovered.AndNot(system.set(best));
+  }
+  return solution;
+}
+
+Solution GreedySetCover(const SetSystem& system) {
+  return GreedySetCover(system,
+                        DynamicBitset::Full(system.universe_size()));
+}
+
+Solution GreedyMaxCoverage(const SetSystem& system,
+                           const DynamicBitset& universe, std::size_t k) {
+  Solution solution;
+  DynamicBitset uncovered = universe;
+  for (std::size_t pick = 0; pick < k && !uncovered.None(); ++pick) {
+    SetId best = kInvalidSetId;
+    Count best_gain = 0;
+    for (SetId i = 0; i < system.num_sets(); ++i) {
+      const Count gain = system.set(i).CountAnd(uncovered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == kInvalidSetId) break;
+    solution.chosen.push_back(best);
+    uncovered.AndNot(system.set(best));
+  }
+  return solution;
+}
+
+Solution GreedyMaxCoverage(const SetSystem& system, std::size_t k) {
+  return GreedyMaxCoverage(system, DynamicBitset::Full(system.universe_size()),
+                           k);
+}
+
+}  // namespace streamsc

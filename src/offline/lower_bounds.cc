@@ -1,0 +1,111 @@
+#include "offline/lower_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace streamsc {
+namespace {
+
+// Max |S_i ∩ universe| over all sets; 0 when every set misses universe.
+Count MaxRestrictedSize(const SetSystem& system,
+                        const DynamicBitset& universe) {
+  Count best = 0;
+  for (SetId id = 0; id < system.num_sets(); ++id) {
+    best = std::max(best, system.set(id).CountAnd(universe));
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t SizeLowerBound(const SetSystem& system,
+                           const DynamicBitset& universe) {
+  const Count coverable = (system.UnionAll() & universe).CountSet();
+  if (coverable == 0) return 0;
+  const Count max_size = MaxRestrictedSize(system, universe);
+  return static_cast<std::size_t>(
+      (coverable + max_size - 1) / max_size);
+}
+
+std::size_t PackingLowerBound(const SetSystem& system,
+                              const DynamicBitset& universe) {
+  const std::size_t n = system.universe_size();
+
+  // Frequency (number of containing sets) per element; 0-frequency
+  // elements are uncoverable and excluded.
+  std::vector<std::uint32_t> frequency(n, 0);
+  for (SetId id = 0; id < system.num_sets(); ++id) {
+    system.set(id).ForEach([&](ElementId e) { ++frequency[e]; });
+  }
+
+  std::vector<ElementId> candidates;
+  universe.ForEach([&](ElementId e) {
+    if (frequency[e] > 0) candidates.push_back(e);
+  });
+  // Low-frequency elements first: they block the fewest future picks.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](ElementId a, ElementId b) {
+                     return frequency[a] < frequency[b];
+                   });
+
+  DynamicBitset blocked(n);  // union of all sets containing a picked element
+  std::size_t picked = 0;
+  for (const ElementId e : candidates) {
+    if (blocked.Test(e)) continue;
+    ++picked;
+    for (SetId id = 0; id < system.num_sets(); ++id) {
+      if (system.set(id).Test(e)) blocked |= system.set(id);
+    }
+  }
+  return picked;
+}
+
+std::size_t DualLowerBound(const SetSystem& system,
+                           const DynamicBitset& universe) {
+  const std::size_t n = system.universe_size();
+  // max restricted size of a set containing each element.
+  std::vector<Count> max_containing(n, 0);
+  for (SetId id = 0; id < system.num_sets(); ++id) {
+    const Count restricted = system.set(id).CountAnd(universe);
+    if (restricted == 0) continue;
+    system.set(id).ForEach([&](ElementId e) {
+      max_containing[e] = std::max(max_containing[e], restricted);
+    });
+  }
+  double dual = 0.0;
+  universe.ForEach([&](ElementId e) {
+    if (max_containing[e] > 0) {
+      dual += 1.0 / static_cast<double>(max_containing[e]);
+    }
+  });
+  // Guard against FP dust pushing e.g. 3.0000000001 up to 4.
+  return static_cast<std::size_t>(std::ceil(dual - 1e-9));
+}
+
+std::size_t BestLowerBound(const SetSystem& system,
+                           const DynamicBitset& universe) {
+  return std::max({SizeLowerBound(system, universe),
+                   PackingLowerBound(system, universe),
+                   DualLowerBound(system, universe)});
+}
+
+std::size_t SizeLowerBound(const SetSystem& system) {
+  return SizeLowerBound(system, DynamicBitset::Full(system.universe_size()));
+}
+
+std::size_t PackingLowerBound(const SetSystem& system) {
+  return PackingLowerBound(system,
+                           DynamicBitset::Full(system.universe_size()));
+}
+
+std::size_t DualLowerBound(const SetSystem& system) {
+  return DualLowerBound(system, DynamicBitset::Full(system.universe_size()));
+}
+
+std::size_t BestLowerBound(const SetSystem& system) {
+  return BestLowerBound(system, DynamicBitset::Full(system.universe_size()));
+}
+
+}  // namespace streamsc

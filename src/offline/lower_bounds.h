@@ -1,0 +1,57 @@
+#ifndef STREAMSC_OFFLINE_LOWER_BOUNDS_H_
+#define STREAMSC_OFFLINE_LOWER_BOUNDS_H_
+
+#include <cstdint>
+
+#include "instance/set_system.h"
+
+/// \file lower_bounds.h
+/// Certified lower bounds on the optimal set cover size. The exact solver
+/// proves optimality but costs exponential time on large sub-instances;
+/// these bounds are polynomial and *always valid*, so benches and tests
+/// can report certified approximation ratios (solution / lower bound)
+/// without an exact solve. All bounds cover a target sub-universe so they
+/// compose with the element-sampling machinery.
+///
+///  * SizeLowerBound      — ceil(|U| / max |S_i ∩ U|): counting.
+///  * PackingLowerBound   — a greedy element packing: elements chosen so
+///    that no single set contains two of them; any cover spends one set
+///    per packed element.
+///  * DualLowerBound      — the feasible LP dual y_e = 1/max{|S ∩ U| :
+///    e ∈ S}: for every S, Σ_{e∈S∩U} y_e ≤ 1, so Σ y_e lower-bounds the
+///    fractional (hence integral) optimum.
+///  * BestLowerBound      — max of the three.
+
+namespace streamsc {
+
+/// ceil(|universe ∩ coverable|/ max set size) — 0 for an empty universe.
+/// Elements of \p universe covered by no set make the instance infeasible;
+/// they are ignored here (the bound stays a valid bound for covering the
+/// coverable part).
+std::size_t SizeLowerBound(const SetSystem& system,
+                           const DynamicBitset& universe);
+
+/// Greedy packing bound: picks elements of \p universe in ascending
+/// frequency order, skipping any element co-resident (in some set) with an
+/// already-picked one. Returns the number picked.
+std::size_t PackingLowerBound(const SetSystem& system,
+                              const DynamicBitset& universe);
+
+/// LP-dual bound: Σ_{e ∈ universe} 1/max{|S ∩ universe| : e ∈ S},
+/// rounded up. Elements in no set are skipped.
+std::size_t DualLowerBound(const SetSystem& system,
+                           const DynamicBitset& universe);
+
+/// max(SizeLowerBound, PackingLowerBound, DualLowerBound).
+std::size_t BestLowerBound(const SetSystem& system,
+                           const DynamicBitset& universe);
+
+/// Full-universe conveniences.
+std::size_t SizeLowerBound(const SetSystem& system);
+std::size_t PackingLowerBound(const SetSystem& system);
+std::size_t DualLowerBound(const SetSystem& system);
+std::size_t BestLowerBound(const SetSystem& system);
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_OFFLINE_LOWER_BOUNDS_H_

@@ -1,0 +1,31 @@
+#include "offline/verifier.h"
+
+#include <limits>
+
+namespace streamsc {
+
+CoverVerdict VerifyCover(const SetSystem& system, const Solution& solution,
+                         const DynamicBitset& universe) {
+  CoverVerdict verdict;
+  verdict.universe_size = universe.CountSet();
+  verdict.solution_size = solution.chosen.size();
+  const DynamicBitset covered = system.UnionOf(solution.chosen);
+  verdict.covered = covered.CountAnd(universe);
+  verdict.feasible = verdict.covered == verdict.universe_size;
+  return verdict;
+}
+
+CoverVerdict VerifyCover(const SetSystem& system, const Solution& solution) {
+  return VerifyCover(system, solution,
+                     DynamicBitset::Full(system.universe_size()));
+}
+
+double ApproximationRatio(std::size_t solution_size, std::size_t opt_size) {
+  if (opt_size == 0) {
+    return solution_size == 0 ? 1.0
+                              : std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(solution_size) / static_cast<double>(opt_size);
+}
+
+}  // namespace streamsc

@@ -1,0 +1,40 @@
+#ifndef STREAMSC_OFFLINE_VERIFIER_H_
+#define STREAMSC_OFFLINE_VERIFIER_H_
+
+#include "instance/set_system.h"
+
+/// \file verifier.h
+/// Solution checking helpers shared by tests and the benchmark harness.
+
+namespace streamsc {
+
+/// Detailed verdict about a candidate set cover solution.
+struct CoverVerdict {
+  bool feasible = false;       ///< Covers the requested universe.
+  Count covered = 0;           ///< Elements of the universe covered.
+  Count universe_size = 0;     ///< Elements that needed covering.
+  std::size_t solution_size = 0;
+
+  /// Fraction of the target universe covered (1.0 when feasible).
+  double coverage_fraction() const {
+    return universe_size == 0
+               ? 1.0
+               : static_cast<double>(covered) /
+                     static_cast<double>(universe_size);
+  }
+};
+
+/// Checks \p solution against covering \p universe.
+CoverVerdict VerifyCover(const SetSystem& system, const Solution& solution,
+                         const DynamicBitset& universe);
+
+/// Checks \p solution against covering the full universe.
+CoverVerdict VerifyCover(const SetSystem& system, const Solution& solution);
+
+/// solution_size / opt_size; returns +inf when opt_size is 0 and the
+/// solution is non-empty, 1.0 when both are empty.
+double ApproximationRatio(std::size_t solution_size, std::size_t opt_size);
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_OFFLINE_VERIFIER_H_

@@ -1,0 +1,41 @@
+#include "stream/set_stream.h"
+
+#include <cassert>
+
+namespace streamsc {
+
+VectorSetStream::VectorSetStream(const SetSystem& system, StreamOrder order,
+                                 Rng* rng)
+    : system_(system), order_kind_(order), rng_(rng) {
+  order_.reserve(system.num_sets());
+  for (SetId i = 0; i < system.num_sets(); ++i) order_.push_back(i);
+  if (order_kind_ != StreamOrder::kAdversarial) {
+    assert(rng_ != nullptr && "random orders need an Rng");
+    rng_->Shuffle(order_);
+  }
+}
+
+std::size_t VectorSetStream::universe_size() const {
+  return system_.universe_size();
+}
+
+std::size_t VectorSetStream::num_sets() const { return system_.num_sets(); }
+
+void VectorSetStream::BeginPass() {
+  if (order_kind_ == StreamOrder::kRandomEachPass && passes_ > 0) {
+    rng_->Shuffle(order_);
+  }
+  cursor_ = 0;
+  ++passes_;
+}
+
+bool VectorSetStream::Next(StreamItem* item) {
+  assert(passes_ > 0 && "BeginPass() before Next()");
+  if (cursor_ >= order_.size()) return false;
+  const SetId id = order_[cursor_++];
+  item->id = id;
+  item->set = &system_.set(id);
+  return true;
+}
+
+}  // namespace streamsc

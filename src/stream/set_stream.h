@@ -1,0 +1,90 @@
+#ifndef STREAMSC_STREAM_SET_STREAM_H_
+#define STREAMSC_STREAM_SET_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "instance/set_system.h"
+#include "util/common.h"
+#include "util/random.h"
+
+/// \file set_stream.h
+/// The streaming substrate: sets arrive one by one; algorithms may make
+/// several passes, and every pass is counted. The stream hands out
+/// *references* to the sets — an algorithm is only charged (by its
+/// SpaceMeter) for what it chooses to retain, matching the paper's model
+/// where reading an item is free but storing it costs space.
+
+namespace streamsc {
+
+/// One stream arrival: the set's id in the underlying system plus a
+/// borrowed pointer to its contents (valid until the stream is destroyed).
+struct StreamItem {
+  SetId id = kInvalidSetId;
+  const DynamicBitset* set = nullptr;
+};
+
+/// Abstract multi-pass stream of sets.
+class SetStream {
+ public:
+  virtual ~SetStream() = default;
+
+  /// Universe size n of the streamed system.
+  virtual std::size_t universe_size() const = 0;
+
+  /// Number of sets per pass (m).
+  virtual std::size_t num_sets() const = 0;
+
+  /// Starts a new pass. Must be called before the first Next() of each
+  /// pass; increments the pass counter.
+  virtual void BeginPass() = 0;
+
+  /// Produces the next item of the current pass. Returns false at
+  /// end-of-pass.
+  virtual bool Next(StreamItem* item) = 0;
+
+  /// Number of passes started so far.
+  virtual std::uint64_t passes() const = 0;
+};
+
+/// How a VectorSetStream orders its items.
+enum class StreamOrder {
+  kAdversarial,     ///< The system's insertion order (fixed, worst-case-ish).
+  kRandomOnce,      ///< One uniform permutation, same for every pass
+                    ///< (the paper's random arrival model).
+  kRandomEachPass,  ///< Fresh permutation each pass (robustness probes).
+};
+
+/// A SetStream over an in-memory SetSystem (not owned; must outlive the
+/// stream).
+class VectorSetStream : public SetStream {
+ public:
+  /// Streams \p system in \p order; \p rng used for random orders (may be
+  /// null for kAdversarial).
+  VectorSetStream(const SetSystem& system, StreamOrder order, Rng* rng);
+
+  /// Adversarial-order convenience constructor.
+  explicit VectorSetStream(const SetSystem& system)
+      : VectorSetStream(system, StreamOrder::kAdversarial, nullptr) {}
+
+  std::size_t universe_size() const override;
+  std::size_t num_sets() const override;
+  void BeginPass() override;
+  bool Next(StreamItem* item) override;
+  std::uint64_t passes() const override { return passes_; }
+
+  /// The permutation currently in effect (for tests).
+  const std::vector<SetId>& order() const { return order_; }
+
+ private:
+  const SetSystem& system_;
+  StreamOrder order_kind_;
+  Rng* rng_;
+  std::vector<SetId> order_;
+  std::size_t cursor_ = 0;
+  std::uint64_t passes_ = 0;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_STREAM_SET_STREAM_H_

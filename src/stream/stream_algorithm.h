@@ -1,0 +1,66 @@
+#ifndef STREAMSC_STREAM_STREAM_ALGORITHM_H_
+#define STREAMSC_STREAM_STREAM_ALGORITHM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "instance/set_system.h"
+#include "stream/set_stream.h"
+#include "util/space_meter.h"
+
+/// \file stream_algorithm.h
+/// Interfaces for streaming set cover / maximum coverage algorithms and
+/// the per-run statistics the benchmark harness reports (passes, peak
+/// logical space, wall time).
+
+namespace streamsc {
+
+/// Per-run resource statistics.
+struct StreamRunStats {
+  std::uint64_t passes = 0;       ///< Passes over the stream.
+  Bytes peak_space_bytes = 0;     ///< Peak logical space (SpaceMeter).
+  std::uint64_t items_seen = 0;   ///< Stream items consumed across passes.
+  double wall_seconds = 0.0;      ///< Wall-clock time of the run.
+};
+
+/// Outcome of a streaming set cover run.
+struct SetCoverRunResult {
+  Solution solution;        ///< Chosen set ids (system numbering).
+  bool feasible = false;    ///< True iff the solution covers the universe.
+  StreamRunStats stats;
+};
+
+/// Outcome of a streaming maximum coverage run.
+struct MaxCoverageRunResult {
+  Solution solution;        ///< Chosen set ids (at most k).
+  Count coverage = 0;       ///< Exact coverage of the returned sets.
+  StreamRunStats stats;
+};
+
+/// A multi-pass streaming algorithm for minimum set cover.
+class StreamingSetCoverAlgorithm {
+ public:
+  virtual ~StreamingSetCoverAlgorithm() = default;
+
+  /// Human-readable algorithm name for tables.
+  virtual std::string name() const = 0;
+
+  /// Consumes \p stream (any number of passes) and returns a cover.
+  virtual SetCoverRunResult Run(SetStream& stream) = 0;
+};
+
+/// A multi-pass streaming algorithm for maximum k-coverage.
+class StreamingMaxCoverageAlgorithm {
+ public:
+  virtual ~StreamingMaxCoverageAlgorithm() = default;
+
+  /// Human-readable algorithm name for tables.
+  virtual std::string name() const = 0;
+
+  /// Consumes \p stream and returns (up to) k sets.
+  virtual MaxCoverageRunResult Run(SetStream& stream, std::size_t k) = 0;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_STREAM_STREAM_ALGORITHM_H_

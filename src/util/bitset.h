@@ -1,0 +1,165 @@
+#ifndef STREAMSC_UTIL_BITSET_H_
+#define STREAMSC_UTIL_BITSET_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+/// \file bitset.h
+/// DynamicBitset: a fixed-universe bit vector used to represent subsets of
+/// the universe [n]. This is the core data representation for sets in the
+/// set cover / maximum coverage machinery, so it favours tight loops
+/// (popcount-based counting, word-wise boolean algebra) over generality.
+
+namespace streamsc {
+
+/// A set over a fixed universe {0, ..., size()-1}, stored as packed bits.
+///
+/// Copyable and movable. All binary operations require equal sizes
+/// (checked with assert in debug builds).
+class DynamicBitset {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kBitsPerWord = 64;
+
+  /// Creates an empty (all-zero) set over a universe of \p size elements.
+  explicit DynamicBitset(std::size_t size = 0)
+      : size_(size), words_((size + kBitsPerWord - 1) / kBitsPerWord, 0) {}
+
+  /// Builds a set over [size) containing exactly \p indices.
+  static DynamicBitset FromIndices(std::size_t size,
+                                   const std::vector<ElementId>& indices);
+
+  /// Builds the full set {0, ..., size-1}.
+  static DynamicBitset Full(std::size_t size);
+
+  /// Universe size (number of addressable bits).
+  std::size_t size() const { return size_; }
+
+  /// True iff the universe is empty (size() == 0).
+  bool empty_universe() const { return size_ == 0; }
+
+  /// Inserts element \p i.
+  void Set(std::size_t i) {
+    assert(i < size_);
+    words_[i / kBitsPerWord] |= Word{1} << (i % kBitsPerWord);
+  }
+
+  /// Removes element \p i.
+  void Reset(std::size_t i) {
+    assert(i < size_);
+    words_[i / kBitsPerWord] &= ~(Word{1} << (i % kBitsPerWord));
+  }
+
+  /// Membership test.
+  bool Test(std::size_t i) const {
+    assert(i < size_);
+    return (words_[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1;
+  }
+
+  /// Removes all elements.
+  void Clear();
+
+  /// Inserts every universe element.
+  void Fill();
+
+  /// Number of elements in the set (popcount).
+  Count CountSet() const;
+
+  /// True iff the set is empty.
+  bool None() const;
+
+  /// True iff the set equals the whole universe.
+  bool All() const { return CountSet() == size_; }
+
+  /// In-place union: *this |= other.
+  DynamicBitset& operator|=(const DynamicBitset& other);
+
+  /// In-place intersection: *this &= other.
+  DynamicBitset& operator&=(const DynamicBitset& other);
+
+  /// In-place difference: *this \= other.
+  DynamicBitset& AndNot(const DynamicBitset& other);
+
+  /// In-place complement (within the universe).
+  void Complement();
+
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+
+  /// Returns *this \ other without modifying either operand.
+  DynamicBitset Difference(const DynamicBitset& other) const;
+
+  /// |*this & other| computed without allocating.
+  Count CountAnd(const DynamicBitset& other) const;
+
+  /// |*this \ other| computed without allocating.
+  Count CountAndNot(const DynamicBitset& other) const;
+
+  /// True iff the two sets share at least one element.
+  bool Intersects(const DynamicBitset& other) const;
+
+  /// True iff *this ⊆ other.
+  bool IsSubsetOf(const DynamicBitset& other) const;
+
+  /// Index of the smallest element, or kInvalidElementId if empty.
+  ElementId FindFirst() const;
+
+  /// Index of the smallest element strictly greater than \p i, or
+  /// kInvalidElementId if none.
+  ElementId FindNext(std::size_t i) const;
+
+  /// All member elements in increasing order.
+  std::vector<ElementId> ToIndices() const;
+
+  /// Hamming distance |*this Δ other| (symmetric difference size).
+  Count HammingDistance(const DynamicBitset& other) const;
+
+  /// Logical size of this bitset in bytes (for space accounting):
+  /// one bit per universe element, rounded up to whole words.
+  Bytes ByteSize() const { return words_.size() * sizeof(Word); }
+
+  /// "{0, 3, 7}" style debug rendering.
+  std::string ToString() const;
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// 64-bit content hash (FNV-1a over words); suitable for hash maps.
+  std::uint64_t Hash() const;
+
+  /// Calls \p fn(ElementId) for every member element in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      Word word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(static_cast<ElementId>(w * kBitsPerWord + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  // Zeroes bits beyond size_ in the last word (invariant after Complement /
+  // Fill).
+  void TrimTail();
+
+  std::size_t size_;
+  std::vector<Word> words_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_UTIL_BITSET_H_

@@ -1,0 +1,36 @@
+#ifndef STREAMSC_UTIL_COMMON_H_
+#define STREAMSC_UTIL_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file common.h
+/// Project-wide scalar type aliases.
+///
+/// The paper works with a universe [n] = {1, ..., n} and a collection of m
+/// sets. We use zero-based element ids {0, ..., n-1} and set ids
+/// {0, ..., m-1} throughout.
+
+namespace streamsc {
+
+/// Identifier of an element of the universe [n]. Zero-based.
+using ElementId = std::uint32_t;
+
+/// Identifier of a set in a set system. Zero-based.
+using SetId = std::uint32_t;
+
+/// A count of elements / sets (always fits the universe).
+using Count = std::uint64_t;
+
+/// Logical space in bytes as charged by the space-accounting layer.
+using Bytes = std::uint64_t;
+
+/// Sentinel for "no set".
+inline constexpr SetId kInvalidSetId = ~SetId{0};
+
+/// Sentinel for "no element".
+inline constexpr ElementId kInvalidElementId = ~ElementId{0};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_UTIL_COMMON_H_

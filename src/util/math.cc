@@ -1,0 +1,90 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace streamsc {
+
+double SafeLog(double x) { return std::log(std::max(x, 1.0)); }
+
+double SafeLog2(double x) { return std::log2(std::max(x, 2.0)); }
+
+std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
+  assert(b > 0);
+  return (a + b - 1) / b;
+}
+
+double HarmonicNumber(std::uint64_t n) {
+  // Exact summation below a threshold; asymptotic expansion above.
+  if (n == 0) return 0.0;
+  if (n <= 1024) {
+    double h = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+    return h;
+  }
+  const double kEulerMascheroni = 0.57721566490153286;
+  const double nd = static_cast<double>(n);
+  return std::log(nd) + kEulerMascheroni + 1.0 / (2 * nd) -
+         1.0 / (12 * nd * nd);
+}
+
+double LogBinomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1) -
+         std::lgamma(static_cast<double>(k) + 1) -
+         std::lgamma(static_cast<double>(n - k) + 1);
+}
+
+double Pow(double x, double y) {
+  if (y == 0.0) return 1.0;
+  return std::pow(x, y);
+}
+
+double NthRoot(double n, double alpha) {
+  assert(alpha > 0);
+  return std::pow(n, 1.0 / alpha);
+}
+
+std::uint64_t DisjUniverseSize(std::uint64_t n, std::uint64_t m, double alpha,
+                               double t_scale) {
+  const double base = static_cast<double>(n) / SafeLog(static_cast<double>(m));
+  const double t = t_scale * std::pow(std::max(base, 1.0), 1.0 / alpha);
+  return static_cast<std::uint64_t>(std::max(1.0, std::floor(t)));
+}
+
+double ElementSamplingRate(std::uint64_t n, std::uint64_t m, std::uint64_t k,
+                           double rho, double boost) {
+  assert(rho > 0);
+  const double p = boost * 16.0 * static_cast<double>(k) *
+                   SafeLog(static_cast<double>(m)) /
+                   (rho * static_cast<double>(n));
+  return std::clamp(p, 1e-12, 1.0);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace streamsc

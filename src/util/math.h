@@ -1,0 +1,61 @@
+#ifndef STREAMSC_UTIL_MATH_H_
+#define STREAMSC_UTIL_MATH_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file math.h
+/// Small numeric helpers shared by the distributions, samplers, and
+/// benchmark harness (log-space binomials, harmonic numbers, the paper's
+/// parameter formulas).
+
+namespace streamsc {
+
+/// Natural logarithm of max(x, 1) — the paper's "log" with the usual
+/// convention that log of small arguments never goes negative in
+/// parameter formulas.
+double SafeLog(double x);
+
+/// Base-2 logarithm of max(x, 2) (always >= 1).
+double SafeLog2(double x);
+
+/// ceil(a / b) for positive integers.
+std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b);
+
+/// n-th harmonic number H_n = sum_{i=1..n} 1/i (greedy set cover bound).
+double HarmonicNumber(std::uint64_t n);
+
+/// log(n choose k) computed stably via lgamma.
+double LogBinomial(std::uint64_t n, std::uint64_t k);
+
+/// x^y for doubles with the convention 0^0 = 1.
+double Pow(double x, double y);
+
+/// n^{1/alpha} — the space-exponent term of the tradeoff.
+double NthRoot(double n, double alpha);
+
+/// The paper's Disj universe size for D_SC (Section 3.1):
+///   t = t_scale * (n / log m)^{1/alpha},
+/// where the paper uses t_scale = 2^-15 for proof headroom; benches use a
+/// configurable t_scale so t >= 2 at laptop scale. Result clamped to >= 1.
+std::uint64_t DisjUniverseSize(std::uint64_t n, std::uint64_t m, double alpha,
+                               double t_scale);
+
+/// Element-sampling rate from Lemma 3.12 / Algorithm 1 step 3(a):
+///   p = boost * 16 * k * log(m) / (rho * n),
+/// clamped to (0, 1]. \p boost = 1 reproduces the paper's constant.
+double ElementSamplingRate(std::uint64_t n, std::uint64_t m, std::uint64_t k,
+                           double rho, double boost);
+
+/// Mean of a sample.
+double Mean(const std::vector<double>& xs);
+
+/// Population standard deviation of a sample (0 for size < 2).
+double StdDev(const std::vector<double>& xs);
+
+/// \p q-quantile (0 <= q <= 1) using nearest-rank on a sorted copy.
+double Quantile(std::vector<double> xs, double q);
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_UTIL_MATH_H_

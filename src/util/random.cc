@@ -1,0 +1,130 @@
+#include "util/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace streamsc {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's method with rejection to remove modulo bias.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::UniformInRange(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(UniformInt(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+DynamicBitset Rng::RandomSubsetOfSize(std::size_t universe, std::size_t k) {
+  assert(k <= universe);
+  DynamicBitset out(universe);
+  // Floyd's algorithm: for j = universe-k .. universe-1, insert a random
+  // element of [0, j]; on collision insert j itself.
+  for (std::size_t j = universe - k; j < universe; ++j) {
+    const std::size_t r = static_cast<std::size_t>(UniformInt(j + 1));
+    if (out.Test(r)) {
+      out.Set(j);
+    } else {
+      out.Set(r);
+    }
+  }
+  return out;
+}
+
+DynamicBitset Rng::BernoulliSubset(std::size_t universe, double p) {
+  DynamicBitset out(universe);
+  if (p <= 0.0) return out;
+  if (p >= 1.0) {
+    out.Fill();
+    return out;
+  }
+  // Geometric skipping: expected O(p * universe) work.
+  const double log1mp = std::log1p(-p);
+  std::size_t i = 0;
+  while (true) {
+    const double u = UniformDouble();
+    const double skip = std::floor(std::log1p(-u) / log1mp);
+    if (skip >= static_cast<double>(universe - i)) break;
+    i += static_cast<std::size_t>(skip);
+    out.Set(i);
+    ++i;
+    if (i >= universe) break;
+  }
+  return out;
+}
+
+DynamicBitset Rng::BernoulliSubsample(const DynamicBitset& base, double p) {
+  DynamicBitset out(base.size());
+  base.ForEach([&](ElementId e) {
+    if (Bernoulli(p)) out.Set(e);
+  });
+  return out;
+}
+
+std::vector<std::uint32_t> Rng::RandomPermutation(std::size_t size) {
+  std::vector<std::uint32_t> perm(size);
+  for (std::size_t i = 0; i < size; ++i) perm[i] = static_cast<uint32_t>(i);
+  Shuffle(perm);
+  return perm;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace streamsc

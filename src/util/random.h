@@ -1,0 +1,81 @@
+#ifndef STREAMSC_UTIL_RANDOM_H_
+#define STREAMSC_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/common.h"
+
+/// \file random.h
+/// Deterministic pseudo-randomness for all randomized components.
+///
+/// Every randomized algorithm and distribution in this library takes an
+/// explicit Rng&, so experiments are reproducible from a single seed. The
+/// generator is splitmix64-seeded xoshiro256**, which is fast and has
+/// state small enough that "public randomness" in the communication module
+/// can be modeled as a shared seed.
+
+namespace streamsc {
+
+/// xoshiro256** pseudo-random generator with convenience samplers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds deterministically from \p seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// UniformRandomBitGenerator interface (usable with <random> adaptors).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return Next(); }
+
+  /// Next raw 64-bit output.
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's unbiased multiply-shift rejection method.
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t UniformInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial with success probability \p p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// A uniformly random k-subset of {0, ..., universe-1} as a bitset.
+  /// Precondition: k <= universe. (Floyd's algorithm; O(k) expected.)
+  DynamicBitset RandomSubsetOfSize(std::size_t universe, std::size_t k);
+
+  /// Includes each of {0, ..., universe-1} independently with prob. \p p.
+  DynamicBitset BernoulliSubset(std::size_t universe, double p);
+
+  /// Includes each member of \p base independently with probability \p p.
+  DynamicBitset BernoulliSubsample(const DynamicBitset& base, double p);
+
+  /// A uniformly random permutation of {0, ..., size-1}.
+  std::vector<std::uint32_t> RandomPermutation(std::size_t size);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(UniformInt(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel experiment arms).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_UTIL_RANDOM_H_

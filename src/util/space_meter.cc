@@ -1,0 +1,42 @@
+#include "util/space_meter.h"
+
+#include <algorithm>
+
+namespace streamsc {
+
+void SpaceMeter::Charge(Bytes bytes, const std::string& category) {
+  current_ += bytes;
+  categories_[category] += bytes;
+  peak_ = std::max(peak_, current_);
+}
+
+void SpaceMeter::Release(Bytes bytes, const std::string& category) {
+  Bytes& cat = categories_[category];
+  assert(bytes <= cat && "releasing more than charged in category");
+  assert(bytes <= current_ && "releasing more than charged in total");
+  const Bytes clamped = std::min({bytes, cat, current_});
+  cat -= clamped;
+  current_ -= clamped;
+}
+
+void SpaceMeter::SetCategory(Bytes bytes, const std::string& category) {
+  const Bytes cur = categories_[category];
+  if (bytes >= cur) {
+    Charge(bytes - cur, category);
+  } else {
+    Release(cur - bytes, category);
+  }
+}
+
+Bytes SpaceMeter::CategoryCurrent(const std::string& category) const {
+  auto it = categories_.find(category);
+  return it == categories_.end() ? 0 : it->second;
+}
+
+void SpaceMeter::Reset() {
+  current_ = 0;
+  peak_ = 0;
+  categories_.clear();
+}
+
+}  // namespace streamsc

@@ -1,0 +1,60 @@
+#ifndef STREAMSC_UTIL_SPACE_METER_H_
+#define STREAMSC_UTIL_SPACE_METER_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "util/common.h"
+
+/// \file space_meter.h
+/// Logical space accounting for streaming algorithms.
+///
+/// The paper's model charges algorithms for the bits they retain between
+/// stream items, not for transient computation. SpaceMeter implements that
+/// model: algorithms Charge() bytes when they begin retaining state and
+/// Release() when they drop it. The meter tracks the current and peak
+/// logical footprint, optionally per labelled category (so benches can
+/// report "stored projections" separately from "uncovered-elements bitset").
+
+namespace streamsc {
+
+/// Tracks current and peak logical space of one algorithm run.
+/// Not thread-safe (one meter per run).
+class SpaceMeter {
+ public:
+  SpaceMeter() = default;
+
+  /// Charges \p bytes under \p category.
+  void Charge(Bytes bytes, const std::string& category = "default");
+
+  /// Releases \p bytes from \p category. Releasing more than charged in a
+  /// category is an accounting bug; asserts in debug builds and clamps in
+  /// release builds.
+  void Release(Bytes bytes, const std::string& category = "default");
+
+  /// Adjusts a category to an absolute level (charge or release the delta).
+  void SetCategory(Bytes bytes, const std::string& category);
+
+  /// Current total logical footprint in bytes.
+  Bytes current() const { return current_; }
+
+  /// Peak total logical footprint in bytes since construction/Reset().
+  Bytes peak() const { return peak_; }
+
+  /// Current footprint of one category (0 if never charged).
+  Bytes CategoryCurrent(const std::string& category) const;
+
+  /// Zeroes all counters and categories.
+  void Reset();
+
+ private:
+  Bytes current_ = 0;
+  Bytes peak_ = 0;
+  std::unordered_map<std::string, Bytes> categories_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_UTIL_SPACE_METER_H_

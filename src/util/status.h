@@ -1,0 +1,125 @@
+#ifndef STREAMSC_UTIL_STATUS_H_
+#define STREAMSC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+/// \file status.h
+/// Minimal Status / StatusOr error-propagation vocabulary (RocksDB-style:
+/// no exceptions cross public API boundaries).
+
+namespace streamsc {
+
+/// Machine-readable error category.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kNotFound,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with \p code and diagnostic \p message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers mirroring absl::*Error.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// Error category; kOk iff ok().
+  StatusCode code() const { return code_; }
+
+  /// Diagnostic message (empty for OK statuses).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Move-friendly; asserts on
+/// value access when holding an error (callers must check ok() first).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, mirrors absl::StatusOr ergonomics).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK when a value is held).
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_UTIL_STATUS_H_

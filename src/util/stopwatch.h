@@ -1,0 +1,34 @@
+#ifndef STREAMSC_UTIL_STOPWATCH_H_
+#define STREAMSC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+/// \file stopwatch.h
+/// Wall-clock timing helper for the benchmark harness.
+
+namespace streamsc {
+
+/// Measures elapsed wall time from construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_UTIL_STOPWATCH_H_

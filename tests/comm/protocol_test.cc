@@ -1,0 +1,118 @@
+#include "comm/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "comm/reductions.h"
+
+namespace streamsc {
+namespace {
+
+TEST(TranscriptTest, AccumulatesBitsAndMessages) {
+  Transcript transcript;
+  EXPECT_EQ(transcript.TotalBits(), 0u);
+  transcript.Append(Player::kAlice, 10, 111);
+  transcript.Append(Player::kBob, 5, 222);
+  EXPECT_EQ(transcript.TotalBits(), 15u);
+  EXPECT_EQ(transcript.NumMessages(), 2u);
+  EXPECT_EQ(transcript.messages()[0].sender, Player::kAlice);
+  EXPECT_EQ(transcript.messages()[1].bits, 5u);
+}
+
+TEST(TranscriptTest, DigestIsOrderSensitive) {
+  Transcript ab, ba;
+  ab.Append(Player::kAlice, 1, 1);
+  ab.Append(Player::kBob, 1, 2);
+  ba.Append(Player::kBob, 1, 2);
+  ba.Append(Player::kAlice, 1, 1);
+  EXPECT_NE(ab.Digest(), ba.Digest());
+}
+
+TEST(TranscriptTest, DigestDeterministic) {
+  Transcript a, b;
+  a.Append(Player::kAlice, 7, 42);
+  b.Append(Player::kAlice, 7, 42);
+  EXPECT_EQ(a.Digest(), b.Digest());
+}
+
+TEST(PlayerTest, Names) {
+  EXPECT_STREQ(PlayerName(Player::kAlice), "alice");
+  EXPECT_STREQ(PlayerName(Player::kBob), "bob");
+}
+
+TEST(TrivialDisjProtocolTest, ZeroErrorOnHardDistribution) {
+  DisjDistribution dist(24);
+  TrivialDisjProtocol protocol;
+  Rng rng(1);
+  const ProtocolEvaluation eval =
+      EvaluateDisjProtocol(protocol, dist, 300, rng);
+  EXPECT_EQ(eval.errors, 0u);
+  // t bits from Alice + 1 answer bit.
+  EXPECT_DOUBLE_EQ(eval.mean_bits, 25.0);
+}
+
+TEST(TrivialGhdProtocolTest, ZeroErrorOnHardDistribution) {
+  GhdDistribution dist(32, 16, 16);
+  TrivialGhdProtocol protocol(dist);
+  Rng rng(2);
+  const ProtocolEvaluation eval = EvaluateGhdProtocol(protocol, dist, 300, rng);
+  EXPECT_EQ(eval.errors, 0u);
+  EXPECT_DOUBLE_EQ(eval.mean_bits, 33.0);
+}
+
+TEST(SampledDisjProtocolTest, FullBudgetIsExact) {
+  DisjDistribution dist(24);
+  SampledDisjProtocol protocol(24);
+  Rng rng(3);
+  const ProtocolEvaluation eval =
+      EvaluateDisjProtocol(protocol, dist, 300, rng);
+  EXPECT_EQ(eval.errors, 0u);
+}
+
+TEST(SampledDisjProtocolTest, ErrorGrowsAsBudgetShrinks) {
+  // Sub-linear communication must pay in error — the qualitative content
+  // of the Ω(t) bound (Prop. 2.5).
+  DisjDistribution dist(64);
+  Rng rng(4);
+  SampledDisjProtocol full(64), half(32), tiny(4);
+  const double err_full =
+      EvaluateDisjProtocol(full, dist, 600, rng).error_rate;
+  const double err_half =
+      EvaluateDisjProtocol(half, dist, 600, rng).error_rate;
+  const double err_tiny =
+      EvaluateDisjProtocol(tiny, dist, 600, rng).error_rate;
+  EXPECT_EQ(err_full, 0.0);
+  EXPECT_GT(err_tiny, err_half);
+  EXPECT_GT(err_half, 0.0);
+}
+
+TEST(SampledDisjProtocolTest, OneSidedError) {
+  // The sampled protocol can only err by answering Yes on a No instance.
+  DisjDistribution dist(32);
+  SampledDisjProtocol protocol(8);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const DisjInstance yes = dist.SampleYes(rng);
+    Transcript transcript;
+    Rng shared = rng.Fork();
+    EXPECT_TRUE(protocol.Run(yes, shared, &transcript));
+  }
+}
+
+TEST(SampledDisjProtocolTest, BudgetChargedOnTranscript) {
+  DisjDistribution dist(32);
+  SampledDisjProtocol protocol(10);
+  Rng rng(6);
+  const DisjInstance inst = dist.Sample(rng);
+  Transcript transcript;
+  Rng shared(1);
+  protocol.Run(inst, shared, &transcript);
+  EXPECT_EQ(transcript.TotalBits(), 11u);  // 10 sampled bits + 1 answer
+}
+
+TEST(ProtocolNamesTest, Names) {
+  EXPECT_EQ(TrivialDisjProtocol().name(), "trivial-disj");
+  EXPECT_NE(SampledDisjProtocol(5).name().find("bits=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,120 @@
+#include "comm/streaming_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/assadi_set_cover.h"
+#include "core/max_coverage.h"
+#include "core/threshold_greedy.h"
+#include "instance/generators.h"
+
+namespace streamsc {
+namespace {
+
+StreamingSetCoverValueProtocol::AlgorithmFactory AssadiFactory(
+    std::size_t alpha) {
+  return [alpha]() -> std::unique_ptr<StreamingSetCoverAlgorithm> {
+    AssadiConfig config;
+    config.alpha = alpha;
+    config.epsilon = 0.5;
+    return std::make_unique<AssadiSetCover>(config);
+  };
+}
+
+TEST(StreamingSetCoverProtocolTest, EstimatesPlantedOpt) {
+  Rng rng(1);
+  std::vector<SetId> planted;
+  const SetSystem system = PlantedCoverInstance(300, 30, 3, rng, &planted);
+  // Split sets between players arbitrarily (evens/odds).
+  std::vector<DynamicBitset> alice, bob;
+  for (std::size_t i = 0; i < system.num_sets(); ++i) {
+    (i % 2 == 0 ? alice : bob).push_back(system.set(i));
+  }
+  StreamingSetCoverValueProtocol protocol(AssadiFactory(2), false);
+  Transcript transcript;
+  Rng shared(2);
+  const double estimate =
+      protocol.EstimateOpt(alice, bob, 300, shared, &transcript);
+  // α-approximation of value: opt <= estimate <= ~α(1+ε)² opt.
+  EXPECT_GE(estimate, 3.0);
+  EXPECT_LE(estimate, 2.0 * (1.5 * 1.5) * 3.0);
+}
+
+TEST(StreamingSetCoverProtocolTest, TranscriptChargesPassesTimesSpace) {
+  Rng rng(3);
+  const SetSystem system = PlantedCoverInstance(256, 20, 2, rng);
+  std::vector<DynamicBitset> alice(system.sets().begin(),
+                                   system.sets().begin() + 10);
+  std::vector<DynamicBitset> bob(system.sets().begin() + 10,
+                                 system.sets().end());
+  StreamingSetCoverValueProtocol protocol(AssadiFactory(2), false);
+  Transcript transcript;
+  Rng shared(4);
+  protocol.EstimateOpt(alice, bob, 256, shared, &transcript);
+  EXPECT_GT(transcript.TotalBits(), 0u);
+  // Two crossings per pass.
+  EXPECT_EQ(transcript.NumMessages() % 2, 0u);
+  EXPECT_GE(transcript.NumMessages(), 2u);
+}
+
+TEST(StreamingSetCoverProtocolTest, RandomOrderVariantRuns) {
+  Rng rng(5);
+  const SetSystem system = PlantedCoverInstance(256, 20, 2, rng);
+  std::vector<DynamicBitset> alice(system.sets().begin(),
+                                   system.sets().begin() + 10);
+  std::vector<DynamicBitset> bob(system.sets().begin() + 10,
+                                 system.sets().end());
+  StreamingSetCoverValueProtocol protocol(AssadiFactory(2), true);
+  Transcript transcript;
+  Rng shared(6);
+  const double estimate =
+      protocol.EstimateOpt(alice, bob, 256, shared, &transcript);
+  EXPECT_GE(estimate, 2.0);
+  EXPECT_NE(protocol.name().find("random-order"), std::string::npos);
+}
+
+TEST(StreamingSetCoverProtocolTest, ThresholdGreedyBackendWorks) {
+  Rng rng(7);
+  const SetSystem system = PlantedCoverInstance(256, 24, 3, rng);
+  std::vector<DynamicBitset> alice(system.sets().begin(),
+                                   system.sets().begin() + 12);
+  std::vector<DynamicBitset> bob(system.sets().begin() + 12,
+                                 system.sets().end());
+  StreamingSetCoverValueProtocol protocol(
+      []() -> std::unique_ptr<StreamingSetCoverAlgorithm> {
+        return std::make_unique<ThresholdGreedySetCover>();
+      },
+      false);
+  Transcript transcript;
+  Rng shared(8);
+  const double estimate =
+      protocol.EstimateOpt(alice, bob, 256, shared, &transcript);
+  EXPECT_GE(estimate, 3.0);
+}
+
+TEST(StreamingMaxCoverageProtocolTest, EstimatesCoverage) {
+  Rng rng(9);
+  const SetSystem system = UniformRandomInstance(200, 20, 60, rng);
+  std::vector<DynamicBitset> alice(system.sets().begin(),
+                                   system.sets().begin() + 10);
+  std::vector<DynamicBitset> bob(system.sets().begin() + 10,
+                                 system.sets().end());
+  StreamingMaxCoverageValueProtocol protocol(
+      []() -> std::unique_ptr<StreamingMaxCoverageAlgorithm> {
+        ElementSamplingMcConfig config;
+        config.epsilon = 0.2;
+        return std::make_unique<ElementSamplingMaxCoverage>(config);
+      },
+      false);
+  Transcript transcript;
+  Rng shared(10);
+  const double value =
+      protocol.EstimateValue(alice, bob, 200, 2, shared, &transcript);
+  EXPECT_GT(value, 60.0);   // two sets of 60 minus overlap
+  EXPECT_LE(value, 200.0);
+  EXPECT_GT(transcript.TotalBits(), 0u);
+}
+
+}  // namespace
+}  // namespace streamsc

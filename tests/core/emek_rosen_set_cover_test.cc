@@ -1,0 +1,135 @@
+#include "core/emek_rosen_set_cover.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "instance/generators.h"
+#include "offline/verifier.h"
+#include "stream/set_stream.h"
+
+namespace streamsc {
+namespace {
+
+TEST(EmekRosenTest, CoversSimpleInstance) {
+  SetSystem system(6);
+  system.AddSetFromIndices({0, 1, 2});
+  system.AddSetFromIndices({3, 4});
+  system.AddSetFromIndices({5});
+  VectorSetStream stream(system);
+  EmekRosenSetCover algorithm;
+  const SetCoverRunResult result = algorithm.Run(stream);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(system.IsFeasibleCover(result.solution.chosen));
+}
+
+TEST(EmekRosenTest, CoversAcrossGenerators) {
+  Rng rng(1);
+  std::vector<SetSystem> instances;
+  instances.push_back(PlantedCoverInstance(400, 40, 4, rng));
+  instances.push_back(UniformRandomInstance(200, 25, 40, rng));
+  instances.push_back(ZipfInstance(250, 30, 1.0, 120, rng));
+  instances.push_back(BlogTopicInstance(200, 30, 0.15, rng));
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    VectorSetStream stream(instances[i]);
+    EmekRosenSetCover algorithm;
+    const SetCoverRunResult result = algorithm.Run(stream);
+    ASSERT_TRUE(result.feasible) << "instance " << i;
+    EXPECT_TRUE(VerifyCover(instances[i], result.solution).feasible);
+  }
+}
+
+TEST(EmekRosenTest, DefaultThresholdIsSqrtN) {
+  EmekRosenSetCover algorithm;
+  EXPECT_EQ(algorithm.ThresholdFor(100), 10u);
+  EXPECT_EQ(algorithm.ThresholdFor(101), 11u);  // ceil
+  EXPECT_EQ(algorithm.ThresholdFor(1), 1u);
+  EXPECT_EQ(algorithm.ThresholdFor(0), 1u);  // clamped floor
+}
+
+TEST(EmekRosenTest, ThresholdOverride) {
+  EmekRosenConfig config;
+  config.threshold = 7;
+  EmekRosenSetCover algorithm(config);
+  EXPECT_EQ(algorithm.ThresholdFor(100), 7u);
+  EXPECT_NE(algorithm.name().find("theta=7"), std::string::npos);
+}
+
+TEST(EmekRosenTest, UsesAtMostTwoPasses) {
+  // One streaming pass + at most one feasibility-verification pass.
+  Rng rng(2);
+  const SetSystem system = UniformRandomInstance(300, 30, 30, rng);
+  VectorSetStream stream(system);
+  EmekRosenSetCover algorithm;
+  const SetCoverRunResult result = algorithm.Run(stream);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.stats.passes, 2u);
+}
+
+TEST(EmekRosenTest, SinglePassWhenBigSetsSuffice) {
+  // A full-universe set ends the run with no witness pass.
+  SetSystem system(64);
+  system.AddSet(DynamicBitset::Full(64));
+  VectorSetStream stream(system);
+  EmekRosenSetCover algorithm;
+  const SetCoverRunResult result = algorithm.Run(stream);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.stats.passes, 1u);
+  EXPECT_EQ(result.solution.size(), 1u);
+}
+
+TEST(EmekRosenTest, ApproximationWithinSqrtNBand) {
+  // Guarantee: <= sqrt(n) big picks + sqrt(n)*opt witness picks.
+  Rng rng(3);
+  const std::size_t n = 900, opt = 5;
+  const SetSystem system = PlantedCoverInstance(n, 60, opt, rng);
+  VectorSetStream stream(system);
+  EmekRosenSetCover algorithm;
+  const SetCoverRunResult result = algorithm.Run(stream);
+  ASSERT_TRUE(result.feasible);
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  EXPECT_LE(static_cast<double>(result.solution.size()),
+            sqrt_n * (static_cast<double>(opt) + 1.0));
+}
+
+TEST(EmekRosenTest, SpaceIndependentOfM) {
+  // Semi-streaming: growing m leaves the n-word state unchanged.
+  Rng rng(4);
+  Bytes space_small = 0, space_large = 0;
+  for (const std::size_t m : {32, 512}) {
+    const SetSystem system = PlantedCoverInstance(2048, m, 4, rng);
+    VectorSetStream stream(system);
+    EmekRosenSetCover algorithm;
+    const SetCoverRunResult result = algorithm.Run(stream);
+    ASSERT_TRUE(result.feasible);
+    (m == 32 ? space_small : space_large) = result.stats.peak_space_bytes;
+  }
+  EXPECT_LT(static_cast<double>(space_large),
+            1.5 * static_cast<double>(space_small));
+}
+
+TEST(EmekRosenTest, NoDuplicateIdsInSolution) {
+  Rng rng(5);
+  const SetSystem system = ZipfInstance(400, 50, 1.3, 150, rng);
+  VectorSetStream stream(system);
+  EmekRosenSetCover algorithm;
+  const SetCoverRunResult result = algorithm.Run(stream);
+  ASSERT_TRUE(result.feasible);
+  std::vector<SetId> ids = result.solution.chosen;
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(EmekRosenTest, InfeasibleInstanceReportedHonestly) {
+  // An uncoverable universe: element 5 appears in no set.
+  SetSystem system(6);
+  system.AddSetFromIndices({0, 1, 2});
+  system.AddSetFromIndices({3, 4});
+  VectorSetStream stream(system);
+  EmekRosenSetCover algorithm;
+  const SetCoverRunResult result = algorithm.Run(stream);
+  EXPECT_FALSE(result.feasible);
+}
+
+}  // namespace
+}  // namespace streamsc

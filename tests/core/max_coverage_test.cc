@@ -1,0 +1,154 @@
+#include "core/max_coverage.h"
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "instance/hard_max_coverage.h"
+#include "offline/exact_max_coverage.h"
+#include "stream/set_stream.h"
+
+namespace streamsc {
+namespace {
+
+TEST(ElementSamplingMcTest, ReturnsAtMostKSets) {
+  Rng rng(1);
+  const SetSystem system = UniformRandomInstance(300, 20, 60, rng);
+  VectorSetStream stream(system);
+  ElementSamplingMcConfig config;
+  config.epsilon = 0.2;
+  ElementSamplingMaxCoverage algorithm(config);
+  const MaxCoverageRunResult result = algorithm.Run(stream, 3);
+  EXPECT_LE(result.solution.size(), 3u);
+  EXPECT_EQ(result.coverage, system.CoverageOf(result.solution.chosen));
+}
+
+TEST(ElementSamplingMcTest, NearOptimalOnRandomInstances) {
+  // (1-ε)-approximation shape: compare to the exact optimum.
+  Rng rng(2);
+  const std::size_t k = 2;
+  int good = 0;
+  const int trials = 10;
+  for (int trial = 0; trial < trials; ++trial) {
+    const SetSystem system = UniformRandomInstance(400, 16, 100, rng);
+    const ExactMaxCoverageResult exact = SolveExactMaxCoverage(system, k);
+    VectorSetStream stream(system);
+    ElementSamplingMcConfig config;
+    config.epsilon = 0.2;
+    config.seed = 100 + trial;
+    ElementSamplingMaxCoverage algorithm(config);
+    const MaxCoverageRunResult result = algorithm.Run(stream, k);
+    if (static_cast<double>(result.coverage) >=
+        (1.0 - 2.0 * config.epsilon) * static_cast<double>(exact.coverage)) {
+      ++good;
+    }
+  }
+  EXPECT_GE(good, trials - 1);
+}
+
+TEST(ElementSamplingMcTest, SampleRateShrinksWithEpsilonSquared) {
+  ElementSamplingMcConfig config;
+  config.epsilon = 0.1;
+  ElementSamplingMaxCoverage fine(config);
+  config.epsilon = 0.2;
+  ElementSamplingMaxCoverage coarse(config);
+  const double r_fine = fine.SampleRate(1u << 20, 100, 2);
+  const double r_coarse = coarse.SampleRate(1u << 20, 100, 2);
+  EXPECT_NEAR(r_fine / r_coarse, 4.0, 0.01);
+}
+
+TEST(ElementSamplingMcTest, SpaceGrowsAsOneOverEpsilonSquared) {
+  Rng rng(3);
+  const SetSystem system = UniformRandomInstance(1u << 14, 64, 2048, rng);
+  Bytes space_fine = 0, space_coarse = 0;
+  for (const double eps : {0.1, 0.4}) {
+    VectorSetStream stream(system);
+    ElementSamplingMcConfig config;
+    config.epsilon = eps;
+    ElementSamplingMaxCoverage algorithm(config);
+    const MaxCoverageRunResult result = algorithm.Run(stream, 2);
+    (eps < 0.2 ? space_fine : space_coarse) = result.stats.peak_space_bytes;
+  }
+  EXPECT_GT(space_fine, 2 * space_coarse);
+}
+
+TEST(ElementSamplingMcTest, GreedyFallbackForLargeK) {
+  Rng rng(4);
+  const SetSystem system = UniformRandomInstance(200, 20, 30, rng);
+  VectorSetStream stream(system);
+  ElementSamplingMcConfig config;
+  config.epsilon = 0.3;
+  config.exact_k_limit = 2;  // force greedy for k = 5
+  ElementSamplingMaxCoverage algorithm(config);
+  const MaxCoverageRunResult result = algorithm.Run(stream, 5);
+  EXPECT_LE(result.solution.size(), 5u);
+  EXPECT_GT(result.coverage, 0u);
+}
+
+TEST(ElementSamplingMcTest, DistinguishesThetaOnHardDistribution) {
+  // Result 2 upper side: with ε' < ε the sketch separates θ = 0 / θ = 1
+  // D_MC instances around τ most of the time.
+  HardMaxCoverageParams params;
+  params.epsilon = 0.25;
+  params.m = 12;
+  HardMaxCoverageDistribution dist(params);
+  Rng rng(5);
+  int correct = 0;
+  const int trials = 12;
+  for (int trial = 0; trial < trials; ++trial) {
+    const bool theta_one = trial % 2 == 0;
+    const HardMaxCoverageInstance inst =
+        theta_one ? dist.SampleThetaOne(rng) : dist.SampleThetaZero(rng);
+    const SetSystem system = inst.ToSetSystem();
+    VectorSetStream stream(system);
+    ElementSamplingMcConfig config;
+    config.epsilon = 0.05;  // sketch much finer than the instance gap
+    config.seed = 50 + trial;
+    ElementSamplingMaxCoverage algorithm(config);
+    const MaxCoverageRunResult result = algorithm.Run(stream, 2);
+    const bool above = static_cast<double>(result.coverage) > inst.tau;
+    if (above == theta_one) ++correct;
+  }
+  EXPECT_GE(correct, 9);
+}
+
+TEST(SieveMcTest, ReturnsAtMostKSets) {
+  Rng rng(6);
+  const SetSystem system = UniformRandomInstance(200, 25, 40, rng);
+  VectorSetStream stream(system);
+  SieveMaxCoverage algorithm;
+  const MaxCoverageRunResult result = algorithm.Run(stream, 3);
+  EXPECT_LE(result.solution.size(), 3u);
+  EXPECT_EQ(result.stats.passes, 1u);
+  EXPECT_EQ(result.coverage, system.CoverageOf(result.solution.chosen));
+}
+
+TEST(SieveMcTest, ConstantFactorQuality) {
+  // Sieve guarantees ~(1/2 - ε) of optimum.
+  Rng rng(7);
+  int good = 0;
+  const int trials = 10;
+  for (int trial = 0; trial < trials; ++trial) {
+    const SetSystem system = UniformRandomInstance(300, 20, 60, rng);
+    const ExactMaxCoverageResult exact = SolveExactMaxCoverage(system, 2);
+    VectorSetStream stream(system);
+    SieveMaxCoverage algorithm(SieveMcConfig{0.1});
+    const MaxCoverageRunResult result = algorithm.Run(stream, 2);
+    if (static_cast<double>(result.coverage) >=
+        0.4 * static_cast<double>(exact.coverage)) {
+      ++good;
+    }
+  }
+  EXPECT_GE(good, trials - 1);
+}
+
+TEST(SieveMcTest, CoverageNeverExceedsUniverse) {
+  Rng rng(8);
+  const SetSystem system = UniformRandomInstance(100, 10, 50, rng);
+  VectorSetStream stream(system);
+  SieveMaxCoverage algorithm;
+  const MaxCoverageRunResult result = algorithm.Run(stream, 4);
+  EXPECT_LE(result.coverage, 100u);
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,84 @@
+#include "core/one_pass_set_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "stream/set_stream.h"
+
+namespace streamsc {
+namespace {
+
+TEST(OnePassSetCoverTest, SinglePassOnly) {
+  Rng rng(1);
+  const SetSystem system = PlantedCoverInstance(200, 20, 4, rng);
+  VectorSetStream stream(system);
+  OnePassSetCover algorithm;
+  const SetCoverRunResult result = algorithm.Run(stream);
+  EXPECT_EQ(result.stats.passes, 1u);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(system.IsFeasibleCover(result.solution.chosen));
+}
+
+TEST(OnePassSetCoverTest, TakeAnythingIsAlwaysFeasible) {
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    const SetSystem system = UniformRandomInstance(100, 15, 20, rng);
+    VectorSetStream stream(system);
+    OnePassSetCover algorithm;
+    const SetCoverRunResult result = algorithm.Run(stream);
+    EXPECT_TRUE(result.feasible);
+  }
+}
+
+TEST(OnePassSetCoverTest, AdversarialOrderDegradesApproximation) {
+  // Ascending set sizes: greedy-take-anything picks many small sets first.
+  SetSystem system(64);
+  for (ElementId e = 0; e < 32; ++e) {
+    system.AddSetFromIndices({e});  // 32 singletons first
+  }
+  system.AddSet(DynamicBitset::Full(64));  // the one-set optimum arrives last
+  VectorSetStream stream(system);
+  OnePassSetCover algorithm;
+  const SetCoverRunResult result = algorithm.Run(stream);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GE(result.solution.size(), 32u);  // ratio 33 vs opt 1
+}
+
+TEST(OnePassSetCoverTest, ThresholdVariantSkipsSmallSets) {
+  SetSystem system(64);
+  for (ElementId e = 0; e < 32; ++e) {
+    system.AddSetFromIndices({e});
+  }
+  system.AddSet(DynamicBitset::Full(64));
+  VectorSetStream stream(system);
+  OnePassSetCover algorithm(OnePassConfig{0.25});
+  const SetCoverRunResult result = algorithm.Run(stream);
+  // Singletons (gain 1 < 0.25·64) are skipped; the full set is taken.
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.solution.size(), 1u);
+}
+
+TEST(OnePassSetCoverTest, ThresholdVariantCanBeInfeasible) {
+  SetSystem system(10);
+  for (ElementId e = 0; e < 10; ++e) {
+    system.AddSetFromIndices({e});
+  }
+  VectorSetStream stream(system);
+  OnePassSetCover algorithm(OnePassConfig{0.5});  // needs gain >= 5
+  const SetCoverRunResult result = algorithm.Run(stream);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(OnePassSetCoverTest, SpaceIsUncoveredBitsetPlusSolution) {
+  Rng rng(3);
+  const std::size_t n = 4096;
+  const SetSystem system = PlantedCoverInstance(n, 64, 4, rng);
+  VectorSetStream stream(system);
+  OnePassSetCover algorithm;
+  const SetCoverRunResult result = algorithm.Run(stream);
+  // Peak is close to n bits (the U bitset); far from m·n.
+  EXPECT_LE(result.stats.peak_space_bytes, n / 8 + 64 * sizeof(SetId) + 64);
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,94 @@
+#include "core/threshold_greedy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "instance/generators.h"
+#include "stream/set_stream.h"
+#include "util/math.h"
+
+namespace streamsc {
+namespace {
+
+TEST(ThresholdGreedyTest, CoversSimpleInstance) {
+  SetSystem system(6);
+  system.AddSetFromIndices({0, 1, 2});
+  system.AddSetFromIndices({3, 4});
+  system.AddSetFromIndices({5});
+  VectorSetStream stream(system);
+  ThresholdGreedySetCover algorithm;
+  const SetCoverRunResult result = algorithm.Run(stream);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(system.IsFeasibleCover(result.solution.chosen));
+}
+
+TEST(ThresholdGreedyTest, PassBudgetIsLogarithmic) {
+  Rng rng(1);
+  const std::size_t n = 1024;
+  const SetSystem system = PlantedCoverInstance(n, 40, 5, rng);
+  VectorSetStream stream(system);
+  ThresholdGreedySetCover algorithm(ThresholdGreedyConfig{2.0});
+  const SetCoverRunResult result = algorithm.Run(stream);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.stats.passes,
+            static_cast<std::uint64_t>(std::log2(n)) + 2);
+}
+
+TEST(ThresholdGreedyTest, SpaceIndependentOfM) {
+  // Õ(n) space: growing m leaves peak space nearly unchanged.
+  Rng rng(2);
+  const std::size_t n = 2048;
+  Bytes space_small = 0, space_large = 0;
+  for (const std::size_t m : {32, 512}) {
+    const SetSystem system = PlantedCoverInstance(n, m, 4, rng);
+    VectorSetStream stream(system);
+    ThresholdGreedySetCover algorithm;
+    const SetCoverRunResult result = algorithm.Run(stream);
+    ASSERT_TRUE(result.feasible);
+    (m == 32 ? space_small : space_large) = result.stats.peak_space_bytes;
+  }
+  // Allow slack for the (m-dependent) solution id list.
+  EXPECT_LT(static_cast<double>(space_large),
+            1.5 * static_cast<double>(space_small));
+}
+
+TEST(ThresholdGreedyTest, ApproximationWithinLogFactor) {
+  Rng rng(3);
+  const std::size_t opt = 6;
+  const SetSystem system = PlantedCoverInstance(600, 60, opt, rng);
+  VectorSetStream stream(system);
+  ThresholdGreedySetCover algorithm;
+  const SetCoverRunResult result = algorithm.Run(stream);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(static_cast<double>(result.solution.size()),
+            2.0 * (HarmonicNumber(600) + 1.0) * opt);
+}
+
+TEST(ThresholdGreedyTest, LargerBetaFewerPasses) {
+  Rng rng(4);
+  const SetSystem system = PlantedCoverInstance(1024, 30, 4, rng);
+  VectorSetStream stream2(system);
+  ThresholdGreedySetCover algo2(ThresholdGreedyConfig{2.0});
+  const auto result2 = algo2.Run(stream2);
+  VectorSetStream stream4(system);
+  ThresholdGreedySetCover algo4(ThresholdGreedyConfig{4.0});
+  const auto result4 = algo4.Run(stream4);
+  ASSERT_TRUE(result2.feasible);
+  ASSERT_TRUE(result4.feasible);
+  EXPECT_LT(result4.stats.passes, result2.stats.passes);
+}
+
+TEST(ThresholdGreedyTest, StopsEarlyWhenCovered) {
+  SetSystem system(64);
+  system.AddSet(DynamicBitset::Full(64));
+  VectorSetStream stream(system);
+  ThresholdGreedySetCover algorithm;
+  const SetCoverRunResult result = algorithm.Run(stream);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.solution.size(), 1u);
+  EXPECT_LE(result.stats.passes, 2u);
+}
+
+}  // namespace
+}  // namespace streamsc

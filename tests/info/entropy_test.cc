@@ -1,0 +1,107 @@
+#include "info/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace streamsc {
+namespace {
+
+TEST(EntropyTest, EmptyCountsZero) {
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({}), 0.0);
+}
+
+TEST(EntropyTest, DeterministicVariableHasZeroEntropy) {
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({{7, 100}}), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateEntropy({5, 5, 5, 5}), 0.0);
+}
+
+TEST(EntropyTest, FairCoinIsOneBit) {
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({{0, 50}, {1, 50}}), 1.0);
+}
+
+TEST(EntropyTest, UniformOverEightValuesIsThreeBits) {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  for (std::uint64_t v = 0; v < 8; ++v) counts[v] = 10;
+  EXPECT_NEAR(EntropyFromCounts(counts), 3.0, 1e-12);
+}
+
+TEST(EntropyTest, BiasedCoin) {
+  // H(0.25) = 0.25·log2(4) + 0.75·log2(4/3).
+  const double expected = 0.25 * 2 + 0.75 * std::log2(4.0 / 3.0);
+  EXPECT_NEAR(EntropyFromCounts({{0, 25}, {1, 75}}), expected, 1e-12);
+}
+
+TEST(MutualInformationTest, IndependentVariablesNearZero) {
+  Rng rng(1);
+  std::vector<std::uint64_t> xs, ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.UniformInt(4));
+    ys.push_back(rng.UniformInt(4));
+  }
+  EXPECT_NEAR(EstimateMutualInformation(xs, ys), 0.0, 0.01);
+}
+
+TEST(MutualInformationTest, IdenticalVariablesGiveFullEntropy) {
+  Rng rng(2);
+  std::vector<std::uint64_t> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.UniformInt(4));
+  EXPECT_NEAR(EstimateMutualInformation(xs, xs), 2.0, 0.01);
+}
+
+TEST(MutualInformationTest, FunctionOfXCapsAtFunctionEntropy) {
+  Rng rng(3);
+  std::vector<std::uint64_t> xs, ys;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t x = rng.UniformInt(8);
+    xs.push_back(x);
+    ys.push_back(x % 2);  // one bit of x
+  }
+  EXPECT_NEAR(EstimateMutualInformation(xs, ys), 1.0, 0.01);
+}
+
+TEST(MutualInformationTest, NeverNegative) {
+  EXPECT_GE(EstimateMutualInformation({1, 2, 3}, {4, 5, 6}), 0.0);
+  EXPECT_GE(EstimateMutualInformation({}, {}), 0.0);
+}
+
+TEST(ConditionalMiTest, ConditioningRemovesSharedDependence) {
+  // X = Z, Y = Z: I(X:Y) = H(Z) but I(X:Y | Z) = 0.
+  Rng rng(4);
+  std::vector<Triple> triples;
+  std::vector<std::uint64_t> xs, ys;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t z = rng.UniformInt(4);
+    triples.push_back(Triple{z, z, z});
+    xs.push_back(z);
+    ys.push_back(z);
+  }
+  EXPECT_NEAR(EstimateMutualInformation(xs, ys), 2.0, 0.01);
+  EXPECT_NEAR(EstimateConditionalMutualInformation(triples), 0.0, 0.01);
+}
+
+TEST(ConditionalMiTest, XorRevealsOnlyUnderConditioning) {
+  // X, W fair independent bits; Y = X ⊕ W; Z = W.
+  // I(X : Y) = 0 but I(X : Y | Z) = 1.
+  Rng rng(5);
+  std::vector<Triple> triples;
+  std::vector<std::uint64_t> xs, ys;
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t x = rng.UniformInt(2);
+    const std::uint64_t w = rng.UniformInt(2);
+    triples.push_back(Triple{x, x ^ w, w});
+    xs.push_back(x);
+    ys.push_back(x ^ w);
+  }
+  EXPECT_NEAR(EstimateMutualInformation(xs, ys), 0.0, 0.01);
+  EXPECT_NEAR(EstimateConditionalMutualInformation(triples), 1.0, 0.01);
+}
+
+TEST(ConditionalMiTest, EmptySamples) {
+  EXPECT_DOUBLE_EQ(EstimateConditionalMutualInformation({}), 0.0);
+}
+
+}  // namespace
+}  // namespace streamsc

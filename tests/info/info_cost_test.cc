@@ -1,0 +1,101 @@
+#include "info/info_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace streamsc {
+namespace {
+
+// A protocol that reveals nothing: Bob hears a constant.
+class SilentDisjProtocol : public DisjProtocol {
+ public:
+  std::string name() const override { return "silent"; }
+  bool Run(const DisjInstance& instance, Rng& shared_rng,
+           Transcript* transcript) override {
+    (void)instance;
+    transcript->Append(Player::kAlice, 1, 0);
+    // Guess via public coin only.
+    return shared_rng.Bernoulli(0.5);
+  }
+};
+
+TEST(InfoCostTest, SilentProtocolHasZeroInformationCost) {
+  DisjDistribution dist(6);
+  SilentDisjProtocol protocol;
+  Rng rng(1);
+  const InfoCostEstimate estimate = EstimateDisjInfoCost(
+      protocol, dist, DisjConditioning::kMixed, 5000, rng);
+  EXPECT_NEAR(estimate.icost, 0.0, 0.02);
+  EXPECT_EQ(estimate.samples, 5000u);
+}
+
+TEST(InfoCostTest, TrivialProtocolRevealsAliceInput) {
+  // Alice sends A: I(Π : A | B) ≈ H(A | B) > 0, I(Π : B | A) ≈ 0.
+  const std::size_t t = 5;
+  DisjDistribution dist(t);
+  TrivialDisjProtocol protocol;
+  Rng rng(2);
+  const InfoCostEstimate estimate = EstimateDisjInfoCost(
+      protocol, dist, DisjConditioning::kYesOnly, 60000, rng);
+  EXPECT_GT(estimate.i_pi_x_given_y, 1.0);
+  // Bob's answer bit is a function of (A, B); given A it still carries a
+  // little about B — but far less than Alice's side.
+  EXPECT_LT(estimate.i_pi_y_given_x, estimate.i_pi_x_given_y);
+  EXPECT_GT(estimate.icost, 1.0);
+}
+
+TEST(InfoCostTest, InfoCostGrowsWithUniverse) {
+  // The Ω(t) scaling of Prop 2.5, upper-bound side: the trivial protocol's
+  // cost grows with t.
+  TrivialDisjProtocol protocol;
+  Rng rng(3);
+  DisjDistribution small(3), large(7);
+  const InfoCostEstimate e_small = EstimateDisjInfoCost(
+      protocol, small, DisjConditioning::kYesOnly, 60000, rng);
+  const InfoCostEstimate e_large = EstimateDisjInfoCost(
+      protocol, large, DisjConditioning::kYesOnly, 60000, rng);
+  EXPECT_GT(e_large.icost, e_small.icost + 0.5);
+}
+
+TEST(InfoCostTest, SampledProtocolInterpolates) {
+  // Communication budget below t ⇒ information below the trivial cost.
+  const std::size_t t = 7;
+  DisjDistribution dist(t);
+  Rng rng(4);
+  TrivialDisjProtocol trivial;
+  SampledDisjProtocol sampled(2);
+  const InfoCostEstimate e_trivial = EstimateDisjInfoCost(
+      trivial, dist, DisjConditioning::kYesOnly, 50000, rng);
+  const InfoCostEstimate e_sampled = EstimateDisjInfoCost(
+      sampled, dist, DisjConditioning::kYesOnly, 50000, rng);
+  EXPECT_LT(e_sampled.icost, e_trivial.icost);
+  EXPECT_GT(e_sampled.icost, 0.0);
+}
+
+TEST(InfoCostTest, YesAndNoConditionalsBothMeasurable) {
+  // The Lemma 3.5 theme: the information cost on D^N is comparable to the
+  // cost on D^Y for a protocol that actually solves the problem.
+  const std::size_t t = 6;
+  DisjDistribution dist(t);
+  TrivialDisjProtocol protocol;
+  Rng rng(5);
+  const InfoCostEstimate yes = EstimateDisjInfoCost(
+      protocol, dist, DisjConditioning::kYesOnly, 50000, rng);
+  const InfoCostEstimate no = EstimateDisjInfoCost(
+      protocol, dist, DisjConditioning::kNoOnly, 50000, rng);
+  EXPECT_GT(yes.icost, 1.0);
+  EXPECT_GT(no.icost, 1.0);
+  EXPECT_NEAR(yes.icost, no.icost, 1.5);
+}
+
+TEST(InfoCostTest, GhdTrivialProtocolRevealsAliceSide) {
+  GhdDistribution dist(8, 4, 4);
+  TrivialGhdProtocol protocol(dist);
+  Rng rng(6);
+  const InfoCostEstimate estimate = EstimateGhdInfoCost(
+      protocol, dist, GhdConditioning::kMixed, 50000, rng);
+  EXPECT_GT(estimate.i_pi_x_given_y, 0.5);
+  EXPECT_GT(estimate.icost, 0.5);
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,112 @@
+#include "info/odometer.h"
+
+#include <gtest/gtest.h>
+
+#include "comm/reductions.h"
+
+namespace streamsc {
+namespace {
+
+TEST(OdometerProfileTest, TrivialProtocolProfileIsMonotone) {
+  // Cumulative information can only grow with the prefix length.
+  DisjDistribution dist(6);
+  TrivialDisjProtocol protocol;
+  Rng rng(1);
+  const OdometerProfile profile = EstimatePrefixInformation(
+      protocol, dist, OdometerConditioning::kMixed, 20000, rng);
+  ASSERT_EQ(profile.cumulative_bits.size(), 2u);  // A's vector, B's answer
+  EXPECT_LE(profile.cumulative_bits[0],
+            profile.cumulative_bits[1] + 0.05);  // MC noise slack
+  EXPECT_GT(profile.cumulative_bits[0], 1.0);    // A's vector carries bits
+}
+
+TEST(OdometerProfileTest, FirstMessageCarriesAliceInformation) {
+  // After Alice's full vector, I(Π : A | B) should be near H(A | B) — for
+  // t = 4 under D_Disj that is > 2 bits; B's answer adds little.
+  DisjDistribution dist(4);
+  TrivialDisjProtocol protocol;
+  Rng rng(2);
+  const OdometerProfile profile = EstimatePrefixInformation(
+      protocol, dist, OdometerConditioning::kMixed, 30000, rng);
+  ASSERT_GE(profile.cumulative_bits.size(), 1u);
+  EXPECT_GT(profile.cumulative_bits[0], 1.5);
+}
+
+TEST(OdometerProfileTest, ConditioningsAgreeOnShape) {
+  DisjDistribution dist(5);
+  TrivialDisjProtocol protocol;
+  Rng rng(3);
+  const OdometerProfile yes = EstimatePrefixInformation(
+      protocol, dist, OdometerConditioning::kYesOnly, 20000, rng);
+  const OdometerProfile no = EstimatePrefixInformation(
+      protocol, dist, OdometerConditioning::kNoOnly, 20000, rng);
+  ASSERT_EQ(yes.cumulative_bits.size(), no.cumulative_bits.size());
+  // Lemma 3.5's premise: the two costs are within a constant of each
+  // other (N/Y ratio Theta(1)).
+  EXPECT_GT(no.cumulative_bits.back(), 0.3 * yes.cumulative_bits.back());
+  EXPECT_LT(no.cumulative_bits.back(), 3.0 * yes.cumulative_bits.back());
+}
+
+TEST(BudgetedOdometerTest, GenerousBudgetPreservesAnswers) {
+  DisjDistribution dist(6);
+  TrivialDisjProtocol inner;
+  Rng profile_rng(4);
+  OdometerProfile profile = EstimatePrefixInformation(
+      inner, dist, OdometerConditioning::kMixed, 20000, profile_rng);
+  BudgetedOdometerProtocol wrapped(&inner, profile, /*budget_bits=*/1e9);
+
+  Rng rng(5);
+  const ProtocolEvaluation eval = EvaluateDisjProtocol(wrapped, dist, 300, rng);
+  EXPECT_EQ(eval.errors, 0u);
+  EXPECT_EQ(wrapped.truncations(), 0u);
+}
+
+TEST(BudgetedOdometerTest, ZeroBudgetTruncatesEverythingToNo) {
+  DisjDistribution dist(6);
+  TrivialDisjProtocol inner;
+  Rng profile_rng(6);
+  OdometerProfile profile = EstimatePrefixInformation(
+      inner, dist, OdometerConditioning::kMixed, 10000, profile_rng);
+  BudgetedOdometerProtocol wrapped(&inner, profile, /*budget_bits=*/0.0);
+
+  Rng rng(7);
+  const ProtocolEvaluation eval = EvaluateDisjProtocol(wrapped, dist, 200, rng);
+  EXPECT_EQ(wrapped.truncations(), 200u);
+  // All answers are "No": error rate = fraction of Yes instances (~1/2).
+  EXPECT_NEAR(eval.error_rate, 0.5, 0.15);
+}
+
+TEST(BudgetedOdometerTest, IntermediateBudgetTruncatesTheTail) {
+  // Budget between the first and second prefix information levels: the
+  // answer message is cut, the information-heavy first message admitted.
+  DisjDistribution dist(5);
+  TrivialDisjProtocol inner;
+  Rng profile_rng(8);
+  OdometerProfile profile = EstimatePrefixInformation(
+      inner, dist, OdometerConditioning::kMixed, 20000, profile_rng);
+  ASSERT_EQ(profile.cumulative_bits.size(), 2u);
+  const double mid = (profile.cumulative_bits[0] +
+                      profile.cumulative_bits[1]) / 2.0;
+  // Only meaningful if the answer message adds measurable information.
+  if (profile.cumulative_bits[1] - profile.cumulative_bits[0] < 0.05) {
+    GTEST_SKIP() << "answer message adds no measurable information here";
+  }
+  BudgetedOdometerProtocol wrapped(&inner, profile, mid);
+  Rng rng(9);
+  Transcript transcript;
+  DisjInstance instance = dist.Sample(rng);
+  Rng shared(10);
+  wrapped.Run(instance, shared, &transcript);
+  EXPECT_EQ(transcript.NumMessages(), 2u);  // prefix + forced answer
+  EXPECT_EQ(wrapped.truncations(), 1u);
+}
+
+TEST(BudgetedOdometerTest, NameWrapsInner) {
+  DisjDistribution dist(4);
+  TrivialDisjProtocol inner;
+  BudgetedOdometerProtocol wrapped(&inner, OdometerProfile{}, 1.0);
+  EXPECT_NE(wrapped.name().find("odometer["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,79 @@
+#include "instance/cover_free.h"
+
+#include <gtest/gtest.h>
+
+namespace streamsc {
+namespace {
+
+TEST(CoverFreeTest, ExhaustiveFindsObviousViolation) {
+  SetSystem system(6);
+  system.AddSetFromIndices({0, 1});       // 0
+  system.AddSetFromIndices({0});          // 1
+  system.AddSetFromIndices({1});          // 2
+  system.AddSetFromIndices({2, 3, 4, 5}); // 3
+  // Sets 1 and 2 cover set 0.
+  const auto violation = FindCoveringViolationExhaustive(system, 2);
+  ASSERT_TRUE(violation.has_value());
+  const DynamicBitset covered = system.set(violation->covered);
+  const DynamicBitset coverers = system.UnionOf(violation->coverers);
+  EXPECT_TRUE(covered.IsSubsetOf(coverers));
+  EXPECT_LE(violation->coverers.size(), 2u);
+}
+
+TEST(CoverFreeTest, ExhaustiveRespectsBudget) {
+  SetSystem system(6);
+  system.AddSetFromIndices({0, 1});
+  system.AddSetFromIndices({2, 3});
+  system.AddSetFromIndices({4, 5});
+  system.AddSetFromIndices({0, 2, 4});
+  // Covering {0,2,4} needs all three disjoint pairs; no other set is
+  // covered by any two. r = 2 finds nothing, r = 3 does.
+  EXPECT_FALSE(FindCoveringViolationExhaustive(system, 2).has_value());
+  EXPECT_TRUE(FindCoveringViolationExhaustive(system, 3).has_value());
+}
+
+TEST(CoverFreeTest, NoViolationOnDisjointFamily) {
+  SetSystem system(9);
+  system.AddSetFromIndices({0, 1, 2});
+  system.AddSetFromIndices({3, 4, 5});
+  system.AddSetFromIndices({6, 7, 8});
+  EXPECT_FALSE(FindCoveringViolationExhaustive(system, 2).has_value());
+}
+
+TEST(CoverFreeTest, RandomSearchFindsEasyViolation) {
+  SetSystem system(4);
+  system.AddSetFromIndices({0, 1});
+  system.AddSetFromIndices({0, 2});
+  system.AddSetFromIndices({1, 3});
+  Rng rng(1);
+  // Sets 1 and 2 jointly cover set 0; random probes should find it.
+  const auto violation = FindCoveringViolationRandom(system, 2, 500, rng);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_TRUE(system.set(violation->covered)
+                  .IsSubsetOf(system.UnionOf(violation->coverers)));
+}
+
+TEST(CoverFreeTest, RandomCandidateFamiliesAreCoverFreeWhenSparse) {
+  // Probabilistic method regime: small sets, few of them -> r-cover-free.
+  Rng rng(2);
+  const SetSystem system = RandomCoverFreeCandidate(400, 12, 20, rng);
+  EXPECT_FALSE(FindCoveringViolationExhaustive(system, 2).has_value());
+}
+
+TEST(CoverFreeTest, DenseFamiliesViolate) {
+  // Huge sets over a tiny universe cannot be cover-free.
+  Rng rng(3);
+  const SetSystem system = RandomCoverFreeCandidate(10, 8, 9, rng);
+  EXPECT_TRUE(FindCoveringViolationExhaustive(system, 2).has_value());
+}
+
+TEST(CoverFreeTest, SingleSetHasNoViolation) {
+  SetSystem system(5);
+  system.AddSetFromIndices({0, 1});
+  EXPECT_FALSE(FindCoveringViolationExhaustive(system, 3).has_value());
+  Rng rng(4);
+  EXPECT_FALSE(FindCoveringViolationRandom(system, 3, 100, rng).has_value());
+}
+
+}  // namespace
+}  // namespace streamsc

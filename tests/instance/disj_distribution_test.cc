@@ -1,0 +1,104 @@
+#include "instance/disj_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace streamsc {
+namespace {
+
+TEST(DisjDistributionTest, YesInstancesAreDisjoint) {
+  DisjDistribution dist(32);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const DisjInstance inst = dist.SampleYes(rng);
+    EXPECT_TRUE(inst.IsDisjoint());
+    EXPECT_FALSE(inst.a.Intersects(inst.b));
+  }
+}
+
+TEST(DisjDistributionTest, NoInstancesIntersectInExactlyOneElement) {
+  // The construction intersects base-disjoint sets in the single planted
+  // element e* (paper, D_Disj with Z = 1).
+  DisjDistribution dist(32);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    ElementId e_star = kInvalidElementId;
+    const DisjInstance inst = dist.SampleNo(rng, &e_star);
+    EXPECT_FALSE(inst.IsDisjoint());
+    const DynamicBitset common = inst.a & inst.b;
+    EXPECT_EQ(common.CountSet(), 1u);
+    EXPECT_TRUE(common.Test(e_star));
+  }
+}
+
+TEST(DisjDistributionTest, MixedSamplesReportLatentZ) {
+  DisjDistribution dist(16);
+  Rng rng(3);
+  int z_ones = 0;
+  for (int i = 0; i < 400; ++i) {
+    int z = -1;
+    const DisjInstance inst = dist.Sample(rng, &z);
+    ASSERT_TRUE(z == 0 || z == 1);
+    z_ones += z;
+    // Z = 0 -> disjoint (Yes); Z = 1 -> intersecting (No).
+    EXPECT_EQ(inst.IsDisjoint(), z == 0);
+  }
+  // Fair coin on Z.
+  EXPECT_NEAR(z_ones / 400.0, 0.5, 0.1);
+}
+
+TEST(DisjDistributionTest, ElementMarginalsAreOneThird) {
+  // Under the base process each element lands in A w.p. 1/3.
+  const std::size_t t = 48;
+  DisjDistribution dist(t);
+  Rng rng(4);
+  const int trials = 4000;
+  std::uint64_t a_total = 0, b_total = 0;
+  for (int i = 0; i < trials; ++i) {
+    const DisjInstance inst = dist.SampleYes(rng);
+    a_total += inst.a.CountSet();
+    b_total += inst.b.CountSet();
+  }
+  EXPECT_NEAR(static_cast<double>(a_total) / (trials * t), 1.0 / 3, 0.02);
+  EXPECT_NEAR(static_cast<double>(b_total) / (trials * t), 1.0 / 3, 0.02);
+}
+
+TEST(DisjDistributionTest, UniverseSizeOne) {
+  DisjDistribution dist(1);
+  Rng rng(5);
+  const DisjInstance no = dist.SampleNo(rng);
+  EXPECT_TRUE(no.a.Test(0));
+  EXPECT_TRUE(no.b.Test(0));
+  const DisjInstance yes = dist.SampleYes(rng);
+  EXPECT_TRUE(yes.IsDisjoint());
+}
+
+TEST(DisjDistributionTest, PlantedElementUniform) {
+  const std::size_t t = 8;
+  DisjDistribution dist(t);
+  Rng rng(6);
+  std::vector<int> hits(t, 0);
+  const int trials = 8000;
+  for (int i = 0; i < trials; ++i) {
+    ElementId e_star = kInvalidElementId;
+    dist.SampleNo(rng, &e_star);
+    ASSERT_LT(e_star, t);
+    ++hits[e_star];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(h, trials / static_cast<double>(t), 6 * std::sqrt(trials / 8.0));
+  }
+}
+
+TEST(DisjInstanceTest, IsDisjointSemantics) {
+  DisjInstance inst{DynamicBitset(4), DynamicBitset(4)};
+  EXPECT_TRUE(inst.IsDisjoint());
+  inst.a.Set(2);
+  EXPECT_TRUE(inst.IsDisjoint());
+  inst.b.Set(2);
+  EXPECT_FALSE(inst.IsDisjoint());
+}
+
+}  // namespace
+}  // namespace streamsc

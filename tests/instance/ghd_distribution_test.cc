@@ -1,0 +1,106 @@
+#include "instance/ghd_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace streamsc {
+namespace {
+
+TEST(GhdDistributionTest, Thresholds) {
+  GhdDistribution dist(100, 50, 50);
+  EXPECT_DOUBLE_EQ(dist.YesThreshold(), 60.0);
+  EXPECT_DOUBLE_EQ(dist.NoThreshold(), 40.0);
+}
+
+TEST(GhdDistributionTest, ClassifyRespectsGap) {
+  GhdDistribution dist(100, 50, 50);
+  // Distance 0: No.
+  GhdInstance same{DynamicBitset(100), DynamicBitset(100)};
+  EXPECT_EQ(dist.Classify(same), GhdAnswer::kNo);
+  // Distance 100: Yes.
+  GhdInstance far{DynamicBitset::Full(100), DynamicBitset(100)};
+  EXPECT_EQ(dist.Classify(far), GhdAnswer::kYes);
+  // Distance 50 (inside the gap): star.
+  DynamicBitset half(100);
+  for (std::size_t i = 0; i < 50; ++i) half.Set(i);
+  GhdInstance mid{half, DynamicBitset(100)};
+  EXPECT_EQ(dist.Classify(mid), GhdAnswer::kStar);
+}
+
+TEST(GhdDistributionTest, YesSamplesSatisfyPromise) {
+  GhdDistribution dist(64, 32, 32);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const GhdInstance inst = dist.SampleYes(rng);
+    EXPECT_GE(static_cast<double>(inst.Distance()), dist.YesThreshold());
+    EXPECT_EQ(inst.a.CountSet(), 32u);
+    EXPECT_EQ(inst.b.CountSet(), 32u);
+  }
+}
+
+TEST(GhdDistributionTest, NoSamplesSatisfyPromise) {
+  GhdDistribution dist(64, 32, 32);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const GhdInstance inst = dist.SampleNo(rng);
+    EXPECT_LE(static_cast<double>(inst.Distance()), dist.NoThreshold());
+    EXPECT_EQ(inst.a.CountSet(), 32u);
+    EXPECT_EQ(inst.b.CountSet(), 32u);
+  }
+}
+
+TEST(GhdDistributionTest, MixedReportsBranch) {
+  GhdDistribution dist(64, 32, 32);
+  Rng rng(3);
+  int yes_count = 0;
+  for (int i = 0; i < 300; ++i) {
+    bool yes = false;
+    const GhdInstance inst = dist.Sample(rng, &yes);
+    if (yes) {
+      ++yes_count;
+      EXPECT_EQ(dist.Classify(inst), GhdAnswer::kYes);
+    } else {
+      EXPECT_EQ(dist.Classify(inst), GhdAnswer::kNo);
+    }
+  }
+  EXPECT_NEAR(yes_count / 300.0, 0.5, 0.12);
+}
+
+TEST(GhdDistributionTest, AsymmetricSizes) {
+  // (t, a, b) must keep both promises satisfiable: Δ ∈ [|a-b|, a+b]
+  // needs to straddle both thresholds (24 and 40 here).
+  GhdDistribution dist(64, 24, 40);
+  Rng rng(4);
+  const GhdInstance no = dist.SampleNo(rng);
+  EXPECT_EQ(no.a.CountSet(), 24u);
+  EXPECT_EQ(no.b.CountSet(), 40u);
+  const GhdInstance yes = dist.SampleYes(rng);
+  EXPECT_GE(static_cast<double>(yes.Distance()), dist.YesThreshold());
+}
+
+TEST(GhdDistributionTest, DistanceFormula) {
+  // Δ(A,B) = |A| + |B| - 2|A ∩ B| (used in the Lemma 4.3 proof).
+  GhdDistribution dist(64, 32, 32);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const GhdInstance inst = dist.SampleYes(rng);
+    const Count inter = inst.a.CountAnd(inst.b);
+    EXPECT_EQ(inst.Distance(),
+              inst.a.CountSet() + inst.b.CountSet() - 2 * inter);
+  }
+}
+
+TEST(GhdDistributionTest, SmallUniverse) {
+  GhdDistribution dist(4, 2, 2);
+  Rng rng(6);
+  // Yes needs distance >= 4; No needs distance <= 0. Both are achievable
+  // with |A| = |B| = 2 over [4] (complementary / identical pairs).
+  const GhdInstance yes = dist.SampleYes(rng);
+  EXPECT_GE(yes.Distance(), 4u);
+  const GhdInstance no = dist.SampleNo(rng);
+  EXPECT_EQ(no.Distance(), 0u);
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,163 @@
+#include "instance/hard_max_coverage.h"
+
+#include <gtest/gtest.h>
+
+#include "offline/exact_max_coverage.h"
+
+namespace streamsc {
+namespace {
+
+HardMaxCoverageParams SmallParams() {
+  HardMaxCoverageParams params;
+  params.epsilon = 0.2;  // t1 = 25
+  params.m = 10;
+  return params;
+}
+
+TEST(HardMaxCoverageTest, UniverseSplit) {
+  HardMaxCoverageDistribution dist(SmallParams());
+  EXPECT_EQ(dist.t1(), 25u);
+  EXPECT_EQ(dist.t2(), 250u);
+  Rng rng(1);
+  const HardMaxCoverageInstance inst = dist.Sample(rng);
+  EXPECT_EQ(inst.n(), 275u);
+  EXPECT_EQ(inst.m(), 10u);
+  EXPECT_EQ(inst.t1, 25u);
+  EXPECT_EQ(inst.t2, 250u);
+}
+
+TEST(HardMaxCoverageTest, TinyEpsilonClampsT1) {
+  HardMaxCoverageParams params;
+  params.epsilon = 0.9;
+  params.m = 4;
+  HardMaxCoverageDistribution dist(params);
+  EXPECT_GE(dist.t1(), 4u);  // GHD needs a minimal universe
+  EXPECT_EQ(dist.t2(), 10 * dist.t1());
+}
+
+TEST(HardMaxCoverageTest, U2IsPartitionedBetweenPairs) {
+  // Claim 4.4(a): S_i ∪ T_i ⊇ U2, and within U2 they are disjoint.
+  HardMaxCoverageDistribution dist(SmallParams());
+  Rng rng(2);
+  const HardMaxCoverageInstance inst = dist.SampleThetaZero(rng);
+  for (std::size_t i = 0; i < inst.m(); ++i) {
+    Count u2_in_s = 0, u2_in_t = 0, u2_in_both = 0;
+    for (std::size_t e = inst.t1; e < inst.n(); ++e) {
+      const bool in_s = inst.s_sets[i].Test(e);
+      const bool in_t = inst.t_sets[i].Test(e);
+      u2_in_s += in_s;
+      u2_in_t += in_t;
+      u2_in_both += in_s && in_t;
+    }
+    EXPECT_EQ(u2_in_s + u2_in_t, inst.t2);
+    EXPECT_EQ(u2_in_both, 0u);
+  }
+}
+
+TEST(HardMaxCoverageTest, PairUnionAtLeastT2) {
+  // Claim 4.4(a): |S_i ∪ T_i| >= t2.
+  HardMaxCoverageDistribution dist(SmallParams());
+  Rng rng(3);
+  const HardMaxCoverageInstance inst = dist.Sample(rng);
+  for (std::size_t i = 0; i < inst.m(); ++i) {
+    EXPECT_GE((inst.s_sets[i] | inst.t_sets[i]).CountSet(), inst.t2);
+  }
+}
+
+TEST(HardMaxCoverageTest, CrossPairsCoverRoughlyThreeQuartersOfU2) {
+  // Claim 4.4(b): mixing sets from different indices covers about 3/4 of
+  // U2 (each U2 element is missed by both w.p. 1/4).
+  HardMaxCoverageDistribution dist(SmallParams());
+  Rng rng(4);
+  const HardMaxCoverageInstance inst = dist.SampleThetaZero(rng);
+  const double bound = (0.75 + 0.2) * static_cast<double>(inst.t2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      const DynamicBitset u = inst.s_sets[i] | inst.s_sets[j];
+      Count u2_covered = 0;
+      for (std::size_t e = inst.t1; e < inst.n(); ++e) {
+        u2_covered += u.Test(e);
+      }
+      EXPECT_LE(static_cast<double>(u2_covered), bound);
+    }
+  }
+}
+
+TEST(HardMaxCoverageTest, ThetaSeparatesPlantedPairValue) {
+  // Lemma 4.3's engine: |S_i⋆ ∪ T_i⋆| lands above τ under θ = 1 and below
+  // under θ = 0 (for the planted/typical pair resp.).
+  HardMaxCoverageDistribution dist(SmallParams());
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const HardMaxCoverageInstance one = dist.SampleThetaOne(rng);
+    const Count planted =
+        (one.s_sets[one.i_star] | one.t_sets[one.i_star]).CountSet();
+    EXPECT_GT(static_cast<double>(planted), one.tau);
+
+    const HardMaxCoverageInstance zero = dist.SampleThetaZero(rng);
+    for (std::size_t i = 0; i < zero.m(); ++i) {
+      const Count pair = (zero.s_sets[i] | zero.t_sets[i]).CountSet();
+      EXPECT_LT(static_cast<double>(pair), zero.tau);
+    }
+  }
+}
+
+TEST(HardMaxCoverageTest, TauFormula) {
+  HardMaxCoverageDistribution dist(SmallParams());
+  const double a = static_cast<double>(dist.t1()) / 2.0;
+  EXPECT_NEAR(dist.Tau(),
+              static_cast<double>(dist.t2()) + a +
+                  static_cast<double>(dist.t1()) / 4.0,
+              1.0);
+}
+
+TEST(HardMaxCoverageTest, ExactOptSeparation) {
+  // End-to-end Lemma 4.3: exact k=2 max coverage lands on the correct
+  // side of τ depending on θ.
+  HardMaxCoverageDistribution dist(SmallParams());
+  Rng rng(6);
+  int correct = 0;
+  const int trials = 10;
+  for (int trial = 0; trial < trials; ++trial) {
+    const bool theta_one = trial % 2 == 0;
+    const HardMaxCoverageInstance inst =
+        theta_one ? dist.SampleThetaOne(rng) : dist.SampleThetaZero(rng);
+    const SetSystem system = inst.ToSetSystem();
+    const ExactMaxCoverageResult result = SolveExactMaxCoverage(
+        system, HardMaxCoverageInstance::kCoverageBudget);
+    const bool above = static_cast<double>(result.coverage) > inst.tau;
+    if (above == theta_one) ++correct;
+  }
+  EXPECT_GE(correct, 8);
+}
+
+TEST(HardMaxCoverageTest, GhdPairsKeptInInstance) {
+  HardMaxCoverageDistribution dist(SmallParams());
+  Rng rng(7);
+  const HardMaxCoverageInstance inst = dist.SampleThetaOne(rng);
+  ASSERT_EQ(inst.ghd.size(), inst.m());
+  // The planted pair must satisfy the Yes promise; others the No promise.
+  GhdDistribution ghd(inst.t1, inst.a, inst.b);
+  for (std::size_t i = 0; i < inst.m(); ++i) {
+    const GhdAnswer answer = ghd.Classify(inst.ghd[i]);
+    if (i == inst.i_star) {
+      EXPECT_EQ(answer, GhdAnswer::kYes);
+    } else {
+      EXPECT_EQ(answer, GhdAnswer::kNo);
+    }
+  }
+}
+
+TEST(HardMaxCoverageTest, ToSetSystemLayout) {
+  HardMaxCoverageDistribution dist(SmallParams());
+  Rng rng(8);
+  const HardMaxCoverageInstance inst = dist.Sample(rng);
+  const SetSystem system = inst.ToSetSystem();
+  EXPECT_EQ(system.num_sets(), 2 * inst.m());
+  EXPECT_EQ(system.universe_size(), inst.n());
+  EXPECT_EQ(system.set(3), inst.s_sets[3]);
+  EXPECT_EQ(system.set(inst.m() + 3), inst.t_sets[3]);
+}
+
+}  // namespace
+}  // namespace streamsc

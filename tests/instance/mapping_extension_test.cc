@@ -1,0 +1,116 @@
+#include "instance/mapping_extension.h"
+
+#include <gtest/gtest.h>
+
+namespace streamsc {
+namespace {
+
+TEST(MappingExtensionTest, BlocksPartitionUniverse) {
+  Rng rng(1);
+  MappingExtension f(4, 100, rng);
+  DynamicBitset all(100);
+  Count total = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    // Pairwise disjoint.
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_FALSE(f.Block(i).Intersects(f.Block(j)));
+    }
+    total += f.Block(i).CountSet();
+    all |= f.Block(i);
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_TRUE(all.All());
+}
+
+TEST(MappingExtensionTest, EqualBlockSizesWhenDivisible) {
+  Rng rng(2);
+  MappingExtension f(5, 100, rng);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(f.Block(i).CountSet(), 20u);
+  }
+}
+
+TEST(MappingExtensionTest, NearEqualBlockSizesWhenNotDivisible) {
+  Rng rng(3);
+  MappingExtension f(3, 10, rng);
+  Count min_size = 100, max_size = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    min_size = std::min(min_size, f.Block(i).CountSet());
+    max_size = std::max(max_size, f.Block(i).CountSet());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(MappingExtensionTest, ExtendUnionsBlocks) {
+  Rng rng(4);
+  MappingExtension f(4, 64, rng);
+  DynamicBitset a(4);
+  a.Set(1);
+  a.Set(3);
+  const DynamicBitset ext = f.Extend(a);
+  EXPECT_EQ(ext, f.Block(1) | f.Block(3));
+  EXPECT_EQ(ext.CountSet(), 32u);
+}
+
+TEST(MappingExtensionTest, ExtendEmptyIsEmpty) {
+  Rng rng(5);
+  MappingExtension f(4, 64, rng);
+  EXPECT_TRUE(f.Extend(DynamicBitset(4)).None());
+}
+
+TEST(MappingExtensionTest, ExtendDistributesOverUnion) {
+  // f(A ∪ B) = f(A) ∪ f(B) — Definition 3's homomorphism property.
+  Rng rng(6);
+  MappingExtension f(8, 128, rng);
+  Rng sets(7);
+  const DynamicBitset a = sets.BernoulliSubset(8, 0.5);
+  const DynamicBitset b = sets.BernoulliSubset(8, 0.5);
+  EXPECT_EQ(f.Extend(a | b), f.Extend(a) | f.Extend(b));
+}
+
+TEST(MappingExtensionTest, ExtendComplementIsComplementOfExtend) {
+  Rng rng(8);
+  MappingExtension f(6, 60, rng);
+  Rng sets(9);
+  const DynamicBitset a = sets.BernoulliSubset(6, 0.4);
+  DynamicBitset expected = f.Extend(a);
+  expected.Complement();
+  EXPECT_EQ(f.ExtendComplement(a), expected);
+}
+
+TEST(MappingExtensionTest, BlockOfInvertsBlocks) {
+  Rng rng(10);
+  MappingExtension f(7, 70, rng);
+  for (std::size_t i = 0; i < 7; ++i) {
+    f.Block(i).ForEach([&](ElementId e) { EXPECT_EQ(f.BlockOf(e), i); });
+  }
+}
+
+TEST(MappingExtensionTest, SingleBlockDegenerate) {
+  Rng rng(11);
+  MappingExtension f(1, 10, rng);
+  EXPECT_TRUE(f.Block(0).All());
+  DynamicBitset a(1);
+  a.Set(0);
+  EXPECT_TRUE(f.Extend(a).All());
+  EXPECT_TRUE(f.ExtendComplement(a).None());
+}
+
+TEST(MappingExtensionTest, TEqualsNIsPermutation) {
+  Rng rng(12);
+  MappingExtension f(16, 16, rng);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(f.Block(i).CountSet(), 1u);
+  }
+}
+
+TEST(MappingExtensionTest, RandomnessVariesAcrossSamples) {
+  Rng rng(13);
+  MappingExtension f1(4, 64, rng);
+  MappingExtension f2(4, 64, rng);
+  // Extremely unlikely to coincide.
+  EXPECT_FALSE(f1.Block(0) == f2.Block(0));
+}
+
+}  // namespace
+}  // namespace streamsc

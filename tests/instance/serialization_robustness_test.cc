@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "instance/generators.h"
+#include "instance/serialization.h"
+#include "util/random.h"
+
+namespace streamsc {
+namespace {
+
+// Failure-injection suite: the parser must never crash, hang, or return a
+// malformed SetSystem on corrupted input — only Ok-with-valid-system or a
+// clean InvalidArgument.
+
+std::string BaseDocument() {
+  Rng rng(1);
+  return SetSystemToString(UniformRandomInstance(64, 8, 12, rng));
+}
+
+// Parsing either succeeds with a self-consistent system or fails cleanly.
+void ExpectParseIsTotal(const std::string& text) {
+  const StatusOr<SetSystem> parsed = SetSystemFromString(text);
+  if (parsed.ok()) {
+    EXPECT_TRUE(parsed->Validate().ok());
+    for (SetId id = 0; id < parsed->num_sets(); ++id) {
+      EXPECT_EQ(parsed->set(id).size(), parsed->universe_size());
+    }
+  } else {
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_FALSE(parsed.status().message().empty());
+  }
+}
+
+class SerializationMutationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializationMutationTest, SingleByteMutationsAreHandled) {
+  const std::string base = BaseDocument();
+  Rng rng(100 + GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = base;
+    const std::size_t pos =
+        static_cast<std::size_t>(rng.UniformInt(mutated.size()));
+    // Mutate into a printable byte or newline: structural damage without
+    // leaving the text domain the format is defined on.
+    const char replacement =
+        "0123456789 \n#x-"[rng.UniformInt(15)];
+    mutated[pos] = replacement;
+    ExpectParseIsTotal(mutated);
+  }
+}
+
+TEST_P(SerializationMutationTest, TruncationsAreHandled) {
+  const std::string base = BaseDocument();
+  Rng rng(200 + GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t keep =
+        static_cast<std::size_t>(rng.UniformInt(base.size()));
+    ExpectParseIsTotal(base.substr(0, keep));
+  }
+}
+
+TEST_P(SerializationMutationTest, LineDeletionsAreHandled) {
+  const std::string base = BaseDocument();
+  Rng rng(300 + GetParam());
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < base.size()) {
+    const std::size_t end = base.find('\n', start);
+    lines.push_back(base.substr(start, end - start));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t victim =
+        static_cast<std::size_t>(rng.UniformInt(lines.size()));
+    std::string mutated;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (i == victim) continue;
+      mutated += lines[i];
+      mutated += '\n';
+    }
+    ExpectParseIsTotal(mutated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationMutationTest,
+                         ::testing::Range(0, 4));
+
+TEST(SerializationRobustnessTest, AdversarialDocuments) {
+  ExpectParseIsTotal("ssc1 18446744073709551615 1\n1 0\n");  // huge n
+  ExpectParseIsTotal("ssc1 4 18446744073709551615\n");       // huge m
+  ExpectParseIsTotal("ssc1 -4 1\n1 0\n");                    // negative n
+  ExpectParseIsTotal("ssc1 4 1\n-1 0\n");                    // negative k
+  ExpectParseIsTotal("ssc1 4 1\n1 -2\n");                    // negative elem
+  ExpectParseIsTotal(std::string(1 << 16, '#'));             // comment blob
+  ExpectParseIsTotal("ssc1 4 2\n0\n0\n");                    // empty sets
+}
+
+TEST(SerializationRobustnessTest, HugeDeclaredCountsDoNotAllocate) {
+  // m = 2^60 with no set lines must fail fast (line-by-line parsing), not
+  // try to reserve memory for 2^60 sets.
+  const StatusOr<SetSystem> parsed =
+      SetSystemFromString("ssc1 8 1152921504606846976\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,87 @@
+#include "instance/set_system.h"
+
+#include <gtest/gtest.h>
+
+namespace streamsc {
+namespace {
+
+SetSystem MakeSmall() {
+  SetSystem system(6);
+  system.AddSetFromIndices({0, 1, 2});
+  system.AddSetFromIndices({2, 3});
+  system.AddSetFromIndices({4, 5});
+  return system;
+}
+
+TEST(SetSystemTest, BasicAccessors) {
+  const SetSystem system = MakeSmall();
+  EXPECT_EQ(system.universe_size(), 6u);
+  EXPECT_EQ(system.num_sets(), 3u);
+  EXPECT_TRUE(system.set(0).Test(1));
+  EXPECT_FALSE(system.set(1).Test(1));
+}
+
+TEST(SetSystemTest, AddSetReturnsSequentialIds) {
+  SetSystem system(4);
+  EXPECT_EQ(system.AddSetFromIndices({0}), 0u);
+  EXPECT_EQ(system.AddSetFromIndices({1}), 1u);
+  EXPECT_EQ(system.AddSetFromIndices({}), 2u);
+}
+
+TEST(SetSystemTest, UnionOf) {
+  const SetSystem system = MakeSmall();
+  const DynamicBitset u = system.UnionOf({0, 1});
+  EXPECT_EQ(u.CountSet(), 4u);
+  EXPECT_TRUE(u.Test(3));
+  EXPECT_FALSE(u.Test(4));
+}
+
+TEST(SetSystemTest, UnionOfEmptyListIsEmpty) {
+  const SetSystem system = MakeSmall();
+  EXPECT_TRUE(system.UnionOf({}).None());
+}
+
+TEST(SetSystemTest, UnionAll) {
+  const SetSystem system = MakeSmall();
+  EXPECT_TRUE(system.UnionAll().All());
+}
+
+TEST(SetSystemTest, CoverageOf) {
+  const SetSystem system = MakeSmall();
+  EXPECT_EQ(system.CoverageOf({0}), 3u);
+  EXPECT_EQ(system.CoverageOf({0, 1, 2}), 6u);
+}
+
+TEST(SetSystemTest, IsFeasibleCover) {
+  const SetSystem system = MakeSmall();
+  EXPECT_TRUE(system.IsFeasibleCover({0, 1, 2}));
+  EXPECT_FALSE(system.IsFeasibleCover({0, 1}));
+}
+
+TEST(SetSystemTest, IsCoverable) {
+  EXPECT_TRUE(MakeSmall().IsCoverable());
+  SetSystem gap(3);
+  gap.AddSetFromIndices({0});
+  EXPECT_FALSE(gap.IsCoverable());
+}
+
+TEST(SetSystemTest, ValidateOk) {
+  EXPECT_TRUE(MakeSmall().Validate().ok());
+}
+
+TEST(SetSystemTest, TotalIncidences) {
+  EXPECT_EQ(MakeSmall().TotalIncidences(), 7u);
+}
+
+TEST(SetSystemTest, DebugString) {
+  EXPECT_EQ(MakeSmall().DebugString(), "SetSystem(n=6, m=3)");
+}
+
+TEST(SetSystemTest, EmptySystem) {
+  SetSystem system(0);
+  EXPECT_TRUE(system.IsCoverable());  // nothing to cover
+  EXPECT_TRUE(system.UnionAll().All());
+}
+
+}  // namespace
+}  // namespace streamsc

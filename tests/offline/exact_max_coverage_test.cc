@@ -1,0 +1,117 @@
+#include "offline/exact_max_coverage.h"
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "offline/greedy.h"
+#include "util/random.h"
+
+namespace streamsc {
+namespace {
+
+TEST(ExactMaxCoverageTest, SingleBestSet) {
+  SetSystem system(6);
+  system.AddSetFromIndices({0});
+  system.AddSetFromIndices({1, 2, 3});
+  system.AddSetFromIndices({4, 5});
+  const ExactMaxCoverageResult result = SolveExactMaxCoverage(system, 1);
+  ASSERT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.coverage, 3u);
+  ASSERT_EQ(result.solution.size(), 1u);
+  EXPECT_EQ(result.solution.chosen[0], 1u);
+}
+
+TEST(ExactMaxCoverageTest, ZeroBudget) {
+  SetSystem system(4);
+  system.AddSetFromIndices({0, 1});
+  const ExactMaxCoverageResult result = SolveExactMaxCoverage(system, 0);
+  EXPECT_EQ(result.coverage, 0u);
+  EXPECT_TRUE(result.solution.empty());
+  EXPECT_TRUE(result.proven_optimal);
+}
+
+TEST(ExactMaxCoverageTest, BudgetLargerThanSets) {
+  SetSystem system(4);
+  system.AddSetFromIndices({0});
+  system.AddSetFromIndices({1});
+  const ExactMaxCoverageResult result = SolveExactMaxCoverage(system, 10);
+  EXPECT_EQ(result.coverage, 2u);
+}
+
+TEST(ExactMaxCoverageTest, BeatsGreedyOnAdversarialInstance) {
+  // Greedy takes the size-4 bait; the optimal pair covers 6.
+  SetSystem system(6);
+  system.AddSetFromIndices({0, 1, 2, 3});
+  system.AddSetFromIndices({0, 1, 2, 4});
+  system.AddSetFromIndices({3, 4, 5});
+  system.AddSetFromIndices({0, 1, 2});
+  system.AddSetFromIndices({3, 5});
+  const ExactMaxCoverageResult exact = SolveExactMaxCoverage(system, 2);
+  ASSERT_TRUE(exact.proven_optimal);
+  EXPECT_EQ(exact.coverage, 6u);
+}
+
+TEST(ExactMaxCoverageTest, NeverWorseThanGreedy) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SetSystem system = UniformRandomInstance(40, 12, 10, rng);
+    const Solution greedy = GreedyMaxCoverage(system, 3);
+    const ExactMaxCoverageResult exact = SolveExactMaxCoverage(system, 3);
+    if (exact.proven_optimal) {
+      EXPECT_GE(exact.coverage, system.CoverageOf(greedy.chosen));
+    }
+  }
+}
+
+TEST(ExactMaxCoverageTest, RestrictedUniverse) {
+  SetSystem system(8);
+  system.AddSetFromIndices({0, 1, 2, 3});  // big outside target
+  system.AddSetFromIndices({6, 7});        // inside target
+  DynamicBitset universe(8);
+  universe.Set(6);
+  universe.Set(7);
+  const ExactMaxCoverageResult result =
+      SolveExactMaxCoverage(system, universe, 1);
+  ASSERT_EQ(result.solution.size(), 1u);
+  EXPECT_EQ(result.solution.chosen[0], 1u);
+  EXPECT_EQ(result.coverage, 2u);
+}
+
+TEST(ExactMaxCoverageTest, EmptySystem) {
+  SetSystem system(4);
+  const ExactMaxCoverageResult result = SolveExactMaxCoverage(system, 2);
+  EXPECT_EQ(result.coverage, 0u);
+  EXPECT_TRUE(result.proven_optimal);
+}
+
+// Brute-force cross-check on random tiny instances (all k-subsets).
+class ExactMaxCoverageBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactMaxCoverageBruteForceTest, MatchesBruteForce) {
+  Rng rng(200 + GetParam());
+  const std::size_t n = 12, m = 8, k = 3;
+  SetSystem system(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    system.AddSet(rng.BernoulliSubset(n, 0.3));
+  }
+  Count best = 0;
+  for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcount(mask)) != k) continue;
+    DynamicBitset u(n);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (1u << i)) u |= system.set(i);
+    }
+    best = std::max(best, u.CountSet());
+  }
+  const ExactMaxCoverageResult result = SolveExactMaxCoverage(system, k);
+  ASSERT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.coverage, best);
+  // The reported solution matches the reported coverage.
+  EXPECT_EQ(system.CoverageOf(result.solution.chosen), result.coverage);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ExactMaxCoverageBruteForceTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,187 @@
+#include "offline/exact_set_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "instance/generators.h"
+#include "offline/greedy.h"
+#include "util/random.h"
+
+namespace streamsc {
+namespace {
+
+TEST(ExactSetCoverTest, TrivialSingleSet) {
+  SetSystem system(4);
+  system.AddSetFromIndices({0, 1, 2, 3});
+  const ExactSetCoverResult result = SolveExactSetCover(system);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.solution.size(), 1u);
+}
+
+TEST(ExactSetCoverTest, EmptyUniverse) {
+  SetSystem system(4);
+  system.AddSetFromIndices({0});
+  const ExactSetCoverResult result =
+      SolveExactSetCover(system, DynamicBitset(4));
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_TRUE(result.solution.empty());
+}
+
+TEST(ExactSetCoverTest, InfeasibleInstance) {
+  SetSystem system(4);
+  system.AddSetFromIndices({0, 1});
+  const ExactSetCoverResult result = SolveExactSetCover(system);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(ExactSetCoverTest, BeatsGreedyOnAdversarialInstance) {
+  // Classic greedy-trap: greedy takes the big middle set, optimum is the
+  // two halves.
+  SetSystem system(8);
+  system.AddSetFromIndices({0, 1, 2, 3});       // optimal half
+  system.AddSetFromIndices({4, 5, 6, 7});       // optimal half
+  system.AddSetFromIndices({1, 2, 3, 4, 5});    // greedy bait (size 5)
+  const Solution greedy = GreedySetCover(system);
+  const ExactSetCoverResult exact = SolveExactSetCover(system);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_TRUE(exact.proven_optimal);
+  EXPECT_EQ(exact.solution.size(), 2u);
+  EXPECT_EQ(greedy.size(), 3u);  // greedy really does fall for it
+}
+
+TEST(ExactSetCoverTest, MatchesPlantedOptimum) {
+  Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<SetId> planted;
+    const SetSystem system =
+        PlantedCoverInstance(60, 15, 3 + trial % 3, rng, &planted);
+    const ExactSetCoverResult result = SolveExactSetCover(system);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_TRUE(result.proven_optimal);
+    EXPECT_EQ(result.solution.size(), planted.size());
+  }
+}
+
+TEST(ExactSetCoverTest, SizeLimitTurnsIntoDecisionProcedure) {
+  SetSystem system(6);
+  system.AddSetFromIndices({0, 1});
+  system.AddSetFromIndices({2, 3});
+  system.AddSetFromIndices({4, 5});
+  // opt = 3; ask for <= 2.
+  ExactSetCoverOptions options;
+  options.size_limit = 2;
+  const ExactSetCoverResult no = SolveExactSetCover(system, options);
+  EXPECT_FALSE(no.feasible);
+  EXPECT_TRUE(no.complete);  // provably no 2-cover
+  options.size_limit = 3;
+  const ExactSetCoverResult yes = SolveExactSetCover(system, options);
+  EXPECT_TRUE(yes.feasible);
+  EXPECT_EQ(yes.solution.size(), 3u);
+}
+
+TEST(ExactSetCoverTest, SolutionIsAlwaysFeasibleWhenReported) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SetSystem system = UniformRandomInstance(50, 12, 12, rng);
+    const ExactSetCoverResult result = SolveExactSetCover(system);
+    if (result.feasible) {
+      EXPECT_TRUE(system.IsFeasibleCover(result.solution.chosen));
+    }
+  }
+}
+
+TEST(ExactSetCoverTest, NeverLargerThanGreedy) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SetSystem system = UniformRandomInstance(40, 10, 8, rng);
+    const Solution greedy = GreedySetCover(system);
+    const ExactSetCoverResult exact = SolveExactSetCover(system);
+    if (exact.proven_optimal && system.IsFeasibleCover(greedy.chosen)) {
+      EXPECT_LE(exact.solution.size(), greedy.size());
+    }
+  }
+}
+
+TEST(ExactSetCoverTest, NodeBudgetDegradesGracefully) {
+  Rng rng(4);
+  const SetSystem system = UniformRandomInstance(80, 25, 10, rng);
+  ExactSetCoverOptions options;
+  options.max_nodes = 3;  // absurdly small
+  const ExactSetCoverResult result = SolveExactSetCover(system, options);
+  EXPECT_FALSE(result.complete);
+  // Still returns the greedy warm start when feasible.
+  if (result.feasible) {
+    EXPECT_TRUE(system.IsFeasibleCover(result.solution.chosen));
+    EXPECT_FALSE(result.proven_optimal);
+  }
+}
+
+TEST(ExactSetCoverTest, RestrictedUniverse) {
+  SetSystem system(8);
+  system.AddSetFromIndices({0, 1, 2, 3, 4});
+  system.AddSetFromIndices({5});
+  system.AddSetFromIndices({6, 7});
+  DynamicBitset universe(8);
+  universe.Set(5);
+  const ExactSetCoverResult result = SolveExactSetCover(system, universe);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.solution.size(), 1u);
+  EXPECT_EQ(result.solution.chosen[0], 1u);
+}
+
+TEST(ExactSetCoverTest, DuplicateSetsDoNotConfuse) {
+  SetSystem system(4);
+  for (int i = 0; i < 6; ++i) system.AddSetFromIndices({0, 1});
+  system.AddSetFromIndices({2, 3});
+  const ExactSetCoverResult result = SolveExactSetCover(system);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.solution.size(), 2u);
+}
+
+TEST(ExactSetCoverTest, ReportsNodeCount) {
+  SetSystem system(4);
+  system.AddSetFromIndices({0, 1, 2, 3});
+  const ExactSetCoverResult result = SolveExactSetCover(system);
+  EXPECT_GE(result.nodes, 1u);
+}
+
+// Exhaustive cross-check against brute force on random tiny instances.
+class ExactSetCoverBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactSetCoverBruteForceTest, MatchesBruteForce) {
+  Rng rng(100 + GetParam());
+  const std::size_t n = 10, m = 7;
+  SetSystem system(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    system.AddSet(rng.BernoulliSubset(n, 0.35));
+  }
+  // Brute force over all 2^m subsets.
+  std::size_t best = m + 1;
+  for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+    DynamicBitset u(n);
+    std::size_t size = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (1u << i)) {
+        u |= system.set(i);
+        ++size;
+      }
+    }
+    if (u.All()) best = std::min(best, size);
+  }
+  const ExactSetCoverResult result = SolveExactSetCover(system);
+  if (best == m + 1) {
+    EXPECT_FALSE(result.feasible);
+  } else {
+    ASSERT_TRUE(result.feasible);
+    EXPECT_TRUE(result.proven_optimal);
+    EXPECT_EQ(result.solution.size(), best);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ExactSetCoverBruteForceTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace streamsc

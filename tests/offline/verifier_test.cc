@@ -1,0 +1,61 @@
+#include "offline/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace streamsc {
+namespace {
+
+SetSystem MakeSystem() {
+  SetSystem system(4);
+  system.AddSetFromIndices({0, 1});
+  system.AddSetFromIndices({2});
+  system.AddSetFromIndices({3});
+  return system;
+}
+
+TEST(VerifierTest, FeasibleFullCover) {
+  const SetSystem system = MakeSystem();
+  const CoverVerdict verdict = VerifyCover(system, Solution{{0, 1, 2}});
+  EXPECT_TRUE(verdict.feasible);
+  EXPECT_EQ(verdict.covered, 4u);
+  EXPECT_EQ(verdict.universe_size, 4u);
+  EXPECT_EQ(verdict.solution_size, 3u);
+  EXPECT_DOUBLE_EQ(verdict.coverage_fraction(), 1.0);
+}
+
+TEST(VerifierTest, InfeasiblePartialCover) {
+  const SetSystem system = MakeSystem();
+  const CoverVerdict verdict = VerifyCover(system, Solution{{0}});
+  EXPECT_FALSE(verdict.feasible);
+  EXPECT_EQ(verdict.covered, 2u);
+  EXPECT_DOUBLE_EQ(verdict.coverage_fraction(), 0.5);
+}
+
+TEST(VerifierTest, RestrictedUniverse) {
+  const SetSystem system = MakeSystem();
+  DynamicBitset universe(4);
+  universe.Set(2);
+  const CoverVerdict verdict = VerifyCover(system, Solution{{1}}, universe);
+  EXPECT_TRUE(verdict.feasible);
+  EXPECT_EQ(verdict.universe_size, 1u);
+}
+
+TEST(VerifierTest, EmptyUniverseAlwaysFeasible) {
+  const SetSystem system = MakeSystem();
+  const CoverVerdict verdict =
+      VerifyCover(system, Solution{}, DynamicBitset(4));
+  EXPECT_TRUE(verdict.feasible);
+  EXPECT_DOUBLE_EQ(verdict.coverage_fraction(), 1.0);
+}
+
+TEST(VerifierTest, ApproximationRatio) {
+  EXPECT_DOUBLE_EQ(ApproximationRatio(6, 3), 2.0);
+  EXPECT_DOUBLE_EQ(ApproximationRatio(3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(ApproximationRatio(0, 0), 1.0);
+  EXPECT_TRUE(std::isinf(ApproximationRatio(1, 0)));
+}
+
+}  // namespace
+}  // namespace streamsc

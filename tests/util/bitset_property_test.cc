@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/random.h"
+
+namespace streamsc {
+namespace {
+
+// Reference-model property suite: every DynamicBitset operation is checked
+// against std::set<ElementId> semantics over randomized universes and
+// contents. Complements the example-based tests in bitset_test.cc.
+
+using RefSet = std::set<ElementId>;
+
+RefSet ToRef(const DynamicBitset& bits) {
+  RefSet out;
+  bits.ForEach([&](ElementId e) { out.insert(e); });
+  return out;
+}
+
+DynamicBitset FromRef(std::size_t n, const RefSet& ref) {
+  DynamicBitset out(n);
+  for (ElementId e : ref) out.Set(e);
+  return out;
+}
+
+struct RandomPair {
+  std::size_t n;
+  DynamicBitset a, b;
+  RefSet ra, rb;
+};
+
+RandomPair MakePair(std::uint64_t seed) {
+  Rng rng(seed);
+  // Universe sizes straddling word boundaries on purpose.
+  const std::size_t sizes[] = {1, 63, 64, 65, 127, 128, 200, 1000};
+  const std::size_t n = sizes[seed % 8];
+  RandomPair out{n, DynamicBitset(n), DynamicBitset(n), {}, {}};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.4)) {
+      out.a.Set(i);
+      out.ra.insert(i);
+    }
+    if (rng.Bernoulli(0.4)) {
+      out.b.Set(i);
+      out.rb.insert(i);
+    }
+  }
+  return out;
+}
+
+class BitsetModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitsetModelTest, UnionMatchesModel) {
+  RandomPair p = MakePair(GetParam());
+  RefSet expected = p.ra;
+  expected.insert(p.rb.begin(), p.rb.end());
+  EXPECT_EQ(ToRef(p.a | p.b), expected);
+  DynamicBitset inplace = p.a;
+  inplace |= p.b;
+  EXPECT_EQ(inplace, FromRef(p.n, expected));
+}
+
+TEST_P(BitsetModelTest, IntersectionMatchesModel) {
+  RandomPair p = MakePair(GetParam());
+  RefSet expected;
+  std::set_intersection(p.ra.begin(), p.ra.end(), p.rb.begin(), p.rb.end(),
+                        std::inserter(expected, expected.begin()));
+  EXPECT_EQ(ToRef(p.a & p.b), expected);
+  EXPECT_EQ(p.a.CountAnd(p.b), expected.size());
+  EXPECT_EQ(p.a.Intersects(p.b), !expected.empty());
+}
+
+TEST_P(BitsetModelTest, DifferenceMatchesModel) {
+  RandomPair p = MakePair(GetParam());
+  RefSet expected;
+  std::set_difference(p.ra.begin(), p.ra.end(), p.rb.begin(), p.rb.end(),
+                      std::inserter(expected, expected.begin()));
+  EXPECT_EQ(ToRef(p.a.Difference(p.b)), expected);
+  EXPECT_EQ(p.a.CountAndNot(p.b), expected.size());
+  DynamicBitset inplace = p.a;
+  inplace.AndNot(p.b);
+  EXPECT_EQ(inplace, FromRef(p.n, expected));
+}
+
+TEST_P(BitsetModelTest, ComplementMatchesModel) {
+  RandomPair p = MakePair(GetParam());
+  RefSet expected;
+  for (std::size_t i = 0; i < p.n; ++i) {
+    if (!p.ra.count(static_cast<ElementId>(i))) {
+      expected.insert(static_cast<ElementId>(i));
+    }
+  }
+  DynamicBitset complement = p.a;
+  complement.Complement();
+  EXPECT_EQ(ToRef(complement), expected);
+  // Double complement is the identity (tail bits must stay trimmed).
+  complement.Complement();
+  EXPECT_EQ(complement, p.a);
+}
+
+TEST_P(BitsetModelTest, HammingDistanceMatchesModel) {
+  RandomPair p = MakePair(GetParam());
+  RefSet sym;
+  std::set_symmetric_difference(p.ra.begin(), p.ra.end(), p.rb.begin(),
+                                p.rb.end(),
+                                std::inserter(sym, sym.begin()));
+  EXPECT_EQ(p.a.HammingDistance(p.b), sym.size());
+}
+
+TEST_P(BitsetModelTest, SubsetAndCountsMatchModel) {
+  RandomPair p = MakePair(GetParam());
+  EXPECT_EQ(p.a.CountSet(), p.ra.size());
+  EXPECT_EQ(p.a.None(), p.ra.empty());
+  EXPECT_EQ(p.a.All(), p.ra.size() == p.n);
+  const bool subset =
+      std::includes(p.rb.begin(), p.rb.end(), p.ra.begin(), p.ra.end());
+  EXPECT_EQ(p.a.IsSubsetOf(p.b), subset);
+  EXPECT_TRUE(p.a.IsSubsetOf(p.a));
+  EXPECT_TRUE((p.a & p.b).IsSubsetOf(p.a));
+}
+
+TEST_P(BitsetModelTest, IterationOrderAndNavigation) {
+  RandomPair p = MakePair(GetParam());
+  const std::vector<ElementId> indices = p.a.ToIndices();
+  EXPECT_TRUE(std::is_sorted(indices.begin(), indices.end()));
+  EXPECT_EQ(RefSet(indices.begin(), indices.end()), p.ra);
+  if (!indices.empty()) {
+    EXPECT_EQ(p.a.FindFirst(), indices.front());
+    for (std::size_t i = 0; i + 1 < indices.size(); ++i) {
+      EXPECT_EQ(p.a.FindNext(indices[i]), indices[i + 1]);
+    }
+    EXPECT_EQ(p.a.FindNext(indices.back()), kInvalidElementId);
+  } else {
+    EXPECT_EQ(p.a.FindFirst(), kInvalidElementId);
+  }
+}
+
+TEST_P(BitsetModelTest, HashAgreesWithEquality) {
+  RandomPair p = MakePair(GetParam());
+  DynamicBitset copy = p.a;
+  EXPECT_EQ(copy.Hash(), p.a.Hash());
+  if (p.n >= 2 && !(p.a == p.b)) {
+    EXPECT_NE(p.a.Hash(), p.b.Hash());  // collision astronomically unlikely
+  }
+}
+
+TEST_P(BitsetModelTest, RoundTripThroughIndices) {
+  RandomPair p = MakePair(GetParam());
+  EXPECT_EQ(DynamicBitset::FromIndices(p.n, p.a.ToIndices()), p.a);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedUniverses, BitsetModelTest,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,305 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/random.h"
+
+namespace streamsc {
+namespace {
+
+TEST(BitsetTest, DefaultIsEmpty) {
+  DynamicBitset bs;
+  EXPECT_EQ(bs.size(), 0u);
+  EXPECT_TRUE(bs.None());
+  EXPECT_EQ(bs.CountSet(), 0u);
+}
+
+TEST(BitsetTest, SetAndTest) {
+  DynamicBitset bs(100);
+  EXPECT_FALSE(bs.Test(5));
+  bs.Set(5);
+  EXPECT_TRUE(bs.Test(5));
+  EXPECT_FALSE(bs.Test(4));
+  EXPECT_FALSE(bs.Test(6));
+}
+
+TEST(BitsetTest, ResetClearsBit) {
+  DynamicBitset bs(100);
+  bs.Set(63);
+  bs.Set(64);
+  bs.Reset(63);
+  EXPECT_FALSE(bs.Test(63));
+  EXPECT_TRUE(bs.Test(64));
+}
+
+TEST(BitsetTest, CountSetAcrossWordBoundaries) {
+  DynamicBitset bs(130);
+  bs.Set(0);
+  bs.Set(63);
+  bs.Set(64);
+  bs.Set(127);
+  bs.Set(128);
+  bs.Set(129);
+  EXPECT_EQ(bs.CountSet(), 6u);
+}
+
+TEST(BitsetTest, FullSetsEverything) {
+  const DynamicBitset bs = DynamicBitset::Full(70);
+  EXPECT_EQ(bs.CountSet(), 70u);
+  EXPECT_TRUE(bs.All());
+  EXPECT_TRUE(bs.Test(69));
+}
+
+TEST(BitsetTest, FullTrimsTailBits) {
+  // Size not a multiple of 64: no phantom bits beyond size.
+  DynamicBitset bs = DynamicBitset::Full(65);
+  EXPECT_EQ(bs.CountSet(), 65u);
+  bs.Complement();
+  EXPECT_EQ(bs.CountSet(), 0u);
+  EXPECT_TRUE(bs.None());
+}
+
+TEST(BitsetTest, ClearRemovesEverything) {
+  DynamicBitset bs = DynamicBitset::Full(50);
+  bs.Clear();
+  EXPECT_TRUE(bs.None());
+}
+
+TEST(BitsetTest, ComplementFlips) {
+  DynamicBitset bs(10);
+  bs.Set(3);
+  bs.Complement();
+  EXPECT_FALSE(bs.Test(3));
+  EXPECT_EQ(bs.CountSet(), 9u);
+}
+
+TEST(BitsetTest, ComplementIsInvolution) {
+  Rng rng(7);
+  DynamicBitset bs = rng.BernoulliSubset(137, 0.3);
+  DynamicBitset copy = bs;
+  bs.Complement();
+  bs.Complement();
+  EXPECT_EQ(bs, copy);
+}
+
+TEST(BitsetTest, UnionOperator) {
+  DynamicBitset a(10), b(10);
+  a.Set(1);
+  b.Set(2);
+  const DynamicBitset u = a | b;
+  EXPECT_TRUE(u.Test(1));
+  EXPECT_TRUE(u.Test(2));
+  EXPECT_EQ(u.CountSet(), 2u);
+}
+
+TEST(BitsetTest, IntersectionOperator) {
+  DynamicBitset a(10), b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  const DynamicBitset i = a & b;
+  EXPECT_EQ(i.CountSet(), 1u);
+  EXPECT_TRUE(i.Test(2));
+}
+
+TEST(BitsetTest, AndNotDifference) {
+  DynamicBitset a(10), b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  a.AndNot(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_FALSE(a.Test(2));
+}
+
+TEST(BitsetTest, DifferenceDoesNotMutate) {
+  DynamicBitset a(10), b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  const DynamicBitset d = a.Difference(b);
+  EXPECT_EQ(d.CountSet(), 1u);
+  EXPECT_EQ(a.CountSet(), 2u);  // unchanged
+}
+
+TEST(BitsetTest, CountAndMatchesMaterializedIntersection) {
+  Rng rng(3);
+  const DynamicBitset a = rng.BernoulliSubset(500, 0.4);
+  const DynamicBitset b = rng.BernoulliSubset(500, 0.4);
+  EXPECT_EQ(a.CountAnd(b), (a & b).CountSet());
+}
+
+TEST(BitsetTest, CountAndNotMatchesMaterializedDifference) {
+  Rng rng(4);
+  const DynamicBitset a = rng.BernoulliSubset(500, 0.4);
+  const DynamicBitset b = rng.BernoulliSubset(500, 0.4);
+  EXPECT_EQ(a.CountAndNot(b), a.Difference(b).CountSet());
+}
+
+TEST(BitsetTest, IntersectsDetection) {
+  DynamicBitset a(200), b(200);
+  a.Set(150);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Set(150);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(BitsetTest, SubsetRelation) {
+  DynamicBitset a(100), b(100);
+  a.Set(10);
+  b.Set(10);
+  b.Set(20);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(DynamicBitset(100).IsSubsetOf(a));  // empty set
+}
+
+TEST(BitsetTest, FindFirstOnEmpty) {
+  DynamicBitset bs(100);
+  EXPECT_EQ(bs.FindFirst(), kInvalidElementId);
+}
+
+TEST(BitsetTest, FindFirstAndNextWalkAllBits) {
+  DynamicBitset bs(300);
+  const std::set<ElementId> expected = {0, 63, 64, 65, 128, 255, 299};
+  for (ElementId e : expected) bs.Set(e);
+  std::set<ElementId> walked;
+  for (ElementId e = bs.FindFirst(); e != kInvalidElementId;
+       e = bs.FindNext(e)) {
+    walked.insert(e);
+  }
+  EXPECT_EQ(walked, expected);
+}
+
+TEST(BitsetTest, FindNextPastEnd) {
+  DynamicBitset bs(64);
+  bs.Set(63);
+  EXPECT_EQ(bs.FindNext(63), kInvalidElementId);
+}
+
+TEST(BitsetTest, ToIndicesSortedAndComplete) {
+  Rng rng(11);
+  const DynamicBitset bs = rng.BernoulliSubset(400, 0.25);
+  const std::vector<ElementId> indices = bs.ToIndices();
+  EXPECT_TRUE(std::is_sorted(indices.begin(), indices.end()));
+  EXPECT_EQ(indices.size(), bs.CountSet());
+  for (ElementId e : indices) EXPECT_TRUE(bs.Test(e));
+}
+
+TEST(BitsetTest, FromIndicesRoundTrip) {
+  const std::vector<ElementId> indices = {3, 17, 99};
+  const DynamicBitset bs = DynamicBitset::FromIndices(100, indices);
+  EXPECT_EQ(bs.ToIndices(), indices);
+}
+
+TEST(BitsetTest, ForEachVisitsInOrder) {
+  DynamicBitset bs(150);
+  bs.Set(149);
+  bs.Set(2);
+  bs.Set(70);
+  std::vector<ElementId> visited;
+  bs.ForEach([&](ElementId e) { visited.push_back(e); });
+  EXPECT_EQ(visited, (std::vector<ElementId>{2, 70, 149}));
+}
+
+TEST(BitsetTest, HammingDistanceSymmetricDifference) {
+  DynamicBitset a(100), b(100);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  EXPECT_EQ(a.HammingDistance(b), 2u);
+  EXPECT_EQ(b.HammingDistance(a), 2u);
+  EXPECT_EQ(a.HammingDistance(a), 0u);
+}
+
+TEST(BitsetTest, EqualityIncludesSize) {
+  DynamicBitset a(10), b(11);
+  EXPECT_FALSE(a == b);
+  DynamicBitset c(10);
+  EXPECT_TRUE(a == c);
+  c.Set(0);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitsetTest, HashDiffersOnContentAndSize) {
+  DynamicBitset a(64), b(64), c(65);
+  b.Set(12);
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), c.Hash());
+  DynamicBitset a2(64);
+  EXPECT_EQ(a.Hash(), a2.Hash());
+}
+
+TEST(BitsetTest, ByteSizeWholeWords) {
+  EXPECT_EQ(DynamicBitset(1).ByteSize(), 8u);
+  EXPECT_EQ(DynamicBitset(64).ByteSize(), 8u);
+  EXPECT_EQ(DynamicBitset(65).ByteSize(), 16u);
+  EXPECT_EQ(DynamicBitset(0).ByteSize(), 0u);
+}
+
+TEST(BitsetTest, ToStringRendersElements) {
+  DynamicBitset bs(10);
+  bs.Set(0);
+  bs.Set(7);
+  EXPECT_EQ(bs.ToString(), "{0, 7}");
+  EXPECT_EQ(DynamicBitset(5).ToString(), "{}");
+}
+
+// ---- Property-style sweeps across universe sizes. -------------------------
+
+class BitsetPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitsetPropertyTest, DeMorganUnionIntersection) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31 + 1);
+  DynamicBitset a = rng.BernoulliSubset(n, 0.3);
+  DynamicBitset b = rng.BernoulliSubset(n, 0.6);
+  // ~(a | b) == ~a & ~b
+  DynamicBitset lhs = a | b;
+  lhs.Complement();
+  DynamicBitset na = a, nb = b;
+  na.Complement();
+  nb.Complement();
+  EXPECT_EQ(lhs, na & nb);
+}
+
+TEST_P(BitsetPropertyTest, InclusionExclusionCounts) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 17 + 5);
+  const DynamicBitset a = rng.BernoulliSubset(n, 0.5);
+  const DynamicBitset b = rng.BernoulliSubset(n, 0.5);
+  EXPECT_EQ((a | b).CountSet() + a.CountAnd(b), a.CountSet() + b.CountSet());
+}
+
+TEST_P(BitsetPropertyTest, HammingViaCounts) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 13 + 7);
+  const DynamicBitset a = rng.BernoulliSubset(n, 0.4);
+  const DynamicBitset b = rng.BernoulliSubset(n, 0.4);
+  EXPECT_EQ(a.HammingDistance(b), a.CountAndNot(b) + b.CountAndNot(a));
+}
+
+TEST_P(BitsetPropertyTest, DifferencePartition) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 99);
+  const DynamicBitset a = rng.BernoulliSubset(n, 0.5);
+  const DynamicBitset b = rng.BernoulliSubset(n, 0.5);
+  // a = (a \ b) ∪ (a ∩ b), disjointly.
+  const DynamicBitset diff = a.Difference(b);
+  const DynamicBitset inter = a & b;
+  EXPECT_FALSE(diff.Intersects(inter));
+  EXPECT_EQ(diff | inter, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetPropertyTest,
+                         ::testing::Values(1, 7, 63, 64, 65, 128, 129, 777,
+                                           4096));
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,124 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace streamsc {
+namespace {
+
+TEST(MathTest, SafeLogClampsSmallArguments) {
+  EXPECT_DOUBLE_EQ(SafeLog(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(SafeLog(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(SafeLog(1.0), 0.0);
+  EXPECT_NEAR(SafeLog(std::exp(1.0)), 1.0, 1e-12);
+}
+
+TEST(MathTest, SafeLog2ClampsToOne) {
+  EXPECT_DOUBLE_EQ(SafeLog2(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(SafeLog2(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(SafeLog2(8.0), 3.0);
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 5), 2u);
+  EXPECT_EQ(CeilDiv(11, 5), 3u);
+  EXPECT_EQ(CeilDiv(0, 5), 0u);
+  EXPECT_EQ(CeilDiv(1, 1), 1u);
+}
+
+TEST(MathTest, HarmonicNumberSmall) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_NEAR(HarmonicNumber(2), 1.5, 1e-12);
+  EXPECT_NEAR(HarmonicNumber(4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+}
+
+TEST(MathTest, HarmonicNumberAsymptoticMatchesExact) {
+  // The asymptotic branch (n > 1024) must agree with direct summation.
+  double exact = 0.0;
+  const std::uint64_t n = 5000;
+  for (std::uint64_t i = 1; i <= n; ++i) exact += 1.0 / i;
+  EXPECT_NEAR(HarmonicNumber(n), exact, 1e-9);
+}
+
+TEST(MathTest, LogBinomialKnownValues) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(LogBinomial(10, 0), 0.0, 1e-9);
+  EXPECT_NEAR(LogBinomial(10, 10), 0.0, 1e-9);
+  EXPECT_EQ(LogBinomial(3, 5), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathTest, LogBinomialSymmetry) {
+  EXPECT_NEAR(LogBinomial(100, 30), LogBinomial(100, 70), 1e-9);
+}
+
+TEST(MathTest, PowZeroExponentIsOne) {
+  EXPECT_DOUBLE_EQ(Pow(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Pow(5.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Pow(2.0, 3.0), 8.0);
+}
+
+TEST(MathTest, NthRoot) {
+  EXPECT_NEAR(NthRoot(1024.0, 2.0), 32.0, 1e-9);
+  EXPECT_NEAR(NthRoot(1024.0, 10.0), 2.0, 1e-9);
+  EXPECT_NEAR(NthRoot(7.0, 1.0), 7.0, 1e-9);
+}
+
+TEST(MathTest, DisjUniverseSizeFormula) {
+  // t = t_scale * (n / ln m)^(1/alpha); n=4096, m=64 -> n/ln m ~ 984.8.
+  const std::uint64_t t = DisjUniverseSize(4096, 64, 2.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(t),
+              std::floor(std::sqrt(4096.0 / std::log(64.0))), 1.0);
+}
+
+TEST(MathTest, DisjUniverseSizeClampedToAtLeastOne) {
+  // The paper's 2^-15 scale collapses t at laptop sizes; must clamp to 1.
+  EXPECT_GE(DisjUniverseSize(1024, 64, 2.0, 1.0 / 32768.0), 1u);
+}
+
+TEST(MathTest, DisjUniverseSizeMonotoneInN) {
+  const std::uint64_t t1 = DisjUniverseSize(1024, 64, 2.0, 1.0);
+  const std::uint64_t t2 = DisjUniverseSize(65536, 64, 2.0, 1.0);
+  EXPECT_LT(t1, t2);
+}
+
+TEST(MathTest, DisjUniverseSizeShrinksWithAlpha) {
+  const std::uint64_t t_small_alpha = DisjUniverseSize(65536, 64, 1.0, 1.0);
+  const std::uint64_t t_big_alpha = DisjUniverseSize(65536, 64, 4.0, 1.0);
+  EXPECT_GT(t_small_alpha, t_big_alpha);
+}
+
+TEST(MathTest, ElementSamplingRateFormula) {
+  // p = 16 k ln(m) / (rho n).
+  const double p = ElementSamplingRate(10000, 100, 2, 0.1, 1.0);
+  EXPECT_NEAR(p, 16.0 * 2 * std::log(100.0) / (0.1 * 10000.0), 1e-12);
+}
+
+TEST(MathTest, ElementSamplingRateClampedToOne) {
+  EXPECT_DOUBLE_EQ(ElementSamplingRate(10, 100, 50, 0.01, 1.0), 1.0);
+}
+
+TEST(MathTest, ElementSamplingRateBoostScales) {
+  const double p1 = ElementSamplingRate(100000, 100, 2, 0.1, 1.0);
+  const double p2 = ElementSamplingRate(100000, 100, 2, 0.1, 2.0);
+  EXPECT_NEAR(p2, 2.0 * p1, 1e-12);
+}
+
+TEST(MathTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+  EXPECT_NEAR(StdDev({1.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(MathTest, QuantileInterpolates) {
+  std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,184 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace streamsc {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntWithinBound) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(7), 7u);
+  }
+}
+
+TEST(RngTest, UniformIntBoundOneIsZero) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntApproximatelyUniform) {
+  Rng rng(9);
+  const int buckets = 8;
+  const int trials = 80000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < trials; ++i) ++counts[rng.UniformInt(buckets)];
+  const double expected = static_cast<double>(trials) / buckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, 5 * std::sqrt(expected));
+  }
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.UniformInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliRateMatches) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, RandomSubsetOfSizeExact) {
+  Rng rng(12);
+  for (std::size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    const DynamicBitset s = rng.RandomSubsetOfSize(100, k);
+    EXPECT_EQ(s.CountSet(), k);
+    EXPECT_EQ(s.size(), 100u);
+  }
+}
+
+TEST(RngTest, RandomSubsetUniformMarginals) {
+  Rng rng(13);
+  const std::size_t n = 20, k = 5;
+  std::vector<int> hits(n, 0);
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    rng.RandomSubsetOfSize(n, k).ForEach([&](ElementId e) { ++hits[e]; });
+  }
+  const double expected = trials * static_cast<double>(k) / n;
+  for (int h : hits) EXPECT_NEAR(h, expected, 6 * std::sqrt(expected));
+}
+
+TEST(RngTest, BernoulliSubsetEdgeRates) {
+  Rng rng(14);
+  EXPECT_TRUE(rng.BernoulliSubset(100, 0.0).None());
+  EXPECT_TRUE(rng.BernoulliSubset(100, 1.0).All());
+}
+
+TEST(RngTest, BernoulliSubsetRate) {
+  Rng rng(15);
+  const std::size_t n = 100000;
+  const DynamicBitset s = rng.BernoulliSubset(n, 0.2);
+  EXPECT_NEAR(static_cast<double>(s.CountSet()) / n, 0.2, 0.01);
+}
+
+TEST(RngTest, BernoulliSubsampleStaysWithinBase) {
+  Rng rng(16);
+  const DynamicBitset base = rng.BernoulliSubset(1000, 0.5);
+  const DynamicBitset sub = rng.BernoulliSubsample(base, 0.5);
+  EXPECT_TRUE(sub.IsSubsetOf(base));
+  EXPECT_GT(sub.CountSet(), 0u);
+  EXPECT_LT(sub.CountSet(), base.CountSet());
+}
+
+TEST(RngTest, BernoulliSubsampleFullRate) {
+  Rng rng(17);
+  const DynamicBitset base = rng.BernoulliSubset(500, 0.3);
+  EXPECT_EQ(rng.BernoulliSubsample(base, 1.0), base);
+  EXPECT_TRUE(rng.BernoulliSubsample(base, 0.0).None());
+}
+
+TEST(RngTest, RandomPermutationIsPermutation) {
+  Rng rng(18);
+  const auto perm = rng.RandomPermutation(257);
+  std::set<std::uint32_t> values(perm.begin(), perm.end());
+  EXPECT_EQ(values.size(), 257u);
+  EXPECT_EQ(*values.begin(), 0u);
+  EXPECT_EQ(*values.rbegin(), 256u);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 2, 3, 5, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(20);
+  Rng child = a.Fork();
+  // Parent and child disagree on the next values.
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, StdAdaptorInterface) {
+  Rng rng(21);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+  const std::uint64_t v = rng();
+  (void)v;
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,73 @@
+#include "util/space_meter.h"
+
+#include <gtest/gtest.h>
+
+namespace streamsc {
+namespace {
+
+TEST(SpaceMeterTest, StartsAtZero) {
+  SpaceMeter meter;
+  EXPECT_EQ(meter.current(), 0u);
+  EXPECT_EQ(meter.peak(), 0u);
+}
+
+TEST(SpaceMeterTest, ChargeAccumulates) {
+  SpaceMeter meter;
+  meter.Charge(100);
+  meter.Charge(50);
+  EXPECT_EQ(meter.current(), 150u);
+  EXPECT_EQ(meter.peak(), 150u);
+}
+
+TEST(SpaceMeterTest, PeakSurvivesRelease) {
+  SpaceMeter meter;
+  meter.Charge(100);
+  meter.Release(60);
+  EXPECT_EQ(meter.current(), 40u);
+  EXPECT_EQ(meter.peak(), 100u);
+}
+
+TEST(SpaceMeterTest, PeakTracksMaximum) {
+  SpaceMeter meter;
+  meter.Charge(100);
+  meter.Release(100);
+  meter.Charge(70);
+  EXPECT_EQ(meter.peak(), 100u);
+  meter.Charge(80);
+  EXPECT_EQ(meter.peak(), 150u);
+}
+
+TEST(SpaceMeterTest, CategoriesAreIndependent) {
+  SpaceMeter meter;
+  meter.Charge(100, "a");
+  meter.Charge(50, "b");
+  EXPECT_EQ(meter.CategoryCurrent("a"), 100u);
+  EXPECT_EQ(meter.CategoryCurrent("b"), 50u);
+  EXPECT_EQ(meter.CategoryCurrent("missing"), 0u);
+  meter.Release(30, "a");
+  EXPECT_EQ(meter.CategoryCurrent("a"), 70u);
+  EXPECT_EQ(meter.current(), 120u);
+}
+
+TEST(SpaceMeterTest, SetCategoryAdjustsUpAndDown) {
+  SpaceMeter meter;
+  meter.SetCategory(100, "x");
+  EXPECT_EQ(meter.current(), 100u);
+  meter.SetCategory(40, "x");
+  EXPECT_EQ(meter.current(), 40u);
+  EXPECT_EQ(meter.peak(), 100u);
+  meter.SetCategory(40, "x");  // no-op
+  EXPECT_EQ(meter.current(), 40u);
+}
+
+TEST(SpaceMeterTest, ResetZeroesEverything) {
+  SpaceMeter meter;
+  meter.Charge(100, "a");
+  meter.Reset();
+  EXPECT_EQ(meter.current(), 0u);
+  EXPECT_EQ(meter.peak(), 0u);
+  EXPECT_EQ(meter.CategoryCurrent("a"), 0u);
+}
+
+}  // namespace
+}  // namespace streamsc

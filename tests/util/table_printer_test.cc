@@ -1,0 +1,84 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace streamsc {
+namespace {
+
+TEST(TablePrinterTest, RendersHeadersAndRows) {
+  TablePrinter table({"name", "value"});
+  table.BeginRow();
+  table.AddCell("alpha");
+  table.AddCell(std::uint64_t{2});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"a", "b"});
+  table.BeginRow();
+  table.AddCell("longvalue");
+  table.AddCell("x");
+  std::ostringstream os;
+  table.Print(os);
+  // Header row must be padded to the widest cell.
+  std::istringstream lines(os.str());
+  std::string header, rule, row;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row);
+  EXPECT_EQ(header.size(), row.size());
+  EXPECT_EQ(header.size(), rule.size());
+}
+
+TEST(TablePrinterTest, DoublePrecision) {
+  TablePrinter table({"v"});
+  table.BeginRow();
+  table.AddCell(3.14159, 2);
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumRows) {
+  TablePrinter table({"v"});
+  EXPECT_EQ(table.NumRows(), 0u);
+  table.BeginRow();
+  table.AddCell(1);
+  table.BeginRow();
+  table.AddCell(2);
+  EXPECT_EQ(table.NumRows(), 2u);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.BeginRow();
+  table.AddCell(1);
+  table.AddCell(2);
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, TitleBanner) {
+  TablePrinter table({"a"});
+  std::ostringstream os;
+  table.PrintWithTitle(os, "My Experiment");
+  EXPECT_NE(os.str().find("== My Experiment =="), std::string::npos);
+}
+
+TEST(HumanBytesTest, Formats) {
+  EXPECT_EQ(HumanBytes(12), "12 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KiB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -39,7 +39,7 @@ void SolutionQuality() {
     std::string name;
     std::size_t opt;
   };
-  for (const Family family :
+  for (const Family& family :
        {Family{"needles(n=2048,m=64,k=6)", 6},
         Family{"planted(n=2048,m=64,opt=6)", 6}}) {
     for (const bool exact : {true, false}) {

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure -> build -> ctest. Exits non-zero on the
+# first failure. Usable locally and as the CI entry point.
+#
+#   scripts/check.sh                 # Release build in ./build
+#   BUILD_DIR=ci-build scripts/check.sh
+#   CMAKE_ARGS="-DSTREAMSC_SANITIZE=ON" scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+# shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split
+cmake -B "${BUILD_DIR}" -S . ${CMAKE_ARGS:-}
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "check.sh: all green"

@@ -100,7 +100,9 @@ TEST(PairFinderTest, MorePassesLessSpace) {
     const PairFinderResult result = finder.Run(stream);
     ASSERT_TRUE(result.found);
     EXPECT_EQ(result.passes, p);
-    if (!first) EXPECT_LT(result.peak_space_bytes, previous);
+    if (!first) {
+      EXPECT_LT(result.peak_space_bytes, previous);
+    }
     previous = result.peak_space_bytes;
     first = false;
   }

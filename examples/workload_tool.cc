@@ -10,21 +10,25 @@
 //       kind: planted (param = opt) | uniform (param = set size)
 //           | zipf (param = max size) | blog (param = hub % as integer)
 //   workload_tool info <path>
-//   workload_tool solve <path> <alpha>
+//   workload_tool solve <path> <alpha> [threads]
+//       threads > 1 runs the pruning/projection passes on a
+//       ParallelPassEngine pool (identical results for any count).
 //
 // Examples:
 //   ./build/examples/workload_tool gen planted 4096 128 4 7 /tmp/w.ssc
 //   ./build/examples/workload_tool info /tmp/w.ssc
-//   ./build/examples/workload_tool solve /tmp/w.ssc 3
+//   ./build/examples/workload_tool solve /tmp/w.ssc 3 4
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/assadi_set_cover.h"
 #include "instance/generators.h"
 #include "instance/serialization.h"
 #include "offline/greedy.h"
+#include "stream/parallel_pass_engine.h"
 #include "stream/set_stream.h"
 #include "util/table_printer.h"
 
@@ -37,7 +41,7 @@ int Usage() {
             << "  workload_tool gen <planted|uniform|zipf|blog> <n> <m> "
                "<param> <seed> <path>\n"
             << "  workload_tool info <path>\n"
-            << "  workload_tool solve <path> <alpha>\n";
+            << "  workload_tool solve <path> <alpha> [threads]\n";
   return 2;
 }
 
@@ -97,6 +101,15 @@ int Info(int argc, char** argv) {
   table.BeginRow();
   table.AddCell("incidences");
   table.AddCell(system.TotalIncidences());
+  const SetSystem::Memory memory = system.MemoryUsage();
+  table.BeginRow();
+  table.AddCell("dense sets / bytes");
+  table.AddCell(std::to_string(memory.dense_sets) + " / " +
+                std::to_string(memory.dense_bytes));
+  table.BeginRow();
+  table.AddCell("sparse sets / bytes");
+  table.AddCell(std::to_string(memory.sparse_sets) + " / " +
+                std::to_string(memory.sparse_bytes));
   table.BeginRow();
   table.AddCell("min |S_i|");
   table.AddCell(min_size);
@@ -111,7 +124,7 @@ int Info(int argc, char** argv) {
 }
 
 int Solve(int argc, char** argv) {
-  if (argc != 4) return Usage();
+  if (argc != 4 && argc != 5) return Usage();
   const StatusOr<SetSystem> loaded = LoadSetSystem(argv[2]);
   if (!loaded.ok()) {
     std::cerr << "load failed: " << loaded.status().ToString() << "\n";
@@ -119,10 +132,17 @@ int Solve(int argc, char** argv) {
   }
   const std::size_t alpha = std::strtoull(argv[3], nullptr, 10);
   if (alpha < 1) return Usage();
+  const std::size_t threads =
+      argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
 
   AssadiConfig config;
   config.alpha = alpha;
   config.epsilon = 0.5;
+  std::optional<ParallelPassEngine> engine;
+  if (threads > 1) {
+    engine.emplace(threads);
+    config.engine = &*engine;
+  }
   AssadiSetCover algorithm(config);
   VectorSetStream stream(*loaded);
   const SetCoverRunResult result = algorithm.Run(stream);

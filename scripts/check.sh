@@ -5,6 +5,8 @@
 #   scripts/check.sh                 # Release build in ./build
 #   BUILD_DIR=ci-build scripts/check.sh
 #   CMAKE_ARGS="-DSTREAMSC_SANITIZE=ON" scripts/check.sh
+#   SANITIZE=1 scripts/check.sh      # + ASan/UBSan build (the asan-ubsan
+#                                    #   preset) over unit+property labels
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,5 +18,17 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 cmake -B "${BUILD_DIR}" -S . ${CMAKE_ARGS:-}
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+if [[ "${SANITIZE:-0}" == "1" ]]; then
+  SAN_BUILD_DIR="${SAN_BUILD_DIR:-build-asan}"
+  cmake -B "${SAN_BUILD_DIR}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSTREAMSC_SANITIZE=ON
+  cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}"
+  # Fast, high-signal slice under the sanitizers: the single-layer unit
+  # suites and the randomized property suites (includes the parallel
+  # engine tests, so data races surface as ASan/UBSan-visible breakage).
+  ctest --test-dir "${SAN_BUILD_DIR}" -L 'unit|property' \
+    --output-on-failure -j "${JOBS}"
+fi
 
 echo "check.sh: all green"

@@ -7,6 +7,7 @@
 #include "core/sampling.h"
 #include "offline/exact_set_cover.h"
 #include "offline/greedy.h"
+#include "stream/parallel_pass_engine.h"
 #include "util/math.h"
 #include "util/space_meter.h"
 #include "util/stopwatch.h"
@@ -40,10 +41,20 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
   AssadiGuessResult result;
   SpaceMeter meter;
 
+  // Buffered (parallel) passes need the stream's item views to survive a
+  // whole pass; otherwise fall back to the sequential scan.
+  const bool buffered =
+      config_.engine != nullptr && stream.ItemsRemainValid();
+
   // Retained state: the uncovered-elements bitset U and the solution ids.
   DynamicBitset uncovered = DynamicBitset::Full(n);
   meter.Charge(uncovered.ByteSize(), "uncovered");
   Solution solution;
+
+  const auto take = [&](SetId id) {
+    solution.chosen.push_back(id);
+    meter.SetCategory(SolutionBytes(solution.size()), "solution");
+  };
 
   // --- Pass 0: one-shot pruning. -----------------------------------------
   // Any set still covering >= n/(ε·õpt) uncovered elements is taken. At
@@ -52,14 +63,18 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
       static_cast<double>(n) /
       (config_.epsilon * static_cast<double>(std::max<std::size_t>(
                              opt_guess, 1)));
-  stream.BeginPass();
   StreamItem item;
-  while (stream.Next(&item)) {
-    const Count gain = item.set->CountAnd(uncovered);
-    if (static_cast<double>(gain) >= prune_threshold && gain > 0) {
-      solution.chosen.push_back(item.id);
-      meter.SetCategory(SolutionBytes(solution.size()), "solution");
-      uncovered.AndNot(*item.set);
+  if (buffered) {
+    const std::vector<StreamItem> items = DrainPass(stream);
+    ThresholdScan(items, prune_threshold, uncovered, config_.engine, take);
+  } else {
+    stream.BeginPass();
+    while (stream.Next(&item)) {
+      const Count gain = item.set.CountAnd(uncovered);
+      if (static_cast<double>(gain) >= prune_threshold && gain > 0) {
+        take(item.id);
+        item.set.AndNotInto(uncovered);
+      }
     }
   }
 
@@ -78,16 +93,29 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
     SubUniverse sub(sampled);
 
     // (b) One pass storing the projections S'_i = S_i ∩ U_smpl. This is
-    // the space-dominant structure: m projections of |U_smpl| bits each.
+    // the space-dominant structure: m projections of |U_smpl| bits each
+    // dense, fewer when the hybrid store sparsifies them.
     SetSystem projections(sub.size());
     std::vector<SetId> projection_ids;
     projection_ids.reserve(m);
-    stream.BeginPass();
-    while (stream.Next(&item)) {
-      DynamicBitset proj = sub.Project(*item.set);
-      meter.Charge(proj.ByteSize() + sizeof(SetId), "projections");
-      projections.AddSet(std::move(proj));
-      projection_ids.push_back(item.id);
+    if (buffered) {
+      const std::vector<StreamItem> items = DrainPass(stream);
+      std::vector<DynamicBitset> projs =
+          ProjectAll(sub, items, config_.engine);
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        const SetId pid = projections.AddSet(std::move(projs[i]));
+        meter.Charge(projections.SetBytes(pid) + sizeof(SetId),
+                     "projections");
+        projection_ids.push_back(items[i].id);
+      }
+    } else {
+      stream.BeginPass();
+      while (stream.Next(&item)) {
+        const SetId pid = projections.AddSet(sub.Project(item.set));
+        meter.Charge(projections.SetBytes(pid) + sizeof(SetId),
+                     "projections");
+        projection_ids.push_back(item.id);
+      }
     }
 
     // (c) Solve the sub-instance *optimally* (the model allows unbounded
@@ -149,7 +177,7 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
       while (stream.Next(&item)) {
         if (std::find(chosen_global.begin(), chosen_global.end(), item.id) !=
             chosen_global.end()) {
-          uncovered.AndNot(*item.set);
+          item.set.AndNotInto(uncovered);
         }
       }
     }
@@ -164,10 +192,9 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
   if (guess_ok && config_.ensure_feasible && !uncovered.None()) {
     stream.BeginPass();
     while (stream.Next(&item) && !uncovered.None()) {
-      if (item.set->Intersects(uncovered)) {
-        solution.chosen.push_back(item.id);
-        meter.SetCategory(SolutionBytes(solution.size()), "solution");
-        uncovered.AndNot(*item.set);
+      if (item.set.Intersects(uncovered)) {
+        take(item.id);
+        item.set.AndNotInto(uncovered);
       }
     }
   }

@@ -32,6 +32,8 @@
 
 namespace streamsc {
 
+class ParallelPassEngine;
+
 /// Configuration of Algorithm 1.
 struct AssadiConfig {
   std::size_t alpha = 2;        ///< Target approximation factor α >= 1.
@@ -48,6 +50,12 @@ struct AssadiConfig {
                                 ///< survives the α iterations (the paper's
                                 ///< "always return a feasible solution").
   std::size_t known_opt = 0;    ///< If > 0, skip guessing and use this õpt.
+  ParallelPassEngine* engine = nullptr;  ///< If set (and the stream's items
+                                         ///< stay valid within a pass), the
+                                         ///< pruning and projection passes
+                                         ///< are sharded across the pool.
+                                         ///< Results are bit-identical for
+                                         ///< any thread count. Not owned.
 };
 
 /// Outcome of a single-guess run (the (2α+1)-pass core).

@@ -67,9 +67,8 @@ SetCoverRunResult DemaineSetCover::RunWithGuess(SetStream& stream,
     projection_ids.reserve(m);
     stream.BeginPass();
     while (stream.Next(&item)) {
-      DynamicBitset proj = sub.Project(*item.set);
-      meter.Charge(proj.ByteSize() + sizeof(SetId), "projections");
-      projections.AddSet(std::move(proj));
+      const SetId pid = projections.AddSet(sub.Project(item.set));
+      meter.Charge(projections.SetBytes(pid) + sizeof(SetId), "projections");
       projection_ids.push_back(item.id);
     }
 
@@ -91,7 +90,7 @@ SetCoverRunResult DemaineSetCover::RunWithGuess(SetStream& stream,
       while (stream.Next(&item)) {
         if (std::find(chosen_global.begin(), chosen_global.end(), item.id) !=
             chosen_global.end()) {
-          uncovered.AndNot(*item.set);
+          item.set.AndNotInto(uncovered);
         }
       }
     }
@@ -100,9 +99,9 @@ SetCoverRunResult DemaineSetCover::RunWithGuess(SetStream& stream,
   if (config_.ensure_feasible && !uncovered.None()) {
     stream.BeginPass();
     while (stream.Next(&item) && !uncovered.None()) {
-      if (item.set->Intersects(uncovered)) {
+      if (item.set.Intersects(uncovered)) {
         solution.chosen.push_back(item.id);
-        uncovered.AndNot(*item.set);
+        item.set.AndNotInto(uncovered);
       }
     }
     meter.SetCategory(solution.size() * sizeof(SetId), "solution");

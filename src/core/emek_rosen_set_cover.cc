@@ -45,14 +45,14 @@ SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream) {
   stream.BeginPass();
   StreamItem item;
   while (stream.Next(&item)) {
-    const Count gain = item.set->CountAnd(uncovered);
+    const Count gain = item.set.CountAnd(uncovered);
     if (gain >= theta) {
       solution.chosen.push_back(item.id);
       meter.SetCategory(solution.size() * sizeof(SetId), "solution");
-      uncovered.AndNot(*item.set);
+      item.set.AndNotInto(uncovered);
     } else if (gain > 0) {
       const SetId id = item.id;
-      item.set->ForEach([&](ElementId e) {
+      item.set.ForEach([&](ElementId e) {
         if (uncovered.Test(e) && witness[e] == kInvalidSetId) {
           witness[e] = id;
         }
@@ -75,7 +75,7 @@ SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream) {
     stream.BeginPass();
     while (stream.Next(&item) && !uncovered.None()) {
       if (std::binary_search(leftovers.begin(), leftovers.end(), item.id)) {
-        uncovered.AndNot(*item.set);
+        item.set.AndNotInto(uncovered);
       }
     }
     solution.chosen.insert(solution.chosen.end(), leftovers.begin(),

@@ -54,11 +54,11 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(SetStream& stream,
         (2.0 * static_cast<double>(std::max<std::size_t>(opt_guess, 1)));
     stream.BeginPass();
     while (stream.Next(&item)) {
-      const Count gain = item.set->CountAnd(uncovered);
+      const Count gain = item.set.CountAnd(uncovered);
       if (static_cast<double>(gain) >= threshold && gain > 0) {
         solution.chosen.push_back(item.id);
         meter.SetCategory(solution.size() * sizeof(SetId), "solution");
-        uncovered.AndNot(*item.set);
+        item.set.AndNotInto(uncovered);
       }
     }
     if (uncovered.None()) break;
@@ -76,9 +76,8 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(SetStream& stream,
     projection_ids.reserve(m);
     stream.BeginPass();
     while (stream.Next(&item)) {
-      DynamicBitset proj = sub.Project(*item.set);
-      meter.Charge(proj.ByteSize() + sizeof(SetId), "projections");
-      projections.AddSet(std::move(proj));
+      const SetId pid = projections.AddSet(sub.Project(item.set));
+      meter.Charge(projections.SetBytes(pid) + sizeof(SetId), "projections");
       projection_ids.push_back(item.id);
     }
 
@@ -117,7 +116,7 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(SetStream& stream,
       while (stream.Next(&item)) {
         if (std::find(chosen_global.begin(), chosen_global.end(), item.id) !=
             chosen_global.end()) {
-          uncovered.AndNot(*item.set);
+          item.set.AndNotInto(uncovered);
         }
       }
     }
@@ -127,9 +126,9 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(SetStream& stream,
   if (guess_ok && !uncovered.None()) {
     stream.BeginPass();
     while (stream.Next(&item) && !uncovered.None()) {
-      if (item.set->Intersects(uncovered)) {
+      if (item.set.Intersects(uncovered)) {
         solution.chosen.push_back(item.id);
-        uncovered.AndNot(*item.set);
+        item.set.AndNotInto(uncovered);
       }
     }
   }

@@ -60,9 +60,8 @@ MaxCoverageRunResult ElementSamplingMaxCoverage::Run(SetStream& stream,
   StreamItem item;
   stream.BeginPass();
   while (stream.Next(&item)) {
-    DynamicBitset proj = sub.Project(*item.set);
-    meter.Charge(proj.ByteSize() + sizeof(SetId), "projections");
-    projections.AddSet(std::move(proj));
+    const SetId pid = projections.AddSet(sub.Project(item.set));
+    meter.Charge(projections.SetBytes(pid) + sizeof(SetId), "projections");
     projection_ids.push_back(item.id);
   }
 
@@ -91,7 +90,7 @@ MaxCoverageRunResult ElementSamplingMaxCoverage::Run(SetStream& stream,
     if (std::find(result.solution.chosen.begin(),
                   result.solution.chosen.end(),
                   item.id) != result.solution.chosen.end()) {
-      covered |= *item.set;
+      item.set.OrInto(covered);
     }
   }
   result.coverage = covered.CountSet();
@@ -138,14 +137,14 @@ MaxCoverageRunResult SieveMaxCoverage::Run(SetStream& stream, std::size_t k) {
   while (stream.Next(&item)) {
     for (Candidate& cand : candidates) {
       if (cand.chosen.size() >= k) continue;
-      const Count gain = item.set->CountAndNot(cand.covered);
+      const Count gain = item.set.CountAndNot(cand.covered);
       const double needed =
           (cand.guess / 2.0 -
            static_cast<double>(cand.covered.CountSet())) /
           static_cast<double>(k - cand.chosen.size());
       if (static_cast<double>(gain) >= needed && gain > 0) {
         cand.chosen.push_back(item.id);
-        cand.covered |= *item.set;
+        item.set.OrInto(cand.covered);
       }
     }
   }

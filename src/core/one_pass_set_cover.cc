@@ -29,14 +29,14 @@ SetCoverRunResult OnePassSetCover::Run(SetStream& stream) {
   stream.BeginPass();
   while (stream.Next(&item)) {
     if (uncovered.None()) break;
-    const Count gain = item.set->CountAnd(uncovered);
+    const Count gain = item.set.CountAnd(uncovered);
     const double needed = std::max(
         1.0, config_.min_gain_fraction *
                  static_cast<double>(uncovered.CountSet()));
     if (static_cast<double>(gain) >= needed) {
       solution.chosen.push_back(item.id);
       meter.SetCategory(solution.size() * sizeof(SetId), "solution");
-      uncovered.AndNot(*item.set);
+      item.set.AndNotInto(uncovered);
     }
   }
 

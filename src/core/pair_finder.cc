@@ -46,7 +46,7 @@ PairFinderResult ExactPairFinder::Run(SetStream& stream) const {
     while (stream.Next(&item)) {
       DynamicBitset slice(width);
       for (std::size_t e = lo; e < hi; ++e) {
-        if (item.set->Test(e)) slice.Set(e - lo);
+        if (item.set.Test(e)) slice.Set(e - lo);
       }
       meter.Charge(slice.ByteSize() + sizeof(SetId), "projections");
       proj[pos] = std::move(slice);

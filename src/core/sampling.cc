@@ -1,21 +1,89 @@
 #include "core/sampling.h"
 
+#include <algorithm>
+#include <bit>
+
+#include "stream/parallel_pass_engine.h"
+
 namespace streamsc {
+namespace {
+
+using Word = DynamicBitset::Word;
+
+// Compacts the bits of x selected by mask into the low bits of the
+// result (BMI2 pext semantics, portable: one iteration per mask bit that
+// survives in x, so all-zero inputs cost one branch).
+inline Word ExtractBits(Word x, Word mask) {
+#if defined(__BMI2__)
+  return __builtin_ia32_pext_di(x, mask);
+#else
+  Word selected = x & mask;
+  Word out = 0;
+  while (selected != 0) {
+    const Word lowest = selected & (~selected + 1);
+    // Rank of this bit among the mask bits = its output position.
+    out |= Word{1} << std::popcount(mask & (lowest - 1));
+    selected ^= lowest;
+  }
+  return out;
+#endif
+}
+
+}  // namespace
 
 SubUniverse::SubUniverse(const DynamicBitset& sampled)
-    : full_size_(sampled.size()), full_to_sample_plus1_(sampled.size(), 0) {
+    : full_size_(sampled.size()) {
   sample_to_full_.reserve(static_cast<std::size_t>(sampled.CountSet()));
-  sampled.ForEach([&](ElementId e) {
-    full_to_sample_plus1_[e] =
-        static_cast<std::uint32_t>(sample_to_full_.size() + 1);
-    sample_to_full_.push_back(e);
-  });
+  sampled.ForEach([&](ElementId e) { sample_to_full_.push_back(e); });
+  // Gather plan + rank structure: sampled elements are re-indexed in
+  // increasing full-id order, so the sampled bits of each source word
+  // land at consecutive output positions starting at the running sample
+  // count (which is exactly that word's rank).
+  sampled_words_.reserve(sampled.WordCount());
+  word_rank_.reserve(sampled.WordCount());
+  std::uint32_t dst_bit = 0;
+  for (std::size_t w = 0; w < sampled.WordCount(); ++w) {
+    const Word mask = sampled.GetWord(w);
+    sampled_words_.push_back(mask);
+    word_rank_.push_back(dst_bit);
+    if (mask == 0) continue;
+    gather_.push_back({static_cast<std::uint32_t>(w), dst_bit, mask});
+    dst_bit += static_cast<std::uint32_t>(std::popcount(mask));
+  }
 }
 
 DynamicBitset SubUniverse::Project(const DynamicBitset& full_set) const {
   DynamicBitset out(sample_to_full_.size());
-  for (std::size_t i = 0; i < sample_to_full_.size(); ++i) {
-    if (full_set.Test(sample_to_full_[i])) out.Set(i);
+  for (const GatherBlock& block : gather_) {
+    const Word bits = ExtractBits(full_set.GetWord(block.src_word), block.mask);
+    if (bits == 0) continue;
+    const std::size_t word = block.dst_bit / DynamicBitset::kBitsPerWord;
+    const std::size_t offset = block.dst_bit % DynamicBitset::kBitsPerWord;
+    out.OrWord(word, bits << offset);
+    const std::size_t width =
+        static_cast<std::size_t>(std::popcount(block.mask));
+    if (offset + width > DynamicBitset::kBitsPerWord) {
+      out.OrWord(word + 1, bits >> (DynamicBitset::kBitsPerWord - offset));
+    }
+  }
+  return out;
+}
+
+DynamicBitset SubUniverse::Project(SetView full_set) const {
+  if (full_set.is_dense()) return Project(*full_set.dense());
+  // Sparse path: O(k) rank computations — independent of both n and the
+  // sample size.
+  DynamicBitset out(sample_to_full_.size());
+  for (ElementId e : full_set.sparse()->elements()) {
+    const std::size_t w = e / DynamicBitset::kBitsPerWord;
+    const std::size_t b = e % DynamicBitset::kBitsPerWord;
+    const Word mask = sampled_words_[w];
+    if ((mask >> b) & 1) {
+      const std::uint32_t s =
+          word_rank_[w] +
+          static_cast<std::uint32_t>(std::popcount(mask & ((Word{1} << b) - 1)));
+      out.Set(s);
+    }
   }
   return out;
 }
@@ -28,7 +96,24 @@ DynamicBitset SubUniverse::Lift(const DynamicBitset& sample_set) const {
 
 DynamicBitset SampleElements(const DynamicBitset& universe, double rate,
                              Rng& rng) {
+  // Rng::BernoulliSubsample owns the documented [0,1]/NaN clamp.
   return rng.BernoulliSubsample(universe, rate);
+}
+
+std::vector<DynamicBitset> ProjectAll(const SubUniverse& sub,
+                                      const std::vector<StreamItem>& items,
+                                      ParallelPassEngine* engine) {
+  std::vector<DynamicBitset> out(items.size());
+  if (engine == nullptr || engine->num_threads() <= 1) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      out[i] = sub.Project(items[i].set);
+    }
+    return out;
+  }
+  engine->ParallelFor(items.size(), [&](std::size_t i) {
+    out[i] = sub.Project(items[i].set);
+  });
+  return out;
 }
 
 }  // namespace streamsc

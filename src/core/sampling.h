@@ -1,18 +1,31 @@
 #ifndef STREAMSC_CORE_SAMPLING_H_
 #define STREAMSC_CORE_SAMPLING_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "instance/set_system.h"
+#include "stream/set_stream.h"
 #include "util/bitset.h"
 #include "util/random.h"
+#include "util/set_view.h"
 
 /// \file sampling.h
 /// Element-sampling machinery (Lemma 3.12 of the paper): a sampled
 /// sub-universe with compact re-indexing, so stored projections use bits
 /// proportional to the *sample* size rather than n.
+///
+/// Projection is the per-pass hot path (every stored set crosses it once
+/// per sampling pass), so SubUniverse precomputes a word-level gather
+/// plan: for each universe word containing sampled elements, a (source
+/// word, sampled-bit mask, destination bit) block. Projecting a dense set
+/// is then one extract-bits op per touched word instead of one Test/Set
+/// round-trip per sampled element; sparse sets project in O(k) id
+/// lookups.
 
 namespace streamsc {
+
+class ParallelPassEngine;
 
 /// A sampled subset of the universe with a dense re-indexing
 /// {sampled elements} -> [0, sample_size).
@@ -28,8 +41,13 @@ class SubUniverse {
   /// Full-universe size this sample came from.
   std::size_t full_size() const { return full_size_; }
 
-  /// Projects a full-universe set onto the sample (dense indexing).
+  /// Projects a full-universe dense set onto the sample (dense indexing)
+  /// via the word-level gather plan.
   DynamicBitset Project(const DynamicBitset& full_set) const;
+
+  /// Projects a full-universe set of either representation: dense sets go
+  /// through the word gather, sparse sets through per-member re-indexing.
+  DynamicBitset Project(SetView full_set) const;
 
   /// Lifts a sample-indexed set back to full-universe indexing.
   DynamicBitset Lift(const DynamicBitset& sample_set) const;
@@ -38,16 +56,41 @@ class SubUniverse {
   ElementId ToFull(std::size_t i) const { return sample_to_full_[i]; }
 
  private:
+  // One gather step: the sampled bits of full-universe word `src_word`
+  // land, compacted, at output bit position `dst_bit`.
+  struct GatherBlock {
+    std::uint32_t src_word;
+    std::uint32_t dst_bit;
+    DynamicBitset::Word mask;
+  };
+
   std::size_t full_size_;
   std::vector<ElementId> sample_to_full_;
-  // full id -> sample id + 1; 0 means "not sampled".
-  std::vector<std::uint32_t> full_to_sample_plus1_;
+  // Rank structure for full id -> sample id: the sampled bits per
+  // universe word plus the number of sampled elements before each word.
+  // ~n/8 + n/16 bytes total, an order of magnitude smaller than a
+  // per-element map — the sparse projection path is lookup-table-miss
+  // bound, so the working set matters more than the op count.
+  std::vector<DynamicBitset::Word> sampled_words_;
+  std::vector<std::uint32_t> word_rank_;
+  std::vector<GatherBlock> gather_;
 };
 
 /// Builds the Lemma 3.12 sample of \p universe: each element kept
-/// independently with probability \p rate.
+/// independently with probability \p rate. \p rate is clamped to [0, 1]
+/// (NaN treated as 0): rate <= 0 yields the empty set, rate >= 1 the
+/// whole \p universe.
 DynamicBitset SampleElements(const DynamicBitset& universe, double rate,
                              Rng& rng);
+
+/// Projects every buffered item onto \p sub; out[i] corresponds to
+/// items[i]. With an engine the projections are computed in parallel —
+/// each item's output slot is fixed by its stream position, so the result
+/// is bit-identical for any thread count. Pass engine == nullptr for the
+/// sequential path.
+std::vector<DynamicBitset> ProjectAll(const SubUniverse& sub,
+                                      const std::vector<StreamItem>& items,
+                                      ParallelPassEngine* engine);
 
 }  // namespace streamsc
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "stream/parallel_pass_engine.h"
 #include "util/space_meter.h"
 #include "util/stopwatch.h"
 
@@ -29,19 +30,32 @@ SetCoverRunResult ThresholdGreedySetCover::Run(SetStream& stream) {
   Solution solution;
   StreamItem item;
 
+  const bool buffered =
+      config_.engine != nullptr && stream.ItemsRemainValid();
+  const auto take = [&](SetId id) {
+    solution.chosen.push_back(id);
+    meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+  };
+
   // Thresholds n, n/β, n/β², ..., ending with a final pass at exactly 1 —
   // one pass each. A set is taken the moment its marginal gain meets the
   // current threshold, which emulates offline greedy within a factor β.
   double threshold = static_cast<double>(n);
   while (!uncovered.None()) {
     const double effective = std::max(threshold, 1.0);
-    stream.BeginPass();
-    while (stream.Next(&item)) {
-      const Count gain = item.set->CountAnd(uncovered);
-      if (gain > 0 && static_cast<double>(gain) >= effective) {
-        solution.chosen.push_back(item.id);
-        meter.SetCategory(solution.size() * sizeof(SetId), "solution");
-        uncovered.AndNot(*item.set);
+    if (buffered) {
+      // Re-drained each pass: kRandomEachPass streams reorder between
+      // passes.
+      const std::vector<StreamItem> items = DrainPass(stream);
+      ThresholdScan(items, effective, uncovered, config_.engine, take);
+    } else {
+      stream.BeginPass();
+      while (stream.Next(&item)) {
+        const Count gain = item.set.CountAnd(uncovered);
+        if (gain > 0 && static_cast<double>(gain) >= effective) {
+          take(item.id);
+          item.set.AndNotInto(uncovered);
+        }
       }
     }
     if (threshold <= 1.0) break;

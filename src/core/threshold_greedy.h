@@ -16,11 +16,18 @@
 
 namespace streamsc {
 
+class ParallelPassEngine;
+
 /// Configuration of the threshold-greedy baseline.
 struct ThresholdGreedyConfig {
   /// Threshold shrink factor per pass (β > 1). β = 2 gives a
   /// 2·H_n-style guarantee in ~log2(n) passes.
   double beta = 2.0;
+
+  /// If set (and the stream's items stay valid within a pass), each
+  /// threshold pass is sharded across the pool; the taken sets are
+  /// bit-identical for any thread count. Not owned.
+  ParallelPassEngine* engine = nullptr;
 };
 
 /// Multi-pass threshold greedy.

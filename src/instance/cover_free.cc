@@ -17,7 +17,7 @@ bool SearchCoverers(const SetSystem& system, SetId target,
     if (!system.set(j).Intersects(remaining)) continue;
     chosen.push_back(j);
     DynamicBitset next = remaining;
-    next.AndNot(system.set(j));
+    system.set(j).AndNotInto(next);
     if (SearchCoverers(system, target, next, budget - 1, j + 1, chosen)) {
       return true;
     }
@@ -32,7 +32,8 @@ std::optional<CoveringViolation> FindCoveringViolationExhaustive(
     const SetSystem& system, std::size_t r) {
   for (SetId target = 0; target < system.num_sets(); ++target) {
     std::vector<SetId> chosen;
-    if (SearchCoverers(system, target, system.set(target), r, 0, chosen)) {
+    if (SearchCoverers(system, target, system.set(target).ToDense(), r, 0,
+                       chosen)) {
       return CoveringViolation{target, std::move(chosen)};
     }
   }
@@ -45,14 +46,14 @@ std::optional<CoveringViolation> FindCoveringViolationRandom(
   if (m < 2) return std::nullopt;
   for (std::size_t trial = 0; trial < trials; ++trial) {
     const SetId target = static_cast<SetId>(rng.UniformInt(m));
-    DynamicBitset remaining = system.set(target);
+    DynamicBitset remaining = system.set(target).ToDense();
     std::vector<SetId> chosen;
     for (std::size_t pick = 0; pick < r && !remaining.None(); ++pick) {
       // Greedy random probe: pick a random set, keep it if it helps.
       const SetId j = static_cast<SetId>(rng.UniformInt(m));
       if (j == target) continue;
       if (!system.set(j).Intersects(remaining)) continue;
-      remaining.AndNot(system.set(j));
+      system.set(j).AndNotInto(remaining);
       chosen.push_back(j);
     }
     if (remaining.None() && !chosen.empty()) {

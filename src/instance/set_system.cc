@@ -1,31 +1,93 @@
 #include "instance/set_system.h"
 
 #include <cassert>
+#include <utility>
+
+#include "util/check.h"
 
 namespace streamsc {
 
+bool SetSystem::WantsSparse(Count count) const {
+  return static_cast<double>(count) <
+         sparsity_threshold_ * static_cast<double>(universe_size_);
+}
+
+SetId SetSystem::PushDense(DynamicBitset set) {
+  dense_.push_back(std::move(set));
+  slots_.push_back({Rep::kDense, static_cast<std::uint32_t>(dense_.size() - 1)});
+  return static_cast<SetId>(slots_.size() - 1);
+}
+
+SetId SetSystem::PushSparse(SparseSet set) {
+  sparse_.push_back(std::move(set));
+  slots_.push_back(
+      {Rep::kSparse, static_cast<std::uint32_t>(sparse_.size() - 1)});
+  return static_cast<SetId>(slots_.size() - 1);
+}
+
 SetId SetSystem::AddSet(DynamicBitset set) {
-  assert(set.size() == universe_size_);
-  sets_.push_back(std::move(set));
-  return static_cast<SetId>(sets_.size() - 1);
+  STREAMSC_CHECK(set.size() == universe_size_,
+                 "SetSystem::AddSet: set universe size mismatches the system");
+  if (WantsSparse(set.CountSet())) {
+    return PushSparse(SparseSet::FromBitset(set));
+  }
+  return PushDense(std::move(set));
 }
 
 SetId SetSystem::AddSetFromIndices(const std::vector<ElementId>& indices) {
-  return AddSet(DynamicBitset::FromIndices(universe_size_, indices));
+  // Range validation happens inside FromIndices (one post-sort check).
+  SparseSet sparse = SparseSet::FromIndices(universe_size_, indices);
+  if (WantsSparse(sparse.CountSet())) return PushSparse(std::move(sparse));
+  return PushDense(sparse.ToBitset());
+}
+
+SetId SetSystem::AddSetFromView(SetView view) {
+  STREAMSC_CHECK(view.valid() && view.size() == universe_size_,
+                 "SetSystem::AddSetFromView: view mismatches the system");
+  if (WantsSparse(view.CountSet())) {
+    if (view.is_dense()) return PushSparse(SparseSet::FromBitset(*view.dense()));
+    return PushSparse(*view.sparse());
+  }
+  return PushDense(view.ToDense());
+}
+
+SetView SetSystem::set(SetId id) const {
+  assert(id < slots_.size());
+  const Slot& slot = slots_[id];
+  if (slot.rep == Rep::kDense) return SetView(dense_[slot.index]);
+  return SetView(sparse_[slot.index]);
+}
+
+bool SetSystem::IsSparse(SetId id) const {
+  assert(id < slots_.size());
+  return slots_[id].rep == Rep::kSparse;
+}
+
+SetSystem::Memory SetSystem::MemoryUsage() const {
+  Memory memory;
+  for (const auto& s : dense_) {
+    memory.dense_bytes += s.ByteSize();
+    ++memory.dense_sets;
+  }
+  for (const auto& s : sparse_) {
+    memory.sparse_bytes += s.ByteSize();
+    ++memory.sparse_sets;
+  }
+  return memory;
 }
 
 DynamicBitset SetSystem::UnionOf(const std::vector<SetId>& ids) const {
   DynamicBitset u(universe_size_);
   for (SetId id : ids) {
-    assert(id < sets_.size());
-    u |= sets_[id];
+    assert(id < slots_.size());
+    set(id).OrInto(u);
   }
   return u;
 }
 
 DynamicBitset SetSystem::UnionAll() const {
   DynamicBitset u(universe_size_);
-  for (const auto& s : sets_) u |= s;
+  for (SetId id = 0; id < slots_.size(); ++id) set(id).OrInto(u);
   return u;
 }
 
@@ -40,9 +102,9 @@ bool SetSystem::IsFeasibleCover(const std::vector<SetId>& ids) const {
 bool SetSystem::IsCoverable() const { return UnionAll().All(); }
 
 Status SetSystem::Validate() const {
-  for (std::size_t i = 0; i < sets_.size(); ++i) {
-    if (sets_[i].size() != universe_size_) {
-      return Status::Internal("set " + std::to_string(i) +
+  for (SetId id = 0; id < slots_.size(); ++id) {
+    if (set(id).size() != universe_size_) {
+      return Status::Internal("set " + std::to_string(id) +
                               " has mismatched universe size");
     }
   }
@@ -51,13 +113,13 @@ Status SetSystem::Validate() const {
 
 Count SetSystem::TotalIncidences() const {
   Count total = 0;
-  for (const auto& s : sets_) total += s.CountSet();
+  for (SetId id = 0; id < slots_.size(); ++id) total += set(id).CountSet();
   return total;
 }
 
 std::string SetSystem::DebugString() const {
   return "SetSystem(n=" + std::to_string(universe_size_) +
-         ", m=" + std::to_string(sets_.size()) + ")";
+         ", m=" + std::to_string(slots_.size()) + ")";
 }
 
 }  // namespace streamsc

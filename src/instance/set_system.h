@@ -1,11 +1,14 @@
 #ifndef STREAMSC_INSTANCE_SET_SYSTEM_H_
 #define STREAMSC_INSTANCE_SET_SYSTEM_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "util/bitset.h"
 #include "util/common.h"
+#include "util/set_view.h"
+#include "util/sparse_set.h"
 #include "util/status.h"
 
 /// \file set_system.h
@@ -13,33 +16,75 @@
 /// shared input representation for the offline solvers, the streaming
 /// algorithms (which consume it through SetStream), and the hard-instance
 /// distributions.
+///
+/// Storage is *hybrid*: each set is kept either densely (DynamicBitset,
+/// n bits) or sparsely (SparseSet, 32 bits per member), chosen per set at
+/// insertion by a density threshold. Consumers read sets through SetView
+/// (set(id)), which dispatches to the stored representation — sparse
+/// instances scan in O(k) per set instead of O(n/64) and occupy memory
+/// proportional to their incidences rather than m·n.
 
 namespace streamsc {
 
 /// An immutable-universe, growable collection of subsets of [n].
 class SetSystem {
  public:
-  /// Creates an empty collection over a universe of \p universe_size.
-  explicit SetSystem(std::size_t universe_size = 0)
-      : universe_size_(universe_size) {}
+  /// Default density threshold below which a set is stored sparsely.
+  /// 1/32 is the memory break-even point: a k-member sparse set costs
+  /// 32k bits vs. n bits dense, so sparse wins exactly when k < n/32.
+  static constexpr double kDefaultSparsityThreshold = 1.0 / 32.0;
 
-  /// Appends \p set (must be over the same universe); returns its SetId.
+  /// Creates an empty collection over a universe of \p universe_size.
+  /// Sets with density (|S|/n) strictly below \p sparsity_threshold are
+  /// stored sparsely; pass 0.0 to force dense storage, 1.1 to force
+  /// sparse storage.
+  explicit SetSystem(std::size_t universe_size = 0,
+                     double sparsity_threshold = kDefaultSparsityThreshold)
+      : universe_size_(universe_size),
+        sparsity_threshold_(sparsity_threshold) {}
+
+  /// Appends \p set; returns its SetId. CHECK-fails (all build modes) if
+  /// the set's universe size mismatches the system's.
   SetId AddSet(DynamicBitset set);
 
-  /// Appends a set given by its member elements.
+  /// Appends a set given by its member elements (need not be sorted).
+  /// CHECK-fails on out-of-universe elements. Builds the sparse
+  /// representation directly when the set qualifies — no n-bit
+  /// intermediate, so ingesting a sparse instance is O(incidences).
   SetId AddSetFromIndices(const std::vector<ElementId>& indices);
+
+  /// Appends a copy of the viewed set, re-deciding the representation
+  /// under this system's threshold.
+  SetId AddSetFromView(SetView view);
 
   /// Universe size n.
   std::size_t universe_size() const { return universe_size_; }
 
   /// Number of sets m.
-  std::size_t num_sets() const { return sets_.size(); }
+  std::size_t num_sets() const { return slots_.size(); }
 
-  /// The \p id-th set. Precondition: id < num_sets().
-  const DynamicBitset& set(SetId id) const { return sets_[id]; }
+  /// A view of the \p id-th set. Precondition: id < num_sets(). The view
+  /// is invalidated by the next AddSet* call (storage may grow).
+  SetView set(SetId id) const;
 
-  /// All sets, in insertion order.
-  const std::vector<DynamicBitset>& sets() const { return sets_; }
+  /// True iff the \p id-th set is stored sparsely.
+  bool IsSparse(SetId id) const;
+
+  /// Stored bytes of the \p id-th set (its representation's ByteSize).
+  Bytes SetBytes(SetId id) const { return set(id).ByteSize(); }
+
+  /// Per-representation memory report.
+  struct Memory {
+    Bytes dense_bytes = 0;        ///< Total bytes of dense-stored sets.
+    Bytes sparse_bytes = 0;       ///< Total bytes of sparse-stored sets.
+    std::size_t dense_sets = 0;   ///< Number of dense-stored sets.
+    std::size_t sparse_sets = 0;  ///< Number of sparse-stored sets.
+
+    Bytes total_bytes() const { return dense_bytes + sparse_bytes; }
+  };
+
+  /// Reports stored bytes and set counts for both representations.
+  Memory MemoryUsage() const;
 
   /// Union of the sets with the given ids.
   DynamicBitset UnionOf(const std::vector<SetId>& ids) const;
@@ -68,8 +113,24 @@ class SetSystem {
   std::string DebugString() const;
 
  private:
+  enum class Rep : std::uint8_t { kDense, kSparse };
+
+  struct Slot {
+    Rep rep;
+    std::uint32_t index;  // into dense_ or sparse_
+  };
+
+  // True iff a set with \p count members should be stored sparsely.
+  bool WantsSparse(Count count) const;
+
+  SetId PushDense(DynamicBitset set);
+  SetId PushSparse(SparseSet set);
+
   std::size_t universe_size_;
-  std::vector<DynamicBitset> sets_;
+  double sparsity_threshold_;
+  std::vector<Slot> slots_;
+  std::vector<DynamicBitset> dense_;
+  std::vector<SparseSet> sparse_;
 };
 
 /// A set cover / max coverage solution: set ids plus bookkeeping helpers.

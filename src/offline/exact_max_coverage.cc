@@ -64,7 +64,7 @@ void Search(SearchState& state, const DynamicBitset& covered,
     const SetId id = gains[p].second;
     state.current.push_back(id);
     DynamicBitset next = covered;
-    next |= state.system->set(id);
+    state.system->set(id).OrInto(next);
     // Re-derive a position list: sets ranked after `p` in this node's gain
     // order form the remaining candidate pool. To keep the recursion
     // simple we rebuild `order` as the tail of the gain ranking.

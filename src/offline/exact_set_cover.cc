@@ -137,7 +137,7 @@ void Search(SearchState& state, const DynamicBitset& uncovered) {
     if (state.budget_exhausted) return;
     state.current.push_back(id);
     DynamicBitset next = uncovered;
-    next.AndNot(state.system->set(id));
+    state.system->set(id).AndNotInto(next);
     Search(state, next);
     state.current.pop_back();
   }

@@ -18,7 +18,7 @@ Solution GreedySetCover(const SetSystem& system,
     }
     if (best == kInvalidSetId) break;  // nothing helps; infeasible residue
     solution.chosen.push_back(best);
-    uncovered.AndNot(system.set(best));
+    system.set(best).AndNotInto(uncovered);
   }
   return solution;
 }
@@ -44,7 +44,7 @@ Solution GreedyMaxCoverage(const SetSystem& system,
     }
     if (best == kInvalidSetId) break;
     solution.chosen.push_back(best);
-    uncovered.AndNot(system.set(best));
+    system.set(best).AndNotInto(uncovered);
   }
   return solution;
 }

@@ -56,7 +56,7 @@ std::size_t PackingLowerBound(const SetSystem& system,
     if (blocked.Test(e)) continue;
     ++picked;
     for (SetId id = 0; id < system.num_sets(); ++id) {
-      if (system.set(id).Test(e)) blocked |= system.set(id);
+      if (system.set(id).Test(e)) system.set(id).OrInto(blocked);
     }
   }
   return picked;

@@ -1,0 +1,133 @@
+#include "stream/parallel_pass_engine.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace streamsc {
+
+ParallelPassEngine::ParallelPassEngine(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads_ = num_threads;
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ParallelPassEngine::~ParallelPassEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ParallelPassEngine::RunJob(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.count) return;
+    (*job.fn)(i);
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.count) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelPassEngine::WorkerLoop() {
+  std::uint64_t last_job_id = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && job_->id != last_job_id);
+      });
+      if (shutdown_) return;
+      job = job_;
+      last_job_id = job->id;
+    }
+    // Each job owns its claim counters (shared_ptr keeps stale jobs
+    // alive), so a late-waking worker can never claim into a newer job.
+    RunJob(*job);
+  }
+}
+
+void ParallelPassEngine::ParallelFor(
+    std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::shared_ptr<Job> job = std::make_shared<Job>();
+  job->count = count;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->id = next_job_id_++;
+    job_ = job;
+  }
+  work_cv_.notify_all();
+  RunJob(*job);  // the calling thread participates
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return job->completed.load(std::memory_order_acquire) == count;
+  });
+}
+
+std::vector<StreamItem> DrainPass(SetStream& stream) {
+  STREAMSC_CHECK(stream.ItemsRemainValid(),
+                 "DrainPass: stream invalidates items mid-pass; "
+                 "buffering would read dangling views");
+  std::vector<StreamItem> items;
+  items.reserve(stream.num_sets());
+  stream.BeginPass();
+  StreamItem item;
+  while (stream.Next(&item)) items.push_back(item);
+  return items;
+}
+
+void ThresholdScan(const std::vector<StreamItem>& items, double threshold,
+                   DynamicBitset& uncovered, ParallelPassEngine* engine,
+                   const std::function<void(SetId)>& on_take) {
+  const auto take_if_eligible = [&](const StreamItem& item) {
+    const Count gain = item.set.CountAnd(uncovered);
+    if (gain > 0 && static_cast<double>(gain) >= threshold) {
+      on_take(item.id);
+      item.set.AndNotInto(uncovered);
+    }
+  };
+
+  if (engine == nullptr || engine->num_threads() <= 1 || items.size() < 2) {
+    for (const StreamItem& item : items) take_if_eligible(item);
+    return;
+  }
+
+  // Chunked parallel filter + in-order commit. The chunk size only
+  // affects how stale the snapshot gains are, never the outcome.
+  const std::size_t chunk =
+      std::max<std::size_t>(64, items.size() / (8 * engine->num_threads()));
+  std::vector<Count> gains(chunk);
+  for (std::size_t pos = 0; pos < items.size(); pos += chunk) {
+    const std::size_t width = std::min(chunk, items.size() - pos);
+    engine->ParallelFor(width, [&](std::size_t k) {
+      gains[k] = items[pos + k].set.CountAnd(uncovered);
+    });
+    for (std::size_t k = 0; k < width; ++k) {
+      // Gains only shrink as earlier commits subtract from `uncovered`,
+      // so a below-threshold snapshot gain is a proof of ineligibility;
+      // survivors are re-evaluated against the current state, in order.
+      if (gains[k] > 0 && static_cast<double>(gains[k]) >= threshold) {
+        take_if_eligible(items[pos + k]);
+      }
+    }
+  }
+}
+
+}  // namespace streamsc

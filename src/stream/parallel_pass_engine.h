@@ -1,0 +1,105 @@
+#ifndef STREAMSC_STREAM_PARALLEL_PASS_ENGINE_H_
+#define STREAMSC_STREAM_PARALLEL_PASS_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "stream/set_stream.h"
+#include "util/bitset.h"
+#include "util/common.h"
+
+/// \file parallel_pass_engine.h
+/// ParallelPassEngine: a fixed worker pool that shards one stream pass's
+/// items across threads, plus the deterministic scan primitives built on
+/// it.
+///
+/// Determinism contract: every helper in this file produces results that
+/// are **bit-identical for any thread count** (including the engine-less
+/// sequential path). Parallelism is used only where item work is
+/// independent (projection) or where a parallel phase can be proven
+/// equivalent to the sequential loop (ThresholdScan's monotone-gain
+/// filter + in-order commit). Merges happen in stream order at pass end;
+/// no result ever depends on thread scheduling.
+
+namespace streamsc {
+
+/// A fixed pool of worker threads executing index-sharded jobs.
+/// ParallelFor blocks until the job completes; jobs must not throw.
+/// One engine can be reused across passes, algorithms, and runs; it is
+/// not re-entrant (one ParallelFor at a time).
+class ParallelPassEngine {
+ public:
+  /// Creates a pool of \p num_threads workers (the calling thread counts
+  /// as one of them). 0 means std::thread::hardware_concurrency().
+  explicit ParallelPassEngine(std::size_t num_threads = 0);
+  ~ParallelPassEngine();
+
+  ParallelPassEngine(const ParallelPassEngine&) = delete;
+  ParallelPassEngine& operator=(const ParallelPassEngine&) = delete;
+
+  /// Worker count (including the calling thread).
+  std::size_t num_threads() const { return num_threads_; }
+
+  /// Invokes fn(i) exactly once for every i in [0, count), distributed
+  /// over the pool; blocks until all calls return. \p fn must be safe to
+  /// call concurrently for distinct indices.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+  };
+
+  void WorkerLoop();
+  // Claims and runs indices of \p job until exhausted.
+  void RunJob(Job& job);
+
+  std::size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;           // guarded by mu_
+  std::shared_ptr<Job> job_;        // guarded by mu_
+  std::uint64_t next_job_id_ = 1;   // guarded by mu_
+};
+
+/// Starts a new pass on \p stream and buffers all its items. Requires
+/// stream.ItemsRemainValid() (CHECK-fails otherwise): the returned views
+/// borrow from the stream and stay valid until its next pass.
+std::vector<StreamItem> DrainPass(SetStream& stream);
+
+/// The pruning-scan primitive shared by the threshold-style passes:
+/// sequentially equivalent to
+///
+///   for item in items:                       # in stream order
+///     gain = |item.set & uncovered|
+///     if gain > 0 and gain >= threshold:
+///       on_take(item.id); uncovered \= item.set
+///
+/// With an engine, gains are precomputed in parallel against a chunk
+/// snapshot of `uncovered` and candidates are re-evaluated in stream
+/// order. Because `uncovered` only shrinks within a pass, a set whose
+/// snapshot gain is below the threshold can never reach it later, so the
+/// filter drops no taker — the output is bit-identical to the sequential
+/// loop for every thread count. Pass engine == nullptr for the plain
+/// sequential scan.
+void ThresholdScan(const std::vector<StreamItem>& items, double threshold,
+                   DynamicBitset& uncovered, ParallelPassEngine* engine,
+                   const std::function<void(SetId)>& on_take);
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_STREAM_PARALLEL_PASS_ENGINE_H_

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/check.h"
+
 namespace streamsc {
 
 VectorSetStream::VectorSetStream(const SetSystem& system, StreamOrder order,
@@ -10,7 +12,11 @@ VectorSetStream::VectorSetStream(const SetSystem& system, StreamOrder order,
   order_.reserve(system.num_sets());
   for (SetId i = 0; i < system.num_sets(); ++i) order_.push_back(i);
   if (order_kind_ != StreamOrder::kAdversarial) {
-    assert(rng_ != nullptr && "random orders need an Rng");
+    // A debug-only assert here would dereference nullptr in release
+    // builds; random orders without randomness are a caller bug that must
+    // fail loudly in every build mode.
+    STREAMSC_CHECK(rng_ != nullptr,
+                   "VectorSetStream: random orders need a non-null Rng");
     rng_->Shuffle(order_);
   }
 }
@@ -34,7 +40,7 @@ bool VectorSetStream::Next(StreamItem* item) {
   if (cursor_ >= order_.size()) return false;
   const SetId id = order_[cursor_++];
   item->id = id;
-  item->set = &system_.set(id);
+  item->set = system_.set(id);
   return true;
 }
 

@@ -7,6 +7,7 @@
 #include "instance/set_system.h"
 #include "util/common.h"
 #include "util/random.h"
+#include "util/set_view.h"
 
 /// \file set_stream.h
 /// The streaming substrate: sets arrive one by one; algorithms may make
@@ -18,10 +19,11 @@
 namespace streamsc {
 
 /// One stream arrival: the set's id in the underlying system plus a
-/// borrowed pointer to its contents (valid until the stream is destroyed).
+/// borrowed view of its contents. How long the view stays valid depends
+/// on the stream (see SetStream::ItemsRemainValid()).
 struct StreamItem {
   SetId id = kInvalidSetId;
-  const DynamicBitset* set = nullptr;
+  SetView set;
 };
 
 /// Abstract multi-pass stream of sets.
@@ -45,6 +47,12 @@ class SetStream {
 
   /// Number of passes started so far.
   virtual std::uint64_t passes() const = 0;
+
+  /// True iff every item view handed out during one pass stays valid
+  /// until the end of that pass (required to buffer a pass, e.g. for the
+  /// ParallelPassEngine). In-memory streams qualify; streams that hold
+  /// one set at a time (FileSetStream) do not.
+  virtual bool ItemsRemainValid() const { return false; }
 };
 
 /// How a VectorSetStream orders its items.
@@ -59,8 +67,9 @@ enum class StreamOrder {
 /// stream).
 class VectorSetStream : public SetStream {
  public:
-  /// Streams \p system in \p order; \p rng used for random orders (may be
-  /// null for kAdversarial).
+  /// Streams \p system in \p order; \p rng is used for random orders (may
+  /// be null for kAdversarial only — CHECK-fails loudly, in all build
+  /// modes, when a random order is requested without an Rng).
   VectorSetStream(const SetSystem& system, StreamOrder order, Rng* rng);
 
   /// Adversarial-order convenience constructor.
@@ -72,6 +81,7 @@ class VectorSetStream : public SetStream {
   void BeginPass() override;
   bool Next(StreamItem* item) override;
   std::uint64_t passes() const override { return passes_; }
+  bool ItemsRemainValid() const override { return true; }
 
   /// The permutation currently in effect (for tests).
   const std::vector<SetId>& order() const { return order_; }

@@ -176,7 +176,7 @@ bool FileSetStream::Next(StreamItem* item) {
     current_.Set(static_cast<std::size_t>(e));
   }
   item->id = next_id_++;
-  item->set = &current_;
+  item->set = SetView(current_);
   return true;
 }
 

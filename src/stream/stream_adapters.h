@@ -39,6 +39,9 @@ class ConcatSetStream : public SetStream {
   void BeginPass() override;
   bool Next(StreamItem* item) override;
   std::uint64_t passes() const override { return passes_; }
+  bool ItemsRemainValid() const override {
+    return first_.ItemsRemainValid() && second_.ItemsRemainValid();
+  }
 
  private:
   SetStream& first_;
@@ -58,6 +61,9 @@ class InterleaveSetStream : public SetStream {
   void BeginPass() override;
   bool Next(StreamItem* item) override;
   std::uint64_t passes() const override { return passes_; }
+  bool ItemsRemainValid() const override {
+    return first_.ItemsRemainValid() && second_.ItemsRemainValid();
+  }
 
  private:
   SetStream& first_;
@@ -88,6 +94,9 @@ class FileSetStream : public SetStream {
   void BeginPass() override;
   bool Next(StreamItem* item) override;
   std::uint64_t passes() const override { return passes_; }
+  // Holds exactly one set at a time: each Next() invalidates the previous
+  // item's view, so a pass can never be buffered.
+  bool ItemsRemainValid() const override { return false; }
 
  private:
   // (Re)opens the file and positions the cursor after the header.

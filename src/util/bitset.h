@@ -128,6 +128,23 @@ class DynamicBitset {
   /// one bit per universe element, rounded up to whole words.
   Bytes ByteSize() const { return words_.size() * sizeof(Word); }
 
+  /// Number of backing 64-bit words (word-level fast paths, e.g. the
+  /// SubUniverse projection gather).
+  std::size_t WordCount() const { return words_.size(); }
+
+  /// The \p w-th backing word. Precondition: w < WordCount().
+  Word GetWord(std::size_t w) const {
+    assert(w < words_.size());
+    return words_[w];
+  }
+
+  /// ORs \p bits into the \p w-th backing word. The caller must preserve
+  /// the tail invariant: no bits at positions >= size().
+  void OrWord(std::size_t w, Word bits) {
+    assert(w < words_.size());
+    words_[w] |= bits;
+  }
+
   /// "{0, 3, 7}" style debug rendering.
   std::string ToString() const;
 

@@ -1,0 +1,18 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace streamsc {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const char* message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", file, line, expr,
+               message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace streamsc

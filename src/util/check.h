@@ -1,0 +1,32 @@
+#ifndef STREAMSC_UTIL_CHECK_H_
+#define STREAMSC_UTIL_CHECK_H_
+
+/// \file check.h
+/// STREAMSC_CHECK: release-mode invariant enforcement.
+///
+/// `assert` compiles out under NDEBUG, which turns precondition violations
+/// into silent memory corruption in release builds (the builds every bench
+/// and production caller actually runs). STREAMSC_CHECK stays armed in all
+/// build modes: on failure it prints the location, the failed expression,
+/// and a caller-supplied message to stderr, then aborts. Use it for
+/// API-boundary preconditions (caller bugs); keep `assert` for hot-loop
+/// internal invariants where the branch cost matters.
+
+namespace streamsc {
+namespace internal {
+
+/// Prints the diagnostic and aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* message);
+
+}  // namespace internal
+}  // namespace streamsc
+
+/// Aborts with a diagnostic unless \p condition holds. Always armed.
+#define STREAMSC_CHECK(condition, message)                                \
+  (static_cast<bool>(condition)                                           \
+       ? static_cast<void>(0)                                             \
+       : ::streamsc::internal::CheckFailed(__FILE__, __LINE__,            \
+                                           #condition, (message)))
+
+#endif  // STREAMSC_UTIL_CHECK_H_

@@ -90,7 +90,7 @@ DynamicBitset Rng::RandomSubsetOfSize(std::size_t universe, std::size_t k) {
 
 DynamicBitset Rng::BernoulliSubset(std::size_t universe, double p) {
   DynamicBitset out(universe);
-  if (p <= 0.0) return out;
+  if (!(p > 0.0)) return out;  // also catches NaN
   if (p >= 1.0) {
     out.Fill();
     return out;
@@ -111,6 +111,8 @@ DynamicBitset Rng::BernoulliSubset(std::size_t universe, double p) {
 }
 
 DynamicBitset Rng::BernoulliSubsample(const DynamicBitset& base, double p) {
+  if (!(p > 0.0)) return DynamicBitset(base.size());  // also catches NaN
+  if (p >= 1.0) return base;
   DynamicBitset out(base.size());
   base.ForEach([&](ElementId e) {
     if (Bernoulli(p)) out.Set(e);

@@ -52,9 +52,13 @@ class Rng {
   DynamicBitset RandomSubsetOfSize(std::size_t universe, std::size_t k);
 
   /// Includes each of {0, ..., universe-1} independently with prob. \p p.
+  /// \p p is clamped to [0, 1] (NaN treated as 0): p <= 0 yields the empty
+  /// set, p >= 1 the full universe.
   DynamicBitset BernoulliSubset(std::size_t universe, double p);
 
   /// Includes each member of \p base independently with probability \p p.
+  /// \p p is clamped to [0, 1] (NaN treated as 0): p <= 0 yields the empty
+  /// set, p >= 1 a copy of \p base.
   DynamicBitset BernoulliSubsample(const DynamicBitset& base, double p);
 
   /// A uniformly random permutation of {0, ..., size-1}.

@@ -1,0 +1,18 @@
+#include "util/set_view.h"
+
+namespace streamsc {
+
+bool operator==(const SetView& a, const SetView& b) {
+  if (!a.valid() || !b.valid()) return a.valid() == b.valid();
+  if (a.size() != b.size()) return false;
+  if (a.dense_ && b.dense_) return *a.dense_ == *b.dense_;
+  if (a.sparse_ && b.sparse_) return *a.sparse_ == *b.sparse_;
+  // Mixed representations: compare the sparse side's members against the
+  // dense side, plus cardinality (subset + equal count => equal).
+  const SparseSet* sparse = a.sparse_ ? a.sparse_ : b.sparse_;
+  const DynamicBitset* dense = a.dense_ ? a.dense_ : b.dense_;
+  if (sparse->CountSet() != dense->CountSet()) return false;
+  return sparse->IsSubsetOf(*dense);
+}
+
+}  // namespace streamsc

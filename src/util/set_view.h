@@ -1,0 +1,169 @@
+#ifndef STREAMSC_UTIL_SET_VIEW_H_
+#define STREAMSC_UTIL_SET_VIEW_H_
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/common.h"
+#include "util/sparse_set.h"
+
+/// \file set_view.h
+/// SetView: a non-owning, representation-agnostic view of one set.
+///
+/// The hybrid set substrate stores each set either densely (DynamicBitset)
+/// or sparsely (SparseSet); SetView is the uniform read API the algorithms
+/// consume, so a pruning scan or projection pass runs at the cost of the
+/// *representation* (n/64 word ops dense, k element ops sparse) without
+/// the algorithm knowing which it got. Views are two pointers wide — pass
+/// by value. A view borrows its target: it is invalidated by anything
+/// that invalidates the target (e.g. SetSystem::AddSet growing storage).
+
+namespace streamsc {
+
+/// A borrowed view of a dense or sparse set. Cheap to copy.
+class SetView {
+ public:
+  /// An invalid (detached) view; valid() is false.
+  SetView() = default;
+
+  /// Views a dense set. Implicit: any DynamicBitset is usable as a view.
+  SetView(const DynamicBitset& dense) : dense_(&dense) {}  // NOLINT
+
+  /// Views a sparse set.
+  SetView(const SparseSet& sparse) : sparse_(&sparse) {}  // NOLINT
+
+  /// True iff the view points at a set.
+  bool valid() const { return dense_ != nullptr || sparse_ != nullptr; }
+
+  /// True iff the underlying representation is a DynamicBitset.
+  bool is_dense() const { return dense_ != nullptr; }
+
+  /// The underlying dense set, or nullptr when sparse/invalid.
+  const DynamicBitset* dense() const { return dense_; }
+
+  /// The underlying sparse set, or nullptr when dense/invalid.
+  const SparseSet* sparse() const { return sparse_; }
+
+  /// Universe size of the viewed set.
+  std::size_t size() const {
+    assert(valid());
+    return dense_ ? dense_->size() : sparse_->size();
+  }
+
+  /// Number of elements in the set.
+  Count CountSet() const {
+    assert(valid());
+    return dense_ ? dense_->CountSet() : sparse_->CountSet();
+  }
+
+  /// True iff the set is empty.
+  bool None() const {
+    assert(valid());
+    return dense_ ? dense_->None() : sparse_->None();
+  }
+
+  /// True iff the set equals the whole universe.
+  bool All() const {
+    assert(valid());
+    return dense_ ? dense_->All() : sparse_->All();
+  }
+
+  /// Membership test.
+  bool Test(std::size_t i) const {
+    assert(valid());
+    return dense_ ? dense_->Test(i) : sparse_->Test(i);
+  }
+
+  /// |*this & other|.
+  Count CountAnd(const DynamicBitset& other) const {
+    assert(valid());
+    return dense_ ? dense_->CountAnd(other) : sparse_->CountAnd(other);
+  }
+
+  /// |*this \ other|.
+  Count CountAndNot(const DynamicBitset& other) const {
+    assert(valid());
+    return dense_ ? dense_->CountAndNot(other) : sparse_->CountAndNot(other);
+  }
+
+  /// True iff the two sets share at least one element.
+  bool Intersects(const DynamicBitset& other) const {
+    assert(valid());
+    return dense_ ? dense_->Intersects(other) : sparse_->Intersects(other);
+  }
+
+  /// True iff *this ⊆ other.
+  bool IsSubsetOf(const DynamicBitset& other) const {
+    assert(valid());
+    return dense_ ? dense_->IsSubsetOf(other) : sparse_->IsSubsetOf(other);
+  }
+
+  /// target \= *this (clears this set's members in \p target).
+  void AndNotInto(DynamicBitset& target) const {
+    assert(valid());
+    if (dense_) {
+      target.AndNot(*dense_);
+    } else {
+      sparse_->AndNotInto(target);
+    }
+  }
+
+  /// target |= *this.
+  void OrInto(DynamicBitset& target) const {
+    assert(valid());
+    if (dense_) {
+      target |= *dense_;
+    } else {
+      sparse_->OrInto(target);
+    }
+  }
+
+  /// Materializes a dense copy of the viewed set.
+  DynamicBitset ToDense() const {
+    assert(valid());
+    return dense_ ? *dense_ : sparse_->ToBitset();
+  }
+
+  /// All member elements in increasing order.
+  std::vector<ElementId> ToIndices() const {
+    assert(valid());
+    return dense_ ? dense_->ToIndices() : sparse_->ToIndices();
+  }
+
+  /// Logical size in bytes of the *viewed representation*.
+  Bytes ByteSize() const {
+    assert(valid());
+    return dense_ ? dense_->ByteSize() : sparse_->ByteSize();
+  }
+
+  /// "{0, 3, 7}" style debug rendering.
+  std::string ToString() const {
+    assert(valid());
+    return dense_ ? dense_->ToString() : sparse_->ToString();
+  }
+
+  /// Calls \p fn(ElementId) for every member element in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    assert(valid());
+    if (dense_) {
+      dense_->ForEach(static_cast<Fn&&>(fn));
+    } else {
+      sparse_->ForEach(static_cast<Fn&&>(fn));
+    }
+  }
+
+  /// Content equality across representations (same universe, same
+  /// members). Invalid views compare equal only to invalid views.
+  friend bool operator==(const SetView& a, const SetView& b);
+
+ private:
+  const DynamicBitset* dense_ = nullptr;
+  const SparseSet* sparse_ = nullptr;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_UTIL_SET_VIEW_H_

@@ -1,0 +1,107 @@
+#include "util/sparse_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/check.h"
+
+namespace streamsc {
+
+SparseSet SparseSet::FromIndices(std::size_t universe_size,
+                                 std::vector<ElementId> indices) {
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  // Sortedness/uniqueness hold by construction; only the range needs a
+  // check, and after sorting one back() probe covers every element.
+  STREAMSC_CHECK(indices.empty() || indices.back() < universe_size,
+                 "SparseSet element id outside the universe");
+  SparseSet out(universe_size);
+  out.elements_ = std::move(indices);
+  return out;
+}
+
+SparseSet SparseSet::FromSortedIndices(std::size_t universe_size,
+                                       std::vector<ElementId> indices) {
+  STREAMSC_CHECK(
+      std::is_sorted(indices.begin(), indices.end()) &&
+          std::adjacent_find(indices.begin(), indices.end()) == indices.end(),
+      "SparseSet indices must be sorted and duplicate-free");
+  STREAMSC_CHECK(indices.empty() || indices.back() < universe_size,
+                 "SparseSet element id outside the universe");
+  SparseSet out(universe_size);
+  out.elements_ = std::move(indices);
+  return out;
+}
+
+SparseSet SparseSet::FromBitset(const DynamicBitset& dense) {
+  SparseSet out(dense.size());
+  out.elements_.reserve(static_cast<std::size_t>(dense.CountSet()));
+  dense.ForEach([&out](ElementId e) { out.elements_.push_back(e); });
+  return out;
+}
+
+DynamicBitset SparseSet::ToBitset() const {
+  DynamicBitset out(size_);
+  for (ElementId e : elements_) out.Set(e);
+  return out;
+}
+
+bool SparseSet::Test(std::size_t i) const {
+  assert(i < size_);
+  return std::binary_search(elements_.begin(), elements_.end(),
+                            static_cast<ElementId>(i));
+}
+
+Count SparseSet::CountAnd(const DynamicBitset& other) const {
+  assert(size_ == other.size());
+  Count total = 0;
+  for (ElementId e : elements_) total += other.Test(e) ? 1 : 0;
+  return total;
+}
+
+Count SparseSet::CountAndNot(const DynamicBitset& other) const {
+  assert(size_ == other.size());
+  Count total = 0;
+  for (ElementId e : elements_) total += other.Test(e) ? 0 : 1;
+  return total;
+}
+
+bool SparseSet::Intersects(const DynamicBitset& other) const {
+  assert(size_ == other.size());
+  for (ElementId e : elements_) {
+    if (other.Test(e)) return true;
+  }
+  return false;
+}
+
+bool SparseSet::IsSubsetOf(const DynamicBitset& other) const {
+  assert(size_ == other.size());
+  for (ElementId e : elements_) {
+    if (!other.Test(e)) return false;
+  }
+  return true;
+}
+
+void SparseSet::AndNotInto(DynamicBitset& target) const {
+  assert(size_ == target.size());
+  for (ElementId e : elements_) target.Reset(e);
+}
+
+void SparseSet::OrInto(DynamicBitset& target) const {
+  assert(size_ == target.size());
+  for (ElementId e : elements_) target.Set(e);
+}
+
+std::string SparseSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (ElementId e : elements_) {
+    if (!first) out += ", ";
+    out += std::to_string(e);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace streamsc

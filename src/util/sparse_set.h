@@ -1,0 +1,108 @@
+#ifndef STREAMSC_UTIL_SPARSE_SET_H_
+#define STREAMSC_UTIL_SPARSE_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/common.h"
+
+/// \file sparse_set.h
+/// SparseSet: a subset of a fixed universe [n] stored as a sorted vector
+/// of member ids. The memory/speed complement of DynamicBitset: a
+/// DynamicBitset always costs n bits and scans in n/64 word operations,
+/// while a SparseSet with k members costs 32k bits and scans in k
+/// operations — a large win whenever the density k/n is below ~1/32.
+/// SetSystem picks between the two per set (see instance/set_system.h);
+/// algorithms consume either through SetView (util/set_view.h).
+
+namespace streamsc {
+
+/// A set over a fixed universe {0, ..., size()-1}, stored as a sorted,
+/// duplicate-free vector of member ids. Immutable after construction
+/// (build a new one to change membership). Copyable and movable.
+class SparseSet {
+ public:
+  /// Creates an empty set over a universe of \p universe_size elements.
+  explicit SparseSet(std::size_t universe_size = 0) : size_(universe_size) {}
+
+  /// Builds a set from arbitrary member ids (sorted and deduplicated
+  /// here). CHECK-fails on ids outside the universe.
+  static SparseSet FromIndices(std::size_t universe_size,
+                               std::vector<ElementId> indices);
+
+  /// Builds a set from ids that are already sorted and duplicate-free
+  /// (adopted without a sort; order and range CHECKed).
+  static SparseSet FromSortedIndices(std::size_t universe_size,
+                                     std::vector<ElementId> indices);
+
+  /// Converts a dense bitset to sparse form.
+  static SparseSet FromBitset(const DynamicBitset& dense);
+
+  /// Converts to dense form.
+  DynamicBitset ToBitset() const;
+
+  /// Universe size (matches DynamicBitset::size() semantics).
+  std::size_t size() const { return size_; }
+
+  /// Number of elements in the set.
+  Count CountSet() const { return elements_.size(); }
+
+  /// True iff the set is empty.
+  bool None() const { return elements_.empty(); }
+
+  /// True iff the set equals the whole universe.
+  bool All() const { return elements_.size() == size_; }
+
+  /// Membership test (binary search, O(log k)).
+  bool Test(std::size_t i) const;
+
+  /// The member ids, sorted ascending.
+  const std::vector<ElementId>& elements() const { return elements_; }
+
+  /// All member elements in increasing order (a copy; see elements() for
+  /// the borrowed form).
+  std::vector<ElementId> ToIndices() const { return elements_; }
+
+  /// |*this & other| — O(k) membership probes into \p other.
+  Count CountAnd(const DynamicBitset& other) const;
+
+  /// |*this \ other| — O(k) membership probes into \p other.
+  Count CountAndNot(const DynamicBitset& other) const;
+
+  /// True iff the two sets share at least one element.
+  bool Intersects(const DynamicBitset& other) const;
+
+  /// True iff *this ⊆ other.
+  bool IsSubsetOf(const DynamicBitset& other) const;
+
+  /// target \= *this (clears this set's members in \p target).
+  void AndNotInto(DynamicBitset& target) const;
+
+  /// target |= *this.
+  void OrInto(DynamicBitset& target) const;
+
+  /// Logical size in bytes for space accounting: the member-id payload.
+  Bytes ByteSize() const { return elements_.size() * sizeof(ElementId); }
+
+  /// "{0, 3, 7}" style debug rendering.
+  std::string ToString() const;
+
+  /// Calls \p fn(ElementId) for every member element in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (ElementId e : elements_) fn(e);
+  }
+
+  friend bool operator==(const SparseSet& a, const SparseSet& b) {
+    return a.size_ == b.size_ && a.elements_ == b.elements_;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<ElementId> elements_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_UTIL_SPARSE_SET_H_

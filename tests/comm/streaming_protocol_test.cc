@@ -12,6 +12,16 @@
 namespace streamsc {
 namespace {
 
+// Materializes sets [from, to) of a (possibly hybrid) system as the dense
+// vectors the two-party protocol interface consumes.
+std::vector<DynamicBitset> DenseSlice(const SetSystem& system, SetId from,
+                                      SetId to) {
+  std::vector<DynamicBitset> out;
+  out.reserve(to - from);
+  for (SetId id = from; id < to; ++id) out.push_back(system.set(id).ToDense());
+  return out;
+}
+
 StreamingSetCoverValueProtocol::AlgorithmFactory AssadiFactory(
     std::size_t alpha) {
   return [alpha]() -> std::unique_ptr<StreamingSetCoverAlgorithm> {
@@ -29,7 +39,7 @@ TEST(StreamingSetCoverProtocolTest, EstimatesPlantedOpt) {
   // Split sets between players arbitrarily (evens/odds).
   std::vector<DynamicBitset> alice, bob;
   for (std::size_t i = 0; i < system.num_sets(); ++i) {
-    (i % 2 == 0 ? alice : bob).push_back(system.set(i));
+    (i % 2 == 0 ? alice : bob).push_back(system.set(i).ToDense());
   }
   StreamingSetCoverValueProtocol protocol(AssadiFactory(2), false);
   Transcript transcript;
@@ -44,10 +54,10 @@ TEST(StreamingSetCoverProtocolTest, EstimatesPlantedOpt) {
 TEST(StreamingSetCoverProtocolTest, TranscriptChargesPassesTimesSpace) {
   Rng rng(3);
   const SetSystem system = PlantedCoverInstance(256, 20, 2, rng);
-  std::vector<DynamicBitset> alice(system.sets().begin(),
-                                   system.sets().begin() + 10);
-  std::vector<DynamicBitset> bob(system.sets().begin() + 10,
-                                 system.sets().end());
+  const std::vector<DynamicBitset> alice =
+      DenseSlice(system, 0, 10);
+  const std::vector<DynamicBitset> bob = DenseSlice(
+      system, 10, static_cast<SetId>(system.num_sets()));
   StreamingSetCoverValueProtocol protocol(AssadiFactory(2), false);
   Transcript transcript;
   Rng shared(4);
@@ -61,10 +71,10 @@ TEST(StreamingSetCoverProtocolTest, TranscriptChargesPassesTimesSpace) {
 TEST(StreamingSetCoverProtocolTest, RandomOrderVariantRuns) {
   Rng rng(5);
   const SetSystem system = PlantedCoverInstance(256, 20, 2, rng);
-  std::vector<DynamicBitset> alice(system.sets().begin(),
-                                   system.sets().begin() + 10);
-  std::vector<DynamicBitset> bob(system.sets().begin() + 10,
-                                 system.sets().end());
+  const std::vector<DynamicBitset> alice =
+      DenseSlice(system, 0, 10);
+  const std::vector<DynamicBitset> bob = DenseSlice(
+      system, 10, static_cast<SetId>(system.num_sets()));
   StreamingSetCoverValueProtocol protocol(AssadiFactory(2), true);
   Transcript transcript;
   Rng shared(6);
@@ -77,10 +87,10 @@ TEST(StreamingSetCoverProtocolTest, RandomOrderVariantRuns) {
 TEST(StreamingSetCoverProtocolTest, ThresholdGreedyBackendWorks) {
   Rng rng(7);
   const SetSystem system = PlantedCoverInstance(256, 24, 3, rng);
-  std::vector<DynamicBitset> alice(system.sets().begin(),
-                                   system.sets().begin() + 12);
-  std::vector<DynamicBitset> bob(system.sets().begin() + 12,
-                                 system.sets().end());
+  const std::vector<DynamicBitset> alice =
+      DenseSlice(system, 0, 12);
+  const std::vector<DynamicBitset> bob = DenseSlice(
+      system, 12, static_cast<SetId>(system.num_sets()));
   StreamingSetCoverValueProtocol protocol(
       []() -> std::unique_ptr<StreamingSetCoverAlgorithm> {
         return std::make_unique<ThresholdGreedySetCover>();
@@ -96,10 +106,10 @@ TEST(StreamingSetCoverProtocolTest, ThresholdGreedyBackendWorks) {
 TEST(StreamingMaxCoverageProtocolTest, EstimatesCoverage) {
   Rng rng(9);
   const SetSystem system = UniformRandomInstance(200, 20, 60, rng);
-  std::vector<DynamicBitset> alice(system.sets().begin(),
-                                   system.sets().begin() + 10);
-  std::vector<DynamicBitset> bob(system.sets().begin() + 10,
-                                 system.sets().end());
+  const std::vector<DynamicBitset> alice =
+      DenseSlice(system, 0, 10);
+  const std::vector<DynamicBitset> bob = DenseSlice(
+      system, 10, static_cast<SetId>(system.num_sets()));
   StreamingMaxCoverageValueProtocol protocol(
       []() -> std::unique_ptr<StreamingMaxCoverageAlgorithm> {
         ElementSamplingMcConfig config;

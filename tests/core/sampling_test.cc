@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "instance/generators.h"
 #include "offline/exact_set_cover.h"
 #include "util/math.h"
+#include "util/sparse_set.h"
 
 namespace streamsc {
 namespace {
@@ -60,11 +63,51 @@ TEST(SubUniverseTest, ProjectLiftRoundTripOnSampledElements) {
   EXPECT_EQ(round, full & sampled);
 }
 
+TEST(SubUniverseTest, WordGatherMatchesElementwiseProjection) {
+  // The gather-based Project must agree bit-for-bit with the definitional
+  // per-element projection, across word-boundary-straddling universes,
+  // for both dense and sparse inputs.
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(seed);
+    const std::size_t sizes[] = {1, 63, 64, 65, 127, 129, 500, 1000};
+    const std::size_t n = sizes[seed % 8];
+    const DynamicBitset sampled = rng.BernoulliSubset(n, 0.35);
+    const SubUniverse sub(sampled);
+    const DynamicBitset dense_set = rng.BernoulliSubset(n, 0.4);
+    const SparseSet sparse_set =
+        SparseSet::FromBitset(rng.BernoulliSubset(n, 0.02));
+
+    for (const SetView view : {SetView(dense_set), SetView(sparse_set)}) {
+      DynamicBitset expected(sub.size());
+      for (std::size_t i = 0; i < sub.size(); ++i) {
+        if (view.Test(sub.ToFull(i))) expected.Set(i);
+      }
+      EXPECT_EQ(sub.Project(view), expected) << "n=" << n;
+    }
+    EXPECT_EQ(sub.Project(dense_set), sub.Project(SetView(dense_set)));
+  }
+}
+
 TEST(SamplingTest, SampleElementsSubsetOfUniverse) {
   Rng rng(2);
   const DynamicBitset universe = rng.BernoulliSubset(500, 0.6);
   const DynamicBitset sample = SampleElements(universe, 0.3, rng);
   EXPECT_TRUE(sample.IsSubsetOf(universe));
+}
+
+// Regression: out-of-range rates used to be forwarded unclamped. The
+// documented contract: rate >= 1 keeps the whole universe, rate <= 0
+// (and NaN) keeps nothing.
+TEST(SamplingTest, RateIsClampedToUnitInterval) {
+  Rng rng(6);
+  const DynamicBitset universe = rng.BernoulliSubset(300, 0.5);
+  EXPECT_EQ(SampleElements(universe, 1.0, rng), universe);
+  EXPECT_EQ(SampleElements(universe, 17.5, rng), universe);
+  EXPECT_TRUE(SampleElements(universe, 0.0, rng).None());
+  EXPECT_TRUE(SampleElements(universe, -3.0, rng).None());
+  EXPECT_TRUE(
+      SampleElements(universe, std::numeric_limits<double>::quiet_NaN(), rng)
+          .None());
 }
 
 TEST(SamplingTest, LemmaThreeTwelveProperty) {

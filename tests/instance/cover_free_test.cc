@@ -14,7 +14,7 @@ TEST(CoverFreeTest, ExhaustiveFindsObviousViolation) {
   // Sets 1 and 2 cover set 0.
   const auto violation = FindCoveringViolationExhaustive(system, 2);
   ASSERT_TRUE(violation.has_value());
-  const DynamicBitset covered = system.set(violation->covered);
+  const DynamicBitset covered = system.set(violation->covered).ToDense();
   const DynamicBitset coverers = system.UnionOf(violation->coverers);
   EXPECT_TRUE(covered.IsSubsetOf(coverers));
   EXPECT_LE(violation->coverers.size(), 2u);

@@ -45,7 +45,7 @@ TEST(GeneratorsTest, PlantedBlocksPartition) {
   DynamicBitset all(100);
   Count total = 0;
   for (SetId id : planted) {
-    all |= system.set(id);
+    system.set(id).OrInto(all);
     total += system.set(id).CountSet();
   }
   EXPECT_TRUE(all.All());

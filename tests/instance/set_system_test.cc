@@ -83,5 +83,85 @@ TEST(SetSystemTest, EmptySystem) {
   EXPECT_TRUE(system.UnionAll().All());
 }
 
+// Regression: a bitset whose size mismatches the universe used to slip
+// through in release builds (debug-only assert) and corrupt every later
+// word-wise operation. AddSet must fail loudly in every build mode.
+TEST(SetSystemDeathTest, AddSetRejectsMismatchedUniverse) {
+  SetSystem system(6);
+  EXPECT_DEATH(system.AddSet(DynamicBitset(5)), "universe size");
+  EXPECT_DEATH(system.AddSet(DynamicBitset(7)), "universe size");
+}
+
+TEST(SetSystemDeathTest, AddSetFromIndicesRejectsOutOfRangeElement) {
+  SetSystem system(6);
+  EXPECT_DEATH(system.AddSetFromIndices({6}), "outside the universe");
+}
+
+TEST(SetSystemTest, HybridStoragePicksRepByDensity) {
+  // Universe 1000 with the default 1/32 threshold: sets below ~31
+  // elements go sparse, bigger ones stay dense.
+  SetSystem system(1000);
+  const SetId small = system.AddSetFromIndices({1, 2, 3});
+  std::vector<ElementId> big;
+  for (ElementId e = 0; e < 500; ++e) big.push_back(e);
+  const SetId large = system.AddSetFromIndices(big);
+  EXPECT_TRUE(system.IsSparse(small));
+  EXPECT_FALSE(system.IsSparse(large));
+  EXPECT_TRUE(system.set(small).Test(2));
+  EXPECT_TRUE(system.set(large).Test(499));
+  EXPECT_EQ(system.TotalIncidences(), 503u);
+  EXPECT_TRUE(system.Validate().ok());
+}
+
+TEST(SetSystemTest, SparsityThresholdIsConfigurable) {
+  SetSystem all_dense(1000, /*sparsity_threshold=*/0.0);
+  EXPECT_FALSE(all_dense.IsSparse(all_dense.AddSetFromIndices({1})));
+  SetSystem all_sparse(1000, /*sparsity_threshold=*/1.1);
+  std::vector<ElementId> everything;
+  for (ElementId e = 0; e < 1000; ++e) everything.push_back(e);
+  EXPECT_TRUE(all_sparse.IsSparse(all_sparse.AddSetFromIndices(everything)));
+}
+
+TEST(SetSystemTest, MemoryUsageReportsBothRepresentations) {
+  SetSystem system(1000);
+  system.AddSetFromIndices({1, 2, 3});  // sparse: 3 * 4 bytes
+  std::vector<ElementId> big;
+  for (ElementId e = 0; e < 500; ++e) big.push_back(e);
+  system.AddSetFromIndices(big);  // dense: 1000 bits -> 128 bytes
+  const SetSystem::Memory memory = system.MemoryUsage();
+  EXPECT_EQ(memory.sparse_sets, 1u);
+  EXPECT_EQ(memory.sparse_bytes, 3u * sizeof(ElementId));
+  EXPECT_EQ(memory.dense_sets, 1u);
+  EXPECT_EQ(memory.dense_bytes, 128u);
+  EXPECT_EQ(memory.total_bytes(), memory.dense_bytes + memory.sparse_bytes);
+}
+
+TEST(SetSystemTest, AddSetFromViewCopiesAcrossSystems) {
+  SetSystem source(1000);
+  const SetId sparse_id = source.AddSetFromIndices({5, 10});
+  std::vector<ElementId> big;
+  for (ElementId e = 0; e < 400; ++e) big.push_back(e);
+  const SetId dense_id = source.AddSetFromIndices(big);
+
+  SetSystem copy(1000);
+  const SetId a = copy.AddSetFromView(source.set(sparse_id));
+  const SetId b = copy.AddSetFromView(source.set(dense_id));
+  EXPECT_TRUE(copy.set(a) == source.set(sparse_id));
+  EXPECT_TRUE(copy.set(b) == source.set(dense_id));
+}
+
+TEST(SetSystemTest, MixedRepresentationUnionAndCoverage) {
+  SetSystem system(64, /*sparsity_threshold=*/0.1);
+  system.AddSetFromIndices({0, 1, 2});  // sparse (3/64 < 0.1)
+  std::vector<ElementId> rest;
+  for (ElementId e = 3; e < 64; ++e) rest.push_back(e);
+  system.AddSetFromIndices(rest);  // dense
+  EXPECT_TRUE(system.IsSparse(0));
+  EXPECT_FALSE(system.IsSparse(1));
+  EXPECT_TRUE(system.IsCoverable());
+  EXPECT_TRUE(system.IsFeasibleCover({0, 1}));
+  EXPECT_EQ(system.CoverageOf({0}), 3u);
+}
+
 }  // namespace
 }  // namespace streamsc

@@ -99,7 +99,7 @@ TEST_P(ExactMaxCoverageBruteForceTest, MatchesBruteForce) {
     if (static_cast<std::size_t>(__builtin_popcount(mask)) != k) continue;
     DynamicBitset u(n);
     for (std::size_t i = 0; i < m; ++i) {
-      if (mask & (1u << i)) u |= system.set(i);
+      if (mask & (1u << i)) system.set(i).OrInto(u);
     }
     best = std::max(best, u.CountSet());
   }

@@ -164,7 +164,7 @@ TEST_P(ExactSetCoverBruteForceTest, MatchesBruteForce) {
     std::size_t size = 0;
     for (std::size_t i = 0; i < m; ++i) {
       if (mask & (1u << i)) {
-        u |= system.set(i);
+        system.set(i).OrInto(u);
         ++size;
       }
     }

@@ -1,0 +1,167 @@
+#include "stream/parallel_pass_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/assadi_set_cover.h"
+#include "core/sampling.h"
+#include "core/threshold_greedy.h"
+#include "instance/generators.h"
+#include "stream/set_stream.h"
+#include "util/random.h"
+
+namespace streamsc {
+namespace {
+
+TEST(ParallelPassEngineTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ParallelPassEngine engine(4);
+  EXPECT_EQ(engine.num_threads(), 4u);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  engine.ParallelFor(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelPassEngineTest, ParallelForHandlesEmptyAndReuse) {
+  ParallelPassEngine engine(3);
+  engine.ParallelFor(0, [](std::size_t) { FAIL() << "must not be called"; });
+  // The pool is reusable across many jobs.
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    engine.ParallelFor(17, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50u * 17u);
+}
+
+TEST(ParallelPassEngineTest, SingleThreadEngineRunsInline) {
+  ParallelPassEngine engine(1);
+  std::vector<int> order;
+  engine.ParallelFor(5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelPassEngineTest, DrainPassBuffersWholePassInOrder) {
+  Rng rng(1);
+  const SetSystem system = PlantedCoverInstance(128, 12, 4, rng);
+  VectorSetStream stream(system);
+  ASSERT_TRUE(stream.ItemsRemainValid());
+  const std::vector<StreamItem> items = DrainPass(stream);
+  ASSERT_EQ(items.size(), 12u);
+  EXPECT_EQ(stream.passes(), 1u);
+  for (SetId id = 0; id < 12; ++id) {
+    EXPECT_EQ(items[id].id, id);
+    EXPECT_TRUE(items[id].set == system.set(id));
+  }
+}
+
+// The determinism contract: ThresholdScan and ProjectAll produce results
+// bit-identical to the sequential path for every thread count.
+TEST(ParallelPassEngineTest, ThresholdScanMatchesSequentialForAnyThreadCount) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed);
+    const SetSystem system = UniformRandomInstance(400, 60, 30, rng);
+    VectorSetStream stream(system);
+    const std::vector<StreamItem> items = DrainPass(stream);
+    const double threshold = 12.0;
+
+    DynamicBitset sequential_uncovered = DynamicBitset::Full(400);
+    std::vector<SetId> sequential_taken;
+    ThresholdScan(items, threshold, sequential_uncovered, nullptr,
+                  [&](SetId id) { sequential_taken.push_back(id); });
+
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      ParallelPassEngine engine(threads);
+      DynamicBitset uncovered = DynamicBitset::Full(400);
+      std::vector<SetId> taken;
+      ThresholdScan(items, threshold, uncovered, &engine,
+                    [&](SetId id) { taken.push_back(id); });
+      EXPECT_EQ(taken, sequential_taken) << "threads=" << threads;
+      EXPECT_EQ(uncovered, sequential_uncovered) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelPassEngineTest, ProjectAllMatchesSequentialForAnyThreadCount) {
+  Rng rng(3);
+  const SetSystem system = UniformRandomInstance(600, 40, 25, rng);
+  VectorSetStream stream(system);
+  const std::vector<StreamItem> items = DrainPass(stream);
+  const SubUniverse sub(rng.BernoulliSubset(600, 0.3));
+
+  const std::vector<DynamicBitset> sequential = ProjectAll(sub, items, nullptr);
+  ASSERT_EQ(sequential.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(sequential[i], sub.Project(items[i].set));
+  }
+
+  for (const std::size_t threads : {2u, 8u}) {
+    ParallelPassEngine engine(threads);
+    const std::vector<DynamicBitset> parallel = ProjectAll(sub, items, &engine);
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+      EXPECT_EQ(parallel[i], sequential[i]) << "threads=" << threads;
+    }
+  }
+}
+
+// End-to-end: the full Assadi driver returns the same solution with no
+// engine and with engines of 1, 2, and 8 threads.
+TEST(ParallelPassEngineTest, AssadiSolutionsIdenticalAcrossThreadCounts) {
+  Rng rng(9);
+  const SetSystem system = PlantedCoverInstance(512, 48, 6, rng);
+
+  AssadiConfig config;
+  config.alpha = 2;
+  config.epsilon = 0.5;
+  config.seed = 11;
+  VectorSetStream baseline_stream(system);
+  const SetCoverRunResult baseline =
+      AssadiSetCover(config).Run(baseline_stream);
+  ASSERT_TRUE(baseline.feasible);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ParallelPassEngine engine(threads);
+    AssadiConfig parallel_config = config;
+    parallel_config.engine = &engine;
+    VectorSetStream stream(system);
+    const SetCoverRunResult result =
+        AssadiSetCover(parallel_config).Run(stream);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_EQ(result.solution.chosen, baseline.solution.chosen)
+        << "threads=" << threads;
+    EXPECT_EQ(result.stats.passes, baseline.stats.passes);
+  }
+}
+
+TEST(ParallelPassEngineTest, ThresholdGreedySolutionsIdenticalAcrossThreads) {
+  Rng rng(13);
+  const SetSystem system = UniformRandomInstance(300, 40, 20, rng);
+  VectorSetStream baseline_stream(system);
+  const SetCoverRunResult baseline =
+      ThresholdGreedySetCover().Run(baseline_stream);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ParallelPassEngine engine(threads);
+    ThresholdGreedyConfig config;
+    config.engine = &engine;
+    VectorSetStream stream(system);
+    const SetCoverRunResult result = ThresholdGreedySetCover(config).Run(stream);
+    EXPECT_EQ(result.feasible, baseline.feasible);
+    EXPECT_EQ(result.solution.chosen, baseline.solution.chosen)
+        << "threads=" << threads;
+    EXPECT_EQ(result.stats.passes, baseline.stats.passes);
+  }
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -25,7 +25,7 @@ TEST(SetStreamTest, AdversarialOrderIsInsertionOrder) {
   for (SetId expected = 0; expected < 5; ++expected) {
     ASSERT_TRUE(stream.Next(&item));
     EXPECT_EQ(item.id, expected);
-    EXPECT_EQ(item.set, &system.set(expected));
+    EXPECT_TRUE(item.set == system.set(expected));
   }
   EXPECT_FALSE(stream.Next(&item));
 }
@@ -120,6 +120,27 @@ TEST(SetStreamTest, EmptySystemStream) {
   EXPECT_FALSE(stream.Next(&item));
 }
 
+TEST(SetStreamTest, ReportsItemsRemainValid) {
+  const SetSystem system = MakeSystem(2);
+  VectorSetStream stream(system);
+  EXPECT_TRUE(stream.ItemsRemainValid());
+}
+
+// Regression: with a null Rng, the random orders used to hit a debug-only
+// assert — a nullptr dereference in release builds. They must abort
+// loudly in every build mode instead.
+TEST(SetStreamDeathTest, RandomOnceWithNullRngAbortsLoudly) {
+  const SetSystem system = MakeSystem(3);
+  EXPECT_DEATH(VectorSetStream(system, StreamOrder::kRandomOnce, nullptr),
+               "non-null Rng");
+}
+
+TEST(SetStreamDeathTest, RandomEachPassWithNullRngAbortsLoudly) {
+  const SetSystem system = MakeSystem(3);
+  EXPECT_DEATH(VectorSetStream(system, StreamOrder::kRandomEachPass, nullptr),
+               "non-null Rng");
+}
+
 TEST(SetStreamTest, BorrowedSetsReflectSystemContents) {
   Rng rng(5);
   const SetSystem system = UniformRandomInstance(30, 6, 5, rng);
@@ -127,7 +148,7 @@ TEST(SetStreamTest, BorrowedSetsReflectSystemContents) {
   stream.BeginPass();
   StreamItem item;
   while (stream.Next(&item)) {
-    EXPECT_EQ(*item.set, system.set(item.id));
+    EXPECT_TRUE(item.set == system.set(item.id));
   }
 }
 

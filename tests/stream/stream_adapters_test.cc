@@ -52,11 +52,11 @@ TEST(ConcatSetStreamTest, SecondHalfContentsShifted) {
   ConcatSetStream concat(a, b);
   concat.BeginPass();
   StreamItem item;
-  std::vector<const DynamicBitset*> seen;
+  std::vector<SetView> seen;
   while (concat.Next(&item)) seen.push_back(item.set);
   ASSERT_EQ(seen.size(), 5u);
-  EXPECT_EQ(*seen[2], right.set(0));
-  EXPECT_EQ(*seen[4], right.set(2));
+  EXPECT_TRUE(seen[2] == right.set(0));
+  EXPECT_TRUE(seen[4] == right.set(2));
 }
 
 TEST(ConcatSetStreamTest, MultiplePassesRestart) {
@@ -75,7 +75,7 @@ TEST(ConcatSetStreamTest, AlgorithmRunsOverConcat) {
   const SetSystem whole = PlantedCoverInstance(300, 30, 4, rng);
   SetSystem alice(300), bob(300);
   for (SetId id = 0; id < whole.num_sets(); ++id) {
-    (id % 2 == 0 ? alice : bob).AddSet(whole.set(id));
+    (id % 2 == 0 ? alice : bob).AddSetFromView(whole.set(id));
   }
   VectorSetStream a(alice), b(bob);
   ConcatSetStream concat(a, b);
@@ -120,7 +120,7 @@ TEST(FileSetStreamTest, StreamsSavedSystem) {
   SetId expected = 0;
   while (stream.Next(&item)) {
     EXPECT_EQ(item.id, expected);
-    EXPECT_EQ(*item.set, original.set(expected));
+    EXPECT_TRUE(item.set == original.set(expected));
     ++expected;
   }
   EXPECT_EQ(expected, 10u);
@@ -190,7 +190,7 @@ TEST(FileSetStreamTest, NestedConcatOfFileAndVector) {
   const SetSystem whole = PlantedCoverInstance(200, 20, 4, rng);
   SetSystem alice(200), bob(200);
   for (SetId id = 0; id < whole.num_sets(); ++id) {
-    (id < 10 ? alice : bob).AddSet(whole.set(id));
+    (id < 10 ? alice : bob).AddSetFromView(whole.set(id));
   }
   const std::string path = ::testing::TempDir() + "/stream_adapters4.ssc";
   ASSERT_TRUE(SaveSetSystem(alice, path).ok());

@@ -154,6 +154,66 @@ TEST_P(BitsetModelTest, RoundTripThroughIndices) {
   EXPECT_EQ(DynamicBitset::FromIndices(p.n, p.a.ToIndices()), p.a);
 }
 
+// No operation may leave stray bits in the last word beyond size():
+// a stray tail bit would corrupt CountSet, ForEach, and Hash. Checked
+// indirectly but exhaustively: every enumerated element is < size(),
+// the popcount never exceeds size(), and the rebuilt set compares equal.
+void ExpectTailInvariant(const DynamicBitset& bits) {
+  bits.ForEach([&](ElementId e) { EXPECT_LT(e, bits.size()); });
+  EXPECT_LE(bits.CountSet(), bits.size());
+  EXPECT_EQ(DynamicBitset::FromIndices(bits.size(), bits.ToIndices()), bits);
+}
+
+TEST_P(BitsetModelTest, TailWordInvariantAfterComplementAndFill) {
+  RandomPair p = MakePair(GetParam());
+  DynamicBitset complemented = p.a;
+  complemented.Complement();
+  ExpectTailInvariant(complemented);
+  EXPECT_EQ(complemented.CountSet(), p.n - p.a.CountSet());
+
+  DynamicBitset filled = p.a;
+  filled.Fill();
+  ExpectTailInvariant(filled);
+  EXPECT_TRUE(filled.All());
+  EXPECT_EQ(filled, DynamicBitset::Full(p.n));
+
+  // Complement of full is empty — only true if Fill left no tail bits.
+  filled.Complement();
+  EXPECT_TRUE(filled.None());
+  ExpectTailInvariant(filled);
+}
+
+TEST_P(BitsetModelTest, FindNextBoundaryCases) {
+  RandomPair p = MakePair(GetParam());
+
+  // From the last universe position there is never a next element.
+  EXPECT_EQ(p.a.FindNext(p.n - 1), kInvalidElementId);
+
+  // Empty set: FindFirst and every FindNext are invalid.
+  const DynamicBitset empty(p.n);
+  EXPECT_EQ(empty.FindFirst(), kInvalidElementId);
+  EXPECT_EQ(empty.FindNext(0), kInvalidElementId);
+  EXPECT_EQ(empty.FindNext(p.n - 1), kInvalidElementId);
+
+  // Set containing only the last element: reachable from every i < n-1.
+  DynamicBitset last_only(p.n);
+  last_only.Set(p.n - 1);
+  EXPECT_EQ(last_only.FindFirst(), p.n - 1);
+  if (p.n >= 2) {
+    EXPECT_EQ(last_only.FindNext(0), p.n - 1);
+    EXPECT_EQ(last_only.FindNext(p.n - 2), p.n - 1);
+  }
+  EXPECT_EQ(last_only.FindNext(p.n - 1), kInvalidElementId);
+
+  // Chaining FindFirst/FindNext enumerates exactly ToIndices().
+  std::vector<ElementId> walked;
+  for (ElementId e = p.a.FindFirst(); e != kInvalidElementId;
+       e = p.a.FindNext(e)) {
+    walked.push_back(e);
+  }
+  EXPECT_EQ(walked, p.a.ToIndices());
+}
+
 INSTANTIATE_TEST_SUITE_P(RandomizedUniverses, BitsetModelTest,
                          ::testing::Range<std::uint64_t>(0, 16));
 

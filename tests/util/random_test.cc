@@ -180,5 +180,28 @@ TEST(RngTest, StdAdaptorInterface) {
   (void)v;
 }
 
+// Regression: probabilities outside [0, 1] were silently forwarded.
+// Contract: p >= 1 returns the whole base, p <= 0 (and NaN) the empty
+// set — for both the subsample and the from-scratch subset samplers.
+TEST(RngTest, BernoulliSubsampleClampsProbability) {
+  Rng rng(22);
+  const DynamicBitset base = rng.BernoulliSubset(200, 0.5);
+  EXPECT_EQ(rng.BernoulliSubsample(base, 1.0), base);
+  EXPECT_EQ(rng.BernoulliSubsample(base, 2.5), base);
+  EXPECT_TRUE(rng.BernoulliSubsample(base, 0.0).None());
+  EXPECT_TRUE(rng.BernoulliSubsample(base, -1.0).None());
+  EXPECT_TRUE(
+      rng.BernoulliSubsample(base, std::nan("")).None());
+  // In-range rates still produce a strict-subset-or-equal sample.
+  EXPECT_TRUE(rng.BernoulliSubsample(base, 0.3).IsSubsetOf(base));
+}
+
+TEST(RngTest, BernoulliSubsetClampsProbability) {
+  Rng rng(23);
+  EXPECT_TRUE(rng.BernoulliSubset(64, 1.5).All());
+  EXPECT_TRUE(rng.BernoulliSubset(64, -0.5).None());
+  EXPECT_TRUE(rng.BernoulliSubset(64, std::nan("")).None());
+}
+
 }  // namespace
 }  // namespace streamsc

@@ -1,0 +1,120 @@
+#include "util/sparse_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+#include "util/set_view.h"
+
+namespace streamsc {
+namespace {
+
+TEST(SparseSetTest, EmptySet) {
+  const SparseSet set(10);
+  EXPECT_EQ(set.size(), 10u);
+  EXPECT_EQ(set.CountSet(), 0u);
+  EXPECT_TRUE(set.None());
+  EXPECT_FALSE(set.All());
+  EXPECT_FALSE(set.Test(3));
+  EXPECT_EQ(set.ByteSize(), 0u);
+}
+
+TEST(SparseSetTest, FromIndicesSortsAndDeduplicates) {
+  const SparseSet set = SparseSet::FromIndices(10, {7, 2, 2, 5, 7});
+  EXPECT_EQ(set.CountSet(), 3u);
+  EXPECT_EQ(set.elements(), (std::vector<ElementId>{2, 5, 7}));
+  EXPECT_TRUE(set.Test(5));
+  EXPECT_FALSE(set.Test(3));
+}
+
+TEST(SparseSetTest, FullSet) {
+  const SparseSet set = SparseSet::FromIndices(3, {0, 1, 2});
+  EXPECT_TRUE(set.All());
+  EXPECT_FALSE(set.None());
+}
+
+TEST(SparseSetTest, BitsetRoundTrip) {
+  const SparseSet set = SparseSet::FromIndices(100, {0, 17, 63, 64, 99});
+  const DynamicBitset dense = set.ToBitset();
+  EXPECT_EQ(dense.CountSet(), 5u);
+  EXPECT_EQ(SparseSet::FromBitset(dense), set);
+}
+
+TEST(SparseSetTest, CountsAgainstDense) {
+  const SparseSet set = SparseSet::FromIndices(20, {1, 5, 9, 13});
+  DynamicBitset other(20);
+  other.Set(5);
+  other.Set(13);
+  other.Set(14);
+  EXPECT_EQ(set.CountAnd(other), 2u);
+  EXPECT_EQ(set.CountAndNot(other), 2u);
+  EXPECT_TRUE(set.Intersects(other));
+  EXPECT_FALSE(set.IsSubsetOf(other));
+  other.Set(1);
+  other.Set(9);
+  EXPECT_TRUE(set.IsSubsetOf(other));
+}
+
+TEST(SparseSetTest, AndNotIntoAndOrInto) {
+  const SparseSet set = SparseSet::FromIndices(8, {1, 3});
+  DynamicBitset target = DynamicBitset::Full(8);
+  set.AndNotInto(target);
+  EXPECT_EQ(target.CountSet(), 6u);
+  EXPECT_FALSE(target.Test(1));
+  set.OrInto(target);
+  EXPECT_TRUE(target.All());
+}
+
+TEST(SparseSetTest, ForEachVisitsInOrder) {
+  const SparseSet set = SparseSet::FromIndices(50, {40, 3, 17});
+  std::vector<ElementId> seen;
+  set.ForEach([&seen](ElementId e) { seen.push_back(e); });
+  EXPECT_EQ(seen, (std::vector<ElementId>{3, 17, 40}));
+}
+
+TEST(SparseSetTest, ToString) {
+  EXPECT_EQ(SparseSet::FromIndices(9, {0, 3, 7}).ToString(), "{0, 3, 7}");
+}
+
+TEST(SparseSetDeathTest, FromSortedIndicesRejectsUnsorted) {
+  EXPECT_DEATH(SparseSet::FromSortedIndices(10, {3, 1}), "sorted");
+}
+
+TEST(SparseSetDeathTest, FromIndicesRejectsOutOfUniverse) {
+  EXPECT_DEATH(SparseSet::FromIndices(4, {4}), "universe");
+}
+
+// Property: dense -> sparse -> dense and sparse -> dense -> sparse are
+// the identity for randomized contents, and SetView sees identical
+// semantics through either representation.
+TEST(SparseSetPropertyTest, ConversionRoundTripsAndViewAgreement) {
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    Rng rng(seed);
+    const std::size_t sizes[] = {1, 63, 64, 65, 127, 128, 200, 1000};
+    const std::size_t n = sizes[seed % 8];
+    const DynamicBitset dense = rng.BernoulliSubset(n, 0.2);
+    const SparseSet sparse = SparseSet::FromBitset(dense);
+
+    EXPECT_EQ(sparse.ToBitset(), dense);
+    EXPECT_EQ(SparseSet::FromBitset(sparse.ToBitset()), sparse);
+    EXPECT_EQ(sparse.CountSet(), dense.CountSet());
+    EXPECT_EQ(sparse.ToIndices(), dense.ToIndices());
+
+    const DynamicBitset probe = rng.BernoulliSubset(n, 0.5);
+    EXPECT_EQ(sparse.CountAnd(probe), dense.CountAnd(probe));
+    EXPECT_EQ(sparse.CountAndNot(probe), dense.CountAndNot(probe));
+    EXPECT_EQ(sparse.Intersects(probe), dense.Intersects(probe));
+    EXPECT_EQ(sparse.IsSubsetOf(probe), dense.IsSubsetOf(probe));
+
+    DynamicBitset via_sparse = probe;
+    sparse.AndNotInto(via_sparse);
+    EXPECT_EQ(via_sparse, probe.Difference(dense));
+
+    // The two representations are equal through SetView.
+    EXPECT_TRUE(SetView(sparse) == SetView(dense));
+  }
+}
+
+}  // namespace
+}  // namespace streamsc

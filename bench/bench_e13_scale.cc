@@ -77,7 +77,7 @@ std::uint64_t HashBitset(const DynamicBitset& bs) { return bs.Hash(); }
 
 std::uint64_t HashRun(const std::vector<SetId>& taken,
                       const DynamicBitset& uncovered,
-                      const std::vector<DynamicBitset>& projections) {
+                      const std::vector<ProjectedSet>& projections) {
   std::uint64_t h = 1469598103934665603ull;
   const auto mix = [&h](std::uint64_t v) {
     h ^= v;
@@ -85,7 +85,9 @@ std::uint64_t HashRun(const std::vector<SetId>& taken,
   };
   for (SetId id : taken) mix(id);
   mix(HashBitset(uncovered));
-  for (const auto& p : projections) mix(HashBitset(p));
+  // Hash the dense materialization so the value depends only on content,
+  // not on which representation ProjectAll chose.
+  for (const auto& p : projections) mix(HashBitset(ViewOf(p).ToDense()));
   return h;
 }
 
@@ -248,7 +250,7 @@ int main(int argc, char** argv) {
       const double scan_ms = timer.ElapsedMillis();
 
       timer.Restart();
-      const std::vector<DynamicBitset> projections =
+      const std::vector<ProjectedSet> projections =
           ProjectAll(sub, items, &engine);
       const double project_ms = timer.ElapsedMillis();
 

@@ -1,26 +1,36 @@
-// workload_tool: generate / inspect / solve set cover workload files.
+// workload_tool: generate / inspect / convert / solve set cover workload
+// files.
 //
-// A small CLI over the library's generator + serialization + solver
-// surface — the "data engineer" entry point. Workloads are stored in the
-// documented ssc1 text format (see instance/serialization.h), so they can
-// be produced once and replayed across benches, tests, and notebooks.
+// A small CLI over the library's generator + serialization + storage +
+// solver surface — the "data engineer" entry point. Workloads are stored
+// either in the documented ssc1 text format (instance/serialization.h) or
+// the sscb1 mmap-ready binary format (storage/binary_format.h); info and
+// solve sniff the format from the file's magic bytes, so both kinds are
+// interchangeable everywhere downstream.
 //
 // Usage:
 //   workload_tool gen <kind> <n> <m> <param> <seed> <path>
 //       kind: planted (param = opt) | uniform (param = set size)
 //           | zipf (param = max size) | blog (param = hub % as integer)
+//   workload_tool convert <in.ssc> <out.sscb1>
+//       streams the text instance into the binary store one set at a
+//       time (constant memory; works for instances that don't fit RAM).
 //   workload_tool info <path>
 //   workload_tool solve <path> <alpha> [threads]
 //       threads > 1 runs the pruning/projection passes on a
 //       ParallelPassEngine pool (identical results for any count).
+//       Binary inputs stream through MmapSetStream, so multi-pass solves
+//       cost zero re-parsing and can use the pool even from disk.
 //
 // Examples:
 //   ./build/examples/workload_tool gen planted 4096 128 4 7 /tmp/w.ssc
-//   ./build/examples/workload_tool info /tmp/w.ssc
-//   ./build/examples/workload_tool solve /tmp/w.ssc 3 4
+//   ./build/examples/workload_tool convert /tmp/w.ssc /tmp/w.sscb1
+//   ./build/examples/workload_tool info /tmp/w.sscb1
+//   ./build/examples/workload_tool solve /tmp/w.sscb1 3 4
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -28,6 +38,8 @@
 #include "instance/generators.h"
 #include "instance/serialization.h"
 #include "offline/greedy.h"
+#include "storage/binary_instance_writer.h"
+#include "storage/mmap_set_stream.h"
 #include "stream/parallel_pass_engine.h"
 #include "stream/set_stream.h"
 #include "util/table_printer.h"
@@ -40,6 +52,7 @@ int Usage() {
   std::cerr << "usage:\n"
             << "  workload_tool gen <planted|uniform|zipf|blog> <n> <m> "
                "<param> <seed> <path>\n"
+            << "  workload_tool convert <in.ssc> <out.sscb1>\n"
             << "  workload_tool info <path>\n"
             << "  workload_tool solve <path> <alpha> [threads]\n";
   return 2;
@@ -77,39 +90,118 @@ int Generate(int argc, char** argv) {
   return 0;
 }
 
-int Info(int argc, char** argv) {
-  if (argc != 3) return Usage();
-  const StatusOr<SetSystem> loaded = LoadSetSystem(argv[2]);
-  if (!loaded.ok()) {
-    std::cerr << "load failed: " << loaded.status().ToString() << "\n";
+int Convert(int argc, char** argv) {
+  if (argc != 4) return Usage();
+  const std::string in_path = argv[2];
+  const std::string out_path = argv[3];
+  if (IsBinaryInstanceFile(in_path)) {
+    std::cerr << "convert: '" << in_path
+              << "' is already an sscb1 binary instance\n";
     return 1;
   }
-  const SetSystem& system = *loaded;
-  Count min_size = system.universe_size(), max_size = 0;
-  for (SetId id = 0; id < system.num_sets(); ++id) {
-    const Count size = system.set(id).CountSet();
+  const Status status =
+      BinaryInstanceWriter::TranscodeText(in_path, out_path);
+  if (!status.ok()) {
+    std::cerr << "convert failed: " << status.ToString() << "\n";
+    return 1;
+  }
+  MmapSetStream check(out_path);
+  if (!check.status().ok()) {
+    std::cerr << "convert verification failed: "
+              << check.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote SetSystem(n=" << check.universe_size()
+            << ", m=" << check.num_sets() << ") to " << out_path << " ("
+            << check.file_bytes() << " bytes, " << check.sparse_sets()
+            << " sparse sets)\n";
+  return 0;
+}
+
+// Opens either format as a SetStream. Exactly one of the two out-params
+// is filled; the returned pointer views it.
+SetStream* OpenStream(const std::string& path,
+                      std::optional<MmapSetStream>& mmap_stream,
+                      std::optional<SetSystem>& system,
+                      std::optional<VectorSetStream>& vector_stream) {
+  if (IsBinaryInstanceFile(path)) {
+    mmap_stream.emplace(path);
+    if (!mmap_stream->status().ok()) {
+      std::cerr << "load failed: " << mmap_stream->status().ToString() << "\n";
+      return nullptr;
+    }
+    return &*mmap_stream;
+  }
+  StatusOr<SetSystem> loaded = LoadSetSystem(path);
+  if (!loaded.ok()) {
+    std::cerr << "load failed: " << loaded.status().ToString() << "\n";
+    return nullptr;
+  }
+  system.emplace(std::move(*loaded));
+  vector_stream.emplace(*system);
+  return &*vector_stream;
+}
+
+int Info(int argc, char** argv) {
+  if (argc != 3) return Usage();
+  const std::string path = argv[2];
+  std::optional<MmapSetStream> mmap_stream;
+  std::optional<SetSystem> system;
+  std::optional<VectorSetStream> vector_stream;
+  SetStream* stream = OpenStream(path, mmap_stream, system, vector_stream);
+  if (stream == nullptr) return 1;
+
+  // One pass over the stream computes every statistic — works identically
+  // for the in-memory and the disk-resident case.
+  const std::size_t n = stream->universe_size();
+  Count min_size = n, max_size = 0, incidences = 0;
+  Bytes dense_bytes = 0, sparse_bytes = 0;
+  std::size_t dense_sets = 0, sparse_sets = 0;
+  DynamicBitset covered(n);
+  StreamItem item;
+  stream->BeginPass();
+  while (stream->Next(&item)) {
+    const Count size = item.set.CountSet();
     min_size = std::min(min_size, size);
     max_size = std::max(max_size, size);
+    incidences += size;
+    item.set.OrInto(covered);
+    if (item.set.is_dense_rep()) {
+      ++dense_sets;
+      dense_bytes += item.set.ByteSize();
+    } else {
+      ++sparse_sets;
+      sparse_bytes += item.set.ByteSize();
+    }
   }
+
   TablePrinter table({"property", "value"});
   table.BeginRow();
+  table.AddCell("format");
+  table.AddCell(mmap_stream.has_value() ? "sscb1 (binary, mmap)"
+                                        : "ssc1 (text)");
+  table.BeginRow();
   table.AddCell("universe n");
-  table.AddCell(static_cast<std::uint64_t>(system.universe_size()));
+  table.AddCell(static_cast<std::uint64_t>(n));
   table.BeginRow();
   table.AddCell("sets m");
-  table.AddCell(static_cast<std::uint64_t>(system.num_sets()));
+  table.AddCell(static_cast<std::uint64_t>(stream->num_sets()));
   table.BeginRow();
   table.AddCell("incidences");
-  table.AddCell(system.TotalIncidences());
-  const SetSystem::Memory memory = system.MemoryUsage();
+  table.AddCell(incidences);
   table.BeginRow();
   table.AddCell("dense sets / bytes");
-  table.AddCell(std::to_string(memory.dense_sets) + " / " +
-                std::to_string(memory.dense_bytes));
+  table.AddCell(std::to_string(dense_sets) + " / " +
+                std::to_string(dense_bytes));
   table.BeginRow();
   table.AddCell("sparse sets / bytes");
-  table.AddCell(std::to_string(memory.sparse_sets) + " / " +
-                std::to_string(memory.sparse_bytes));
+  table.AddCell(std::to_string(sparse_sets) + " / " +
+                std::to_string(sparse_bytes));
+  if (mmap_stream.has_value()) {
+    table.BeginRow();
+    table.AddCell("file bytes");
+    table.AddCell(mmap_stream->file_bytes());
+  }
   table.BeginRow();
   table.AddCell("min |S_i|");
   table.AddCell(min_size);
@@ -118,22 +210,24 @@ int Info(int argc, char** argv) {
   table.AddCell(max_size);
   table.BeginRow();
   table.AddCell("coverable");
-  table.AddCell(system.IsCoverable() ? "yes" : "NO");
+  table.AddCell(covered.All() ? "yes" : "NO");
   table.Print(std::cout);
   return 0;
 }
 
 int Solve(int argc, char** argv) {
   if (argc != 4 && argc != 5) return Usage();
-  const StatusOr<SetSystem> loaded = LoadSetSystem(argv[2]);
-  if (!loaded.ok()) {
-    std::cerr << "load failed: " << loaded.status().ToString() << "\n";
-    return 1;
-  }
+  const std::string path = argv[2];
   const std::size_t alpha = std::strtoull(argv[3], nullptr, 10);
   if (alpha < 1) return Usage();
   const std::size_t threads =
       argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
+
+  std::optional<MmapSetStream> mmap_stream;
+  std::optional<SetSystem> system;
+  std::optional<VectorSetStream> vector_stream;
+  SetStream* stream = OpenStream(path, mmap_stream, system, vector_stream);
+  if (stream == nullptr) return 1;
 
   AssadiConfig config;
   config.alpha = alpha;
@@ -144,10 +238,20 @@ int Solve(int argc, char** argv) {
     config.engine = &*engine;
   }
   AssadiSetCover algorithm(config);
-  VectorSetStream stream(*loaded);
-  const SetCoverRunResult result = algorithm.Run(stream);
+  const SetCoverRunResult result = algorithm.Run(*stream);
 
-  const Solution greedy = GreedySetCover(*loaded);
+  // The offline greedy comparison needs random access; materialize the
+  // binary instance only for this step.
+  if (!system.has_value()) {
+    StatusOr<SetSystem> loaded = LoadBinarySetSystem(path);
+    if (!loaded.ok()) {
+      std::cerr << "load failed: " << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    system.emplace(std::move(*loaded));
+  }
+  const Solution greedy = GreedySetCover(*system);
+
   TablePrinter table({"solver", "sets", "passes", "space_bytes"});
   table.BeginRow();
   table.AddCell(algorithm.name());
@@ -158,7 +262,7 @@ int Solve(int argc, char** argv) {
   table.AddCell("offline greedy");
   table.AddCell(static_cast<std::uint64_t>(greedy.size()));
   table.AddCell(static_cast<std::uint64_t>(1));
-  table.AddCell(static_cast<std::uint64_t>(loaded->TotalIncidences() * 4));
+  table.AddCell(static_cast<std::uint64_t>(system->TotalIncidences() * 4));
   table.Print(std::cout);
   if (!result.feasible) {
     std::cerr << "streaming solver did not find a feasible cover\n";
@@ -173,6 +277,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command == "gen") return Generate(argc, argv);
+  if (command == "convert") return Convert(argc, argv);
   if (command == "info") return Info(argc, argv);
   if (command == "solve") return Solve(argc, argv);
   return Usage();

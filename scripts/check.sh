@@ -25,9 +25,12 @@ if [[ "${SANITIZE:-0}" == "1" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSTREAMSC_SANITIZE=ON
   cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}"
   # Fast, high-signal slice under the sanitizers: the single-layer unit
-  # suites and the randomized property suites (includes the parallel
-  # engine tests, so data races surface as ASan/UBSan-visible breakage).
-  ctest --test-dir "${SAN_BUILD_DIR}" -L 'unit|property' \
+  # suites, the randomized property suites (includes the parallel engine
+  # tests, so data races surface as ASan/UBSan-visible breakage), and the
+  # io suites so ASan covers the mmap mapping lifetime end to end.
+  # (-L matches regexes: 'io' must be anchored or it also selects every
+  # 'integration' suite.)
+  ctest --test-dir "${SAN_BUILD_DIR}" -L 'unit|property|^io$' \
     --output-on-failure -j "${JOBS}"
 fi
 

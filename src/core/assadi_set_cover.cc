@@ -100,10 +100,10 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
     projection_ids.reserve(m);
     if (buffered) {
       const std::vector<StreamItem> items = DrainPass(stream);
-      std::vector<DynamicBitset> projs =
+      std::vector<ProjectedSet> projs =
           ProjectAll(sub, items, config_.engine);
       for (std::size_t i = 0; i < items.size(); ++i) {
-        const SetId pid = projections.AddSet(std::move(projs[i]));
+        const SetId pid = StoreProjection(projections, std::move(projs[i]));
         meter.Charge(projections.SetBytes(pid) + sizeof(SetId),
                      "projections");
         projection_ids.push_back(items[i].id);
@@ -111,7 +111,8 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
     } else {
       stream.BeginPass();
       while (stream.Next(&item)) {
-        const SetId pid = projections.AddSet(sub.Project(item.set));
+        const SetId pid =
+            StoreProjection(projections, sub.ProjectAdaptive(item.set));
         meter.Charge(projections.SetBytes(pid) + sizeof(SetId),
                      "projections");
         projection_ids.push_back(item.id);

@@ -76,7 +76,8 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(SetStream& stream,
     projection_ids.reserve(m);
     stream.BeginPass();
     while (stream.Next(&item)) {
-      const SetId pid = projections.AddSet(sub.Project(item.set));
+      const SetId pid =
+          StoreProjection(projections, sub.ProjectAdaptive(item.set));
       meter.Charge(projections.SetBytes(pid) + sizeof(SetId), "projections");
       projection_ids.push_back(item.id);
     }

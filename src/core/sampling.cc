@@ -52,10 +52,11 @@ SubUniverse::SubUniverse(const DynamicBitset& sampled)
   }
 }
 
-DynamicBitset SubUniverse::Project(const DynamicBitset& full_set) const {
+template <typename WordAt>
+DynamicBitset SubUniverse::ProjectGather(WordAt&& word_at) const {
   DynamicBitset out(sample_to_full_.size());
   for (const GatherBlock& block : gather_) {
-    const Word bits = ExtractBits(full_set.GetWord(block.src_word), block.mask);
+    const Word bits = ExtractBits(word_at(block.src_word), block.mask);
     if (bits == 0) continue;
     const std::size_t word = block.dst_bit / DynamicBitset::kBitsPerWord;
     const std::size_t offset = block.dst_bit % DynamicBitset::kBitsPerWord;
@@ -69,23 +70,78 @@ DynamicBitset SubUniverse::Project(const DynamicBitset& full_set) const {
   return out;
 }
 
-DynamicBitset SubUniverse::Project(SetView full_set) const {
-  if (full_set.is_dense()) return Project(*full_set.dense());
-  // Sparse path: O(k) rank computations — independent of both n and the
-  // sample size.
-  DynamicBitset out(sample_to_full_.size());
-  for (ElementId e : full_set.sparse()->elements()) {
+template <typename Emit>
+void SubUniverse::ForEachSampled(const ElementId* ids, std::size_t count,
+                                 Emit&& emit) const {
+  // O(k) rank computations — independent of both n and the sample size.
+  // Source ids are sorted, and full -> sample rank is monotone, so the
+  // emitted sample ids are sorted too.
+  for (std::size_t i = 0; i < count; ++i) {
+    const ElementId e = ids[i];
     const std::size_t w = e / DynamicBitset::kBitsPerWord;
     const std::size_t b = e % DynamicBitset::kBitsPerWord;
     const Word mask = sampled_words_[w];
     if ((mask >> b) & 1) {
-      const std::uint32_t s =
-          word_rank_[w] +
-          static_cast<std::uint32_t>(std::popcount(mask & ((Word{1} << b) - 1)));
-      out.Set(s);
+      emit(word_rank_[w] + static_cast<std::uint32_t>(
+                               std::popcount(mask & ((Word{1} << b) - 1))));
     }
   }
+}
+
+DynamicBitset SubUniverse::Project(const DynamicBitset& full_set) const {
+  return ProjectGather([&](std::size_t w) { return full_set.GetWord(w); });
+}
+
+DynamicBitset SubUniverse::Project(SetView full_set) const {
+  if (const DynamicBitset* dense = full_set.dense()) return Project(*dense);
+  if (const DenseSpan* span = full_set.dense_span()) {
+    return ProjectGather([&](std::size_t w) { return span->GetWord(w); });
+  }
+  const ElementId* ids = nullptr;
+  std::size_t count = 0;
+  if (const SparseSet* sparse = full_set.sparse()) {
+    ids = sparse->elements().data();
+    count = sparse->elements().size();
+  } else {
+    const SparseSpan* span = full_set.sparse_span();
+    ids = span->elements();
+    count = static_cast<std::size_t>(span->CountSet());
+  }
+  DynamicBitset out(sample_to_full_.size());
+  ForEachSampled(ids, count, [&](std::uint32_t s) { out.Set(s); });
   return out;
+}
+
+ProjectedSet SubUniverse::ProjectAdaptive(SetView full_set) const {
+  if (full_set.is_dense_rep()) return Project(full_set);
+  const ElementId* ids = nullptr;
+  std::size_t count = 0;
+  if (const SparseSet* sparse = full_set.sparse()) {
+    ids = sparse->elements().data();
+    count = sparse->elements().size();
+  } else {
+    const SparseSpan* span = full_set.sparse_span();
+    ids = span->elements();
+    count = static_cast<std::size_t>(span->CountSet());
+  }
+  std::vector<ElementId> projected;
+  projected.reserve(count);
+  ForEachSampled(ids, count,
+                 [&](std::uint32_t s) { projected.push_back(s); });
+  // ForEachSampled emits strictly increasing in-range sample ids, so the
+  // per-item hot path can skip the release-mode re-validation.
+  return SparseSet::FromSortedIndicesUnchecked(sample_to_full_.size(),
+                                               std::move(projected));
+}
+
+SetId StoreProjection(SetSystem& system, ProjectedSet projection) {
+  return std::visit(
+      [&](auto&& set) { return system.AddSet(std::move(set)); },
+      std::move(projection));
+}
+
+SetView ViewOf(const ProjectedSet& projection) {
+  return std::visit([](const auto& set) { return SetView(set); }, projection);
 }
 
 DynamicBitset SubUniverse::Lift(const DynamicBitset& sample_set) const {
@@ -100,18 +156,18 @@ DynamicBitset SampleElements(const DynamicBitset& universe, double rate,
   return rng.BernoulliSubsample(universe, rate);
 }
 
-std::vector<DynamicBitset> ProjectAll(const SubUniverse& sub,
-                                      const std::vector<StreamItem>& items,
-                                      ParallelPassEngine* engine) {
-  std::vector<DynamicBitset> out(items.size());
+std::vector<ProjectedSet> ProjectAll(const SubUniverse& sub,
+                                     const std::vector<StreamItem>& items,
+                                     ParallelPassEngine* engine) {
+  std::vector<ProjectedSet> out(items.size());
   if (engine == nullptr || engine->num_threads() <= 1) {
     for (std::size_t i = 0; i < items.size(); ++i) {
-      out[i] = sub.Project(items[i].set);
+      out[i] = sub.ProjectAdaptive(items[i].set);
     }
     return out;
   }
   engine->ParallelFor(items.size(), [&](std::size_t i) {
-    out[i] = sub.Project(items[i].set);
+    out[i] = sub.ProjectAdaptive(items[i].set);
   });
   return out;
 }

@@ -2,6 +2,7 @@
 #define STREAMSC_CORE_SAMPLING_H_
 
 #include <cstdint>
+#include <variant>
 #include <vector>
 
 #include "instance/set_system.h"
@@ -9,6 +10,7 @@
 #include "util/bitset.h"
 #include "util/random.h"
 #include "util/set_view.h"
+#include "util/sparse_set.h"
 
 /// \file sampling.h
 /// Element-sampling machinery (Lemma 3.12 of the paper): a sampled
@@ -26,6 +28,18 @@
 namespace streamsc {
 
 class ParallelPassEngine;
+
+/// A projection result in its natural representation: dense sources gather
+/// into a DynamicBitset, sparse sources re-index straight into a SparseSet
+/// (no n-bit intermediate for SetSystem to re-sparsify).
+using ProjectedSet = std::variant<DynamicBitset, SparseSet>;
+
+/// Moves a projection into \p system (dispatching to the matching AddSet
+/// overload) and returns the new SetId.
+SetId StoreProjection(SetSystem& system, ProjectedSet projection);
+
+/// A borrowed view of a projection (for comparisons and read-only use).
+SetView ViewOf(const ProjectedSet& projection);
 
 /// A sampled subset of the universe with a dense re-indexing
 /// {sampled elements} -> [0, sample_size).
@@ -45,9 +59,18 @@ class SubUniverse {
   /// via the word-level gather plan.
   DynamicBitset Project(const DynamicBitset& full_set) const;
 
-  /// Projects a full-universe set of either representation: dense sets go
-  /// through the word gather, sparse sets through per-member re-indexing.
+  /// Projects a full-universe set of any representation (owning or span):
+  /// dense sets go through the word gather, sparse sets through per-member
+  /// re-indexing. Always emits a dense result; see ProjectAdaptive for the
+  /// representation-preserving variant.
   DynamicBitset Project(SetView full_set) const;
+
+  /// Projects onto the sample, keeping the source's representation: dense
+  /// and dense-span sources emit a DynamicBitset via the word gather,
+  /// sparse and sparse-span sources emit a SparseSet directly in O(k) —
+  /// skipping the dense intermediate entirely, so a stored sparse
+  /// projection never touches O(sample_size) memory.
+  ProjectedSet ProjectAdaptive(SetView full_set) const;
 
   /// Lifts a sample-indexed set back to full-universe indexing.
   DynamicBitset Lift(const DynamicBitset& sample_set) const;
@@ -56,6 +79,19 @@ class SubUniverse {
   ElementId ToFull(std::size_t i) const { return sample_to_full_[i]; }
 
  private:
+  // Word-gather core shared by the dense and dense-span paths; \p word_at
+  // returns the source set's w-th backing word. Defined in sampling.cc
+  // (only instantiated there).
+  template <typename WordAt>
+  DynamicBitset ProjectGather(WordAt&& word_at) const;
+
+  // Sparse re-indexing core shared by the sparse and sparse-span paths:
+  // calls \p emit(sample_id) for each sampled member of the sorted id run,
+  // in increasing sample order. Defined in sampling.cc.
+  template <typename Emit>
+  void ForEachSampled(const ElementId* ids, std::size_t count,
+                      Emit&& emit) const;
+
   // One gather step: the sampled bits of full-universe word `src_word`
   // land, compacted, at output bit position `dst_bit`.
   struct GatherBlock {
@@ -83,14 +119,15 @@ class SubUniverse {
 DynamicBitset SampleElements(const DynamicBitset& universe, double rate,
                              Rng& rng);
 
-/// Projects every buffered item onto \p sub; out[i] corresponds to
+/// Projects every buffered item onto \p sub (via ProjectAdaptive, so each
+/// projection keeps its source's representation); out[i] corresponds to
 /// items[i]. With an engine the projections are computed in parallel —
 /// each item's output slot is fixed by its stream position, so the result
 /// is bit-identical for any thread count. Pass engine == nullptr for the
 /// sequential path.
-std::vector<DynamicBitset> ProjectAll(const SubUniverse& sub,
-                                      const std::vector<StreamItem>& items,
-                                      ParallelPassEngine* engine);
+std::vector<ProjectedSet> ProjectAll(const SubUniverse& sub,
+                                     const std::vector<StreamItem>& items,
+                                     ParallelPassEngine* engine);
 
 }  // namespace streamsc
 

@@ -34,6 +34,13 @@ SetId SetSystem::AddSet(DynamicBitset set) {
   return PushDense(std::move(set));
 }
 
+SetId SetSystem::AddSet(SparseSet set) {
+  STREAMSC_CHECK(set.size() == universe_size_,
+                 "SetSystem::AddSet: set universe size mismatches the system");
+  if (WantsSparse(set.CountSet())) return PushSparse(std::move(set));
+  return PushDense(set.ToBitset());
+}
+
 SetId SetSystem::AddSetFromIndices(const std::vector<ElementId>& indices) {
   // Range validation happens inside FromIndices (one post-sort check).
   SparseSet sparse = SparseSet::FromIndices(universe_size_, indices);
@@ -45,8 +52,12 @@ SetId SetSystem::AddSetFromView(SetView view) {
   STREAMSC_CHECK(view.valid() && view.size() == universe_size_,
                  "SetSystem::AddSetFromView: view mismatches the system");
   if (WantsSparse(view.CountSet())) {
-    if (view.is_dense()) return PushSparse(SparseSet::FromBitset(*view.dense()));
-    return PushSparse(*view.sparse());
+    if (const SparseSet* sparse = view.sparse()) return PushSparse(*sparse);
+    // Dense or span representations: ToIndices() is sorted, unique, and
+    // in-range by construction, so the sparse set can adopt it without
+    // re-sorting or re-validating (the view's size was CHECKed above).
+    return PushSparse(SparseSet::FromSortedIndicesUnchecked(
+        universe_size_, view.ToIndices()));
   }
   return PushDense(view.ToDense());
 }

@@ -47,6 +47,12 @@ class SetSystem {
   /// the set's universe size mismatches the system's.
   SetId AddSet(DynamicBitset set);
 
+  /// Appends an already-sparse set, re-deciding the representation under
+  /// this system's threshold (adopted without conversion when it stays
+  /// sparse — the fast path for sparse-emitting producers such as
+  /// SubUniverse::ProjectAdaptive). CHECK-fails on universe mismatch.
+  SetId AddSet(SparseSet set);
+
   /// Appends a set given by its member elements (need not be sorted).
   /// CHECK-fails on out-of-universe elements. Builds the sparse
   /// representation directly when the set qualifies — no n-bit

@@ -1,0 +1,80 @@
+#include "storage/binary_format.h"
+
+#include <bit>
+#include <cstring>
+#include <string>
+
+namespace streamsc {
+namespace sscb1 {
+namespace {
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("sscb1: " + what);
+}
+
+}  // namespace
+
+Status CheckHostEndianness() {
+  if constexpr (std::endian::native == std::endian::little) {
+    return Status::Ok();
+  }
+  return Status::FailedPrecondition(
+      "sscb1 is a little-endian in-place format; this host is big-endian");
+}
+
+Status ValidateHeader(const FileHeader& header, std::uint64_t actual_size) {
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Malformed("bad magic (not an sscb1 file)");
+  }
+  if (header.version != kVersion) {
+    return Malformed("unsupported version " + std::to_string(header.version));
+  }
+  if (header.reserved != 0) return Malformed("nonzero reserved header field");
+  if (header.universe_size > kMaxDimension ||
+      header.num_sets > kMaxDimension) {
+    return Malformed("header dimensions exceed 2^31");
+  }
+  if (header.file_size != actual_size) {
+    return Malformed("file size mismatch: header says " +
+                     std::to_string(header.file_size) + " bytes, file has " +
+                     std::to_string(actual_size) + " (truncated or modified)");
+  }
+  const std::uint64_t index_bytes = header.num_sets * sizeof(SetIndexEntry);
+  if (header.index_offset < sizeof(FileHeader) ||
+      header.index_offset % kPayloadAlign != 0 ||
+      header.index_offset > actual_size ||
+      actual_size - header.index_offset != index_bytes) {
+    return Malformed("index placement invalid (truncated index?)");
+  }
+  return Status::Ok();
+}
+
+Status ValidateIndexEntry(const FileHeader& header, const SetIndexEntry& entry,
+                          std::size_t set_id) {
+  const std::string where = "set " + std::to_string(set_id) + ": ";
+  if (entry.rep != kDense && entry.rep != kSparse) {
+    return Malformed(where + "unknown representation tag " +
+                     std::to_string(entry.rep));
+  }
+  if (entry.reserved != 0) {
+    return Malformed(where + "nonzero reserved index field");
+  }
+  if (entry.count > header.universe_size) {
+    return Malformed(where + "count exceeds universe size");
+  }
+  if (entry.offset % kPayloadAlign != 0) {
+    return Malformed(where + "payload offset not 8-byte aligned");
+  }
+  const std::uint64_t payload_bytes =
+      entry.rep == kDense ? DensePayloadBytes(header.universe_size)
+                          : SparsePayloadBytes(entry.count);
+  if (entry.offset < sizeof(FileHeader) ||
+      entry.offset > header.index_offset ||
+      header.index_offset - entry.offset < payload_bytes) {
+    return Malformed(where + "payload out of range");
+  }
+  return Status::Ok();
+}
+
+}  // namespace sscb1
+}  // namespace streamsc

@@ -1,0 +1,106 @@
+#ifndef STREAMSC_STORAGE_BINARY_FORMAT_H_
+#define STREAMSC_STORAGE_BINARY_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/common.h"
+#include "util/status.h"
+
+/// \file binary_format.h
+/// The "sscb1" on-disk binary instance format: the mmap-friendly sibling
+/// of the ssc1 text format (instance/serialization.h). A file is
+///
+///   [FileHeader | set payloads ... | SetIndexEntry x m]
+///
+/// with every payload 8-byte aligned so dense words can be read in place
+/// as std::uint64_t and sparse ids as std::uint32_t, directly out of a
+/// read-only mapping. All integers are little-endian; the reader rejects
+/// files on big-endian hosts rather than byte-swapping (no such target is
+/// supported by this project).
+///
+/// Per set, the payload is one of two representations, chosen by the same
+/// 1/32 density rule as SetSystem's hybrid store:
+///
+///   kDense  — ceil(n/64) 64-bit words, tail bits beyond n zero.
+///   kSparse — count sorted, duplicate-free 32-bit element ids, zero-padded
+///             to the next 8-byte boundary.
+///
+/// The index lives at the *end* of the file (header field index_offset)
+/// so a writer can stream payloads without knowing their sizes up front,
+/// then append the index and patch the header. file_size in the header
+/// makes truncation detectable before any payload is dereferenced.
+
+namespace streamsc {
+namespace sscb1 {
+
+/// Magic bytes at offset 0 ("sscb1" + NUL padding).
+inline constexpr unsigned char kMagic[8] = {'s', 's', 'c', 'b', '1',
+                                            '\0', '\0', '\0'};
+
+/// Current (and only) format version.
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Payload alignment; every set payload offset is a multiple of this.
+inline constexpr std::uint64_t kPayloadAlign = 8;
+
+/// Same sanity cap as the ssc1 reader: a corrupt header must never drive
+/// allocation.
+inline constexpr std::uint64_t kMaxDimension = std::uint64_t{1} << 31;
+
+/// Set payload representation tag (SetIndexEntry::rep).
+enum Rep : std::uint16_t {
+  kDense = 0,   ///< ceil(n/64) x u64 words.
+  kSparse = 1,  ///< count x u32 sorted ids, padded to 8 bytes.
+};
+
+/// Fixed-size file header at offset 0.
+struct FileHeader {
+  unsigned char magic[8];      ///< kMagic.
+  std::uint32_t version;       ///< kVersion.
+  std::uint32_t reserved;      ///< Zero.
+  std::uint64_t universe_size; ///< n.
+  std::uint64_t num_sets;      ///< m.
+  std::uint64_t index_offset;  ///< Byte offset of the SetIndexEntry array.
+  std::uint64_t file_size;     ///< Total file size in bytes.
+};
+static_assert(sizeof(FileHeader) == 48, "sscb1 header layout drifted");
+
+/// One per set, in SetId order, at index_offset.
+struct SetIndexEntry {
+  std::uint64_t offset;   ///< Payload byte offset from file start (8-aligned).
+  std::uint32_t count;    ///< Number of member elements.
+  std::uint16_t rep;      ///< Rep tag.
+  std::uint16_t reserved; ///< Zero.
+};
+static_assert(sizeof(SetIndexEntry) == 16, "sscb1 index layout drifted");
+
+/// Bytes of a dense payload for a universe of \p n bits.
+constexpr std::uint64_t DensePayloadBytes(std::uint64_t n) {
+  return (n + 63) / 64 * sizeof(std::uint64_t);
+}
+
+/// Bytes of a sparse payload of \p count ids, including alignment padding.
+constexpr std::uint64_t SparsePayloadBytes(std::uint64_t count) {
+  const std::uint64_t raw = count * sizeof(std::uint32_t);
+  return (raw + kPayloadAlign - 1) / kPayloadAlign * kPayloadAlign;
+}
+
+/// Ok iff this host can read/write sscb1 in place (little-endian).
+Status CheckHostEndianness();
+
+/// Structural validation of a header against the actual byte count of the
+/// file it came from: magic, version, dimension caps, index placement.
+/// Payload-level validation happens per entry in MmapSetStream.
+Status ValidateHeader(const FileHeader& header, std::uint64_t actual_size);
+
+/// Structural validation of one index entry against a validated header:
+/// representation tag, alignment, count range, and that the payload lies
+/// entirely inside [header size, index_offset).
+Status ValidateIndexEntry(const FileHeader& header, const SetIndexEntry& entry,
+                          std::size_t set_id);
+
+}  // namespace sscb1
+}  // namespace streamsc
+
+#endif  // STREAMSC_STORAGE_BINARY_FORMAT_H_

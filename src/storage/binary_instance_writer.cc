@@ -1,0 +1,178 @@
+#include "storage/binary_instance_writer.h"
+
+#include <cstring>
+
+#include "stream/stream_adapters.h"
+
+namespace streamsc {
+
+namespace {
+
+using sscb1::FileHeader;
+using sscb1::SetIndexEntry;
+
+FileHeader ProvisionalHeader(std::size_t universe_size, std::size_t num_sets) {
+  FileHeader header = {};
+  std::memcpy(header.magic, sscb1::kMagic, sizeof(sscb1::kMagic));
+  header.version = sscb1::kVersion;
+  header.universe_size = universe_size;
+  header.num_sets = num_sets;
+  // index_offset / file_size are back-patched by Finish().
+  return header;
+}
+
+}  // namespace
+
+BinaryInstanceWriter::BinaryInstanceWriter(const std::string& path,
+                                           std::size_t universe_size,
+                                           std::size_t num_sets,
+                                           double sparsity_threshold)
+    : path_(path),
+      universe_size_(universe_size),
+      num_sets_(num_sets),
+      sparsity_threshold_(sparsity_threshold) {
+  status_ = sscb1::CheckHostEndianness();
+  if (!status_.ok()) return;
+  if (universe_size > sscb1::kMaxDimension || num_sets > sscb1::kMaxDimension) {
+    status_ = Status::InvalidArgument(
+        "sscb1: instance dimensions exceed the 2^31 format cap");
+    return;
+  }
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    status_ = Status::Internal("cannot open '" + path + "' for writing");
+    return;
+  }
+  index_.reserve(num_sets);
+  const FileHeader header = ProvisionalHeader(universe_size, num_sets);
+  if (!WriteBytes(&header, sizeof(header))) {
+    status_ = Status::Internal("write to '" + path + "' failed");
+  }
+}
+
+Status BinaryInstanceWriter::Fail(Status status) {
+  status_ = std::move(status);
+  return status_;
+}
+
+bool BinaryInstanceWriter::WriteBytes(const void* bytes, std::size_t count) {
+  if (count == 0) return static_cast<bool>(out_);  // empty payloads/indexes
+  out_.write(static_cast<const char*>(bytes),
+             static_cast<std::streamsize>(count));
+  offset_ += count;
+  return static_cast<bool>(out_);
+}
+
+Status BinaryInstanceWriter::AddSet(SetView set) {
+  if (!status_.ok()) return status_;
+  if (finished_) {
+    return Fail(Status::FailedPrecondition("AddSet after Finish"));
+  }
+  if (!set.valid() || set.size() != universe_size_) {
+    return Fail(Status::InvalidArgument(
+        "sscb1: set universe size mismatches the file header"));
+  }
+  if (index_.size() >= num_sets_) {
+    return Fail(Status::FailedPrecondition(
+        "sscb1: more AddSet calls than the declared set count"));
+  }
+
+  const Count count = set.CountSet();
+  const bool sparse = static_cast<double>(count) <
+                      sparsity_threshold_ * static_cast<double>(universe_size_);
+
+  SetIndexEntry entry = {};
+  entry.offset = offset_;
+  entry.count = static_cast<std::uint32_t>(count);
+  entry.rep = sparse ? sscb1::kSparse : sscb1::kDense;
+
+  bool written = true;
+  if (sparse) {
+    scratch_ids_.clear();
+    scratch_ids_.reserve(static_cast<std::size_t>(count));
+    set.ForEach([&](ElementId e) { scratch_ids_.push_back(e); });
+    if (!scratch_ids_.empty()) {
+      written = WriteBytes(scratch_ids_.data(),
+                           scratch_ids_.size() * sizeof(ElementId));
+    }
+    const std::uint64_t raw = scratch_ids_.size() * sizeof(ElementId);
+    const std::uint64_t padded = sscb1::SparsePayloadBytes(count);
+    if (written && padded > raw) {
+      const std::uint64_t zero = 0;
+      written = WriteBytes(&zero, static_cast<std::size_t>(padded - raw));
+    }
+  } else if (const DynamicBitset* dense = set.dense()) {
+    written = WriteBytes(dense->WordData(),
+                         dense->WordCount() * sizeof(DynamicBitset::Word));
+  } else if (const DenseSpan* span = set.dense_span()) {
+    written = WriteBytes(span->WordData(),
+                         span->WordCount() * sizeof(DynamicBitset::Word));
+  } else {
+    // Sparse-represented set dense enough to store dense: materialize once.
+    const DynamicBitset dense = set.ToDense();
+    written = WriteBytes(dense.WordData(),
+                         dense.WordCount() * sizeof(DynamicBitset::Word));
+  }
+  if (!written) {
+    return Fail(Status::Internal("write to '" + path_ + "' failed"));
+  }
+  index_.push_back(entry);
+  return status_;
+}
+
+Status BinaryInstanceWriter::Finish() {
+  if (!status_.ok()) return status_;
+  if (finished_) return status_;
+  if (index_.size() != num_sets_) {
+    return Fail(Status::FailedPrecondition(
+        "sscb1: Finish after " + std::to_string(index_.size()) +
+        " AddSet calls; header declares " + std::to_string(num_sets_)));
+  }
+  finished_ = true;
+
+  FileHeader header = ProvisionalHeader(universe_size_, num_sets_);
+  header.index_offset = offset_;
+  if (!WriteBytes(index_.data(), index_.size() * sizeof(SetIndexEntry))) {
+    return Fail(Status::Internal("write to '" + path_ + "' failed"));
+  }
+  header.file_size = offset_;
+
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out_.flush();
+  if (!out_) {
+    return Fail(Status::Internal("header patch of '" + path_ + "' failed"));
+  }
+  out_.close();
+  return status_;
+}
+
+Status BinaryInstanceWriter::WriteSystem(const SetSystem& system,
+                                         const std::string& path) {
+  BinaryInstanceWriter writer(path, system.universe_size(), system.num_sets());
+  for (SetId id = 0; id < system.num_sets(); ++id) {
+    if (!writer.AddSet(system.set(id)).ok()) break;
+  }
+  if (!writer.status().ok()) return writer.status();
+  return writer.Finish();
+}
+
+Status BinaryInstanceWriter::TranscodeText(const std::string& text_path,
+                                           const std::string& binary_path) {
+  FileSetStream source(text_path);
+  if (!source.status().ok()) return source.status();
+  BinaryInstanceWriter writer(binary_path, source.universe_size(),
+                              source.num_sets());
+  if (!writer.status().ok()) return writer.status();
+  source.BeginPass();
+  StreamItem item;
+  while (source.Next(&item)) {
+    if (!writer.AddSet(item.set).ok()) return writer.status();
+  }
+  // A clean end-of-stream and a mid-file parse error both end the pass;
+  // only the stream's status tells them apart.
+  if (!source.status().ok()) return source.status();
+  return writer.Finish();
+}
+
+}  // namespace streamsc

@@ -1,0 +1,68 @@
+#ifndef STREAMSC_STORAGE_MMAP_FILE_H_
+#define STREAMSC_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file mmap_file.h
+/// MmapFile: a read-only, whole-file memory mapping with RAII lifetime.
+///
+/// On POSIX hosts the file is mmap'd PROT_READ/MAP_PRIVATE and the
+/// descriptor is closed immediately (the mapping keeps the pages alive);
+/// mapping itself costs O(1) and the OS pages bytes in on demand and can
+/// evict them under pressure, so resident memory tracks what the caller
+/// actually touches (MmapSetStream touches everything once up front to
+/// validate, then only what the algorithm reads). On hosts without mmap
+/// the class degrades to reading the whole file into a heap buffer — same
+/// API, no zero-copy or paging claim. Either way data() stays valid and
+/// immutable until destruction, which is what lets MmapSetStream hand out
+/// SetViews that survive a whole pass.
+
+namespace streamsc {
+
+/// A read-only byte view of an entire file. Move-only.
+class MmapFile {
+ public:
+  /// An empty (unopened) file; data() is null, size() is 0.
+  MmapFile() = default;
+
+  /// Maps \p path read-only. NotFound if the file cannot be opened,
+  /// Internal on stat/map failures. Empty files map successfully with
+  /// size() == 0.
+  static StatusOr<MmapFile> Open(const std::string& path);
+
+  ~MmapFile() { Reset(); }
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  /// First mapped byte; nullptr iff unopened or empty.
+  const std::byte* data() const { return data_; }
+
+  /// Mapped byte count.
+  std::size_t size() const { return size_; }
+
+  /// True iff a file is mapped (possibly empty).
+  bool mapped() const { return mapped_; }
+
+ private:
+  // Unmaps / frees and returns to the empty state.
+  void Reset();
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  bool owns_mapping_ = false;        // true: munmap on destruction
+  std::vector<std::byte> fallback_;  // non-POSIX read-whole-file path
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_STORAGE_MMAP_FILE_H_

@@ -1,0 +1,158 @@
+#include "storage/mmap_set_stream.h"
+
+#include <cassert>
+#include <cstring>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace streamsc {
+
+namespace {
+
+using sscb1::FileHeader;
+using sscb1::SetIndexEntry;
+using Word = DynamicBitset::Word;
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("sscb1: " + what);
+}
+
+}  // namespace
+
+MmapSetStream::MmapSetStream(const std::string& path) {
+  status_ = Load(path);
+  if (!status_.ok()) {
+    // Leave a well-defined empty stream so accidental use without a
+    // status check streams nothing instead of reading junk.
+    universe_size_ = 0;
+    slots_.clear();
+    dense_.clear();
+    sparse_.clear();
+  }
+}
+
+Status MmapSetStream::Load(const std::string& path) {
+  Status endian = sscb1::CheckHostEndianness();
+  if (!endian.ok()) return endian;
+
+  StatusOr<MmapFile> mapped = MmapFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  file_ = std::move(*mapped);
+
+  if (file_.size() < sizeof(FileHeader)) {
+    return Malformed("file too small for an sscb1 header");
+  }
+  // The header/index are copied out of the mapping into aligned structs;
+  // payload spans read in place (their 8-byte alignment is validated).
+  FileHeader header;
+  std::memcpy(&header, file_.data(), sizeof(header));
+  Status status = sscb1::ValidateHeader(header, file_.size());
+  if (!status.ok()) return status;
+
+  universe_size_ = static_cast<std::size_t>(header.universe_size);
+  const std::size_t m = static_cast<std::size_t>(header.num_sets);
+  slots_.reserve(m);
+
+  std::size_t dense_count = 0, sparse_count = 0;
+  std::vector<SetIndexEntry> entries(m);
+  if (m > 0) {
+    std::memcpy(entries.data(), file_.data() + header.index_offset,
+                m * sizeof(SetIndexEntry));
+  }
+  for (std::size_t id = 0; id < m; ++id) {
+    status = sscb1::ValidateIndexEntry(header, entries[id], id);
+    if (!status.ok()) return status;
+    (entries[id].rep == sscb1::kDense ? dense_count : sparse_count) += 1;
+  }
+  dense_.reserve(dense_count);
+  sparse_.reserve(sparse_count);
+
+  const std::size_t word_count = (universe_size_ + 63) / 64;
+  for (std::size_t id = 0; id < m; ++id) {
+    const SetIndexEntry& entry = entries[id];
+    const std::byte* payload = file_.data() + entry.offset;
+    if (entry.rep == sscb1::kDense) {
+      const Word* words = reinterpret_cast<const Word*>(payload);
+      // Tail invariant: bits beyond n must be zero, or CountSet /
+      // projection results would silently include phantom elements.
+      if (universe_size_ % 64 != 0 && word_count > 0) {
+        const Word tail_mask = ~Word{0} << (universe_size_ % 64);
+        if ((words[word_count - 1] & tail_mask) != 0) {
+          return Malformed("set " + std::to_string(id) +
+                           ": dense tail bits beyond the universe are set");
+        }
+      }
+      DenseSpan span(words, universe_size_);
+      if (span.CountSet() != entry.count) {
+        return Malformed("set " + std::to_string(id) +
+                         ": payload popcount mismatches the index count");
+      }
+      dense_.push_back(span);
+      slots_.push_back(
+          {sscb1::kDense, static_cast<std::uint32_t>(dense_.size() - 1)});
+    } else {
+      const ElementId* ids = reinterpret_cast<const ElementId*>(payload);
+      // Sorted, unique, in-range: everything SparseSpan's O(k) operations
+      // assume. Validating once here is what makes serving the payload
+      // verbatim safe.
+      for (std::size_t i = 0; i < entry.count; ++i) {
+        if (ids[i] >= universe_size_) {
+          return Malformed("set " + std::to_string(id) +
+                           ": element out of range");
+        }
+        if (i > 0 && ids[i] <= ids[i - 1]) {
+          return Malformed("set " + std::to_string(id) +
+                           ": elements not strictly increasing");
+        }
+      }
+      sparse_.push_back(SparseSpan(ids, entry.count, universe_size_));
+      slots_.push_back(
+          {sscb1::kSparse, static_cast<std::uint32_t>(sparse_.size() - 1)});
+    }
+  }
+  return Status::Ok();
+}
+
+void MmapSetStream::BeginPass() {
+  cursor_ = 0;
+  ++passes_;
+}
+
+bool MmapSetStream::Next(StreamItem* item) {
+  assert(passes_ > 0 && "BeginPass() before Next()");
+  if (cursor_ >= slots_.size()) return false;
+  const SetId id = static_cast<SetId>(cursor_++);
+  item->id = id;
+  item->set = set(id);
+  return true;
+}
+
+SetView MmapSetStream::set(SetId id) const {
+  STREAMSC_CHECK(status_.ok() && id < slots_.size(),
+                 "MmapSetStream::set: invalid stream or id");
+  const Slot& slot = slots_[id];
+  if (slot.rep == sscb1::kDense) return SetView(dense_[slot.index]);
+  return SetView(sparse_[slot.index]);
+}
+
+bool IsBinaryInstanceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  unsigned char magic[sizeof(sscb1::kMagic)] = {};
+  in.read(reinterpret_cast<char*>(magic), sizeof(magic));
+  return in.gcount() == sizeof(magic) &&
+         std::memcmp(magic, sscb1::kMagic, sizeof(magic)) == 0;
+}
+
+StatusOr<SetSystem> LoadBinarySetSystem(const std::string& path) {
+  MmapSetStream stream(path);
+  if (!stream.status().ok()) return stream.status();
+  SetSystem system(stream.universe_size());
+  stream.BeginPass();
+  StreamItem item;
+  while (stream.Next(&item)) system.AddSetFromView(item.set);
+  return system;
+}
+
+}  // namespace streamsc

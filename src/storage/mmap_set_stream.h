@@ -1,0 +1,105 @@
+#ifndef STREAMSC_STORAGE_MMAP_SET_STREAM_H_
+#define STREAMSC_STORAGE_MMAP_SET_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "instance/set_system.h"
+#include "storage/binary_format.h"
+#include "storage/mmap_file.h"
+#include "stream/set_stream.h"
+#include "util/set_span.h"
+#include "util/status.h"
+
+/// \file mmap_set_stream.h
+/// MmapSetStream: a multi-pass SetStream over an sscb1 file, serving each
+/// set as a zero-copy SetView (DenseSpan / SparseSpan) directly over the
+/// read-only mapping. Compared to FileSetStream this changes the cost
+/// model completely:
+///
+///   * a pass costs zero parsing — BeginPass() is a cursor reset, and a
+///     set's bytes are only touched when the algorithm reads them;
+///   * ItemsRemainValid() is true — views stay valid for the stream's
+///     whole lifetime, so DrainPass / ParallelPassEngine can buffer and
+///     shard a disk-resident pass across workers;
+///   * resident memory is O(m) span bookkeeping plus whatever pages the
+///     OS keeps warm — never O(mn), preserving the streaming model's
+///     honesty at multi-GB scale.
+///
+/// The whole file structure (header, index, every payload's bounds, sparse
+/// sortedness, dense tail bits) is validated once at construction; after
+/// an Ok status() no later operation can read out of bounds, so a corrupt
+/// or truncated file is rejected up front instead of aborting mid-pass.
+/// That validation is one sequential read of the file — a deliberate
+/// trade: open costs O(file) once (still far cheaper than a single text
+/// parse, and it doubles as page-cache warmup), and in exchange the
+/// per-pass hot paths can serve payloads verbatim with no checks at all.
+
+namespace streamsc {
+
+/// A SetStream over an sscb1 file. Move-constructible via the usual
+/// pattern of constructing in place; not copyable (owns the mapping).
+class MmapSetStream : public SetStream {
+ public:
+  /// Maps \p path and validates it eagerly; check status() before
+  /// streaming. An error status leaves an empty stream (0 sets).
+  explicit MmapSetStream(const std::string& path);
+
+  MmapSetStream(const MmapSetStream&) = delete;
+  MmapSetStream& operator=(const MmapSetStream&) = delete;
+
+  /// Ok iff the file mapped and validated end to end.
+  const Status& status() const { return status_; }
+
+  std::size_t universe_size() const override { return universe_size_; }
+  std::size_t num_sets() const override { return slots_.size(); }
+  void BeginPass() override;
+  bool Next(StreamItem* item) override;
+  std::uint64_t passes() const override { return passes_; }
+  /// Views borrow the mapping, which lives as long as the stream: a
+  /// buffered pass (DrainPass / ParallelPassEngine) is safe.
+  bool ItemsRemainValid() const override { return true; }
+
+  /// Random access to the \p id-th set (the index makes this O(1) — a
+  /// capability FileSetStream fundamentally lacks). Precondition:
+  /// status().ok() and id < num_sets().
+  SetView set(SetId id) const;
+
+  /// Number of sets stored sparsely (for tooling/info output).
+  std::size_t sparse_sets() const { return sparse_.size(); }
+
+  /// Mapped file size in bytes.
+  std::uint64_t file_bytes() const { return file_.size(); }
+
+ private:
+  // Validates everything and builds the span tables.
+  Status Load(const std::string& path);
+
+  struct Slot {
+    sscb1::Rep rep;
+    std::uint32_t index;  // into dense_ or sparse_
+  };
+
+  Status status_;
+  MmapFile file_;
+  std::size_t universe_size_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<DenseSpan> dense_;
+  std::vector<SparseSpan> sparse_;
+  std::size_t cursor_ = 0;
+  std::uint64_t passes_ = 0;
+};
+
+/// True iff \p path starts with the sscb1 magic (cheap format sniff for
+/// tools that accept both text and binary instances).
+bool IsBinaryInstanceFile(const std::string& path);
+
+/// Reads an sscb1 file into an in-memory SetSystem (for tool paths that
+/// need the offline solvers). The inverse of BinaryInstanceWriter::
+/// WriteSystem up to representation choices.
+StatusOr<SetSystem> LoadBinarySetSystem(const std::string& path);
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_STORAGE_MMAP_SET_STREAM_H_

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "util/check.h"
+
 namespace streamsc {
 namespace {
 
@@ -148,34 +150,60 @@ std::size_t FileSetStream::universe_size() const { return universe_size_; }
 std::size_t FileSetStream::num_sets() const { return num_sets_; }
 
 void FileSetStream::BeginPass() {
+  // A stream that was healthy on an earlier pass must stay consistent: the
+  // file vanishing or changing shape between passes is an environment
+  // fault no algorithm can recover from mid-run, so it fails loudly (in
+  // all build modes) instead of silently streaming a different instance.
+  const bool was_healthy = passes_ > 0 && status_.ok();
+  const std::size_t prev_universe = universe_size_;
+  const std::size_t prev_sets = num_sets_;
   Reopen();
+  if (was_healthy) {
+    STREAMSC_CHECK(status_.ok(),
+                   "FileSetStream: file became unreadable between passes");
+    STREAMSC_CHECK(
+        universe_size_ == prev_universe && num_sets_ == prev_sets,
+        "FileSetStream: file dimensions changed between passes");
+  }
   ++passes_;
 }
 
 bool FileSetStream::Next(StreamItem* item) {
   if (!status_.ok() || next_id_ >= num_sets_) return false;
+  // Errors on a file no pass has fully parsed yet report through
+  // status() (the documented check-before-streaming contract; a pass
+  // abandoned early by the algorithm may simply never have reached a
+  // statically bad line). Once some pass has streamed all m sets
+  // cleanly, though, a parse error can only mean the file was truncated
+  // or modified out from under the multi-pass run — ending the stream
+  // early would silently feed the algorithm a partial instance; abort
+  // instead.
+  const auto fail = [&](std::string message) {
+    status_ = Status::InvalidArgument(std::move(message));
+    STREAMSC_CHECK(!fully_parsed_once_,
+                   "FileSetStream: file truncated or modified between passes");
+    return false;
+  };
   std::string line;
   if (!NextContentLine(in_, &line)) {
-    status_ = Status::InvalidArgument(
-        "file '" + path_ + "' ended before set " + std::to_string(next_id_));
-    return false;
+    return fail("file '" + path_ + "' ended before set " +
+                std::to_string(next_id_));
   }
   std::istringstream row(line);
   std::uint64_t k = 0;
   if (!(row >> k)) {
-    status_ = Status::InvalidArgument("bad set line in '" + path_ + "'");
-    return false;
+    return fail("bad set line in '" + path_ + "'");
   }
   current_ = DynamicBitset(universe_size_);
   for (std::uint64_t i = 0; i < k; ++i) {
     std::uint64_t e = 0;
     if (!(row >> e) || e >= universe_size_) {
-      status_ = Status::InvalidArgument("bad element in '" + path_ + "'");
-      return false;
+      return fail("bad element in '" + path_ + "'");
     }
     current_.Set(static_cast<std::size_t>(e));
   }
   item->id = next_id_++;
+  if (next_id_ == num_sets_) fully_parsed_once_ = true;
   item->set = SetView(current_);
   return true;
 }

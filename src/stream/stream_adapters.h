@@ -76,6 +76,14 @@ class InterleaveSetStream : public SetStream {
 
 /// Streams an ssc1 file (see instance/serialization.h), re-reading it on
 /// every pass. Holds exactly one set in memory at a time.
+///
+/// Error contract: problems visible up front (missing file, bad header)
+/// and parse errors on a file no pass has yet streamed end to end report
+/// through status(). Once one pass has parsed all m sets cleanly,
+/// later failures — file deleted, truncated, or reshaped between
+/// passes — STREAMSC_CHECK-abort in all build modes: silently ending a
+/// re-read early would hand the algorithm a different instance than the
+/// one it already half-processed.
 class FileSetStream : public SetStream {
  public:
   /// Opens \p path and validates the header eagerly; check status()
@@ -110,6 +118,9 @@ class FileSetStream : public SetStream {
   DynamicBitset current_;
   SetId next_id_ = 0;
   std::uint64_t passes_ = 0;
+  // True once some pass parsed all m sets cleanly: from then on parse
+  // errors are environment faults (file modified mid-run) and abort.
+  bool fully_parsed_once_ = false;
 };
 
 }  // namespace streamsc

@@ -145,6 +145,17 @@ class DynamicBitset {
     words_[w] |= bits;
   }
 
+  /// ANDs the \p w-th backing word with \p mask (clears the bits outside
+  /// \p mask). The tail invariant holds automatically: AND never sets bits.
+  void AndWord(std::size_t w, Word mask) {
+    assert(w < words_.size());
+    words_[w] &= mask;
+  }
+
+  /// Contiguous backing words (read-only; for word-level bulk consumers
+  /// like the sscb1 writer). Valid while the bitset is alive and unsized.
+  const Word* WordData() const { return words_.data(); }
+
   /// "{0, 3, 7}" style debug rendering.
   std::string ToString() const;
 

@@ -5,14 +5,18 @@ namespace streamsc {
 bool operator==(const SetView& a, const SetView& b) {
   if (!a.valid() || !b.valid()) return a.valid() == b.valid();
   if (a.size() != b.size()) return false;
-  if (a.dense_ && b.dense_) return *a.dense_ == *b.dense_;
-  if (a.sparse_ && b.sparse_) return *a.sparse_ == *b.sparse_;
-  // Mixed representations: compare the sparse side's members against the
-  // dense side, plus cardinality (subset + equal count => equal).
-  const SparseSet* sparse = a.sparse_ ? a.sparse_ : b.sparse_;
-  const DynamicBitset* dense = a.dense_ ? a.dense_ : b.dense_;
-  if (sparse->CountSet() != dense->CountSet()) return false;
-  return sparse->IsSubsetOf(*dense);
+  // Same-representation fast paths.
+  if (a.rep_ == b.rep_ && a.target_ == b.target_) return true;
+  if (a.dense() && b.dense()) return *a.dense() == *b.dense();
+  if (a.sparse() && b.sparse()) return *a.sparse() == *b.sparse();
+  // Mixed representations: equal cardinality plus one-sided containment
+  // (subset + equal count => equal). Membership probes are O(1) dense and
+  // O(log k) sparse — fine for the comparison-heavy test paths this
+  // serves.
+  if (a.CountSet() != b.CountSet()) return false;
+  bool subset = true;
+  a.ForEach([&](ElementId e) { subset = subset && b.Test(e); });
+  return subset;
 }
 
 }  // namespace streamsc

@@ -2,157 +2,256 @@
 #define STREAMSC_UTIL_SET_VIEW_H_
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "util/bitset.h"
 #include "util/common.h"
+#include "util/set_span.h"
 #include "util/sparse_set.h"
 
 /// \file set_view.h
 /// SetView: a non-owning, representation-agnostic view of one set.
 ///
-/// The hybrid set substrate stores each set either densely (DynamicBitset)
-/// or sparsely (SparseSet); SetView is the uniform read API the algorithms
-/// consume, so a pruning scan or projection pass runs at the cost of the
-/// *representation* (n/64 word ops dense, k element ops sparse) without
-/// the algorithm knowing which it got. Views are two pointers wide — pass
-/// by value. A view borrows its target: it is invalidated by anything
-/// that invalidates the target (e.g. SetSystem::AddSet growing storage).
+/// The hybrid set substrate stores each set in one of four shapes — owning
+/// dense (DynamicBitset), owning sparse (SparseSet), or the borrowed span
+/// forms DenseSpan / SparseSpan that the mmap-backed instance store serves
+/// straight out of a mapped file — and SetView is the uniform read API the
+/// algorithms consume. A pruning scan or projection pass runs at the cost
+/// of the *representation* (n/64 word ops dense, k element ops sparse)
+/// without the algorithm knowing which it got. Views are a tagged pointer
+/// — pass by value. A view borrows its target: it is invalidated by
+/// anything that invalidates the target (e.g. SetSystem::AddSet growing
+/// storage, or an MmapSetStream being destroyed).
 
 namespace streamsc {
 
-/// A borrowed view of a dense or sparse set. Cheap to copy.
+/// A borrowed view of a dense or sparse set, owning or span. Cheap to copy.
 class SetView {
  public:
   /// An invalid (detached) view; valid() is false.
   SetView() = default;
 
   /// Views a dense set. Implicit: any DynamicBitset is usable as a view.
-  SetView(const DynamicBitset& dense) : dense_(&dense) {}  // NOLINT
+  SetView(const DynamicBitset& dense)  // NOLINT
+      : target_(&dense), rep_(Rep::kDense) {}
 
   /// Views a sparse set.
-  SetView(const SparseSet& sparse) : sparse_(&sparse) {}  // NOLINT
+  SetView(const SparseSet& sparse)  // NOLINT
+      : target_(&sparse), rep_(Rep::kSparse) {}
 
+  /// Views a borrowed dense word span (e.g. an mmap'd sscb1 payload).
+  SetView(const DenseSpan& span)  // NOLINT
+      : target_(&span), rep_(Rep::kDenseSpan) {}
+
+  /// Views a borrowed sorted-id span (e.g. an mmap'd sscb1 payload).
+  SetView(const SparseSpan& span)  // NOLINT
+      : target_(&span), rep_(Rep::kSparseSpan) {}
+
+ private:
+  // Invokes \p fn with the concrete representation reference. Defined
+  // before its uses so the deduced return type is available to the
+  // dispatching methods below.
+  template <typename Fn>
+  decltype(auto) Visit(Fn&& fn) const {
+    assert(valid());
+    switch (rep_) {
+      case Rep::kSparse:
+        return fn(*static_cast<const SparseSet*>(target_));
+      case Rep::kDenseSpan:
+        return fn(*static_cast<const DenseSpan*>(target_));
+      case Rep::kSparseSpan:
+        return fn(*static_cast<const SparseSpan*>(target_));
+      case Rep::kDense:
+      case Rep::kNone:
+      default:
+        // kNone is excluded by the assert above; dispatch kDense here so
+        // every path returns.
+        return fn(*static_cast<const DynamicBitset*>(target_));
+    }
+  }
+
+ public:
   /// True iff the view points at a set.
-  bool valid() const { return dense_ != nullptr || sparse_ != nullptr; }
+  bool valid() const { return rep_ != Rep::kNone; }
 
-  /// True iff the underlying representation is a DynamicBitset.
-  bool is_dense() const { return dense_ != nullptr; }
+  /// True iff the underlying representation is an owning DynamicBitset.
+  /// (Word-level consumers that also handle DenseSpan should test
+  /// dense_words() instead.)
+  bool is_dense() const { return rep_ == Rep::kDense; }
 
-  /// The underlying dense set, or nullptr when sparse/invalid.
-  const DynamicBitset* dense() const { return dense_; }
+  /// The underlying owning dense set, or nullptr otherwise.
+  const DynamicBitset* dense() const {
+    return rep_ == Rep::kDense ? static_cast<const DynamicBitset*>(target_)
+                               : nullptr;
+  }
 
-  /// The underlying sparse set, or nullptr when dense/invalid.
-  const SparseSet* sparse() const { return sparse_; }
+  /// The underlying owning sparse set, or nullptr otherwise.
+  const SparseSet* sparse() const {
+    return rep_ == Rep::kSparse ? static_cast<const SparseSet*>(target_)
+                                : nullptr;
+  }
+
+  /// The underlying dense span, or nullptr otherwise.
+  const DenseSpan* dense_span() const {
+    return rep_ == Rep::kDenseSpan ? static_cast<const DenseSpan*>(target_)
+                                   : nullptr;
+  }
+
+  /// The underlying sparse span, or nullptr otherwise.
+  const SparseSpan* sparse_span() const {
+    return rep_ == Rep::kSparseSpan ? static_cast<const SparseSpan*>(target_)
+                                    : nullptr;
+  }
+
+  /// True iff the representation is word-addressable (dense or dense span).
+  bool is_dense_rep() const {
+    return rep_ == Rep::kDense || rep_ == Rep::kDenseSpan;
+  }
 
   /// Universe size of the viewed set.
   std::size_t size() const {
-    assert(valid());
-    return dense_ ? dense_->size() : sparse_->size();
+    return Visit([](const auto& s) { return s.size(); });
   }
 
   /// Number of elements in the set.
   Count CountSet() const {
-    assert(valid());
-    return dense_ ? dense_->CountSet() : sparse_->CountSet();
+    return Visit([](const auto& s) { return s.CountSet(); });
   }
 
   /// True iff the set is empty.
   bool None() const {
-    assert(valid());
-    return dense_ ? dense_->None() : sparse_->None();
+    return Visit([](const auto& s) { return s.None(); });
   }
 
   /// True iff the set equals the whole universe.
   bool All() const {
-    assert(valid());
-    return dense_ ? dense_->All() : sparse_->All();
+    return Visit([](const auto& s) { return s.All(); });
   }
 
   /// Membership test.
   bool Test(std::size_t i) const {
-    assert(valid());
-    return dense_ ? dense_->Test(i) : sparse_->Test(i);
+    return Visit([i](const auto& s) { return s.Test(i); });
   }
 
   /// |*this & other|.
   Count CountAnd(const DynamicBitset& other) const {
-    assert(valid());
-    return dense_ ? dense_->CountAnd(other) : sparse_->CountAnd(other);
+    return Visit([&other](const auto& s) { return s.CountAnd(other); });
   }
 
   /// |*this \ other|.
   Count CountAndNot(const DynamicBitset& other) const {
-    assert(valid());
-    return dense_ ? dense_->CountAndNot(other) : sparse_->CountAndNot(other);
+    return Visit([&other](const auto& s) { return s.CountAndNot(other); });
   }
 
   /// True iff the two sets share at least one element.
   bool Intersects(const DynamicBitset& other) const {
-    assert(valid());
-    return dense_ ? dense_->Intersects(other) : sparse_->Intersects(other);
+    return Visit([&other](const auto& s) { return s.Intersects(other); });
   }
 
   /// True iff *this ⊆ other.
   bool IsSubsetOf(const DynamicBitset& other) const {
-    assert(valid());
-    return dense_ ? dense_->IsSubsetOf(other) : sparse_->IsSubsetOf(other);
+    return Visit([&other](const auto& s) { return s.IsSubsetOf(other); });
   }
 
   /// target \= *this (clears this set's members in \p target).
   void AndNotInto(DynamicBitset& target) const {
-    assert(valid());
-    if (dense_) {
-      target.AndNot(*dense_);
-    } else {
-      sparse_->AndNotInto(target);
+    switch (rep_) {
+      case Rep::kDense:
+        target.AndNot(*static_cast<const DynamicBitset*>(target_));
+        return;
+      case Rep::kSparse:
+        static_cast<const SparseSet*>(target_)->AndNotInto(target);
+        return;
+      case Rep::kDenseSpan:
+        static_cast<const DenseSpan*>(target_)->AndNotInto(target);
+        return;
+      case Rep::kSparseSpan:
+        static_cast<const SparseSpan*>(target_)->AndNotInto(target);
+        return;
+      case Rep::kNone:
+        break;
     }
+    assert(false && "AndNotInto on an invalid SetView");
   }
 
   /// target |= *this.
   void OrInto(DynamicBitset& target) const {
-    assert(valid());
-    if (dense_) {
-      target |= *dense_;
-    } else {
-      sparse_->OrInto(target);
+    switch (rep_) {
+      case Rep::kDense:
+        target |= *static_cast<const DynamicBitset*>(target_);
+        return;
+      case Rep::kSparse:
+        static_cast<const SparseSet*>(target_)->OrInto(target);
+        return;
+      case Rep::kDenseSpan:
+        static_cast<const DenseSpan*>(target_)->OrInto(target);
+        return;
+      case Rep::kSparseSpan:
+        static_cast<const SparseSpan*>(target_)->OrInto(target);
+        return;
+      case Rep::kNone:
+        break;
     }
+    assert(false && "OrInto on an invalid SetView");
   }
 
   /// Materializes a dense copy of the viewed set.
   DynamicBitset ToDense() const {
-    assert(valid());
-    return dense_ ? *dense_ : sparse_->ToBitset();
+    switch (rep_) {
+      case Rep::kDense:
+        return *static_cast<const DynamicBitset*>(target_);
+      case Rep::kSparse:
+        return static_cast<const SparseSet*>(target_)->ToBitset();
+      case Rep::kDenseSpan:
+        return static_cast<const DenseSpan*>(target_)->ToBitset();
+      case Rep::kSparseSpan:
+        return static_cast<const SparseSpan*>(target_)->ToBitset();
+      case Rep::kNone:
+        break;
+    }
+    assert(false && "ToDense on an invalid SetView");
+    return DynamicBitset();
   }
 
   /// All member elements in increasing order.
   std::vector<ElementId> ToIndices() const {
-    assert(valid());
-    return dense_ ? dense_->ToIndices() : sparse_->ToIndices();
+    return Visit([](const auto& s) { return s.ToIndices(); });
   }
 
   /// Logical size in bytes of the *viewed representation*.
   Bytes ByteSize() const {
-    assert(valid());
-    return dense_ ? dense_->ByteSize() : sparse_->ByteSize();
+    return Visit([](const auto& s) { return s.ByteSize(); });
   }
 
   /// "{0, 3, 7}" style debug rendering.
   std::string ToString() const {
-    assert(valid());
-    return dense_ ? dense_->ToString() : sparse_->ToString();
+    return Visit([](const auto& s) { return s.ToString(); });
   }
 
   /// Calls \p fn(ElementId) for every member element in increasing order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    assert(valid());
-    if (dense_) {
-      dense_->ForEach(static_cast<Fn&&>(fn));
-    } else {
-      sparse_->ForEach(static_cast<Fn&&>(fn));
+    switch (rep_) {
+      case Rep::kDense:
+        static_cast<const DynamicBitset*>(target_)->ForEach(
+            static_cast<Fn&&>(fn));
+        return;
+      case Rep::kSparse:
+        static_cast<const SparseSet*>(target_)->ForEach(static_cast<Fn&&>(fn));
+        return;
+      case Rep::kDenseSpan:
+        static_cast<const DenseSpan*>(target_)->ForEach(static_cast<Fn&&>(fn));
+        return;
+      case Rep::kSparseSpan:
+        static_cast<const SparseSpan*>(target_)->ForEach(
+            static_cast<Fn&&>(fn));
+        return;
+      case Rep::kNone:
+        break;
     }
+    assert(false && "ForEach on an invalid SetView");
   }
 
   /// Content equality across representations (same universe, same
@@ -160,8 +259,16 @@ class SetView {
   friend bool operator==(const SetView& a, const SetView& b);
 
  private:
-  const DynamicBitset* dense_ = nullptr;
-  const SparseSet* sparse_ = nullptr;
+  enum class Rep : std::uint8_t {
+    kNone,
+    kDense,
+    kSparse,
+    kDenseSpan,
+    kSparseSpan,
+  };
+
+  const void* target_ = nullptr;
+  Rep rep_ = Rep::kNone;
 };
 
 }  // namespace streamsc

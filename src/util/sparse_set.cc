@@ -33,6 +33,16 @@ SparseSet SparseSet::FromSortedIndices(std::size_t universe_size,
   return out;
 }
 
+SparseSet SparseSet::FromSortedIndicesUnchecked(
+    std::size_t universe_size, std::vector<ElementId> indices) {
+  assert(std::is_sorted(indices.begin(), indices.end()) &&
+         std::adjacent_find(indices.begin(), indices.end()) == indices.end());
+  assert(indices.empty() || indices.back() < universe_size);
+  SparseSet out(universe_size);
+  out.elements_ = std::move(indices);
+  return out;
+}
+
 SparseSet SparseSet::FromBitset(const DynamicBitset& dense) {
   SparseSet out(dense.size());
   out.elements_.reserve(static_cast<std::size_t>(dense.CountSet()));

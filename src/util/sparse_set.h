@@ -36,6 +36,14 @@ class SparseSet {
   static SparseSet FromSortedIndices(std::size_t universe_size,
                                      std::vector<ElementId> indices);
 
+  /// Like FromSortedIndices but trusts the caller (debug-only asserts,
+  /// no release-mode scan). Only for ids produced by code that
+  /// guarantees order and range *by construction* — e.g. another
+  /// representation's ForEach, or SubUniverse's monotone re-indexing —
+  /// where re-validating would double the cost of the per-item hot path.
+  static SparseSet FromSortedIndicesUnchecked(std::size_t universe_size,
+                                              std::vector<ElementId> indices);
+
   /// Converts a dense bitset to sparse form.
   static SparseSet FromBitset(const DynamicBitset& dense);
 

@@ -88,6 +88,51 @@ TEST(SubUniverseTest, WordGatherMatchesElementwiseProjection) {
   }
 }
 
+TEST(SubUniverseTest, ProjectAdaptiveKeepsSourceRepresentation) {
+  // Sparse sources must project straight to a SparseSet (no dense
+  // intermediate), dense sources to a DynamicBitset — both with exactly
+  // the contents of the definitional projection.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(40 + seed);
+    const std::size_t n = 100 + 37 * seed;
+    const SubUniverse sub(rng.BernoulliSubset(n, 0.3));
+    const DynamicBitset dense_set = rng.BernoulliSubset(n, 0.4);
+    const SparseSet sparse_set =
+        SparseSet::FromBitset(rng.BernoulliSubset(n, 0.02));
+
+    const ProjectedSet from_dense = sub.ProjectAdaptive(SetView(dense_set));
+    EXPECT_TRUE(std::holds_alternative<DynamicBitset>(from_dense));
+    const ProjectedSet from_sparse = sub.ProjectAdaptive(SetView(sparse_set));
+    EXPECT_TRUE(std::holds_alternative<SparseSet>(from_sparse));
+    // Either way the sample-universe shape and contents match Project.
+    const DynamicBitset expect_dense = sub.Project(SetView(dense_set));
+    const DynamicBitset expect_sparse = sub.Project(SetView(sparse_set));
+    EXPECT_TRUE(ViewOf(from_dense) == SetView(expect_dense));
+    EXPECT_TRUE(ViewOf(from_sparse) == SetView(expect_sparse));
+    EXPECT_EQ(ViewOf(from_sparse).size(), sub.size());
+  }
+}
+
+TEST(SubUniverseTest, StoreProjectionRoundTripsThroughSetSystem) {
+  Rng rng(50);
+  const std::size_t n = 300;
+  const SubUniverse sub(rng.BernoulliSubset(n, 0.5));
+  SetSystem projections(sub.size());
+  const SparseSet sparse_set =
+      SparseSet::FromBitset(rng.BernoulliSubset(n, 0.01));
+  const DynamicBitset dense_set = rng.BernoulliSubset(n, 0.5);
+  const SetId sparse_id =
+      StoreProjection(projections, sub.ProjectAdaptive(SetView(sparse_set)));
+  const SetId dense_id =
+      StoreProjection(projections, sub.ProjectAdaptive(SetView(dense_set)));
+  EXPECT_TRUE(projections.set(sparse_id) ==
+              SetView(sub.Project(SetView(sparse_set))));
+  EXPECT_TRUE(projections.set(dense_id) ==
+              SetView(sub.Project(SetView(dense_set))));
+  // A sparse projection of a sparse set stays sparse in the store.
+  EXPECT_TRUE(projections.IsSparse(sparse_id));
+}
+
 TEST(SamplingTest, SampleElementsSubsetOfUniverse) {
   Rng rng(2);
   const DynamicBitset universe = rng.BernoulliSubset(500, 0.6);

@@ -1,0 +1,161 @@
+#include "storage/mmap_set_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/assadi_set_cover.h"
+#include "core/threshold_greedy.h"
+#include "instance/generators.h"
+#include "instance/serialization.h"
+#include "storage/binary_instance_writer.h"
+#include "stream/parallel_pass_engine.h"
+#include "stream/set_stream.h"
+#include "stream/stream_adapters.h"
+#include "testing/scoped_temp_dir.h"
+#include "util/random.h"
+
+namespace streamsc {
+namespace {
+
+// A mixed-density instance: sparse planted blocks plus a few dense sets,
+// so both payload representations are served from the mapping.
+SetSystem MixedInstance(std::size_t n, Rng& rng) {
+  SetSystem system = PlantedCoverInstance(n, 24, 4, rng);
+  std::vector<ElementId> half;
+  for (ElementId e = 0; e < n; e += 2) half.push_back(e);
+  system.AddSetFromIndices(half);
+  return system;
+}
+
+TEST(MmapSetStreamTest, MultiPassStreamingMatchesSource) {
+  testing::ScopedTempDir dir;
+  Rng rng(1);
+  const SetSystem system = MixedInstance(256, rng);
+  const std::string path = dir.FilePath("instance.sscb1");
+  ASSERT_TRUE(BinaryInstanceWriter::WriteSystem(system, path).ok());
+
+  MmapSetStream stream(path);
+  ASSERT_TRUE(stream.status().ok()) << stream.status().ToString();
+  EXPECT_TRUE(stream.ItemsRemainValid());
+  EXPECT_EQ(stream.universe_size(), system.universe_size());
+  EXPECT_EQ(stream.num_sets(), system.num_sets());
+
+  for (int pass = 0; pass < 3; ++pass) {
+    stream.BeginPass();
+    StreamItem item;
+    SetId expected = 0;
+    while (stream.Next(&item)) {
+      EXPECT_EQ(item.id, expected);
+      EXPECT_TRUE(item.set == system.set(expected)) << "pass " << pass;
+      ++expected;
+    }
+    EXPECT_EQ(expected, system.num_sets());
+  }
+  EXPECT_EQ(stream.passes(), 3u);
+}
+
+TEST(MmapSetStreamTest, ViewsSurviveAWholeBufferedPass) {
+  testing::ScopedTempDir dir;
+  Rng rng(2);
+  const SetSystem system = MixedInstance(200, rng);
+  const std::string path = dir.FilePath("buffered.sscb1");
+  ASSERT_TRUE(BinaryInstanceWriter::WriteSystem(system, path).ok());
+
+  MmapSetStream stream(path);
+  ASSERT_TRUE(stream.status().ok());
+  // DrainPass CHECKs ItemsRemainValid() and buffers every view; comparing
+  // the buffered views afterwards proves none was invalidated by later
+  // Next() calls (the property FileSetStream cannot offer).
+  const std::vector<StreamItem> items = DrainPass(stream);
+  ASSERT_EQ(items.size(), system.num_sets());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_TRUE(items[i].set == system.set(static_cast<SetId>(i)));
+  }
+}
+
+// The acceptance-critical contract: solutions are byte-identical across
+// {in-memory, text file, mmap} sources x {1, 2, 8} threads.
+TEST(MmapSetStreamTest, AssadiSolutionsIdenticalAcrossSourcesAndThreads) {
+  testing::ScopedTempDir dir;
+  Rng rng(7);
+  const SetSystem system = MixedInstance(384, rng);
+  const std::string text_path = dir.FilePath("instance.ssc");
+  const std::string binary_path = dir.FilePath("instance.sscb1");
+  ASSERT_TRUE(SaveSetSystem(system, text_path).ok());
+  ASSERT_TRUE(
+      BinaryInstanceWriter::TranscodeText(text_path, binary_path).ok());
+
+  const auto solve = [&](SetStream& stream,
+                         ParallelPassEngine* engine) -> std::vector<SetId> {
+    AssadiConfig config;
+    config.alpha = 2;
+    config.epsilon = 0.5;
+    config.seed = 11;
+    config.engine = engine;
+    AssadiSetCover algorithm(config);
+    const SetCoverRunResult result = algorithm.Run(stream);
+    EXPECT_TRUE(result.feasible);
+    return result.solution.chosen;
+  };
+
+  VectorSetStream memory_stream(system);
+  const std::vector<SetId> reference = solve(memory_stream, nullptr);
+
+  {
+    FileSetStream file_stream(text_path);
+    ASSERT_TRUE(file_stream.status().ok());
+    EXPECT_EQ(solve(file_stream, nullptr), reference) << "file source";
+  }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    ParallelPassEngine engine(threads);
+    MmapSetStream mmap_stream(binary_path);
+    ASSERT_TRUE(mmap_stream.status().ok());
+    EXPECT_EQ(solve(mmap_stream, &engine), reference)
+        << "mmap threads=" << threads;
+  }
+}
+
+TEST(MmapSetStreamTest, ThresholdGreedySolutionsIdenticalAcrossSources) {
+  testing::ScopedTempDir dir;
+  Rng rng(8);
+  const SetSystem system = MixedInstance(256, rng);
+  const std::string binary_path = dir.FilePath("tg.sscb1");
+  ASSERT_TRUE(BinaryInstanceWriter::WriteSystem(system, binary_path).ok());
+
+  ThresholdGreedyConfig config;
+  const auto solve = [&](SetStream& stream) {
+    ThresholdGreedySetCover algorithm(config);
+    return algorithm.Run(stream).solution.chosen;
+  };
+  VectorSetStream memory_stream(system);
+  MmapSetStream mmap_stream(binary_path);
+  ASSERT_TRUE(mmap_stream.status().ok());
+  EXPECT_EQ(solve(mmap_stream), solve(memory_stream));
+}
+
+TEST(MmapSetStreamTest, ComposesWithStreamAdapters) {
+  testing::ScopedTempDir dir;
+  Rng rng(9);
+  const SetSystem whole = PlantedCoverInstance(128, 16, 4, rng);
+  SetSystem alice(128), bob(128);
+  for (SetId id = 0; id < whole.num_sets(); ++id) {
+    (id % 2 == 0 ? alice : bob).AddSetFromView(whole.set(id));
+  }
+  const std::string path = dir.FilePath("alice.sscb1");
+  ASSERT_TRUE(BinaryInstanceWriter::WriteSystem(alice, path).ok());
+
+  MmapSetStream a(path);
+  ASSERT_TRUE(a.status().ok());
+  VectorSetStream b(bob);
+  ConcatSetStream concat(a, b);
+  // mmap + vector both keep items valid, so the concat does too.
+  EXPECT_TRUE(concat.ItemsRemainValid());
+  const std::vector<StreamItem> items = DrainPass(concat);
+  EXPECT_EQ(items.size(), whole.num_sets());
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -98,18 +98,20 @@ TEST(ParallelPassEngineTest, ProjectAllMatchesSequentialForAnyThreadCount) {
   const std::vector<StreamItem> items = DrainPass(stream);
   const SubUniverse sub(rng.BernoulliSubset(600, 0.3));
 
-  const std::vector<DynamicBitset> sequential = ProjectAll(sub, items, nullptr);
+  const std::vector<ProjectedSet> sequential = ProjectAll(sub, items, nullptr);
   ASSERT_EQ(sequential.size(), items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
-    EXPECT_EQ(sequential[i], sub.Project(items[i].set));
+    const DynamicBitset expected = sub.Project(items[i].set);
+    EXPECT_TRUE(ViewOf(sequential[i]) == SetView(expected));
   }
 
   for (const std::size_t threads : {2u, 8u}) {
     ParallelPassEngine engine(threads);
-    const std::vector<DynamicBitset> parallel = ProjectAll(sub, items, &engine);
+    const std::vector<ProjectedSet> parallel = ProjectAll(sub, items, &engine);
     ASSERT_EQ(parallel.size(), sequential.size());
     for (std::size_t i = 0; i < sequential.size(); ++i) {
-      EXPECT_EQ(parallel[i], sequential[i]) << "threads=" << threads;
+      EXPECT_TRUE(ViewOf(parallel[i]) == ViewOf(sequential[i]))
+          << "threads=" << threads;
     }
   }
 }

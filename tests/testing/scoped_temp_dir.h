@@ -1,0 +1,80 @@
+#ifndef STREAMSC_TESTS_TESTING_SCOPED_TEMP_DIR_H_
+#define STREAMSC_TESTS_TESTING_SCOPED_TEMP_DIR_H_
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+#include <string>
+
+/// \file scoped_temp_dir.h
+/// ScopedTempDir: a per-test temporary directory, created unique in the
+/// system temp root and removed (recursively) on destruction. Tests that
+/// touch the filesystem should put every file they create under one of
+/// these so parallel ctest runs never collide on shared fixed names and
+/// nothing leaks across runs.
+
+namespace streamsc {
+namespace testing {
+
+class ScopedTempDir {
+ public:
+  /// Creates a fresh directory like <tmp>/streamsc_test_<hex>; aborts the
+  /// test (via GTest assertion on first use) if creation fails.
+  ScopedTempDir() {
+    const std::filesystem::path root =
+        std::filesystem::temp_directory_path();
+    std::random_device rd;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const std::uint64_t tag =
+          (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+      std::filesystem::path candidate =
+          root / ("streamsc_test_" + ToHex(tag));
+      std::error_code ec;
+      if (std::filesystem::create_directory(candidate, ec)) {
+        path_ = std::move(candidate);
+        return;
+      }
+    }
+  }
+
+  ~ScopedTempDir() {
+    if (!path_.empty()) {
+      std::error_code ec;  // best-effort cleanup; never throws in a dtor
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  /// True iff the directory was created.
+  bool ok() const { return !path_.empty(); }
+
+  /// The directory itself.
+  const std::filesystem::path& path() const { return path_; }
+
+  /// An absolute path for \p name inside the directory.
+  std::string FilePath(const std::string& name) const {
+    EXPECT_TRUE(ok()) << "temp dir creation failed";
+    return (path_ / name).string();
+  }
+
+ private:
+  static std::string ToHex(std::uint64_t v) {
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+      out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+      v >>= 4;
+    }
+    return out;
+  }
+
+  std::filesystem::path path_;
+};
+
+}  // namespace testing
+}  // namespace streamsc
+
+#endif  // STREAMSC_TESTS_TESTING_SCOPED_TEMP_DIR_H_

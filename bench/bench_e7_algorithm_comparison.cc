@@ -1,10 +1,15 @@
 // E7 — Upper-bound landscape: Assadi (Theorem 2) vs Har-Peled-style
-// iterative pruning vs multi-pass threshold greedy vs single-pass greedy,
-// on shared instances. Reports passes / space / solution size / ratio.
-// The paper's table-of-comparisons (Section 1) in measured form: Assadi
-// dominates Har-Peled on space at equal alpha; threshold greedy is tiny
-// in space but pays a log n approximation; one-pass pays even more.
+// iterative pruning vs DIMV'14 vs multi-pass threshold greedy vs the
+// single-pass baselines, on shared instances. Reports passes / space /
+// solution size / ratio, now per thread count: every solver accepts a
+// ParallelPassEngine, so each contender runs once sequentially and once
+// on an 8-thread pool, with the speedup column tracking what the routed
+// engine passes buy. Solutions are bit-identical across the two rows by
+// the engine's determinism contract (asserted here, proven exhaustively
+// in tests/integration/solver_matrix_test.cc).
 
+#include <algorithm>
+#include <functional>
 #include <iostream>
 #include <memory>
 
@@ -18,65 +23,123 @@
 #include "instance/generators.h"
 #include "offline/exact_set_cover.h"
 #include "offline/greedy.h"
+#include "stream/engine_context.h"
 #include "stream/set_stream.h"
+#include "util/check.h"
 #include "util/table_printer.h"
 
 namespace streamsc {
 namespace {
 
+constexpr std::size_t kParallelThreads = 8;
+
 struct Contender {
   std::string name;
-  std::unique_ptr<StreamingSetCoverAlgorithm> algorithm;
+  // Builds a fresh solver wired to the given engine (null = sequential).
+  std::function<std::unique_ptr<StreamingSetCoverAlgorithm>(
+      ParallelPassEngine*)>
+      make;
 };
 
 void Compare(const std::string& title, const SetSystem& system,
              std::size_t opt_hint) {
   bench::Banner("E7: " + title,
-                "who wins where: space vs passes vs approximation");
+                "who wins where: space vs passes vs approximation; "
+                "threads column tracks the engine-routed speedup");
   std::vector<Contender> contenders;
   for (const std::size_t alpha : {2, 4}) {
-    AssadiConfig config;
-    config.alpha = alpha;
-    config.epsilon = 0.5;
-    // Cap the exact sub-solver so failing guesses on instances with
-    // moderate opt degrade to greedy in bounded time (the A2 ablation
-    // quantifies what the optimal sub-solve buys; the cap only shows on
-    // flat instances as guess-acceptance slack).
-    config.exact_node_budget = 200'000;
-    contenders.push_back({"assadi(a=" + std::to_string(alpha) + ")",
-                          std::make_unique<AssadiSetCover>(config)});
-    HarPeledConfig hp;
-    hp.alpha = alpha;
-    hp.exact_node_budget = 200'000;
-    contenders.push_back({"har-peled(a=" + std::to_string(alpha) + ")",
-                          std::make_unique<HarPeledSetCover>(hp)});
-    DemaineConfig dm;
-    dm.alpha = alpha;
-    contenders.push_back({"demaine(a=" + std::to_string(alpha) + ")",
-                          std::make_unique<DemaineSetCover>(dm)});
+    contenders.push_back(
+        {"assadi(a=" + std::to_string(alpha) + ")",
+         [alpha](ParallelPassEngine* engine) {
+           AssadiConfig config;
+           config.alpha = alpha;
+           config.epsilon = 0.5;
+           // Cap the exact sub-solver so failing guesses on instances
+           // with moderate opt degrade to greedy in bounded time (the A2
+           // ablation quantifies what the optimal sub-solve buys; the cap
+           // only shows on flat instances as guess-acceptance slack).
+           config.exact_node_budget = 200'000;
+           config.engine = engine;
+           return std::make_unique<AssadiSetCover>(config);
+         }});
+    contenders.push_back(
+        {"har-peled(a=" + std::to_string(alpha) + ")",
+         [alpha](ParallelPassEngine* engine) {
+           HarPeledConfig hp;
+           hp.alpha = alpha;
+           hp.exact_node_budget = 200'000;
+           hp.engine = engine;
+           return std::make_unique<HarPeledSetCover>(hp);
+         }});
+    contenders.push_back(
+        {"demaine(a=" + std::to_string(alpha) + ")",
+         [alpha](ParallelPassEngine* engine) {
+           DemaineConfig dm;
+           dm.alpha = alpha;
+           dm.engine = engine;
+           return std::make_unique<DemaineSetCover>(dm);
+         }});
   }
-  contenders.push_back(
-      {"threshold-greedy", std::make_unique<ThresholdGreedySetCover>()});
-  contenders.push_back(
-      {"emek-rosen", std::make_unique<EmekRosenSetCover>()});
-  contenders.push_back({"one-pass", std::make_unique<OnePassSetCover>()});
+  contenders.push_back({"threshold-greedy", [](ParallelPassEngine* engine) {
+                          ThresholdGreedyConfig config;
+                          config.engine = engine;
+                          return std::make_unique<ThresholdGreedySetCover>(
+                              config);
+                        }});
+  contenders.push_back({"emek-rosen", [](ParallelPassEngine* engine) {
+                          EmekRosenConfig config;
+                          config.engine = engine;
+                          return std::make_unique<EmekRosenSetCover>(config);
+                        }});
+  contenders.push_back({"one-pass", [](ParallelPassEngine* engine) {
+                          OnePassConfig config;
+                          config.engine = engine;
+                          return std::make_unique<OnePassSetCover>(config);
+                        }});
 
-  TablePrinter table({"algorithm", "passes", "space", "space_bits", "sets",
-                      "ratio_vs_opt", "feasible"});
+  // MakeEngine owns the thread-count policy: 1 resolves to the null
+  // (sequential) engine, kParallelThreads to a shared pool.
+  const std::unique_ptr<ParallelPassEngine> pool =
+      MakeEngine(kParallelThreads);
+  TablePrinter table({"algorithm", "threads", "passes", "space", "sets",
+                      "ratio_vs_opt", "feasible", "wall_ms", "speedup"});
   for (Contender& contender : contenders) {
-    VectorSetStream stream(system);
-    const SetCoverRunResult result = contender.algorithm->Run(stream);
-    table.BeginRow();
-    table.AddCell(contender.name);
-    table.AddCell(result.stats.passes);
-    table.AddCell(HumanBytes(result.stats.peak_space_bytes));
-    table.AddCell(static_cast<double>(result.stats.peak_space_bytes) * 8.0,
-                  0);
-    table.AddCell(static_cast<std::uint64_t>(result.solution.size()));
-    table.AddCell(static_cast<double>(result.solution.size()) /
-                      static_cast<double>(opt_hint),
-                  2);
-    table.AddCell(result.feasible ? "yes" : "NO");
+    std::vector<SetId> sequential_solution;
+    double sequential_wall = 0.0;
+    for (const std::size_t threads : {std::size_t{1}, kParallelThreads}) {
+      ParallelPassEngine* engine = threads == 1 ? nullptr : pool.get();
+      VectorSetStream stream(system);
+      if (engine != nullptr) {
+        // A silent sequential fallback here would report a fake 1.0x.
+        RequireSharded(stream, engine);
+      }
+      const SetCoverRunResult result =
+          contender.make(engine)->Run(stream);
+      if (threads == 1) {
+        sequential_solution = result.solution.chosen;
+        sequential_wall = result.stats.wall_seconds;
+      } else {
+        STREAMSC_CHECK(result.solution.chosen == sequential_solution,
+                       "determinism violation: a solver's parallel run "
+                       "diverged from its sequential run");
+      }
+      table.BeginRow();
+      table.AddCell(contender.name);
+      table.AddCell(static_cast<std::uint64_t>(threads));
+      table.AddCell(result.stats.passes);
+      table.AddCell(HumanBytes(result.stats.peak_space_bytes));
+      table.AddCell(static_cast<std::uint64_t>(result.solution.size()));
+      table.AddCell(static_cast<double>(result.solution.size()) /
+                        static_cast<double>(opt_hint),
+                    2);
+      table.AddCell(result.feasible ? "yes" : "NO");
+      table.AddCell(result.stats.wall_seconds * 1e3, 2);
+      table.AddCell(threads == 1
+                        ? 1.0
+                        : sequential_wall /
+                              std::max(result.stats.wall_seconds, 1e-9),
+                    2);
+    }
   }
   table.Print(std::cout);
 }

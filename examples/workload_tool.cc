@@ -40,7 +40,7 @@
 #include "offline/greedy.h"
 #include "storage/binary_instance_writer.h"
 #include "storage/mmap_set_stream.h"
-#include "stream/parallel_pass_engine.h"
+#include "stream/engine_context.h"
 #include "stream/set_stream.h"
 #include "util/table_printer.h"
 
@@ -222,6 +222,7 @@ int Solve(int argc, char** argv) {
   if (alpha < 1) return Usage();
   const std::size_t threads =
       argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  if (threads < 1) return Usage();
 
   std::optional<MmapSetStream> mmap_stream;
   std::optional<SetSystem> system;
@@ -232,11 +233,10 @@ int Solve(int argc, char** argv) {
   AssadiConfig config;
   config.alpha = alpha;
   config.epsilon = 0.5;
-  std::optional<ParallelPassEngine> engine;
-  if (threads > 1) {
-    engine.emplace(threads);
-    config.engine = &*engine;
-  }
+  // MakeEngine owns the thread-count policy: 1 means the sequential path
+  // (null engine); 0 is rejected loudly rather than guessed at.
+  const std::unique_ptr<ParallelPassEngine> engine = MakeEngine(threads);
+  config.engine = engine.get();
   AssadiSetCover algorithm(config);
   const SetCoverRunResult result = algorithm.Run(*stream);
 

@@ -25,13 +25,22 @@ if [[ "${SANITIZE:-0}" == "1" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSTREAMSC_SANITIZE=ON
   cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}"
   # Fast, high-signal slice under the sanitizers: the single-layer unit
-  # suites, the randomized property suites (includes the parallel engine
-  # tests, so data races surface as ASan/UBSan-visible breakage), and the
-  # io suites so ASan covers the mmap mapping lifetime end to end.
+  # suites, the randomized property suites, and the io suites so ASan
+  # covers the mmap mapping lifetime end to end.
   # (-L matches regexes: 'io' must be anchored or it also selects every
-  # 'integration' suite.)
+  # 'integration' suite. -LE parallel: the parallel-labeled suites —
+  # engine primitives, the solver conformance matrix — run only in the
+  # dedicated slice below, at a different schedule width, so data races
+  # still surface as ASan/UBSan-visible breakage without paying for the
+  # heaviest suites twice.)
   ctest --test-dir "${SAN_BUILD_DIR}" -L 'unit|property|^io$' \
-    --output-on-failure -j "${JOBS}"
+    -LE 'parallel' --output-on-failure -j "${JOBS}"
+  # Conformance-matrix slice: the parallel-labeled suites (engine
+  # primitives, the cross-algorithm solver matrix over {memory,file,mmap}
+  # x {1,2,8} threads) under ASan/UBSan, scheduled 8 tests wide so the
+  # 8-thread pools genuinely contend while sanitized.
+  ctest --test-dir "${SAN_BUILD_DIR}" -L 'parallel' \
+    --output-on-failure -j 8
 fi
 
 echo "check.sh: all green"

@@ -1,13 +1,13 @@
 #include "core/assadi_set_cover.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "core/sampling.h"
 #include "offline/exact_set_cover.h"
 #include "offline/greedy.h"
-#include "stream/parallel_pass_engine.h"
+#include "stream/engine_context.h"
+#include "util/check.h"
 #include "util/math.h"
 #include "util/space_meter.h"
 #include "util/stopwatch.h"
@@ -21,8 +21,8 @@ Bytes SolutionBytes(std::size_t size) { return size * sizeof(SetId); }
 }  // namespace
 
 AssadiSetCover::AssadiSetCover(AssadiConfig config) : config_(config) {
-  assert(config_.alpha >= 1);
-  assert(config_.epsilon > 0.0);
+  STREAMSC_CHECK(config_.alpha >= 1, "AssadiConfig: alpha must be >= 1");
+  STREAMSC_CHECK(config_.epsilon > 0.0, "AssadiConfig: epsilon must be > 0");
 }
 
 std::string AssadiSetCover::name() const {
@@ -41,10 +41,10 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
   AssadiGuessResult result;
   SpaceMeter meter;
 
-  // Buffered (parallel) passes need the stream's item views to survive a
-  // whole pass; otherwise fall back to the sequential scan.
-  const bool buffered =
-      config_.engine != nullptr && stream.ItemsRemainValid();
+  // All passes run through the context: sharded when an engine is set and
+  // the stream's item views survive a whole pass, sequential otherwise —
+  // bit-identical either way.
+  EngineContext ctx(stream, config_.engine);
 
   // Retained state: the uncovered-elements bitset U and the solution ids.
   DynamicBitset uncovered = DynamicBitset::Full(n);
@@ -63,20 +63,7 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
       static_cast<double>(n) /
       (config_.epsilon * static_cast<double>(std::max<std::size_t>(
                              opt_guess, 1)));
-  StreamItem item;
-  if (buffered) {
-    const std::vector<StreamItem> items = DrainPass(stream);
-    ThresholdScan(items, prune_threshold, uncovered, config_.engine, take);
-  } else {
-    stream.BeginPass();
-    while (stream.Next(&item)) {
-      const Count gain = item.set.CountAnd(uncovered);
-      if (static_cast<double>(gain) >= prune_threshold && gain > 0) {
-        take(item.id);
-        item.set.AndNotInto(uncovered);
-      }
-    }
-  }
+  ctx.ThresholdPass(prune_threshold, uncovered, take);
 
   // --- α iterations of sample / store / solve / subtract. ----------------
   const double rho = 1.0 / NthRoot(static_cast<double>(n), alpha);
@@ -98,26 +85,14 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
     SetSystem projections(sub.size());
     std::vector<SetId> projection_ids;
     projection_ids.reserve(m);
-    if (buffered) {
-      const std::vector<StreamItem> items = DrainPass(stream);
-      std::vector<ProjectedSet> projs =
-          ProjectAll(sub, items, config_.engine);
-      for (std::size_t i = 0; i < items.size(); ++i) {
-        const SetId pid = StoreProjection(projections, std::move(projs[i]));
-        meter.Charge(projections.SetBytes(pid) + sizeof(SetId),
-                     "projections");
-        projection_ids.push_back(items[i].id);
-      }
-    } else {
-      stream.BeginPass();
-      while (stream.Next(&item)) {
-        const SetId pid =
-            StoreProjection(projections, sub.ProjectAdaptive(item.set));
-        meter.Charge(projections.SetBytes(pid) + sizeof(SetId),
-                     "projections");
-        projection_ids.push_back(item.id);
-      }
-    }
+    ctx.TransformPass<ProjectedSet>(
+        [&](const StreamItem& it) { return sub.ProjectAdaptive(it.set); },
+        [&](const StreamItem& it, ProjectedSet proj) {
+          const SetId pid = StoreProjection(projections, std::move(proj));
+          meter.Charge(projections.SetBytes(pid) + sizeof(SetId),
+                       "projections");
+          projection_ids.push_back(it.id);
+        });
 
     // (c) Solve the sub-instance *optimally* (the model allows unbounded
     // computation; we keep a node budget and degrade to greedy if hit).
@@ -169,19 +144,12 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
       solution.chosen.push_back(projection_ids[local]);
     }
     meter.SetCategory(SolutionBytes(solution.size()), "solution");
+    ctx.RecordTakes(chosen_global.size(), 0);
 
     // (d) One pass subtracting the chosen sets' *full* contents from U.
     // (The paper stores only projections, so recovering the full contents
     // of OPT' requires this extra pass.)
-    if (!chosen_global.empty()) {
-      stream.BeginPass();
-      while (stream.Next(&item)) {
-        if (std::find(chosen_global.begin(), chosen_global.end(), item.id) !=
-            chosen_global.end()) {
-          item.set.AndNotInto(uncovered);
-        }
-      }
-    }
+    ctx.SubtractPass(chosen_global, uncovered);
   }
 
   result.residual_after_iterations = uncovered.CountSet();
@@ -191,13 +159,7 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
   // residue can survive, and the paper requires the returned solution to
   // always be feasible.
   if (guess_ok && config_.ensure_feasible && !uncovered.None()) {
-    stream.BeginPass();
-    while (stream.Next(&item) && !uncovered.None()) {
-      if (item.set.Intersects(uncovered)) {
-        take(item.id);
-        item.set.AndNotInto(uncovered);
-      }
-    }
+    ctx.CoverResiduePass(uncovered, take);
   }
 
   const double budget =
@@ -208,6 +170,7 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
       result.feasible && static_cast<double>(result.solution.size()) <= budget;
   result.passes = stream.passes() - passes_before;
   result.peak_space_bytes = meter.peak();
+  result.engine_stats = ctx.stats();
   return result;
 }
 
@@ -219,10 +182,13 @@ SetCoverRunResult AssadiSetCover::Run(SetStream& stream) {
 
   SetCoverRunResult out;
   Bytes peak = 0;
+  EnginePassStats totals;
 
   auto try_guess = [&](std::size_t guess) -> bool {
     AssadiGuessResult r = RunWithGuess(stream, guess, rng);
     peak = std::max(peak, r.peak_space_bytes);
+    totals.sets_taken += r.engine_stats.sets_taken;
+    totals.elements_covered += r.engine_stats.elements_covered;
     if (r.feasible && r.within_budget) {
       // Keep the smallest solution across successful guesses.
       if (out.solution.empty() ||
@@ -254,6 +220,8 @@ SetCoverRunResult AssadiSetCover::Run(SetStream& stream) {
   out.stats.passes = stream.passes() - passes_before;
   out.stats.peak_space_bytes = peak;
   out.stats.items_seen = out.stats.passes * stream.num_sets();
+  out.stats.sets_taken = totals.sets_taken;
+  out.stats.elements_covered = totals.elements_covered;
   out.stats.wall_seconds = timer.ElapsedSeconds();
   return out;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "stream/engine_context.h"
 #include "stream/stream_algorithm.h"
 #include "util/random.h"
 
@@ -31,8 +32,6 @@
 /// bound per guess and reports the actual pass count (see DESIGN.md).
 
 namespace streamsc {
-
-class ParallelPassEngine;
 
 /// Configuration of Algorithm 1.
 struct AssadiConfig {
@@ -66,6 +65,7 @@ struct AssadiGuessResult {
   std::uint64_t passes = 0;
   Bytes peak_space_bytes = 0;
   std::uint64_t residual_after_iterations = 0;  ///< |U| left before cleanup.
+  EnginePassStats engine_stats;  ///< Deterministic per-guess pass counters.
 };
 
 /// Algorithm 1 with the geometric-guess driver.

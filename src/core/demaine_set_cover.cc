@@ -1,11 +1,12 @@
 #include "core/demaine_set_cover.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "core/sampling.h"
 #include "offline/greedy.h"
+#include "stream/engine_context.h"
+#include "util/check.h"
 #include "util/math.h"
 #include "util/space_meter.h"
 #include "util/stopwatch.h"
@@ -13,7 +14,7 @@
 namespace streamsc {
 
 DemaineSetCover::DemaineSetCover(DemaineConfig config) : config_(config) {
-  assert(config_.alpha >= 2);
+  STREAMSC_CHECK(config_.alpha >= 2, "DemaineConfig: alpha must be >= 2");
 }
 
 std::string DemaineSetCover::name() const {
@@ -37,10 +38,10 @@ SetCoverRunResult DemaineSetCover::RunWithGuess(SetStream& stream,
 
   SetCoverRunResult result;
   SpaceMeter meter;
+  EngineContext ctx(stream, config_.engine);
   DynamicBitset uncovered = DynamicBitset::Full(n);
   meter.Charge(uncovered.ByteSize(), "uncovered");
   Solution solution;
-  StreamItem item;
 
   // Per-phase sample size target: n^delta elements of the residual
   // universe (the Õ(m·n^delta) space law), but never below what the
@@ -65,13 +66,14 @@ SetCoverRunResult DemaineSetCover::RunWithGuess(SetStream& stream,
     SetSystem projections(sub.size());
     std::vector<SetId> projection_ids;
     projection_ids.reserve(m);
-    stream.BeginPass();
-    while (stream.Next(&item)) {
-      const SetId pid =
-          StoreProjection(projections, sub.ProjectAdaptive(item.set));
-      meter.Charge(projections.SetBytes(pid) + sizeof(SetId), "projections");
-      projection_ids.push_back(item.id);
-    }
+    ctx.TransformPass<ProjectedSet>(
+        [&](const StreamItem& it) { return sub.ProjectAdaptive(it.set); },
+        [&](const StreamItem& it, ProjectedSet proj) {
+          const SetId pid = StoreProjection(projections, std::move(proj));
+          meter.Charge(projections.SetBytes(pid) + sizeof(SetId),
+                       "projections");
+          projection_ids.push_back(it.id);
+        });
 
     // DIMV'14 covers the sample with greedy — the multiplicative loss per
     // phase is where the 4^{1/delta} approximation factor comes from.
@@ -85,26 +87,15 @@ SetCoverRunResult DemaineSetCover::RunWithGuess(SetStream& stream,
       solution.chosen.push_back(projection_ids[id]);
     }
     meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+    ctx.RecordTakes(chosen_global.size(), 0);
 
-    if (!chosen_global.empty()) {
-      stream.BeginPass();
-      while (stream.Next(&item)) {
-        if (std::find(chosen_global.begin(), chosen_global.end(), item.id) !=
-            chosen_global.end()) {
-          item.set.AndNotInto(uncovered);
-        }
-      }
-    }
+    ctx.SubtractPass(chosen_global, uncovered);
   }
 
   if (config_.ensure_feasible && !uncovered.None()) {
-    stream.BeginPass();
-    while (stream.Next(&item) && !uncovered.None()) {
-      if (item.set.Intersects(uncovered)) {
-        solution.chosen.push_back(item.id);
-        item.set.AndNotInto(uncovered);
-      }
-    }
+    ctx.CoverResiduePass(uncovered, [&](SetId id) {
+      solution.chosen.push_back(id);
+    });
     meter.SetCategory(solution.size() * sizeof(SetId), "solution");
   }
 
@@ -113,6 +104,8 @@ SetCoverRunResult DemaineSetCover::RunWithGuess(SetStream& stream,
   result.stats.passes = stream.passes() - passes_before;
   result.stats.peak_space_bytes = meter.peak();
   result.stats.items_seen = result.stats.passes * m;
+  result.stats.sets_taken = ctx.stats().sets_taken;
+  result.stats.elements_covered = ctx.stats().elements_covered;
   result.stats.wall_seconds = timer.ElapsedSeconds();
   return result;
 }
@@ -123,10 +116,13 @@ SetCoverRunResult DemaineSetCover::Run(SetStream& stream) {
   const std::uint64_t passes_before = stream.passes();
   SetCoverRunResult out;
   Bytes peak = 0;
+  EnginePassStats totals;
 
   auto try_guess = [&](std::size_t guess) {
     SetCoverRunResult r = RunWithGuess(stream, guess, rng);
     peak = std::max(peak, r.stats.peak_space_bytes);
+    totals.sets_taken += r.stats.sets_taken;
+    totals.elements_covered += r.stats.elements_covered;
     const double budget = static_cast<double>(config_.alpha) *
                           static_cast<double>(guess);
     if (r.feasible && static_cast<double>(r.solution.size()) <= budget) {
@@ -155,6 +151,8 @@ SetCoverRunResult DemaineSetCover::Run(SetStream& stream) {
   out.stats.passes = stream.passes() - passes_before;
   out.stats.peak_space_bytes = peak;
   out.stats.items_seen = out.stats.passes * stream.num_sets();
+  out.stats.sets_taken = totals.sets_taken;
+  out.stats.elements_covered = totals.elements_covered;
   out.stats.wall_seconds = timer.ElapsedSeconds();
   return out;
 }

@@ -29,6 +29,8 @@
 
 namespace streamsc {
 
+class ParallelPassEngine;
+
 /// Configuration of the DIMV'14-style baseline.
 struct DemaineConfig {
   std::size_t alpha = 4;        ///< Target approximation factor (>= 2).
@@ -36,6 +38,12 @@ struct DemaineConfig {
   std::uint64_t seed = 1;       ///< Seed for element sampling.
   std::size_t known_opt = 0;    ///< If > 0, skip guessing and use this õpt.
   bool ensure_feasible = true;  ///< Cleanup pass if a residue survives.
+  ParallelPassEngine* engine = nullptr;  ///< If set (and the stream's items
+                                         ///< stay valid within a pass), the
+                                         ///< projection passes are sharded
+                                         ///< across the pool; bit-identical
+                                         ///< for any thread count. Not
+                                         ///< owned.
 };
 
 /// DIMV'14-style α-approximation: O(α) passes, Õ(m·n^{Θ(1/log α)}) space.

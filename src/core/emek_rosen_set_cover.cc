@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "stream/engine_context.h"
+#include "util/check.h"
 #include "util/space_meter.h"
 #include "util/stopwatch.h"
 
@@ -29,10 +31,18 @@ SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream) {
   Stopwatch timer;
   const std::size_t n = stream.universe_size();
   const std::uint64_t passes_before = stream.passes();
+  // An explicit threshold above n silently disables the "big set" rule —
+  // the O(√n) bound degrades to witness-only O(n) without any signal.
+  // That is a configuration bug, not a parameter choice.
+  STREAMSC_CHECK(config_.threshold <= n,
+                 "EmekRosenConfig: explicit threshold exceeds the universe "
+                 "size (no set could ever qualify as big); use 0 for the "
+                 "sqrt(n) default");
   const std::size_t theta = ThresholdFor(n);
 
   SetCoverRunResult result;
   SpaceMeter meter;
+  EngineContext ctx(stream, config_.engine);
   DynamicBitset uncovered = DynamicBitset::Full(n);
   meter.Charge(uncovered.ByteSize(), "uncovered");
   // Witness id per element; kInvalidSetId = none seen yet. Elements
@@ -42,23 +52,31 @@ SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream) {
   meter.Charge(n * sizeof(SetId), "witnesses");
   Solution solution;
 
-  stream.BeginPass();
-  StreamItem item;
-  while (stream.Next(&item)) {
-    const Count gain = item.set.CountAnd(uncovered);
-    if (gain >= theta) {
-      solution.chosen.push_back(item.id);
-      meter.SetCategory(solution.size() * sizeof(SetId), "solution");
-      item.set.AndNotInto(uncovered);
-    } else if (gain > 0) {
-      const SetId id = item.id;
-      item.set.ForEach([&](ElementId e) {
-        if (uncovered.Test(e) && witness[e] == kInvalidSetId) {
-          witness[e] = id;
-        }
-      });
+  // The threshold-and-witness pass. The big-set rule is a monotone
+  // threshold take (eligible for the snapshot filter); the witness writes
+  // happen in the in-order commit, so the witness array evolves exactly
+  // as in the sequential loop.
+  ctx.GainScanPass(uncovered, [&](const StreamItem& item, Count bound,
+                                  bool bound_is_exact) {
+    if (bound >= theta) {
+      const Count gain =
+          bound_is_exact ? bound : item.set.CountAnd(uncovered);
+      if (gain >= theta) {
+        solution.chosen.push_back(item.id);
+        meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+        item.set.AndNotInto(uncovered);
+        ctx.RecordTake(gain);
+        return;
+      }
+      if (gain == 0) return;  // fully covered since the snapshot
     }
-  }
+    const SetId id = item.id;
+    item.set.ForEach([&](ElementId e) {
+      if (uncovered.Test(e) && witness[e] == kInvalidSetId) {
+        witness[e] = id;
+      }
+    });
+  });
 
   // End of pass: close the cover with the witnesses of the survivors.
   std::vector<SetId> leftovers;
@@ -72,12 +90,8 @@ SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream) {
   if (!leftovers.empty()) {
     // One more (cheap) pass to subtract the witnesses' actual contents —
     // needed only to *verify* feasibility; the ids were already final.
-    stream.BeginPass();
-    while (stream.Next(&item) && !uncovered.None()) {
-      if (std::binary_search(leftovers.begin(), leftovers.end(), item.id)) {
-        item.set.AndNotInto(uncovered);
-      }
-    }
+    ctx.RecordTakes(leftovers.size(), 0);
+    ctx.SubtractPass(leftovers, uncovered);
     solution.chosen.insert(solution.chosen.end(), leftovers.begin(),
                            leftovers.end());
     meter.SetCategory(solution.size() * sizeof(SetId), "solution");
@@ -88,6 +102,8 @@ SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream) {
   result.stats.passes = stream.passes() - passes_before;
   result.stats.peak_space_bytes = meter.peak();
   result.stats.items_seen = result.stats.passes * stream.num_sets();
+  result.stats.sets_taken = ctx.stats().sets_taken;
+  result.stats.elements_covered = ctx.stats().elements_covered;
   result.stats.wall_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -28,10 +28,21 @@
 
 namespace streamsc {
 
+class ParallelPassEngine;
+
 /// Configuration of the Emek-Rosén style baseline.
 struct EmekRosenConfig {
-  /// Threshold override; 0 means the √n default.
+  /// Threshold override; 0 means the √n default. An explicit threshold
+  /// must not exceed the universe size of the streamed instance (no set
+  /// could ever qualify as "big", silently degrading the O(√n) guarantee
+  /// to O(n) witness-only mode) — Run() CHECK-fails on that misuse.
   std::size_t threshold = 0;
+
+  /// If set (and the stream's items stay valid within a pass), the
+  /// threshold-and-witness pass precomputes gains sharded across the
+  /// pool; witnesses commit in stream order, so the taken sets and the
+  /// witness array are bit-identical for any thread count. Not owned.
+  ParallelPassEngine* engine = nullptr;
 };
 
 /// Single-pass O(√n)-approximation semi-streaming set cover.

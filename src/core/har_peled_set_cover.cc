@@ -1,12 +1,13 @@
 #include "core/har_peled_set_cover.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "core/sampling.h"
 #include "offline/exact_set_cover.h"
 #include "offline/greedy.h"
+#include "stream/engine_context.h"
+#include "util/check.h"
 #include "util/math.h"
 #include "util/space_meter.h"
 #include "util/stopwatch.h"
@@ -14,7 +15,7 @@
 namespace streamsc {
 
 HarPeledSetCover::HarPeledSetCover(HarPeledConfig config) : config_(config) {
-  assert(config_.alpha >= 1);
+  STREAMSC_CHECK(config_.alpha >= 1, "HarPeledConfig: alpha must be >= 1");
 }
 
 std::string HarPeledSetCover::name() const {
@@ -31,11 +32,16 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(SetStream& stream,
 
   SetCoverRunResult result;
   SpaceMeter meter;
+  EngineContext ctx(stream, config_.engine);
 
   DynamicBitset uncovered = DynamicBitset::Full(n);
   meter.Charge(uncovered.ByteSize(), "uncovered");
   Solution solution;
-  StreamItem item;
+
+  const auto take = [&](SetId id) {
+    solution.chosen.push_back(id);
+    meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+  };
 
   // ceil(α/2) iterations, each reducing |U| by ~n^{2/α} (the c = 2
   // exponent in the original's n^{Θ(1/α)} space).
@@ -52,15 +58,7 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(SetStream& stream,
     const double threshold =
         static_cast<double>(uncovered.CountSet()) /
         (2.0 * static_cast<double>(std::max<std::size_t>(opt_guess, 1)));
-    stream.BeginPass();
-    while (stream.Next(&item)) {
-      const Count gain = item.set.CountAnd(uncovered);
-      if (static_cast<double>(gain) >= threshold && gain > 0) {
-        solution.chosen.push_back(item.id);
-        meter.SetCategory(solution.size() * sizeof(SetId), "solution");
-        item.set.AndNotInto(uncovered);
-      }
-    }
+    ctx.ThresholdPass(threshold, uncovered, take);
     if (uncovered.None()) break;
 
     // 2. Sampling pass with the looser rate (ρ = n^{-2/α}).
@@ -74,13 +72,14 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(SetStream& stream,
     SetSystem projections(sub.size());
     std::vector<SetId> projection_ids;
     projection_ids.reserve(m);
-    stream.BeginPass();
-    while (stream.Next(&item)) {
-      const SetId pid =
-          StoreProjection(projections, sub.ProjectAdaptive(item.set));
-      meter.Charge(projections.SetBytes(pid) + sizeof(SetId), "projections");
-      projection_ids.push_back(item.id);
-    }
+    ctx.TransformPass<ProjectedSet>(
+        [&](const StreamItem& it) { return sub.ProjectAdaptive(it.set); },
+        [&](const StreamItem& it, ProjectedSet proj) {
+          const SetId pid = StoreProjection(projections, std::move(proj));
+          meter.Charge(projections.SetBytes(pid) + sizeof(SetId),
+                       "projections");
+          projection_ids.push_back(it.id);
+        });
 
     // 3. Optimal sub-solve + subtraction pass.
     ExactSetCoverOptions exact_options;
@@ -111,27 +110,14 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(SetStream& stream,
       solution.chosen.push_back(projection_ids[local]);
     }
     meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+    ctx.RecordTakes(chosen_global.size(), 0);
 
-    if (!chosen_global.empty()) {
-      stream.BeginPass();
-      while (stream.Next(&item)) {
-        if (std::find(chosen_global.begin(), chosen_global.end(), item.id) !=
-            chosen_global.end()) {
-          item.set.AndNotInto(uncovered);
-        }
-      }
-    }
+    ctx.SubtractPass(chosen_global, uncovered);
   }
 
   // Cleanup pass for feasibility (as in the Assadi implementation).
   if (guess_ok && !uncovered.None()) {
-    stream.BeginPass();
-    while (stream.Next(&item) && !uncovered.None()) {
-      if (item.set.Intersects(uncovered)) {
-        solution.chosen.push_back(item.id);
-        item.set.AndNotInto(uncovered);
-      }
-    }
+    ctx.CoverResiduePass(uncovered, take);
   }
 
   result.solution = std::move(solution);
@@ -139,6 +125,8 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(SetStream& stream,
   result.stats.passes = stream.passes() - passes_before;
   result.stats.peak_space_bytes = meter.peak();
   result.stats.items_seen = result.stats.passes * m;
+  result.stats.sets_taken = ctx.stats().sets_taken;
+  result.stats.elements_covered = ctx.stats().elements_covered;
   result.stats.wall_seconds = timer.ElapsedSeconds();
   return result;
 }
@@ -149,10 +137,13 @@ SetCoverRunResult HarPeledSetCover::Run(SetStream& stream) {
   const std::uint64_t passes_before = stream.passes();
   SetCoverRunResult out;
   Bytes peak = 0;
+  EnginePassStats totals;
 
   auto try_guess = [&](std::size_t guess) {
     SetCoverRunResult r = RunWithGuess(stream, guess, rng);
     peak = std::max(peak, r.stats.peak_space_bytes);
+    totals.sets_taken += r.stats.sets_taken;
+    totals.elements_covered += r.stats.elements_covered;
     const double budget = (static_cast<double>(config_.alpha) + 1.0) *
                           static_cast<double>(guess);
     if (r.feasible && static_cast<double>(r.solution.size()) <= budget) {
@@ -181,6 +172,8 @@ SetCoverRunResult HarPeledSetCover::Run(SetStream& stream) {
   out.stats.passes = stream.passes() - passes_before;
   out.stats.peak_space_bytes = peak;
   out.stats.items_seen = out.stats.passes * stream.num_sets();
+  out.stats.sets_taken = totals.sets_taken;
+  out.stats.elements_covered = totals.elements_covered;
   out.stats.wall_seconds = timer.ElapsedSeconds();
   return out;
 }

@@ -27,6 +27,8 @@
 
 namespace streamsc {
 
+class ParallelPassEngine;
+
 /// Configuration of the Har-Peled-style baseline.
 struct HarPeledConfig {
   std::size_t alpha = 2;          ///< Target approximation factor.
@@ -34,6 +36,12 @@ struct HarPeledConfig {
   std::uint64_t seed = 1;
   std::uint64_t exact_node_budget = 20'000'000;
   std::size_t known_opt = 0;      ///< If > 0, use as õpt (no guessing).
+  ParallelPassEngine* engine = nullptr;  ///< If set (and the stream's items
+                                         ///< stay valid within a pass), the
+                                         ///< pruning and projection passes
+                                         ///< are sharded across the pool.
+                                         ///< Results are bit-identical for
+                                         ///< any thread count. Not owned.
 };
 
 /// The iterative-pruning baseline algorithm.

@@ -1,13 +1,14 @@
 #include "core/max_coverage.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <vector>
 
 #include "core/sampling.h"
 #include "offline/exact_max_coverage.h"
 #include "offline/greedy.h"
+#include "stream/engine_context.h"
+#include "util/check.h"
 #include "util/math.h"
 #include "util/space_meter.h"
 #include "util/stopwatch.h"
@@ -17,7 +18,8 @@ namespace streamsc {
 ElementSamplingMaxCoverage::ElementSamplingMaxCoverage(
     ElementSamplingMcConfig config)
     : config_(config) {
-  assert(config_.epsilon > 0.0 && config_.epsilon < 1.0);
+  STREAMSC_CHECK(config_.epsilon > 0.0 && config_.epsilon < 1.0,
+                 "ElementSamplingMcConfig: epsilon must lie in (0, 1)");
 }
 
 std::string ElementSamplingMaxCoverage::name() const {
@@ -44,6 +46,7 @@ MaxCoverageRunResult ElementSamplingMaxCoverage::Run(SetStream& stream,
 
   MaxCoverageRunResult result;
   SpaceMeter meter;
+  EngineContext ctx(stream, config_.engine);
 
   // Sample the universe once, up front (public coins in the paper's
   // communication view).
@@ -57,14 +60,14 @@ MaxCoverageRunResult ElementSamplingMaxCoverage::Run(SetStream& stream,
   SetSystem projections(sub.size());
   std::vector<SetId> projection_ids;
   projection_ids.reserve(m);
-  StreamItem item;
-  stream.BeginPass();
-  while (stream.Next(&item)) {
-    const SetId pid =
-        StoreProjection(projections, sub.ProjectAdaptive(item.set));
-    meter.Charge(projections.SetBytes(pid) + sizeof(SetId), "projections");
-    projection_ids.push_back(item.id);
-  }
+  ctx.TransformPass<ProjectedSet>(
+      [&](const StreamItem& it) { return sub.ProjectAdaptive(it.set); },
+      [&](const StreamItem& it, ProjectedSet proj) {
+        const SetId pid = StoreProjection(projections, std::move(proj));
+        meter.Charge(projections.SetBytes(pid) + sizeof(SetId),
+                     "projections");
+        projection_ids.push_back(it.id);
+      });
 
   // Offline solve on the sampled instance.
   Solution local;
@@ -86,25 +89,23 @@ MaxCoverageRunResult ElementSamplingMaxCoverage::Run(SetStream& stream,
   // One more pass to compute the *true* coverage of the returned sets
   // (verification; not charged against the sketch space).
   DynamicBitset covered(n);
-  stream.BeginPass();
-  while (stream.Next(&item)) {
-    if (std::find(result.solution.chosen.begin(),
-                  result.solution.chosen.end(),
-                  item.id) != result.solution.chosen.end()) {
-      item.set.OrInto(covered);
-    }
-  }
+  ctx.UnionPass(result.solution.chosen, covered);
   result.coverage = covered.CountSet();
+  ctx.RecordTakes(result.solution.size(), result.coverage);
 
   result.stats.passes = stream.passes() - passes_before;
   result.stats.peak_space_bytes = meter.peak();
   result.stats.items_seen = result.stats.passes * m;
+  result.stats.sets_taken = ctx.stats().sets_taken;
+  result.stats.elements_covered = ctx.stats().elements_covered;
   result.stats.wall_seconds = timer.ElapsedSeconds();
   return result;
 }
 
 SieveMaxCoverage::SieveMaxCoverage(SieveMcConfig config) : config_(config) {
-  assert(config_.epsilon > 0.0 && config_.epsilon < 1.0);
+  STREAMSC_CHECK(config_.epsilon > 0.0 && config_.epsilon < 1.0,
+                 "SieveMcConfig: epsilon must lie in (0, 1) — epsilon 0 "
+                 "freezes the (1+eps)^j guess grid and loops forever");
 }
 
 std::string SieveMaxCoverage::name() const {
@@ -118,6 +119,7 @@ MaxCoverageRunResult SieveMaxCoverage::Run(SetStream& stream, std::size_t k) {
 
   MaxCoverageRunResult result;
   SpaceMeter meter;
+  EngineContext ctx(stream, config_.engine);
 
   // One candidate solution per OPT guess v on the grid (1+ε)^j in
   // [1, k·n]. Each candidate retains its covered-elements bitset.
@@ -133,33 +135,41 @@ MaxCoverageRunResult SieveMaxCoverage::Run(SetStream& stream, std::size_t k) {
     meter.Charge(candidates.back().covered.ByteSize(), "candidates");
   }
 
-  StreamItem item;
-  stream.BeginPass();
-  while (stream.Next(&item)) {
-    for (Candidate& cand : candidates) {
-      if (cand.chosen.size() >= k) continue;
-      const Count gain = item.set.CountAndNot(cand.covered);
-      const double needed =
-          (cand.guess / 2.0 -
-           static_cast<double>(cand.covered.CountSet())) /
-          static_cast<double>(k - cand.chosen.size());
-      if (static_cast<double>(gain) >= needed && gain > 0) {
-        cand.chosen.push_back(item.id);
-        item.set.OrInto(cand.covered);
-      }
-    }
-  }
+  // Every guess is an independent lane: its take decisions depend only on
+  // its own covered/chosen state and the item sequence, so the lanes can
+  // be scanned in parallel without changing any of them.
+  ctx.IndependentScanPass(
+      candidates.size(), [&](std::size_t lane, const StreamItem& item) {
+        Candidate& cand = candidates[lane];
+        if (cand.chosen.size() >= k) return;
+        const Count gain = item.set.CountAndNot(cand.covered);
+        const double needed =
+            (cand.guess / 2.0 -
+             static_cast<double>(cand.covered.CountSet())) /
+            static_cast<double>(k - cand.chosen.size());
+        if (static_cast<double>(gain) >= needed && gain > 0) {
+          cand.chosen.push_back(item.id);
+          item.set.OrInto(cand.covered);
+        }
+      });
 
-  // Return the best candidate by actual (full-universe) coverage.
+  // Return the best candidate by actual (full-universe) coverage; counters
+  // aggregate over every lane (deterministic for any thread count, unlike
+  // anything scheduling-dependent).
   const Candidate* best = nullptr;
   Count best_coverage = 0;
+  std::uint64_t lane_takes = 0;
+  std::uint64_t lane_covered = 0;
   for (const Candidate& cand : candidates) {
     const Count cov = cand.covered.CountSet();
+    lane_takes += cand.chosen.size();
+    lane_covered += cov;
     if (cov > best_coverage || best == nullptr) {
       best_coverage = cov;
       best = &cand;
     }
   }
+  ctx.RecordTakes(lane_takes, lane_covered);
   if (best != nullptr) {
     result.solution.chosen = best->chosen;
     result.coverage = best_coverage;
@@ -168,6 +178,8 @@ MaxCoverageRunResult SieveMaxCoverage::Run(SetStream& stream, std::size_t k) {
   result.stats.passes = stream.passes() - passes_before;
   result.stats.peak_space_bytes = meter.peak();
   result.stats.items_seen = stream.num_sets();
+  result.stats.sets_taken = ctx.stats().sets_taken;
+  result.stats.elements_covered = ctx.stats().elements_covered;
   result.stats.wall_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -25,7 +25,11 @@
 
 namespace streamsc {
 
+class ParallelPassEngine;
+
 /// Configuration of the element-sampling (1-ε) scheme.
+/// epsilon must lie in (0, 1) — CHECK-enforced in every build mode (the
+/// sample-rate formula divides by ε²).
 struct ElementSamplingMcConfig {
   double epsilon = 0.1;          ///< Target (1-ε) accuracy.
   double sampling_boost = 1.0;   ///< Multiplier on the sample rate.
@@ -33,6 +37,12 @@ struct ElementSamplingMcConfig {
   std::uint64_t exact_node_budget = 5'000'000;
   std::size_t exact_k_limit = 3;  ///< Solve sampled instance exactly for
                                   ///< k <= this; greedily otherwise.
+  ParallelPassEngine* engine = nullptr;  ///< If set (and the stream's items
+                                         ///< stay valid within a pass), the
+                                         ///< projection-storing pass is
+                                         ///< sharded across the pool;
+                                         ///< bit-identical for any thread
+                                         ///< count. Not owned.
 };
 
 /// The (1-ε)-approximation, single-pass element-sampling algorithm.
@@ -53,8 +63,20 @@ class ElementSamplingMaxCoverage : public StreamingMaxCoverageAlgorithm {
 };
 
 /// Configuration of the sieve baseline.
+/// epsilon must lie in (0, 1) — CHECK-enforced in every build mode. This
+/// one is load-bearing: ε = 0 makes the (1+ε)^j guess grid stop growing,
+/// which in a release build (where a plain assert compiles out) used to
+/// spin the grid-construction loop forever.
 struct SieveMcConfig {
   double epsilon = 0.1;  ///< Guess-grid resolution (1+ε).
+  ParallelPassEngine* engine = nullptr;  ///< If set (and the stream's items
+                                         ///< stay valid within a pass), the
+                                         ///< OPT-guess lanes of the sieve
+                                         ///< run in parallel — each lane's
+                                         ///< state depends only on its own
+                                         ///< history, so the result is
+                                         ///< bit-identical for any thread
+                                         ///< count. Not owned.
 };
 
 /// Single-pass threshold sieve baseline.

@@ -2,12 +2,18 @@
 
 #include <algorithm>
 
+#include "stream/engine_context.h"
+#include "util/check.h"
 #include "util/space_meter.h"
 #include "util/stopwatch.h"
 
 namespace streamsc {
 
-OnePassSetCover::OnePassSetCover(OnePassConfig config) : config_(config) {}
+OnePassSetCover::OnePassSetCover(OnePassConfig config) : config_(config) {
+  STREAMSC_CHECK(
+      config_.min_gain_fraction >= 0.0 && config_.min_gain_fraction <= 1.0,
+      "OnePassConfig: min_gain_fraction must lie in [0, 1]");
+}
 
 std::string OnePassSetCover::name() const {
   return "one-pass-greedy(frac=" + std::to_string(config_.min_gain_fraction) +
@@ -21,15 +27,19 @@ SetCoverRunResult OnePassSetCover::Run(SetStream& stream) {
 
   SetCoverRunResult result;
   SpaceMeter meter;
+  EngineContext ctx(stream, config_.engine);
   DynamicBitset uncovered = DynamicBitset::Full(n);
   meter.Charge(uncovered.ByteSize(), "uncovered");
   Solution solution;
-  StreamItem item;
 
-  stream.BeginPass();
-  while (stream.Next(&item)) {
-    if (uncovered.None()) break;
-    const Count gain = item.set.CountAnd(uncovered);
+  // The acceptance bar max(1, frac·|U|) shrinks together with |U|, so
+  // only the zero-gain part of the snapshot filter is sound here: a
+  // positive stale bound says nothing (the bar may have dropped faster
+  // than the gain), so every visited item re-evaluates its exact gain.
+  ctx.GainScanPass(uncovered, [&](const StreamItem& item, Count bound,
+                                  bool bound_is_exact) {
+    const Count gain = bound_is_exact ? bound : item.set.CountAnd(uncovered);
+    if (gain == 0) return;
     const double needed = std::max(
         1.0, config_.min_gain_fraction *
                  static_cast<double>(uncovered.CountSet()));
@@ -37,14 +47,17 @@ SetCoverRunResult OnePassSetCover::Run(SetStream& stream) {
       solution.chosen.push_back(item.id);
       meter.SetCategory(solution.size() * sizeof(SetId), "solution");
       item.set.AndNotInto(uncovered);
+      ctx.RecordTake(gain);
     }
-  }
+  });
 
   result.solution = std::move(solution);
   result.feasible = uncovered.None();
   result.stats.passes = stream.passes() - passes_before;
   result.stats.peak_space_bytes = meter.peak();
   result.stats.items_seen = stream.num_sets();
+  result.stats.sets_taken = ctx.stats().sets_taken;
+  result.stats.elements_covered = ctx.stats().elements_covered;
   result.stats.wall_seconds = timer.ElapsedSeconds();
   return result;
 }

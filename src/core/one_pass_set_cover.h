@@ -15,11 +15,21 @@
 
 namespace streamsc {
 
+class ParallelPassEngine;
+
 /// Configuration of the single-pass baseline.
 struct OnePassConfig {
   /// Minimum marginal gain as a fraction of the current uncovered count;
-  /// 0 means "take anything that helps" (always feasible).
+  /// 0 means "take anything that helps" (always feasible). Must lie in
+  /// [0, 1] — CHECK-enforced (a negative value aliases 0 and a value
+  /// above 1 can never be met, both silent misconfigurations).
   double min_gain_fraction = 0.0;
+
+  /// If set (and the stream's items stay valid within a pass), the
+  /// single pass precomputes gains sharded across the pool and commits
+  /// takes in stream order — bit-identical for any thread count. Not
+  /// owned.
+  ParallelPassEngine* engine = nullptr;
 };
 
 /// Single-pass greedy.

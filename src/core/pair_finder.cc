@@ -1,14 +1,16 @@
 #include "core/pair_finder.h"
 
-#include <cassert>
+#include <algorithm>
 #include <vector>
 
+#include "util/check.h"
 #include "util/space_meter.h"
 
 namespace streamsc {
 
 ExactPairFinder::ExactPairFinder(PairFinderConfig config) : config_(config) {
-  assert(config_.passes >= 1);
+  STREAMSC_CHECK(config_.passes >= 1,
+                 "PairFinderConfig: at least one pass/chunk is required");
 }
 
 std::string ExactPairFinder::name() const {
@@ -23,6 +25,7 @@ PairFinderResult ExactPairFinder::Run(SetStream& stream) const {
 
   PairFinderResult result;
   SpaceMeter meter;
+  EngineContext ctx(stream, config_.engine);
 
   // Candidate pairs (i <= j) surviving all chunks seen so far. Seeded from
   // the first chunk instead of materializing all m² pairs.
@@ -37,22 +40,26 @@ PairFinderResult ExactPairFinder::Run(SetStream& stream) const {
     const std::size_t width = hi - lo;
     if (width == 0) continue;
 
-    // One pass: store all projections onto this chunk (m·n/p bits).
+    // One pass: store all projections onto this chunk (m·n/p bits). The
+    // per-item slice extraction is pure, so the pass shards when the
+    // stream can buffer it.
     std::vector<DynamicBitset> proj(m, DynamicBitset(width));
     std::vector<SetId> ids(m, kInvalidSetId);
-    StreamItem item;
     std::size_t pos = 0;
-    stream.BeginPass();
-    while (stream.Next(&item)) {
-      DynamicBitset slice(width);
-      for (std::size_t e = lo; e < hi; ++e) {
-        if (item.set.Test(e)) slice.Set(e - lo);
-      }
-      meter.Charge(slice.ByteSize() + sizeof(SetId), "projections");
-      proj[pos] = std::move(slice);
-      ids[pos] = item.id;
-      ++pos;
-    }
+    ctx.TransformPass<DynamicBitset>(
+        [&](const StreamItem& it) {
+          DynamicBitset slice(width);
+          for (std::size_t e = lo; e < hi; ++e) {
+            if (it.set.Test(e)) slice.Set(e - lo);
+          }
+          return slice;
+        },
+        [&](const StreamItem& it, DynamicBitset slice) {
+          meter.Charge(slice.ByteSize() + sizeof(SetId), "projections");
+          proj[pos] = std::move(slice);
+          ids[pos] = it.id;
+          ++pos;
+        });
 
     auto pair_covers_chunk = [&](std::size_t i, std::size_t j) {
       DynamicBitset u = proj[i];
@@ -61,11 +68,26 @@ PairFinderResult ExactPairFinder::Run(SetStream& stream) const {
     };
 
     if (!seeded) {
-      for (std::size_t i = 0; i < m && !aborted; ++i) {
-        for (std::size_t j = i; j < m; ++j) {
-          if (pair_covers_chunk(i, j)) {
-            candidates.emplace_back(static_cast<SetId>(i),
+      // Seeding: rows are scanned in parallel blocks (each row's hits are
+      // pure facts about the projections), then appended in row order so
+      // the candidate list — and the abort point when the cap trips — is
+      // exactly the sequential one.
+      constexpr std::size_t kRowBlock = 64;
+      for (std::size_t row0 = 0; row0 < m && !aborted; row0 += kRowBlock) {
+        const std::size_t rows = std::min(kRowBlock, m - row0);
+        std::vector<std::vector<std::pair<SetId, SetId>>> found(rows);
+        ctx.ParallelFor(rows, [&](std::size_t r) {
+          const std::size_t i = row0 + r;
+          for (std::size_t j = i; j < m; ++j) {
+            if (pair_covers_chunk(i, j)) {
+              found[r].emplace_back(static_cast<SetId>(i),
                                     static_cast<SetId>(j));
+            }
+          }
+        });
+        for (std::size_t r = 0; r < rows && !aborted; ++r) {
+          for (const auto& pair : found[r]) {
+            candidates.push_back(pair);
             if (candidates.size() > config_.max_candidates) {
               aborted = true;
               break;
@@ -76,10 +98,18 @@ PairFinderResult ExactPairFinder::Run(SetStream& stream) const {
       seeded = true;
       result.candidates_after_first_pass = candidates.size();
     } else {
+      // Survivor filter: per-candidate verdicts in parallel, compaction
+      // in order.
+      std::vector<char> keep(candidates.size(), 0);
+      ctx.ParallelFor(candidates.size(), [&](std::size_t c) {
+        keep[c] =
+            pair_covers_chunk(candidates[c].first, candidates[c].second) ? 1
+                                                                         : 0;
+      });
       std::vector<std::pair<SetId, SetId>> survivors;
       survivors.reserve(candidates.size());
-      for (const auto& [i, j] : candidates) {
-        if (pair_covers_chunk(i, j)) survivors.emplace_back(i, j);
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (keep[c]) survivors.push_back(candidates[c]);
       }
       candidates = std::move(survivors);
     }
@@ -114,6 +144,7 @@ PairFinderResult ExactPairFinder::Run(SetStream& stream) const {
   }
   result.passes = stream.passes() - passes_before;
   result.peak_space_bytes = meter.peak();
+  result.engine_stats = ctx.stats();
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "stream/engine_context.h"
 #include "stream/stream_algorithm.h"
 
 /// \file pair_finder.h
@@ -25,11 +26,19 @@ namespace streamsc {
 
 /// Configuration of the chunked exact pair finder.
 struct PairFinderConfig {
-  std::size_t passes = 4;  ///< Number of universe chunks / passes (p >= 1).
+  std::size_t passes = 4;  ///< Number of universe chunks / passes (p >= 1,
+                           ///< CHECK-enforced in every build mode).
   /// Safety cap on the candidate list retained between passes; runs abort
   /// (infeasible result) if exceeded. The candidate list is seeded by the
   /// first chunk rather than materializing all m² pairs.
   std::size_t max_candidates = 4'000'000;
+  /// If set, the projection-storing pass (when the stream's items stay
+  /// valid within a pass), the candidate seeding, and the survivor
+  /// filtering are sharded across the pool. Candidate order — and with it
+  /// the returned pair — is bit-identical for any thread count: parallel
+  /// phases only precompute per-row/per-candidate facts which are then
+  /// committed in the sequential order. Not owned.
+  ParallelPassEngine* engine = nullptr;
 };
 
 /// Outcome of a pair-finder run.
@@ -39,6 +48,7 @@ struct PairFinderResult {
   std::uint64_t passes = 0;
   Bytes peak_space_bytes = 0;
   std::uint64_t candidates_after_first_pass = 0;
+  EnginePassStats engine_stats;  ///< Deterministic pass counters.
 };
 
 /// Finds a 2-set cover exactly in `config.passes` passes.

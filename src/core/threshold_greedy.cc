@@ -1,9 +1,9 @@
 #include "core/threshold_greedy.h"
 
 #include <algorithm>
-#include <cassert>
 
-#include "stream/parallel_pass_engine.h"
+#include "stream/engine_context.h"
+#include "util/check.h"
 #include "util/space_meter.h"
 #include "util/stopwatch.h"
 
@@ -11,7 +11,9 @@ namespace streamsc {
 
 ThresholdGreedySetCover::ThresholdGreedySetCover(ThresholdGreedyConfig config)
     : config_(config) {
-  assert(config_.beta > 1.0);
+  STREAMSC_CHECK(config_.beta > 1.0,
+                 "ThresholdGreedyConfig: beta must be > 1 (the threshold "
+                 "must shrink every pass)");
 }
 
 std::string ThresholdGreedySetCover::name() const {
@@ -28,10 +30,8 @@ SetCoverRunResult ThresholdGreedySetCover::Run(SetStream& stream) {
   DynamicBitset uncovered = DynamicBitset::Full(n);
   meter.Charge(uncovered.ByteSize(), "uncovered");
   Solution solution;
-  StreamItem item;
 
-  const bool buffered =
-      config_.engine != nullptr && stream.ItemsRemainValid();
+  EngineContext ctx(stream, config_.engine);
   const auto take = [&](SetId id) {
     solution.chosen.push_back(id);
     meter.SetCategory(solution.size() * sizeof(SetId), "solution");
@@ -42,22 +42,7 @@ SetCoverRunResult ThresholdGreedySetCover::Run(SetStream& stream) {
   // current threshold, which emulates offline greedy within a factor β.
   double threshold = static_cast<double>(n);
   while (!uncovered.None()) {
-    const double effective = std::max(threshold, 1.0);
-    if (buffered) {
-      // Re-drained each pass: kRandomEachPass streams reorder between
-      // passes.
-      const std::vector<StreamItem> items = DrainPass(stream);
-      ThresholdScan(items, effective, uncovered, config_.engine, take);
-    } else {
-      stream.BeginPass();
-      while (stream.Next(&item)) {
-        const Count gain = item.set.CountAnd(uncovered);
-        if (gain > 0 && static_cast<double>(gain) >= effective) {
-          take(item.id);
-          item.set.AndNotInto(uncovered);
-        }
-      }
-    }
+    ctx.ThresholdPass(std::max(threshold, 1.0), uncovered, take);
     if (threshold <= 1.0) break;
     threshold /= config_.beta;
   }
@@ -67,6 +52,8 @@ SetCoverRunResult ThresholdGreedySetCover::Run(SetStream& stream) {
   result.stats.passes = stream.passes() - passes_before;
   result.stats.peak_space_bytes = meter.peak();
   result.stats.items_seen = result.stats.passes * stream.num_sets();
+  result.stats.sets_taken = ctx.stats().sets_taken;
+  result.stats.elements_covered = ctx.stats().elements_covered;
   result.stats.wall_seconds = timer.ElapsedSeconds();
   return result;
 }

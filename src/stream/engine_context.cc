@@ -1,0 +1,130 @@
+#include "stream/engine_context.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace streamsc {
+
+std::unique_ptr<ParallelPassEngine> MakeEngine(std::size_t num_threads) {
+  STREAMSC_CHECK(num_threads >= 1,
+                 "MakeEngine: thread count 0 is ambiguous — resolve "
+                 "hardware_concurrency() explicitly if you mean all cores");
+  if (num_threads == 1) return nullptr;
+  return std::make_unique<ParallelPassEngine>(num_threads);
+}
+
+void RequireSharded(const SetStream& stream,
+                    const ParallelPassEngine* engine) {
+  STREAMSC_CHECK(engine != nullptr,
+                 "RequireSharded: null engine where a sharded run is "
+                 "required — the run would silently fall back to the "
+                 "sequential scan");
+  STREAMSC_CHECK(stream.ItemsRemainValid(),
+                 "RequireSharded: the stream cannot buffer a pass "
+                 "(ItemsRemainValid() is false), so passes would run "
+                 "sequentially despite the engine");
+}
+
+void EngineContext::GainScanPass(
+    DynamicBitset& uncovered,
+    const std::function<void(const StreamItem&, Count, bool)>& visit) {
+  BeginCountedPass();
+  if (!sharded_) {
+    stream_.BeginPass();
+    StreamItem item;
+    while (stream_.Next(&item) && !uncovered.None()) {
+      const Count gain = item.set.CountAnd(uncovered);
+      if (gain > 0) visit(item, gain, /*bound_is_exact=*/true);
+    }
+    return;
+  }
+  // One copy of the chunked snapshot-filter + in-order-commit logic lives
+  // in GainFilteredScan (shared with the free-standing ThresholdScan).
+  const std::vector<StreamItem> items = DrainPass(stream_);
+  GainFilteredScan(items, uncovered, engine_, visit);
+}
+
+void EngineContext::ThresholdPass(double threshold, DynamicBitset& uncovered,
+                                  const std::function<void(SetId)>& on_take) {
+  GainScanPass(uncovered,
+               ThresholdTakeVisit(threshold, uncovered,
+                                  [&](SetId id, Count gain) {
+                                    on_take(id);
+                                    RecordTake(gain);
+                                  }));
+}
+
+void EngineContext::IndependentScanPass(
+    std::size_t num_lanes,
+    const std::function<void(std::size_t, const StreamItem&)>& visit) {
+  BeginCountedPass();
+  if (!sharded_ || engine_->num_threads() <= 1 || num_lanes < 2) {
+    stream_.BeginPass();
+    StreamItem item;
+    while (stream_.Next(&item)) {
+      for (std::size_t lane = 0; lane < num_lanes; ++lane) visit(lane, item);
+    }
+    return;
+  }
+  const std::vector<StreamItem> items = DrainPass(stream_);
+  engine_->ParallelFor(num_lanes, [&](std::size_t lane) {
+    for (const StreamItem& item : items) visit(lane, item);
+  });
+}
+
+void EngineContext::SubtractPass(std::vector<SetId> chosen,
+                                 DynamicBitset& uncovered) {
+  if (chosen.empty()) return;
+  std::sort(chosen.begin(), chosen.end());
+  BeginCountedPass();
+  const Count before = uncovered.CountSet();
+  stream_.BeginPass();
+  StreamItem item;
+  while (stream_.Next(&item) && !uncovered.None()) {
+    if (std::binary_search(chosen.begin(), chosen.end(), item.id)) {
+      item.set.AndNotInto(uncovered);
+    }
+  }
+  stats_.elements_covered += before - uncovered.CountSet();
+}
+
+void EngineContext::UnionPass(std::vector<SetId> chosen,
+                              DynamicBitset& covered) {
+  if (chosen.empty()) return;
+  std::sort(chosen.begin(), chosen.end());
+  BeginCountedPass();
+  stream_.BeginPass();
+  StreamItem item;
+  while (stream_.Next(&item)) {
+    if (std::binary_search(chosen.begin(), chosen.end(), item.id)) {
+      item.set.OrInto(covered);
+    }
+  }
+}
+
+void EngineContext::CoverResiduePass(
+    DynamicBitset& uncovered, const std::function<void(SetId)>& on_take) {
+  BeginCountedPass();
+  stream_.BeginPass();
+  StreamItem item;
+  while (stream_.Next(&item) && !uncovered.None()) {
+    if (item.set.Intersects(uncovered)) {
+      const Count gain = item.set.CountAnd(uncovered);
+      on_take(item.id);
+      item.set.AndNotInto(uncovered);
+      RecordTake(gain);
+    }
+  }
+}
+
+void EngineContext::ParallelFor(std::size_t count,
+                                const std::function<void(std::size_t)>& fn) {
+  if (engine_ == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  engine_->ParallelFor(count, fn);
+}
+
+}  // namespace streamsc

@@ -1,0 +1,209 @@
+#ifndef STREAMSC_STREAM_ENGINE_CONTEXT_H_
+#define STREAMSC_STREAM_ENGINE_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "stream/parallel_pass_engine.h"
+#include "stream/set_stream.h"
+#include "util/bitset.h"
+#include "util/common.h"
+
+/// \file engine_context.h
+/// EngineContext: the shared plumbing between a streaming solver and the
+/// ParallelPassEngine. Before it existed, every solver that wanted sharded
+/// passes hand-rolled the same four lines — "do I have an engine, can this
+/// stream buffer a pass, DrainPass or BeginPass/Next, ThresholdScan or the
+/// sequential loop" — so only the two solvers whose authors bothered
+/// (Assadi, threshold-greedy) ever ran in parallel. EngineContext owns
+/// that decision once, exposes the pass shapes every solver in core/ is
+/// built from, and counts the work it drives so runs can be compared
+/// across thread counts and stream sources.
+///
+/// Determinism contract (inherited from parallel_pass_engine.h and
+/// preserved by every primitive here): for a fixed stream order, results
+/// are **bit-identical** whether the context runs sequentially (null
+/// engine, or a stream that cannot buffer a pass) or sharded over any
+/// number of threads. Parallelism is only used where item work is
+/// independent (TransformPass, IndependentScanPass, ParallelFor) or where
+/// a snapshot phase is provably equivalent to the sequential loop
+/// (GainScanPass's monotone-gain filter + in-order commit).
+
+namespace streamsc {
+
+/// Deterministic counters of the work a context drove. Every field is part
+/// of the bit-identical contract: for a fixed stream order the values are
+/// the same for any thread count and any stream source (unlike wall time
+/// or peak RSS). The conformance matrix asserts exactly that.
+struct EnginePassStats {
+  std::uint64_t passes = 0;            ///< Stream passes driven.
+  std::uint64_t items_scanned = 0;     ///< Logical items: num_sets per pass.
+  std::uint64_t sets_taken = 0;        ///< Committed takes (incl. recorded
+                                       ///< offline sub-solver picks).
+  std::uint64_t elements_covered = 0;  ///< Sum of committed marginal gains.
+};
+
+/// Resolves a user-facing thread-count request: 1 yields a null engine
+/// (the sequential path has no pool to pay for), anything larger a pool of
+/// that size. CHECK-fails on 0 — "all cores" is a policy decision the
+/// caller must make explicitly (std::thread::hardware_concurrency()), not
+/// a default this helper guesses at.
+std::unique_ptr<ParallelPassEngine> MakeEngine(std::size_t num_threads);
+
+/// CHECK-fails unless \p engine is non-null and \p stream can buffer a
+/// pass — i.e. unless an EngineContext over the pair would actually shard.
+/// For harnesses that measure parallel speedups: a silent sequential
+/// fallback would report a 1.0x "speedup" instead of the configuration
+/// error it is.
+void RequireSharded(const SetStream& stream, const ParallelPassEngine* engine);
+
+/// A per-run binding of one stream and one (optional) engine, plus the
+/// deterministic pass primitives. Not thread-safe itself (one context per
+/// run); the engine may be shared across runs sequentially. Neither the
+/// stream nor the engine is owned; both must outlive the context.
+class EngineContext {
+ public:
+  /// \p engine may be null: every pass runs sequentially. A non-null
+  /// engine is used only when \p stream can buffer a pass
+  /// (ItemsRemainValid()); otherwise the context falls back to the
+  /// sequential scan — same results, by contract.
+  EngineContext(SetStream& stream, ParallelPassEngine* engine)
+      : stream_(stream),
+        engine_(engine),
+        sharded_(engine != nullptr && stream.ItemsRemainValid()) {}
+
+  EngineContext(const EngineContext&) = delete;
+  EngineContext& operator=(const EngineContext&) = delete;
+
+  SetStream& stream() { return stream_; }
+  ParallelPassEngine* engine() const { return engine_; }
+
+  /// True iff buffered passes will actually be sharded over a pool.
+  bool sharded() const { return sharded_; }
+
+  /// The counters accumulated so far.
+  const EnginePassStats& stats() const { return stats_; }
+
+  /// Records one committed take of \p gain newly covered elements.
+  /// The threshold/cleanup passes call this themselves; solvers call it
+  /// for takes the context cannot see (offline sub-solver picks, witness
+  /// closures).
+  void RecordTake(Count gain) { RecordTakes(1, gain); }
+
+  /// Bulk form of RecordTake.
+  void RecordTakes(std::uint64_t sets, std::uint64_t elements) {
+    stats_.sets_taken += sets;
+    stats_.elements_covered += elements;
+  }
+
+  /// One pruning-scan pass: sequentially equivalent to
+  ///
+  ///   for item in stream:                      # in stream order
+  ///     gain = |item.set & uncovered|
+  ///     if gain > 0 and gain >= threshold:
+  ///       on_take(item.id); uncovered \= item.set
+  ///
+  /// Sharded, gains are precomputed against chunk snapshots and committed
+  /// in order (see GainScanPass). Takes are counted automatically.
+  void ThresholdPass(double threshold, DynamicBitset& uncovered,
+                     const std::function<void(SetId)>& on_take);
+
+  /// The generic monotone-gain scan underneath every threshold-style
+  /// pass. Calls visit(item, gain_bound, bound_is_exact) in stream order
+  /// for every item whose bound is positive, where
+  ///
+  ///   * sequential: gain_bound == |item.set & uncovered| at the item's
+  ///     turn (bound_is_exact == true);
+  ///   * sharded: gain_bound is the gain against a chunk-start snapshot
+  ///     of `uncovered` (bound_is_exact == false). Because `uncovered`
+  ///     only shrinks within a pass, the bound never underestimates:
+  ///     current gain <= gain_bound always.
+  ///
+  /// visit may clear bits of `uncovered` (taking the item). For the
+  /// results to be thread-count-invariant, visit must (a) treat an
+  /// inexact bound as an upper bound — re-evaluate against `uncovered`
+  /// before acting on its magnitude — and (b) be a no-op whenever the
+  /// item's *current* gain is zero, since items whose snapshot gain is
+  /// positive but current gain is zero are visited in sharded mode only.
+  void GainScanPass(
+      DynamicBitset& uncovered,
+      const std::function<void(const StreamItem&, Count, bool)>& visit);
+
+  /// One pass mapping every item through \p transform (pure, called
+  /// concurrently when sharded) and handing the results to \p commit in
+  /// stream order. The projection-storing pass of the sampling solvers:
+  /// transform = project, commit = store + charge the meter.
+  template <typename T>
+  void TransformPass(const std::function<T(const StreamItem&)>& transform,
+                     const std::function<void(const StreamItem&, T)>& commit) {
+    BeginCountedPass();
+    if (!sharded_) {
+      stream_.BeginPass();
+      StreamItem item;
+      while (stream_.Next(&item)) commit(item, transform(item));
+      return;
+    }
+    const std::vector<StreamItem> items = DrainPass(stream_);
+    std::vector<T> out(items.size());
+    engine_->ParallelFor(items.size(),
+                         [&](std::size_t i) { out[i] = transform(items[i]); });
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      commit(items[i], std::move(out[i]));
+    }
+  }
+
+  /// One pass feeding every item to \p num_lanes independent state
+  /// machines: visit(lane, item) for every (lane, item) combination, with
+  /// items in stream order within each lane. Sequential the loop is
+  /// item-major; sharded it is lane-major with lanes in parallel, which
+  /// is equivalent exactly because lanes are independent — visit must
+  /// touch only lane-local state (it is called concurrently for distinct
+  /// lanes). The sieve-style algorithms' guess grids are lanes.
+  void IndependentScanPass(
+      std::size_t num_lanes,
+      const std::function<void(std::size_t, const StreamItem&)>& visit);
+
+  /// One pass subtracting the contents of the \p chosen sets (ids, any
+  /// order) from \p uncovered; newly covered elements are added to the
+  /// element counter. The "recover the full contents of OPT'" pass of the
+  /// sampling solvers.
+  void SubtractPass(std::vector<SetId> chosen, DynamicBitset& uncovered);
+
+  /// One pass OR-ing the contents of the \p chosen sets into \p covered
+  /// (which must be sized to the universe). The verification pass of the
+  /// max-coverage solvers.
+  void UnionPass(std::vector<SetId> chosen, DynamicBitset& covered);
+
+  /// One pass taking any set that still intersects \p uncovered, until it
+  /// empties — the feasibility-cleanup pass shared by the guess-driven
+  /// solvers. Takes are counted automatically.
+  void CoverResiduePass(DynamicBitset& uncovered,
+                        const std::function<void(SetId)>& on_take);
+
+  /// Index-parallel helper for pure per-index work on state the solver
+  /// owns (candidate filtering, row seeding). Uses the engine whenever one
+  /// is present — this does not touch the stream, so it shards even for
+  /// streams that cannot buffer a pass. \p fn must be safe to call
+  /// concurrently for distinct indices and must not depend on order.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  // Counts one logical pass (stats only; the stream's own pass counter
+  // advances via BeginPass/DrainPass inside the primitives).
+  void BeginCountedPass() {
+    ++stats_.passes;
+    stats_.items_scanned += stream_.num_sets();
+  }
+
+  SetStream& stream_;
+  ParallelPassEngine* engine_;
+  bool sharded_;
+  EnginePassStats stats_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_STREAM_ENGINE_CONTEXT_H_

@@ -93,41 +93,63 @@ std::vector<StreamItem> DrainPass(SetStream& stream) {
   return items;
 }
 
-void ThresholdScan(const std::vector<StreamItem>& items, double threshold,
-                   DynamicBitset& uncovered, ParallelPassEngine* engine,
-                   const std::function<void(SetId)>& on_take) {
-  const auto take_if_eligible = [&](const StreamItem& item) {
-    const Count gain = item.set.CountAnd(uncovered);
-    if (gain > 0 && static_cast<double>(gain) >= threshold) {
-      on_take(item.id);
-      item.set.AndNotInto(uncovered);
-    }
-  };
-
+void GainFilteredScan(
+    const std::vector<StreamItem>& items, DynamicBitset& uncovered,
+    ParallelPassEngine* engine,
+    const std::function<void(const StreamItem&, Count, bool)>& visit) {
   if (engine == nullptr || engine->num_threads() <= 1 || items.size() < 2) {
-    for (const StreamItem& item : items) take_if_eligible(item);
+    for (const StreamItem& item : items) {
+      if (uncovered.None()) return;
+      const Count gain = item.set.CountAnd(uncovered);
+      if (gain > 0) visit(item, gain, /*bound_is_exact=*/true);
+    }
     return;
   }
 
   // Chunked parallel filter + in-order commit. The chunk size only
-  // affects how stale the snapshot gains are, never the outcome.
+  // affects how stale the snapshot bounds are, never the outcome: bounds
+  // only shrink as earlier commits subtract from `uncovered`, so a zero
+  // bound is a proof of zero current gain, and survivors are handed to
+  // visit in stream order against the live state.
   const std::size_t chunk =
       std::max<std::size_t>(64, items.size() / (8 * engine->num_threads()));
-  std::vector<Count> gains(chunk);
+  std::vector<Count> bounds(chunk);
   for (std::size_t pos = 0; pos < items.size(); pos += chunk) {
+    if (uncovered.None()) return;
     const std::size_t width = std::min(chunk, items.size() - pos);
     engine->ParallelFor(width, [&](std::size_t k) {
-      gains[k] = items[pos + k].set.CountAnd(uncovered);
+      bounds[k] = items[pos + k].set.CountAnd(uncovered);
     });
     for (std::size_t k = 0; k < width; ++k) {
-      // Gains only shrink as earlier commits subtract from `uncovered`,
-      // so a below-threshold snapshot gain is a proof of ineligibility;
-      // survivors are re-evaluated against the current state, in order.
-      if (gains[k] > 0 && static_cast<double>(gains[k]) >= threshold) {
-        take_if_eligible(items[pos + k]);
+      if (bounds[k] > 0) {
+        visit(items[pos + k], bounds[k], /*bound_is_exact=*/false);
       }
     }
   }
+}
+
+std::function<void(const StreamItem&, Count, bool)> ThresholdTakeVisit(
+    double threshold, DynamicBitset& uncovered,
+    std::function<void(SetId, Count)> on_take) {
+  return [threshold, &uncovered, on_take = std::move(on_take)](
+             const StreamItem& item, Count bound, bool bound_is_exact) {
+    // A below-threshold bound is a proof of ineligibility; survivors are
+    // re-evaluated against the current state, in order.
+    if (static_cast<double>(bound) < threshold) return;
+    const Count gain = bound_is_exact ? bound : item.set.CountAnd(uncovered);
+    if (gain > 0 && static_cast<double>(gain) >= threshold) {
+      on_take(item.id, gain);
+      item.set.AndNotInto(uncovered);
+    }
+  };
+}
+
+void ThresholdScan(const std::vector<StreamItem>& items, double threshold,
+                   DynamicBitset& uncovered, ParallelPassEngine* engine,
+                   const std::function<void(SetId)>& on_take) {
+  GainFilteredScan(items, uncovered, engine,
+                   ThresholdTakeVisit(threshold, uncovered,
+                                      [&](SetId id, Count) { on_take(id); }));
 }
 
 }  // namespace streamsc

@@ -81,6 +81,33 @@ class ParallelPassEngine {
 /// borrow from the stream and stay valid until its next pass.
 std::vector<StreamItem> DrainPass(SetStream& stream);
 
+/// The monotone-gain filter core shared by ThresholdScan and
+/// EngineContext::GainScanPass — the one copy of the chunked
+/// snapshot-filter + in-order-commit logic. Calls
+/// visit(item, gain_bound, bound_is_exact) in stream order for every item
+/// whose bound is positive; sequentially (null/1-thread engine) the bound
+/// is the exact current gain, sharded it is a chunk-snapshot upper bound
+/// (`uncovered` only shrinks within a pass, and a zero bound proves zero
+/// current gain). visit may clear bits of `uncovered`; for thread-count-
+/// invariant results it must re-evaluate inexact bounds before acting on
+/// their magnitude and be a no-op at zero current gain. Stops early once
+/// `uncovered` is empty (every further visit would be such a no-op).
+void GainFilteredScan(
+    const std::vector<StreamItem>& items, DynamicBitset& uncovered,
+    ParallelPassEngine* engine,
+    const std::function<void(const StreamItem&, Count, bool)>& visit);
+
+/// Builds the threshold-take visit for GainFilteredScan — the one copy of
+/// the eligibility rule: a below-threshold bound is a proof of
+/// ineligibility (gains only shrink); survivors re-evaluate against the
+/// live `uncovered` and, when still eligible, are taken (on_take receives
+/// the exact committed gain) and subtracted. Shared by ThresholdScan and
+/// EngineContext::ThresholdPass. \p uncovered must outlive the returned
+/// callable.
+std::function<void(const StreamItem&, Count, bool)> ThresholdTakeVisit(
+    double threshold, DynamicBitset& uncovered,
+    std::function<void(SetId, Count)> on_take);
+
 /// The pruning-scan primitive shared by the threshold-style passes:
 /// sequentially equivalent to
 ///

@@ -15,11 +15,17 @@
 
 namespace streamsc {
 
-/// Per-run resource statistics.
+/// Per-run resource statistics. Everything except wall_seconds is
+/// deterministic: for a fixed stream order the values are bit-identical
+/// across thread counts and stream sources (the conformance matrix in
+/// tests/testing/solver_matrix.h pins this down for every solver).
 struct StreamRunStats {
   std::uint64_t passes = 0;       ///< Passes over the stream.
   Bytes peak_space_bytes = 0;     ///< Peak logical space (SpaceMeter).
   std::uint64_t items_seen = 0;   ///< Stream items consumed across passes.
+  std::uint64_t sets_taken = 0;   ///< Committed takes, incl. recorded
+                                  ///< offline sub-solver picks.
+  std::uint64_t elements_covered = 0;  ///< Sum of committed marginal gains.
   double wall_seconds = 0.0;      ///< Wall-clock time of the run.
 };
 

@@ -206,5 +206,16 @@ TEST(AssadiSetCoverTest, SamplingBoostIncreasesSpace) {
   EXPECT_LT(space_low, space_high);
 }
 
+// Config validation is CHECK-armed in every build mode (a release build
+// used to compile the old asserts out).
+TEST(AssadiDeathTest, RejectsDegenerateConfig) {
+  AssadiConfig zero_alpha;
+  zero_alpha.alpha = 0;
+  EXPECT_DEATH(AssadiSetCover{zero_alpha}, "alpha");
+  AssadiConfig zero_eps;
+  zero_eps.epsilon = 0.0;
+  EXPECT_DEATH(AssadiSetCover{zero_eps}, "epsilon");
+}
+
 }  // namespace
 }  // namespace streamsc

@@ -145,5 +145,11 @@ TEST(DemaineSetCoverTest, SingleFullSetInstance) {
   EXPECT_EQ(result.solution.size(), 1u);
 }
 
+TEST(DemaineDeathTest, RejectsAlphaBelowTwo) {
+  DemaineConfig config;
+  config.alpha = 1;
+  EXPECT_DEATH(DemaineSetCover{config}, "alpha");
+}
+
 }  // namespace
 }  // namespace streamsc

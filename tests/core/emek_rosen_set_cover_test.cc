@@ -131,5 +131,28 @@ TEST(EmekRosenTest, InfeasibleInstanceReportedHonestly) {
   EXPECT_FALSE(result.feasible);
 }
 
+// An explicit threshold above the universe size silently disables the
+// big-set rule (degrading O(sqrt n) to O(n) witness-only mode) — Run now
+// CHECK-rejects it in every build mode.
+TEST(EmekRosenDeathTest, RejectsThresholdAboveUniverse) {
+  SetSystem system(6);
+  system.AddSetFromIndices({0, 1, 2, 3, 4, 5});
+  VectorSetStream stream(system);
+  EmekRosenConfig config;
+  config.threshold = 7;
+  EmekRosenSetCover algorithm(config);
+  EXPECT_DEATH(algorithm.Run(stream), "threshold exceeds the universe");
+}
+
+TEST(EmekRosenTest, ThresholdEqualToUniverseIsAccepted) {
+  SetSystem system(6);
+  system.AddSetFromIndices({0, 1, 2, 3, 4, 5});
+  VectorSetStream stream(system);
+  EmekRosenConfig config;
+  config.threshold = 6;
+  const SetCoverRunResult result = EmekRosenSetCover(config).Run(stream);
+  EXPECT_TRUE(result.feasible);
+}
+
 }  // namespace
 }  // namespace streamsc

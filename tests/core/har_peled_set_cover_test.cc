@@ -101,5 +101,11 @@ TEST(HarPeledSetCoverTest, NameMentionsAlpha) {
   EXPECT_NE(algorithm.name().find("alpha=5"), std::string::npos);
 }
 
+TEST(HarPeledDeathTest, RejectsAlphaZero) {
+  HarPeledConfig config;
+  config.alpha = 0;
+  EXPECT_DEATH(HarPeledSetCover{config}, "alpha");
+}
+
 }  // namespace
 }  // namespace streamsc

@@ -150,5 +150,26 @@ TEST(SieveMcTest, CoverageNeverExceedsUniverse) {
   EXPECT_LE(result.coverage, 100u);
 }
 
+// Config validation is CHECK-armed in every build mode. The sieve case is
+// load-bearing: with the old release-stripped assert, epsilon = 0 froze
+// the (1+eps)^j guess grid and Run() looped forever.
+TEST(MaxCoverageDeathTest, SieveRejectsDegenerateEpsilon) {
+  SieveMcConfig zero;
+  zero.epsilon = 0.0;
+  EXPECT_DEATH(SieveMaxCoverage{zero}, "epsilon");
+  SieveMcConfig one;
+  one.epsilon = 1.0;
+  EXPECT_DEATH(SieveMaxCoverage{one}, "epsilon");
+}
+
+TEST(MaxCoverageDeathTest, ElementSamplingRejectsDegenerateEpsilon) {
+  ElementSamplingMcConfig zero;
+  zero.epsilon = 0.0;
+  EXPECT_DEATH(ElementSamplingMaxCoverage{zero}, "epsilon");
+  ElementSamplingMcConfig negative;
+  negative.epsilon = -0.5;
+  EXPECT_DEATH(ElementSamplingMaxCoverage{negative}, "epsilon");
+}
+
 }  // namespace
 }  // namespace streamsc

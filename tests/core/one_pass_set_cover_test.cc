@@ -80,5 +80,14 @@ TEST(OnePassSetCoverTest, SpaceIsUncoveredBitsetPlusSolution) {
   EXPECT_LE(result.stats.peak_space_bytes, n / 8 + 64 * sizeof(SetId) + 64);
 }
 
+TEST(OnePassDeathTest, RejectsGainFractionOutsideUnitInterval) {
+  OnePassConfig negative;
+  negative.min_gain_fraction = -0.25;
+  EXPECT_DEATH(OnePassSetCover{negative}, "min_gain_fraction");
+  OnePassConfig above_one;
+  above_one.min_gain_fraction = 1.5;  // no gain can ever satisfy it
+  EXPECT_DEATH(OnePassSetCover{above_one}, "min_gain_fraction");
+}
+
 }  // namespace
 }  // namespace streamsc

@@ -128,5 +128,11 @@ TEST(PairFinderTest, CandidateCapAborts) {
   EXPECT_FALSE(result.found);  // aborted, reported as not found
 }
 
+TEST(PairFinderDeathTest, RejectsZeroPasses) {
+  PairFinderConfig config;
+  config.passes = 0;
+  EXPECT_DEATH(ExactPairFinder{config}, "at least one pass");
+}
+
 }  // namespace
 }  // namespace streamsc

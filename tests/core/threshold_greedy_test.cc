@@ -90,5 +90,11 @@ TEST(ThresholdGreedyTest, StopsEarlyWhenCovered) {
   EXPECT_LE(result.stats.passes, 2u);
 }
 
+TEST(ThresholdGreedyDeathTest, RejectsNonShrinkingBeta) {
+  ThresholdGreedyConfig config;
+  config.beta = 1.0;  // threshold would never shrink: infinite passes
+  EXPECT_DEATH(ThresholdGreedySetCover{config}, "beta");
+}
+
 }  // namespace
 }  // namespace streamsc

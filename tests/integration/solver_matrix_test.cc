@@ -1,0 +1,194 @@
+// The cross-algorithm conformance matrix (see testing/solver_matrix.h):
+// every streaming solver in core/ must produce byte-identical solutions,
+// covers, and deterministic stats across {VectorSetStream, FileSetStream,
+// MmapSetStream} x {no engine, 1, 2, 8 threads}. One parameterized
+// harness instead of per-algorithm ad-hoc determinism spot checks — a
+// solver that cannot run through this matrix green has no business
+// accepting an engine.
+
+#include <gtest/gtest.h>
+
+#include "core/assadi_set_cover.h"
+#include "core/demaine_set_cover.h"
+#include "core/emek_rosen_set_cover.h"
+#include "core/har_peled_set_cover.h"
+#include "core/max_coverage.h"
+#include "core/one_pass_set_cover.h"
+#include "core/pair_finder.h"
+#include "core/threshold_greedy.h"
+#include "instance/generators.h"
+#include "testing/solver_matrix.h"
+#include "util/random.h"
+
+namespace streamsc {
+namespace {
+
+using testing::RunConformanceMatrix;
+using testing::SolverOutcome;
+using testing::ToOutcome;
+
+// A mixed-density instance: sparse planted blocks plus a dense
+// every-other-element set, so the matrix exercises both payload
+// representations on every source (text files always stream dense; the
+// hybrid and mmap stores sparsify below the density threshold).
+SetSystem MatrixInstance(std::size_t n, std::size_t m, std::size_t opt,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  SetSystem system = PlantedCoverInstance(n, m, opt, rng);
+  std::vector<ElementId> half;
+  for (ElementId e = 0; e < n; e += 2) half.push_back(e);
+  system.AddSetFromIndices(half);
+  return system;
+}
+
+// An instance whose optimum is a planted *pair*, for the exact pair
+// finder: two sets split the universe; decoys miss at least one element.
+SetSystem PairInstance(std::size_t n, std::size_t decoys,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  SetSystem system(n);
+  std::vector<ElementId> low, high;
+  for (ElementId e = 0; e < n; ++e) {
+    (e < n / 2 ? low : high).push_back(e);
+  }
+  system.AddSetFromIndices(low);
+  system.AddSetFromIndices(high);
+  for (std::size_t d = 0; d < decoys; ++d) {
+    std::vector<ElementId> members;
+    for (ElementId e = 1; e < n; ++e) {  // every decoy misses element 0
+      if (rng.Bernoulli(0.4)) members.push_back(e);
+    }
+    system.AddSetFromIndices(members);
+  }
+  return system;
+}
+
+TEST(SolverMatrixTest, Assadi) {
+  const SetSystem system = MatrixInstance(320, 28, 4, 7);
+  RunConformanceMatrix(system, [](SetStream& stream,
+                                  ParallelPassEngine* engine) {
+    AssadiConfig config;
+    config.alpha = 2;
+    config.epsilon = 0.5;
+    config.seed = 11;
+    config.engine = engine;
+    return ToOutcome(AssadiSetCover(config).Run(stream));
+  });
+}
+
+TEST(SolverMatrixTest, HarPeled) {
+  const SetSystem system = MatrixInstance(320, 28, 4, 8);
+  RunConformanceMatrix(system, [](SetStream& stream,
+                                  ParallelPassEngine* engine) {
+    HarPeledConfig config;
+    config.alpha = 2;
+    config.seed = 13;
+    config.engine = engine;
+    return ToOutcome(HarPeledSetCover(config).Run(stream));
+  });
+}
+
+TEST(SolverMatrixTest, Demaine) {
+  const SetSystem system = MatrixInstance(320, 28, 4, 9);
+  RunConformanceMatrix(system, [](SetStream& stream,
+                                  ParallelPassEngine* engine) {
+    DemaineConfig config;
+    config.alpha = 4;
+    config.seed = 17;
+    config.engine = engine;
+    return ToOutcome(DemaineSetCover(config).Run(stream));
+  });
+}
+
+TEST(SolverMatrixTest, EmekRosen) {
+  const SetSystem system = MatrixInstance(320, 28, 4, 10);
+  RunConformanceMatrix(system, [](SetStream& stream,
+                                  ParallelPassEngine* engine) {
+    EmekRosenConfig config;
+    config.engine = engine;
+    return ToOutcome(EmekRosenSetCover(config).Run(stream));
+  });
+}
+
+TEST(SolverMatrixTest, OnePass) {
+  const SetSystem system = MatrixInstance(320, 28, 4, 11);
+  RunConformanceMatrix(system, [](SetStream& stream,
+                                  ParallelPassEngine* engine) {
+    OnePassConfig config;
+    config.min_gain_fraction = 0.05;
+    config.engine = engine;
+    return ToOutcome(OnePassSetCover(config).Run(stream));
+  });
+}
+
+TEST(SolverMatrixTest, ThresholdGreedy) {
+  const SetSystem system = MatrixInstance(320, 28, 4, 12);
+  RunConformanceMatrix(system, [](SetStream& stream,
+                                  ParallelPassEngine* engine) {
+    ThresholdGreedyConfig config;
+    config.engine = engine;
+    return ToOutcome(ThresholdGreedySetCover(config).Run(stream));
+  });
+}
+
+TEST(SolverMatrixTest, ElementSamplingMaxCoverage) {
+  const SetSystem system = MatrixInstance(320, 28, 4, 13);
+  RunConformanceMatrix(system, [](SetStream& stream,
+                                  ParallelPassEngine* engine) {
+    ElementSamplingMcConfig config;
+    config.seed = 19;
+    config.engine = engine;
+    return ToOutcome(ElementSamplingMaxCoverage(config).Run(stream, 3));
+  });
+}
+
+TEST(SolverMatrixTest, SieveMaxCoverage) {
+  const SetSystem system = MatrixInstance(320, 28, 4, 14);
+  RunConformanceMatrix(system, [](SetStream& stream,
+                                  ParallelPassEngine* engine) {
+    SieveMcConfig config;
+    config.engine = engine;
+    return ToOutcome(SieveMaxCoverage(config).Run(stream, 3));
+  });
+}
+
+TEST(SolverMatrixTest, ExactPairFinder) {
+  const SetSystem system = PairInstance(256, 20, 15);
+  RunConformanceMatrix(system, [](SetStream& stream,
+                                  ParallelPassEngine* engine) {
+    PairFinderConfig config;
+    config.passes = 4;
+    config.engine = engine;
+    return ToOutcome(ExactPairFinder(config).Run(stream));
+  });
+}
+
+// The matrix must also hold when the solver's stream order is a fixed
+// random permutation (the paper's random-arrival model): VectorSetStream
+// cells use kRandomOnce here, so this variant runs memory-only across
+// thread counts (file/mmap sources always stream in id order).
+TEST(SolverMatrixTest, ThresholdGreedyRandomArrivalAcrossThreads) {
+  const SetSystem system = MatrixInstance(320, 28, 4, 16);
+
+  const auto solve = [&](ParallelPassEngine* engine) {
+    Rng order_rng(99);
+    VectorSetStream stream(system, StreamOrder::kRandomOnce, &order_rng);
+    ThresholdGreedyConfig config;
+    config.engine = engine;
+    return ToOutcome(ThresholdGreedySetCover(config).Run(stream));
+  };
+
+  const SolverOutcome baseline = solve(nullptr);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ParallelPassEngine engine(threads);
+    const SolverOutcome outcome = solve(&engine);
+    EXPECT_EQ(outcome.chosen, baseline.chosen);
+    EXPECT_EQ(outcome.passes, baseline.passes);
+    EXPECT_EQ(outcome.sets_taken, baseline.sets_taken);
+    EXPECT_EQ(outcome.elements_covered, baseline.elements_covered);
+  }
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,284 @@
+#include "stream/engine_context.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "instance/generators.h"
+#include "stream/set_stream.h"
+#include "util/random.h"
+
+namespace streamsc {
+namespace {
+
+// A stream that serves valid items but forbids buffering — the shape of
+// FileSetStream, without needing a file on disk.
+class UnbufferableStream : public VectorSetStream {
+ public:
+  using VectorSetStream::VectorSetStream;
+  bool ItemsRemainValid() const override { return false; }
+};
+
+SetSystem SmallSystem(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return UniformRandomInstance(300, 40, 24, rng);
+}
+
+// --- Engine-misuse death tests. ----------------------------------------
+
+TEST(EngineContextDeathTest, MakeEngineRejectsThreadCountZero) {
+  EXPECT_DEATH(MakeEngine(0), "thread count 0");
+}
+
+TEST(EngineContextDeathTest, RequireShardedRejectsNullEngine) {
+  const SetSystem system = SmallSystem();
+  VectorSetStream stream(system);
+  EXPECT_DEATH(RequireSharded(stream, nullptr), "null engine");
+}
+
+TEST(EngineContextDeathTest, RequireShardedRejectsUnbufferableStream) {
+  const SetSystem system = SmallSystem();
+  UnbufferableStream stream(system);
+  // A 1-thread engine spawns no workers, keeping the death-test fork
+  // single-threaded.
+  ParallelPassEngine engine(1);
+  EXPECT_DEATH(RequireSharded(stream, &engine), "cannot buffer a pass");
+}
+
+TEST(EngineContextDeathTest, DrainPassRejectsUnbufferableStream) {
+  const SetSystem system = SmallSystem();
+  UnbufferableStream stream(system);
+  EXPECT_DEATH(DrainPass(stream), "invalidates items");
+}
+
+// --- MakeEngine semantics. ---------------------------------------------
+
+TEST(EngineContextTest, MakeEngineOneThreadIsTheSequentialPath) {
+  EXPECT_EQ(MakeEngine(1), nullptr);
+  const std::unique_ptr<ParallelPassEngine> engine = MakeEngine(3);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->num_threads(), 3u);
+}
+
+TEST(EngineContextTest, RequireShardedAcceptsShardedPair) {
+  const SetSystem system = SmallSystem();
+  VectorSetStream stream(system);
+  ParallelPassEngine engine(2);
+  RequireSharded(stream, &engine);  // must not die
+}
+
+// --- Sharding decision. ------------------------------------------------
+
+TEST(EngineContextTest, ShardsOnlyWithEngineAndBufferableStream) {
+  const SetSystem system = SmallSystem();
+  VectorSetStream memory(system);
+  UnbufferableStream unbufferable(system);
+  ParallelPassEngine engine(2);
+
+  EXPECT_FALSE(EngineContext(memory, nullptr).sharded());
+  EXPECT_TRUE(EngineContext(memory, &engine).sharded());
+  EXPECT_FALSE(EngineContext(unbufferable, &engine).sharded());
+  EXPECT_FALSE(EngineContext(unbufferable, nullptr).sharded());
+}
+
+// --- Determinism of the primitives across thread counts. ---------------
+
+TEST(EngineContextTest, ThresholdPassMatchesSequentialForAnyThreadCount) {
+  const SetSystem system = SmallSystem(3);
+
+  VectorSetStream baseline_stream(system);
+  EngineContext baseline_ctx(baseline_stream, nullptr);
+  DynamicBitset baseline_uncovered = DynamicBitset::Full(300);
+  std::vector<SetId> baseline_taken;
+  baseline_ctx.ThresholdPass(10.0, baseline_uncovered, [&](SetId id) {
+    baseline_taken.push_back(id);
+  });
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ParallelPassEngine engine(threads);
+    VectorSetStream stream(system);
+    EngineContext ctx(stream, &engine);
+    DynamicBitset uncovered = DynamicBitset::Full(300);
+    std::vector<SetId> taken;
+    ctx.ThresholdPass(10.0, uncovered,
+                      [&](SetId id) { taken.push_back(id); });
+    EXPECT_EQ(taken, baseline_taken);
+    EXPECT_EQ(uncovered, baseline_uncovered);
+    EXPECT_EQ(ctx.stats().sets_taken, baseline_ctx.stats().sets_taken);
+    EXPECT_EQ(ctx.stats().elements_covered,
+              baseline_ctx.stats().elements_covered);
+  }
+}
+
+TEST(EngineContextTest, GainScanPassBoundsAreUpperBoundsVisitedInOrder) {
+  const SetSystem system = SmallSystem(4);
+  ParallelPassEngine engine(4);
+  VectorSetStream stream(system);
+  EngineContext ctx(stream, &engine);
+  ASSERT_TRUE(ctx.sharded());
+
+  DynamicBitset uncovered = DynamicBitset::Full(300);
+  SetId last_id = 0;
+  bool first = true;
+  ctx.GainScanPass(uncovered, [&](const StreamItem& item, Count bound,
+                                  bool bound_is_exact) {
+    // Stream order: ids strictly increase for an adversarial-order
+    // VectorSetStream.
+    if (!first) {
+      EXPECT_GT(item.id, last_id);
+    }
+    first = false;
+    last_id = item.id;
+    const Count exact = item.set.CountAnd(uncovered);
+    EXPECT_GE(bound, exact);
+    if (bound_is_exact) {
+      EXPECT_EQ(bound, exact);
+    }
+    // Emulate a taker to make later bounds stale.
+    item.set.AndNotInto(uncovered);
+  });
+  EXPECT_FALSE(first) << "visit never called";
+}
+
+TEST(EngineContextTest, TransformPassCommitsInStreamOrder) {
+  const SetSystem system = SmallSystem(5);
+
+  const auto run = [&](ParallelPassEngine* engine) {
+    VectorSetStream stream(system);
+    EngineContext ctx(stream, engine);
+    std::vector<std::pair<SetId, Count>> committed;
+    ctx.TransformPass<Count>(
+        [](const StreamItem& item) { return item.set.CountSet(); },
+        [&](const StreamItem& item, Count size) {
+          committed.emplace_back(item.id, size);
+        });
+    return committed;
+  };
+
+  const auto baseline = run(nullptr);
+  ASSERT_EQ(baseline.size(), system.num_sets());
+  for (const std::size_t threads : {2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ParallelPassEngine engine(threads);
+    EXPECT_EQ(run(&engine), baseline);
+  }
+}
+
+TEST(EngineContextTest, IndependentScanPassLanesMatchSequential) {
+  const SetSystem system = SmallSystem(6);
+  constexpr std::size_t kLanes = 7;
+
+  const auto run = [&](ParallelPassEngine* engine) {
+    VectorSetStream stream(system);
+    EngineContext ctx(stream, engine);
+    // Lane l accumulates an order-sensitive checksum of the items it saw.
+    std::vector<std::uint64_t> checksum(kLanes, 0);
+    ctx.IndependentScanPass(kLanes, [&](std::size_t lane,
+                                        const StreamItem& item) {
+      checksum[lane] = checksum[lane] * 1000003 + item.id + lane;
+    });
+    return checksum;
+  };
+
+  const auto baseline = run(nullptr);
+  for (const std::size_t threads : {2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ParallelPassEngine engine(threads);
+    EXPECT_EQ(run(&engine), baseline);
+  }
+}
+
+TEST(EngineContextTest, SubtractPassClearsExactlyTheChosenSets) {
+  const SetSystem system = SmallSystem(7);
+  VectorSetStream stream(system);
+  EngineContext ctx(stream, nullptr);
+
+  const std::vector<SetId> chosen = {5, 2, 17};  // unsorted on purpose
+  DynamicBitset uncovered = DynamicBitset::Full(300);
+  ctx.SubtractPass(chosen, uncovered);
+
+  DynamicBitset expected = DynamicBitset::Full(300);
+  for (SetId id : chosen) system.set(id).AndNotInto(expected);
+  EXPECT_EQ(uncovered, expected);
+  EXPECT_EQ(ctx.stats().passes, 1u);
+  EXPECT_EQ(ctx.stats().elements_covered,
+            300u - expected.CountSet());
+  // An empty subtraction costs no pass.
+  ctx.SubtractPass({}, uncovered);
+  EXPECT_EQ(ctx.stats().passes, 1u);
+}
+
+TEST(EngineContextTest, UnionPassCollectsExactlyTheChosenSets) {
+  const SetSystem system = SmallSystem(8);
+  VectorSetStream stream(system);
+  EngineContext ctx(stream, nullptr);
+
+  const std::vector<SetId> chosen = {9, 1};
+  DynamicBitset covered(300);
+  ctx.UnionPass(chosen, covered);
+
+  DynamicBitset expected(300);
+  for (SetId id : chosen) system.set(id).OrInto(expected);
+  EXPECT_EQ(covered, expected);
+}
+
+TEST(EngineContextTest, CoverResiduePassTakesUntilEmpty) {
+  Rng rng(9);
+  const SetSystem system = PlantedCoverInstance(128, 12, 4, rng);
+  VectorSetStream stream(system);
+  EngineContext ctx(stream, nullptr);
+
+  DynamicBitset uncovered = DynamicBitset::Full(128);
+  std::vector<SetId> taken;
+  ctx.CoverResiduePass(uncovered,
+                       [&](SetId id) { taken.push_back(id); });
+  EXPECT_TRUE(uncovered.None());
+  EXPECT_FALSE(taken.empty());
+  EXPECT_EQ(ctx.stats().sets_taken, taken.size());
+  EXPECT_EQ(ctx.stats().elements_covered, 128u);
+}
+
+TEST(EngineContextTest, ParallelForRunsWithoutStreamBuffering) {
+  const SetSystem system = SmallSystem(10);
+  UnbufferableStream stream(system);  // cannot buffer a pass...
+  ParallelPassEngine engine(4);
+  EngineContext ctx(stream, &engine);
+  ASSERT_FALSE(ctx.sharded());
+
+  // ...but index-parallel work on solver-owned state still shards.
+  std::vector<int> hits(1000, 0);
+  ctx.ParallelFor(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST(EngineContextTest, CountersAreThreadCountInvariant) {
+  const SetSystem system = SmallSystem(11);
+
+  const auto run = [&](ParallelPassEngine* engine) {
+    VectorSetStream stream(system);
+    EngineContext ctx(stream, engine);
+    DynamicBitset uncovered = DynamicBitset::Full(300);
+    ctx.ThresholdPass(8.0, uncovered, [](SetId) {});
+    ctx.ThresholdPass(1.0, uncovered, [](SetId) {});
+    return ctx.stats();
+  };
+
+  const EnginePassStats baseline = run(nullptr);
+  EXPECT_EQ(baseline.passes, 2u);
+  EXPECT_EQ(baseline.items_scanned, 2 * system.num_sets());
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ParallelPassEngine engine(threads);
+    const EnginePassStats stats = run(&engine);
+    EXPECT_EQ(stats.passes, baseline.passes);
+    EXPECT_EQ(stats.items_scanned, baseline.items_scanned);
+    EXPECT_EQ(stats.sets_taken, baseline.sets_taken);
+    EXPECT_EQ(stats.elements_covered, baseline.elements_covered);
+  }
+}
+
+}  // namespace
+}  // namespace streamsc

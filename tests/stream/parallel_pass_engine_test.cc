@@ -5,9 +5,7 @@
 #include <atomic>
 #include <vector>
 
-#include "core/assadi_set_cover.h"
 #include "core/sampling.h"
-#include "core/threshold_greedy.h"
 #include "instance/generators.h"
 #include "stream/set_stream.h"
 #include "util/random.h"
@@ -116,54 +114,10 @@ TEST(ParallelPassEngineTest, ProjectAllMatchesSequentialForAnyThreadCount) {
   }
 }
 
-// End-to-end: the full Assadi driver returns the same solution with no
-// engine and with engines of 1, 2, and 8 threads.
-TEST(ParallelPassEngineTest, AssadiSolutionsIdenticalAcrossThreadCounts) {
-  Rng rng(9);
-  const SetSystem system = PlantedCoverInstance(512, 48, 6, rng);
-
-  AssadiConfig config;
-  config.alpha = 2;
-  config.epsilon = 0.5;
-  config.seed = 11;
-  VectorSetStream baseline_stream(system);
-  const SetCoverRunResult baseline =
-      AssadiSetCover(config).Run(baseline_stream);
-  ASSERT_TRUE(baseline.feasible);
-
-  for (const std::size_t threads : {1u, 2u, 8u}) {
-    ParallelPassEngine engine(threads);
-    AssadiConfig parallel_config = config;
-    parallel_config.engine = &engine;
-    VectorSetStream stream(system);
-    const SetCoverRunResult result =
-        AssadiSetCover(parallel_config).Run(stream);
-    EXPECT_TRUE(result.feasible);
-    EXPECT_EQ(result.solution.chosen, baseline.solution.chosen)
-        << "threads=" << threads;
-    EXPECT_EQ(result.stats.passes, baseline.stats.passes);
-  }
-}
-
-TEST(ParallelPassEngineTest, ThresholdGreedySolutionsIdenticalAcrossThreads) {
-  Rng rng(13);
-  const SetSystem system = UniformRandomInstance(300, 40, 20, rng);
-  VectorSetStream baseline_stream(system);
-  const SetCoverRunResult baseline =
-      ThresholdGreedySetCover().Run(baseline_stream);
-
-  for (const std::size_t threads : {1u, 2u, 8u}) {
-    ParallelPassEngine engine(threads);
-    ThresholdGreedyConfig config;
-    config.engine = &engine;
-    VectorSetStream stream(system);
-    const SetCoverRunResult result = ThresholdGreedySetCover(config).Run(stream);
-    EXPECT_EQ(result.feasible, baseline.feasible);
-    EXPECT_EQ(result.solution.chosen, baseline.solution.chosen)
-        << "threads=" << threads;
-    EXPECT_EQ(result.stats.passes, baseline.stats.passes);
-  }
-}
+// End-to-end solver determinism (formerly spot-checked here for Assadi
+// and threshold-greedy) now lives in the cross-algorithm conformance
+// matrix: tests/integration/solver_matrix_test.cc runs *every* solver
+// across {memory, file, mmap} sources x {none, 1, 2, 8} threads.
 
 }  // namespace
 }  // namespace streamsc

@@ -1,0 +1,185 @@
+#ifndef STREAMSC_TESTS_TESTING_SOLVER_MATRIX_H_
+#define STREAMSC_TESTS_TESTING_SOLVER_MATRIX_H_
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pair_finder.h"
+#include "instance/serialization.h"
+#include "instance/set_system.h"
+#include "storage/binary_instance_writer.h"
+#include "storage/mmap_set_stream.h"
+#include "stream/engine_context.h"
+#include "stream/set_stream.h"
+#include "stream/stream_adapters.h"
+#include "stream/stream_algorithm.h"
+#include "testing/scoped_temp_dir.h"
+#include "util/bitset.h"
+
+/// \file solver_matrix.h
+/// The cross-algorithm conformance matrix: one harness that proves, for
+/// any streaming solver, the determinism contract the ParallelPassEngine
+/// promises — **byte-identical solutions, covers, and deterministic stats**
+/// across every combination of
+///
+///   stream source x engine:  {VectorSetStream, FileSetStream,
+///                             MmapSetStream} x {none, 1, 2, 8 threads}.
+///
+/// The FileSetStream column is deliberately included even though it can
+/// never shard (ItemsRemainValid() is false): it proves the buffered
+/// engine path and the one-set-at-a-time sequential path compute the same
+/// thing, which is exactly the fallback equivalence solvers rely on.
+/// Peak space is asserted thread-count-invariant *within* a stream source
+/// only — sources legitimately serve different representations (a text
+/// file is always dense, the hybrid/mmap stores sparsify), so stored
+/// projections differ in bytes while remaining equal as sets.
+///
+/// This replaces the per-algorithm ad-hoc determinism checks that used to
+/// live in the engine and mmap test suites: a solver is conformant iff its
+/// adapter runs through RunConformanceMatrix green.
+
+namespace streamsc {
+namespace testing {
+
+/// The observable outcome of one solver run, reduced to the fields the
+/// determinism contract covers. wall_seconds and other scheduling-
+/// dependent measurements are intentionally absent.
+struct SolverOutcome {
+  std::vector<SetId> chosen;           ///< Solution ids, in take order.
+  bool feasible = false;               ///< Solver-reported success bit.
+  std::uint64_t passes = 0;
+  std::uint64_t items_seen = 0;
+  std::uint64_t sets_taken = 0;        ///< Deterministic take counter.
+  std::uint64_t elements_covered = 0;  ///< Deterministic gain counter.
+  Bytes peak_space_bytes = 0;          ///< Compared within a source only.
+  std::uint64_t extra = 0;             ///< Solver-specific deterministic
+                                       ///< scalar (coverage, candidates…).
+};
+
+/// Adapters from the three run-result shapes to the canonical outcome.
+inline SolverOutcome ToOutcome(const SetCoverRunResult& r) {
+  SolverOutcome out;
+  out.chosen = r.solution.chosen;
+  out.feasible = r.feasible;
+  out.passes = r.stats.passes;
+  out.items_seen = r.stats.items_seen;
+  out.sets_taken = r.stats.sets_taken;
+  out.elements_covered = r.stats.elements_covered;
+  out.peak_space_bytes = r.stats.peak_space_bytes;
+  return out;
+}
+
+inline SolverOutcome ToOutcome(const MaxCoverageRunResult& r) {
+  SolverOutcome out;
+  out.chosen = r.solution.chosen;
+  out.feasible = !r.solution.chosen.empty();
+  out.passes = r.stats.passes;
+  out.items_seen = r.stats.items_seen;
+  out.sets_taken = r.stats.sets_taken;
+  out.elements_covered = r.stats.elements_covered;
+  out.peak_space_bytes = r.stats.peak_space_bytes;
+  out.extra = r.coverage;
+  return out;
+}
+
+inline SolverOutcome ToOutcome(const PairFinderResult& r) {
+  SolverOutcome out;
+  out.chosen = r.solution.chosen;
+  out.feasible = r.found;
+  out.passes = r.passes;
+  out.items_seen = r.engine_stats.items_scanned;
+  out.sets_taken = r.engine_stats.sets_taken;
+  out.elements_covered = r.engine_stats.elements_covered;
+  out.peak_space_bytes = r.peak_space_bytes;
+  out.extra = r.candidates_after_first_pass;
+  return out;
+}
+
+/// A solver under test: run once over the given stream, with the given
+/// engine (may be null), and report the canonical outcome. The adapter
+/// must construct a fresh solver per call — the harness calls it once per
+/// matrix cell.
+using SolverFn = std::function<SolverOutcome(SetStream&, ParallelPassEngine*)>;
+
+/// The cover (as a full-universe bitset) achieved by \p chosen on
+/// \p system.
+inline DynamicBitset CoverOf(const SetSystem& system,
+                             const std::vector<SetId>& chosen) {
+  DynamicBitset covered(system.universe_size());
+  for (SetId id : chosen) system.set(id).OrInto(covered);
+  return covered;
+}
+
+/// Runs \p solve across the full {memory, file, mmap} x {none, 1, 2, 8
+/// threads} matrix on \p system and asserts every cell reproduces the
+/// engine-less in-memory baseline byte for byte.
+inline void RunConformanceMatrix(const SetSystem& system,
+                                 const SolverFn& solve) {
+  ScopedTempDir dir;
+  const std::string text_path = dir.FilePath("matrix.ssc");
+  const std::string binary_path = dir.FilePath("matrix.sscb1");
+  ASSERT_TRUE(SaveSetSystem(system, text_path).ok());
+  ASSERT_TRUE(BinaryInstanceWriter::WriteSystem(system, binary_path).ok());
+
+  // Baseline: in-memory stream, no engine — the plain sequential solver.
+  VectorSetStream baseline_stream(system);
+  const SolverOutcome baseline = solve(baseline_stream, nullptr);
+  const DynamicBitset baseline_cover = CoverOf(system, baseline.chosen);
+  // A degenerate baseline (nothing chosen, solver reporting failure)
+  // would make every identity below pass vacuously; the matrix instances
+  // are chosen so each solver genuinely succeeds.
+  EXPECT_TRUE(baseline.feasible) << "baseline run failed";
+  EXPECT_FALSE(baseline.chosen.empty()) << "baseline chose nothing";
+
+  const char* const kSourceNames[] = {"memory", "file", "mmap"};
+  // 0 encodes "no engine"; otherwise a pool of that many threads.
+  const std::size_t kThreadCells[] = {0, 1, 2, 8};
+
+  for (int source = 0; source < 3; ++source) {
+    std::optional<Bytes> source_space;  // thread-invariant within a source
+    for (const std::size_t threads : kThreadCells) {
+      SCOPED_TRACE(std::string("source=") + kSourceNames[source] +
+                   " threads=" + (threads == 0 ? "none"
+                                               : std::to_string(threads)));
+      std::optional<ParallelPassEngine> engine;
+      if (threads > 0) engine.emplace(threads);
+
+      SolverOutcome outcome;
+      if (source == 0) {
+        VectorSetStream stream(system);
+        outcome = solve(stream, engine ? &*engine : nullptr);
+      } else if (source == 1) {
+        FileSetStream stream(text_path);
+        ASSERT_TRUE(stream.status().ok()) << stream.status().ToString();
+        outcome = solve(stream, engine ? &*engine : nullptr);
+      } else {
+        MmapSetStream stream(binary_path);
+        ASSERT_TRUE(stream.status().ok()) << stream.status().ToString();
+        outcome = solve(stream, engine ? &*engine : nullptr);
+      }
+
+      EXPECT_EQ(outcome.chosen, baseline.chosen);
+      EXPECT_EQ(outcome.feasible, baseline.feasible);
+      EXPECT_TRUE(CoverOf(system, outcome.chosen) == baseline_cover);
+      EXPECT_EQ(outcome.passes, baseline.passes);
+      EXPECT_EQ(outcome.items_seen, baseline.items_seen);
+      EXPECT_EQ(outcome.sets_taken, baseline.sets_taken);
+      EXPECT_EQ(outcome.elements_covered, baseline.elements_covered);
+      EXPECT_EQ(outcome.extra, baseline.extra);
+      if (!source_space.has_value()) {
+        source_space = outcome.peak_space_bytes;
+      } else {
+        EXPECT_EQ(outcome.peak_space_bytes, *source_space);
+      }
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace streamsc
+
+#endif  // STREAMSC_TESTS_TESTING_SOLVER_MATRIX_H_

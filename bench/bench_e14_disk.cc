@@ -100,9 +100,12 @@ struct SolveOutcome {
   bool feasible = false;
 };
 
-SolveOutcome Run(StreamingSetCoverAlgorithm& algorithm, SetStream& stream) {
+SolveOutcome Run(StreamingSetCoverAlgorithm& algorithm, SetStream& stream,
+                 ParallelPassEngine* engine) {
   Stopwatch timer;
-  const SetCoverRunResult result = algorithm.Run(stream);
+  RunContext context;
+  context.engine = engine;
+  const SetCoverRunResult result = algorithm.Run(stream, context);
   SolveOutcome out;
   out.millis = timer.ElapsedMillis();
   out.solution = result.solution.chosen;
@@ -121,18 +124,16 @@ SolveOutcome SolveAssadi(SetStream& stream, std::size_t known_opt,
   // Greedy sub-solver: deterministic and fast at this sub-instance size,
   // so the timing isolates the streaming path, not branch-and-bound luck.
   config.use_exact_subsolver = false;
-  config.engine = engine;
   AssadiSetCover algorithm(config);
-  return Run(algorithm, stream);
+  return Run(algorithm, stream, engine);
 }
 
 SolveOutcome SolveThresholdGreedy(SetStream& stream,
                                   ParallelPassEngine* engine) {
   ThresholdGreedyConfig config;
   config.beta = 8.0;  // fewer, fatter passes; still genuinely multi-pass
-  config.engine = engine;
   ThresholdGreedySetCover algorithm(config);
-  return Run(algorithm, stream);
+  return Run(algorithm, stream, engine);
 }
 
 }  // namespace

@@ -1,27 +1,23 @@
 // E7 — Upper-bound landscape: Assadi (Theorem 2) vs Har-Peled-style
 // iterative pruning vs DIMV'14 vs multi-pass threshold greedy vs the
 // single-pass baselines, on shared instances. Reports passes / space /
-// solution size / ratio, now per thread count: every solver accepts a
-// ParallelPassEngine, so each contender runs once sequentially and once
-// on an 8-thread pool, with the speedup column tracking what the routed
-// engine passes buy. Solutions are bit-identical across the two rows by
-// the engine's determinism contract (asserted here, proven exhaustively
-// in tests/integration/solver_matrix_test.cc).
+// solution size / ratio, now per thread count: every contender is built
+// from the string-keyed SolverRegistry (the same front door the CLI and
+// tests use) and runs once sequentially and once on an 8-thread pool
+// bound per run via RunContext, with the speedup column tracking what
+// the routed engine passes buy. Solutions are bit-identical across the
+// two rows by the engine's determinism contract (asserted here, proven
+// exhaustively in tests/integration/solver_matrix_test.cc).
 
 #include <algorithm>
-#include <functional>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "api/solver_registry.h"
 #include "bench_common.h"
-#include "core/assadi_set_cover.h"
-#include "core/demaine_set_cover.h"
-#include "core/emek_rosen_set_cover.h"
-#include "core/har_peled_set_cover.h"
-#include "core/one_pass_set_cover.h"
-#include "core/threshold_greedy.h"
 #include "instance/generators.h"
-#include "offline/exact_set_cover.h"
 #include "offline/greedy.h"
 #include "stream/engine_context.h"
 #include "stream/set_stream.h"
@@ -34,11 +30,9 @@ namespace {
 constexpr std::size_t kParallelThreads = 8;
 
 struct Contender {
-  std::string name;
-  // Builds a fresh solver wired to the given engine (null = sequential).
-  std::function<std::unique_ptr<StreamingSetCoverAlgorithm>(
-      ParallelPassEngine*)>
-      make;
+  std::string label;
+  std::string solver;                 // registry key
+  std::vector<std::string> options;   // key=value args
 };
 
 void Compare(const std::string& title, const SetSystem& system,
@@ -48,62 +42,30 @@ void Compare(const std::string& title, const SetSystem& system,
                 "threads column tracks the engine-routed speedup");
   std::vector<Contender> contenders;
   for (const std::size_t alpha : {2, 4}) {
-    contenders.push_back(
-        {"assadi(a=" + std::to_string(alpha) + ")",
-         [alpha](ParallelPassEngine* engine) {
-           AssadiConfig config;
-           config.alpha = alpha;
-           config.epsilon = 0.5;
-           // Cap the exact sub-solver so failing guesses on instances
-           // with moderate opt degrade to greedy in bounded time (the A2
-           // ablation quantifies what the optimal sub-solve buys; the cap
-           // only shows on flat instances as guess-acceptance slack).
-           config.exact_node_budget = 200'000;
-           config.engine = engine;
-           return std::make_unique<AssadiSetCover>(config);
-         }});
-    contenders.push_back(
-        {"har-peled(a=" + std::to_string(alpha) + ")",
-         [alpha](ParallelPassEngine* engine) {
-           HarPeledConfig hp;
-           hp.alpha = alpha;
-           hp.exact_node_budget = 200'000;
-           hp.engine = engine;
-           return std::make_unique<HarPeledSetCover>(hp);
-         }});
-    contenders.push_back(
-        {"demaine(a=" + std::to_string(alpha) + ")",
-         [alpha](ParallelPassEngine* engine) {
-           DemaineConfig dm;
-           dm.alpha = alpha;
-           dm.engine = engine;
-           return std::make_unique<DemaineSetCover>(dm);
-         }});
+    const std::string a = std::to_string(alpha);
+    // Cap the exact sub-solver so failing guesses on instances with
+    // moderate opt degrade to greedy in bounded time (the A2 ablation
+    // quantifies what the optimal sub-solve buys; the cap only shows on
+    // flat instances as guess-acceptance slack).
+    contenders.push_back({"assadi(a=" + a + ")", "assadi",
+                          {"alpha=" + a, "epsilon=0.5",
+                           "exact_node_budget=200000"}});
+    contenders.push_back({"har-peled(a=" + a + ")", "har_peled",
+                          {"alpha=" + a, "exact_node_budget=200000"}});
+    contenders.push_back({"demaine(a=" + a + ")", "demaine", {"alpha=" + a}});
   }
-  contenders.push_back({"threshold-greedy", [](ParallelPassEngine* engine) {
-                          ThresholdGreedyConfig config;
-                          config.engine = engine;
-                          return std::make_unique<ThresholdGreedySetCover>(
-                              config);
-                        }});
-  contenders.push_back({"emek-rosen", [](ParallelPassEngine* engine) {
-                          EmekRosenConfig config;
-                          config.engine = engine;
-                          return std::make_unique<EmekRosenSetCover>(config);
-                        }});
-  contenders.push_back({"one-pass", [](ParallelPassEngine* engine) {
-                          OnePassConfig config;
-                          config.engine = engine;
-                          return std::make_unique<OnePassSetCover>(config);
-                        }});
+  contenders.push_back({"threshold-greedy", "threshold_greedy", {}});
+  contenders.push_back({"emek-rosen", "emek_rosen", {}});
+  contenders.push_back({"one-pass", "one_pass", {}});
 
   // MakeEngine owns the thread-count policy: 1 resolves to the null
-  // (sequential) engine, kParallelThreads to a shared pool.
+  // (sequential) engine, kParallelThreads to a shared pool. The engine is
+  // bound per *run* (RunContext), so one pool serves every contender.
   const std::unique_ptr<ParallelPassEngine> pool =
       MakeEngine(kParallelThreads);
   TablePrinter table({"algorithm", "threads", "passes", "space", "sets",
                       "ratio_vs_opt", "feasible", "wall_ms", "speedup"});
-  for (Contender& contender : contenders) {
+  for (const Contender& contender : contenders) {
     std::vector<SetId> sequential_solution;
     double sequential_wall = 0.0;
     for (const std::size_t threads : {std::size_t{1}, kParallelThreads}) {
@@ -113,31 +75,39 @@ void Compare(const std::string& title, const SetSystem& system,
         // A silent sequential fallback here would report a fake 1.0x.
         RequireSharded(stream, engine);
       }
-      const SetCoverRunResult result =
-          contender.make(engine)->Run(stream);
+      StatusOr<std::unique_ptr<AnySolver>> solver =
+          SolverRegistry::Global().Create(contender.solver,
+                                          contender.options);
+      STREAMSC_CHECK(solver.ok(),
+                     "bench misconfiguration: the registry rejected a "
+                     "contender's options");
+      RunContext context;
+      context.engine = engine;
+      StatusOr<SolveReport> report = (*solver)->Run(stream, context);
+      STREAMSC_CHECK(report.ok(), "contender run failed");
       if (threads == 1) {
-        sequential_solution = result.solution.chosen;
-        sequential_wall = result.stats.wall_seconds;
+        sequential_solution = report->solution.chosen;
+        sequential_wall = report->wall_seconds;
       } else {
-        STREAMSC_CHECK(result.solution.chosen == sequential_solution,
+        STREAMSC_CHECK(report->solution.chosen == sequential_solution,
                        "determinism violation: a solver's parallel run "
                        "diverged from its sequential run");
       }
       table.BeginRow();
-      table.AddCell(contender.name);
+      table.AddCell(contender.label);
       table.AddCell(static_cast<std::uint64_t>(threads));
-      table.AddCell(result.stats.passes);
-      table.AddCell(HumanBytes(result.stats.peak_space_bytes));
-      table.AddCell(static_cast<std::uint64_t>(result.solution.size()));
-      table.AddCell(static_cast<double>(result.solution.size()) /
+      table.AddCell(report->passes);
+      table.AddCell(HumanBytes(report->peak_space_bytes));
+      table.AddCell(static_cast<std::uint64_t>(report->solution.size()));
+      table.AddCell(static_cast<double>(report->solution.size()) /
                         static_cast<double>(opt_hint),
                     2);
-      table.AddCell(result.feasible ? "yes" : "NO");
-      table.AddCell(result.stats.wall_seconds * 1e3, 2);
+      table.AddCell(report->feasible ? "yes" : "NO");
+      table.AddCell(report->wall_seconds * 1e3, 2);
       table.AddCell(threads == 1
                         ? 1.0
                         : sequential_wall /
-                              std::max(result.stats.wall_seconds, 1e-9),
+                              std::max(report->wall_seconds, 1e-9),
                     2);
     }
   }

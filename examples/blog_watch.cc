@@ -12,12 +12,10 @@
 
 #include <iostream>
 
-#include "core/assadi_set_cover.h"
-#include "core/max_coverage.h"
+#include "api/solve_session.h"
 #include "instance/generators.h"
 #include "offline/exact_max_coverage.h"
 #include "offline/greedy.h"
-#include "stream/set_stream.h"
 #include "util/table_printer.h"
 
 int main() {
@@ -31,13 +29,19 @@ int main() {
             << " topics (" << system.TotalIncidences()
             << " blog-topic incidences)\n\n";
 
+  // Both editorial questions run through one SolveSession — the solver
+  // (and problem family) is just a registry key + options.
+  SolveSession session = SolveSession::OverSystem(system);
+
   // (a) Which k blogs cover the most topics? One pass, small sketch.
   const std::size_t k = 5;
-  ElementSamplingMcConfig mc_config;
-  mc_config.epsilon = 0.1;
-  ElementSamplingMaxCoverage sketch(mc_config);
-  VectorSetStream mc_stream(system);
-  const MaxCoverageRunResult mc_result = sketch.Run(mc_stream, k);
+  StatusOr<SolveReport> mc_report =
+      session.Solve("element_sampling_mc", {"epsilon=0.1", "k=5"});
+  if (!mc_report.ok()) {
+    std::cerr << "max-coverage solve failed: "
+              << mc_report.status().ToString() << "\n";
+    return 1;
+  }
 
   const ExactMaxCoverageResult exact_mc = SolveExactMaxCoverage(system, k);
   TablePrinter follow({"method", "blogs", "topics covered", "fraction"});
@@ -50,29 +54,30 @@ int main() {
     follow.AddCell(static_cast<double>(covered) / topics, 3);
   };
   add_follow("streaming sketch (eps=0.1, 1 storage pass)",
-             mc_result.solution.size(), mc_result.coverage);
+             mc_report->solution.size(), mc_report->extra);
   add_follow("offline exact", exact_mc.solution.size(), exact_mc.coverage);
   follow.PrintWithTitle(std::cout,
                         "follow k=5 blogs: streaming vs offline");
-  std::cout << "sketch space: " << HumanBytes(mc_result.stats.peak_space_bytes)
+  std::cout << "sketch space: " << HumanBytes(mc_report->peak_space_bytes)
             << " vs dense matrix "
             << HumanBytes(static_cast<Bytes>(topics) * blogs / 8) << "\n";
 
   // (b) Full digest: minimum blogs covering every topic.
-  AssadiConfig sc_config;
-  sc_config.alpha = 2;
-  sc_config.epsilon = 0.5;
-  AssadiSetCover cover(sc_config);
-  VectorSetStream sc_stream(system);
-  const SetCoverRunResult sc_result = cover.Run(sc_stream);
+  StatusOr<SolveReport> sc_report =
+      session.Solve("assadi", {"alpha=2", "epsilon=0.5"});
+  if (!sc_report.ok()) {
+    std::cerr << "set-cover solve failed: " << sc_report.status().ToString()
+              << "\n";
+    return 1;
+  }
   const Solution greedy = GreedySetCover(system);
 
   TablePrinter digest({"method", "blogs needed", "passes", "space"});
   digest.BeginRow();
   digest.AddCell("streaming assadi(alpha=2)");
-  digest.AddCell(static_cast<std::uint64_t>(sc_result.solution.size()));
-  digest.AddCell(sc_result.stats.passes);
-  digest.AddCell(HumanBytes(sc_result.stats.peak_space_bytes));
+  digest.AddCell(static_cast<std::uint64_t>(sc_report->solution.size()));
+  digest.AddCell(sc_report->passes);
+  digest.AddCell(HumanBytes(sc_report->peak_space_bytes));
   digest.BeginRow();
   digest.AddCell("offline greedy (holds everything)");
   digest.AddCell(static_cast<std::uint64_t>(greedy.size()));
@@ -80,5 +85,5 @@ int main() {
   digest.AddCell(HumanBytes(static_cast<Bytes>(topics) * blogs / 8));
   digest.PrintWithTitle(std::cout, "full topic digest (set cover)");
 
-  return sc_result.feasible ? 0 : 1;
+  return sc_report->feasible ? 0 : 1;
 }

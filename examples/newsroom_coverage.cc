@@ -13,12 +13,12 @@
 // Run:  ./build/examples/newsroom_coverage
 
 #include <iostream>
+#include <string>
 
-#include "core/max_coverage.h"
+#include "api/solve_session.h"
 #include "instance/generators.h"
 #include "offline/exact_max_coverage.h"
 #include "offline/greedy.h"
-#include "stream/set_stream.h"
 #include "util/table_printer.h"
 
 int main() {
@@ -57,32 +57,32 @@ int main() {
     table.AddCell("-");
   }
 
-  // Streaming contenders at a few precision levels.
-  for (const double eps : {0.25, 0.1}) {
-    ElementSamplingMcConfig config;
-    config.epsilon = eps;
-    config.exact_k_limit = k;
-    ElementSamplingMaxCoverage algorithm(config);
-    VectorSetStream stream(feeds);
-    const MaxCoverageRunResult result = algorithm.Run(stream, k);
+  // Streaming contenders at a few precision levels — all driven through
+  // the registry/session front door; `extra` carries the exact coverage
+  // for max-coverage solvers.
+  SolveSession session = SolveSession::OverSystem(feeds);
+  const auto add_streaming = [&](const std::string& solver,
+                                 const std::vector<std::string>& options) {
+    StatusOr<SolveReport> report = session.Solve(solver, options);
+    if (!report.ok()) {
+      std::cerr << solver << " failed: " << report.status().ToString()
+                << "\n";
+      return;
+    }
     table.BeginRow();
-    table.AddCell(algorithm.name());
-    table.AddCell(result.coverage);
-    table.AddCell(static_cast<double>(result.coverage) / opt, 3);
-    table.AddCell(result.stats.passes);
-    table.AddCell(result.stats.peak_space_bytes);
+    table.AddCell(report->algorithm);
+    table.AddCell(report->extra);
+    table.AddCell(static_cast<double>(report->extra) / opt, 3);
+    table.AddCell(report->passes);
+    table.AddCell(report->peak_space_bytes);
+  };
+  const std::string k_arg = "k=" + std::to_string(k);
+  const std::string k_limit_arg = "exact_k_limit=" + std::to_string(k);
+  for (const char* eps : {"0.25", "0.1"}) {
+    add_streaming("element_sampling_mc",
+                  {std::string("epsilon=") + eps, k_limit_arg, k_arg});
   }
-  {
-    SieveMaxCoverage sieve;
-    VectorSetStream stream(feeds);
-    const MaxCoverageRunResult result = sieve.Run(stream, k);
-    table.BeginRow();
-    table.AddCell(sieve.name());
-    table.AddCell(result.coverage);
-    table.AddCell(static_cast<double>(result.coverage) / opt, 3);
-    table.AddCell(result.stats.passes);
-    table.AddCell(result.stats.peak_space_bytes);
-  }
+  add_streaming("sieve_mc", {k_arg});
   table.Print(std::cout);
 
   std::cout << "\nReading the table: the element-sampling scheme tracks the "

@@ -1,21 +1,23 @@
 // Quickstart: the 60-second tour of the library.
 //
 //   1. build a set system,
-//   2. stream it through the paper's algorithm (Assadi, Theorem 2),
-//   3. inspect the solution, pass count, and logical space,
-//   4. compare with the offline greedy / exact optima.
+//   2. solve it through the unified solver API — a SolveSession over the
+//      instance, running the paper's algorithm ("assadi", Theorem 2) by
+//      registry name with key=value options,
+//   3. inspect the uniform SolveReport (solution, passes, logical space),
+//   4. compare with the offline greedy / exact optima — and with two
+//      other registered solvers, swapped in by changing one string.
 //
 // Build & run:   cmake -B build -G Ninja && cmake --build build
 //                ./build/examples/quickstart
 
 #include <iostream>
 
-#include "core/assadi_set_cover.h"
+#include "api/solve_session.h"
 #include "instance/generators.h"
 #include "offline/exact_set_cover.h"
 #include "offline/greedy.h"
 #include "offline/verifier.h"
-#include "stream/set_stream.h"
 #include "util/table_printer.h"
 
 int main() {
@@ -28,26 +30,33 @@ int main() {
   std::cout << "instance: " << system.DebugString()
             << ", planted optimum = " << planted.size() << " sets\n\n";
 
-  // 2. Stream it through Algorithm 1 with alpha = 2 (a 2.5-approximation
-  //    in ~(2*2+1) passes per guess, using ~m*sqrt(n) space).
-  AssadiConfig config;
-  config.alpha = 2;
-  config.epsilon = 0.5;
-  AssadiSetCover algorithm(config);
-
-  VectorSetStream stream(system);  // adversarial (insertion) order
-  const SetCoverRunResult result = algorithm.Run(stream);
+  // 2. A session over the in-memory instance (SolveSession::Open(path)
+  //    does the same over ssc1/sscb1 files, sniffing the format). Run
+  //    Algorithm 1 with alpha = 2: a 2.5-approximation in ~(2*2+1)
+  //    passes per guess, using ~m*sqrt(n) space. Adding `threads=4`
+  //    would bind a 4-worker engine for this run — same bytes out
+  //    either way.
+  SolveSession session = SolveSession::OverSystem(system);
+  StatusOr<SolveReport> report =
+      session.Solve("assadi", {"alpha=2", "epsilon=0.5"});
+  if (!report.ok()) {
+    // Malformed options come back as actionable Status errors (solver,
+    // key, offending value, legal range) — never an abort.
+    std::cerr << "solve failed: " << report.status().ToString() << "\n";
+    return 1;
+  }
 
   // 3. Inspect the run.
-  const CoverVerdict verdict = VerifyCover(system, result.solution);
-  std::cout << "algorithm : " << algorithm.name() << "\n"
+  const CoverVerdict verdict = VerifyCover(system, report->solution);
+  std::cout << "algorithm : " << report->algorithm << "\n"
             << "feasible  : " << (verdict.feasible ? "yes" : "no") << "\n"
-            << "sets used : " << result.solution.size() << "\n"
-            << "passes    : " << result.stats.passes << "\n"
-            << "space     : " << HumanBytes(result.stats.peak_space_bytes)
+            << "sets used : " << report->solution.size() << "\n"
+            << "passes    : " << report->passes << "\n"
+            << "space     : " << HumanBytes(report->peak_space_bytes)
             << " (logical, as charged by the streaming model)\n\n";
 
-  // 4. Offline reference points.
+  // 4. Offline reference points, plus two more registry solvers — the
+  //    whole family is one string away.
   const Solution greedy = GreedySetCover(system);
   const ExactSetCoverResult exact = SolveExactSetCover(system);
   TablePrinter table({"solver", "sets", "ratio vs opt"});
@@ -61,11 +70,16 @@ int main() {
   };
   add("exact (branch & bound)", exact.solution.size());
   add("offline greedy", greedy.size());
-  add("streaming assadi(alpha=2)", result.solution.size());
+  add("streaming assadi(alpha=2)", report->solution.size());
+  for (const char* other : {"threshold_greedy", "emek_rosen"}) {
+    StatusOr<SolveReport> r = session.Solve(other, {});
+    if (r.ok()) add("streaming " + r->algorithm, r->solution.size());
+  }
   table.Print(std::cout);
 
   std::cout << "\nTry: raise alpha to shrink space (more passes, looser "
                "ratio)\n     — the space-approximation tradeoff this "
-               "library reproduces.\n";
+               "library reproduces.\n     `workload_tool solvers` lists "
+               "every registered solver and option.\n";
   return verdict.feasible ? 0 : 1;
 }

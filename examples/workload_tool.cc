@@ -2,11 +2,17 @@
 // files.
 //
 // A small CLI over the library's generator + serialization + storage +
-// solver surface — the "data engineer" entry point. Workloads are stored
-// either in the documented ssc1 text format (instance/serialization.h) or
-// the sscb1 mmap-ready binary format (storage/binary_format.h); info and
-// solve sniff the format from the file's magic bytes, so both kinds are
-// interchangeable everywhere downstream.
+// solver-API surface — the "data engineer" entry point. Workloads are
+// stored either in the documented ssc1 text format
+// (instance/serialization.h) or the sscb1 mmap-ready binary format
+// (storage/binary_format.h); info and solve sniff the format from the
+// file's magic bytes, so both kinds are interchangeable everywhere
+// downstream.
+//
+// Solving goes through the unified solver API (api/solver_registry.h +
+// api/solve_session.h): *any* registered solver, configured by key=value
+// options, over *any* source. `solvers` prints the catalogue with each
+// solver's option schema.
 //
 // Usage:
 //   workload_tool gen <kind> <n> <m> <param> <seed> <path>
@@ -16,31 +22,38 @@
 //       streams the text instance into the binary store one set at a
 //       time (constant memory; works for instances that don't fit RAM).
 //   workload_tool info <path>
-//   workload_tool solve <path> <alpha> [threads]
-//       threads > 1 runs the pruning/projection passes on a
-//       ParallelPassEngine pool (identical results for any count).
-//       Binary inputs stream through MmapSetStream, so multi-pass solves
-//       cost zero re-parsing and can use the pool even from disk.
+//   workload_tool solvers [--names]
+//       lists every registered solver with its options (name, type,
+//       range, default, doc) plus the session-level options; --names
+//       prints bare registry keys one per line (for scripting).
+//   workload_tool solve <path> <solver> [key=value ...]
+//       e.g.: solve w.sscb1 assadi alpha=3 threads=4
+//       `threads` is a session option: the SolveSession owns the
+//       ParallelPassEngine for the run (identical results for any
+//       count). Binary inputs stream through MmapSetStream, so
+//       multi-pass solves cost zero re-parsing and shard even from
+//       disk; text inputs stream one set at a time (and are loaded
+//       into memory when threads > 1).
 //
 // Examples:
 //   ./build/examples/workload_tool gen planted 4096 128 4 7 /tmp/w.ssc
 //   ./build/examples/workload_tool convert /tmp/w.ssc /tmp/w.sscb1
-//   ./build/examples/workload_tool info /tmp/w.sscb1
-//   ./build/examples/workload_tool solve /tmp/w.sscb1 3 4
+//   ./build/examples/workload_tool solvers
+//   ./build/examples/workload_tool solve /tmp/w.sscb1 assadi alpha=3 threads=4
+//   ./build/examples/workload_tool solve /tmp/w.sscb1 threshold_greedy beta=4
 
 #include <cstdlib>
 #include <iostream>
-#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
-#include "core/assadi_set_cover.h"
+#include "api/solve_session.h"
+#include "api/solver_registry.h"
 #include "instance/generators.h"
 #include "instance/serialization.h"
-#include "offline/greedy.h"
 #include "storage/binary_instance_writer.h"
 #include "storage/mmap_set_stream.h"
-#include "stream/engine_context.h"
 #include "stream/set_stream.h"
 #include "util/table_printer.h"
 
@@ -49,12 +62,15 @@ namespace {
 using namespace streamsc;
 
 int Usage() {
-  std::cerr << "usage:\n"
-            << "  workload_tool gen <planted|uniform|zipf|blog> <n> <m> "
-               "<param> <seed> <path>\n"
-            << "  workload_tool convert <in.ssc> <out.sscb1>\n"
-            << "  workload_tool info <path>\n"
-            << "  workload_tool solve <path> <alpha> [threads]\n";
+  std::cerr
+      << "usage:\n"
+      << "  workload_tool gen <planted|uniform|zipf|blog> <n> <m> "
+         "<param> <seed> <path>\n"
+      << "  workload_tool convert <in.ssc> <out.sscb1>\n"
+      << "  workload_tool info <path>\n"
+      << "  workload_tool solvers [--names]\n"
+      << "  workload_tool solve <path> <solver> [key=value ...]\n"
+      << "run `workload_tool solvers` for solver names and their options\n";
   return 2;
 }
 
@@ -118,38 +134,31 @@ int Convert(int argc, char** argv) {
   return 0;
 }
 
-// Opens either format as a SetStream. Exactly one of the two out-params
-// is filled; the returned pointer views it.
-SetStream* OpenStream(const std::string& path,
-                      std::optional<MmapSetStream>& mmap_stream,
-                      std::optional<SetSystem>& system,
-                      std::optional<VectorSetStream>& vector_stream) {
-  if (IsBinaryInstanceFile(path)) {
-    mmap_stream.emplace(path);
-    if (!mmap_stream->status().ok()) {
-      std::cerr << "load failed: " << mmap_stream->status().ToString() << "\n";
-      return nullptr;
-    }
-    return &*mmap_stream;
-  }
-  StatusOr<SetSystem> loaded = LoadSetSystem(path);
-  if (!loaded.ok()) {
-    std::cerr << "load failed: " << loaded.status().ToString() << "\n";
-    return nullptr;
-  }
-  system.emplace(std::move(*loaded));
-  vector_stream.emplace(*system);
-  return &*vector_stream;
-}
-
 int Info(int argc, char** argv) {
   if (argc != 3) return Usage();
   const std::string path = argv[2];
   std::optional<MmapSetStream> mmap_stream;
   std::optional<SetSystem> system;
   std::optional<VectorSetStream> vector_stream;
-  SetStream* stream = OpenStream(path, mmap_stream, system, vector_stream);
-  if (stream == nullptr) return 1;
+  SetStream* stream = nullptr;
+  if (IsBinaryInstanceFile(path)) {
+    mmap_stream.emplace(path);
+    if (!mmap_stream->status().ok()) {
+      std::cerr << "load failed: " << mmap_stream->status().ToString()
+                << "\n";
+      return 1;
+    }
+    stream = &*mmap_stream;
+  } else {
+    StatusOr<SetSystem> loaded = LoadSetSystem(path);
+    if (!loaded.ok()) {
+      std::cerr << "load failed: " << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    system.emplace(std::move(*loaded));
+    vector_stream.emplace(*system);
+    stream = &*vector_stream;
+  }
 
   // One pass over the stream computes every statistic — works identically
   // for the in-memory and the disk-resident case.
@@ -215,57 +224,97 @@ int Info(int argc, char** argv) {
   return 0;
 }
 
-int Solve(int argc, char** argv) {
-  if (argc != 4 && argc != 5) return Usage();
-  const std::string path = argv[2];
-  const std::size_t alpha = std::strtoull(argv[3], nullptr, 10);
-  if (alpha < 1) return Usage();
-  const std::size_t threads =
-      argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
-  if (threads < 1) return Usage();
-
-  std::optional<MmapSetStream> mmap_stream;
-  std::optional<SetSystem> system;
-  std::optional<VectorSetStream> vector_stream;
-  SetStream* stream = OpenStream(path, mmap_stream, system, vector_stream);
-  if (stream == nullptr) return 1;
-
-  AssadiConfig config;
-  config.alpha = alpha;
-  config.epsilon = 0.5;
-  // MakeEngine owns the thread-count policy: 1 means the sequential path
-  // (null engine); 0 is rejected loudly rather than guessed at.
-  const std::unique_ptr<ParallelPassEngine> engine = MakeEngine(threads);
-  config.engine = engine.get();
-  AssadiSetCover algorithm(config);
-  const SetCoverRunResult result = algorithm.Run(*stream);
-
-  // The offline greedy comparison needs random access; materialize the
-  // binary instance only for this step.
-  if (!system.has_value()) {
-    StatusOr<SetSystem> loaded = LoadBinarySetSystem(path);
-    if (!loaded.ok()) {
-      std::cerr << "load failed: " << loaded.status().ToString() << "\n";
-      return 1;
-    }
-    system.emplace(std::move(*loaded));
+// Prints one solver's option schema (shared by `solvers` for each entry
+// and by the session-options footer).
+void PrintOptionTable(const std::vector<OptionDescriptor>& options) {
+  TablePrinter table({"option", "type", "range", "default", "doc"});
+  for (const OptionDescriptor& desc : options) {
+    table.BeginRow();
+    table.AddCell(desc.name);
+    table.AddCell(OptionTypeName(desc.type));
+    table.AddCell(desc.RangeText());
+    table.AddCell(desc.DefaultText());
+    table.AddCell(desc.doc);
   }
-  const Solution greedy = GreedySetCover(*system);
-
-  TablePrinter table({"solver", "sets", "passes", "space_bytes"});
-  table.BeginRow();
-  table.AddCell(algorithm.name());
-  table.AddCell(static_cast<std::uint64_t>(result.solution.size()));
-  table.AddCell(result.stats.passes);
-  table.AddCell(result.stats.peak_space_bytes);
-  table.BeginRow();
-  table.AddCell("offline greedy");
-  table.AddCell(static_cast<std::uint64_t>(greedy.size()));
-  table.AddCell(static_cast<std::uint64_t>(1));
-  table.AddCell(static_cast<std::uint64_t>(system->TotalIncidences() * 4));
   table.Print(std::cout);
-  if (!result.feasible) {
-    std::cerr << "streaming solver did not find a feasible cover\n";
+}
+
+int Solvers(int argc, char** argv) {
+  if (argc > 3) return Usage();
+  const bool names_only = argc == 3 && std::string(argv[2]) == "--names";
+  if (argc == 3 && !names_only) return Usage();
+
+  const SolverRegistry& registry = SolverRegistry::Global();
+  if (names_only) {
+    for (const std::string& name : registry.Names()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+
+  for (const std::string& name : registry.Names()) {
+    const SolverInfo* info = registry.Find(name);
+    std::cout << name << "  [" << SolverKindName(info->kind) << "]\n  "
+              << info->summary << "\n";
+    PrintOptionTable(info->options);
+    std::cout << "\n";
+  }
+  std::cout << "session options (accepted alongside any solver's):\n";
+  PrintOptionTable(SolveSession::SessionOptions());
+  return 0;
+}
+
+int Solve(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string path = argv[2];
+  const std::string solver = argv[3];
+  std::vector<std::string> args;
+  for (int i = 4; i < argc; ++i) args.push_back(argv[i]);
+
+  StatusOr<SolveSession> session = SolveSession::Open(path);
+  if (!session.ok()) {
+    std::cerr << "open failed: " << session.status().ToString() << "\n";
+    return 1;
+  }
+  StatusOr<SolveReport> report = session->Solve(solver, args);
+  if (!report.ok()) {
+    std::cerr << "solve failed: " << report.status().ToString() << "\n";
+    return 1;
+  }
+
+  TablePrinter table({"property", "value"});
+  const auto add = [&](const std::string& key, const std::string& value) {
+    table.BeginRow();
+    table.AddCell(key);
+    table.AddCell(value);
+  };
+  add("solver", report->solver);
+  add("algorithm", report->algorithm);
+  add("kind", SolverKindName(report->kind));
+  add("source", report->source);
+  add("threads", std::to_string(report->threads));
+  add("sets chosen", std::to_string(report->solution.size()));
+  add(report->kind == SolverKind::kPairFinder ? "found" : "feasible",
+      report->feasible ? "yes" : "NO");
+  add("passes", std::to_string(report->passes));
+  add("space bytes", std::to_string(report->peak_space_bytes));
+  add("sets taken (ctr)", std::to_string(report->stats.sets_taken));
+  add("elements covered", std::to_string(report->stats.elements_covered));
+  if (report->kind == SolverKind::kMaxCoverage) {
+    add("coverage", std::to_string(report->extra));
+  }
+  if (report->kind == SolverKind::kPairFinder) {
+    add("candidates(p1)", std::to_string(report->extra));
+  }
+  add("wall ms", std::to_string(report->wall_seconds * 1e3));
+  table.Print(std::cout);
+
+  if (!report->feasible) {
+    std::cerr << "solver did not find a "
+              << (report->kind == SolverKind::kPairFinder
+                      ? "covering pair"
+                      : "feasible solution")
+              << "\n";
     return 1;
   }
   return 0;
@@ -279,6 +328,7 @@ int main(int argc, char** argv) {
   if (command == "gen") return Generate(argc, argv);
   if (command == "convert") return Convert(argc, argv);
   if (command == "info") return Info(argc, argv);
+  if (command == "solvers") return Solvers(argc, argv);
   if (command == "solve") return Solve(argc, argv);
   return Usage();
 }

@@ -14,10 +14,33 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
+# Registry smoke slice: exercises the string-keyed CLI surface headlessly
+# — `workload_tool solvers` plus one registry-driven solve per registered
+# solver (2-thread session pool) over a tiny generated instance. The
+# instance plants a 2-set optimum so every solver, including pair_finder,
+# genuinely succeeds; any solver erroring or reporting infeasible fails
+# the run.
+run_registry_smoke() {
+  local build_dir="$1"
+  local tool="${build_dir}/examples/workload_tool"
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  "${tool}" gen planted 256 24 2 7 "${tmp}/smoke.ssc" >/dev/null
+  "${tool}" convert "${tmp}/smoke.ssc" "${tmp}/smoke.sscb1" >/dev/null
+  "${tool}" solvers >/dev/null
+  local solver
+  while IFS= read -r solver; do
+    echo "registry smoke (${build_dir}): ${solver}"
+    "${tool}" solve "${tmp}/smoke.sscb1" "${solver}" threads=2 >/dev/null
+  done < <("${tool}" solvers --names)
+}
+
 # shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split
 cmake -B "${BUILD_DIR}" -S . ${CMAKE_ARGS:-}
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+run_registry_smoke "${BUILD_DIR}"
 
 if [[ "${SANITIZE:-0}" == "1" ]]; then
   SAN_BUILD_DIR="${SAN_BUILD_DIR:-build-asan}"
@@ -41,6 +64,10 @@ if [[ "${SANITIZE:-0}" == "1" ]]; then
   # 8-thread pools genuinely contend while sanitized.
   ctest --test-dir "${SAN_BUILD_DIR}" -L 'parallel' \
     --output-on-failure -j 8
+  # The registry smoke again under ASan/UBSan: the CLI surface (option
+  # parsing, session source sniffing, per-run engine lifetime) sanitized
+  # end to end.
+  run_registry_smoke "${SAN_BUILD_DIR}"
 fi
 
 echo "check.sh: all green"

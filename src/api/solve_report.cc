@@ -1,0 +1,17 @@
+#include "api/solve_report.h"
+
+namespace streamsc {
+
+const char* SolverKindName(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kSetCover:
+      return "set-cover";
+    case SolverKind::kMaxCoverage:
+      return "max-coverage";
+    case SolverKind::kPairFinder:
+      return "pair-finder";
+  }
+  return "unknown";
+}
+
+}  // namespace streamsc

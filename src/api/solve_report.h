@@ -1,0 +1,57 @@
+#ifndef STREAMSC_API_SOLVE_REPORT_H_
+#define STREAMSC_API_SOLVE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "instance/set_system.h"
+#include "stream/engine_context.h"
+#include "util/space_meter.h"
+
+/// \file solve_report.h
+/// SolveReport: the one result shape every solver in the registry emits,
+/// regardless of whether the algorithm underneath is a set-cover scheme,
+/// a max-coverage sketch, or the exact pair finder. Callers that drive
+/// solvers by string key (CLI, bench sweeps, a future service) consume
+/// this instead of the three per-family result structs.
+
+namespace streamsc {
+
+/// Problem family of a registered solver.
+enum class SolverKind {
+  kSetCover,     ///< Minimum set cover; `feasible` = covered everything.
+  kMaxCoverage,  ///< Maximum k-coverage; `extra` = exact coverage.
+  kPairFinder,   ///< Exact 2-cover recovery; `extra` = candidates after
+                 ///< the first pass, `feasible` = pair found.
+};
+
+/// Stable display name for a SolverKind.
+const char* SolverKindName(SolverKind kind);
+
+/// Uniform outcome of one registry-driven run. Everything except
+/// wall_seconds is deterministic: bit-identical across thread counts and
+/// stream sources for a fixed stream order (the conformance matrix in
+/// tests/testing/solver_matrix.h asserts this through the registry).
+struct SolveReport {
+  std::string solver;     ///< Registry key ("assadi", "sieve_mc", ...).
+  std::string algorithm;  ///< Parametrized display name of the instance.
+  SolverKind kind = SolverKind::kSetCover;
+
+  Solution solution;       ///< Chosen set ids, in take order.
+  bool feasible = false;   ///< Family-specific success bit (see SolverKind).
+  std::uint64_t passes = 0;        ///< Stream passes consumed.
+  Bytes peak_space_bytes = 0;      ///< Peak logical space (SpaceMeter).
+  EnginePassStats stats;           ///< Deterministic engine counters.
+  std::uint64_t extra = 0;         ///< Family-specific scalar (coverage /
+                                   ///< surviving candidates); 0 for set
+                                   ///< cover.
+  double wall_seconds = 0.0;       ///< Wall-clock time of the run.
+
+  // Filled by SolveSession (empty/1 when a solver is run directly).
+  std::string source;       ///< "memory", "file", or "mmap".
+  std::size_t threads = 1;  ///< Engine width the session bound (1 = none).
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_API_SOLVE_REPORT_H_

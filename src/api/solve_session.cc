@@ -1,0 +1,154 @@
+#include "api/solve_session.h"
+
+#include <utility>
+
+#include "api/solver_registry.h"
+#include "instance/serialization.h"
+#include "storage/mmap_set_stream.h"
+#include "stream/engine_context.h"
+#include "stream/stream_adapters.h"
+
+namespace streamsc {
+
+namespace {
+
+// Splits args into (session, solver) halves by key: anything whose key
+// names a session option is the session's; the rest goes to the solver.
+void SplitArgs(const std::vector<std::string>& args,
+               std::vector<std::string>* session_args,
+               std::vector<std::string>* solver_args) {
+  for (const std::string& arg : args) {
+    const std::string key = arg.substr(0, arg.find('='));
+    bool is_session = false;
+    for (const OptionDescriptor& desc : SolveSession::SessionOptions()) {
+      if (desc.name == key) {
+        is_session = true;
+        break;
+      }
+    }
+    (is_session ? session_args : solver_args)->push_back(arg);
+  }
+}
+
+}  // namespace
+
+const std::vector<OptionDescriptor>& SolveSession::SessionOptions() {
+  static const std::vector<OptionDescriptor>* const kOptions =
+      new std::vector<OptionDescriptor>{UintOptionMin(
+          "threads", 1, 1,
+          "worker pool width for engine-routed passes (1 = sequential; "
+          "results are bit-identical for any value)")};
+  return *kOptions;
+}
+
+StatusOr<SolveSession> SolveSession::Open(const std::string& path) {
+  SolveSession session;
+  session.path_ = path;
+  if (IsBinaryInstanceFile(path)) {
+    auto stream = std::make_unique<MmapSetStream>(path);
+    if (!stream->status().ok()) return stream->status();
+    session.stream_ = std::move(stream);
+    session.source_ = Source::kMmap;
+    return session;
+  }
+  auto stream = std::make_unique<FileSetStream>(path);
+  if (!stream->status().ok()) return stream->status();
+  session.file_stream_ = stream.get();
+  session.stream_ = std::move(stream);
+  session.source_ = Source::kFile;
+  return session;
+}
+
+SolveSession SolveSession::OverSystem(const SetSystem& system) {
+  SolveSession session;
+  session.stream_ = std::make_unique<VectorSetStream>(system);
+  session.source_ = Source::kMemory;
+  return session;
+}
+
+const char* SolveSession::source_name() const {
+  switch (source_) {
+    case Source::kNone:
+      return "none";
+    case Source::kMemory:
+      return "memory";
+    case Source::kFile:
+      return "file";
+    case Source::kMmap:
+      return "mmap";
+  }
+  return "none";
+}
+
+std::size_t SolveSession::universe_size() const {
+  return stream_ == nullptr ? 0 : stream_->universe_size();
+}
+
+std::size_t SolveSession::num_sets() const {
+  return stream_ == nullptr ? 0 : stream_->num_sets();
+}
+
+Status SolveSession::EnsureBufferable() {
+  if (stream_->ItemsRemainValid()) return Status::Ok();
+  // Only the text source can be unbufferable; materialize it once. The
+  // pass counter restarts with the new stream, which is fine: solvers
+  // report pass *deltas*.
+  StatusOr<SetSystem> loaded = LoadSetSystem(path_);
+  if (!loaded.ok()) return loaded.status();
+  owned_system_ = std::make_unique<SetSystem>(std::move(*loaded));
+  file_stream_ = nullptr;
+  stream_ = std::make_unique<VectorSetStream>(*owned_system_);
+  source_ = Source::kMemory;
+  return Status::Ok();
+}
+
+StatusOr<SolveReport> SolveSession::Solve(
+    const std::string& solver, const std::vector<std::string>& args) {
+  if (stream_ == nullptr) {
+    return Status::FailedPrecondition(
+        "SolveSession: Solve() on an empty session (use Open() or "
+        "OverSystem())");
+  }
+
+  std::vector<std::string> session_args;
+  std::vector<std::string> solver_args;
+  SplitArgs(args, &session_args, &solver_args);
+
+  StatusOr<ParsedOptions> session_options =
+      ParseOptions("session", SessionOptions(), session_args);
+  if (!session_options.ok()) return session_options.status();
+  const std::size_t threads =
+      static_cast<std::size_t>(session_options->Uint("threads"));
+
+  StatusOr<std::unique_ptr<AnySolver>> created =
+      SolverRegistry::Global().Create(solver, solver_args);
+  if (!created.ok()) return created.status();
+
+  if (threads > 1) {
+    const Status status = EnsureBufferable();
+    if (!status.ok()) return status;
+  }
+
+  // The engine lives exactly as long as this run — the session is the
+  // single owner of execution resources, which is what makes per-run
+  // thread policy (and the ROADMAP's sharded/NUMA binding) one decision
+  // in one place.
+  const std::unique_ptr<ParallelPassEngine> engine = MakeEngine(threads);
+  RunContext context;
+  context.engine = engine.get();
+
+  StatusOr<SolveReport> report = (*created)->Run(*stream_, context);
+  if (!report.ok()) return report.status();
+  // A text source reports first-pass parse errors (truncated body,
+  // garbage lines) only through status(): Next() just ends the pass
+  // early. Without this check a corrupt ssc1 file would yield an
+  // ok-looking report computed over a silent prefix of the instance.
+  if (file_stream_ != nullptr && !file_stream_->status().ok()) {
+    return file_stream_->status();
+  }
+  report->source = source_name();
+  report->threads = threads;
+  return report;
+}
+
+}  // namespace streamsc

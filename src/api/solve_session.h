@@ -1,0 +1,108 @@
+#ifndef STREAMSC_API_SOLVE_SESSION_H_
+#define STREAMSC_API_SOLVE_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/solve_report.h"
+#include "api/solver_options.h"
+#include "instance/set_system.h"
+#include "stream/set_stream.h"
+#include "util/status.h"
+
+/// \file solve_session.h
+/// SolveSession: the owning front door for a full solve. One session =
+/// one instance source; each Solve() call is one run of one registered
+/// solver over that source.
+///
+/// The session owns everything a run needs that solvers themselves no
+/// longer hold:
+///
+///   * the **source** — Open() sniffs the file format (sscb1 magic →
+///     zero-copy MmapSetStream; otherwise ssc1 text → constant-memory
+///     FileSetStream) and OverSystem() wraps an in-memory SetSystem;
+///   * the **engine lifetime** — the session-level `threads` option
+///     (accepted alongside solver options in Solve()'s key=value args)
+///     resolves to a ParallelPassEngine owned for exactly the duration
+///     of the run, replacing the 9 duplicated non-owning `engine` raw
+///     pointers the solver configs used to carry;
+///   * the **upgrade policy** — a text source cannot buffer a pass, so
+///     `threads > 1` on an ssc1 file loads the instance into memory once
+///     (then streams it from there); results are bit-identical either
+///     way by the engine's determinism contract.
+///
+/// Every failure — unreadable file, unknown solver, malformed option,
+/// out-of-range value, stream-dependent misuse — reports a Status; the
+/// session never aborts on user input.
+
+namespace streamsc {
+
+class FileSetStream;
+
+/// One instance source plus the machinery to run any registered solver
+/// over it. Movable; not copyable.
+class SolveSession {
+ public:
+  /// Where the streamed bytes live.
+  enum class Source {
+    kNone,    ///< Default-constructed (empty) session.
+    kMemory,  ///< In-memory SetSystem via VectorSetStream.
+    kFile,    ///< ssc1 text via FileSetStream (one set at a time).
+    kMmap,    ///< sscb1 binary via MmapSetStream (zero-copy views).
+  };
+
+  /// Opens \p path, sniffing the format from its magic bytes. Returns a
+  /// Status for missing/corrupt files.
+  static StatusOr<SolveSession> Open(const std::string& path);
+
+  /// Wraps \p system (borrowed — must outlive the session).
+  static SolveSession OverSystem(const SetSystem& system);
+
+  /// Empty session (exists for StatusOr plumbing; Solve() on it errors).
+  SolveSession() = default;
+
+  SolveSession(SolveSession&&) = default;
+  SolveSession& operator=(SolveSession&&) = default;
+  SolveSession(const SolveSession&) = delete;
+  SolveSession& operator=(const SolveSession&) = delete;
+
+  /// The session-level option schema (currently: threads). Listed by
+  /// `workload_tool solvers` next to each solver's own options; any of
+  /// these keys may appear in Solve()'s args and is consumed by the
+  /// session rather than the solver.
+  static const std::vector<OptionDescriptor>& SessionOptions();
+
+  /// Runs registered solver \p solver with \p args (key=value strings;
+  /// session keys like `threads=8` are split off, everything else is the
+  /// solver's). Owns the engine for the duration of the run and stamps
+  /// `source` and `threads` into the returned report.
+  StatusOr<SolveReport> Solve(const std::string& solver,
+                              const std::vector<std::string>& args);
+
+  Source source() const { return source_; }
+
+  /// "memory", "file", "mmap" (or "none").
+  const char* source_name() const;
+
+  std::size_t universe_size() const;
+  std::size_t num_sets() const;
+
+ private:
+  // Ensures the active stream can buffer a pass, loading a text source
+  // into memory if needed (the threads > 1 upgrade).
+  Status EnsureBufferable();
+
+  Source source_ = Source::kNone;
+  std::string path_;                          // Open() sources only
+  std::unique_ptr<SetSystem> owned_system_;   // memory-upgraded sources
+  std::unique_ptr<SetStream> stream_;
+  // Non-owning view of stream_ when it is a FileSetStream: text parse
+  // errors surface through status() after the run, so Solve() must be
+  // able to read it without downcasting.
+  FileSetStream* file_stream_ = nullptr;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_API_SOLVE_SESSION_H_

@@ -1,0 +1,112 @@
+#ifndef STREAMSC_API_SOLVER_REGISTRY_H_
+#define STREAMSC_API_SOLVER_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/solve_report.h"
+#include "api/solver_options.h"
+#include "stream/set_stream.h"
+#include "stream/stream_algorithm.h"
+#include "util/status.h"
+
+/// \file solver_registry.h
+/// SolverRegistry: the string-keyed front door to every streaming solver
+/// in core/. Before it existed the repo exposed the paper's family of
+/// pass/space/approximation trade-offs as 9 unrelated config structs, and
+/// every bench, test, and CLI hand-wired its own subset — `workload_tool
+/// solve` could literally only run Assadi. The registry gives each solver
+/// configuration a stable name, a self-describing option schema
+/// (solver_options.h), and one uniform runnable shape (AnySolver), so any
+/// caller can drive any solver data-driven:
+///
+///   auto solver = SolverRegistry::Global().Create(
+///       "assadi", {"alpha=2", "epsilon=0.5"});
+///   if (!solver.ok()) { /* actionable Status, never an abort */ }
+///   StatusOr<SolveReport> report = (*solver)->Run(stream, RunContext{});
+///
+/// Construction-time validation is two-tier by design: the registry
+/// parses and range-checks *user input* into Status errors, while the
+/// config-struct constructors keep their STREAMSC_CHECKs as the
+/// programmer-misuse backstop (death-tested per solver). Registry ranges
+/// are at least as strict as the CHECKs, so Create() can never abort.
+
+namespace streamsc {
+
+/// A solver created by the registry: options already bound, runnable over
+/// any SetStream with per-run execution resources (RunContext). Stateless
+/// across runs — the same AnySolver may be Run() repeatedly, also on
+/// different streams.
+class AnySolver {
+ public:
+  virtual ~AnySolver() = default;
+
+  /// Registry key this solver was created under.
+  virtual const std::string& solver() const = 0;
+
+  /// Problem family (drives interpretation of SolveReport fields).
+  virtual SolverKind kind() const = 0;
+
+  /// Parametrized display name, e.g. "assadi(alpha=2,eps=0.500000)".
+  virtual std::string algorithm_name() const = 0;
+
+  /// Runs over \p stream with the execution resources in \p context.
+  /// Stream-dependent option misuse (e.g. an emek_rosen threshold larger
+  /// than this stream's universe) reports a Status instead of aborting.
+  virtual StatusOr<SolveReport> Run(SetStream& stream,
+                                    const RunContext& context) = 0;
+};
+
+/// Everything a caller needs to present a registered solver: key, family,
+/// one-line summary, and the full option schema.
+struct SolverInfo {
+  std::string name;
+  SolverKind kind = SolverKind::kSetCover;
+  std::string summary;
+  std::vector<OptionDescriptor> options;
+};
+
+/// The process-wide, immutable-after-construction solver catalogue.
+class SolverRegistry {
+ public:
+  /// The global registry with all 9 built-in solver configurations:
+  /// assadi, har_peled, demaine, emek_rosen, one_pass, threshold_greedy,
+  /// sieve_mc, element_sampling_mc, pair_finder.
+  static const SolverRegistry& Global();
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Metadata for \p name, or nullptr if not registered.
+  const SolverInfo* Find(const std::string& name) const;
+
+  /// Parses \p options (key=value strings) against \p name's schema and
+  /// constructs the solver. Unknown solver, unknown key, malformed value,
+  /// and out-of-range value all return a Status quoting the offending
+  /// input and the legal alternatives — never an abort.
+  StatusOr<std::unique_ptr<AnySolver>> Create(
+      const std::string& name,
+      const std::vector<std::string>& options) const;
+
+ private:
+  using Factory =
+      std::function<std::unique_ptr<AnySolver>(const ParsedOptions&)>;
+
+  struct Entry {
+    SolverInfo info;
+    Factory make;
+  };
+
+  SolverRegistry();  // registers the built-ins
+
+  void Register(SolverInfo info, Factory make);
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_API_SOLVER_REGISTRY_H_

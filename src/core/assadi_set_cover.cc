@@ -32,7 +32,8 @@ std::string AssadiSetCover::name() const {
 
 AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
                                                std::size_t opt_guess,
-                                               Rng& rng) const {
+                                               Rng& rng,
+                                               const RunContext& context) const {
   const std::size_t n = stream.universe_size();
   const std::size_t m = stream.num_sets();
   const double alpha = static_cast<double>(config_.alpha);
@@ -41,10 +42,10 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
   AssadiGuessResult result;
   SpaceMeter meter;
 
-  // All passes run through the context: sharded when an engine is set and
-  // the stream's item views survive a whole pass, sequential otherwise —
-  // bit-identical either way.
-  EngineContext ctx(stream, config_.engine);
+  // All passes run through the context: sharded when the run binds an
+  // engine and the stream's item views survive a whole pass, sequential
+  // otherwise — bit-identical either way.
+  EngineContext ctx(stream, context.engine);
 
   // Retained state: the uncovered-elements bitset U and the solution ids.
   DynamicBitset uncovered = DynamicBitset::Full(n);
@@ -174,7 +175,8 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
   return result;
 }
 
-SetCoverRunResult AssadiSetCover::Run(SetStream& stream) {
+SetCoverRunResult AssadiSetCover::Run(SetStream& stream,
+                                      const RunContext& context) {
   Stopwatch timer;
   const std::size_t n = stream.universe_size();
   const std::uint64_t passes_before = stream.passes();
@@ -185,7 +187,7 @@ SetCoverRunResult AssadiSetCover::Run(SetStream& stream) {
   EnginePassStats totals;
 
   auto try_guess = [&](std::size_t guess) -> bool {
-    AssadiGuessResult r = RunWithGuess(stream, guess, rng);
+    AssadiGuessResult r = RunWithGuess(stream, guess, rng, context);
     peak = std::max(peak, r.peak_space_bytes);
     totals.sets_taken += r.engine_stats.sets_taken;
     totals.elements_covered += r.engine_stats.elements_covered;

@@ -49,12 +49,6 @@ struct AssadiConfig {
                                 ///< survives the α iterations (the paper's
                                 ///< "always return a feasible solution").
   std::size_t known_opt = 0;    ///< If > 0, skip guessing and use this õpt.
-  ParallelPassEngine* engine = nullptr;  ///< If set (and the stream's items
-                                         ///< stay valid within a pass), the
-                                         ///< pruning and projection passes
-                                         ///< are sharded across the pool.
-                                         ///< Results are bit-identical for
-                                         ///< any thread count. Not owned.
 };
 
 /// Outcome of a single-guess run (the (2α+1)-pass core).
@@ -75,13 +69,20 @@ class AssadiSetCover : public StreamingSetCoverAlgorithm {
 
   std::string name() const override;
 
+  using StreamingSetCoverAlgorithm::Run;
+
   /// Runs the full driver (guessing õpt unless config.known_opt is set).
-  SetCoverRunResult Run(SetStream& stream) override;
+  /// The engine in \p context (if any) shards the pruning and projection
+  /// passes whenever the stream's items stay valid within a pass; results
+  /// are bit-identical for any thread count.
+  SetCoverRunResult Run(SetStream& stream,
+                        const RunContext& context) override;
 
   /// Runs the (2α+1)-pass core for one guess õpt. Exposed for the benches
   /// that study the per-guess space/pass behaviour (Theorem 2's headline).
   AssadiGuessResult RunWithGuess(SetStream& stream, std::size_t opt_guess,
-                                 Rng& rng) const;
+                                 Rng& rng,
+                                 const RunContext& context = {}) const;
 
   const AssadiConfig& config() const { return config_; }
 

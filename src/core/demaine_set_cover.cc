@@ -28,9 +28,9 @@ double DemaineSetCover::SpaceExponent(std::size_t n) const {
   return std::clamp(delta, 1e-6, 1.0);
 }
 
-SetCoverRunResult DemaineSetCover::RunWithGuess(SetStream& stream,
-                                                std::size_t opt_guess,
-                                                Rng& rng) const {
+SetCoverRunResult DemaineSetCover::RunWithGuess(
+    SetStream& stream, std::size_t opt_guess, Rng& rng,
+    const RunContext& context) const {
   Stopwatch timer;
   const std::size_t n = stream.universe_size();
   const std::size_t m = stream.num_sets();
@@ -38,7 +38,7 @@ SetCoverRunResult DemaineSetCover::RunWithGuess(SetStream& stream,
 
   SetCoverRunResult result;
   SpaceMeter meter;
-  EngineContext ctx(stream, config_.engine);
+  EngineContext ctx(stream, context.engine);
   DynamicBitset uncovered = DynamicBitset::Full(n);
   meter.Charge(uncovered.ByteSize(), "uncovered");
   Solution solution;
@@ -110,7 +110,8 @@ SetCoverRunResult DemaineSetCover::RunWithGuess(SetStream& stream,
   return result;
 }
 
-SetCoverRunResult DemaineSetCover::Run(SetStream& stream) {
+SetCoverRunResult DemaineSetCover::Run(SetStream& stream,
+                                       const RunContext& context) {
   Stopwatch timer;
   Rng rng(config_.seed);
   const std::uint64_t passes_before = stream.passes();
@@ -119,7 +120,7 @@ SetCoverRunResult DemaineSetCover::Run(SetStream& stream) {
   EnginePassStats totals;
 
   auto try_guess = [&](std::size_t guess) {
-    SetCoverRunResult r = RunWithGuess(stream, guess, rng);
+    SetCoverRunResult r = RunWithGuess(stream, guess, rng, context);
     peak = std::max(peak, r.stats.peak_space_bytes);
     totals.sets_taken += r.stats.sets_taken;
     totals.elements_covered += r.stats.elements_covered;

@@ -29,8 +29,6 @@
 
 namespace streamsc {
 
-class ParallelPassEngine;
-
 /// Configuration of the DIMV'14-style baseline.
 struct DemaineConfig {
   std::size_t alpha = 4;        ///< Target approximation factor (>= 2).
@@ -38,12 +36,6 @@ struct DemaineConfig {
   std::uint64_t seed = 1;       ///< Seed for element sampling.
   std::size_t known_opt = 0;    ///< If > 0, skip guessing and use this õpt.
   bool ensure_feasible = true;  ///< Cleanup pass if a residue survives.
-  ParallelPassEngine* engine = nullptr;  ///< If set (and the stream's items
-                                         ///< stay valid within a pass), the
-                                         ///< projection passes are sharded
-                                         ///< across the pool; bit-identical
-                                         ///< for any thread count. Not
-                                         ///< owned.
 };
 
 /// DIMV'14-style α-approximation: O(α) passes, Õ(m·n^{Θ(1/log α)}) space.
@@ -53,12 +45,18 @@ class DemaineSetCover : public StreamingSetCoverAlgorithm {
 
   std::string name() const override;
 
+  using StreamingSetCoverAlgorithm::Run;
+
   /// Full driver (geometric õpt guesses unless config.known_opt is set).
-  SetCoverRunResult Run(SetStream& stream) override;
+  /// The engine in \p context (if any) shards the projection passes;
+  /// bit-identical results for any thread count.
+  SetCoverRunResult Run(SetStream& stream,
+                        const RunContext& context) override;
 
   /// Single-guess core; exposed for the per-guess space benches.
   SetCoverRunResult RunWithGuess(SetStream& stream, std::size_t opt_guess,
-                                 Rng& rng) const;
+                                 Rng& rng,
+                                 const RunContext& context = {}) const;
 
   /// The space exponent δ = ln 4 / ln α this configuration targets
   /// (clamped to (0, 1]); stored sample sizes scale as n^δ.

@@ -27,7 +27,8 @@ std::size_t EmekRosenSetCover::ThresholdFor(std::size_t n) const {
              static_cast<double>(n)))));
 }
 
-SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream) {
+SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream,
+                                         const RunContext& context) {
   Stopwatch timer;
   const std::size_t n = stream.universe_size();
   const std::uint64_t passes_before = stream.passes();
@@ -42,7 +43,7 @@ SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream) {
 
   SetCoverRunResult result;
   SpaceMeter meter;
-  EngineContext ctx(stream, config_.engine);
+  EngineContext ctx(stream, context.engine);
   DynamicBitset uncovered = DynamicBitset::Full(n);
   meter.Charge(uncovered.ByteSize(), "uncovered");
   // Witness id per element; kInvalidSetId = none seen yet. Elements

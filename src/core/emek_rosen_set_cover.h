@@ -28,21 +28,15 @@
 
 namespace streamsc {
 
-class ParallelPassEngine;
-
 /// Configuration of the Emek-Rosén style baseline.
 struct EmekRosenConfig {
   /// Threshold override; 0 means the √n default. An explicit threshold
   /// must not exceed the universe size of the streamed instance (no set
   /// could ever qualify as "big", silently degrading the O(√n) guarantee
   /// to O(n) witness-only mode) — Run() CHECK-fails on that misuse.
+  /// (The registry front door pre-validates this against the stream and
+  /// returns a Status instead; see api/solver_registry.h.)
   std::size_t threshold = 0;
-
-  /// If set (and the stream's items stay valid within a pass), the
-  /// threshold-and-witness pass precomputes gains sharded across the
-  /// pool; witnesses commit in stream order, so the taken sets and the
-  /// witness array are bit-identical for any thread count. Not owned.
-  ParallelPassEngine* engine = nullptr;
 };
 
 /// Single-pass O(√n)-approximation semi-streaming set cover.
@@ -52,7 +46,13 @@ class EmekRosenSetCover : public StreamingSetCoverAlgorithm {
 
   std::string name() const override;
 
-  SetCoverRunResult Run(SetStream& stream) override;
+  using StreamingSetCoverAlgorithm::Run;
+
+  /// The engine in \p context (if any) precomputes gains sharded across
+  /// the pool; witnesses commit in stream order, so the taken sets and
+  /// the witness array are bit-identical for any thread count.
+  SetCoverRunResult Run(SetStream& stream,
+                        const RunContext& context) override;
 
   /// The big-set threshold used for a universe of size \p n.
   std::size_t ThresholdFor(std::size_t n) const;

@@ -22,9 +22,9 @@ std::string HarPeledSetCover::name() const {
   return "har-peled(alpha=" + std::to_string(config_.alpha) + ")";
 }
 
-SetCoverRunResult HarPeledSetCover::RunWithGuess(SetStream& stream,
-                                                 std::size_t opt_guess,
-                                                 Rng& rng) const {
+SetCoverRunResult HarPeledSetCover::RunWithGuess(
+    SetStream& stream, std::size_t opt_guess, Rng& rng,
+    const RunContext& context) const {
   const std::size_t n = stream.universe_size();
   const std::size_t m = stream.num_sets();
   const std::uint64_t passes_before = stream.passes();
@@ -32,7 +32,7 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(SetStream& stream,
 
   SetCoverRunResult result;
   SpaceMeter meter;
-  EngineContext ctx(stream, config_.engine);
+  EngineContext ctx(stream, context.engine);
 
   DynamicBitset uncovered = DynamicBitset::Full(n);
   meter.Charge(uncovered.ByteSize(), "uncovered");
@@ -131,7 +131,8 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(SetStream& stream,
   return result;
 }
 
-SetCoverRunResult HarPeledSetCover::Run(SetStream& stream) {
+SetCoverRunResult HarPeledSetCover::Run(SetStream& stream,
+                                        const RunContext& context) {
   Stopwatch timer;
   Rng rng(config_.seed);
   const std::uint64_t passes_before = stream.passes();
@@ -140,7 +141,7 @@ SetCoverRunResult HarPeledSetCover::Run(SetStream& stream) {
   EnginePassStats totals;
 
   auto try_guess = [&](std::size_t guess) {
-    SetCoverRunResult r = RunWithGuess(stream, guess, rng);
+    SetCoverRunResult r = RunWithGuess(stream, guess, rng, context);
     peak = std::max(peak, r.stats.peak_space_bytes);
     totals.sets_taken += r.stats.sets_taken;
     totals.elements_covered += r.stats.elements_covered;

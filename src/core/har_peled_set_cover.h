@@ -27,8 +27,6 @@
 
 namespace streamsc {
 
-class ParallelPassEngine;
-
 /// Configuration of the Har-Peled-style baseline.
 struct HarPeledConfig {
   std::size_t alpha = 2;          ///< Target approximation factor.
@@ -36,12 +34,6 @@ struct HarPeledConfig {
   std::uint64_t seed = 1;
   std::uint64_t exact_node_budget = 20'000'000;
   std::size_t known_opt = 0;      ///< If > 0, use as õpt (no guessing).
-  ParallelPassEngine* engine = nullptr;  ///< If set (and the stream's items
-                                         ///< stay valid within a pass), the
-                                         ///< pruning and projection passes
-                                         ///< are sharded across the pool.
-                                         ///< Results are bit-identical for
-                                         ///< any thread count. Not owned.
 };
 
 /// The iterative-pruning baseline algorithm.
@@ -51,11 +43,17 @@ class HarPeledSetCover : public StreamingSetCoverAlgorithm {
 
   std::string name() const override;
 
-  SetCoverRunResult Run(SetStream& stream) override;
+  using StreamingSetCoverAlgorithm::Run;
+
+  /// The engine in \p context (if any) shards the pruning and projection
+  /// passes; bit-identical results for any thread count.
+  SetCoverRunResult Run(SetStream& stream,
+                        const RunContext& context) override;
 
   /// Single-guess core; exposed for the comparison benches.
   SetCoverRunResult RunWithGuess(SetStream& stream, std::size_t opt_guess,
-                                 Rng& rng) const;
+                                 Rng& rng,
+                                 const RunContext& context = {}) const;
 
  private:
   HarPeledConfig config_;

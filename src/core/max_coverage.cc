@@ -36,8 +36,8 @@ double ElementSamplingMaxCoverage::SampleRate(std::size_t n, std::size_t m,
   return std::clamp(target / static_cast<double>(n), 1e-12, 1.0);
 }
 
-MaxCoverageRunResult ElementSamplingMaxCoverage::Run(SetStream& stream,
-                                                     std::size_t k) {
+MaxCoverageRunResult ElementSamplingMaxCoverage::Run(
+    SetStream& stream, std::size_t k, const RunContext& context) {
   Stopwatch timer;
   const std::size_t n = stream.universe_size();
   const std::size_t m = stream.num_sets();
@@ -46,7 +46,7 @@ MaxCoverageRunResult ElementSamplingMaxCoverage::Run(SetStream& stream,
 
   MaxCoverageRunResult result;
   SpaceMeter meter;
-  EngineContext ctx(stream, config_.engine);
+  EngineContext ctx(stream, context.engine);
 
   // Sample the universe once, up front (public coins in the paper's
   // communication view).
@@ -112,14 +112,15 @@ std::string SieveMaxCoverage::name() const {
   return "sieve-mc(eps=" + std::to_string(config_.epsilon) + ")";
 }
 
-MaxCoverageRunResult SieveMaxCoverage::Run(SetStream& stream, std::size_t k) {
+MaxCoverageRunResult SieveMaxCoverage::Run(SetStream& stream, std::size_t k,
+                                           const RunContext& context) {
   Stopwatch timer;
   const std::size_t n = stream.universe_size();
   const std::uint64_t passes_before = stream.passes();
 
   MaxCoverageRunResult result;
   SpaceMeter meter;
-  EngineContext ctx(stream, config_.engine);
+  EngineContext ctx(stream, context.engine);
 
   // One candidate solution per OPT guess v on the grid (1+ε)^j in
   // [1, k·n]. Each candidate retains its covered-elements bitset.

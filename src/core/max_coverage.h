@@ -25,8 +25,6 @@
 
 namespace streamsc {
 
-class ParallelPassEngine;
-
 /// Configuration of the element-sampling (1-ε) scheme.
 /// epsilon must lie in (0, 1) — CHECK-enforced in every build mode (the
 /// sample-rate formula divides by ε²).
@@ -37,12 +35,6 @@ struct ElementSamplingMcConfig {
   std::uint64_t exact_node_budget = 5'000'000;
   std::size_t exact_k_limit = 3;  ///< Solve sampled instance exactly for
                                   ///< k <= this; greedily otherwise.
-  ParallelPassEngine* engine = nullptr;  ///< If set (and the stream's items
-                                         ///< stay valid within a pass), the
-                                         ///< projection-storing pass is
-                                         ///< sharded across the pool;
-                                         ///< bit-identical for any thread
-                                         ///< count. Not owned.
 };
 
 /// The (1-ε)-approximation, single-pass element-sampling algorithm.
@@ -52,7 +44,12 @@ class ElementSamplingMaxCoverage : public StreamingMaxCoverageAlgorithm {
 
   std::string name() const override;
 
-  MaxCoverageRunResult Run(SetStream& stream, std::size_t k) override;
+  using StreamingMaxCoverageAlgorithm::Run;
+
+  /// The engine in \p context (if any) shards the projection-storing
+  /// pass; bit-identical results for any thread count.
+  MaxCoverageRunResult Run(SetStream& stream, std::size_t k,
+                           const RunContext& context) override;
 
   /// The universe-sampling rate used for a given instance shape — exposed
   /// so benches can report the predicted space m·(rate·n) directly.
@@ -69,14 +66,6 @@ class ElementSamplingMaxCoverage : public StreamingMaxCoverageAlgorithm {
 /// spin the grid-construction loop forever.
 struct SieveMcConfig {
   double epsilon = 0.1;  ///< Guess-grid resolution (1+ε).
-  ParallelPassEngine* engine = nullptr;  ///< If set (and the stream's items
-                                         ///< stay valid within a pass), the
-                                         ///< OPT-guess lanes of the sieve
-                                         ///< run in parallel — each lane's
-                                         ///< state depends only on its own
-                                         ///< history, so the result is
-                                         ///< bit-identical for any thread
-                                         ///< count. Not owned.
 };
 
 /// Single-pass threshold sieve baseline.
@@ -86,7 +75,13 @@ class SieveMaxCoverage : public StreamingMaxCoverageAlgorithm {
 
   std::string name() const override;
 
-  MaxCoverageRunResult Run(SetStream& stream, std::size_t k) override;
+  using StreamingMaxCoverageAlgorithm::Run;
+
+  /// The engine in \p context (if any) runs the OPT-guess lanes of the
+  /// sieve in parallel — each lane's state depends only on its own
+  /// history, so the result is bit-identical for any thread count.
+  MaxCoverageRunResult Run(SetStream& stream, std::size_t k,
+                           const RunContext& context) override;
 
  private:
   SieveMcConfig config_;

@@ -20,14 +20,15 @@ std::string OnePassSetCover::name() const {
          ")";
 }
 
-SetCoverRunResult OnePassSetCover::Run(SetStream& stream) {
+SetCoverRunResult OnePassSetCover::Run(SetStream& stream,
+                                       const RunContext& context) {
   Stopwatch timer;
   const std::size_t n = stream.universe_size();
   const std::uint64_t passes_before = stream.passes();
 
   SetCoverRunResult result;
   SpaceMeter meter;
-  EngineContext ctx(stream, config_.engine);
+  EngineContext ctx(stream, context.engine);
   DynamicBitset uncovered = DynamicBitset::Full(n);
   meter.Charge(uncovered.ByteSize(), "uncovered");
   Solution solution;

@@ -15,8 +15,6 @@
 
 namespace streamsc {
 
-class ParallelPassEngine;
-
 /// Configuration of the single-pass baseline.
 struct OnePassConfig {
   /// Minimum marginal gain as a fraction of the current uncovered count;
@@ -24,12 +22,6 @@ struct OnePassConfig {
   /// [0, 1] — CHECK-enforced (a negative value aliases 0 and a value
   /// above 1 can never be met, both silent misconfigurations).
   double min_gain_fraction = 0.0;
-
-  /// If set (and the stream's items stay valid within a pass), the
-  /// single pass precomputes gains sharded across the pool and commits
-  /// takes in stream order — bit-identical for any thread count. Not
-  /// owned.
-  ParallelPassEngine* engine = nullptr;
 };
 
 /// Single-pass greedy.
@@ -39,7 +31,13 @@ class OnePassSetCover : public StreamingSetCoverAlgorithm {
 
   std::string name() const override;
 
-  SetCoverRunResult Run(SetStream& stream) override;
+  using StreamingSetCoverAlgorithm::Run;
+
+  /// The engine in \p context (if any) precomputes gains sharded across
+  /// the pool and commits takes in stream order — bit-identical for any
+  /// thread count.
+  SetCoverRunResult Run(SetStream& stream,
+                        const RunContext& context) override;
 
  private:
   OnePassConfig config_;

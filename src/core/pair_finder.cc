@@ -17,7 +17,8 @@ std::string ExactPairFinder::name() const {
   return "exact-pair-finder(p=" + std::to_string(config_.passes) + ")";
 }
 
-PairFinderResult ExactPairFinder::Run(SetStream& stream) const {
+PairFinderResult ExactPairFinder::Run(SetStream& stream,
+                                      const RunContext& context) const {
   const std::size_t n = stream.universe_size();
   const std::size_t m = stream.num_sets();
   const std::size_t p = std::min(config_.passes, std::max<std::size_t>(n, 1));
@@ -25,7 +26,7 @@ PairFinderResult ExactPairFinder::Run(SetStream& stream) const {
 
   PairFinderResult result;
   SpaceMeter meter;
-  EngineContext ctx(stream, config_.engine);
+  EngineContext ctx(stream, context.engine);
 
   // Candidate pairs (i <= j) surviving all chunks seen so far. Seeded from
   // the first chunk instead of materializing all m² pairs.

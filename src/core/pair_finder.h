@@ -32,13 +32,6 @@ struct PairFinderConfig {
   /// (infeasible result) if exceeded. The candidate list is seeded by the
   /// first chunk rather than materializing all m² pairs.
   std::size_t max_candidates = 4'000'000;
-  /// If set, the projection-storing pass (when the stream's items stay
-  /// valid within a pass), the candidate seeding, and the survivor
-  /// filtering are sharded across the pool. Candidate order — and with it
-  /// the returned pair — is bit-identical for any thread count: parallel
-  /// phases only precompute per-row/per-candidate facts which are then
-  /// committed in the sequential order. Not owned.
-  ParallelPassEngine* engine = nullptr;
 };
 
 /// Outcome of a pair-finder run.
@@ -58,7 +51,16 @@ class ExactPairFinder {
 
   std::string name() const;
 
-  PairFinderResult Run(SetStream& stream) const;
+  /// The engine in \p context (if any) shards the projection-storing
+  /// pass (when the stream's items stay valid within a pass), the
+  /// candidate seeding, and the survivor filtering. Candidate order —
+  /// and with it the returned pair — is bit-identical for any thread
+  /// count: parallel phases only precompute per-row/per-candidate facts
+  /// which are then committed in the sequential order.
+  PairFinderResult Run(SetStream& stream, const RunContext& context) const;
+
+  /// Sequential convenience overload.
+  PairFinderResult Run(SetStream& stream) const { return Run(stream, {}); }
 
  private:
   PairFinderConfig config_;

@@ -158,15 +158,15 @@ DynamicBitset SampleElements(const DynamicBitset& universe, double rate,
 
 std::vector<ProjectedSet> ProjectAll(const SubUniverse& sub,
                                      const std::vector<StreamItem>& items,
-                                     ParallelPassEngine* engine) {
+                                     ParallelPassEngine* pool) {
   std::vector<ProjectedSet> out(items.size());
-  if (engine == nullptr || engine->num_threads() <= 1) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
     for (std::size_t i = 0; i < items.size(); ++i) {
       out[i] = sub.ProjectAdaptive(items[i].set);
     }
     return out;
   }
-  engine->ParallelFor(items.size(), [&](std::size_t i) {
+  pool->ParallelFor(items.size(), [&](std::size_t i) {
     out[i] = sub.ProjectAdaptive(items[i].set);
   });
   return out;

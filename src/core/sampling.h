@@ -121,13 +121,13 @@ DynamicBitset SampleElements(const DynamicBitset& universe, double rate,
 
 /// Projects every buffered item onto \p sub (via ProjectAdaptive, so each
 /// projection keeps its source's representation); out[i] corresponds to
-/// items[i]. With an engine the projections are computed in parallel —
-/// each item's output slot is fixed by its stream position, so the result
-/// is bit-identical for any thread count. Pass engine == nullptr for the
+/// items[i]. With a pool the projections are computed in parallel — each
+/// item's output slot is fixed by its stream position, so the result is
+/// bit-identical for any thread count. Pass pool == nullptr for the
 /// sequential path.
 std::vector<ProjectedSet> ProjectAll(const SubUniverse& sub,
                                      const std::vector<StreamItem>& items,
-                                     ParallelPassEngine* engine);
+                                     ParallelPassEngine* pool);
 
 }  // namespace streamsc
 

@@ -20,7 +20,8 @@ std::string ThresholdGreedySetCover::name() const {
   return "threshold-greedy(beta=" + std::to_string(config_.beta) + ")";
 }
 
-SetCoverRunResult ThresholdGreedySetCover::Run(SetStream& stream) {
+SetCoverRunResult ThresholdGreedySetCover::Run(SetStream& stream,
+                                               const RunContext& context) {
   Stopwatch timer;
   const std::size_t n = stream.universe_size();
   const std::uint64_t passes_before = stream.passes();
@@ -31,7 +32,7 @@ SetCoverRunResult ThresholdGreedySetCover::Run(SetStream& stream) {
   meter.Charge(uncovered.ByteSize(), "uncovered");
   Solution solution;
 
-  EngineContext ctx(stream, config_.engine);
+  EngineContext ctx(stream, context.engine);
   const auto take = [&](SetId id) {
     solution.chosen.push_back(id);
     meter.SetCategory(solution.size() * sizeof(SetId), "solution");

@@ -16,18 +16,11 @@
 
 namespace streamsc {
 
-class ParallelPassEngine;
-
 /// Configuration of the threshold-greedy baseline.
 struct ThresholdGreedyConfig {
   /// Threshold shrink factor per pass (β > 1). β = 2 gives a
   /// 2·H_n-style guarantee in ~log2(n) passes.
   double beta = 2.0;
-
-  /// If set (and the stream's items stay valid within a pass), each
-  /// threshold pass is sharded across the pool; the taken sets are
-  /// bit-identical for any thread count. Not owned.
-  ParallelPassEngine* engine = nullptr;
 };
 
 /// Multi-pass threshold greedy.
@@ -37,7 +30,12 @@ class ThresholdGreedySetCover : public StreamingSetCoverAlgorithm {
 
   std::string name() const override;
 
-  SetCoverRunResult Run(SetStream& stream) override;
+  using StreamingSetCoverAlgorithm::Run;
+
+  /// The engine in \p context (if any) shards each threshold pass; the
+  /// taken sets are bit-identical for any thread count.
+  SetCoverRunResult Run(SetStream& stream,
+                        const RunContext& context) override;
 
  private:
   ThresholdGreedyConfig config_;

@@ -12,8 +12,28 @@
 /// Interfaces for streaming set cover / maximum coverage algorithms and
 /// the per-run statistics the benchmark harness reports (passes, peak
 /// logical space, wall time).
+///
+/// Execution resources (the ParallelPassEngine) are bound **per run**
+/// through a RunContext, not baked into solver configs: a solver object
+/// holds only algorithm parameters and can be reused across runs with
+/// different thread pools, streams, and sources. This is the one place a
+/// future sharded/NUMA scheduler has to plug into.
 
 namespace streamsc {
+
+class ParallelPassEngine;
+
+/// Per-run execution binding. Passed to Run() alongside the stream; a
+/// default-constructed context means "sequential". Nothing in it is
+/// owned — the engine (when present) must outlive the run. Callers who
+/// want a pool resolve a thread count via MakeEngine() (engine_context.h)
+/// or let SolveSession (api/solve_session.h) own the lifetime for them.
+struct RunContext {
+  /// Optional worker pool. When non-null and the stream can buffer a
+  /// pass (SetStream::ItemsRemainValid()), engine-routed passes shard
+  /// across it; results are bit-identical for any thread count.
+  ParallelPassEngine* engine = nullptr;
+};
 
 /// Per-run resource statistics. Everything except wall_seconds is
 /// deterministic: for a fixed stream order the values are bit-identical
@@ -51,8 +71,14 @@ class StreamingSetCoverAlgorithm {
   /// Human-readable algorithm name for tables.
   virtual std::string name() const = 0;
 
-  /// Consumes \p stream (any number of passes) and returns a cover.
-  virtual SetCoverRunResult Run(SetStream& stream) = 0;
+  /// Consumes \p stream (any number of passes) and returns a cover,
+  /// binding the execution resources in \p context for this run only.
+  virtual SetCoverRunResult Run(SetStream& stream,
+                                const RunContext& context) = 0;
+
+  /// Sequential convenience overload. (Derived classes re-expose it with
+  /// `using StreamingSetCoverAlgorithm::Run;`.)
+  SetCoverRunResult Run(SetStream& stream) { return Run(stream, {}); }
 };
 
 /// A multi-pass streaming algorithm for maximum k-coverage.
@@ -63,8 +89,16 @@ class StreamingMaxCoverageAlgorithm {
   /// Human-readable algorithm name for tables.
   virtual std::string name() const = 0;
 
-  /// Consumes \p stream and returns (up to) k sets.
-  virtual MaxCoverageRunResult Run(SetStream& stream, std::size_t k) = 0;
+  /// Consumes \p stream and returns (up to) k sets, binding the execution
+  /// resources in \p context for this run only.
+  virtual MaxCoverageRunResult Run(SetStream& stream, std::size_t k,
+                                   const RunContext& context) = 0;
+
+  /// Sequential convenience overload. (Derived classes re-expose it with
+  /// `using StreamingMaxCoverageAlgorithm::Run;`.)
+  MaxCoverageRunResult Run(SetStream& stream, std::size_t k) {
+    return Run(stream, k, {});
+  }
 };
 
 }  // namespace streamsc

@@ -1,31 +1,28 @@
 // The cross-algorithm conformance matrix (see testing/solver_matrix.h):
-// every streaming solver in core/ must produce byte-identical solutions,
-// covers, and deterministic stats across {VectorSetStream, FileSetStream,
-// MmapSetStream} x {no engine, 1, 2, 8 threads}. One parameterized
-// harness instead of per-algorithm ad-hoc determinism spot checks — a
-// solver that cannot run through this matrix green has no business
-// accepting an engine.
+// every streaming solver must produce byte-identical solutions, covers,
+// and deterministic stats across {VectorSetStream, FileSetStream,
+// MmapSetStream} x {no engine, 1, 2, 8 threads}. Since the unified-API
+// redesign the matrix is driven through the public front door: each cell
+// constructs its solver from the string-keyed SolverRegistry, and every
+// solver additionally runs through the owning SolveSession (source
+// sniffing + engine lifetime via `threads=`) from both on-disk formats —
+// so the conformance proof covers exactly the construction path external
+// callers use, not a parallel hand-wired one.
 
 #include <gtest/gtest.h>
 
-#include "core/assadi_set_cover.h"
-#include "core/demaine_set_cover.h"
-#include "core/emek_rosen_set_cover.h"
-#include "core/har_peled_set_cover.h"
-#include "core/max_coverage.h"
-#include "core/one_pass_set_cover.h"
-#include "core/pair_finder.h"
-#include "core/threshold_greedy.h"
+#include "api/solver_registry.h"
 #include "instance/generators.h"
+#include "stream/engine_context.h"
 #include "testing/solver_matrix.h"
 #include "util/random.h"
 
 namespace streamsc {
 namespace {
 
+using testing::RegistrySolverFn;
 using testing::RunConformanceMatrix;
 using testing::SolverOutcome;
-using testing::ToOutcome;
 
 // A mixed-density instance: sparse planted blocks plus a dense
 // every-other-element set, so the matrix exercises both payload
@@ -64,118 +61,62 @@ SetSystem PairInstance(std::size_t n, std::size_t decoys,
 }
 
 TEST(SolverMatrixTest, Assadi) {
-  const SetSystem system = MatrixInstance(320, 28, 4, 7);
-  RunConformanceMatrix(system, [](SetStream& stream,
-                                  ParallelPassEngine* engine) {
-    AssadiConfig config;
-    config.alpha = 2;
-    config.epsilon = 0.5;
-    config.seed = 11;
-    config.engine = engine;
-    return ToOutcome(AssadiSetCover(config).Run(stream));
-  });
+  RunConformanceMatrix(MatrixInstance(320, 28, 4, 7), "assadi",
+                       {"alpha=2", "epsilon=0.5", "seed=11"});
 }
 
 TEST(SolverMatrixTest, HarPeled) {
-  const SetSystem system = MatrixInstance(320, 28, 4, 8);
-  RunConformanceMatrix(system, [](SetStream& stream,
-                                  ParallelPassEngine* engine) {
-    HarPeledConfig config;
-    config.alpha = 2;
-    config.seed = 13;
-    config.engine = engine;
-    return ToOutcome(HarPeledSetCover(config).Run(stream));
-  });
+  RunConformanceMatrix(MatrixInstance(320, 28, 4, 8), "har_peled",
+                       {"alpha=2", "seed=13"});
 }
 
 TEST(SolverMatrixTest, Demaine) {
-  const SetSystem system = MatrixInstance(320, 28, 4, 9);
-  RunConformanceMatrix(system, [](SetStream& stream,
-                                  ParallelPassEngine* engine) {
-    DemaineConfig config;
-    config.alpha = 4;
-    config.seed = 17;
-    config.engine = engine;
-    return ToOutcome(DemaineSetCover(config).Run(stream));
-  });
+  RunConformanceMatrix(MatrixInstance(320, 28, 4, 9), "demaine",
+                       {"alpha=4", "seed=17"});
 }
 
 TEST(SolverMatrixTest, EmekRosen) {
-  const SetSystem system = MatrixInstance(320, 28, 4, 10);
-  RunConformanceMatrix(system, [](SetStream& stream,
-                                  ParallelPassEngine* engine) {
-    EmekRosenConfig config;
-    config.engine = engine;
-    return ToOutcome(EmekRosenSetCover(config).Run(stream));
-  });
+  RunConformanceMatrix(MatrixInstance(320, 28, 4, 10), "emek_rosen", {});
 }
 
 TEST(SolverMatrixTest, OnePass) {
-  const SetSystem system = MatrixInstance(320, 28, 4, 11);
-  RunConformanceMatrix(system, [](SetStream& stream,
-                                  ParallelPassEngine* engine) {
-    OnePassConfig config;
-    config.min_gain_fraction = 0.05;
-    config.engine = engine;
-    return ToOutcome(OnePassSetCover(config).Run(stream));
-  });
+  RunConformanceMatrix(MatrixInstance(320, 28, 4, 11), "one_pass",
+                       {"min_gain_fraction=0.05"});
 }
 
 TEST(SolverMatrixTest, ThresholdGreedy) {
-  const SetSystem system = MatrixInstance(320, 28, 4, 12);
-  RunConformanceMatrix(system, [](SetStream& stream,
-                                  ParallelPassEngine* engine) {
-    ThresholdGreedyConfig config;
-    config.engine = engine;
-    return ToOutcome(ThresholdGreedySetCover(config).Run(stream));
-  });
+  RunConformanceMatrix(MatrixInstance(320, 28, 4, 12), "threshold_greedy",
+                       {});
 }
 
 TEST(SolverMatrixTest, ElementSamplingMaxCoverage) {
-  const SetSystem system = MatrixInstance(320, 28, 4, 13);
-  RunConformanceMatrix(system, [](SetStream& stream,
-                                  ParallelPassEngine* engine) {
-    ElementSamplingMcConfig config;
-    config.seed = 19;
-    config.engine = engine;
-    return ToOutcome(ElementSamplingMaxCoverage(config).Run(stream, 3));
-  });
+  RunConformanceMatrix(MatrixInstance(320, 28, 4, 13), "element_sampling_mc",
+                       {"seed=19", "k=3"});
 }
 
 TEST(SolverMatrixTest, SieveMaxCoverage) {
-  const SetSystem system = MatrixInstance(320, 28, 4, 14);
-  RunConformanceMatrix(system, [](SetStream& stream,
-                                  ParallelPassEngine* engine) {
-    SieveMcConfig config;
-    config.engine = engine;
-    return ToOutcome(SieveMaxCoverage(config).Run(stream, 3));
-  });
+  RunConformanceMatrix(MatrixInstance(320, 28, 4, 14), "sieve_mc", {"k=3"});
 }
 
 TEST(SolverMatrixTest, ExactPairFinder) {
-  const SetSystem system = PairInstance(256, 20, 15);
-  RunConformanceMatrix(system, [](SetStream& stream,
-                                  ParallelPassEngine* engine) {
-    PairFinderConfig config;
-    config.passes = 4;
-    config.engine = engine;
-    return ToOutcome(ExactPairFinder(config).Run(stream));
-  });
+  RunConformanceMatrix(PairInstance(256, 20, 15), "pair_finder",
+                       {"passes=4"});
 }
 
 // The matrix must also hold when the solver's stream order is a fixed
 // random permutation (the paper's random-arrival model): VectorSetStream
 // cells use kRandomOnce here, so this variant runs memory-only across
-// thread counts (file/mmap sources always stream in id order).
+// thread counts (file/mmap sources always stream in id order). Still
+// registry-constructed: the custom piece is the stream, not the solver.
 TEST(SolverMatrixTest, ThresholdGreedyRandomArrivalAcrossThreads) {
   const SetSystem system = MatrixInstance(320, 28, 4, 16);
+  const testing::SolverFn solve_fn =
+      RegistrySolverFn("threshold_greedy", {});
 
   const auto solve = [&](ParallelPassEngine* engine) {
     Rng order_rng(99);
     VectorSetStream stream(system, StreamOrder::kRandomOnce, &order_rng);
-    ThresholdGreedyConfig config;
-    config.engine = engine;
-    return ToOutcome(ThresholdGreedySetCover(config).Run(stream));
+    return solve_fn(stream, engine);
   };
 
   const SolverOutcome baseline = solve(nullptr);

@@ -4,10 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "api/solve_report.h"
+#include "api/solve_session.h"
+#include "api/solver_registry.h"
 #include "core/pair_finder.h"
 #include "instance/serialization.h"
 #include "instance/set_system.h"
@@ -37,6 +41,14 @@
 /// only — sources legitimately serve different representations (a text
 /// file is always dense, the hybrid/mmap stores sparsify), so stored
 /// projections differ in bytes while remaining equal as sets.
+///
+/// Since the unified-API redesign, the matrix is driven through the
+/// public front door: RunConformanceMatrix(system, solver, options)
+/// constructs every cell's solver from the string-keyed SolverRegistry
+/// and additionally proves that the owning SolveSession (source sniffing
+/// + engine lifetime from `threads=`) reproduces the same bytes from both
+/// on-disk formats. The SolverFn overload remains for harnesses that need
+/// a custom stream (e.g. random arrival orders).
 ///
 /// This replaces the per-algorithm ad-hoc determinism checks that used to
 /// live in the engine and mmap test suites: a solver is conformant iff its
@@ -99,11 +111,50 @@ inline SolverOutcome ToOutcome(const PairFinderResult& r) {
   return out;
 }
 
+inline SolverOutcome ToOutcome(const SolveReport& r) {
+  SolverOutcome out;
+  out.chosen = r.solution.chosen;
+  out.feasible = r.feasible;
+  out.passes = r.passes;
+  out.items_seen = r.stats.items_scanned;
+  out.sets_taken = r.stats.sets_taken;
+  out.elements_covered = r.stats.elements_covered;
+  out.peak_space_bytes = r.peak_space_bytes;
+  out.extra = r.extra;
+  return out;
+}
+
 /// A solver under test: run once over the given stream, with the given
 /// engine (may be null), and report the canonical outcome. The adapter
 /// must construct a fresh solver per call — the harness calls it once per
 /// matrix cell.
 using SolverFn = std::function<SolverOutcome(SetStream&, ParallelPassEngine*)>;
+
+/// A SolverFn that builds the solver from the global SolverRegistry by
+/// string key + key=value options — the same construction path every
+/// external caller (CLI, bench sweep, service) uses.
+inline SolverFn RegistrySolverFn(std::string solver,
+                                 std::vector<std::string> options) {
+  return [solver = std::move(solver), options = std::move(options)](
+             SetStream& stream, ParallelPassEngine* engine) -> SolverOutcome {
+    StatusOr<std::unique_ptr<AnySolver>> created =
+        SolverRegistry::Global().Create(solver, options);
+    if (!created.ok()) {
+      ADD_FAILURE() << "registry rejected '" << solver
+                    << "': " << created.status().ToString();
+      return SolverOutcome{};
+    }
+    RunContext context;
+    context.engine = engine;
+    StatusOr<SolveReport> report = (*created)->Run(stream, context);
+    if (!report.ok()) {
+      ADD_FAILURE() << "'" << solver
+                    << "' run failed: " << report.status().ToString();
+      return SolverOutcome{};
+    }
+    return ToOutcome(*report);
+  };
+}
 
 /// The cover (as a full-universe bitset) achieved by \p chosen on
 /// \p system.
@@ -175,6 +226,54 @@ inline void RunConformanceMatrix(const SetSystem& system,
       } else {
         EXPECT_EQ(outcome.peak_space_bytes, *source_space);
       }
+    }
+  }
+}
+
+/// Registry/session-driven matrix: constructs every cell's solver from
+/// the global SolverRegistry (string key + key=value options) and runs
+/// the full stream-source x thread-count matrix, then proves the
+/// SolveSession front door — which owns source sniffing and the engine
+/// lifetime via `threads=` — reproduces the engine-less in-memory
+/// baseline byte for byte from both on-disk formats. Peak space is
+/// excluded from the session comparison: the session's text source at
+/// threads > 1 legitimately upgrades to the in-memory representation,
+/// whose stored projections differ in bytes while equal as sets.
+inline void RunConformanceMatrix(const SetSystem& system,
+                                 const std::string& solver,
+                                 const std::vector<std::string>& options) {
+  const SolverFn solve = RegistrySolverFn(solver, options);
+  RunConformanceMatrix(system, solve);
+
+  ScopedTempDir dir;
+  const std::string text_path = dir.FilePath("session.ssc");
+  const std::string binary_path = dir.FilePath("session.sscb1");
+  ASSERT_TRUE(SaveSetSystem(system, text_path).ok());
+  ASSERT_TRUE(BinaryInstanceWriter::WriteSystem(system, binary_path).ok());
+
+  VectorSetStream baseline_stream(system);
+  const SolverOutcome baseline = solve(baseline_stream, nullptr);
+
+  for (const std::string& path : {text_path, binary_path}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      SCOPED_TRACE("session path=" + path +
+                   " threads=" + std::to_string(threads));
+      StatusOr<SolveSession> session = SolveSession::Open(path);
+      ASSERT_TRUE(session.ok()) << session.status().ToString();
+      std::vector<std::string> args = options;
+      args.push_back("threads=" + std::to_string(threads));
+      StatusOr<SolveReport> report = session->Solve(solver, args);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_EQ(report->solver, solver);
+      EXPECT_EQ(report->threads, threads);
+      const SolverOutcome outcome = ToOutcome(*report);
+      EXPECT_EQ(outcome.chosen, baseline.chosen);
+      EXPECT_EQ(outcome.feasible, baseline.feasible);
+      EXPECT_EQ(outcome.passes, baseline.passes);
+      EXPECT_EQ(outcome.items_seen, baseline.items_seen);
+      EXPECT_EQ(outcome.sets_taken, baseline.sets_taken);
+      EXPECT_EQ(outcome.elements_covered, baseline.elements_covered);
+      EXPECT_EQ(outcome.extra, baseline.extra);
     }
   }
 }

@@ -1,0 +1,43 @@
+// Fuzz harness for the ssc1 text parser (instance/serialization.h), the
+// first of the three untrusted-input surfaces. Contract under attack:
+// arbitrary bytes either parse into a valid SetSystem or produce a
+// non-empty InvalidArgument Status — never an abort, never OOB, and an
+// accepted instance must survive a write/reparse round trip unchanged in
+// shape.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "instance/serialization.h"
+#include "instance/set_system.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Parsing is O(input), but a tiny header can still name a huge universe;
+  // the parser's dimension caps bound allocation, so only wall time needs
+  // capping here.
+  if (size > (std::size_t{1} << 16)) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  const streamsc::StatusOr<streamsc::SetSystem> parsed =
+      streamsc::SetSystemFromString(text);
+  if (!parsed.ok()) {
+    STREAMSC_CHECK(!parsed.status().message().empty(),
+                   "ssc1 rejection must carry a diagnostic message");
+    return 0;
+  }
+
+  // Accepted input: serialize and reparse. The round trip must be
+  // accepted too and preserve the instance shape.
+  const std::string rewritten = streamsc::SetSystemToString(*parsed);
+  const streamsc::StatusOr<streamsc::SetSystem> again =
+      streamsc::SetSystemFromString(rewritten);
+  STREAMSC_CHECK(again.ok(), "ssc1 round trip rejected its own output");
+  STREAMSC_CHECK(again->universe_size() == parsed->universe_size(),
+                 "ssc1 round trip changed the universe size");
+  STREAMSC_CHECK(again->num_sets() == parsed->num_sets(),
+                 "ssc1 round trip changed the set count");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Standalone replacement for libFuzzer's driver, used when the toolchain
+// cannot link -fsanitize=fuzzer (gcc). Gives every harness a main() that
+//
+//   1. replays every file in the seed corpus directories, then
+//   2. runs a fixed number of deterministic mutations of those seeds
+//      (xorshift-seeded byte flips / inserts / erases / truncations /
+//      chunk splices — the classic dumb-mutation set)
+//
+// against the same `LLVMFuzzerTestOneInput` entry point the real fuzzer
+// drives. No coverage feedback, but the fixed-iteration run doubles as a
+// CI smoke: any abort, sanitizer report, or crash fails the test. Under
+// Clang the harness links the real libFuzzer instead and this file is
+// not compiled.
+//
+//   fuzz_foo --corpus DIR [--corpus DIR2 ...] [--runs N] [--seed S] [file...]
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::uint64_t XorShift(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+std::vector<std::uint8_t> ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void RunOne(const std::vector<std::uint8_t>& input) {
+  LLVMFuzzerTestOneInput(input.empty() ? nullptr : input.data(),
+                         input.size());
+}
+
+// Applies 1..4 random edits in place.
+void Mutate(std::vector<std::uint8_t>& buf, std::uint64_t& state) {
+  const int edits = 1 + static_cast<int>(XorShift(state) % 4);
+  for (int e = 0; e < edits; ++e) {
+    const std::uint64_t op = XorShift(state) % 6;
+    const std::size_t n = buf.size();
+    switch (op) {
+      case 0:  // flip one bit
+        if (n == 0) break;
+        buf[XorShift(state) % n] ^=
+            static_cast<std::uint8_t>(1u << (XorShift(state) % 8));
+        break;
+      case 1:  // overwrite a byte with an interesting value
+        if (n == 0) break;
+        {
+          static constexpr std::uint8_t kInteresting[] = {
+              0x00, 0xff, 0x7f, 0x80, '0', '9', ' ', '\n', '-', '='};
+          buf[XorShift(state) % n] =
+              kInteresting[XorShift(state) % sizeof(kInteresting)];
+        }
+        break;
+      case 2:  // insert a random byte
+        buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(
+                                     n ? XorShift(state) % (n + 1) : 0),
+                   static_cast<std::uint8_t>(XorShift(state)));
+        break;
+      case 3:  // erase a byte
+        if (n == 0) break;
+        buf.erase(buf.begin() +
+                  static_cast<std::ptrdiff_t>(XorShift(state) % n));
+        break;
+      case 4:  // truncate
+        if (n == 0) break;
+        buf.resize(XorShift(state) % n);
+        break;
+      case 5:  // duplicate a chunk onto a random position
+        if (n == 0) break;
+        {
+          const std::size_t from = XorShift(state) % n;
+          const std::size_t len =
+              1 + XorShift(state) % std::min<std::size_t>(n - from, 32);
+          const std::size_t to = XorShift(state) % (n + 1);
+          std::vector<std::uint8_t> chunk(buf.begin() + from,
+                                          buf.begin() + from + len);
+          buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(to),
+                     chunk.begin(), chunk.end());
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> corpus_dirs;
+  std::vector<std::filesystem::path> single_files;
+  std::uint64_t runs = 2000;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--corpus" && i + 1 < argc) {
+      corpus_dirs.emplace_back(argv[++i]);
+    } else if (arg == "--runs" && i + 1 < argc) {
+      runs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      single_files.emplace_back(arg);
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> seeds;
+  for (const auto& dir : corpus_dirs) {
+    std::vector<std::filesystem::path> entries;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.is_regular_file()) entries.push_back(entry.path());
+    }
+    std::sort(entries.begin(), entries.end());  // deterministic order
+    for (const auto& path : entries) seeds.push_back(ReadFile(path));
+  }
+  for (const auto& path : single_files) seeds.push_back(ReadFile(path));
+
+  for (const auto& input : seeds) RunOne(input);
+  std::fprintf(stderr, "driver: replayed %zu corpus input(s)\n",
+               seeds.size());
+
+  std::uint64_t state = seed ? seed : 1;
+  std::vector<std::uint8_t> scratch;
+  for (std::uint64_t r = 0; r < runs; ++r) {
+    if (seeds.empty()) {
+      scratch.clear();
+      const std::size_t len = XorShift(state) % 256;
+      for (std::size_t i = 0; i < len; ++i) {
+        scratch.push_back(static_cast<std::uint8_t>(XorShift(state)));
+      }
+    } else {
+      scratch = seeds[XorShift(state) % seeds.size()];
+    }
+    Mutate(scratch, state);
+    RunOne(scratch);
+  }
+  std::fprintf(stderr, "driver: %llu mutation run(s) ok (seed %llu)\n",
+               static_cast<unsigned long long>(runs),
+               static_cast<unsigned long long>(seed));
+  return 0;
+}

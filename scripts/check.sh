@@ -1,18 +1,59 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure -> build -> ctest. Exits non-zero on the
-# first failure. Usable locally and as the CI entry point.
+# Tier-1 verification plus the correctness-tooling lanes. Exits non-zero
+# on the first failure. Usable locally and as the CI entry point.
 #
-#   scripts/check.sh                 # Release build in ./build
+#   scripts/check.sh                 # Release build in ./build + project lint
 #   BUILD_DIR=ci-build scripts/check.sh
-#   CMAKE_ARGS="-DSTREAMSC_SANITIZE=ON" scripts/check.sh
-#   SANITIZE=1 scripts/check.sh      # + ASan/UBSan build (the asan-ubsan
-#                                    #   preset) over unit+property labels
+#   CMAKE_ARGS="-DSTREAMSC_NATIVE=ON" scripts/check.sh
+#   SANITIZE=1 scripts/check.sh      # + ASan/UBSan build over
+#                                    #   unit|property|io + parallel slices
+#   TSAN=1 scripts/check.sh          # + ThreadSanitizer build over the
+#                                    #   parallel-labeled suites at two
+#                                    #   schedule widths (tsan.supp applies)
+#   FUZZ=1 scripts/check.sh          # + fuzz harness build + fixed-iteration
+#                                    #   smoke (ctest -L fuzz)
+#   REQUIRE_TOOLS=1 ...              # hard-fail when a lane's toolchain is
+#                                    #   missing instead of skip-with-warning
+#                                    #   (CI posture; local boxes may lack
+#                                    #   clang-tidy or a TSan runtime)
+#   TIER1=0 TSAN=1 scripts/check.sh  # lane-only run: skip the Release
+#                                    #   build/ctest (CI gives each lane its
+#                                    #   own job; the release job owns tier-1)
+#
+# The clang-tidy lane lives in scripts/tidy.sh (same REQUIRE_TOOLS
+# convention); CI runs it as its own job.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+# Missing-tool policy: hard-fail under REQUIRE_TOOLS=1 (CI), otherwise
+# skip the lane loudly so a local run on a lean box stays useful.
+missing_tool() {
+  local lane="$1" detail="$2"
+  if [[ "${REQUIRE_TOOLS:-0}" == "1" ]]; then
+    echo "check.sh: FATAL: ${lane}: ${detail} (REQUIRE_TOOLS=1)" >&2
+    exit 1
+  fi
+  echo "check.sh: WARNING: skipping ${lane}: ${detail}" >&2
+}
+
+# True iff the compiler can link the given -fsanitize= runtime.
+compiler_supports_sanitizer() {
+  local flag="$1"
+  local scratch
+  scratch="$(mktemp -d)"
+  local ok=0
+  echo 'int main(){return 0;}' > "${scratch}/probe.cc"
+  if c++ "-fsanitize=${flag}" "${scratch}/probe.cc" \
+        -o "${scratch}/probe" >/dev/null 2>&1; then
+    ok=1
+  fi
+  rm -rf "${scratch}"
+  [[ "${ok}" == "1" ]]
+}
 
 # Registry smoke slice: exercises the string-keyed CLI surface headlessly
 # — `workload_tool solvers` plus one registry-driven solve per registered
@@ -36,38 +77,101 @@ run_registry_smoke() {
   done < <("${tool}" solvers --names)
 }
 
-# shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split
-cmake -B "${BUILD_DIR}" -S . ${CMAKE_ARGS:-}
-cmake --build "${BUILD_DIR}" -j "${JOBS}"
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
-run_registry_smoke "${BUILD_DIR}"
+# Project-invariant linter: cheap, dependency-free, runs on every
+# check.sh invocation so layer/determinism/check-policy violations never
+# land. (clang-tidy is the separate, heavier lane in scripts/tidy.sh.)
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/lint_streamsc.py
+else
+  missing_tool "lint_streamsc" "python3 not found"
+fi
+
+if [[ "${TIER1:-1}" == "1" ]]; then
+  # shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split
+  cmake -B "${BUILD_DIR}" -S . ${CMAKE_ARGS:-}
+  cmake --build "${BUILD_DIR}" -j "${JOBS}"
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+  run_registry_smoke "${BUILD_DIR}"
+fi
 
 if [[ "${SANITIZE:-0}" == "1" ]]; then
-  SAN_BUILD_DIR="${SAN_BUILD_DIR:-build-asan}"
-  cmake -B "${SAN_BUILD_DIR}" -S . \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSTREAMSC_SANITIZE=ON
-  cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}"
-  # Fast, high-signal slice under the sanitizers: the single-layer unit
-  # suites, the randomized property suites, and the io suites so ASan
-  # covers the mmap mapping lifetime end to end.
-  # (-L matches regexes: 'io' must be anchored or it also selects every
-  # 'integration' suite. -LE parallel: the parallel-labeled suites —
-  # engine primitives, the solver conformance matrix — run only in the
-  # dedicated slice below, at a different schedule width, so data races
-  # still surface as ASan/UBSan-visible breakage without paying for the
-  # heaviest suites twice.)
-  ctest --test-dir "${SAN_BUILD_DIR}" -L 'unit|property|^io$' \
-    -LE 'parallel' --output-on-failure -j "${JOBS}"
-  # Conformance-matrix slice: the parallel-labeled suites (engine
-  # primitives, the cross-algorithm solver matrix over {memory,file,mmap}
-  # x {1,2,8} threads) under ASan/UBSan, scheduled 8 tests wide so the
-  # 8-thread pools genuinely contend while sanitized.
-  ctest --test-dir "${SAN_BUILD_DIR}" -L 'parallel' \
-    --output-on-failure -j 8
-  # The registry smoke again under ASan/UBSan: the CLI surface (option
-  # parsing, session source sniffing, per-run engine lifetime) sanitized
-  # end to end.
-  run_registry_smoke "${SAN_BUILD_DIR}"
+  if ! compiler_supports_sanitizer "address,undefined"; then
+    missing_tool "ASan/UBSan lane" "compiler cannot link ASan/UBSan"
+  else
+    SAN_BUILD_DIR="${SAN_BUILD_DIR:-build-asan}"
+    cmake -B "${SAN_BUILD_DIR}" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSTREAMSC_ASAN_UBSAN=ON
+    cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}"
+    # Fast, high-signal slice under the sanitizers: the single-layer unit
+    # suites, the randomized property suites, and the io suites so ASan
+    # covers the mmap mapping lifetime end to end.
+    # (-L matches regexes: 'io' must be anchored or it also selects every
+    # 'integration' suite. -LE parallel: the parallel-labeled suites —
+    # engine primitives, the solver conformance matrix — run only in the
+    # dedicated slice below, at a different schedule width, so data races
+    # still surface as ASan/UBSan-visible breakage without paying for the
+    # heaviest suites twice.)
+    ctest --test-dir "${SAN_BUILD_DIR}" -L 'unit|property|^io$' \
+      -LE 'parallel' --output-on-failure -j "${JOBS}"
+    # Conformance-matrix slice: the parallel-labeled suites (engine
+    # primitives, the cross-algorithm solver matrix over
+    # {memory,file,mmap} x {1,2,8} threads) under ASan/UBSan, scheduled 8
+    # tests wide so the 8-thread pools genuinely contend while sanitized.
+    ctest --test-dir "${SAN_BUILD_DIR}" -L 'parallel' \
+      --output-on-failure -j 8
+    # The registry smoke again under ASan/UBSan: the CLI surface (option
+    # parsing, session source sniffing, per-run engine lifetime)
+    # sanitized end to end.
+    run_registry_smoke "${SAN_BUILD_DIR}"
+  fi
+fi
+
+if [[ "${TSAN:-0}" == "1" ]]; then
+  if ! compiler_supports_sanitizer "thread"; then
+    missing_tool "TSan lane" "compiler cannot link ThreadSanitizer"
+  else
+    TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+    cmake -B "${TSAN_BUILD_DIR}" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSTREAMSC_TSAN=ON
+    cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}"
+    # The deterministic-commit contract must be provably race-free, not
+    # just byte-identical: every parallel-labeled suite (engine
+    # primitives, GainScanPass/TransformPass/IndependentScanPass, the
+    # 9-solver conformance matrix) runs under TSan. Two schedule widths —
+    # serialized (-j 1, worker pools contend only with themselves) and
+    # wide (-j 8, pools from different suites contend for cores) — shake
+    # out different interleavings. tsan.supp holds the (commented)
+    # accepted suppressions; any other report fails the run.
+    export TSAN_OPTIONS="suppressions=$(pwd)/tsan.supp ${TSAN_OPTIONS:-}"
+    ctest --test-dir "${TSAN_BUILD_DIR}" -L 'parallel' \
+      --output-on-failure -j 1
+    ctest --test-dir "${TSAN_BUILD_DIR}" -L 'parallel' \
+      --output-on-failure -j 8
+    # Registry smoke under TSan: multi-threaded solves through the whole
+    # session surface (option parsing -> engine pool -> commit).
+    run_registry_smoke "${TSAN_BUILD_DIR}"
+  fi
+fi
+
+if [[ "${FUZZ:-0}" == "1" ]]; then
+  FUZZ_BUILD_DIR="${FUZZ_BUILD_DIR:-build-fuzz}"
+  FUZZ_CMAKE_ARGS="-DCMAKE_BUILD_TYPE=RelWithDebInfo -DSTREAMSC_FUZZ=ON"
+  # The smoke is most valuable with ASan/UBSan armed; fall back to an
+  # unsanitized build (aborts still fail) when the runtime is missing.
+  if compiler_supports_sanitizer "address,undefined"; then
+    FUZZ_CMAKE_ARGS="${FUZZ_CMAKE_ARGS} -DSTREAMSC_ASAN_UBSAN=ON"
+  else
+    missing_tool "fuzz smoke sanitizers" \
+      "compiler cannot link ASan/UBSan; running the smoke unsanitized"
+  fi
+  # shellcheck disable=SC2086
+  cmake -B "${FUZZ_BUILD_DIR}" -S . ${FUZZ_CMAKE_ARGS}
+  cmake --build "${FUZZ_BUILD_DIR}" -j "${JOBS}" \
+    --target fuzz_ssc1 fuzz_sscb1 fuzz_registry_options
+  # Fixed-iteration attack on the three untrusted-input parsers (ssc1
+  # text, sscb1 binary, registry options): corpus replay + deterministic
+  # mutations; any abort or sanitizer report fails.
+  ctest --test-dir "${FUZZ_BUILD_DIR}" -L 'fuzz' --output-on-failure
 fi
 
 echo "check.sh: all green"

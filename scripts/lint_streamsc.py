@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Project-invariant linter for streamsc.
+
+Statically enforces repo rules that clang-tidy cannot express. Scans
+`<root>/src` (never tests/, bench/, examples/ — those have their own,
+looser conventions) and reports one `path:line: [rule] message` line per
+violation; exit status 1 if anything was found, 0 on a clean tree.
+
+Rules
+-----
+layer-dag     The layer dependency DAG is acyclic and explicit (mirrors
+              src/CMakeLists.txt): a file in src/<layer>/ may only include
+              "other/..." headers when `other` is reachable from <layer>
+              in the DAG. Upward or sideways includes (util -> stream,
+              storage -> core, ...) are build-order violations even when
+              they happen to compile.
+raw-assert    No raw `assert(` (or `#include <cassert>`) in src/: use
+              STREAMSC_CHECK for API-boundary preconditions (always
+              armed) or STREAMSC_DCHECK for debug-only hot-loop
+              invariants (util/check.h). Raw assert silently compiles
+              out under NDEBUG, hiding the armed/unarmed decision.
+determinism   No `rand()`, `srand()`, or `std::random_device` in src/:
+              all randomness flows through util/random.h's seeded Rng so
+              every solver run is replayable bit-for-bit.
+engine-ptr    No non-owning `ParallelPassEngine*` members in the solver
+              layers (src/core, src/api): engines bind per run via
+              RunContext (the PR-5 contract). A stored engine pointer
+              couples a solver object to one pool's lifetime and breaks
+              AnySolver reuse across runs.
+
+Usage
+-----
+  scripts/lint_streamsc.py               # lint the repo this script lives in
+  scripts/lint_streamsc.py --root DIR    # lint DIR/src instead (fixtures)
+  scripts/lint_streamsc.py --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Direct layer dependencies, mirroring src/CMakeLists.txt. The checker
+# uses the transitive closure: if core may use offline and offline may
+# use instance, a core file may include instance headers directly.
+LAYER_DEPS = {
+    "util": set(),
+    "instance": {"util"},
+    "stream": {"instance", "util"},
+    "storage": {"stream", "instance", "util"},
+    "offline": {"instance", "util"},
+    "core": {"offline", "stream", "instance", "util"},
+    "comm": {"stream", "instance", "util"},
+    "info": {"comm", "instance", "util"},
+    "api": {"core", "storage", "stream", "instance", "util"},
+}
+
+# Layers whose headers/sources must not hold engine pointers (rule
+# engine-ptr). stream/ itself legitimately passes ParallelPassEngine*
+# through pass primitives and owns RunContext, so it is exempt.
+ENGINE_PTR_LAYERS = {"core", "api"}
+
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+CASSERT_RE = re.compile(r"^\s*#\s*include\s+<cassert>")
+ASSERT_RE = re.compile(r"(?<![_A-Za-z0-9])assert\s*\(")
+RAND_RE = re.compile(r"(?<![_A-Za-z0-9])(?:s?rand\s*\(|random_device)")
+ENGINE_PTR_RE = re.compile(
+    r"ParallelPassEngine\s*\*\s*[A-Za-z_]\w*\s*(?:=|;|\{)")
+
+
+def transitive_closure(deps: dict[str, set[str]]) -> dict[str, set[str]]:
+    closure = {layer: set(direct) for layer, direct in deps.items()}
+    changed = True
+    while changed:
+        changed = False
+        for layer, reach in closure.items():
+            extra = set()
+            for dep in reach:
+                extra |= closure.get(dep, set())
+            if not extra <= reach:
+                reach |= extra
+                changed = True
+    for layer in closure:
+        closure[layer].add(layer)  # a layer may always include itself
+    return closure
+
+
+LAYER_CLOSURE = transitive_closure(LAYER_DEPS)
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blanks out comments and string/char literals, preserving line
+    structure so reported line numbers match the file. Good enough for a
+    conventionally formatted C++ tree (no raw strings spanning rules)."""
+    out = []
+    in_block = False
+    for line in lines:
+        result = []
+        i = 0
+        n = len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end == -1:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            ch = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if ch == "/" and nxt == "/":
+                break
+            if ch == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if ch in "\"'":
+                quote = ch
+                result.append(ch)
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                result.append(quote)
+                continue
+            result.append(ch)
+            i += 1
+        out.append("".join(result))
+    return out
+
+
+class Violation:
+    def __init__(self, path: pathlib.Path, line: int, rule: str, msg: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.msg = msg
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
+
+
+def lint_file(path: pathlib.Path, layer: str,
+              rel: pathlib.Path) -> list[Violation]:
+    violations: list[Violation] = []
+    try:
+        raw = path.read_text(encoding="utf-8", errors="replace").split("\n")
+    except OSError as err:
+        return [Violation(rel, 0, "io", f"unreadable: {err}")]
+    code = strip_comments_and_strings(raw)
+    allowed = LAYER_CLOSURE.get(layer)
+    for lineno, line in enumerate(code, start=1):
+        # The stripper blanks string-literal contents, which would erase
+        # the include path — match includes on the raw line, but only
+        # when the stripped line is still a preprocessor directive (so a
+        # commented-out include does not count).
+        inc = (INCLUDE_RE.match(raw[lineno - 1])
+               if line.lstrip().startswith("#") else None)
+        if inc and allowed is not None:
+            target = inc.group(1).split("/", 1)[0]
+            if target in LAYER_DEPS and target not in allowed:
+                direct = sorted(LAYER_DEPS[layer]) or ["(nothing)"]
+                violations.append(Violation(
+                    rel, lineno, "layer-dag",
+                    f'layer "{layer}" must not include "{inc.group(1)}": '
+                    f'"{target}" is not reachable from "{layer}" in the '
+                    f"layer DAG (direct deps: {', '.join(direct)})"))
+        if CASSERT_RE.match(line):
+            violations.append(Violation(
+                rel, lineno, "raw-assert",
+                "#include <cassert> in src/ — use util/check.h "
+                "(STREAMSC_CHECK / STREAMSC_DCHECK)"))
+        if ASSERT_RE.search(line) and "static_assert" not in line:
+            violations.append(Violation(
+                rel, lineno, "raw-assert",
+                "raw assert( in src/ — use STREAMSC_CHECK (API boundary, "
+                "always armed) or STREAMSC_DCHECK (debug-only hot loop)"))
+        if RAND_RE.search(line):
+            violations.append(Violation(
+                rel, lineno, "determinism",
+                "rand()/srand()/std::random_device in src/ — all "
+                "randomness must flow through util/random.h's seeded Rng"))
+        if layer in ENGINE_PTR_LAYERS and ENGINE_PTR_RE.search(line):
+            violations.append(Violation(
+                rel, lineno, "engine-ptr",
+                "ParallelPassEngine* member/variable in a solver layer — "
+                "engines bind per run via RunContext "
+                "(stream/stream_algorithm.h), never stored in configs"))
+    return violations
+
+
+def lint_tree(root: pathlib.Path) -> list[Violation]:
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint_streamsc: no src/ directory under {root}",
+              file=sys.stderr)
+        sys.exit(2)
+    violations: list[Violation] = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+            continue
+        rel = path.relative_to(root)
+        parts = path.relative_to(src).parts
+        layer = parts[0] if len(parts) > 1 else ""
+        violations.extend(lint_file(path, layer, rel))
+    return violations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="streamsc project-invariant linter")
+    parser.add_argument(
+        "--root", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="tree to lint (expects <root>/src); defaults to the repo")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and exit")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule in ("layer-dag", "raw-assert", "determinism", "engine-ptr"):
+            print(rule)
+        return 0
+
+    violations = lint_tree(args.root.resolve())
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint_streamsc: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

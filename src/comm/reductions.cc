@@ -1,9 +1,9 @@
 #include "comm/reductions.h"
 
-#include <cassert>
 #include <vector>
 
 #include "instance/mapping_extension.h"
+#include "util/check.h"
 #include "util/math.h"
 
 namespace streamsc {
@@ -19,7 +19,7 @@ DynamicBitset SampleDisjNoGivenOther(const DynamicBitset& other, Rng& rng) {
   DynamicBitset out(t);
   // Planted common element: uniform within `other` (posterior of e⋆).
   const std::vector<ElementId> members = other.ToIndices();
-  assert(!members.empty() && "D^N marginals are never empty");
+  STREAMSC_DCHECK(!members.empty() && "D^N marginals are never empty");
   out.Set(members[rng.UniformInt(members.size())]);
   // Outside `other`, membership is an independent fair coin (posterior of
   // the "dropped from other only" vs "dropped from both" states).
@@ -37,7 +37,7 @@ DisjFromSetCoverProtocol::DisjFromSetCoverProtocol(
       sc_protocol_(sc_protocol),
       decision_threshold_(decision_threshold > 0.0 ? decision_threshold
                                                    : 2.0 * params.alpha) {
-  assert(sc_protocol_ != nullptr);
+  STREAMSC_DCHECK(sc_protocol_ != nullptr);
 }
 
 std::string DisjFromSetCoverProtocol::name() const {
@@ -46,7 +46,7 @@ std::string DisjFromSetCoverProtocol::name() const {
 
 bool DisjFromSetCoverProtocol::Run(const DisjInstance& instance,
                                    Rng& shared_rng, Transcript* transcript) {
-  assert(instance.a.size() == t_);
+  STREAMSC_DCHECK(instance.a.size() == t_);
   const std::size_t m = params_.m;
   const std::size_t n = params_.n;
 
@@ -94,7 +94,7 @@ bool DisjFromSetCoverProtocol::Run(const DisjInstance& instance,
 GhdFromMaxCoverProtocol::GhdFromMaxCoverProtocol(
     HardMaxCoverageParams params, MaxCoverageValueProtocol* mc_protocol)
     : params_(params), dist_(params), mc_protocol_(mc_protocol) {
-  assert(mc_protocol_ != nullptr);
+  STREAMSC_DCHECK(mc_protocol_ != nullptr);
 }
 
 std::string GhdFromMaxCoverProtocol::name() const {
@@ -110,7 +110,7 @@ bool GhdFromMaxCoverProtocol::Run(const GhdInstance& instance,
   const std::size_t t2 = dist_.t2();
   const std::size_t n = t1 + t2;
   const std::size_t m = params_.m;
-  assert(instance.a.size() == t1);
+  STREAMSC_DCHECK(instance.a.size() == t1);
 
   GhdDistribution ghd(t1, SizeA(), SizeB());
   const std::size_t i_star = static_cast<std::size_t>(shared_rng.UniformInt(m));

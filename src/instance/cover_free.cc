@@ -1,6 +1,6 @@
 #include "instance/cover_free.h"
+#include "util/check.h"
 
-#include <cassert>
 
 namespace streamsc {
 namespace {
@@ -65,7 +65,7 @@ std::optional<CoveringViolation> FindCoveringViolationRandom(
 
 SetSystem RandomCoverFreeCandidate(std::size_t n, std::size_t m,
                                    std::size_t s, Rng& rng) {
-  assert(s <= n);
+  STREAMSC_DCHECK(s <= n);
   SetSystem system(n);
   for (std::size_t i = 0; i < m; ++i) {
     system.AddSet(rng.RandomSubsetOfSize(n, s));

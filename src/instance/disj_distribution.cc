@@ -1,10 +1,10 @@
 #include "instance/disj_distribution.h"
+#include "util/check.h"
 
-#include <cassert>
 
 namespace streamsc {
 
-DisjDistribution::DisjDistribution(std::size_t t) : t_(t) { assert(t >= 1); }
+DisjDistribution::DisjDistribution(std::size_t t) : t_(t) { STREAMSC_DCHECK(t >= 1); }
 
 DisjInstance DisjDistribution::SampleBase(Rng& rng) const {
   DisjInstance inst{DynamicBitset(t_), DynamicBitset(t_)};

@@ -1,7 +1,7 @@
 #include "instance/generators.h"
+#include "util/check.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace streamsc {
@@ -20,7 +20,7 @@ void PatchToFeasible(SetSystem& system) {
 
 SetSystem UniformRandomInstance(std::size_t n, std::size_t m,
                                 std::size_t set_size, Rng& rng) {
-  assert(set_size <= n);
+  STREAMSC_DCHECK(set_size <= n);
   SetSystem system(n);
   for (std::size_t i = 0; i < m; ++i) {
     system.AddSet(rng.RandomSubsetOfSize(n, set_size));
@@ -32,7 +32,7 @@ SetSystem UniformRandomInstance(std::size_t n, std::size_t m,
 SetSystem PlantedCoverInstance(std::size_t n, std::size_t m,
                                std::size_t cover_size, Rng& rng,
                                std::vector<SetId>* planted_out) {
-  assert(cover_size >= 1 && cover_size <= n && m >= cover_size);
+  STREAMSC_DCHECK(cover_size >= 1 && cover_size <= n && m >= cover_size);
   SetSystem system(n);
 
   // Random partition of [n] into cover_size blocks (sizes differ by <= 1).
@@ -67,7 +67,7 @@ SetSystem PlantedCoverInstance(std::size_t n, std::size_t m,
 
 SetSystem ZipfInstance(std::size_t n, std::size_t m, double zipf_exponent,
                        std::size_t max_size, Rng& rng) {
-  assert(max_size >= 1 && max_size <= n);
+  STREAMSC_DCHECK(max_size >= 1 && max_size <= n);
   SetSystem system(n);
   for (std::size_t i = 0; i < m; ++i) {
     // Size of the i-th set follows rank^-exponent scaling.
@@ -83,7 +83,7 @@ SetSystem ZipfInstance(std::size_t n, std::size_t m, double zipf_exponent,
 
 SetSystem BlogTopicInstance(std::size_t n, std::size_t m, double hub_fraction,
                             Rng& rng) {
-  assert(hub_fraction >= 0.0 && hub_fraction <= 1.0);
+  STREAMSC_DCHECK(hub_fraction >= 0.0 && hub_fraction <= 1.0);
   SetSystem system(n);
   const std::size_t num_hubs = std::max<std::size_t>(
       1, static_cast<std::size_t>(hub_fraction * static_cast<double>(m)));
@@ -113,7 +113,7 @@ SetSystem BlogTopicInstance(std::size_t n, std::size_t m, double hub_fraction,
 
 SetSystem NeedleInstance(std::size_t n, std::size_t m, std::size_t k,
                          Rng& rng) {
-  assert(k >= 1 && k <= n && m >= k);
+  STREAMSC_DCHECK(k >= 1 && k <= n && m >= k);
   SetSystem system(n);
   // Needles: a partition of [n] into k blocks.
   const std::vector<std::uint32_t> perm = rng.RandomPermutation(n);

@@ -1,15 +1,15 @@
 #include "instance/ghd_distribution.h"
+#include "util/check.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace streamsc {
 
 GhdDistribution::GhdDistribution(std::size_t t, std::size_t a, std::size_t b)
     : t_(t), a_(a), b_(b) {
-  assert(t >= 4);
-  assert(a <= t && b <= t);
+  STREAMSC_DCHECK(t >= 4);
+  STREAMSC_DCHECK(a <= t && b <= t);
   // Fail fast on unsatisfiable promises: Δ ranges over
   // [|a-b|, min(a+b, 2t-a-b)], so both conditionals must intersect it —
   // otherwise the rejection samplers below would never terminate.
@@ -17,9 +17,9 @@ GhdDistribution::GhdDistribution(std::size_t t, std::size_t a, std::size_t b)
       static_cast<double>(a > b ? a - b : b - a);
   const double max_distance = static_cast<double>(
       std::min(a + b, 2 * t - a - b));
-  assert(min_distance <= NoThreshold() &&
+  STREAMSC_DCHECK(min_distance <= NoThreshold() &&
          "No-instances are unsatisfiable for these (t, a, b)");
-  assert(max_distance >= YesThreshold() &&
+  STREAMSC_DCHECK(max_distance >= YesThreshold() &&
          "Yes-instances are unsatisfiable for these (t, a, b)");
   (void)min_distance;
   (void)max_distance;

@@ -1,13 +1,13 @@
 #include "instance/hard_max_coverage.h"
+#include "util/check.h"
 
-#include <cassert>
 #include <cmath>
 
 namespace streamsc {
 namespace {
 
 std::size_t T1FromEpsilon(double epsilon) {
-  assert(epsilon > 0.0 && epsilon < 1.0);
+  STREAMSC_DCHECK(epsilon > 0.0 && epsilon < 1.0);
   return static_cast<std::size_t>(
       std::ceil(1.0 / (epsilon * epsilon)));
 }
@@ -30,7 +30,7 @@ HardMaxCoverageDistribution::HardMaxCoverageDistribution(
                 std::max<std::size_t>(t1_, 4) / 2) {
   t1_ = std::max<std::size_t>(t1_, 4);  // GHD needs a minimal universe.
   t2_ = 10 * t1_;
-  assert(params_.m >= 1);
+  STREAMSC_DCHECK(params_.m >= 1);
 }
 
 double HardMaxCoverageDistribution::Tau() const {

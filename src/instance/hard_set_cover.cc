@@ -1,8 +1,8 @@
 #include "instance/hard_set_cover.h"
 
-#include <cassert>
 
 #include "instance/mapping_extension.h"
+#include "util/check.h"
 #include "util/math.h"
 
 namespace streamsc {
@@ -25,8 +25,8 @@ HardSetCoverDistribution::HardSetCoverDistribution(HardSetCoverParams params)
     : params_(params),
       t_(DisjUniverseSize(params.n, params.m, params.alpha, params.t_scale)),
       disj_dist_(std::max<std::size_t>(t_, 1)) {
-  assert(params_.n >= 1 && params_.m >= 1 && params_.alpha >= 1.0);
-  assert(t_ >= 1 && t_ <= params_.n);
+  STREAMSC_DCHECK(params_.n >= 1 && params_.m >= 1 && params_.alpha >= 1.0);
+  STREAMSC_DCHECK(t_ >= 1 && t_ <= params_.n);
 }
 
 HardSetCoverInstance HardSetCoverDistribution::Sample(Rng& rng) const {

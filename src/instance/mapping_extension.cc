@@ -1,12 +1,12 @@
 #include "instance/mapping_extension.h"
+#include "util/check.h"
 
-#include <cassert>
 
 namespace streamsc {
 
 MappingExtension::MappingExtension(std::size_t t, std::size_t n, Rng& rng)
     : t_(t), n_(n), element_block_(n) {
-  assert(t >= 1 && t <= n);
+  STREAMSC_DCHECK(t >= 1 && t <= n);
   const std::vector<std::uint32_t> perm = rng.RandomPermutation(n);
   blocks_.assign(t, DynamicBitset(n));
   // Slice the permuted universe into t nearly-equal consecutive runs.
@@ -21,11 +21,11 @@ MappingExtension::MappingExtension(std::size_t t, std::size_t n, Rng& rng)
       element_block_[e] = static_cast<std::uint32_t>(i);
     }
   }
-  assert(pos == n);
+  STREAMSC_DCHECK(pos == n);
 }
 
 DynamicBitset MappingExtension::Extend(const DynamicBitset& a) const {
-  assert(a.size() == t_);
+  STREAMSC_DCHECK(a.size() == t_);
   DynamicBitset out(n_);
   a.ForEach([&](ElementId i) { out |= blocks_[i]; });
   return out;

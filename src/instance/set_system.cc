@@ -1,6 +1,5 @@
 #include "instance/set_system.h"
 
-#include <cassert>
 #include <utility>
 
 #include "util/check.h"
@@ -63,14 +62,14 @@ SetId SetSystem::AddSetFromView(SetView view) {
 }
 
 SetView SetSystem::set(SetId id) const {
-  assert(id < slots_.size());
+  STREAMSC_DCHECK(id < slots_.size());
   const Slot& slot = slots_[id];
   if (slot.rep == Rep::kDense) return SetView(dense_[slot.index]);
   return SetView(sparse_[slot.index]);
 }
 
 bool SetSystem::IsSparse(SetId id) const {
-  assert(id < slots_.size());
+  STREAMSC_DCHECK(id < slots_.size());
   return slots_[id].rep == Rep::kSparse;
 }
 
@@ -90,7 +89,7 @@ SetSystem::Memory SetSystem::MemoryUsage() const {
 DynamicBitset SetSystem::UnionOf(const std::vector<SetId>& ids) const {
   DynamicBitset u(universe_size_);
   for (SetId id : ids) {
-    assert(id < slots_.size());
+    STREAMSC_DCHECK(id < slots_.size());
     set(id).OrInto(u);
   }
   return u;

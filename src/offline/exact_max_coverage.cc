@@ -1,10 +1,10 @@
 #include "offline/exact_max_coverage.h"
 
 #include <algorithm>
-#include <cassert>
 #include <vector>
 
 #include "offline/greedy.h"
+#include "util/check.h"
 
 namespace streamsc {
 namespace {
@@ -86,7 +86,7 @@ void Search(SearchState& state, const DynamicBitset& covered,
 ExactMaxCoverageResult SolveExactMaxCoverage(
     const SetSystem& system, const DynamicBitset& universe, std::size_t k,
     const ExactMaxCoverageOptions& options) {
-  assert(universe.size() == system.universe_size());
+  STREAMSC_DCHECK(universe.size() == system.universe_size());
   ExactMaxCoverageResult result;
   if (k == 0 || system.num_sets() == 0) {
     result.proven_optimal = true;

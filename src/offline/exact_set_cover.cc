@@ -1,11 +1,11 @@
 #include "offline/exact_set_cover.h"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_map>
 #include <vector>
 
 #include "offline/greedy.h"
+#include "util/check.h"
 #include "util/math.h"
 
 namespace streamsc {
@@ -148,7 +148,7 @@ void Search(SearchState& state, const DynamicBitset& uncovered) {
 ExactSetCoverResult SolveExactSetCover(const SetSystem& system,
                                        const DynamicBitset& universe,
                                        const ExactSetCoverOptions& options) {
-  assert(universe.size() == system.universe_size());
+  STREAMSC_DCHECK(universe.size() == system.universe_size());
   ExactSetCoverResult result;
   if (universe.None()) {
     result.feasible = true;

@@ -1,6 +1,5 @@
 #include "storage/mmap_set_stream.h"
 
-#include <cassert>
 #include <cstring>
 #include <fstream>
 
@@ -120,7 +119,7 @@ void MmapSetStream::BeginPass() {
 }
 
 bool MmapSetStream::Next(StreamItem* item) {
-  assert(passes_ > 0 && "BeginPass() before Next()");
+  STREAMSC_DCHECK(passes_ > 0 && "BeginPass() before Next()");
   if (cursor_ >= slots_.size()) return false;
   const SetId id = static_cast<SetId>(cursor_++);
   item->id = id;

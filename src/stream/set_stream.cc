@@ -1,6 +1,5 @@
 #include "stream/set_stream.h"
 
-#include <cassert>
 
 #include "util/check.h"
 
@@ -36,7 +35,7 @@ void VectorSetStream::BeginPass() {
 }
 
 bool VectorSetStream::Next(StreamItem* item) {
-  assert(passes_ > 0 && "BeginPass() before Next()");
+  STREAMSC_DCHECK(passes_ > 0 && "BeginPass() before Next()");
   if (cursor_ >= order_.size()) return false;
   const SetId id = order_[cursor_++];
   item->id = id;

@@ -1,6 +1,5 @@
 #include "stream/stream_adapters.h"
 
-#include <cassert>
 #include <sstream>
 
 #include "util/check.h"
@@ -31,7 +30,7 @@ bool NextContentLine(std::istream& in, std::string* line) {
 
 ConcatSetStream::ConcatSetStream(SetStream& first, SetStream& second)
     : first_(first), second_(second) {
-  assert(first_.universe_size() == second_.universe_size());
+  STREAMSC_DCHECK(first_.universe_size() == second_.universe_size());
 }
 
 std::size_t ConcatSetStream::universe_size() const {
@@ -65,7 +64,7 @@ bool ConcatSetStream::Next(StreamItem* item) {
 
 InterleaveSetStream::InterleaveSetStream(SetStream& first, SetStream& second)
     : first_(first), second_(second) {
-  assert(first_.universe_size() == second_.universe_size());
+  STREAMSC_DCHECK(first_.universe_size() == second_.universe_size());
 }
 
 std::size_t InterleaveSetStream::universe_size() const {

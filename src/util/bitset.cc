@@ -1,4 +1,5 @@
 #include "util/bitset.h"
+#include "util/check.h"
 
 #include <algorithm>
 #include <bit>
@@ -39,19 +40,19 @@ bool DynamicBitset::None() const {
 }
 
 DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
-  assert(size_ == other.size_);
+  STREAMSC_DCHECK(size_ == other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
-  assert(size_ == other.size_);
+  STREAMSC_DCHECK(size_ == other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
   return *this;
 }
 
 DynamicBitset& DynamicBitset::AndNot(const DynamicBitset& other) {
-  assert(size_ == other.size_);
+  STREAMSC_DCHECK(size_ == other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
   return *this;
 }
@@ -68,7 +69,7 @@ DynamicBitset DynamicBitset::Difference(const DynamicBitset& other) const {
 }
 
 Count DynamicBitset::CountAnd(const DynamicBitset& other) const {
-  assert(size_ == other.size_);
+  STREAMSC_DCHECK(size_ == other.size_);
   Count total = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     total += static_cast<Count>(std::popcount(words_[i] & other.words_[i]));
@@ -77,7 +78,7 @@ Count DynamicBitset::CountAnd(const DynamicBitset& other) const {
 }
 
 Count DynamicBitset::CountAndNot(const DynamicBitset& other) const {
-  assert(size_ == other.size_);
+  STREAMSC_DCHECK(size_ == other.size_);
   Count total = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     total += static_cast<Count>(std::popcount(words_[i] & ~other.words_[i]));
@@ -86,7 +87,7 @@ Count DynamicBitset::CountAndNot(const DynamicBitset& other) const {
 }
 
 bool DynamicBitset::Intersects(const DynamicBitset& other) const {
-  assert(size_ == other.size_);
+  STREAMSC_DCHECK(size_ == other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) {
     if ((words_[i] & other.words_[i]) != 0) return true;
   }
@@ -94,7 +95,7 @@ bool DynamicBitset::Intersects(const DynamicBitset& other) const {
 }
 
 bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
-  assert(size_ == other.size_);
+  STREAMSC_DCHECK(size_ == other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) {
     if ((words_[i] & ~other.words_[i]) != 0) return false;
   }
@@ -134,7 +135,7 @@ std::vector<ElementId> DynamicBitset::ToIndices() const {
 }
 
 Count DynamicBitset::HammingDistance(const DynamicBitset& other) const {
-  assert(size_ == other.size_);
+  STREAMSC_DCHECK(size_ == other.size_);
   Count total = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     total += static_cast<Count>(std::popcount(words_[i] ^ other.words_[i]));

@@ -1,11 +1,11 @@
 #ifndef STREAMSC_UTIL_BITSET_H_
 #define STREAMSC_UTIL_BITSET_H_
 
-#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "util/check.h"
 #include "util/common.h"
 
 /// \file bitset.h
@@ -44,19 +44,19 @@ class DynamicBitset {
 
   /// Inserts element \p i.
   void Set(std::size_t i) {
-    assert(i < size_);
+    STREAMSC_DCHECK(i < size_);
     words_[i / kBitsPerWord] |= Word{1} << (i % kBitsPerWord);
   }
 
   /// Removes element \p i.
   void Reset(std::size_t i) {
-    assert(i < size_);
+    STREAMSC_DCHECK(i < size_);
     words_[i / kBitsPerWord] &= ~(Word{1} << (i % kBitsPerWord));
   }
 
   /// Membership test.
   bool Test(std::size_t i) const {
-    assert(i < size_);
+    STREAMSC_DCHECK(i < size_);
     return (words_[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1;
   }
 
@@ -134,21 +134,21 @@ class DynamicBitset {
 
   /// The \p w-th backing word. Precondition: w < WordCount().
   Word GetWord(std::size_t w) const {
-    assert(w < words_.size());
+    STREAMSC_DCHECK(w < words_.size());
     return words_[w];
   }
 
   /// ORs \p bits into the \p w-th backing word. The caller must preserve
   /// the tail invariant: no bits at positions >= size().
   void OrWord(std::size_t w, Word bits) {
-    assert(w < words_.size());
+    STREAMSC_DCHECK(w < words_.size());
     words_[w] |= bits;
   }
 
   /// ANDs the \p w-th backing word with \p mask (clears the bits outside
   /// \p mask). The tail invariant holds automatically: AND never sets bits.
   void AndWord(std::size_t w, Word mask) {
-    assert(w < words_.size());
+    STREAMSC_DCHECK(w < words_.size());
     words_[w] &= mask;
   }
 

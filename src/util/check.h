@@ -2,15 +2,22 @@
 #define STREAMSC_UTIL_CHECK_H_
 
 /// \file check.h
-/// STREAMSC_CHECK: release-mode invariant enforcement.
+/// STREAMSC_CHECK / STREAMSC_DCHECK: the project's only invariant macros.
 ///
 /// `assert` compiles out under NDEBUG, which turns precondition violations
 /// into silent memory corruption in release builds (the builds every bench
 /// and production caller actually runs). STREAMSC_CHECK stays armed in all
 /// build modes: on failure it prints the location, the failed expression,
 /// and a caller-supplied message to stderr, then aborts. Use it for
-/// API-boundary preconditions (caller bugs); keep `assert` for hot-loop
-/// internal invariants where the branch cost matters.
+/// API-boundary preconditions (caller bugs).
+///
+/// For hot-loop internal invariants where the release-mode branch cost
+/// matters, use STREAMSC_DCHECK: like assert it vanishes under NDEBUG
+/// (the condition is not evaluated), but in debug builds it funnels
+/// through the same located CheckFailed diagnostic. Raw `assert(` is
+/// banned in src/ — scripts/lint_streamsc.py enforces the policy — so
+/// that the debug-only/always-armed decision is always explicit at the
+/// call site.
 
 namespace streamsc {
 namespace internal {
@@ -28,5 +35,17 @@ namespace internal {
        ? static_cast<void>(0)                                             \
        : ::streamsc::internal::CheckFailed(__FILE__, __LINE__,            \
                                            #condition, (message)))
+
+/// Debug-only invariant: compiles to nothing under NDEBUG (the condition
+/// is NOT evaluated — do not put side effects in it). Use for hot-loop
+/// internal invariants; use STREAMSC_CHECK for API-boundary
+/// preconditions. An `&& "explanation"` inside the condition shows up in
+/// the printed expression, mirroring the assert idiom.
+#ifdef NDEBUG
+#define STREAMSC_DCHECK(condition) static_cast<void>(0)
+#else
+#define STREAMSC_DCHECK(condition)                                        \
+  STREAMSC_CHECK(condition, "debug-only invariant (STREAMSC_DCHECK)")
+#endif
 
 #endif  // STREAMSC_UTIL_CHECK_H_

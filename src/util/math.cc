@@ -1,7 +1,7 @@
+#include "util/check.h"
 #include "util/math.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace streamsc {
@@ -11,7 +11,7 @@ double SafeLog(double x) { return std::log(std::max(x, 1.0)); }
 double SafeLog2(double x) { return std::log2(std::max(x, 2.0)); }
 
 std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
-  assert(b > 0);
+  STREAMSC_DCHECK(b > 0);
   return (a + b - 1) / b;
 }
 
@@ -42,7 +42,7 @@ double Pow(double x, double y) {
 }
 
 double NthRoot(double n, double alpha) {
-  assert(alpha > 0);
+  STREAMSC_DCHECK(alpha > 0);
   return std::pow(n, 1.0 / alpha);
 }
 
@@ -55,7 +55,7 @@ std::uint64_t DisjUniverseSize(std::uint64_t n, std::uint64_t m, double alpha,
 
 double ElementSamplingRate(std::uint64_t n, std::uint64_t m, std::uint64_t k,
                            double rho, double boost) {
-  assert(rho > 0);
+  STREAMSC_DCHECK(rho > 0);
   const double p = boost * 16.0 * static_cast<double>(k) *
                    SafeLog(static_cast<double>(m)) /
                    (rho * static_cast<double>(n));

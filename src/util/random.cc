@@ -1,6 +1,6 @@
+#include "util/check.h"
 #include "util/random.h"
 
-#include <cassert>
 #include <cmath>
 
 namespace streamsc {
@@ -39,7 +39,7 @@ std::uint64_t Rng::Next() {
 }
 
 std::uint64_t Rng::UniformInt(std::uint64_t bound) {
-  assert(bound > 0);
+  STREAMSC_DCHECK(bound > 0);
   // Lemire's method with rejection to remove modulo bias.
   std::uint64_t x = Next();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -56,7 +56,7 @@ std::uint64_t Rng::UniformInt(std::uint64_t bound) {
 }
 
 std::int64_t Rng::UniformInRange(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  STREAMSC_DCHECK(lo <= hi);
   const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
   return lo + static_cast<std::int64_t>(UniformInt(span));
 }
@@ -73,7 +73,7 @@ bool Rng::Bernoulli(double p) {
 }
 
 DynamicBitset Rng::RandomSubsetOfSize(std::size_t universe, std::size_t k) {
-  assert(k <= universe);
+  STREAMSC_DCHECK(k <= universe);
   DynamicBitset out(universe);
   // Floyd's algorithm: for j = universe-k .. universe-1, insert a random
   // element of [0, j]; on collision insert j itself.

@@ -1,3 +1,4 @@
+#include "util/check.h"
 #include "util/set_span.h"
 
 #include <algorithm>
@@ -40,7 +41,7 @@ bool DenseSpan::None() const {
 }
 
 Count DenseSpan::CountAnd(const DynamicBitset& other) const {
-  assert(other.size() == size_);
+  STREAMSC_DCHECK(other.size() == size_);
   Count total = 0;
   const std::size_t words = WordCount();
   for (std::size_t w = 0; w < words; ++w) {
@@ -50,7 +51,7 @@ Count DenseSpan::CountAnd(const DynamicBitset& other) const {
 }
 
 Count DenseSpan::CountAndNot(const DynamicBitset& other) const {
-  assert(other.size() == size_);
+  STREAMSC_DCHECK(other.size() == size_);
   Count total = 0;
   const std::size_t words = WordCount();
   for (std::size_t w = 0; w < words; ++w) {
@@ -60,7 +61,7 @@ Count DenseSpan::CountAndNot(const DynamicBitset& other) const {
 }
 
 bool DenseSpan::Intersects(const DynamicBitset& other) const {
-  assert(other.size() == size_);
+  STREAMSC_DCHECK(other.size() == size_);
   const std::size_t words = WordCount();
   for (std::size_t w = 0; w < words; ++w) {
     if ((words_[w] & other.GetWord(w)) != 0) return true;
@@ -69,7 +70,7 @@ bool DenseSpan::Intersects(const DynamicBitset& other) const {
 }
 
 bool DenseSpan::IsSubsetOf(const DynamicBitset& other) const {
-  assert(other.size() == size_);
+  STREAMSC_DCHECK(other.size() == size_);
   const std::size_t words = WordCount();
   for (std::size_t w = 0; w < words; ++w) {
     if ((words_[w] & ~other.GetWord(w)) != 0) return false;
@@ -78,14 +79,14 @@ bool DenseSpan::IsSubsetOf(const DynamicBitset& other) const {
 }
 
 void DenseSpan::AndNotInto(DynamicBitset& target) const {
-  assert(target.size() == size_);
+  STREAMSC_DCHECK(target.size() == size_);
   const std::size_t words = WordCount();
   // Target tail bits are already zero, so ANDing with ~word keeps them so.
   for (std::size_t w = 0; w < words; ++w) target.AndWord(w, ~words_[w]);
 }
 
 void DenseSpan::OrInto(DynamicBitset& target) const {
-  assert(target.size() == size_);
+  STREAMSC_DCHECK(target.size() == size_);
   const std::size_t words = WordCount();
   // The span's tail invariant (no bits beyond size()) carries over.
   for (std::size_t w = 0; w < words; ++w) target.OrWord(w, words_[w]);
@@ -110,27 +111,27 @@ std::string DenseSpan::ToString() const { return RenderIndices(ToIndices()); }
 // ---- SparseSpan ------------------------------------------------------------
 
 bool SparseSpan::Test(std::size_t i) const {
-  assert(i < size_);
+  STREAMSC_DCHECK(i < size_);
   return std::binary_search(elements_, elements_ + count_,
                             static_cast<ElementId>(i));
 }
 
 Count SparseSpan::CountAnd(const DynamicBitset& other) const {
-  assert(other.size() == size_);
+  STREAMSC_DCHECK(other.size() == size_);
   Count total = 0;
   for (std::size_t i = 0; i < count_; ++i) total += other.Test(elements_[i]);
   return total;
 }
 
 Count SparseSpan::CountAndNot(const DynamicBitset& other) const {
-  assert(other.size() == size_);
+  STREAMSC_DCHECK(other.size() == size_);
   Count total = 0;
   for (std::size_t i = 0; i < count_; ++i) total += !other.Test(elements_[i]);
   return total;
 }
 
 bool SparseSpan::Intersects(const DynamicBitset& other) const {
-  assert(other.size() == size_);
+  STREAMSC_DCHECK(other.size() == size_);
   for (std::size_t i = 0; i < count_; ++i) {
     if (other.Test(elements_[i])) return true;
   }
@@ -138,7 +139,7 @@ bool SparseSpan::Intersects(const DynamicBitset& other) const {
 }
 
 bool SparseSpan::IsSubsetOf(const DynamicBitset& other) const {
-  assert(other.size() == size_);
+  STREAMSC_DCHECK(other.size() == size_);
   for (std::size_t i = 0; i < count_; ++i) {
     if (!other.Test(elements_[i])) return false;
   }
@@ -146,12 +147,12 @@ bool SparseSpan::IsSubsetOf(const DynamicBitset& other) const {
 }
 
 void SparseSpan::AndNotInto(DynamicBitset& target) const {
-  assert(target.size() == size_);
+  STREAMSC_DCHECK(target.size() == size_);
   for (std::size_t i = 0; i < count_; ++i) target.Reset(elements_[i]);
 }
 
 void SparseSpan::OrInto(DynamicBitset& target) const {
-  assert(target.size() == size_);
+  STREAMSC_DCHECK(target.size() == size_);
   for (std::size_t i = 0; i < count_; ++i) target.Set(elements_[i]);
 }
 

@@ -1,11 +1,11 @@
 #ifndef STREAMSC_UTIL_SET_SPAN_H_
 #define STREAMSC_UTIL_SET_SPAN_H_
 
-#include <cassert>
 #include <string>
 #include <vector>
 
 #include "util/bitset.h"
+#include "util/check.h"
 #include "util/common.h"
 
 /// \file set_span.h
@@ -39,7 +39,7 @@ class DenseSpan {
   /// Views \p size bits backed by the words at \p words. Tail bits beyond
   /// \p size must be zero.
   DenseSpan(const Word* words, std::size_t size) : words_(words), size_(size) {
-    assert(size == 0 || words != nullptr);
+    STREAMSC_DCHECK(size == 0 || words != nullptr);
   }
 
   /// Universe size (number of addressable bits).
@@ -52,7 +52,7 @@ class DenseSpan {
 
   /// The \p w-th backing word. Precondition: w < WordCount().
   Word GetWord(std::size_t w) const {
-    assert(w < WordCount());
+    STREAMSC_DCHECK(w < WordCount());
     return words_[w];
   }
 
@@ -61,7 +61,7 @@ class DenseSpan {
 
   /// Membership test.
   bool Test(std::size_t i) const {
-    assert(i < size_);
+    STREAMSC_DCHECK(i < size_);
     return (words_[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1;
   }
 
@@ -133,7 +133,7 @@ class SparseSpan {
   /// \p size elements. The ids must be strictly increasing and < size.
   SparseSpan(const ElementId* elements, std::size_t count, std::size_t size)
       : elements_(elements), count_(count), size_(size) {
-    assert(count == 0 || elements != nullptr);
+    STREAMSC_DCHECK(count == 0 || elements != nullptr);
   }
 
   /// Universe size.

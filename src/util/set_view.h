@@ -1,12 +1,12 @@
 #ifndef STREAMSC_UTIL_SET_VIEW_H_
 #define STREAMSC_UTIL_SET_VIEW_H_
 
-#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "util/bitset.h"
+#include "util/check.h"
 #include "util/common.h"
 #include "util/set_span.h"
 #include "util/sparse_set.h"
@@ -55,7 +55,7 @@ class SetView {
   // dispatching methods below.
   template <typename Fn>
   decltype(auto) Visit(Fn&& fn) const {
-    assert(valid());
+    STREAMSC_DCHECK(valid());
     switch (rep_) {
       case Rep::kSparse:
         return fn(*static_cast<const SparseSet*>(target_));
@@ -173,7 +173,7 @@ class SetView {
       case Rep::kNone:
         break;
     }
-    assert(false && "AndNotInto on an invalid SetView");
+    STREAMSC_DCHECK(false && "AndNotInto on an invalid SetView");
   }
 
   /// target |= *this.
@@ -194,7 +194,7 @@ class SetView {
       case Rep::kNone:
         break;
     }
-    assert(false && "OrInto on an invalid SetView");
+    STREAMSC_DCHECK(false && "OrInto on an invalid SetView");
   }
 
   /// Materializes a dense copy of the viewed set.
@@ -211,7 +211,7 @@ class SetView {
       case Rep::kNone:
         break;
     }
-    assert(false && "ToDense on an invalid SetView");
+    STREAMSC_DCHECK(false && "ToDense on an invalid SetView");
     return DynamicBitset();
   }
 
@@ -251,7 +251,7 @@ class SetView {
       case Rep::kNone:
         break;
     }
-    assert(false && "ForEach on an invalid SetView");
+    STREAMSC_DCHECK(false && "ForEach on an invalid SetView");
   }
 
   /// Content equality across representations (same universe, same

@@ -1,3 +1,4 @@
+#include "util/check.h"
 #include "util/space_meter.h"
 
 #include <algorithm>
@@ -12,8 +13,8 @@ void SpaceMeter::Charge(Bytes bytes, const std::string& category) {
 
 void SpaceMeter::Release(Bytes bytes, const std::string& category) {
   Bytes& cat = categories_[category];
-  assert(bytes <= cat && "releasing more than charged in category");
-  assert(bytes <= current_ && "releasing more than charged in total");
+  STREAMSC_DCHECK(bytes <= cat && "releasing more than charged in category");
+  STREAMSC_DCHECK(bytes <= current_ && "releasing more than charged in total");
   const Bytes clamped = std::min({bytes, cat, current_});
   cat -= clamped;
   current_ -= clamped;

@@ -1,7 +1,6 @@
 #ifndef STREAMSC_UTIL_SPACE_METER_H_
 #define STREAMSC_UTIL_SPACE_METER_H_
 
-#include <cassert>
 #include <cstdint>
 #include <string>
 #include <unordered_map>

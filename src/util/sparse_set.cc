@@ -1,7 +1,6 @@
 #include "util/sparse_set.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "util/check.h"
 
@@ -35,9 +34,9 @@ SparseSet SparseSet::FromSortedIndices(std::size_t universe_size,
 
 SparseSet SparseSet::FromSortedIndicesUnchecked(
     std::size_t universe_size, std::vector<ElementId> indices) {
-  assert(std::is_sorted(indices.begin(), indices.end()) &&
+  STREAMSC_DCHECK(std::is_sorted(indices.begin(), indices.end()) &&
          std::adjacent_find(indices.begin(), indices.end()) == indices.end());
-  assert(indices.empty() || indices.back() < universe_size);
+  STREAMSC_DCHECK(indices.empty() || indices.back() < universe_size);
   SparseSet out(universe_size);
   out.elements_ = std::move(indices);
   return out;
@@ -57,27 +56,27 @@ DynamicBitset SparseSet::ToBitset() const {
 }
 
 bool SparseSet::Test(std::size_t i) const {
-  assert(i < size_);
+  STREAMSC_DCHECK(i < size_);
   return std::binary_search(elements_.begin(), elements_.end(),
                             static_cast<ElementId>(i));
 }
 
 Count SparseSet::CountAnd(const DynamicBitset& other) const {
-  assert(size_ == other.size());
+  STREAMSC_DCHECK(size_ == other.size());
   Count total = 0;
   for (ElementId e : elements_) total += other.Test(e) ? 1 : 0;
   return total;
 }
 
 Count SparseSet::CountAndNot(const DynamicBitset& other) const {
-  assert(size_ == other.size());
+  STREAMSC_DCHECK(size_ == other.size());
   Count total = 0;
   for (ElementId e : elements_) total += other.Test(e) ? 0 : 1;
   return total;
 }
 
 bool SparseSet::Intersects(const DynamicBitset& other) const {
-  assert(size_ == other.size());
+  STREAMSC_DCHECK(size_ == other.size());
   for (ElementId e : elements_) {
     if (other.Test(e)) return true;
   }
@@ -85,7 +84,7 @@ bool SparseSet::Intersects(const DynamicBitset& other) const {
 }
 
 bool SparseSet::IsSubsetOf(const DynamicBitset& other) const {
-  assert(size_ == other.size());
+  STREAMSC_DCHECK(size_ == other.size());
   for (ElementId e : elements_) {
     if (!other.Test(e)) return false;
   }
@@ -93,12 +92,12 @@ bool SparseSet::IsSubsetOf(const DynamicBitset& other) const {
 }
 
 void SparseSet::AndNotInto(DynamicBitset& target) const {
-  assert(size_ == target.size());
+  STREAMSC_DCHECK(size_ == target.size());
   for (ElementId e : elements_) target.Reset(e);
 }
 
 void SparseSet::OrInto(DynamicBitset& target) const {
-  assert(size_ == target.size());
+  STREAMSC_DCHECK(size_ == target.size());
   for (ElementId e : elements_) target.Set(e);
 }
 

@@ -1,9 +1,10 @@
 #ifndef STREAMSC_UTIL_STATUS_H_
 #define STREAMSC_UTIL_STATUS_H_
 
-#include <cassert>
 #include <string>
 #include <utility>
+
+#include "util/check.h"
 
 /// \file status.h
 /// Minimal Status / StatusOr error-propagation vocabulary (RocksDB-style:
@@ -87,7 +88,7 @@ class StatusOr {
 
   /// Constructs from a non-OK status.
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+    STREAMSC_DCHECK(!status_.ok() && "StatusOr constructed from OK status w/o value");
   }
 
   /// True iff a value is held.
@@ -98,15 +99,15 @@ class StatusOr {
 
   /// Value accessors. Precondition: ok().
   const T& value() const& {
-    assert(ok());
+    STREAMSC_DCHECK(ok());
     return value_;
   }
   T& value() & {
-    assert(ok());
+    STREAMSC_DCHECK(ok());
     return value_;
   }
   T&& value() && {
-    assert(ok());
+    STREAMSC_DCHECK(ok());
     return std::move(value_);
   }
 

@@ -1,7 +1,7 @@
+#include "util/check.h"
 #include "util/table_printer.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
 #include <ostream>
 
@@ -13,7 +13,7 @@ TablePrinter::TablePrinter(std::vector<std::string> headers)
 void TablePrinter::BeginRow() { rows_.emplace_back(); }
 
 void TablePrinter::AddCell(const std::string& value) {
-  assert(!rows_.empty() && "call BeginRow() first");
+  STREAMSC_DCHECK(!rows_.empty() && "call BeginRow() first");
   rows_.back().push_back(value);
 }
 

@@ -1,0 +1,4 @@
+#include "stream/ok.h"
+#include "instance/thing.h"
+#include "util/check.h"
+const char* kDoc = "assert( and std::random_device inside a string literal";

@@ -1,0 +1,11 @@
+#ifndef BAD_CORE_CONFIG_H_
+#define BAD_CORE_CONFIG_H_
+#include <cassert>
+struct BadConfig {
+  ParallelPassEngine* engine = nullptr;
+};
+inline void Validate(int alpha) {
+  assert(alpha > 0);
+}
+inline unsigned Jitter() { return rand(); }
+#endif

@@ -1,0 +1,5 @@
+#include <random>
+int Seed() {
+  std::random_device device;
+  return static_cast<int>(device());
+}

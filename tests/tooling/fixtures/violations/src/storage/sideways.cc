@@ -1,0 +1,1 @@
+#include "core/assadi_set_cover.h"

@@ -1,0 +1,4 @@
+#ifndef BAD_UTIL_UPWARD_H_
+#define BAD_UTIL_UPWARD_H_
+#include "stream/set_stream.h"
+#endif

@@ -94,7 +94,7 @@ double DrainMs(SetStream& stream, int passes, Count* checksum) {
 }
 
 struct SolveOutcome {
-  std::vector<SetId> solution;
+  ArenaVector<SetId> solution;
   std::uint64_t passes = 0;
   double millis = 0.0;
   bool feasible = false;
@@ -235,7 +235,7 @@ int main(int argc, char** argv) {
   const auto sweep = [&](const std::string& title, const auto& solve) {
     TablePrinter solve_table({"source", "threads", "sets", "passes", "ms",
                               "speedup_vs_file"});
-    std::vector<SetId> reference;
+    ArenaVector<SetId> reference;
     bool have_reference = false;
     double file_ms = 0.0, mmap_1t_ms = 0.0;
 

@@ -66,7 +66,7 @@ void Compare(const std::string& title, const SetSystem& system,
   TablePrinter table({"algorithm", "threads", "passes", "space", "sets",
                       "ratio_vs_opt", "feasible", "wall_ms", "speedup"});
   for (const Contender& contender : contenders) {
-    std::vector<SetId> sequential_solution;
+    ArenaVector<SetId> sequential_solution;
     double sequential_wall = 0.0;
     for (const std::size_t threads : {std::size_t{1}, kParallelThreads}) {
       ParallelPassEngine* engine = threads == 1 ? nullptr : pool.get();

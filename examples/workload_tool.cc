@@ -298,6 +298,8 @@ int Solve(int argc, char** argv) {
       report->feasible ? "yes" : "NO");
   add("passes", std::to_string(report->passes));
   add("space bytes", std::to_string(report->peak_space_bytes));
+  add("arena high-water", std::to_string(report->arena_high_water));
+  add("arena reserved", std::to_string(report->arena_reserved));
   add("sets taken (ctr)", std::to_string(report->stats.sets_taken));
   add("elements covered", std::to_string(report->stats.elements_covered));
   if (report->kind == SolverKind::kMaxCoverage) {

@@ -6,7 +6,8 @@
 #   BUILD_DIR=ci-build scripts/check.sh
 #   CMAKE_ARGS="-DSTREAMSC_NATIVE=ON" scripts/check.sh
 #   SANITIZE=1 scripts/check.sh      # + ASan/UBSan build over
-#                                    #   unit|property|io + parallel slices
+#                                    #   unit|property|io + parallel +
+#                                    #   alloc (zero-allocation) slices
 #   TSAN=1 scripts/check.sh          # + ThreadSanitizer build over the
 #                                    #   parallel-labeled suites at two
 #                                    #   schedule widths (tsan.supp applies)
@@ -91,6 +92,13 @@ if [[ "${TIER1:-1}" == "1" ]]; then
   cmake -B "${BUILD_DIR}" -S . ${CMAKE_ARGS:-}
   cmake --build "${BUILD_DIR}" -j "${JOBS}"
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+  # The zero-allocation steady-state proofs, named as their own slice:
+  # all 9 registry solvers must perform zero heap allocations after
+  # warm-up at 1 and 8 threads (operator-new interposer; see
+  # tests/testing/alloc_counter.h). Already part of the full run above —
+  # repeated here so the memory-model guarantee fails loudly under its
+  # own name.
+  ctest --test-dir "${BUILD_DIR}" -L 'alloc' --output-on-failure -j "${JOBS}"
   run_registry_smoke "${BUILD_DIR}"
 fi
 
@@ -119,6 +127,12 @@ if [[ "${SANITIZE:-0}" == "1" ]]; then
     # tests wide so the 8-thread pools genuinely contend while sanitized.
     ctest --test-dir "${SAN_BUILD_DIR}" -L 'parallel' \
       --output-on-failure -j 8
+    # Zero-allocation slice under ASan: the interposed operator new
+    # forwards to ASan's malloc, so the steady-state zero-alloc proof
+    # holds with full heap poisoning armed (allocation decisions are
+    # source-level and identical to the release build).
+    ctest --test-dir "${SAN_BUILD_DIR}" -L 'alloc' \
+      --output-on-failure -j "${JOBS}"
     # The registry smoke again under ASan/UBSan: the CLI surface (option
     # parsing, session source sniffing, per-run engine lifetime)
     # sanitized end to end.

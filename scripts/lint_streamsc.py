@@ -27,6 +27,14 @@ engine-ptr    No non-owning `ParallelPassEngine*` members in the solver
               RunContext (the PR-5 contract). A stored engine pointer
               couples a solver object to one pool's lifetime and breaks
               AnySolver reuse across runs.
+arena-ptr     No non-owning `MonotonicArena*` members in the solver
+              layers (src/core, src/api): same invariant as engine-ptr —
+              arenas bind per run via RunContext (or per call via an
+              explicit allocator argument), never stored in configs or
+              solver objects. A stored arena pointer would couple a
+              reusable solver to one run's memory lifetime. (SolveSession
+              *owns* its arena via unique_ptr, which the rule does not
+              match.)
 
 Usage
 -----
@@ -57,9 +65,11 @@ LAYER_DEPS = {
     "api": {"core", "storage", "stream", "instance", "util"},
 }
 
-# Layers whose headers/sources must not hold engine pointers (rule
-# engine-ptr). stream/ itself legitimately passes ParallelPassEngine*
-# through pass primitives and owns RunContext, so it is exempt.
+# Layers whose headers/sources must not hold engine or arena pointers
+# (rules engine-ptr / arena-ptr). stream/ itself legitimately passes
+# ParallelPassEngine* / MonotonicArena* through pass primitives and owns
+# RunContext, so it is exempt; instance/ holds the arena binding of
+# arena-backed SetSystems by design.
 ENGINE_PTR_LAYERS = {"core", "api"}
 
 SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
@@ -70,6 +80,8 @@ ASSERT_RE = re.compile(r"(?<![_A-Za-z0-9])assert\s*\(")
 RAND_RE = re.compile(r"(?<![_A-Za-z0-9])(?:s?rand\s*\(|random_device)")
 ENGINE_PTR_RE = re.compile(
     r"ParallelPassEngine\s*\*\s*[A-Za-z_]\w*\s*(?:=|;|\{)")
+ARENA_PTR_RE = re.compile(
+    r"MonotonicArena\s*\*\s*[A-Za-z_]\w*\s*(?:=|;|\{)")
 
 
 def transitive_closure(deps: dict[str, set[str]]) -> dict[str, set[str]]:
@@ -196,6 +208,12 @@ def lint_file(path: pathlib.Path, layer: str,
                 "ParallelPassEngine* member/variable in a solver layer — "
                 "engines bind per run via RunContext "
                 "(stream/stream_algorithm.h), never stored in configs"))
+        if layer in ENGINE_PTR_LAYERS and ARENA_PTR_RE.search(line):
+            violations.append(Violation(
+                rel, lineno, "arena-ptr",
+                "MonotonicArena* member/variable in a solver layer — "
+                "arenas bind per run via RunContext (or per call via an "
+                "allocator argument), never stored in configs"))
     return violations
 
 
@@ -228,7 +246,8 @@ def main() -> int:
     args = parser.parse_args()
 
     if args.list_rules:
-        for rule in ("layer-dag", "raw-assert", "determinism", "engine-ptr"):
+        for rule in ("layer-dag", "raw-assert", "determinism", "engine-ptr",
+                     "arena-ptr"):
             print(rule)
         return 0
 

@@ -47,9 +47,14 @@ struct SolveReport {
                                    ///< cover.
   double wall_seconds = 0.0;       ///< Wall-clock time of the run.
 
-  // Filled by SolveSession (empty/1 when a solver is run directly).
+  // Filled by SolveSession (empty/1/0 when a solver is run directly).
   std::string source;       ///< "memory", "file", or "mmap".
   std::size_t threads = 1;  ///< Engine width the session bound (1 = none).
+  Bytes arena_high_water = 0;  ///< Peak bytes live in the run arena —
+                               ///< exact physical counterpart of the
+                               ///< logical peak_space_bytes.
+  Bytes arena_reserved = 0;    ///< Chunk capacity the run arena owns
+                               ///< (warm footprint kept across runs).
 };
 
 }  // namespace streamsc

@@ -34,10 +34,16 @@ void SplitArgs(const std::vector<std::string>& args,
 
 const std::vector<OptionDescriptor>& SolveSession::SessionOptions() {
   static const std::vector<OptionDescriptor>* const kOptions =
-      new std::vector<OptionDescriptor>{UintOptionMin(
-          "threads", 1, 1,
-          "worker pool width for engine-routed passes (1 = sequential; "
-          "results are bit-identical for any value)")};
+      new std::vector<OptionDescriptor>{
+          UintOptionMin(
+              "threads", 1, 1,
+              "worker pool width for engine-routed passes (1 = sequential; "
+              "results are bit-identical for any value)"),
+          UintOption(
+              "memory_budget", 0,
+              "byte cap on the per-run arena (0 = unlimited); a run that "
+              "would exceed it returns RESOURCE_EXHAUSTED instead of "
+              "allocating")};
   return *kOptions;
 }
 
@@ -119,6 +125,8 @@ StatusOr<SolveReport> SolveSession::Solve(
   if (!session_options.ok()) return session_options.status();
   const std::size_t threads =
       static_cast<std::size_t>(session_options->Uint("threads"));
+  const std::size_t memory_budget =
+      static_cast<std::size_t>(session_options->Uint("memory_budget"));
 
   StatusOr<std::unique_ptr<AnySolver>> created =
       SolverRegistry::Global().Create(solver, solver_args);
@@ -134,10 +142,33 @@ StatusOr<SolveReport> SolveSession::Solve(
   // thread policy (and the ROADMAP's sharded/NUMA binding) one decision
   // in one place.
   const std::unique_ptr<ParallelPassEngine> engine = MakeEngine(threads);
+
+  // One run arena per session, reset (chunk-retaining) per run: the first
+  // run warms it up to its high-water mark, later runs of the same shape
+  // allocate nothing.
+  if (run_arena_ == nullptr) {
+    run_arena_ = std::make_unique<MonotonicArena>();
+  }
+  run_arena_->Reset();
+  run_arena_->ResetHighWater();
+  run_arena_->set_budget(memory_budget);
+
   RunContext context;
   context.engine = engine.get();
+  context.arena = run_arena_.get();
 
-  StatusOr<SolveReport> report = (*created)->Run(*stream_, context);
+  StatusOr<SolveReport> report = Status::Internal("solve did not run");
+  try {
+    report = (*created)->Run(*stream_, context);
+  } catch (const ArenaBudgetExceeded& e) {
+    // Budget throws happen only on the orchestrator thread, outside any
+    // in-flight parallel section (workers never touch the run arena), so
+    // unwinding here leaves the engine and stream reusable.
+    return Status::ResourceExhausted(
+        "solve '" + solver + "' exceeded memory_budget=" +
+        std::to_string(e.budget()) + " bytes (run arena would have reached " +
+        std::to_string(e.attempted()) + " bytes)");
+  }
   if (!report.ok()) return report.status();
   // A text source reports first-pass parse errors (truncated body,
   // garbage lines) only through status(): Next() just ends the pass
@@ -148,6 +179,8 @@ StatusOr<SolveReport> SolveSession::Solve(
   }
   report->source = source_name();
   report->threads = threads;
+  report->arena_high_water = run_arena_->high_water();
+  report->arena_reserved = run_arena_->bytes_reserved();
   return report;
 }
 

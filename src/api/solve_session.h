@@ -9,6 +9,7 @@
 #include "api/solver_options.h"
 #include "instance/set_system.h"
 #include "stream/set_stream.h"
+#include "util/arena.h"
 #include "util/status.h"
 
 /// \file solve_session.h
@@ -30,7 +31,14 @@
 ///   * the **upgrade policy** — a text source cannot buffer a pass, so
 ///     `threads > 1` on an ssc1 file loads the instance into memory once
 ///     (then streams it from there); results are bit-identical either
-///     way by the engine's determinism contract.
+///     way by the engine's determinism contract;
+///   * the **run arena** — one MonotonicArena per session, Reset()
+///     (chunk-retaining) before every run, so repeated solves reach a
+///     zero-allocation steady state. The `memory_budget` session option
+///     caps the arena's bytes; a run that would exceed it unwinds
+///     cleanly and Solve() returns RESOURCE_EXHAUSTED — user-sized input
+///     never aborts the process. The report carries the arena's exact
+///     high-water mark next to the logical SpaceMeter peak.
 ///
 /// Every failure — unreadable file, unknown solver, malformed option,
 /// out-of-range value, stream-dependent misuse — reports a Status; the
@@ -67,7 +75,8 @@ class SolveSession {
   SolveSession(const SolveSession&) = delete;
   SolveSession& operator=(const SolveSession&) = delete;
 
-  /// The session-level option schema (currently: threads). Listed by
+  /// The session-level option schema (currently: threads and
+  /// memory_budget). Listed by
   /// `workload_tool solvers` next to each solver's own options; any of
   /// these keys may appear in Solve()'s args and is consumed by the
   /// session rather than the solver.
@@ -97,6 +106,10 @@ class SolveSession {
   std::string path_;                          // Open() sources only
   std::unique_ptr<SetSystem> owned_system_;   // memory-upgraded sources
   std::unique_ptr<SetStream> stream_;
+  // The per-run arena: lazily created on first Solve(), Reset()
+  // (chunk-retaining) before each run. unique_ptr because the session is
+  // movable and arenas are pinned by design.
+  std::unique_ptr<MonotonicArena> run_arena_;
   // Non-owning view of stream_ when it is a FileSetStream: text parse
   // errors surface through status() after the run, so Solve() must be
   // able to read it without downcasting.

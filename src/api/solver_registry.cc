@@ -22,13 +22,17 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // registry cannot check at Create() time (it has no stream yet).
 using StreamValidator = std::function<Status(const SetStream&)>;
 
-SolveReport BaseReport(const std::string& solver, SolverKind kind,
-                       std::string algorithm) {
-  SolveReport report;
-  report.solver = solver;
-  report.kind = kind;
-  report.algorithm = std::move(algorithm);
-  return report;
+// Resets every solver-filled field of a (possibly reused) report. String
+// assignments into a warm report reuse capacity, so steady-state refills
+// never allocate.
+void FillBase(const std::string& solver, SolverKind kind,
+              const std::string& algorithm, SolveReport* report) {
+  report->solver = solver;
+  report->kind = kind;
+  report->algorithm = algorithm;
+  report->feasible = false;
+  report->extra = 0;
+  report->stats = {};
 }
 
 // The one mapping from the per-family StreamRunStats shape to the
@@ -53,30 +57,31 @@ class SetCoverAnySolver : public AnySolver {
                     StreamValidator validate = nullptr)
       : solver_(std::move(solver)),
         algorithm_(std::move(algorithm)),
+        name_(algorithm_->name()),
         validate_(std::move(validate)) {}
 
   const std::string& solver() const override { return solver_; }
   SolverKind kind() const override { return SolverKind::kSetCover; }
-  std::string algorithm_name() const override { return algorithm_->name(); }
+  const std::string& algorithm_name() const override { return name_; }
 
-  StatusOr<SolveReport> Run(SetStream& stream,
-                            const RunContext& context) override {
+  Status RunInto(SetStream& stream, const RunContext& context,
+                 SolveReport* report) override {
     if (validate_) {
       const Status status = validate_(stream);
       if (!status.ok()) return status;
     }
     const SetCoverRunResult r = algorithm_->Run(stream, context);
-    SolveReport report =
-        BaseReport(solver_, SolverKind::kSetCover, algorithm_->name());
-    report.solution = r.solution;
-    report.feasible = r.feasible;
-    FillFromRunStats(r.stats, &report);
-    return report;
+    FillBase(solver_, SolverKind::kSetCover, name_, report);
+    report->solution = r.solution;
+    report->feasible = r.feasible;
+    FillFromRunStats(r.stats, report);
+    return Status::Ok();
   }
 
  private:
   std::string solver_;
   std::unique_ptr<StreamingSetCoverAlgorithm> algorithm_;
+  std::string name_;
   StreamValidator validate_;
 };
 
@@ -88,30 +93,31 @@ class MaxCoverageAnySolver : public AnySolver {
   MaxCoverageAnySolver(std::string solver,
                        std::unique_ptr<StreamingMaxCoverageAlgorithm> algorithm,
                        std::size_t k)
-      : solver_(std::move(solver)), algorithm_(std::move(algorithm)), k_(k) {}
+      : solver_(std::move(solver)),
+        algorithm_(std::move(algorithm)),
+        k_(k),
+        name_(algorithm_->name() + "[k=" + std::to_string(k_) + "]") {}
 
   const std::string& solver() const override { return solver_; }
   SolverKind kind() const override { return SolverKind::kMaxCoverage; }
-  std::string algorithm_name() const override {
-    return algorithm_->name() + "[k=" + std::to_string(k_) + "]";
-  }
+  const std::string& algorithm_name() const override { return name_; }
 
-  StatusOr<SolveReport> Run(SetStream& stream,
-                            const RunContext& context) override {
+  Status RunInto(SetStream& stream, const RunContext& context,
+                 SolveReport* report) override {
     const MaxCoverageRunResult r = algorithm_->Run(stream, k_, context);
-    SolveReport report =
-        BaseReport(solver_, SolverKind::kMaxCoverage, algorithm_name());
-    report.solution = r.solution;
-    report.feasible = !r.solution.chosen.empty();
-    report.extra = r.coverage;
-    FillFromRunStats(r.stats, &report);
-    return report;
+    FillBase(solver_, SolverKind::kMaxCoverage, name_, report);
+    report->solution = r.solution;
+    report->feasible = !r.solution.chosen.empty();
+    report->extra = r.coverage;
+    FillFromRunStats(r.stats, report);
+    return Status::Ok();
   }
 
  private:
   std::string solver_;
   std::unique_ptr<StreamingMaxCoverageAlgorithm> algorithm_;
   std::size_t k_;
+  std::string name_;
 };
 
 /// Wraps the ExactPairFinder as an AnySolver. `feasible` means "a
@@ -120,31 +126,31 @@ class MaxCoverageAnySolver : public AnySolver {
 class PairFinderAnySolver : public AnySolver {
  public:
   PairFinderAnySolver(std::string solver, PairFinderConfig config)
-      : solver_(std::move(solver)), finder_(config) {}
+      : solver_(std::move(solver)), finder_(config), name_(finder_.name()) {}
 
   const std::string& solver() const override { return solver_; }
   SolverKind kind() const override { return SolverKind::kPairFinder; }
-  std::string algorithm_name() const override { return finder_.name(); }
+  const std::string& algorithm_name() const override { return name_; }
 
-  StatusOr<SolveReport> Run(SetStream& stream,
-                            const RunContext& context) override {
+  Status RunInto(SetStream& stream, const RunContext& context,
+                 SolveReport* report) override {
     Stopwatch timer;
     const PairFinderResult r = finder_.Run(stream, context);
-    SolveReport report =
-        BaseReport(solver_, SolverKind::kPairFinder, finder_.name());
-    report.solution = r.solution;
-    report.feasible = r.found;
-    report.passes = r.passes;
-    report.peak_space_bytes = r.peak_space_bytes;
-    report.stats = r.engine_stats;
-    report.extra = r.candidates_after_first_pass;
-    report.wall_seconds = timer.ElapsedSeconds();
-    return report;
+    FillBase(solver_, SolverKind::kPairFinder, name_, report);
+    report->solution = r.solution;
+    report->feasible = r.found;
+    report->passes = r.passes;
+    report->peak_space_bytes = r.peak_space_bytes;
+    report->stats = r.engine_stats;
+    report->extra = r.candidates_after_first_pass;
+    report->wall_seconds = timer.ElapsedSeconds();
+    return Status::Ok();
   }
 
  private:
   std::string solver_;
   ExactPairFinder finder_;
+  std::string name_;
 };
 
 // Shared descriptor snippets (the sampling solvers repeat these).

@@ -51,13 +51,28 @@ class AnySolver {
   virtual SolverKind kind() const = 0;
 
   /// Parametrized display name, e.g. "assadi(alpha=2,eps=0.500000)".
-  virtual std::string algorithm_name() const = 0;
+  /// Computed once at construction; returning it never rebuilds it.
+  virtual const std::string& algorithm_name() const = 0;
 
-  /// Runs over \p stream with the execution resources in \p context.
+  /// Runs over \p stream, writing the outcome into \p report (which must
+  /// be non-null). Every solver-filled field is overwritten; the
+  /// session-filled fields (source/threads/arena_*) are left untouched.
+  /// Reusing one SolveReport across runs reaches a zero-allocation steady
+  /// state: its strings and solution vector keep their capacity, and with
+  /// a warm RunContext arena the whole run touches no heap (the `alloc`
+  /// test label pins this down for all nine solvers).
   /// Stream-dependent option misuse (e.g. an emek_rosen threshold larger
   /// than this stream's universe) reports a Status instead of aborting.
-  virtual StatusOr<SolveReport> Run(SetStream& stream,
-                                    const RunContext& context) = 0;
+  virtual Status RunInto(SetStream& stream, const RunContext& context,
+                         SolveReport* report) = 0;
+
+  /// Convenience wrapper over RunInto with a fresh report.
+  StatusOr<SolveReport> Run(SetStream& stream, const RunContext& context) {
+    SolveReport report;
+    const Status status = RunInto(stream, context, &report);
+    if (!status.ok()) return status;
+    return report;
+  }
 };
 
 /// Everything a caller needs to present a registered solver: key, family,

@@ -18,6 +18,11 @@ namespace {
 // Space charged for the solution id list.
 Bytes SolutionBytes(std::size_t size) { return size * sizeof(SetId); }
 
+// Interned metering categories (hot path: array index per Charge).
+const SpaceCategory kUncoveredCat("uncovered");
+const SpaceCategory kSolutionCat("solution");
+const SpaceCategory kProjectionsCat("projections");
+
 }  // namespace
 
 AssadiSetCover::AssadiSetCover(AssadiConfig config) : config_(config) {
@@ -44,17 +49,20 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
 
   // All passes run through the context: sharded when the run binds an
   // engine and the stream's item views survive a whole pass, sequential
-  // otherwise — bit-identical either way.
-  EngineContext ctx(stream, context.engine);
+  // otherwise — bit-identical either way. Run-lived state (uncovered, the
+  // solution ids) comes from the run arena; guess-lived structures
+  // bracket the thread's table arena per iteration below.
+  EngineContext ctx(stream, context);
 
   // Retained state: the uncovered-elements bitset U and the solution ids.
-  DynamicBitset uncovered = DynamicBitset::Full(n);
-  meter.Charge(uncovered.ByteSize(), "uncovered");
-  Solution solution;
+  DynamicBitset uncovered =
+      DynamicBitset::Full(n, ctx.alloc<DynamicBitset::Word>());
+  meter.Charge(uncovered.ByteSize(), kUncoveredCat);
+  Solution solution(ctx.alloc<SetId>());
 
   const auto take = [&](SetId id) {
     solution.chosen.push_back(id);
-    meter.SetCategory(SolutionBytes(solution.size()), "solution");
+    meter.SetCategory(SolutionBytes(solution.size()), kSolutionCat);
   };
 
   // --- Pass 0: one-shot pruning. -----------------------------------------
@@ -75,23 +83,37 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
   for (std::size_t iter = 0; iter < config_.alpha && guess_ok; ++iter) {
     if (uncovered.None()) break;
 
+    // Everything this iteration builds — the sample, the projections, the
+    // sub-solution — dies with it: bracket the thread's table arena. (Not
+    // the scratch arena: TransformPass stages inside scratch and rewinds
+    // it, which would free anything the commit callbacks had kept there.)
+    const ArenaCheckpoint iteration_checkpoint(ThreadTableArena());
+    const auto table = ArenaAllocator<SetId>::Table();
+
     // (a) Sample U_smpl from the still-uncovered universe.
-    const DynamicBitset sampled = SampleElements(uncovered, rate, rng);
+    const DynamicBitset sampled =
+        SampleElements(uncovered, rate, rng, DynamicBitset::Allocator(table));
     if (sampled.None()) continue;  // nothing sampled; iteration is a no-op
-    SubUniverse sub(sampled);
+    SubUniverse sub(sampled, table);
 
     // (b) One pass storing the projections S'_i = S_i ∩ U_smpl. This is
     // the space-dominant structure: m projections of |U_smpl| bits each
-    // dense, fewer when the hybrid store sparsifies them.
-    SetSystem projections(sub.size());
-    std::vector<SetId> projection_ids;
+    // dense, fewer when the hybrid store sparsifies them. Worker threads
+    // project into their own scratch; the commit re-homes each projection
+    // into the table-backed system.
+    SetSystem projections(sub.size(), SetSystem::kDefaultSparsityThreshold,
+                          &ThreadTableArena());
+    ArenaVector<SetId> projection_ids(table);
     projection_ids.reserve(m);
     ctx.TransformPass<ProjectedSet>(
-        [&](const StreamItem& it) { return sub.ProjectAdaptive(it.set); },
+        [&](const StreamItem& it) {
+          return sub.ProjectAdaptive(it.set,
+                                     ArenaAllocator<ElementId>::Scratch());
+        },
         [&](const StreamItem& it, ProjectedSet proj) {
           const SetId pid = StoreProjection(projections, std::move(proj));
           meter.Charge(projections.SetBytes(pid) + sizeof(SetId),
-                       "projections");
+                       kProjectionsCat);
           projection_ids.push_back(it.id);
         });
 
@@ -99,23 +121,27 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
     // computation; we keep a node budget and degrade to greedy if hit).
     // The A2 ablation flips use_exact_subsolver off to quantify what the
     // paper's optimal sub-solve buys over plain greedy.
-    std::vector<SetId> chosen_local;
+    // The local ids land on the run arena (the exact solver brackets the
+    // table arena internally, so its result must live elsewhere).
+    ArenaVector<SetId> chosen_local(ctx.alloc<SetId>());
     if (config_.use_exact_subsolver) {
       ExactSetCoverOptions exact_options;
       exact_options.max_nodes = config_.exact_node_budget;
       exact_options.size_limit = opt_guess;
-      ExactSetCoverResult sub_result = SolveExactSetCover(
-          projections, DynamicBitset::Full(sub.size()), exact_options);
+      const ExactSetCoverResult sub_result = SolveExactSetCover(
+          projections,
+          DynamicBitset::Full(sub.size(), DynamicBitset::Allocator(table)),
+          exact_options, ctx.alloc<SetId>());
       if (sub_result.feasible) {
         chosen_local = sub_result.solution.chosen;
       } else if (!sub_result.complete) {
         // Node budget exhausted without a within-budget cover: fall back
         // to greedy; if even greedy exceeds the guess budget, the guess
         // fails.
-        Solution greedy = GreedySetCover(projections);
+        const Solution greedy = GreedySetCover(projections, table);
         if (projections.IsFeasibleCover(greedy.chosen) &&
             greedy.chosen.size() <= opt_guess) {
-          chosen_local = greedy.chosen;
+          chosen_local.assign(greedy.chosen.begin(), greedy.chosen.end());
         } else {
           guess_ok = false;
         }
@@ -125,26 +151,26 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
         guess_ok = false;
       }
     } else {
-      Solution greedy = GreedySetCover(projections);
+      const Solution greedy = GreedySetCover(projections, table);
       if (projections.IsFeasibleCover(greedy.chosen)) {
-        chosen_local = greedy.chosen;
+        chosen_local.assign(greedy.chosen.begin(), greedy.chosen.end());
       } else {
         guess_ok = false;
       }
     }
 
     // Stored projections are dropped once the sub-instance is solved.
-    meter.Release(meter.CategoryCurrent("projections"), "projections");
+    meter.Release(meter.CategoryCurrent(kProjectionsCat), kProjectionsCat);
 
     if (!guess_ok) break;
 
-    std::vector<SetId> chosen_global;
+    ArenaVector<SetId> chosen_global(table);
     chosen_global.reserve(chosen_local.size());
-    for (SetId local : chosen_local) {
+    for (const SetId local : chosen_local) {
       chosen_global.push_back(projection_ids[local]);
       solution.chosen.push_back(projection_ids[local]);
     }
-    meter.SetCategory(SolutionBytes(solution.size()), "solution");
+    meter.SetCategory(SolutionBytes(solution.size()), kSolutionCat);
     ctx.RecordTakes(chosen_global.size(), 0);
 
     // (d) One pass subtracting the chosen sets' *full* contents from U.

@@ -12,6 +12,14 @@
 #include "util/stopwatch.h"
 
 namespace streamsc {
+namespace {
+
+// Interned metering categories (hot path: array index per Charge).
+const SpaceCategory kUncoveredCat("uncovered");
+const SpaceCategory kSolutionCat("solution");
+const SpaceCategory kProjectionsCat("projections");
+
+}  // namespace
 
 DemaineSetCover::DemaineSetCover(DemaineConfig config) : config_(config) {
   STREAMSC_CHECK(config_.alpha >= 2, "DemaineConfig: alpha must be >= 2");
@@ -38,10 +46,15 @@ SetCoverRunResult DemaineSetCover::RunWithGuess(
 
   SetCoverRunResult result;
   SpaceMeter meter;
-  EngineContext ctx(stream, context.engine);
-  DynamicBitset uncovered = DynamicBitset::Full(n);
-  meter.Charge(uncovered.ByteSize(), "uncovered");
-  Solution solution;
+  EngineContext ctx(stream, context);
+
+  // Run-lived state on the run arena; phase-lived structures bracket the
+  // thread's table arena per phase (see the Assadi implementation for the
+  // full rationale).
+  DynamicBitset uncovered =
+      DynamicBitset::Full(n, ctx.alloc<DynamicBitset::Word>());
+  meter.Charge(uncovered.ByteSize(), kUncoveredCat);
+  Solution solution(ctx.alloc<SetId>());
 
   // Per-phase sample size target: n^delta elements of the residual
   // universe (the Õ(m·n^delta) space law), but never below what the
@@ -59,34 +72,42 @@ SetCoverRunResult DemaineSetCover::RunWithGuess(
     const double residual = static_cast<double>(uncovered.CountSet());
     const double rate = std::clamp(target / residual, 1e-12, 1.0);
 
-    const DynamicBitset sampled = SampleElements(uncovered, rate, rng);
+    // Everything this phase builds dies with it: table-arena bracket.
+    const ArenaCheckpoint phase_checkpoint(ThreadTableArena());
+    const auto table = ArenaAllocator<SetId>::Table();
+    const DynamicBitset sampled =
+        SampleElements(uncovered, rate, rng, DynamicBitset::Allocator(table));
     if (sampled.None()) continue;
-    SubUniverse sub(sampled);
+    SubUniverse sub(sampled, table);
 
-    SetSystem projections(sub.size());
-    std::vector<SetId> projection_ids;
+    SetSystem projections(sub.size(), SetSystem::kDefaultSparsityThreshold,
+                          &ThreadTableArena());
+    ArenaVector<SetId> projection_ids(table);
     projection_ids.reserve(m);
     ctx.TransformPass<ProjectedSet>(
-        [&](const StreamItem& it) { return sub.ProjectAdaptive(it.set); },
+        [&](const StreamItem& it) {
+          return sub.ProjectAdaptive(it.set,
+                                     ArenaAllocator<ElementId>::Scratch());
+        },
         [&](const StreamItem& it, ProjectedSet proj) {
           const SetId pid = StoreProjection(projections, std::move(proj));
           meter.Charge(projections.SetBytes(pid) + sizeof(SetId),
-                       "projections");
+                       kProjectionsCat);
           projection_ids.push_back(it.id);
         });
 
     // DIMV'14 covers the sample with greedy — the multiplicative loss per
     // phase is where the 4^{1/delta} approximation factor comes from.
-    const Solution local = GreedySetCover(projections);
-    meter.Release(meter.CategoryCurrent("projections"), "projections");
+    const Solution local = GreedySetCover(projections, table);
+    meter.Release(meter.CategoryCurrent(kProjectionsCat), kProjectionsCat);
 
-    std::vector<SetId> chosen_global;
+    ArenaVector<SetId> chosen_global(table);
     chosen_global.reserve(local.size());
-    for (SetId id : local.chosen) {
+    for (const SetId id : local.chosen) {
       chosen_global.push_back(projection_ids[id]);
       solution.chosen.push_back(projection_ids[id]);
     }
-    meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+    meter.SetCategory(solution.size() * sizeof(SetId), kSolutionCat);
     ctx.RecordTakes(chosen_global.size(), 0);
 
     ctx.SubtractPass(chosen_global, uncovered);
@@ -96,7 +117,7 @@ SetCoverRunResult DemaineSetCover::RunWithGuess(
     ctx.CoverResiduePass(uncovered, [&](SetId id) {
       solution.chosen.push_back(id);
     });
-    meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+    meter.SetCategory(solution.size() * sizeof(SetId), kSolutionCat);
   }
 
   result.solution = std::move(solution);

@@ -2,14 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
 #include "stream/engine_context.h"
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/space_meter.h"
 #include "util/stopwatch.h"
 
 namespace streamsc {
+namespace {
+
+// Interned metering categories (hot path: array index per Charge).
+const SpaceCategory kUncoveredCat("uncovered");
+const SpaceCategory kSolutionCat("solution");
+const SpaceCategory kWitnessesCat("witnesses");
+
+}  // namespace
 
 EmekRosenSetCover::EmekRosenSetCover(EmekRosenConfig config)
     : config_(config) {}
@@ -43,15 +51,19 @@ SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream,
 
   SetCoverRunResult result;
   SpaceMeter meter;
-  EngineContext ctx(stream, context.engine);
-  DynamicBitset uncovered = DynamicBitset::Full(n);
-  meter.Charge(uncovered.ByteSize(), "uncovered");
+  EngineContext ctx(stream, context);
+
+  // Run-lived state (the uncovered bitset, the witness array, the
+  // solution ids) on the run arena.
+  DynamicBitset uncovered =
+      DynamicBitset::Full(n, ctx.alloc<DynamicBitset::Word>());
+  meter.Charge(uncovered.ByteSize(), kUncoveredCat);
   // Witness id per element; kInvalidSetId = none seen yet. Elements
   // covered by a taken set keep their (now unused) witness slot — the
   // array is the Õ(n) term of the space bound either way.
-  std::vector<SetId> witness(n, kInvalidSetId);
-  meter.Charge(n * sizeof(SetId), "witnesses");
-  Solution solution;
+  ArenaVector<SetId> witness(n, kInvalidSetId, ctx.alloc<SetId>());
+  meter.Charge(n * sizeof(SetId), kWitnessesCat);
+  Solution solution(ctx.alloc<SetId>());
 
   // The threshold-and-witness pass. The big-set rule is a monotone
   // threshold take (eligible for the snapshot filter); the witness writes
@@ -64,7 +76,7 @@ SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream,
           bound_is_exact ? bound : item.set.CountAnd(uncovered);
       if (gain >= theta) {
         solution.chosen.push_back(item.id);
-        meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+        meter.SetCategory(solution.size() * sizeof(SetId), kSolutionCat);
         item.set.AndNotInto(uncovered);
         ctx.RecordTake(gain);
         return;
@@ -80,22 +92,27 @@ SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream,
   });
 
   // End of pass: close the cover with the witnesses of the survivors.
-  std::vector<SetId> leftovers;
-  uncovered.ForEach([&](ElementId e) {
-    if (witness[e] != kInvalidSetId) leftovers.push_back(witness[e]);
-  });
-  std::sort(leftovers.begin(), leftovers.end());
-  leftovers.erase(std::unique(leftovers.begin(), leftovers.end()),
-                  leftovers.end());
+  // The leftover list is transient (consumed before the rewind): scratch.
+  {
+    MonotonicArena& scratch = ThreadScratchArena();
+    const ArenaCheckpoint leftovers_checkpoint(scratch);
+    ArenaVector<SetId> leftovers{ArenaAllocator<SetId>(&scratch)};
+    uncovered.ForEach([&](ElementId e) {
+      if (witness[e] != kInvalidSetId) leftovers.push_back(witness[e]);
+    });
+    std::sort(leftovers.begin(), leftovers.end());
+    leftovers.erase(std::unique(leftovers.begin(), leftovers.end()),
+                    leftovers.end());
 
-  if (!leftovers.empty()) {
-    // One more (cheap) pass to subtract the witnesses' actual contents —
-    // needed only to *verify* feasibility; the ids were already final.
-    ctx.RecordTakes(leftovers.size(), 0);
-    ctx.SubtractPass(leftovers, uncovered);
-    solution.chosen.insert(solution.chosen.end(), leftovers.begin(),
-                           leftovers.end());
-    meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+    if (!leftovers.empty()) {
+      // One more (cheap) pass to subtract the witnesses' actual contents —
+      // needed only to *verify* feasibility; the ids were already final.
+      ctx.RecordTakes(leftovers.size(), 0);
+      ctx.SubtractPass(leftovers, uncovered);
+      solution.chosen.insert(solution.chosen.end(), leftovers.begin(),
+                             leftovers.end());
+      meter.SetCategory(solution.size() * sizeof(SetId), kSolutionCat);
+    }
   }
 
   result.solution = std::move(solution);

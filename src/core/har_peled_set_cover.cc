@@ -13,6 +13,14 @@
 #include "util/stopwatch.h"
 
 namespace streamsc {
+namespace {
+
+// Interned metering categories (hot path: array index per Charge).
+const SpaceCategory kUncoveredCat("uncovered");
+const SpaceCategory kSolutionCat("solution");
+const SpaceCategory kProjectionsCat("projections");
+
+}  // namespace
 
 HarPeledSetCover::HarPeledSetCover(HarPeledConfig config) : config_(config) {
   STREAMSC_CHECK(config_.alpha >= 1, "HarPeledConfig: alpha must be >= 1");
@@ -32,15 +40,19 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(
 
   SetCoverRunResult result;
   SpaceMeter meter;
-  EngineContext ctx(stream, context.engine);
+  EngineContext ctx(stream, context);
 
-  DynamicBitset uncovered = DynamicBitset::Full(n);
-  meter.Charge(uncovered.ByteSize(), "uncovered");
-  Solution solution;
+  // Run-lived state on the run arena; guess-lived structures bracket the
+  // thread's table arena per iteration (see the Assadi implementation for
+  // the full rationale).
+  DynamicBitset uncovered =
+      DynamicBitset::Full(n, ctx.alloc<DynamicBitset::Word>());
+  meter.Charge(uncovered.ByteSize(), kUncoveredCat);
+  Solution solution(ctx.alloc<SetId>());
 
   const auto take = [&](SetId id) {
     solution.chosen.push_back(id);
-    meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+    meter.SetCategory(solution.size() * sizeof(SetId), kSolutionCat);
   };
 
   // ceil(α/2) iterations, each reducing |U| by ~n^{2/α} (the c = 2
@@ -61,23 +73,31 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(
     ctx.ThresholdPass(threshold, uncovered, take);
     if (uncovered.None()) break;
 
-    // 2. Sampling pass with the looser rate (ρ = n^{-2/α}).
+    // 2. Sampling pass with the looser rate (ρ = n^{-2/α}). The sample,
+    // projections, and sub-solution are guess-lived: table-arena bracket.
+    const ArenaCheckpoint iteration_checkpoint(ThreadTableArena());
+    const auto table = ArenaAllocator<SetId>::Table();
     const double rate = ElementSamplingRate(
         n, m, std::max<std::size_t>(opt_guess, 1), rho,
         config_.sampling_boost);
-    const DynamicBitset sampled = SampleElements(uncovered, rate, rng);
+    const DynamicBitset sampled =
+        SampleElements(uncovered, rate, rng, DynamicBitset::Allocator(table));
     if (sampled.None()) continue;
-    SubUniverse sub(sampled);
+    SubUniverse sub(sampled, table);
 
-    SetSystem projections(sub.size());
-    std::vector<SetId> projection_ids;
+    SetSystem projections(sub.size(), SetSystem::kDefaultSparsityThreshold,
+                          &ThreadTableArena());
+    ArenaVector<SetId> projection_ids(table);
     projection_ids.reserve(m);
     ctx.TransformPass<ProjectedSet>(
-        [&](const StreamItem& it) { return sub.ProjectAdaptive(it.set); },
+        [&](const StreamItem& it) {
+          return sub.ProjectAdaptive(it.set,
+                                     ArenaAllocator<ElementId>::Scratch());
+        },
         [&](const StreamItem& it, ProjectedSet proj) {
           const SetId pid = StoreProjection(projections, std::move(proj));
           meter.Charge(projections.SetBytes(pid) + sizeof(SetId),
-                       "projections");
+                       kProjectionsCat);
           projection_ids.push_back(it.id);
         });
 
@@ -85,31 +105,34 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(
     ExactSetCoverOptions exact_options;
     exact_options.max_nodes = config_.exact_node_budget;
     exact_options.size_limit = opt_guess;
-    ExactSetCoverResult sub_result = SolveExactSetCover(
-        projections, DynamicBitset::Full(sub.size()), exact_options);
-    std::vector<SetId> chosen_local;
+    const ExactSetCoverResult sub_result = SolveExactSetCover(
+        projections,
+        DynamicBitset::Full(sub.size(), DynamicBitset::Allocator(table)),
+        exact_options, ctx.alloc<SetId>());
+    ArenaVector<SetId> chosen_local(ctx.alloc<SetId>());
     if (sub_result.feasible) {
       chosen_local = sub_result.solution.chosen;
     } else if (!sub_result.complete) {
-      Solution greedy = GreedySetCover(projections);
+      const Solution greedy = GreedySetCover(projections, table);
       if (projections.IsFeasibleCover(greedy.chosen) &&
           greedy.chosen.size() <= opt_guess) {
-        chosen_local = greedy.chosen;
+        chosen_local.assign(greedy.chosen.begin(), greedy.chosen.end());
       } else {
         guess_ok = false;
       }
     } else {
       guess_ok = false;
     }
-    meter.Release(meter.CategoryCurrent("projections"), "projections");
+    meter.Release(meter.CategoryCurrent(kProjectionsCat), kProjectionsCat);
     if (!guess_ok) break;
 
-    std::vector<SetId> chosen_global;
-    for (SetId local : chosen_local) {
+    ArenaVector<SetId> chosen_global(table);
+    chosen_global.reserve(chosen_local.size());
+    for (const SetId local : chosen_local) {
       chosen_global.push_back(projection_ids[local]);
       solution.chosen.push_back(projection_ids[local]);
     }
-    meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+    meter.SetCategory(solution.size() * sizeof(SetId), kSolutionCat);
     ctx.RecordTakes(chosen_global.size(), 0);
 
     ctx.SubtractPass(chosen_global, uncovered);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
 #include "core/sampling.h"
 #include "offline/exact_max_coverage.h"
@@ -14,6 +13,14 @@
 #include "util/stopwatch.h"
 
 namespace streamsc {
+namespace {
+
+// Interned metering categories (hot path: array index per Charge).
+const SpaceCategory kSampleUniverseCat("sample-universe");
+const SpaceCategory kProjectionsCat("projections");
+const SpaceCategory kCandidatesCat("candidates");
+
+}  // namespace
 
 ElementSamplingMaxCoverage::ElementSamplingMaxCoverage(
     ElementSamplingMcConfig config)
@@ -46,49 +53,67 @@ MaxCoverageRunResult ElementSamplingMaxCoverage::Run(
 
   MaxCoverageRunResult result;
   SpaceMeter meter;
-  EngineContext ctx(stream, context.engine);
+  EngineContext ctx(stream, context);
 
+  // Everything here is run-lived (one sample, one projection store, one
+  // solve): it all goes straight on the run arena.
   // Sample the universe once, up front (public coins in the paper's
   // communication view).
   const double rate = SampleRate(n, m, k);
   const DynamicBitset sampled =
-      rng.BernoulliSubset(n, rate);
-  SubUniverse sub(sampled);
-  meter.Charge(CeilDiv(sub.size(), 8), "sample-universe");
+      rng.BernoulliSubset(n, rate, ctx.alloc<DynamicBitset::Word>());
+  SubUniverse sub(sampled, ctx.alloc<ElementId>());
+  meter.Charge(CeilDiv(sub.size(), 8), kSampleUniverseCat);
 
-  // One pass: store every set's projection onto the sample.
-  SetSystem projections(sub.size());
-  std::vector<SetId> projection_ids;
+  // One pass: store every set's projection onto the sample. Workers
+  // project into their own scratch; the commit re-homes each projection
+  // into the run-arena-backed system.
+  SetSystem projections(sub.size(), SetSystem::kDefaultSparsityThreshold,
+                        context.arena);
+  ArenaVector<SetId> projection_ids(ctx.alloc<SetId>());
   projection_ids.reserve(m);
   ctx.TransformPass<ProjectedSet>(
-      [&](const StreamItem& it) { return sub.ProjectAdaptive(it.set); },
+      [&](const StreamItem& it) {
+        return sub.ProjectAdaptive(it.set,
+                                   ArenaAllocator<ElementId>::Scratch());
+      },
       [&](const StreamItem& it, ProjectedSet proj) {
         const SetId pid = StoreProjection(projections, std::move(proj));
         meter.Charge(projections.SetBytes(pid) + sizeof(SetId),
-                     "projections");
+                     kProjectionsCat);
         projection_ids.push_back(it.id);
       });
 
-  // Offline solve on the sampled instance.
-  Solution local;
-  if (k <= config_.exact_k_limit) {
-    ExactMaxCoverageOptions options;
-    options.max_nodes = config_.exact_node_budget;
-    ExactMaxCoverageResult exact = SolveExactMaxCoverage(
-        projections, DynamicBitset::Full(sub.size()), k, options);
-    local = exact.solution;
-  } else {
-    local = GreedyMaxCoverage(projections, k);
+  // Offline solve on the sampled instance. The solve's internals bracket
+  // the thread's table arena; its result lands on the run arena.
+  Solution local(ctx.alloc<SetId>());
+  {
+    const ArenaCheckpoint solve_checkpoint(ThreadTableArena());
+    const auto table = ArenaAllocator<SetId>::Table();
+    if (k <= config_.exact_k_limit) {
+      ExactMaxCoverageOptions options;
+      options.max_nodes = config_.exact_node_budget;
+      ExactMaxCoverageResult exact = SolveExactMaxCoverage(
+          projections,
+          DynamicBitset::Full(sub.size(), DynamicBitset::Allocator(table)), k,
+          options, ctx.alloc<SetId>());
+      local = std::move(exact.solution);
+    } else {
+      const Solution greedy = GreedyMaxCoverage(projections, k, table);
+      local.chosen.assign(greedy.chosen.begin(), greedy.chosen.end());
+    }
   }
 
-  result.solution.chosen.reserve(local.chosen.size());
-  for (SetId id : local.chosen) {
-    result.solution.chosen.push_back(projection_ids[id]);
+  Solution lifted(ctx.alloc<SetId>());
+  lifted.chosen.reserve(local.chosen.size());
+  for (const SetId id : local.chosen) {
+    lifted.chosen.push_back(projection_ids[id]);
   }
+  result.solution = std::move(lifted);
 
   // One more pass to compute the *true* coverage of the returned sets
   // (verification; not charged against the sketch space).
-  DynamicBitset covered(n);
+  DynamicBitset covered(n, ctx.alloc<DynamicBitset::Word>());
   ctx.UnionPass(result.solution.chosen, covered);
   result.coverage = covered.CountSet();
   ctx.RecordTakes(result.solution.size(), result.coverage);
@@ -120,20 +145,27 @@ MaxCoverageRunResult SieveMaxCoverage::Run(SetStream& stream, std::size_t k,
 
   MaxCoverageRunResult result;
   SpaceMeter meter;
-  EngineContext ctx(stream, context.engine);
+  EngineContext ctx(stream, context);
 
   // One candidate solution per OPT guess v on the grid (1+ε)^j in
-  // [1, k·n]. Each candidate retains its covered-elements bitset.
+  // [1, k·n]. Each candidate retains its covered-elements bitset. All
+  // lanes live on the run arena and are fully sized here on the
+  // orchestrator thread: each chosen list reserves its k-set capacity up
+  // front, so worker-thread pushes during the scan never allocate (the
+  // run arena is not synchronized — workers may only write, not grow).
   struct Candidate {
     double guess;
     DynamicBitset covered;
-    std::vector<SetId> chosen;
+    ArenaVector<SetId> chosen;
   };
-  std::vector<Candidate> candidates;
+  ArenaVector<Candidate> candidates{ctx.alloc<Candidate>()};
   for (double v = 1.0; v <= static_cast<double>(k) * static_cast<double>(n);
        v *= (1.0 + config_.epsilon)) {
-    candidates.push_back({v, DynamicBitset(n), {}});
-    meter.Charge(candidates.back().covered.ByteSize(), "candidates");
+    candidates.push_back(
+        Candidate{v, DynamicBitset(n, ctx.alloc<DynamicBitset::Word>()),
+                  ArenaVector<SetId>(ctx.alloc<SetId>())});
+    candidates.back().chosen.reserve(k);
+    meter.Charge(candidates.back().covered.ByteSize(), kCandidatesCat);
   }
 
   // Every guess is an independent lane: its take decisions depend only on
@@ -172,7 +204,9 @@ MaxCoverageRunResult SieveMaxCoverage::Run(SetStream& stream, std::size_t k,
   }
   ctx.RecordTakes(lane_takes, lane_covered);
   if (best != nullptr) {
-    result.solution.chosen = best->chosen;
+    Solution solution(ctx.alloc<SetId>());
+    solution.chosen.assign(best->chosen.begin(), best->chosen.end());
+    result.solution = std::move(solution);
     result.coverage = best_coverage;
   }
 

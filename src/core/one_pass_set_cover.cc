@@ -8,6 +8,13 @@
 #include "util/stopwatch.h"
 
 namespace streamsc {
+namespace {
+
+// Interned metering categories (hot path: array index per Charge).
+const SpaceCategory kUncoveredCat("uncovered");
+const SpaceCategory kSolutionCat("solution");
+
+}  // namespace
 
 OnePassSetCover::OnePassSetCover(OnePassConfig config) : config_(config) {
   STREAMSC_CHECK(
@@ -28,10 +35,11 @@ SetCoverRunResult OnePassSetCover::Run(SetStream& stream,
 
   SetCoverRunResult result;
   SpaceMeter meter;
-  EngineContext ctx(stream, context.engine);
-  DynamicBitset uncovered = DynamicBitset::Full(n);
-  meter.Charge(uncovered.ByteSize(), "uncovered");
-  Solution solution;
+  EngineContext ctx(stream, context);
+  DynamicBitset uncovered =
+      DynamicBitset::Full(n, ctx.alloc<DynamicBitset::Word>());
+  meter.Charge(uncovered.ByteSize(), kUncoveredCat);
+  Solution solution(ctx.alloc<SetId>());
 
   // The acceptance bar max(1, frac·|U|) shrinks together with |U|, so
   // only the zero-gain part of the snapshot filter is sound here: a
@@ -46,7 +54,7 @@ SetCoverRunResult OnePassSetCover::Run(SetStream& stream,
                  static_cast<double>(uncovered.CountSet()));
     if (static_cast<double>(gain) >= needed) {
       solution.chosen.push_back(item.id);
-      meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+      meter.SetCategory(solution.size() * sizeof(SetId), kSolutionCat);
       item.set.AndNotInto(uncovered);
       ctx.RecordTake(gain);
     }

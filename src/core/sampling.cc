@@ -31,8 +31,13 @@ inline Word ExtractBits(Word x, Word mask) {
 
 }  // namespace
 
-SubUniverse::SubUniverse(const DynamicBitset& sampled)
-    : full_size_(sampled.size()) {
+SubUniverse::SubUniverse(const DynamicBitset& sampled,
+                         ArenaAllocator<ElementId> alloc)
+    : full_size_(sampled.size()),
+      sample_to_full_(alloc),
+      sampled_words_(ArenaAllocator<Word>(alloc)),
+      word_rank_(ArenaAllocator<std::uint32_t>(alloc)),
+      gather_(ArenaAllocator<GatherBlock>(alloc)) {
   sample_to_full_.reserve(static_cast<std::size_t>(sampled.CountSet()));
   sampled.ForEach([&](ElementId e) { sample_to_full_.push_back(e); });
   // Gather plan + rank structure: sampled elements are re-indexed in
@@ -53,8 +58,9 @@ SubUniverse::SubUniverse(const DynamicBitset& sampled)
 }
 
 template <typename WordAt>
-DynamicBitset SubUniverse::ProjectGather(WordAt&& word_at) const {
-  DynamicBitset out(sample_to_full_.size());
+DynamicBitset SubUniverse::ProjectGather(
+    WordAt&& word_at, DynamicBitset::Allocator alloc) const {
+  DynamicBitset out(sample_to_full_.size(), alloc);
   for (const GatherBlock& block : gather_) {
     const Word bits = ExtractBits(word_at(block.src_word), block.mask);
     if (bits == 0) continue;
@@ -88,14 +94,20 @@ void SubUniverse::ForEachSampled(const ElementId* ids, std::size_t count,
   }
 }
 
-DynamicBitset SubUniverse::Project(const DynamicBitset& full_set) const {
-  return ProjectGather([&](std::size_t w) { return full_set.GetWord(w); });
+DynamicBitset SubUniverse::Project(const DynamicBitset& full_set,
+                                   DynamicBitset::Allocator alloc) const {
+  return ProjectGather([&](std::size_t w) { return full_set.GetWord(w); },
+                       alloc);
 }
 
-DynamicBitset SubUniverse::Project(SetView full_set) const {
-  if (const DynamicBitset* dense = full_set.dense()) return Project(*dense);
+DynamicBitset SubUniverse::Project(SetView full_set,
+                                   DynamicBitset::Allocator alloc) const {
+  if (const DynamicBitset* dense = full_set.dense()) {
+    return Project(*dense, alloc);
+  }
   if (const DenseSpan* span = full_set.dense_span()) {
-    return ProjectGather([&](std::size_t w) { return span->GetWord(w); });
+    return ProjectGather([&](std::size_t w) { return span->GetWord(w); },
+                         alloc);
   }
   const ElementId* ids = nullptr;
   std::size_t count = 0;
@@ -107,13 +119,17 @@ DynamicBitset SubUniverse::Project(SetView full_set) const {
     ids = span->elements();
     count = static_cast<std::size_t>(span->CountSet());
   }
-  DynamicBitset out(sample_to_full_.size());
+  DynamicBitset out(sample_to_full_.size(), alloc);
   ForEachSampled(ids, count, [&](std::uint32_t s) { out.Set(s); });
   return out;
 }
 
-ProjectedSet SubUniverse::ProjectAdaptive(SetView full_set) const {
-  if (full_set.is_dense_rep()) return Project(full_set);
+ProjectedSet SubUniverse::ProjectAdaptive(SetView full_set,
+                                          ArenaAllocator<ElementId> alloc)
+    const {
+  if (full_set.is_dense_rep()) {
+    return Project(full_set, DynamicBitset::Allocator(alloc));
+  }
   const ElementId* ids = nullptr;
   std::size_t count = 0;
   if (const SparseSet* sparse = full_set.sparse()) {
@@ -124,7 +140,7 @@ ProjectedSet SubUniverse::ProjectAdaptive(SetView full_set) const {
     ids = span->elements();
     count = static_cast<std::size_t>(span->CountSet());
   }
-  std::vector<ElementId> projected;
+  ArenaVector<ElementId> projected(alloc);
   projected.reserve(count);
   ForEachSampled(ids, count,
                  [&](std::uint32_t s) { projected.push_back(s); });
@@ -144,16 +160,17 @@ SetView ViewOf(const ProjectedSet& projection) {
   return std::visit([](const auto& set) { return SetView(set); }, projection);
 }
 
-DynamicBitset SubUniverse::Lift(const DynamicBitset& sample_set) const {
-  DynamicBitset out(full_size_);
+DynamicBitset SubUniverse::Lift(const DynamicBitset& sample_set,
+                                DynamicBitset::Allocator alloc) const {
+  DynamicBitset out(full_size_, alloc);
   sample_set.ForEach([&](ElementId i) { out.Set(sample_to_full_[i]); });
   return out;
 }
 
 DynamicBitset SampleElements(const DynamicBitset& universe, double rate,
-                             Rng& rng) {
+                             Rng& rng, DynamicBitset::Allocator alloc) {
   // Rng::BernoulliSubsample owns the documented [0,1]/NaN clamp.
-  return rng.BernoulliSubsample(universe, rate);
+  return rng.BernoulliSubsample(universe, rate, alloc);
 }
 
 std::vector<ProjectedSet> ProjectAll(const SubUniverse& sub,

@@ -7,6 +7,7 @@
 
 #include "instance/set_system.h"
 #include "stream/set_stream.h"
+#include "util/arena.h"
 #include "util/bitset.h"
 #include "util/random.h"
 #include "util/set_view.h"
@@ -43,11 +44,19 @@ SetView ViewOf(const ProjectedSet& projection);
 
 /// A sampled subset of the universe with a dense re-indexing
 /// {sampled elements} -> [0, sample_size).
+///
+/// Arena-aware: the constructor allocator backs the gather plan and rank
+/// structure, and every projection takes an allocator for its result
+/// (heap by default, so read-only callers stay unchanged). The sampling
+/// solvers bracket a SubUniverse per guess on the thread-local table
+/// arena.
 class SubUniverse {
  public:
   /// Builds the sub-universe consisting of the members of \p sampled
-  /// (a bitset over the full universe [n]).
-  explicit SubUniverse(const DynamicBitset& sampled);
+  /// (a bitset over the full universe [n]), allocating the re-indexing
+  /// structures from \p alloc.
+  explicit SubUniverse(const DynamicBitset& sampled,
+                       ArenaAllocator<ElementId> alloc = {});
 
   /// Number of sampled elements.
   std::size_t size() const { return sample_to_full_.size(); }
@@ -56,24 +65,31 @@ class SubUniverse {
   std::size_t full_size() const { return full_size_; }
 
   /// Projects a full-universe dense set onto the sample (dense indexing)
-  /// via the word-level gather plan.
-  DynamicBitset Project(const DynamicBitset& full_set) const;
+  /// via the word-level gather plan. The result is allocated from
+  /// \p alloc.
+  DynamicBitset Project(const DynamicBitset& full_set,
+                        DynamicBitset::Allocator alloc = {}) const;
 
   /// Projects a full-universe set of any representation (owning or span):
   /// dense sets go through the word gather, sparse sets through per-member
   /// re-indexing. Always emits a dense result; see ProjectAdaptive for the
   /// representation-preserving variant.
-  DynamicBitset Project(SetView full_set) const;
+  DynamicBitset Project(SetView full_set,
+                        DynamicBitset::Allocator alloc = {}) const;
 
   /// Projects onto the sample, keeping the source's representation: dense
   /// and dense-span sources emit a DynamicBitset via the word gather,
   /// sparse and sparse-span sources emit a SparseSet directly in O(k) —
   /// skipping the dense intermediate entirely, so a stored sparse
-  /// projection never touches O(sample_size) memory.
-  ProjectedSet ProjectAdaptive(SetView full_set) const;
+  /// projection never touches O(sample_size) memory. The result is
+  /// allocated from \p alloc (the engine's sharded TransformPass passes
+  /// the worker-scratch binding here).
+  ProjectedSet ProjectAdaptive(SetView full_set,
+                               ArenaAllocator<ElementId> alloc = {}) const;
 
   /// Lifts a sample-indexed set back to full-universe indexing.
-  DynamicBitset Lift(const DynamicBitset& sample_set) const;
+  DynamicBitset Lift(const DynamicBitset& sample_set,
+                     DynamicBitset::Allocator alloc = {}) const;
 
   /// Full-universe id of sampled element \p i.
   ElementId ToFull(std::size_t i) const { return sample_to_full_[i]; }
@@ -83,7 +99,8 @@ class SubUniverse {
   // returns the source set's w-th backing word. Defined in sampling.cc
   // (only instantiated there).
   template <typename WordAt>
-  DynamicBitset ProjectGather(WordAt&& word_at) const;
+  DynamicBitset ProjectGather(WordAt&& word_at,
+                              DynamicBitset::Allocator alloc) const;
 
   // Sparse re-indexing core shared by the sparse and sparse-span paths:
   // calls \p emit(sample_id) for each sampled member of the sorted id run,
@@ -101,23 +118,23 @@ class SubUniverse {
   };
 
   std::size_t full_size_;
-  std::vector<ElementId> sample_to_full_;
+  ArenaVector<ElementId> sample_to_full_;
   // Rank structure for full id -> sample id: the sampled bits per
   // universe word plus the number of sampled elements before each word.
   // ~n/8 + n/16 bytes total, an order of magnitude smaller than a
   // per-element map — the sparse projection path is lookup-table-miss
   // bound, so the working set matters more than the op count.
-  std::vector<DynamicBitset::Word> sampled_words_;
-  std::vector<std::uint32_t> word_rank_;
-  std::vector<GatherBlock> gather_;
+  ArenaVector<DynamicBitset::Word> sampled_words_;
+  ArenaVector<std::uint32_t> word_rank_;
+  ArenaVector<GatherBlock> gather_;
 };
 
 /// Builds the Lemma 3.12 sample of \p universe: each element kept
 /// independently with probability \p rate. \p rate is clamped to [0, 1]
 /// (NaN treated as 0): rate <= 0 yields the empty set, rate >= 1 the
-/// whole \p universe.
+/// whole \p universe. The result is allocated from \p alloc.
 DynamicBitset SampleElements(const DynamicBitset& universe, double rate,
-                             Rng& rng);
+                             Rng& rng, DynamicBitset::Allocator alloc = {});
 
 /// Projects every buffered item onto \p sub (via ProjectAdaptive, so each
 /// projection keeps its source's representation); out[i] corresponds to

@@ -8,6 +8,13 @@
 #include "util/stopwatch.h"
 
 namespace streamsc {
+namespace {
+
+// Interned metering categories (hot path: array index per Charge).
+const SpaceCategory kUncoveredCat("uncovered");
+const SpaceCategory kSolutionCat("solution");
+
+}  // namespace
 
 ThresholdGreedySetCover::ThresholdGreedySetCover(ThresholdGreedyConfig config)
     : config_(config) {
@@ -28,14 +35,15 @@ SetCoverRunResult ThresholdGreedySetCover::Run(SetStream& stream,
 
   SetCoverRunResult result;
   SpaceMeter meter;
-  DynamicBitset uncovered = DynamicBitset::Full(n);
-  meter.Charge(uncovered.ByteSize(), "uncovered");
-  Solution solution;
+  EngineContext ctx(stream, context);
+  DynamicBitset uncovered =
+      DynamicBitset::Full(n, ctx.alloc<DynamicBitset::Word>());
+  meter.Charge(uncovered.ByteSize(), kUncoveredCat);
+  Solution solution(ctx.alloc<SetId>());
 
-  EngineContext ctx(stream, context.engine);
   const auto take = [&](SetId id) {
     solution.chosen.push_back(id);
-    meter.SetCategory(solution.size() * sizeof(SetId), "solution");
+    meter.SetCategory(solution.size() * sizeof(SetId), kSolutionCat);
   };
 
   // Thresholds n, n/β, n/β², ..., ending with a final pass at exactly 1 —

@@ -12,13 +12,27 @@ bool SetSystem::WantsSparse(Count count) const {
 }
 
 SetId SetSystem::PushDense(DynamicBitset set) {
-  dense_.push_back(std::move(set));
+  // Re-home payloads whose buffers live outside this system's storage —
+  // including scratch-backed payloads entering a *heap* system: moving
+  // one in would smuggle the scratch binding (and its pass-lifetime
+  // buffer) into a structure that outlives the pass.
+  const ArenaAllocator<DynamicBitset::Word> want{arena_};
+  if (!(set.get_allocator() == want)) {
+    dense_.emplace_back(set, want);
+  } else {
+    dense_.push_back(std::move(set));
+  }
   slots_.push_back({Rep::kDense, static_cast<std::uint32_t>(dense_.size() - 1)});
   return static_cast<SetId>(slots_.size() - 1);
 }
 
 SetId SetSystem::PushSparse(SparseSet set) {
-  sparse_.push_back(std::move(set));
+  const ArenaAllocator<ElementId> want{arena_};
+  if (!(set.get_allocator() == want)) {
+    sparse_.emplace_back(set, want);
+  } else {
+    sparse_.push_back(std::move(set));
+  }
   slots_.push_back(
       {Rep::kSparse, static_cast<std::uint32_t>(sparse_.size() - 1)});
   return static_cast<SetId>(slots_.size() - 1);
@@ -28,7 +42,8 @@ SetId SetSystem::AddSet(DynamicBitset set) {
   STREAMSC_CHECK(set.size() == universe_size_,
                  "SetSystem::AddSet: set universe size mismatches the system");
   if (WantsSparse(set.CountSet())) {
-    return PushSparse(SparseSet::FromBitset(set));
+    return PushSparse(
+        SparseSet::FromBitset(set, ArenaAllocator<ElementId>(arena_)));
   }
   return PushDense(std::move(set));
 }
@@ -37,28 +52,27 @@ SetId SetSystem::AddSet(SparseSet set) {
   STREAMSC_CHECK(set.size() == universe_size_,
                  "SetSystem::AddSet: set universe size mismatches the system");
   if (WantsSparse(set.CountSet())) return PushSparse(std::move(set));
-  return PushDense(set.ToBitset());
+  return PushDense(set.ToBitset(ArenaAllocator<DynamicBitset::Word>(arena_)));
 }
 
-SetId SetSystem::AddSetFromIndices(const std::vector<ElementId>& indices) {
+SetId SetSystem::AddSetFromIndices(std::span<const ElementId> indices) {
   // Range validation happens inside FromIndices (one post-sort check).
-  SparseSet sparse = SparseSet::FromIndices(universe_size_, indices);
+  SparseSet sparse = SparseSet::FromIndices(universe_size_, indices,
+                                            ArenaAllocator<ElementId>(arena_));
   if (WantsSparse(sparse.CountSet())) return PushSparse(std::move(sparse));
-  return PushDense(sparse.ToBitset());
+  return PushDense(
+      sparse.ToBitset(ArenaAllocator<DynamicBitset::Word>(arena_)));
 }
 
 SetId SetSystem::AddSetFromView(SetView view) {
   STREAMSC_CHECK(view.valid() && view.size() == universe_size_,
                  "SetSystem::AddSetFromView: view mismatches the system");
   if (WantsSparse(view.CountSet())) {
-    if (const SparseSet* sparse = view.sparse()) return PushSparse(*sparse);
-    // Dense or span representations: ToIndices() is sorted, unique, and
-    // in-range by construction, so the sparse set can adopt it without
-    // re-sorting or re-validating (the view's size was CHECKed above).
-    return PushSparse(SparseSet::FromSortedIndicesUnchecked(
-        universe_size_, view.ToIndices()));
+    // ToSparse materializes straight into this system's allocator (its
+    // emitted ids are sorted, unique, and in-range by construction).
+    return PushSparse(view.ToSparse(ArenaAllocator<ElementId>(arena_)));
   }
-  return PushDense(view.ToDense());
+  return PushDense(view.ToDense(ArenaAllocator<DynamicBitset::Word>(arena_)));
 }
 
 SetView SetSystem::set(SetId id) const {
@@ -86,8 +100,9 @@ SetSystem::Memory SetSystem::MemoryUsage() const {
   return memory;
 }
 
-DynamicBitset SetSystem::UnionOf(const std::vector<SetId>& ids) const {
-  DynamicBitset u(universe_size_);
+DynamicBitset SetSystem::UnionOf(std::span<const SetId> ids,
+                                 DynamicBitset::Allocator alloc) const {
+  DynamicBitset u(universe_size_, alloc);
   for (SetId id : ids) {
     STREAMSC_DCHECK(id < slots_.size());
     set(id).OrInto(u);
@@ -95,21 +110,29 @@ DynamicBitset SetSystem::UnionOf(const std::vector<SetId>& ids) const {
   return u;
 }
 
-DynamicBitset SetSystem::UnionAll() const {
-  DynamicBitset u(universe_size_);
+DynamicBitset SetSystem::UnionAll(DynamicBitset::Allocator alloc) const {
+  DynamicBitset u(universe_size_, alloc);
   for (SetId id = 0; id < slots_.size(); ++id) set(id).OrInto(u);
   return u;
 }
 
-Count SetSystem::CoverageOf(const std::vector<SetId>& ids) const {
-  return UnionOf(ids).CountSet();
+Count SetSystem::CoverageOf(std::span<const SetId> ids) const {
+  MonotonicArena& scratch = ThreadScratchArena();
+  const ArenaCheckpoint checkpoint(scratch);
+  return UnionOf(ids, DynamicBitset::Allocator(&scratch)).CountSet();
 }
 
-bool SetSystem::IsFeasibleCover(const std::vector<SetId>& ids) const {
-  return UnionOf(ids).All();
+bool SetSystem::IsFeasibleCover(std::span<const SetId> ids) const {
+  MonotonicArena& scratch = ThreadScratchArena();
+  const ArenaCheckpoint checkpoint(scratch);
+  return UnionOf(ids, DynamicBitset::Allocator(&scratch)).All();
 }
 
-bool SetSystem::IsCoverable() const { return UnionAll().All(); }
+bool SetSystem::IsCoverable() const {
+  MonotonicArena& scratch = ThreadScratchArena();
+  const ArenaCheckpoint checkpoint(scratch);
+  return UnionAll(DynamicBitset::Allocator(&scratch)).All();
+}
 
 Status SetSystem::Validate() const {
   for (SetId id = 0; id < slots_.size(); ++id) {

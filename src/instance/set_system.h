@@ -2,9 +2,11 @@
 #define STREAMSC_INSTANCE_SET_SYSTEM_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/bitset.h"
 #include "util/common.h"
 #include "util/set_view.h"
@@ -37,11 +39,21 @@ class SetSystem {
   /// Creates an empty collection over a universe of \p universe_size.
   /// Sets with density (|S|/n) strictly below \p sparsity_threshold are
   /// stored sparsely; pass 0.0 to force dense storage, 1.1 to force
-  /// sparse storage.
+  /// sparse storage. With a non-null \p arena, all internal storage —
+  /// slot table and set payloads — bump-allocates there; incoming sets
+  /// whose buffers live elsewhere are re-homed on insertion.
   explicit SetSystem(std::size_t universe_size = 0,
-                     double sparsity_threshold = kDefaultSparsityThreshold)
+                     double sparsity_threshold = kDefaultSparsityThreshold,
+                     MonotonicArena* arena = nullptr)
       : universe_size_(universe_size),
-        sparsity_threshold_(sparsity_threshold) {}
+        sparsity_threshold_(sparsity_threshold),
+        arena_(arena),
+        slots_(ArenaAllocator<Slot>(arena)),
+        dense_(ArenaAllocator<DynamicBitset>(arena)),
+        sparse_(ArenaAllocator<SparseSet>(arena)) {}
+
+  /// The arena backing this system's storage (null = heap).
+  MonotonicArena* arena() const { return arena_; }
 
   /// Appends \p set; returns its SetId. CHECK-fails (all build modes) if
   /// the set's universe size mismatches the system's.
@@ -57,7 +69,14 @@ class SetSystem {
   /// CHECK-fails on out-of-universe elements. Builds the sparse
   /// representation directly when the set qualifies — no n-bit
   /// intermediate, so ingesting a sparse instance is O(incidences).
-  SetId AddSetFromIndices(const std::vector<ElementId>& indices);
+  SetId AddSetFromIndices(std::span<const ElementId> indices);
+
+  /// Braced-list convenience (tests, hand-built instances): spans do not
+  /// bind to initializer lists directly.
+  SetId AddSetFromIndices(std::initializer_list<ElementId> indices) {
+    return AddSetFromIndices(
+        std::span<const ElementId>(indices.begin(), indices.size()));
+  }
 
   /// Appends a copy of the viewed set, re-deciding the representation
   /// under this system's threshold.
@@ -92,17 +111,32 @@ class SetSystem {
   /// Reports stored bytes and set counts for both representations.
   Memory MemoryUsage() const;
 
-  /// Union of the sets with the given ids.
-  DynamicBitset UnionOf(const std::vector<SetId>& ids) const;
+  /// Union of the sets with the given ids, allocated from \p alloc.
+  DynamicBitset UnionOf(std::span<const SetId> ids,
+                        DynamicBitset::Allocator alloc = {}) const;
 
-  /// Union of every set in the system.
-  DynamicBitset UnionAll() const;
+  /// Union of every set in the system, allocated from \p alloc.
+  DynamicBitset UnionAll(DynamicBitset::Allocator alloc = {}) const;
 
-  /// Number of universe elements covered by the given ids.
-  Count CoverageOf(const std::vector<SetId>& ids) const;
+  /// Number of universe elements covered by the given ids. (The n-bit
+  /// union intermediate stages in the calling thread's scratch arena.)
+  Count CoverageOf(std::span<const SetId> ids) const;
 
-  /// True iff the given ids cover the whole universe.
-  bool IsFeasibleCover(const std::vector<SetId>& ids) const;
+  /// True iff the given ids cover the whole universe. (Scratch-staged,
+  /// like CoverageOf.)
+  bool IsFeasibleCover(std::span<const SetId> ids) const;
+
+  /// Braced-list conveniences (tests, hand-built queries).
+  DynamicBitset UnionOf(std::initializer_list<SetId> ids,
+                        DynamicBitset::Allocator alloc = {}) const {
+    return UnionOf(std::span<const SetId>(ids.begin(), ids.size()), alloc);
+  }
+  Count CoverageOf(std::initializer_list<SetId> ids) const {
+    return CoverageOf(std::span<const SetId>(ids.begin(), ids.size()));
+  }
+  bool IsFeasibleCover(std::initializer_list<SetId> ids) const {
+    return IsFeasibleCover(std::span<const SetId>(ids.begin(), ids.size()));
+  }
 
   /// True iff some subcollection covers the universe (i.e., UnionAll() is
   /// everything) — precondition for set cover feasibility.
@@ -134,14 +168,25 @@ class SetSystem {
 
   std::size_t universe_size_;
   double sparsity_threshold_;
-  std::vector<Slot> slots_;
-  std::vector<DynamicBitset> dense_;
-  std::vector<SparseSet> sparse_;
+  MonotonicArena* arena_ = nullptr;
+  ArenaVector<Slot> slots_;
+  ArenaVector<DynamicBitset> dense_;
+  ArenaVector<SparseSet> sparse_;
 };
 
 /// A set cover / max coverage solution: set ids plus bookkeeping helpers.
+/// Arena-aware: solvers build it on the per-run arena (moves carry the
+/// arena; copies land on the heap, so escaping a solution past the run is
+/// an explicit heap copy).
 struct Solution {
-  std::vector<SetId> chosen;
+  ArenaVector<SetId> chosen;
+
+  Solution() = default;
+  explicit Solution(ArenaAllocator<SetId> alloc) : chosen(alloc) {}
+  explicit Solution(MonotonicArena* arena)
+      : chosen(ArenaAllocator<SetId>(arena)) {}
+  /// Heap-backed braced-list construction (tests, hand-built solutions).
+  Solution(std::initializer_list<SetId> ids) : chosen(ids) {}
 
   std::size_t size() const { return chosen.size(); }
   bool empty() const { return chosen.empty(); }

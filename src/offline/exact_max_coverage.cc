@@ -1,29 +1,35 @@
 #include "offline/exact_max_coverage.h"
 
 #include <algorithm>
-#include <vector>
+#include <span>
+#include <utility>
 
 #include "offline/greedy.h"
+#include "util/arena.h"
 #include "util/check.h"
 
 namespace streamsc {
 namespace {
 
+/// Call-scoped search state: incumbent vectors on the thread's table
+/// arena (the solve entry point brackets them), per-node temporaries in
+/// the scratch arena (LIFO checkpoints inside Search).
 struct SearchState {
   const SetSystem* system = nullptr;
   ExactMaxCoverageOptions options;
   std::size_t k = 0;
-  std::vector<SetId> current;
-  std::vector<SetId> best;
+  ArenaVector<SetId> current{ArenaAllocator<SetId>::Table()};
+  ArenaVector<SetId> best{ArenaAllocator<SetId>::Table()};
   Count best_coverage = 0;
   std::uint64_t nodes = 0;
   bool budget_exhausted = false;
-  // Sets ordered by raw size (descending) — the branch order.
-  std::vector<SetId> order;
 };
 
+/// \p pool is this node's candidate list (a tail of the parent's gain
+/// ranking), staged in the parent's scratch frame — valid for the whole
+/// call by LIFO discipline.
 void Search(SearchState& state, const DynamicBitset& covered,
-            Count covered_count, std::size_t order_pos) {
+            Count covered_count, std::span<const SetId> pool) {
   if (state.budget_exhausted) return;
   if (++state.nodes > state.options.max_nodes) {
     state.budget_exhausted = true;
@@ -33,18 +39,20 @@ void Search(SearchState& state, const DynamicBitset& covered,
     state.best_coverage = covered_count;
     state.best = state.current;
   }
-  if (state.current.size() == state.k || order_pos >= state.order.size()) {
+  if (state.current.size() == state.k || pool.empty()) {
     return;
   }
 
   // Upper bound: current coverage + sum of the top (k - depth) marginal
   // gains among remaining sets. Computing exact marginals for all
   // remaining sets is the dominant node cost but prunes aggressively.
+  MonotonicArena& scratch = ThreadScratchArena();
+  const ArenaCheckpoint node_checkpoint(scratch);
   const std::size_t picks_left = state.k - state.current.size();
-  std::vector<std::pair<Count, SetId>> gains;
-  gains.reserve(state.order.size() - order_pos);
-  for (std::size_t p = order_pos; p < state.order.size(); ++p) {
-    const SetId id = state.order[p];
+  using Gain = std::pair<Count, SetId>;
+  ArenaVector<Gain> gains{ArenaAllocator<Gain>(&scratch)};
+  gains.reserve(pool.size());
+  for (const SetId id : pool) {
     const Count gain = state.system->set(id).CountAndNot(covered);
     if (gain > 0) gains.emplace_back(gain, id);
   }
@@ -56,27 +64,25 @@ void Search(SearchState& state, const DynamicBitset& covered,
   }
   if (ub <= state.best_coverage) return;
 
-  // Branch: for each candidate (in gain order), either take it (recurse
-  // with it added) — candidates after position p in gain order are handled
-  // by later iterations, which effectively enumerates subsets.
+  // Branch: for each candidate (in gain order), take it and recurse over
+  // the tail of the gain ranking — which effectively enumerates subsets.
+  // The tail and the branch bitset stage under a per-child checkpoint, so
+  // sibling subtrees reuse the same scratch bytes.
   for (std::size_t p = 0; p < gains.size(); ++p) {
     if (state.budget_exhausted) return;
     const SetId id = gains[p].second;
     state.current.push_back(id);
-    DynamicBitset next = covered;
-    state.system->set(id).OrInto(next);
-    // Re-derive a position list: sets ranked after `p` in this node's gain
-    // order form the remaining candidate pool. To keep the recursion
-    // simple we rebuild `order` as the tail of the gain ranking.
-    std::vector<SetId> saved_order = state.order;
-    std::vector<SetId> tail;
-    tail.reserve(gains.size() - p - 1);
-    for (std::size_t q = p + 1; q < gains.size(); ++q) {
-      tail.push_back(gains[q].second);
+    {
+      const ArenaCheckpoint child_checkpoint(scratch);
+      DynamicBitset next(covered, DynamicBitset::Allocator(&scratch));
+      state.system->set(id).OrInto(next);
+      ArenaVector<SetId> tail{ArenaAllocator<SetId>(&scratch)};
+      tail.reserve(gains.size() - p - 1);
+      for (std::size_t q = p + 1; q < gains.size(); ++q) {
+        tail.push_back(gains[q].second);
+      }
+      Search(state, next, covered_count + gains[p].first, tail);
     }
-    state.order = std::move(tail);
-    Search(state, next, covered_count + gains[p].first, 0);
-    state.order = std::move(saved_order);
     state.current.pop_back();
   }
 }
@@ -85,51 +91,73 @@ void Search(SearchState& state, const DynamicBitset& covered,
 
 ExactMaxCoverageResult SolveExactMaxCoverage(
     const SetSystem& system, const DynamicBitset& universe, std::size_t k,
-    const ExactMaxCoverageOptions& options) {
+    const ExactMaxCoverageOptions& options,
+    ArenaAllocator<SetId> result_alloc) {
   STREAMSC_DCHECK(universe.size() == system.universe_size());
   ExactMaxCoverageResult result;
+  result.solution = Solution(result_alloc);
   if (k == 0 || system.num_sets() == 0) {
     result.proven_optimal = true;
     return result;
   }
 
-  SearchState state;
-  state.system = &system;
-  state.options = options;
-  state.k = std::min(k, system.num_sets());
+  const ArenaCheckpoint table_checkpoint(ThreadTableArena());
+  {
+    MonotonicArena& scratch = ThreadScratchArena();
+    const ArenaCheckpoint scratch_checkpoint(scratch);
 
-  // Work on the restriction to `universe`: coverage outside it is free but
-  // irrelevant, so we track "covered" as (chosen union) restricted later.
-  // We instead mark non-universe elements as pre-covered, which makes
-  // CountAndNot directly measure marginal gain within the universe.
-  DynamicBitset pre_covered = universe;
-  pre_covered.Complement();
+    SearchState state;
+    state.system = &system;
+    state.options = options;
+    state.k = std::min(k, system.num_sets());
 
-  // Greedy warm start.
-  Solution greedy = GreedyMaxCoverage(system, universe, state.k);
-  state.best = greedy.chosen;
-  state.best_coverage = system.UnionOf(greedy.chosen).CountAnd(universe);
+    // Work on the restriction to `universe`: coverage outside it is free
+    // but irrelevant, so we track "covered" as (chosen union) restricted
+    // later. We instead mark non-universe elements as pre-covered, which
+    // makes CountAndNot directly measure marginal gain within the
+    // universe.
+    DynamicBitset pre_covered(universe, DynamicBitset::Allocator(&scratch));
+    pre_covered.Complement();
 
-  state.order.reserve(system.num_sets());
-  for (SetId i = 0; i < system.num_sets(); ++i) state.order.push_back(i);
-  std::sort(state.order.begin(), state.order.end(), [&](SetId x, SetId y) {
-    return system.set(x).CountAnd(universe) > system.set(y).CountAnd(universe);
-  });
+    // Greedy warm start (call-scoped, so table-allocated like the state).
+    const Solution greedy = GreedyMaxCoverage(system, universe, state.k,
+                                              ArenaAllocator<SetId>::Table());
+    state.best.assign(greedy.chosen.begin(), greedy.chosen.end());
+    state.best_coverage =
+        system.UnionOf(greedy.chosen, DynamicBitset::Allocator(&scratch))
+            .CountAnd(universe);
 
-  Search(state, pre_covered, 0, 0);
+    // Initial candidate pool: every set, ordered by restricted size
+    // (descending) — the branch order.
+    ArenaVector<SetId> order{ArenaAllocator<SetId>(&scratch)};
+    order.reserve(system.num_sets());
+    for (SetId i = 0; i < system.num_sets(); ++i) order.push_back(i);
+    std::sort(order.begin(), order.end(), [&](SetId x, SetId y) {
+      return system.set(x).CountAnd(universe) >
+             system.set(y).CountAnd(universe);
+    });
 
-  result.solution.chosen = state.best;
-  result.coverage = state.best_coverage;
-  result.proven_optimal = !state.budget_exhausted;
-  result.nodes = state.nodes;
+    Search(state, pre_covered, 0, order);
+
+    result.solution.chosen.assign(state.best.begin(), state.best.end());
+    result.coverage = state.best_coverage;
+    result.proven_optimal = !state.budget_exhausted;
+    result.nodes = state.nodes;
+  }
   return result;
 }
 
 ExactMaxCoverageResult SolveExactMaxCoverage(
     const SetSystem& system, std::size_t k,
-    const ExactMaxCoverageOptions& options) {
+    const ExactMaxCoverageOptions& options,
+    ArenaAllocator<SetId> result_alloc) {
+  MonotonicArena& scratch = ThreadScratchArena();
+  const ArenaCheckpoint checkpoint(scratch);
   return SolveExactMaxCoverage(
-      system, DynamicBitset::Full(system.universe_size()), k, options);
+      system,
+      DynamicBitset::Full(system.universe_size(),
+                          DynamicBitset::Allocator(&scratch)),
+      k, options, result_alloc);
 }
 
 }  // namespace streamsc

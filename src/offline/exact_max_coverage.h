@@ -4,12 +4,18 @@
 #include <cstdint>
 
 #include "instance/set_system.h"
+#include "util/arena.h"
 
 /// \file exact_max_coverage.h
 /// Exact maximum k-coverage via branch-and-bound with a top-k marginal
 /// upper bound. Intended for the small k the paper uses (k = 2 in D_MC,
 /// k = õpt in Algorithm 1's sub-instances); complexity grows as roughly
 /// m^k without pruning.
+///
+/// Arena discipline mirrors exact_set_cover.h: per-node temporaries stage
+/// LIFO in the thread's scratch arena, the call-scoped incumbent brackets
+/// the table arena, and \p result_alloc (which must be neither binding)
+/// backs the returned solution.
 
 namespace streamsc {
 
@@ -29,12 +35,14 @@ struct ExactMaxCoverageResult {
 /// Maximizes |union of k chosen sets ∩ universe|.
 ExactMaxCoverageResult SolveExactMaxCoverage(
     const SetSystem& system, const DynamicBitset& universe, std::size_t k,
-    const ExactMaxCoverageOptions& options = {});
+    const ExactMaxCoverageOptions& options = {},
+    ArenaAllocator<SetId> result_alloc = {});
 
 /// Full-universe variant.
 ExactMaxCoverageResult SolveExactMaxCoverage(
     const SetSystem& system, std::size_t k,
-    const ExactMaxCoverageOptions& options = {});
+    const ExactMaxCoverageOptions& options = {},
+    ArenaAllocator<SetId> result_alloc = {});
 
 }  // namespace streamsc
 

@@ -1,10 +1,12 @@
 #include "offline/exact_set_cover.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_map>
-#include <vector>
+#include <utility>
 
 #include "offline/greedy.h"
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -36,18 +38,24 @@ StateKey KeyOf(const DynamicBitset& bs) {
   return {h1, h2};
 }
 
-/// Shared search state for the branch-and-bound recursion.
+/// Shared search state for the branch-and-bound recursion. Call-scoped
+/// (outlives the interleaved LIFO rewinds of the scratch arena), so its
+/// containers live on the thread's table arena — the solve entry point
+/// brackets it with a checkpoint.
 struct SearchState {
   const SetSystem* system = nullptr;
   ExactSetCoverOptions options;
-  std::vector<SetId> current;
-  std::vector<SetId> best;
+  ArenaVector<SetId> current{ArenaAllocator<SetId>::Table()};
+  ArenaVector<SetId> best{ArenaAllocator<SetId>::Table()};
   bool best_feasible = false;
   std::uint64_t nodes = 0;
   bool budget_exhausted = false;
   // Transposition table: uncovered-state -> smallest depth at which it was
   // fully explored. Re-visiting at the same or greater depth is redundant.
-  std::unordered_map<StateKey, std::size_t, StateKeyHash> seen;
+  using SeenAlloc = ArenaAllocator<std::pair<const StateKey, std::size_t>>;
+  std::unordered_map<StateKey, std::size_t, StateKeyHash,
+                     std::equal_to<StateKey>, SeenAlloc>
+      seen{SeenAlloc::Table()};
 };
 
 // Returns an uncovered element with (approximately) the fewest covering
@@ -121,8 +129,15 @@ void Search(SearchState& state, const DynamicBitset& uncovered) {
   const ElementId e = PickBranchElement(state, uncovered, degree);
   if (degree == 0) return;  // e is coverable by no set: infeasible branch
 
+  // Per-node temporaries stage LIFO in the scratch arena: the candidate
+  // list under a node checkpoint, each branch bitset under a per-child
+  // checkpoint so sibling subtrees reuse the same bytes.
+  MonotonicArena& scratch = ThreadScratchArena();
+  const ArenaCheckpoint node_checkpoint(scratch);
+
   // Candidate sets containing e, largest marginal gain first.
-  std::vector<std::pair<Count, SetId>> candidates;
+  using Candidate = std::pair<Count, SetId>;
+  ArenaVector<Candidate> candidates{ArenaAllocator<Candidate>(&scratch)};
   candidates.reserve(degree);
   for (SetId i = 0; i < state.system->num_sets(); ++i) {
     if (state.system->set(i).Test(e)) {
@@ -136,9 +151,12 @@ void Search(SearchState& state, const DynamicBitset& uncovered) {
     (void)gain;
     if (state.budget_exhausted) return;
     state.current.push_back(id);
-    DynamicBitset next = uncovered;
-    state.system->set(id).AndNotInto(next);
-    Search(state, next);
+    {
+      const ArenaCheckpoint child_checkpoint(scratch);
+      DynamicBitset next(uncovered, DynamicBitset::Allocator(&scratch));
+      state.system->set(id).AndNotInto(next);
+      Search(state, next);
+    }
     state.current.pop_back();
   }
 }
@@ -147,42 +165,64 @@ void Search(SearchState& state, const DynamicBitset& uncovered) {
 
 ExactSetCoverResult SolveExactSetCover(const SetSystem& system,
                                        const DynamicBitset& universe,
-                                       const ExactSetCoverOptions& options) {
+                                       const ExactSetCoverOptions& options,
+                                       ArenaAllocator<SetId> result_alloc) {
   STREAMSC_DCHECK(universe.size() == system.universe_size());
   ExactSetCoverResult result;
+  result.solution = Solution(result_alloc);
   if (universe.None()) {
     result.feasible = true;
     result.proven_optimal = true;
     return result;
   }
 
-  SearchState state;
-  state.system = &system;
-  state.options = options;
+  // Bracket the call-scoped search state (incumbent vectors, transposition
+  // table) on the table arena. The checkpoint outlives the inner scope, so
+  // the containers are destroyed (deallocate is a no-op) before the bytes
+  // are reclaimed; the result was copied into result_alloc by then.
+  const ArenaCheckpoint table_checkpoint(ThreadTableArena());
+  {
+    SearchState state;
+    state.system = &system;
+    state.options = options;
 
-  // Greedy warm start gives the incumbent upper bound (if feasible and
-  // within the requested size limit).
-  Solution greedy = GreedySetCover(system, universe);
-  if (universe.IsSubsetOf(system.UnionOf(greedy.chosen)) &&
-      greedy.chosen.size() <= options.size_limit) {
-    state.best = greedy.chosen;
-    state.best_feasible = true;
+    // Greedy warm start gives the incumbent upper bound (if feasible and
+    // within the requested size limit). The warm-start solution is
+    // call-scoped too, so it lands on the table arena alongside the state.
+    const Solution greedy =
+        GreedySetCover(system, universe, ArenaAllocator<SetId>::Table());
+    {
+      MonotonicArena& scratch = ThreadScratchArena();
+      const ArenaCheckpoint checkpoint(scratch);
+      if (universe.IsSubsetOf(system.UnionOf(
+              greedy.chosen, DynamicBitset::Allocator(&scratch))) &&
+          greedy.chosen.size() <= options.size_limit) {
+        state.best.assign(greedy.chosen.begin(), greedy.chosen.end());
+        state.best_feasible = true;
+      }
+    }
+
+    Search(state, universe);
+
+    result.solution.chosen.assign(state.best.begin(), state.best.end());
+    result.feasible = state.best_feasible;
+    result.complete = !state.budget_exhausted;
+    result.proven_optimal = state.best_feasible && result.complete;
+    result.nodes = state.nodes;
   }
-
-  Search(state, universe);
-
-  result.solution.chosen = state.best;
-  result.feasible = state.best_feasible;
-  result.complete = !state.budget_exhausted;
-  result.proven_optimal = state.best_feasible && result.complete;
-  result.nodes = state.nodes;
   return result;
 }
 
 ExactSetCoverResult SolveExactSetCover(const SetSystem& system,
-                                       const ExactSetCoverOptions& options) {
+                                       const ExactSetCoverOptions& options,
+                                       ArenaAllocator<SetId> result_alloc) {
+  MonotonicArena& scratch = ThreadScratchArena();
+  const ArenaCheckpoint checkpoint(scratch);
   return SolveExactSetCover(
-      system, DynamicBitset::Full(system.universe_size()), options);
+      system,
+      DynamicBitset::Full(system.universe_size(),
+                          DynamicBitset::Allocator(&scratch)),
+      options, result_alloc);
 }
 
 }  // namespace streamsc

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "instance/set_system.h"
+#include "util/arena.h"
 
 /// \file exact_set_cover.h
 /// Exact minimum set cover via branch-and-bound.
@@ -14,6 +15,13 @@
 /// branching, greedy warm start, a counting lower bound, and a node budget
 /// after which it degrades gracefully to the best solution found (flagged
 /// as not proven optimal).
+///
+/// Arena discipline: per-node temporaries (candidate lists, branch
+/// bitsets) stage LIFO in the calling thread's scratch arena; the
+/// call-scoped search state (incumbent, transposition table) brackets the
+/// thread's table arena and is rewound before returning. \p result_alloc
+/// backs the returned solution and therefore must be neither the scratch
+/// nor the table binding — pass a pinned run arena or the heap default.
 
 namespace streamsc {
 
@@ -48,11 +56,13 @@ struct ExactSetCoverResult {
 /// Finds a minimum collection of sets covering \p universe.
 ExactSetCoverResult SolveExactSetCover(
     const SetSystem& system, const DynamicBitset& universe,
-    const ExactSetCoverOptions& options = {});
+    const ExactSetCoverOptions& options = {},
+    ArenaAllocator<SetId> result_alloc = {});
 
 /// Finds a minimum cover of the system's full universe.
 ExactSetCoverResult SolveExactSetCover(
-    const SetSystem& system, const ExactSetCoverOptions& options = {});
+    const SetSystem& system, const ExactSetCoverOptions& options = {},
+    ArenaAllocator<SetId> result_alloc = {});
 
 }  // namespace streamsc
 

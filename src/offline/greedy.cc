@@ -1,11 +1,15 @@
 #include "offline/greedy.h"
 
+#include "util/bitset.h"
+
 namespace streamsc {
 
-Solution GreedySetCover(const SetSystem& system,
-                        const DynamicBitset& universe) {
-  Solution solution;
-  DynamicBitset uncovered = universe;
+Solution GreedySetCover(const SetSystem& system, const DynamicBitset& universe,
+                        ArenaAllocator<SetId> alloc) {
+  Solution solution(alloc);
+  MonotonicArena& scratch = ThreadScratchArena();
+  const ArenaCheckpoint checkpoint(scratch);
+  DynamicBitset uncovered(universe, DynamicBitset::Allocator(&scratch));
   while (!uncovered.None()) {
     SetId best = kInvalidSetId;
     Count best_gain = 0;
@@ -23,15 +27,22 @@ Solution GreedySetCover(const SetSystem& system,
   return solution;
 }
 
-Solution GreedySetCover(const SetSystem& system) {
+Solution GreedySetCover(const SetSystem& system, ArenaAllocator<SetId> alloc) {
+  MonotonicArena& scratch = ThreadScratchArena();
+  const ArenaCheckpoint checkpoint(scratch);
   return GreedySetCover(system,
-                        DynamicBitset::Full(system.universe_size()));
+                        DynamicBitset::Full(system.universe_size(),
+                                            DynamicBitset::Allocator(&scratch)),
+                        alloc);
 }
 
 Solution GreedyMaxCoverage(const SetSystem& system,
-                           const DynamicBitset& universe, std::size_t k) {
-  Solution solution;
-  DynamicBitset uncovered = universe;
+                           const DynamicBitset& universe, std::size_t k,
+                           ArenaAllocator<SetId> alloc) {
+  Solution solution(alloc);
+  MonotonicArena& scratch = ThreadScratchArena();
+  const ArenaCheckpoint checkpoint(scratch);
+  DynamicBitset uncovered(universe, DynamicBitset::Allocator(&scratch));
   for (std::size_t pick = 0; pick < k && !uncovered.None(); ++pick) {
     SetId best = kInvalidSetId;
     Count best_gain = 0;
@@ -49,9 +60,15 @@ Solution GreedyMaxCoverage(const SetSystem& system,
   return solution;
 }
 
-Solution GreedyMaxCoverage(const SetSystem& system, std::size_t k) {
-  return GreedyMaxCoverage(system, DynamicBitset::Full(system.universe_size()),
-                           k);
+Solution GreedyMaxCoverage(const SetSystem& system, std::size_t k,
+                           ArenaAllocator<SetId> alloc) {
+  MonotonicArena& scratch = ThreadScratchArena();
+  const ArenaCheckpoint checkpoint(scratch);
+  return GreedyMaxCoverage(
+      system,
+      DynamicBitset::Full(system.universe_size(),
+                          DynamicBitset::Allocator(&scratch)),
+      k, alloc);
 }
 
 }  // namespace streamsc

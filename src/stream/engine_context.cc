@@ -28,7 +28,7 @@ void RequireSharded(const SetStream& stream,
 
 void EngineContext::GainScanPass(
     DynamicBitset& uncovered,
-    const std::function<void(const StreamItem&, Count, bool)>& visit) {
+    FunctionRef<void(const StreamItem&, Count, bool)> visit) {
   BeginCountedPass();
   if (!sharded_) {
     stream_.BeginPass();
@@ -41,23 +41,23 @@ void EngineContext::GainScanPass(
   }
   // One copy of the chunked snapshot-filter + in-order-commit logic lives
   // in GainFilteredScan (shared with the free-standing ThresholdScan).
-  const std::vector<StreamItem> items = DrainPass(stream_);
-  GainFilteredScan(items, uncovered, engine_, visit);
+  DrainPassInto(stream_, items_);
+  GainFilteredScan(items_, uncovered, engine_, visit);
 }
 
 void EngineContext::ThresholdPass(double threshold, DynamicBitset& uncovered,
-                                  const std::function<void(SetId)>& on_take) {
-  GainScanPass(uncovered,
-               ThresholdTakeVisit(threshold, uncovered,
-                                  [&](SetId id, Count gain) {
-                                    on_take(id);
-                                    RecordTake(gain);
-                                  }));
+                                  FunctionRef<void(SetId)> on_take) {
+  const auto take = [&](SetId id, Count gain) {
+    on_take(id);
+    RecordTake(gain);
+  };
+  const ThresholdTakeVisitor visitor(threshold, uncovered, take);
+  GainScanPass(uncovered, visitor);
 }
 
 void EngineContext::IndependentScanPass(
     std::size_t num_lanes,
-    const std::function<void(std::size_t, const StreamItem&)>& visit) {
+    FunctionRef<void(std::size_t, const StreamItem&)> visit) {
   BeginCountedPass();
   if (!sharded_ || engine_->num_threads() <= 1 || num_lanes < 2) {
     stream_.BeginPass();
@@ -67,44 +67,54 @@ void EngineContext::IndependentScanPass(
     }
     return;
   }
-  const std::vector<StreamItem> items = DrainPass(stream_);
+  DrainPassInto(stream_, items_);
   engine_->ParallelFor(num_lanes, [&](std::size_t lane) {
-    for (const StreamItem& item : items) visit(lane, item);
+    for (const StreamItem& item : items_) visit(lane, item);
   });
 }
 
-void EngineContext::SubtractPass(std::vector<SetId> chosen,
+void EngineContext::SubtractPass(std::span<const SetId> chosen,
                                  DynamicBitset& uncovered) {
   if (chosen.empty()) return;
-  std::sort(chosen.begin(), chosen.end());
+  // Sort a scratch copy of the ids (the caller's order is not ours to
+  // disturb) for the binary-search membership probe below.
+  MonotonicArena& scratch = ThreadScratchArena();
+  const ArenaCheckpoint checkpoint(scratch);
+  SetId* const sorted = scratch.Allocate<SetId>(chosen.size());
+  std::copy(chosen.begin(), chosen.end(), sorted);
+  std::sort(sorted, sorted + chosen.size());
   BeginCountedPass();
   const Count before = uncovered.CountSet();
   stream_.BeginPass();
   StreamItem item;
   while (stream_.Next(&item) && !uncovered.None()) {
-    if (std::binary_search(chosen.begin(), chosen.end(), item.id)) {
+    if (std::binary_search(sorted, sorted + chosen.size(), item.id)) {
       item.set.AndNotInto(uncovered);
     }
   }
   stats_.elements_covered += before - uncovered.CountSet();
 }
 
-void EngineContext::UnionPass(std::vector<SetId> chosen,
+void EngineContext::UnionPass(std::span<const SetId> chosen,
                               DynamicBitset& covered) {
   if (chosen.empty()) return;
-  std::sort(chosen.begin(), chosen.end());
+  MonotonicArena& scratch = ThreadScratchArena();
+  const ArenaCheckpoint checkpoint(scratch);
+  SetId* const sorted = scratch.Allocate<SetId>(chosen.size());
+  std::copy(chosen.begin(), chosen.end(), sorted);
+  std::sort(sorted, sorted + chosen.size());
   BeginCountedPass();
   stream_.BeginPass();
   StreamItem item;
   while (stream_.Next(&item)) {
-    if (std::binary_search(chosen.begin(), chosen.end(), item.id)) {
+    if (std::binary_search(sorted, sorted + chosen.size(), item.id)) {
       item.set.OrInto(covered);
     }
   }
 }
 
-void EngineContext::CoverResiduePass(
-    DynamicBitset& uncovered, const std::function<void(SetId)>& on_take) {
+void EngineContext::CoverResiduePass(DynamicBitset& uncovered,
+                                     FunctionRef<void(SetId)> on_take) {
   BeginCountedPass();
   stream_.BeginPass();
   StreamItem item;
@@ -119,7 +129,7 @@ void EngineContext::CoverResiduePass(
 }
 
 void EngineContext::ParallelFor(std::size_t count,
-                                const std::function<void(std::size_t)>& fn) {
+                                FunctionRef<void(std::size_t)> fn) {
   if (engine_ == nullptr) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;

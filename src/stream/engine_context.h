@@ -2,14 +2,17 @@
 #define STREAMSC_STREAM_ENGINE_CONTEXT_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "stream/parallel_pass_engine.h"
 #include "stream/set_stream.h"
+#include "stream/stream_algorithm.h"
+#include "util/arena.h"
 #include "util/bitset.h"
 #include "util/common.h"
+#include "util/function_ref.h"
 
 /// \file engine_context.h
 /// EngineContext: the shared plumbing between a streaming solver and the
@@ -26,10 +29,16 @@
 /// preserved by every primitive here): for a fixed stream order, results
 /// are **bit-identical** whether the context runs sequentially (null
 /// engine, or a stream that cannot buffer a pass) or sharded over any
-/// number of threads. Parallelism is only used where item work is
-/// independent (TransformPass, IndependentScanPass, ParallelFor) or where
-/// a snapshot phase is provably equivalent to the sequential loop
-/// (GainScanPass's monotone-gain filter + in-order commit).
+/// number of threads — and whether or not a run arena is bound.
+///
+/// Allocation contract: a context bound to a RunContext with an arena
+/// reaches the zero-allocation steady state — the pass item buffer lives
+/// in the run arena (chunks retained across Reset), snapshot and commit
+/// staging lives in thread-local scratch arenas, and callbacks travel as
+/// FunctionRef. The run arena is touched only by the orchestrating
+/// thread; workers stage in their own scratch (rewound at job pickup) and
+/// the commit phases copy staged payloads out in stream order before the
+/// next job is posted.
 
 namespace streamsc {
 
@@ -59,26 +68,46 @@ std::unique_ptr<ParallelPassEngine> MakeEngine(std::size_t num_threads);
 /// error it is.
 void RequireSharded(const SetStream& stream, const ParallelPassEngine* engine);
 
-/// A per-run binding of one stream and one (optional) engine, plus the
-/// deterministic pass primitives. Not thread-safe itself (one context per
-/// run); the engine may be shared across runs sequentially. Neither the
-/// stream nor the engine is owned; both must outlive the context.
+/// A per-run binding of one stream, one (optional) engine, and one
+/// (optional) arena, plus the deterministic pass primitives. Not
+/// thread-safe itself (one context per run); the engine may be shared
+/// across runs sequentially. Nothing is owned; stream, engine, and arena
+/// must all outlive the context.
 class EngineContext {
  public:
-  /// \p engine may be null: every pass runs sequentially. A non-null
-  /// engine is used only when \p stream can buffer a pass
-  /// (ItemsRemainValid()); otherwise the context falls back to the
-  /// sequential scan — same results, by contract.
-  EngineContext(SetStream& stream, ParallelPassEngine* engine)
+  /// Binds the execution resources of \p context for one run. The engine
+  /// may be null (every pass runs sequentially) and is used only when
+  /// \p stream can buffer a pass (ItemsRemainValid()); otherwise the
+  /// context falls back to the sequential scan — same results, by
+  /// contract. The arena may be null (buffers fall back to the heap).
+  EngineContext(SetStream& stream, const RunContext& context)
       : stream_(stream),
-        engine_(engine),
-        sharded_(engine != nullptr && stream.ItemsRemainValid()) {}
+        engine_(context.engine),
+        arena_(context.arena),
+        sharded_(context.engine != nullptr && stream.ItemsRemainValid()),
+        items_(ArenaAllocator<StreamItem>(context.arena)) {}
+
+  /// Engine-only binding (no arena) for harnesses that exercise the pass
+  /// machinery directly.
+  EngineContext(SetStream& stream, ParallelPassEngine* engine)
+      : EngineContext(stream, RunContext{engine, nullptr}) {}
 
   EngineContext(const EngineContext&) = delete;
   EngineContext& operator=(const EngineContext&) = delete;
 
   SetStream& stream() { return stream_; }
   ParallelPassEngine* engine() const { return engine_; }
+
+  /// The run arena (null means heap-backed run state).
+  MonotonicArena* arena() const { return arena_; }
+
+  /// Allocator handle over the run arena; degrades to the heap when no
+  /// arena is bound. The idiom for solver-owned run state:
+  /// `ArenaVector<SetId> chosen(ctx.alloc<SetId>());`.
+  template <typename T>
+  ArenaAllocator<T> alloc() const {
+    return ArenaAllocator<T>(arena_);
+  }
 
   /// True iff buffered passes will actually be sharded over a pool.
   bool sharded() const { return sharded_; }
@@ -108,7 +137,7 @@ class EngineContext {
   /// Sharded, gains are precomputed against chunk snapshots and committed
   /// in order (see GainScanPass). Takes are counted automatically.
   void ThresholdPass(double threshold, DynamicBitset& uncovered,
-                     const std::function<void(SetId)>& on_take);
+                     FunctionRef<void(SetId)> on_take);
 
   /// The generic monotone-gain scan underneath every threshold-style
   /// pass. Calls visit(item, gain_bound, bound_is_exact) in stream order
@@ -127,17 +156,22 @@ class EngineContext {
   /// before acting on its magnitude — and (b) be a no-op whenever the
   /// item's *current* gain is zero, since items whose snapshot gain is
   /// positive but current gain is zero are visited in sharded mode only.
-  void GainScanPass(
-      DynamicBitset& uncovered,
-      const std::function<void(const StreamItem&, Count, bool)>& visit);
+  void GainScanPass(DynamicBitset& uncovered,
+                    FunctionRef<void(const StreamItem&, Count, bool)> visit);
 
   /// One pass mapping every item through \p transform (pure, called
   /// concurrently when sharded) and handing the results to \p commit in
-  /// stream order. The projection-storing pass of the sampling solvers:
-  /// transform = project, commit = store + charge the meter.
-  template <typename T>
-  void TransformPass(const std::function<T(const StreamItem&)>& transform,
-                     const std::function<void(const StreamItem&, T)>& commit) {
+  /// stream order. The projection-storing pass of the sampling solvers.
+  ///
+  /// Sharded, transform runs on worker threads: any storage it allocates
+  /// must come from the worker's thread-local scratch (allocator binding
+  /// ArenaBinding::kScratch), never from the run arena. The staged
+  /// results are handed to \p commit on the orchestrating thread before
+  /// the next job is posted — commit re-homes whatever it keeps (the
+  /// arena-aware containers' explicit-allocator copy constructors), since
+  /// worker scratch is rewound at the worker's next job pickup.
+  template <typename T, typename TransformFn, typename CommitFn>
+  void TransformPass(TransformFn&& transform, CommitFn&& commit) {
     BeginCountedPass();
     if (!sharded_) {
       stream_.BeginPass();
@@ -145,12 +179,17 @@ class EngineContext {
       while (stream_.Next(&item)) commit(item, transform(item));
       return;
     }
-    const std::vector<StreamItem> items = DrainPass(stream_);
-    std::vector<T> out(items.size());
-    engine_->ParallelFor(items.size(),
-                         [&](std::size_t i) { out[i] = transform(items[i]); });
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      commit(items[i], std::move(out[i]));
+    DrainPassInto(stream_, items_);
+    // The staging slots live in the orchestrator's scratch; the payloads
+    // the workers move into them live in each worker's own scratch. Both
+    // are transient: commit copies out, the checkpoint rewinds the slots.
+    MonotonicArena& scratch = ThreadScratchArena();
+    const ArenaCheckpoint checkpoint(scratch);
+    ArenaVector<T> out(items_.size(), ArenaAllocator<T>(&scratch));
+    engine_->ParallelFor(
+        items_.size(), [&](std::size_t i) { out[i] = transform(items_[i]); });
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      commit(items_[i], std::move(out[i]));
     }
   }
 
@@ -160,39 +199,39 @@ class EngineContext {
   /// item-major; sharded it is lane-major with lanes in parallel, which
   /// is equivalent exactly because lanes are independent — visit must
   /// touch only lane-local state (it is called concurrently for distinct
-  /// lanes). The sieve-style algorithms' guess grids are lanes.
+  /// lanes, from worker threads whose scratch arenas are job-scoped).
+  /// The sieve-style algorithms' guess grids are lanes.
   void IndependentScanPass(
       std::size_t num_lanes,
-      const std::function<void(std::size_t, const StreamItem&)>& visit);
+      FunctionRef<void(std::size_t, const StreamItem&)> visit);
 
   /// One pass subtracting the contents of the \p chosen sets (ids, any
   /// order) from \p uncovered; newly covered elements are added to the
   /// element counter. The "recover the full contents of OPT'" pass of the
   /// sampling solvers.
-  void SubtractPass(std::vector<SetId> chosen, DynamicBitset& uncovered);
+  void SubtractPass(std::span<const SetId> chosen, DynamicBitset& uncovered);
 
   /// One pass OR-ing the contents of the \p chosen sets into \p covered
   /// (which must be sized to the universe). The verification pass of the
   /// max-coverage solvers.
-  void UnionPass(std::vector<SetId> chosen, DynamicBitset& covered);
+  void UnionPass(std::span<const SetId> chosen, DynamicBitset& covered);
 
   /// One pass taking any set that still intersects \p uncovered, until it
   /// empties — the feasibility-cleanup pass shared by the guess-driven
   /// solvers. Takes are counted automatically.
   void CoverResiduePass(DynamicBitset& uncovered,
-                        const std::function<void(SetId)>& on_take);
+                        FunctionRef<void(SetId)> on_take);
 
   /// Index-parallel helper for pure per-index work on state the solver
   /// owns (candidate filtering, row seeding). Uses the engine whenever one
   /// is present — this does not touch the stream, so it shards even for
   /// streams that cannot buffer a pass. \p fn must be safe to call
   /// concurrently for distinct indices and must not depend on order.
-  void ParallelFor(std::size_t count,
-                   const std::function<void(std::size_t)>& fn);
+  void ParallelFor(std::size_t count, FunctionRef<void(std::size_t)> fn);
 
  private:
   // Counts one logical pass (stats only; the stream's own pass counter
-  // advances via BeginPass/DrainPass inside the primitives).
+  // advances via BeginPass/DrainPassInto inside the primitives).
   void BeginCountedPass() {
     ++stats_.passes;
     stats_.items_scanned += stream_.num_sets();
@@ -200,8 +239,12 @@ class EngineContext {
 
   SetStream& stream_;
   ParallelPassEngine* engine_;
+  MonotonicArena* arena_;
   bool sharded_;
   EnginePassStats stats_;
+  // Reused pass item buffer: run-arena-backed when an arena is bound, so
+  // repeat runs bump inside retained chunks instead of reallocating.
+  ArenaVector<StreamItem> items_;
 };
 
 }  // namespace streamsc

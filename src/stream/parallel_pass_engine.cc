@@ -12,6 +12,9 @@ ParallelPassEngine::ParallelPassEngine(std::size_t num_threads) {
   }
   num_threads_ = num_threads;
   workers_.reserve(num_threads - 1);
+  // Steady state keeps one live job plus at most one stale reference per
+  // worker, so the pool never outgrows this reservation.
+  job_pool_.reserve(num_threads + 1);
   for (std::size_t i = 0; i + 1 < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -52,22 +55,43 @@ void ParallelPassEngine::WorkerLoop() {
       job = job_;
       last_job_id = job->id;
     }
+    // Worker scratch is job-scoped: anything a previous job staged there
+    // has been committed by the orchestrator before it posted this one
+    // (the pass primitives copy worker-staged payloads out in their
+    // in-order commit phase). Rewinding here, chunks retained, is what
+    // keeps worker scratch from growing across passes.
+    ThreadScratchArena().Reset();
     // Each job owns its claim counters (shared_ptr keeps stale jobs
     // alive), so a late-waking worker can never claim into a newer job.
     RunJob(*job);
   }
 }
 
-void ParallelPassEngine::ParallelFor(
-    std::size_t count, const std::function<void(std::size_t)>& fn) {
+std::shared_ptr<ParallelPassEngine::Job> ParallelPassEngine::AcquireJob() {
+  // A slot with use_count() == 1 is referenced by the pool alone: the
+  // engine's job_ was cleared when its ParallelFor finished and every
+  // worker has dropped its copy. Workers that finished late may still pin
+  // their last job, in which case the pool grows by one — bounded by the
+  // worker count, after which ParallelFor is allocation-free.
+  for (std::shared_ptr<Job>& slot : job_pool_) {
+    if (slot.use_count() == 1) return slot;
+  }
+  job_pool_.push_back(std::make_shared<Job>());
+  return job_pool_.back();
+}
+
+void ParallelPassEngine::ParallelFor(std::size_t count,
+                                     FunctionRef<void(std::size_t)> fn) {
   if (count == 0) return;
   if (workers_.empty()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::shared_ptr<Job> job = std::make_shared<Job>();
+  std::shared_ptr<Job> job = AcquireJob();
   job->count = count;
   job->fn = &fn;
+  job->next.store(0, std::memory_order_relaxed);
+  job->completed.store(0, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     job->id = next_job_id_++;
@@ -79,6 +103,10 @@ void ParallelPassEngine::ParallelFor(
   done_cv_.wait(lock, [&] {
     return job->completed.load(std::memory_order_acquire) == count;
   });
+  // Drop the engine's reference while still under the lock: workers can
+  // no longer pick this job up, so its pool slot recycles as soon as the
+  // last straggler lets go.
+  job_.reset();
 }
 
 std::vector<StreamItem> DrainPass(SetStream& stream) {
@@ -93,10 +121,21 @@ std::vector<StreamItem> DrainPass(SetStream& stream) {
   return items;
 }
 
+void DrainPassInto(SetStream& stream, ArenaVector<StreamItem>& items) {
+  STREAMSC_CHECK(stream.ItemsRemainValid(),
+                 "DrainPassInto: stream invalidates items mid-pass; "
+                 "buffering would read dangling views");
+  items.clear();
+  items.reserve(stream.num_sets());
+  stream.BeginPass();
+  StreamItem item;
+  while (stream.Next(&item)) items.push_back(item);
+}
+
 void GainFilteredScan(
-    const std::vector<StreamItem>& items, DynamicBitset& uncovered,
+    std::span<const StreamItem> items, DynamicBitset& uncovered,
     ParallelPassEngine* engine,
-    const std::function<void(const StreamItem&, Count, bool)>& visit) {
+    FunctionRef<void(const StreamItem&, Count, bool)> visit) {
   if (engine == nullptr || engine->num_threads() <= 1 || items.size() < 2) {
     for (const StreamItem& item : items) {
       if (uncovered.None()) return;
@@ -113,7 +152,9 @@ void GainFilteredScan(
   // visit in stream order against the live state.
   const std::size_t chunk =
       std::max<std::size_t>(64, items.size() / (8 * engine->num_threads()));
-  std::vector<Count> bounds(chunk);
+  MonotonicArena& scratch = ThreadScratchArena();
+  const ArenaCheckpoint checkpoint(scratch);
+  Count* const bounds = scratch.Allocate<Count>(chunk);
   for (std::size_t pos = 0; pos < items.size(); pos += chunk) {
     if (uncovered.None()) return;
     const std::size_t width = std::min(chunk, items.size() - pos);
@@ -128,28 +169,12 @@ void GainFilteredScan(
   }
 }
 
-std::function<void(const StreamItem&, Count, bool)> ThresholdTakeVisit(
-    double threshold, DynamicBitset& uncovered,
-    std::function<void(SetId, Count)> on_take) {
-  return [threshold, &uncovered, on_take = std::move(on_take)](
-             const StreamItem& item, Count bound, bool bound_is_exact) {
-    // A below-threshold bound is a proof of ineligibility; survivors are
-    // re-evaluated against the current state, in order.
-    if (static_cast<double>(bound) < threshold) return;
-    const Count gain = bound_is_exact ? bound : item.set.CountAnd(uncovered);
-    if (gain > 0 && static_cast<double>(gain) >= threshold) {
-      on_take(item.id, gain);
-      item.set.AndNotInto(uncovered);
-    }
-  };
-}
-
-void ThresholdScan(const std::vector<StreamItem>& items, double threshold,
+void ThresholdScan(std::span<const StreamItem> items, double threshold,
                    DynamicBitset& uncovered, ParallelPassEngine* engine,
-                   const std::function<void(SetId)>& on_take) {
-  GainFilteredScan(items, uncovered, engine,
-                   ThresholdTakeVisit(threshold, uncovered,
-                                      [&](SetId id, Count) { on_take(id); }));
+                   FunctionRef<void(SetId)> on_take) {
+  const auto take = [&](SetId id, Count) { on_take(id); };
+  const ThresholdTakeVisitor visitor(threshold, uncovered, take);
+  GainFilteredScan(items, uncovered, engine, visitor);
 }
 
 }  // namespace streamsc

@@ -4,15 +4,17 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "stream/set_stream.h"
+#include "util/arena.h"
 #include "util/bitset.h"
 #include "util/common.h"
+#include "util/function_ref.h"
 
 /// \file parallel_pass_engine.h
 /// ParallelPassEngine: a fixed worker pool that shards one stream pass's
@@ -26,6 +28,14 @@
 /// equivalent to the sequential loop (ThresholdScan's monotone-gain
 /// filter + in-order commit). Merges happen in stream order at pass end;
 /// no result ever depends on thread scheduling.
+///
+/// Allocation contract: the engine's steady state is heap-allocation-free.
+/// Pass callbacks travel as FunctionRef (two words, never allocates), jobs
+/// are recycled from a small pool instead of make_shared per call, and the
+/// scan primitives stage their snapshot buffers in the calling thread's
+/// scratch arena. Worker threads get their scratch arena rewound at job
+/// pickup, so worker-staged payloads must be committed (copied out) by the
+/// orchestrator before it posts the next job — every primitive here does.
 
 namespace streamsc {
 
@@ -48,15 +58,15 @@ class ParallelPassEngine {
 
   /// Invokes fn(i) exactly once for every i in [0, count), distributed
   /// over the pool; blocks until all calls return. \p fn must be safe to
-  /// call concurrently for distinct indices.
-  void ParallelFor(std::size_t count,
-                   const std::function<void(std::size_t)>& fn);
+  /// call concurrently for distinct indices. Steady-state allocation-free:
+  /// jobs come from a pool that is recycled once its workers let go.
+  void ParallelFor(std::size_t count, FunctionRef<void(std::size_t)> fn);
 
  private:
   struct Job {
     std::uint64_t id = 0;
     std::size_t count = 0;
-    const std::function<void(std::size_t)>* fn = nullptr;
+    const FunctionRef<void(std::size_t)>* fn = nullptr;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
   };
@@ -64,6 +74,10 @@ class ParallelPassEngine {
   void WorkerLoop();
   // Claims and runs indices of \p job until exhausted.
   void RunJob(Job& job);
+  // Returns a pool slot no worker still references, carving a new one
+  // only while the pool is growing toward its steady-state size (bounded
+  // by the worker count; see ParallelFor).
+  std::shared_ptr<Job> AcquireJob();
 
   std::size_t num_threads_;
   std::vector<std::thread> workers_;
@@ -74,12 +88,19 @@ class ParallelPassEngine {
   bool shutdown_ = false;           // guarded by mu_
   std::shared_ptr<Job> job_;        // guarded by mu_
   std::uint64_t next_job_id_ = 1;   // guarded by mu_
+  // Recycled jobs; touched only by the orchestrating thread.
+  std::vector<std::shared_ptr<Job>> job_pool_;
 };
 
 /// Starts a new pass on \p stream and buffers all its items. Requires
 /// stream.ItemsRemainValid() (CHECK-fails otherwise): the returned views
 /// borrow from the stream and stay valid until its next pass.
 std::vector<StreamItem> DrainPass(SetStream& stream);
+
+/// Reusing-buffer form of DrainPass: clears \p items and refills it,
+/// retaining capacity (and, with an arena-bound vector, retaining the
+/// arena's chunks) across passes — the zero-allocation steady state.
+void DrainPassInto(SetStream& stream, ArenaVector<StreamItem>& items);
 
 /// The monotone-gain filter core shared by ThresholdScan and
 /// EngineContext::GainScanPass — the one copy of the chunked
@@ -92,21 +113,42 @@ std::vector<StreamItem> DrainPass(SetStream& stream);
 /// invariant results it must re-evaluate inexact bounds before acting on
 /// their magnitude and be a no-op at zero current gain. Stops early once
 /// `uncovered` is empty (every further visit would be such a no-op).
-void GainFilteredScan(
-    const std::vector<StreamItem>& items, DynamicBitset& uncovered,
-    ParallelPassEngine* engine,
-    const std::function<void(const StreamItem&, Count, bool)>& visit);
+/// The snapshot-bound buffer lives in the calling thread's scratch arena
+/// for the duration of the scan.
+void GainFilteredScan(std::span<const StreamItem> items,
+                      DynamicBitset& uncovered, ParallelPassEngine* engine,
+                      FunctionRef<void(const StreamItem&, Count, bool)> visit);
 
-/// Builds the threshold-take visit for GainFilteredScan — the one copy of
-/// the eligibility rule: a below-threshold bound is a proof of
-/// ineligibility (gains only shrink); survivors re-evaluate against the
-/// live `uncovered` and, when still eligible, are taken (on_take receives
-/// the exact committed gain) and subtracted. Shared by ThresholdScan and
-/// EngineContext::ThresholdPass. \p uncovered must outlive the returned
-/// callable.
-std::function<void(const StreamItem&, Count, bool)> ThresholdTakeVisit(
-    double threshold, DynamicBitset& uncovered,
-    std::function<void(SetId, Count)> on_take);
+/// The threshold-take visit for GainFilteredScan — the one copy of the
+/// eligibility rule: a below-threshold bound is a proof of ineligibility
+/// (gains only shrink); survivors re-evaluate against the live `uncovered`
+/// and, when still eligible, are taken (on_take receives the exact
+/// committed gain) and subtracted. Shared by ThresholdScan and
+/// EngineContext::ThresholdPass. Non-owning: \p uncovered and the
+/// callable behind \p on_take must outlive the visitor.
+class ThresholdTakeVisitor {
+ public:
+  ThresholdTakeVisitor(double threshold, DynamicBitset& uncovered,
+                       FunctionRef<void(SetId, Count)> on_take)
+      : threshold_(threshold), uncovered_(&uncovered), on_take_(on_take) {}
+
+  void operator()(const StreamItem& item, Count bound,
+                  bool bound_is_exact) const {
+    // A below-threshold bound is a proof of ineligibility; survivors are
+    // re-evaluated against the current state, in order.
+    if (static_cast<double>(bound) < threshold_) return;
+    const Count gain = bound_is_exact ? bound : item.set.CountAnd(*uncovered_);
+    if (gain > 0 && static_cast<double>(gain) >= threshold_) {
+      on_take_(item.id, gain);
+      item.set.AndNotInto(*uncovered_);
+    }
+  }
+
+ private:
+  double threshold_;
+  DynamicBitset* uncovered_;
+  FunctionRef<void(SetId, Count)> on_take_;
+};
 
 /// The pruning-scan primitive shared by the threshold-style passes:
 /// sequentially equivalent to
@@ -123,9 +165,9 @@ std::function<void(const StreamItem&, Count, bool)> ThresholdTakeVisit(
 /// filter drops no taker — the output is bit-identical to the sequential
 /// loop for every thread count. Pass engine == nullptr for the plain
 /// sequential scan.
-void ThresholdScan(const std::vector<StreamItem>& items, double threshold,
+void ThresholdScan(std::span<const StreamItem> items, double threshold,
                    DynamicBitset& uncovered, ParallelPassEngine* engine,
-                   const std::function<void(SetId)>& on_take);
+                   FunctionRef<void(SetId)> on_take);
 
 }  // namespace streamsc
 

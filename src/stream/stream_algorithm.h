@@ -22,17 +22,28 @@
 namespace streamsc {
 
 class ParallelPassEngine;
+class MonotonicArena;
 
 /// Per-run execution binding. Passed to Run() alongside the stream; a
-/// default-constructed context means "sequential". Nothing in it is
-/// owned — the engine (when present) must outlive the run. Callers who
-/// want a pool resolve a thread count via MakeEngine() (engine_context.h)
-/// or let SolveSession (api/solve_session.h) own the lifetime for them.
+/// default-constructed context means "sequential, heap-allocating".
+/// Nothing in it is owned — the engine and arena (when present) must
+/// outlive the run. Callers who want a pool resolve a thread count via
+/// MakeEngine() (engine_context.h) or let SolveSession
+/// (api/solve_session.h) own both lifetimes for them.
 struct RunContext {
   /// Optional worker pool. When non-null and the stream can buffer a
   /// pass (SetStream::ItemsRemainValid()), engine-routed passes shard
   /// across it; results are bit-identical for any thread count.
   ParallelPassEngine* engine = nullptr;
+
+  /// Optional per-run arena for the solver's working state and returned
+  /// solution. Single-threaded: only the orchestrating thread allocates
+  /// from it (workers stage in their thread-local scratch arenas).
+  /// Null means every container falls back to the heap — results are
+  /// byte-identical either way; only the physical memory source changes.
+  /// A budgeted arena surfaces exhaustion as ArenaBudgetExceeded, which
+  /// the api layer converts to a ResourceExhausted Status.
+  MonotonicArena* arena = nullptr;
 };
 
 /// Per-run resource statistics. Everything except wall_seconds is

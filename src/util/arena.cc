@@ -1,0 +1,123 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace streamsc {
+namespace {
+
+constexpr std::size_t kMinChunkBytes = 1024;
+
+std::size_t AlignUp(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+MonotonicArena::MonotonicArena(Options options) : options_(options) {
+  options_.initial_chunk_bytes =
+      std::max(options_.initial_chunk_bytes, kMinChunkBytes);
+  options_.max_chunk_bytes =
+      std::max(options_.max_chunk_bytes, options_.initial_chunk_bytes);
+}
+
+MonotonicArena::~MonotonicArena() { ReleaseChunks(); }
+
+void* MonotonicArena::AllocateBytes(std::size_t bytes, std::size_t align) {
+  STREAMSC_DCHECK(align != 0 && (align & (align - 1)) == 0);
+  STREAMSC_DCHECK(align <= alignof(std::max_align_t));
+  if (!chunks_.empty()) {
+    Chunk& chunk = chunks_[current_chunk_];
+    const std::size_t offset = AlignUp(current_offset_, align);
+    if (offset + bytes <= chunk.capacity && offset + bytes >= offset) {
+      // used_ counts requested bytes only (not alignment slack), so the
+      // budget verdict is a pure function of the allocation sequence —
+      // independent of chunk geometry and arena warmth.
+      const std::size_t new_used = used_ + bytes;
+      if (options_.budget_bytes != 0 && new_used > options_.budget_bytes) {
+        throw ArenaBudgetExceeded(options_.budget_bytes, new_used);
+      }
+      current_offset_ = offset + bytes;
+      used_ = new_used;
+      high_water_ = std::max(high_water_, used_);
+      return chunk.data + offset;
+    }
+  }
+  return AllocateSlow(bytes, align);
+}
+
+void* MonotonicArena::AllocateSlow(std::size_t bytes, std::size_t align) {
+  // Fresh chunks are max_align_t-aligned and the allocation starts at
+  // offset 0, so align (already validated <= max_align_t) is satisfied.
+  (void)align;
+  // Budget check first, against requested bytes only (see fast path).
+  const std::size_t new_used = used_ + bytes;
+  if (options_.budget_bytes != 0 &&
+      (new_used > options_.budget_bytes || new_used < used_)) {
+    throw ArenaBudgetExceeded(options_.budget_bytes, new_used);
+  }
+
+  // Try already-owned chunks after the current one (warm restart after
+  // Reset walks through the retained chunk list before carving new).
+  std::size_t next = chunks_.empty() ? 0 : current_chunk_ + 1;
+  for (; next < chunks_.size(); ++next) {
+    if (bytes <= chunks_[next].capacity) break;
+  }
+  if (next >= chunks_.size()) {
+    std::size_t want = options_.initial_chunk_bytes;
+    if (!chunks_.empty()) {
+      want = std::min(chunks_.back().capacity * 2, options_.max_chunk_bytes);
+    }
+    want = std::max(want, AlignUp(bytes, kMinChunkBytes));
+    Chunk chunk;
+    chunk.data = static_cast<unsigned char*>(
+        ::operator new(want, std::align_val_t{alignof(std::max_align_t)}));
+    chunk.capacity = want;
+    chunks_.push_back(chunk);
+    reserved_ += want;
+    next = chunks_.size() - 1;
+  }
+  current_chunk_ = next;
+  current_offset_ = bytes;
+  used_ = new_used;
+  high_water_ = std::max(high_water_, used_);
+  return chunks_[current_chunk_].data;
+}
+
+void MonotonicArena::Rewind(const Mark& mark) {
+  STREAMSC_DCHECK(mark.used <= used_);
+  STREAMSC_DCHECK(chunks_.empty() || mark.chunk_index <= current_chunk_);
+  current_chunk_ = mark.chunk_index;
+  current_offset_ = mark.chunk_offset;
+  used_ = mark.used;
+}
+
+void MonotonicArena::Reset() {
+  current_chunk_ = 0;
+  current_offset_ = 0;
+  used_ = 0;
+}
+
+void MonotonicArena::ReleaseChunks() {
+  for (Chunk& chunk : chunks_) {
+    ::operator delete(chunk.data, chunk.capacity,
+                      std::align_val_t{alignof(std::max_align_t)});
+  }
+  chunks_.clear();
+  current_chunk_ = 0;
+  current_offset_ = 0;
+  used_ = 0;
+  reserved_ = 0;
+}
+
+MonotonicArena& ThreadScratchArena() {
+  thread_local MonotonicArena arena;
+  return arena;
+}
+
+MonotonicArena& ThreadTableArena() {
+  thread_local MonotonicArena arena;
+  return arena;
+}
+
+}  // namespace streamsc

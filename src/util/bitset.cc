@@ -6,15 +6,16 @@
 
 namespace streamsc {
 
-DynamicBitset DynamicBitset::FromIndices(
-    std::size_t size, const std::vector<ElementId>& indices) {
-  DynamicBitset bs(size);
+DynamicBitset DynamicBitset::FromIndices(std::size_t size,
+                                         std::span<const ElementId> indices,
+                                         Allocator alloc) {
+  DynamicBitset bs(size, alloc);
   for (ElementId i : indices) bs.Set(i);
   return bs;
 }
 
-DynamicBitset DynamicBitset::Full(std::size_t size) {
-  DynamicBitset bs(size);
+DynamicBitset DynamicBitset::Full(std::size_t size, Allocator alloc) {
+  DynamicBitset bs(size, alloc);
   bs.Fill();
   return bs;
 }

@@ -2,9 +2,11 @@
 #define STREAMSC_UTIL_BITSET_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/common.h"
 
@@ -20,21 +22,44 @@ namespace streamsc {
 ///
 /// Copyable and movable. All binary operations require equal sizes
 /// (checked with assert in debug builds).
+///
+/// Storage is arena-aware: every constructor takes an optional
+/// ArenaAllocator, so per-run temporaries bump-allocate while
+/// default-constructed bitsets keep heap semantics. Moves carry the arena
+/// with the buffer; plain copies land on the heap (re-home explicitly via
+/// the clone constructor).
 class DynamicBitset {
  public:
   using Word = std::uint64_t;
+  using Allocator = ArenaAllocator<Word>;
   static constexpr std::size_t kBitsPerWord = 64;
 
   /// Creates an empty (all-zero) set over a universe of \p size elements.
-  explicit DynamicBitset(std::size_t size = 0)
-      : size_(size), words_((size + kBitsPerWord - 1) / kBitsPerWord, 0) {}
+  explicit DynamicBitset(std::size_t size = 0, Allocator alloc = {})
+      : size_(size),
+        words_((size + kBitsPerWord - 1) / kBitsPerWord, 0, alloc) {}
+
+  /// Clone with an explicit allocator (the re-homing copy: arena -> arena,
+  /// arena -> heap, heap -> arena are all spelled the same way).
+  DynamicBitset(const DynamicBitset& other, Allocator alloc)
+      : size_(other.size_),
+        words_(other.words_.begin(), other.words_.end(), alloc) {}
+
+  DynamicBitset(const DynamicBitset&) = default;
+  DynamicBitset(DynamicBitset&&) noexcept = default;
+  DynamicBitset& operator=(const DynamicBitset&) = default;
+  DynamicBitset& operator=(DynamicBitset&&) = default;
 
   /// Builds a set over [size) containing exactly \p indices.
   static DynamicBitset FromIndices(std::size_t size,
-                                   const std::vector<ElementId>& indices);
+                                   std::span<const ElementId> indices,
+                                   Allocator alloc = {});
 
   /// Builds the full set {0, ..., size-1}.
-  static DynamicBitset Full(std::size_t size);
+  static DynamicBitset Full(std::size_t size, Allocator alloc = {});
+
+  /// The allocator backing the words (heap-bound when default-built).
+  Allocator get_allocator() const { return words_.get_allocator(); }
 
   /// Universe size (number of addressable bits).
   std::size_t size() const { return size_; }
@@ -121,6 +146,14 @@ class DynamicBitset {
   /// All member elements in increasing order.
   std::vector<ElementId> ToIndices() const;
 
+  /// Appends the member elements (increasing order) to any push_back-able
+  /// container — the allocation-free alternative to ToIndices for
+  /// arena-backed consumers.
+  template <typename Vec>
+  void AppendIndicesInto(Vec& out) const {
+    ForEach([&out](ElementId e) { out.push_back(e); });
+  }
+
   /// Hamming distance |*this Δ other| (symmetric difference size).
   Count HammingDistance(const DynamicBitset& other) const;
 
@@ -185,7 +218,7 @@ class DynamicBitset {
   void TrimTail();
 
   std::size_t size_;
-  std::vector<Word> words_;
+  ArenaVector<Word> words_;
 };
 
 }  // namespace streamsc

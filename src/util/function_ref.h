@@ -1,0 +1,53 @@
+#ifndef STREAMSC_UTIL_FUNCTION_REF_H_
+#define STREAMSC_UTIL_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+/// \file function_ref.h
+/// Non-owning type-erased callable (the shape of C++26 std::function_ref).
+///
+/// std::function heap-allocates whenever the callable exceeds the
+/// small-buffer (two pointers on libstdc++) — which every multi-capture
+/// pass lambda does. The engine invokes callbacks millions of times per
+/// solve, so its pass APIs take FunctionRef: two raw words, no ownership,
+/// no allocation, trivially copyable.
+///
+/// Lifetime contract: a FunctionRef must not outlive the callable it was
+/// constructed from. Pass it down the stack; never store it beyond the
+/// call that received it.
+
+namespace streamsc {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds to any callable invocable as R(Args...). The callable is
+  /// captured by reference.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* object, Args... args) -> R {
+          return static_cast<R>((*static_cast<std::remove_reference_t<F>*>(
+              object))(std::forward<Args>(args)...));
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_UTIL_FUNCTION_REF_H_

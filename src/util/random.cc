@@ -72,9 +72,10 @@ bool Rng::Bernoulli(double p) {
   return UniformDouble() < p;
 }
 
-DynamicBitset Rng::RandomSubsetOfSize(std::size_t universe, std::size_t k) {
+DynamicBitset Rng::RandomSubsetOfSize(std::size_t universe, std::size_t k,
+                                      DynamicBitset::Allocator alloc) {
   STREAMSC_DCHECK(k <= universe);
-  DynamicBitset out(universe);
+  DynamicBitset out(universe, alloc);
   // Floyd's algorithm: for j = universe-k .. universe-1, insert a random
   // element of [0, j]; on collision insert j itself.
   for (std::size_t j = universe - k; j < universe; ++j) {
@@ -88,8 +89,9 @@ DynamicBitset Rng::RandomSubsetOfSize(std::size_t universe, std::size_t k) {
   return out;
 }
 
-DynamicBitset Rng::BernoulliSubset(std::size_t universe, double p) {
-  DynamicBitset out(universe);
+DynamicBitset Rng::BernoulliSubset(std::size_t universe, double p,
+                                   DynamicBitset::Allocator alloc) {
+  DynamicBitset out(universe, alloc);
   if (!(p > 0.0)) return out;  // also catches NaN
   if (p >= 1.0) {
     out.Fill();
@@ -110,10 +112,11 @@ DynamicBitset Rng::BernoulliSubset(std::size_t universe, double p) {
   return out;
 }
 
-DynamicBitset Rng::BernoulliSubsample(const DynamicBitset& base, double p) {
-  if (!(p > 0.0)) return DynamicBitset(base.size());  // also catches NaN
-  if (p >= 1.0) return base;
-  DynamicBitset out(base.size());
+DynamicBitset Rng::BernoulliSubsample(const DynamicBitset& base, double p,
+                                      DynamicBitset::Allocator alloc) {
+  if (!(p > 0.0)) return DynamicBitset(base.size(), alloc);  // catches NaN
+  if (p >= 1.0) return DynamicBitset(base, alloc);
+  DynamicBitset out(base.size(), alloc);
   base.ForEach([&](ElementId e) {
     if (Bernoulli(p)) out.Set(e);
   });

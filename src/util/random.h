@@ -47,19 +47,23 @@ class Rng {
   /// Bernoulli trial with success probability \p p (clamped to [0,1]).
   bool Bernoulli(double p);
 
-  /// A uniformly random k-subset of {0, ..., universe-1} as a bitset.
+  /// A uniformly random k-subset of {0, ..., universe-1} as a bitset
+  /// allocated from \p alloc (heap by default).
   /// Precondition: k <= universe. (Floyd's algorithm; O(k) expected.)
-  DynamicBitset RandomSubsetOfSize(std::size_t universe, std::size_t k);
+  DynamicBitset RandomSubsetOfSize(std::size_t universe, std::size_t k,
+                                   DynamicBitset::Allocator alloc = {});
 
   /// Includes each of {0, ..., universe-1} independently with prob. \p p.
   /// \p p is clamped to [0, 1] (NaN treated as 0): p <= 0 yields the empty
-  /// set, p >= 1 the full universe.
-  DynamicBitset BernoulliSubset(std::size_t universe, double p);
+  /// set, p >= 1 the full universe. Allocated from \p alloc.
+  DynamicBitset BernoulliSubset(std::size_t universe, double p,
+                                DynamicBitset::Allocator alloc = {});
 
   /// Includes each member of \p base independently with probability \p p.
   /// \p p is clamped to [0, 1] (NaN treated as 0): p <= 0 yields the empty
-  /// set, p >= 1 a copy of \p base.
-  DynamicBitset BernoulliSubsample(const DynamicBitset& base, double p);
+  /// set, p >= 1 a copy of \p base. Allocated from \p alloc.
+  DynamicBitset BernoulliSubsample(const DynamicBitset& base, double p,
+                                   DynamicBitset::Allocator alloc = {});
 
   /// A uniformly random permutation of {0, ..., size-1}.
   std::vector<std::uint32_t> RandomPermutation(std::size_t size);

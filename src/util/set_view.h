@@ -215,9 +215,34 @@ class SetView {
     return DynamicBitset();
   }
 
+  /// Materializes a dense copy into \p alloc (the re-homing form: works
+  /// for every representation at that representation's scan cost).
+  DynamicBitset ToDense(DynamicBitset::Allocator alloc) const {
+    DynamicBitset out(size(), alloc);
+    OrInto(out);
+    return out;
+  }
+
+  /// Materializes a sparse copy into \p alloc. The viewed members are
+  /// emitted in increasing order, so the sorted-unchecked adoption holds
+  /// by construction.
+  SparseSet ToSparse(SparseSet::Allocator alloc) const {
+    ArenaVector<ElementId> ids(alloc);
+    ids.reserve(static_cast<std::size_t>(CountSet()));
+    ForEach([&ids](ElementId e) { ids.push_back(e); });
+    return SparseSet::FromSortedIndicesUnchecked(size(), std::move(ids));
+  }
+
   /// All member elements in increasing order.
   std::vector<ElementId> ToIndices() const {
     return Visit([](const auto& s) { return s.ToIndices(); });
+  }
+
+  /// Appends the member elements (increasing order) to any push_back-able
+  /// container — the allocation-free alternative to ToIndices.
+  template <typename Vec>
+  void AppendIndicesInto(Vec& out) const {
+    ForEach([&out](ElementId e) { out.push_back(e); });
   }
 
   /// Logical size in bytes of the *viewed representation*.

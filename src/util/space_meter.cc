@@ -1,18 +1,59 @@
-#include "util/check.h"
 #include "util/space_meter.h"
 
 #include <algorithm>
+#include <mutex>
+
+#include "util/check.h"
 
 namespace streamsc {
+namespace {
 
-void SpaceMeter::Charge(Bytes bytes, const std::string& category) {
+/// Process-wide category registry. Never shrinks; names are stable for
+/// the process lifetime, so SpaceCategory::name() views stay valid.
+struct CategoryRegistry {
+  std::mutex mu;
+  std::array<std::string, kMaxSpaceCategories> names;
+  std::size_t count = 0;
+};
+
+CategoryRegistry& Registry() {
+  static CategoryRegistry* const kRegistry = new CategoryRegistry();
+  return *kRegistry;
+}
+
+}  // namespace
+
+SpaceCategory::SpaceCategory(std::string_view name) {
+  CategoryRegistry& registry = Registry();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  for (std::size_t i = 0; i < registry.count; ++i) {
+    if (registry.names[i] == name) {
+      index_ = i;
+      return;
+    }
+  }
+  STREAMSC_CHECK(registry.count < kMaxSpaceCategories,
+                 "SpaceCategory: more than kMaxSpaceCategories distinct "
+                 "category names — categories are hand-written labels; a "
+                 "data-driven name here is a bug");
+  registry.names[registry.count] = std::string(name);
+  index_ = registry.count++;
+}
+
+std::string_view SpaceCategory::name() const {
+  // No lock: the slot was written before this handle existed and names
+  // are never mutated afterwards.
+  return Registry().names[index_];
+}
+
+void SpaceMeter::Charge(Bytes bytes, SpaceCategory category) {
   current_ += bytes;
-  categories_[category] += bytes;
+  categories_[category.index()] += bytes;
   peak_ = std::max(peak_, current_);
 }
 
-void SpaceMeter::Release(Bytes bytes, const std::string& category) {
-  Bytes& cat = categories_[category];
+void SpaceMeter::Release(Bytes bytes, SpaceCategory category) {
+  Bytes& cat = categories_[category.index()];
   STREAMSC_DCHECK(bytes <= cat && "releasing more than charged in category");
   STREAMSC_DCHECK(bytes <= current_ && "releasing more than charged in total");
   const Bytes clamped = std::min({bytes, cat, current_});
@@ -20,8 +61,8 @@ void SpaceMeter::Release(Bytes bytes, const std::string& category) {
   current_ -= clamped;
 }
 
-void SpaceMeter::SetCategory(Bytes bytes, const std::string& category) {
-  const Bytes cur = categories_[category];
+void SpaceMeter::SetCategory(Bytes bytes, SpaceCategory category) {
+  const Bytes cur = categories_[category.index()];
   if (bytes >= cur) {
     Charge(bytes - cur, category);
   } else {
@@ -29,15 +70,10 @@ void SpaceMeter::SetCategory(Bytes bytes, const std::string& category) {
   }
 }
 
-Bytes SpaceMeter::CategoryCurrent(const std::string& category) const {
-  auto it = categories_.find(category);
-  return it == categories_.end() ? 0 : it->second;
-}
-
 void SpaceMeter::Reset() {
   current_ = 0;
   peak_ = 0;
-  categories_.clear();
+  categories_.fill(0);
 }
 
 }  // namespace streamsc

@@ -1,9 +1,10 @@
 #ifndef STREAMSC_UTIL_SPACE_METER_H_
 #define STREAMSC_UTIL_SPACE_METER_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 
 #include "util/common.h"
 
@@ -16,25 +17,76 @@
 /// Release() when they drop it. The meter tracks the current and peak
 /// logical footprint, optionally per labelled category (so benches can
 /// report "stored projections" separately from "uncovered-elements bitset").
+///
+/// Categories are *interned*: a SpaceCategory resolves its name to a small
+/// integer once (process-wide registry; the only allocation in the whole
+/// metering path), after which every Charge/Release is an array index into
+/// the meter's inline counters. Solver hot loops keep a static handle per
+/// label; the string overloads below remain as thin intern-per-call
+/// wrappers for cold paths and tests.
 
 namespace streamsc {
 
+/// Hard cap on distinct category names per process. Categories are
+/// hand-written labels, not data-driven: a handful per solver.
+inline constexpr std::size_t kMaxSpaceCategories = 32;
+
+/// An interned metering category: name -> stable small index, resolved
+/// once at construction (first intern of a name takes a mutex and may
+/// allocate; later interns of the same name just find it). CHECK-fails
+/// when a process exceeds kMaxSpaceCategories distinct names.
+/// Copyable, trivially passable by value.
+class SpaceCategory {
+ public:
+  explicit SpaceCategory(std::string_view name);
+
+  /// The stable per-process index of this category.
+  std::size_t index() const { return index_; }
+
+  /// The interned name (points into the process-wide registry).
+  std::string_view name() const;
+
+ private:
+  std::size_t index_;
+};
+
 /// Tracks current and peak logical space of one algorithm run.
-/// Not thread-safe (one meter per run).
+/// Not thread-safe (one meter per run). Allocation-free: the per-category
+/// counters are an inline array indexed by interned category.
 class SpaceMeter {
  public:
   SpaceMeter() = default;
 
   /// Charges \p bytes under \p category.
-  void Charge(Bytes bytes, const std::string& category = "default");
+  void Charge(Bytes bytes, SpaceCategory category);
 
   /// Releases \p bytes from \p category. Releasing more than charged in a
   /// category is an accounting bug; asserts in debug builds and clamps in
   /// release builds.
-  void Release(Bytes bytes, const std::string& category = "default");
+  void Release(Bytes bytes, SpaceCategory category);
 
   /// Adjusts a category to an absolute level (charge or release the delta).
-  void SetCategory(Bytes bytes, const std::string& category);
+  void SetCategory(Bytes bytes, SpaceCategory category);
+
+  /// Current footprint of one category (0 if never charged).
+  Bytes CategoryCurrent(SpaceCategory category) const {
+    return categories_[category.index()];
+  }
+
+  /// String-keyed convenience wrappers: intern on every call. Fine for
+  /// cold paths and tests; hot loops should hold a SpaceCategory.
+  void Charge(Bytes bytes, const std::string& category = "default") {
+    Charge(bytes, SpaceCategory(category));
+  }
+  void Release(Bytes bytes, const std::string& category = "default") {
+    Release(bytes, SpaceCategory(category));
+  }
+  void SetCategory(Bytes bytes, const std::string& category) {
+    SetCategory(bytes, SpaceCategory(category));
+  }
+  Bytes CategoryCurrent(const std::string& category) const {
+    return CategoryCurrent(SpaceCategory(category));
+  }
 
   /// Current total logical footprint in bytes.
   Bytes current() const { return current_; }
@@ -42,16 +94,13 @@ class SpaceMeter {
   /// Peak total logical footprint in bytes since construction/Reset().
   Bytes peak() const { return peak_; }
 
-  /// Current footprint of one category (0 if never charged).
-  Bytes CategoryCurrent(const std::string& category) const;
-
   /// Zeroes all counters and categories.
   void Reset();
 
  private:
   Bytes current_ = 0;
   Bytes peak_ = 0;
-  std::unordered_map<std::string, Bytes> categories_;
+  std::array<Bytes, kMaxSpaceCategories> categories_{};
 };
 
 }  // namespace streamsc

@@ -7,7 +7,7 @@
 namespace streamsc {
 
 SparseSet SparseSet::FromIndices(std::size_t universe_size,
-                                 std::vector<ElementId> indices) {
+                                 ArenaVector<ElementId> indices) {
   std::sort(indices.begin(), indices.end());
   indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
   // Sortedness/uniqueness hold by construction; only the range needs a
@@ -19,8 +19,16 @@ SparseSet SparseSet::FromIndices(std::size_t universe_size,
   return out;
 }
 
+SparseSet SparseSet::FromIndices(std::size_t universe_size,
+                                 std::span<const ElementId> indices,
+                                 Allocator alloc) {
+  return FromIndices(universe_size,
+                     ArenaVector<ElementId>(indices.begin(), indices.end(),
+                                            alloc));
+}
+
 SparseSet SparseSet::FromSortedIndices(std::size_t universe_size,
-                                       std::vector<ElementId> indices) {
+                                       ArenaVector<ElementId> indices) {
   STREAMSC_CHECK(
       std::is_sorted(indices.begin(), indices.end()) &&
           std::adjacent_find(indices.begin(), indices.end()) == indices.end(),
@@ -33,7 +41,7 @@ SparseSet SparseSet::FromSortedIndices(std::size_t universe_size,
 }
 
 SparseSet SparseSet::FromSortedIndicesUnchecked(
-    std::size_t universe_size, std::vector<ElementId> indices) {
+    std::size_t universe_size, ArenaVector<ElementId> indices) {
   STREAMSC_DCHECK(std::is_sorted(indices.begin(), indices.end()) &&
          std::adjacent_find(indices.begin(), indices.end()) == indices.end());
   STREAMSC_DCHECK(indices.empty() || indices.back() < universe_size);
@@ -42,15 +50,15 @@ SparseSet SparseSet::FromSortedIndicesUnchecked(
   return out;
 }
 
-SparseSet SparseSet::FromBitset(const DynamicBitset& dense) {
-  SparseSet out(dense.size());
+SparseSet SparseSet::FromBitset(const DynamicBitset& dense, Allocator alloc) {
+  SparseSet out(dense.size(), alloc);
   out.elements_.reserve(static_cast<std::size_t>(dense.CountSet()));
   dense.ForEach([&out](ElementId e) { out.elements_.push_back(e); });
   return out;
 }
 
-DynamicBitset SparseSet::ToBitset() const {
-  DynamicBitset out(size_);
+DynamicBitset SparseSet::ToBitset(DynamicBitset::Allocator alloc) const {
+  DynamicBitset out(size_, alloc);
   for (ElementId e : elements_) out.Set(e);
   return out;
 }

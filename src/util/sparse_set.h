@@ -1,9 +1,11 @@
 #ifndef STREAMSC_UTIL_SPARSE_SET_H_
 #define STREAMSC_UTIL_SPARSE_SET_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/bitset.h"
 #include "util/common.h"
 
@@ -21,20 +23,44 @@ namespace streamsc {
 /// A set over a fixed universe {0, ..., size()-1}, stored as a sorted,
 /// duplicate-free vector of member ids. Immutable after construction
 /// (build a new one to change membership). Copyable and movable.
+///
+/// Arena-aware like DynamicBitset: factories take the member-id payload
+/// as an ArenaVector (adopted, allocator and all) or copy from a borrowed
+/// span into an explicit allocator; default everything stays on the heap.
 class SparseSet {
  public:
+  using Allocator = ArenaAllocator<ElementId>;
+
   /// Creates an empty set over a universe of \p universe_size elements.
-  explicit SparseSet(std::size_t universe_size = 0) : size_(universe_size) {}
+  explicit SparseSet(std::size_t universe_size = 0, Allocator alloc = {})
+      : size_(universe_size), elements_(alloc) {}
+
+  /// Clone with an explicit allocator (the re-homing copy).
+  SparseSet(const SparseSet& other, Allocator alloc)
+      : size_(other.size_),
+        elements_(other.elements_.begin(), other.elements_.end(), alloc) {}
+
+  SparseSet(const SparseSet&) = default;
+  SparseSet(SparseSet&&) noexcept = default;
+  SparseSet& operator=(const SparseSet&) = default;
+  SparseSet& operator=(SparseSet&&) = default;
 
   /// Builds a set from arbitrary member ids (sorted and deduplicated
-  /// here). CHECK-fails on ids outside the universe.
+  /// here; the vector is adopted along with its allocator). CHECK-fails
+  /// on ids outside the universe.
   static SparseSet FromIndices(std::size_t universe_size,
-                               std::vector<ElementId> indices);
+                               ArenaVector<ElementId> indices);
+
+  /// Convenience overload copying from a borrowed id sequence into
+  /// \p alloc.
+  static SparseSet FromIndices(std::size_t universe_size,
+                               std::span<const ElementId> indices,
+                               Allocator alloc = {});
 
   /// Builds a set from ids that are already sorted and duplicate-free
   /// (adopted without a sort; order and range CHECKed).
   static SparseSet FromSortedIndices(std::size_t universe_size,
-                                     std::vector<ElementId> indices);
+                                     ArenaVector<ElementId> indices);
 
   /// Like FromSortedIndices but trusts the caller (debug-only asserts,
   /// no release-mode scan). Only for ids produced by code that
@@ -42,13 +68,16 @@ class SparseSet {
   /// representation's ForEach, or SubUniverse's monotone re-indexing —
   /// where re-validating would double the cost of the per-item hot path.
   static SparseSet FromSortedIndicesUnchecked(std::size_t universe_size,
-                                              std::vector<ElementId> indices);
+                                              ArenaVector<ElementId> indices);
 
   /// Converts a dense bitset to sparse form.
-  static SparseSet FromBitset(const DynamicBitset& dense);
+  static SparseSet FromBitset(const DynamicBitset& dense, Allocator alloc = {});
 
-  /// Converts to dense form.
-  DynamicBitset ToBitset() const;
+  /// The allocator backing the member ids.
+  Allocator get_allocator() const { return elements_.get_allocator(); }
+
+  /// Converts to dense form (into \p alloc; heap by default).
+  DynamicBitset ToBitset(DynamicBitset::Allocator alloc = {}) const;
 
   /// Universe size (matches DynamicBitset::size() semantics).
   std::size_t size() const { return size_; }
@@ -66,11 +95,13 @@ class SparseSet {
   bool Test(std::size_t i) const;
 
   /// The member ids, sorted ascending.
-  const std::vector<ElementId>& elements() const { return elements_; }
+  const ArenaVector<ElementId>& elements() const { return elements_; }
 
-  /// All member elements in increasing order (a copy; see elements() for
-  /// the borrowed form).
-  std::vector<ElementId> ToIndices() const { return elements_; }
+  /// All member elements in increasing order (a heap copy; see elements()
+  /// for the borrowed form).
+  std::vector<ElementId> ToIndices() const {
+    return std::vector<ElementId>(elements_.begin(), elements_.end());
+  }
 
   /// |*this & other| — O(k) membership probes into \p other.
   Count CountAnd(const DynamicBitset& other) const;
@@ -108,7 +139,7 @@ class SparseSet {
 
  private:
   std::size_t size_ = 0;
-  std::vector<ElementId> elements_;
+  ArenaVector<ElementId> elements_;
 };
 
 }  // namespace streamsc

@@ -171,7 +171,7 @@ TEST(AssadiSetCoverTest, RandomOrderStreamWorks) {
 TEST(AssadiSetCoverTest, DeterministicGivenSeed) {
   Rng rng(16);
   const SetSystem system = PlantedCoverInstance(300, 30, 3, rng);
-  std::vector<SetId> first;
+  ArenaVector<SetId> first;
   for (int run = 0; run < 2; ++run) {
     VectorSetStream stream(system);
     AssadiSetCover algorithm(DefaultConfig());

@@ -97,7 +97,7 @@ TEST(DemaineSetCoverTest, UsesMoreSpaceThanAssadiAtEqualAlpha) {
 TEST(DemaineSetCoverTest, DeterministicGivenSeed) {
   Rng rng(7);
   const SetSystem system = PlantedCoverInstance(300, 30, 3, rng);
-  std::vector<SetId> first;
+  ArenaVector<SetId> first;
   for (int run = 0; run < 2; ++run) {
     VectorSetStream stream(system);
     DemaineConfig config;

@@ -115,7 +115,7 @@ TEST(EmekRosenTest, NoDuplicateIdsInSolution) {
   EmekRosenSetCover algorithm;
   const SetCoverRunResult result = algorithm.Run(stream);
   ASSERT_TRUE(result.feasible);
-  std::vector<SetId> ids = result.solution.chosen;
+  ArenaVector<SetId> ids = result.solution.chosen;
   std::sort(ids.begin(), ids.end());
   EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
 }

@@ -95,7 +95,7 @@ TEST_P(StreamingCoverPropertyTest, SolutionsAreFeasibleAndAccounted) {
   EXPECT_EQ(result.feasible, verdict.feasible) << algorithm->name();
 
   // P2: all solution ids are valid and distinct work (no duplicates).
-  std::vector<SetId> ids = result.solution.chosen;
+  ArenaVector<SetId> ids = result.solution.chosen;
   for (SetId id : ids) EXPECT_LT(id, system.num_sets());
   std::sort(ids.begin(), ids.end());
   EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end())

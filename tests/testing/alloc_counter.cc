@@ -1,0 +1,134 @@
+#include "testing/alloc_counter.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+// Global operator new/delete replacement. Defined here (not in a header)
+// so only binaries that link this translation unit get the interposer;
+// replacement is binary-wide and consistent from program start, so every
+// delete sees memory that came from the matching counting new.
+
+namespace {
+
+std::atomic<bool> g_armed{false};
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_deallocations{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+void Count(std::size_t size) noexcept {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+}
+
+void* CountedAlloc(std::size_t size) noexcept {
+  Count(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) noexcept {
+  Count(size);
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  // posix_memalign memory is free()-able, unlike some aligned_alloc
+  // implementations' stricter size requirements.
+  if (posix_memalign(&p, align, size != 0 ? size : align) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+void CountedFree(void* p) noexcept {
+  if (p != nullptr && g_armed.load(std::memory_order_relaxed)) {
+    g_deallocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::free(p);
+}
+
+}  // namespace
+
+namespace streamsc {
+namespace testing {
+
+void ArmAllocCounter() {
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_deallocations.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_seq_cst);
+}
+
+AllocCounterStats DisarmAllocCounter() {
+  g_armed.store(false, std::memory_order_seq_cst);
+  AllocCounterStats stats;
+  stats.allocations = g_allocations.load(std::memory_order_relaxed);
+  stats.deallocations = g_deallocations.load(std::memory_order_relaxed);
+  stats.bytes = g_bytes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace testing
+}  // namespace streamsc
+
+void* operator new(std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { CountedFree(p); }
+void operator delete[](void* p) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}

@@ -1,0 +1,42 @@
+#ifndef STREAMSC_TESTING_ALLOC_COUNTER_H_
+#define STREAMSC_TESTING_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+/// \file alloc_counter.h
+/// A process-wide heap-allocation counter for zero-allocation tests and
+/// benches. Linking alloc_counter.cc into a binary replaces the global
+/// operator new/delete family with counting forwarders to malloc/free;
+/// the counters are atomics, so allocations from *every* thread —
+/// including ParallelPassEngine workers — are visible while armed.
+///
+/// Usage:
+///
+///   ArmAllocCounter();
+///   ... the code under test ...
+///   const AllocCounterStats stats = DisarmAllocCounter();
+///   EXPECT_EQ(stats.allocations, 0u);
+///
+/// The interposers themselves never allocate and are async-signal-safe
+/// modulo malloc. Arming is not reference-counted: don't nest.
+
+namespace streamsc {
+namespace testing {
+
+/// Heap activity observed between Arm and Disarm.
+struct AllocCounterStats {
+  std::uint64_t allocations = 0;    ///< operator new / new[] calls.
+  std::uint64_t deallocations = 0;  ///< operator delete calls (non-null).
+  std::uint64_t bytes = 0;          ///< Sum of requested allocation sizes.
+};
+
+/// Zeroes the counters and starts counting on all threads.
+void ArmAllocCounter();
+
+/// Stops counting and returns what was observed since Arm.
+AllocCounterStats DisarmAllocCounter();
+
+}  // namespace testing
+}  // namespace streamsc
+
+#endif  // STREAMSC_TESTING_ALLOC_COUNTER_H_

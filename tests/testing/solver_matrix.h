@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,7 +62,7 @@ namespace testing {
 /// determinism contract covers. wall_seconds and other scheduling-
 /// dependent measurements are intentionally absent.
 struct SolverOutcome {
-  std::vector<SetId> chosen;           ///< Solution ids, in take order.
+  ArenaVector<SetId> chosen;           ///< Solution ids, in take order.
   bool feasible = false;               ///< Solver-reported success bit.
   std::uint64_t passes = 0;
   std::uint64_t items_seen = 0;
@@ -133,33 +134,57 @@ using SolverFn = std::function<SolverOutcome(SetStream&, ParallelPassEngine*)>;
 /// A SolverFn that builds the solver from the global SolverRegistry by
 /// string key + key=value options — the same construction path every
 /// external caller (CLI, bench sweep, service) uses.
+///
+/// Every cell runs **twice**: once heap-allocating (no run arena) and
+/// once over a fresh MonotonicArena, asserting the two outcomes are
+/// byte-identical — the arena is a memory placement decision, never an
+/// algorithmic one. The arena-backed outcome is returned.
 inline SolverFn RegistrySolverFn(std::string solver,
                                  std::vector<std::string> options) {
   return [solver = std::move(solver), options = std::move(options)](
              SetStream& stream, ParallelPassEngine* engine) -> SolverOutcome {
-    StatusOr<std::unique_ptr<AnySolver>> created =
-        SolverRegistry::Global().Create(solver, options);
-    if (!created.ok()) {
-      ADD_FAILURE() << "registry rejected '" << solver
-                    << "': " << created.status().ToString();
+    auto run_once = [&](MonotonicArena* arena) -> std::optional<SolverOutcome> {
+      StatusOr<std::unique_ptr<AnySolver>> created =
+          SolverRegistry::Global().Create(solver, options);
+      if (!created.ok()) {
+        ADD_FAILURE() << "registry rejected '" << solver
+                      << "': " << created.status().ToString();
+        return std::nullopt;
+      }
+      RunContext context;
+      context.engine = engine;
+      context.arena = arena;
+      StatusOr<SolveReport> report = (*created)->Run(stream, context);
+      if (!report.ok()) {
+        ADD_FAILURE() << "'" << solver
+                      << "' run failed: " << report.status().ToString();
+        return std::nullopt;
+      }
+      return ToOutcome(*report);
+    };
+    const std::optional<SolverOutcome> heap_outcome = run_once(nullptr);
+    MonotonicArena arena;
+    const std::optional<SolverOutcome> arena_outcome = run_once(&arena);
+    if (!heap_outcome.has_value() || !arena_outcome.has_value()) {
       return SolverOutcome{};
     }
-    RunContext context;
-    context.engine = engine;
-    StatusOr<SolveReport> report = (*created)->Run(stream, context);
-    if (!report.ok()) {
-      ADD_FAILURE() << "'" << solver
-                    << "' run failed: " << report.status().ToString();
-      return SolverOutcome{};
-    }
-    return ToOutcome(*report);
+    EXPECT_EQ(arena_outcome->chosen, heap_outcome->chosen)
+        << "arena-backed run diverged from the heap run";
+    EXPECT_EQ(arena_outcome->feasible, heap_outcome->feasible);
+    EXPECT_EQ(arena_outcome->passes, heap_outcome->passes);
+    EXPECT_EQ(arena_outcome->items_seen, heap_outcome->items_seen);
+    EXPECT_EQ(arena_outcome->sets_taken, heap_outcome->sets_taken);
+    EXPECT_EQ(arena_outcome->elements_covered, heap_outcome->elements_covered);
+    EXPECT_EQ(arena_outcome->peak_space_bytes, heap_outcome->peak_space_bytes);
+    EXPECT_EQ(arena_outcome->extra, heap_outcome->extra);
+    return *arena_outcome;
   };
 }
 
 /// The cover (as a full-universe bitset) achieved by \p chosen on
 /// \p system.
 inline DynamicBitset CoverOf(const SetSystem& system,
-                             const std::vector<SetId>& chosen) {
+                             std::span<const SetId> chosen) {
   DynamicBitset covered(system.universe_size());
   for (SetId id : chosen) system.set(id).OrInto(covered);
   return covered;
@@ -275,6 +300,28 @@ inline void RunConformanceMatrix(const SetSystem& system,
       EXPECT_EQ(outcome.elements_covered, baseline.elements_covered);
       EXPECT_EQ(outcome.extra, baseline.extra);
     }
+  }
+
+  // Budget cell: a 1-byte arena budget must surface as a clean
+  // RESOURCE_EXHAUSTED Status — never an abort. threads=2 forces the
+  // buffered engine path, whose item staging charges the run arena up
+  // front, so every solver trips regardless of its own retained state.
+  {
+    SolveSession session = SolveSession::OverSystem(system);
+    std::vector<std::string> args = options;
+    args.push_back("threads=2");
+    args.push_back("memory_budget=1");
+    StatusOr<SolveReport> report = session.Solve(solver, args);
+    EXPECT_FALSE(report.ok())
+        << "a 1-byte memory_budget was not enforced for '" << solver << "'";
+    if (!report.ok()) {
+      EXPECT_EQ(report.status().code(), StatusCode::kResourceExhausted)
+          << report.status().ToString();
+    }
+    // The session (and its arena) stays usable after a budget trip.
+    args.resize(args.size() - 1);
+    StatusOr<SolveReport> retry = session.Solve(solver, args);
+    EXPECT_TRUE(retry.ok()) << retry.status().ToString();
   }
 }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 struct BadConfig {
   ParallelPassEngine* engine = nullptr;
+  MonotonicArena* arena = nullptr;
 };
 inline void Validate(int alpha) {
   assert(alpha > 0);

@@ -58,13 +58,15 @@ class LintStreamscTest(unittest.TestCase):
         # cassert include and raw assert in a solver layer.
         self.assert_reported(result, "src/core/bad_config.h", 3,
                              "raw-assert")
-        self.assert_reported(result, "src/core/bad_config.h", 8,
+        self.assert_reported(result, "src/core/bad_config.h", 9,
                              "raw-assert")
-        # Non-owning engine pointer member in a config struct.
+        # Non-owning engine and arena pointer members in a config struct.
         self.assert_reported(result, "src/core/bad_config.h", 5,
                              "engine-ptr")
+        self.assert_reported(result, "src/core/bad_config.h", 6,
+                             "arena-ptr")
         # rand() and std::random_device.
-        self.assert_reported(result, "src/core/bad_config.h", 10,
+        self.assert_reported(result, "src/core/bad_config.h", 11,
                              "determinism")
         self.assert_reported(result, "src/core/bad_random.cc", 3,
                              "determinism")
@@ -74,7 +76,7 @@ class LintStreamscTest(unittest.TestCase):
         from comments, string literals, or the clean lines around them."""
         result = run_linter("--root", str(FIXTURES / "violations"))
         reported = [l for l in result.stdout.splitlines() if "[" in l]
-        self.assertEqual(len(reported), 7, result.stdout)
+        self.assertEqual(len(reported), 8, result.stdout)
 
     def test_real_tree_is_clean(self):
         """The wall starts (and stays) at zero violations on the repo."""
@@ -88,7 +90,8 @@ class LintStreamscTest(unittest.TestCase):
         self.assertEqual(result.returncode, 0)
         rules = result.stdout.split()
         self.assertEqual(
-            rules, ["layer-dag", "raw-assert", "determinism", "engine-ptr"])
+            rules, ["layer-dag", "raw-assert", "determinism", "engine-ptr",
+                    "arena-ptr"])
 
 
 class TidyGatingTest(unittest.TestCase):

@@ -1,0 +1,276 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/function_ref.h"
+
+namespace streamsc {
+namespace {
+
+TEST(MonotonicArenaTest, AllocationsAreAlignedAndDisjoint) {
+  MonotonicArena arena;
+  auto* a = arena.Allocate<std::uint8_t>(3);
+  auto* b = arena.Allocate<std::uint64_t>(2);
+  auto* c = arena.Allocate<std::uint8_t>(1);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(std::uint64_t), 0u);
+  std::memset(a, 0xAA, 3);
+  b[0] = 1;
+  b[1] = 2;
+  *c = 0xBB;
+  EXPECT_EQ(a[0], 0xAA);
+  EXPECT_EQ(b[0], 1u);
+  EXPECT_EQ(b[1], 2u);
+  EXPECT_EQ(*c, 0xBB);
+  // used_ counts requested bytes only, independent of padding.
+  EXPECT_EQ(arena.bytes_used(), 3 + 16 + 1u);
+}
+
+TEST(MonotonicArenaTest, GrowsAcrossChunks) {
+  MonotonicArena::Options options;
+  options.initial_chunk_bytes = 1024;
+  options.max_chunk_bytes = 4096;
+  MonotonicArena arena(options);
+  std::vector<unsigned char*> blocks;
+  for (int i = 0; i < 64; ++i) {
+    auto* p = arena.Allocate<unsigned char>(512);
+    std::memset(p, i, 512);
+    blocks.push_back(p);
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(blocks[i][0], static_cast<unsigned char>(i));
+    EXPECT_EQ(blocks[i][511], static_cast<unsigned char>(i));
+  }
+  EXPECT_GT(arena.chunk_count(), 1u);
+  EXPECT_EQ(arena.bytes_used(), 64u * 512u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(MonotonicArenaTest, OversizedRequestGetsDedicatedChunk) {
+  MonotonicArena::Options options;
+  options.initial_chunk_bytes = 1024;
+  options.max_chunk_bytes = 2048;
+  MonotonicArena arena(options);
+  auto* big = arena.Allocate<unsigned char>(1 << 20);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xCD, 1 << 20);
+  EXPECT_EQ(big[0], 0xCD);
+  EXPECT_EQ(big[(1 << 20) - 1], 0xCD);
+}
+
+TEST(MonotonicArenaTest, ResetRetainsChunksAndAllowsWarmReplay) {
+  MonotonicArena arena;
+  for (int i = 0; i < 100; ++i) arena.Allocate<std::uint64_t>(100);
+  const std::size_t reserved = arena.bytes_reserved();
+  const std::size_t chunks = arena.chunk_count();
+  const std::size_t high = arena.high_water();
+  EXPECT_EQ(high, 100u * 100u * 8u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+
+  // Warm replay of the same sequence: no new chunks.
+  for (int i = 0; i < 100; ++i) arena.Allocate<std::uint64_t>(100);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+  EXPECT_EQ(arena.high_water(), high);
+}
+
+TEST(MonotonicArenaTest, RewindRestoresPosition) {
+  MonotonicArena arena;
+  arena.Allocate<std::uint64_t>(10);
+  const MonotonicArena::Mark mark = arena.Position();
+  const std::size_t used_at_mark = arena.bytes_used();
+  for (int i = 0; i < 1000; ++i) arena.Allocate<std::uint64_t>(64);
+  arena.Rewind(mark);
+  EXPECT_EQ(arena.bytes_used(), used_at_mark);
+  // Allocation after rewind reuses the same region.
+  auto* p = arena.Allocate<std::uint64_t>(1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(arena.bytes_used(), used_at_mark + 8);
+}
+
+TEST(MonotonicArenaTest, CheckpointIsRaiiRewind) {
+  MonotonicArena arena;
+  arena.Allocate<int>(4);
+  const std::size_t base = arena.bytes_used();
+  {
+    ArenaCheckpoint checkpoint(arena);
+    arena.Allocate<int>(1024);
+    EXPECT_GT(arena.bytes_used(), base);
+  }
+  EXPECT_EQ(arena.bytes_used(), base);
+}
+
+TEST(MonotonicArenaTest, BudgetThrowsArenaBudgetExceeded) {
+  MonotonicArena::Options options;
+  options.budget_bytes = 4096;
+  MonotonicArena arena(options);
+  arena.Allocate<unsigned char>(4000);
+  EXPECT_THROW(arena.Allocate<unsigned char>(200), ArenaBudgetExceeded);
+  // The failed allocation must not corrupt the arena.
+  auto* p = arena.Allocate<unsigned char>(50);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(arena.bytes_used(), 4050u);
+
+  try {
+    arena.Allocate<unsigned char>(1 << 20);
+    FAIL() << "expected ArenaBudgetExceeded";
+  } catch (const ArenaBudgetExceeded& e) {
+    EXPECT_EQ(e.budget(), 4096u);
+    EXPECT_EQ(e.attempted(), 4050u + (1u << 20));
+  }
+}
+
+TEST(MonotonicArenaTest, BudgetVerdictIsWarmthInvariant) {
+  // The same allocation sequence must hit the budget at the same step on
+  // a cold arena and on a warm (Reset) one.
+  const auto run = [](MonotonicArena& arena) {
+    int steps = 0;
+    try {
+      for (int i = 0; i < 10000; ++i) {
+        arena.Allocate<unsigned char>(100 + (i % 37));
+        ++steps;
+      }
+    } catch (const ArenaBudgetExceeded&) {
+    }
+    return steps;
+  };
+  MonotonicArena::Options options;
+  options.initial_chunk_bytes = 2048;
+  options.budget_bytes = 100000;
+  MonotonicArena arena(options);
+  const int cold = run(arena);
+  arena.Reset();
+  const int warm = run(arena);
+  EXPECT_EQ(cold, warm);
+  EXPECT_LT(cold, 10000);
+}
+
+TEST(MonotonicArenaTest, SetBudgetTakesEffectOnNextAllocation) {
+  MonotonicArena arena;
+  arena.Allocate<unsigned char>(1 << 16);
+  EXPECT_EQ(arena.budget(), 0u);
+  arena.set_budget(1);
+  EXPECT_THROW(arena.Allocate<unsigned char>(1), ArenaBudgetExceeded);
+  arena.set_budget(0);
+  EXPECT_NE(arena.Allocate<unsigned char>(1 << 16), nullptr);
+}
+
+TEST(MonotonicArenaTest, ReleaseChunksReturnsToCold) {
+  MonotonicArena arena;
+  arena.Allocate<std::uint64_t>(1 << 12);
+  arena.ReleaseChunks();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  auto* p = arena.Allocate<std::uint64_t>(8);
+  ASSERT_NE(p, nullptr);
+}
+
+TEST(ArenaAllocatorTest, VectorOnArenaAndHeapFallback) {
+  MonotonicArena arena;
+  ArenaVector<int> on_arena{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 1000; ++i) on_arena.push_back(i);
+  EXPECT_GT(arena.bytes_used(), 0u);
+  EXPECT_EQ(on_arena.size(), 1000u);
+  EXPECT_EQ(std::accumulate(on_arena.begin(), on_arena.end(), 0),
+            999 * 1000 / 2);
+
+  ArenaVector<int> on_heap;  // default-constructed: heap binding
+  on_heap.assign(on_arena.begin(), on_arena.end());
+  EXPECT_EQ(on_heap.get_allocator().binding(), ArenaBinding::kHeap);
+  EXPECT_TRUE(on_heap == on_arena);
+}
+
+TEST(ArenaAllocatorTest, MovePreservesArenaCopyGoesToHeap) {
+  MonotonicArena arena;
+  ArenaVector<int> source{ArenaAllocator<int>(&arena)};
+  source.assign({1, 2, 3});
+
+  ArenaVector<int> moved = std::move(source);
+  EXPECT_EQ(moved.get_allocator().arena(), &arena);
+  EXPECT_EQ(moved.get_allocator().binding(), ArenaBinding::kPinned);
+
+  ArenaVector<int> copied = moved;  // select_on_copy -> heap
+  EXPECT_EQ(copied.get_allocator().binding(), ArenaBinding::kHeap);
+  EXPECT_TRUE(copied == moved);
+}
+
+TEST(ArenaAllocatorTest, CrossAllocatorEqualityAgainstStdVector) {
+  MonotonicArena arena;
+  ArenaVector<int> a{ArenaAllocator<int>(&arena)};
+  a.assign({5, 6, 7});
+  const std::vector<int> b = {5, 6, 7};
+  const std::vector<int> c = {5, 6};
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(b == a);
+  EXPECT_TRUE(a != c);
+  EXPECT_TRUE(c != a);
+}
+
+TEST(ArenaAllocatorTest, UnorderedMapOnArena) {
+  MonotonicArena arena;
+  using Alloc = ArenaAllocator<std::pair<const int, int>>;
+  std::unordered_map<int, int, std::hash<int>, std::equal_to<int>, Alloc> map(
+      8, std::hash<int>(), std::equal_to<int>(), Alloc(&arena));
+  for (int i = 0; i < 500; ++i) map[i] = i * i;
+  EXPECT_EQ(map.at(21), 441);
+  EXPECT_GT(arena.bytes_used(), 500u * sizeof(std::pair<const int, int>));
+}
+
+TEST(ArenaAllocatorTest, ScratchBindingResolvesThreadLocal) {
+  const std::size_t before = ThreadScratchArena().bytes_used();
+  {
+    ArenaVector<int> v{ArenaAllocator<int>::Scratch()};
+    v.assign(1000, 7);
+    EXPECT_GT(ThreadScratchArena().bytes_used(), before);
+  }
+  // Deallocation is a no-op; reclaim is via rewind.
+  MonotonicArena::Mark mark{};
+  (void)mark;
+  ThreadScratchArena().Rewind(MonotonicArena::Mark{0, 0, 0});
+  ThreadScratchArena().Reset();
+  EXPECT_EQ(ThreadScratchArena().bytes_used(), 0u);
+}
+
+TEST(ArenaAllocatorTest, TableAndScratchAreDistinctArenas) {
+  EXPECT_NE(&ThreadScratchArena(), &ThreadTableArena());
+  EXPECT_FALSE(ArenaAllocator<int>::Scratch() == ArenaAllocator<int>::Table());
+}
+
+TEST(FunctionRefTest, InvokesWithoutOwnership) {
+  int calls = 0;
+  std::uint64_t sum = 0;
+  // Deliberately large capture: would force std::function to allocate.
+  std::uint64_t a = 1, b = 2, c = 3, d = 4;
+  const auto fn = [&](std::size_t i) {
+    ++calls;
+    sum += a + b + c + d + i;
+  };
+  FunctionRef<void(std::size_t)> ref = fn;
+  ref(10);
+  ref(20);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(sum, 2 * (1 + 2 + 3 + 4) + 30u);
+}
+
+TEST(FunctionRefTest, ReturnsValues) {
+  const auto doubler = [](int x) { return 2 * x; };
+  FunctionRef<int(int)> ref = doubler;
+  EXPECT_EQ(ref(21), 42);
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -36,7 +36,7 @@ struct Contender {
 };
 
 void Compare(const std::string& title, const SetSystem& system,
-             std::size_t opt_hint) {
+             std::size_t opt_hint, bench::BenchJson* json) {
   bench::Banner("E7: " + title,
                 "who wins where: space vs passes vs approximation; "
                 "threads column tracks the engine-routed speedup");
@@ -109,6 +109,9 @@ void Compare(const std::string& title, const SetSystem& system,
                         : sequential_wall /
                               std::max(report->wall_seconds, 1e-9),
                     2);
+      json->Add({contender.label, title, system.universe_size(),
+                 system.num_sets(), threads, report->passes,
+                 report->peak_space_bytes, report->wall_seconds});
     }
   }
   table.Print(std::cout);
@@ -119,11 +122,12 @@ void Compare(const std::string& title, const SetSystem& system,
 
 int main() {
   using namespace streamsc;
+  bench::BenchJson json("e7_algorithm_comparison");
   {
     Rng rng(1);
     const std::size_t opt = 4;
     const SetSystem system = PlantedCoverInstance(8192, 128, opt, rng);
-    Compare("planted cover (n=8192, m=128, opt=4)", system, opt);
+    Compare("planted cover (n=8192, m=128, opt=4)", system, opt, &json);
   }
   {
     Rng rng(2);
@@ -134,13 +138,14 @@ int main() {
     // the cross-algorithm ordering is unaffected.
     const std::size_t greedy_size = GreedySetCover(system).size();
     Compare("uniform random (n=4096, m=128, |S|=512; ratio vs greedy)",
-            system, greedy_size);
+            system, greedy_size, &json);
   }
   {
     Rng rng(3);
     const SetSystem system = NeedleInstance(4096, 96, 6, rng);
-    Compare("needles in haystack (n=4096, m=96, opt=6)", system, 6);
+    Compare("needles in haystack (n=4096, m=96, opt=6)", system, 6, &json);
   }
+  json.Write();
   std::cout << "\n# expect per the paper: assadi space < har-peled space at "
                "equal alpha; threshold-greedy smallest space but log-n "
                "ratio; one-pass worst ratio on adversarial instances\n";

@@ -26,7 +26,8 @@
 //       lists every registered solver with its options (name, type,
 //       range, default, doc) plus the session-level options; --names
 //       prints bare registry keys one per line (for scripting).
-//   workload_tool solve <path> <solver> [key=value ...]
+//   workload_tool solve <path> <solver> [key=value ...] [--trace=FILE]
+//                 [--stats]
 //       e.g.: solve w.sscb1 assadi alpha=3 threads=4
 //       `threads` is a session option: the SolveSession owns the
 //       ParallelPassEngine for the run (identical results for any
@@ -34,6 +35,10 @@
 //       multi-pass solves cost zero re-parsing and shard even from
 //       disk; text inputs stream one set at a time (and are loaded
 //       into memory when threads > 1).
+//       --trace=FILE arms a TraceRecorder for the run and writes a
+//       chrome://tracing JSON file (per-pass and per-shard spans) plus
+//       a per-pass breakdown table; --stats prints the run's counter
+//       snapshot in Prometheus text format. Neither changes results.
 //
 // Examples:
 //   ./build/examples/workload_tool gen planted 4096 128 4 7 /tmp/w.ssc
@@ -43,6 +48,7 @@
 //   ./build/examples/workload_tool solve /tmp/w.sscb1 threshold_greedy beta=4
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -52,6 +58,8 @@
 #include "api/solver_registry.h"
 #include "instance/generators.h"
 #include "instance/serialization.h"
+#include "obs/stats_sink.h"
+#include "obs/trace.h"
 #include "storage/binary_instance_writer.h"
 #include "storage/mmap_set_stream.h"
 #include "stream/set_stream.h"
@@ -69,7 +77,8 @@ int Usage() {
       << "  workload_tool convert <in.ssc> <out.sscb1>\n"
       << "  workload_tool info <path>\n"
       << "  workload_tool solvers [--names]\n"
-      << "  workload_tool solve <path> <solver> [key=value ...]\n"
+      << "  workload_tool solve <path> <solver> [key=value ...] "
+         "[--trace=FILE] [--stats]\n"
       << "run `workload_tool solvers` for solver names and their options\n";
   return 2;
 }
@@ -268,13 +277,32 @@ int Solve(int argc, char** argv) {
   if (argc < 4) return Usage();
   const std::string path = argv[2];
   const std::string solver = argv[3];
+  std::string trace_path;
+  bool print_stats = false;
   std::vector<std::string> args;
-  for (int i = 4; i < argc; ++i) args.push_back(argv[i]);
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+      if (trace_path.empty()) return Usage();
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else {
+      args.push_back(arg);
+    }
+  }
 
   StatusOr<SolveSession> session = SolveSession::Open(path);
   if (!session.ok()) {
     std::cerr << "open failed: " << session.status().ToString() << "\n";
     return 1;
+  }
+  // The recorder allocates all its ring capacity here, at arm time; the
+  // run itself then emits lock-free and alloc-free.
+  std::optional<TraceRecorder> recorder;
+  if (!trace_path.empty()) {
+    recorder.emplace();
+    session->BindTrace(&*recorder);
   }
   StatusOr<SolveReport> report = session->Solve(solver, args);
   if (!report.ok()) {
@@ -310,6 +338,50 @@ int Solve(int argc, char** argv) {
   }
   add("wall ms", std::to_string(report->wall_seconds * 1e3));
   table.Print(std::cout);
+
+  if (!report->pass_breakdown.empty()) {
+    std::cout << "\nper-pass breakdown:\n";
+    TablePrinter passes(
+        {"pass", "name", "items", "shards", "takes", "covered", "wall ms"});
+    std::size_t index = 0;
+    for (const PassBreakdownRow& row : report->pass_breakdown) {
+      passes.BeginRow();
+      passes.AddCell(static_cast<std::uint64_t>(index++));
+      passes.AddCell(row.name);
+      passes.AddCell(row.items_scanned);
+      passes.AddCell(row.shard_jobs);
+      passes.AddCell(row.sets_taken);
+      passes.AddCell(row.elements_covered);
+      passes.AddCell(std::to_string(row.wall_seconds * 1e3));
+    }
+    passes.Print(std::cout);
+  }
+
+  if (print_stats) {
+    std::cout << "\n";
+    WritePrometheusStats(std::cout, report->counters);
+  }
+
+  if (recorder.has_value()) {
+    std::ofstream out(trace_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "trace: cannot open '" << trace_path
+                << "' for writing\n";
+      return 1;
+    }
+    recorder->WriteChromeTrace(out);
+    if (!out.flush()) {
+      std::cerr << "trace: write to '" << trace_path << "' failed\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << recorder->events_recorded()
+              << " trace events to " << trace_path;
+    if (recorder->events_dropped() > 0) {
+      std::cout << " (" << recorder->events_dropped()
+                << " dropped: ring overflow)";
+    }
+    std::cout << "\n";
+  }
 
   if (!report->feasible) {
     std::cerr << "solver did not find a "

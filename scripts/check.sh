@@ -76,6 +76,23 @@ run_registry_smoke() {
     echo "registry smoke (${build_dir}): ${solver}"
     "${tool}" solve "${tmp}/smoke.sscb1" "${solver}" threads=2 >/dev/null
   done < <("${tool}" solvers --names)
+  # Traced solve through the same CLI surface: arms a TraceRecorder
+  # (--trace/--stats), then proves the chrome-trace sidecar is loadable
+  # JSON with at least one complete span. Under the sanitizer lanes this
+  # runs the whole emit/merge/export pipeline instrumented.
+  echo "registry smoke (${build_dir}): traced assadi solve"
+  "${tool}" solve "${tmp}/smoke.sscb1" assadi alpha=2 threads=2 \
+    --trace="${tmp}/trace.json" --stats >/dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${tmp}/trace.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    trace = json.load(fh)
+events = trace["traceEvents"]
+assert any(e.get("ph") == "X" for e in events), "no complete spans"
+print(f"registry smoke: trace ok ({len(events)} events)")
+PYEOF
+  fi
 }
 
 # Project-invariant linter: cheap, dependency-free, runs on every
@@ -99,6 +116,10 @@ if [[ "${TIER1:-1}" == "1" ]]; then
   # repeated here so the memory-model guarantee fails loudly under its
   # own name.
   ctest --test-dir "${BUILD_DIR}" -L 'alloc' --output-on-failure -j "${JOBS}"
+  # Observability slice, named: trace-ring overflow policy, counter-merge
+  # determinism, chrome-trace parse-back, Prometheus export shape, and
+  # the traced halves of the alloc/conformance proofs (ctest -L obs).
+  ctest --test-dir "${BUILD_DIR}" -L 'obs' --output-on-failure -j "${JOBS}"
   run_registry_smoke "${BUILD_DIR}"
 fi
 

@@ -35,6 +35,12 @@ arena-ptr     No non-owning `MonotonicArena*` members in the solver
               reusable solver to one run's memory lifetime. (SolveSession
               *owns* its arena via unique_ptr, which the rule does not
               match.)
+chrono        No direct `std::chrono` (or `#include <chrono>`) in src/
+              outside util/ and obs/: wall-clock timing flows through
+              util/stopwatch.h (Stopwatch) or obs/trace.h
+              (TraceRecorder::NowNs). A direct clock read bypasses the
+              trace/export pipeline and scatters clock choices
+              (steady vs system) across layers.
 
 Usage
 -----
@@ -55,8 +61,9 @@ import sys
 # use instance, a core file may include instance headers directly.
 LAYER_DEPS = {
     "util": set(),
+    "obs": {"util"},
     "instance": {"util"},
-    "stream": {"instance", "util"},
+    "stream": {"obs", "instance", "util"},
     "storage": {"stream", "instance", "util"},
     "offline": {"instance", "util"},
     "core": {"offline", "stream", "instance", "util"},
@@ -82,6 +89,12 @@ ENGINE_PTR_RE = re.compile(
     r"ParallelPassEngine\s*\*\s*[A-Za-z_]\w*\s*(?:=|;|\{)")
 ARENA_PTR_RE = re.compile(
     r"MonotonicArena\s*\*\s*[A-Za-z_]\w*\s*(?:=|;|\{)")
+CHRONO_INCLUDE_RE = re.compile(r"^\s*#\s*include\s+<chrono>")
+CHRONO_RE = re.compile(r"std\s*::\s*chrono")
+
+# Layers that may touch std::chrono directly: util/ owns Stopwatch, obs/
+# owns TraceRecorder's clock. Everything else must time through those.
+CHRONO_EXEMPT_LAYERS = {"util", "obs"}
 
 
 def transitive_closure(deps: dict[str, set[str]]) -> dict[str, set[str]]:
@@ -214,6 +227,15 @@ def lint_file(path: pathlib.Path, layer: str,
                 "MonotonicArena* member/variable in a solver layer — "
                 "arenas bind per run via RunContext (or per call via an "
                 "allocator argument), never stored in configs"))
+        if (layer not in CHRONO_EXEMPT_LAYERS
+                and (CHRONO_INCLUDE_RE.match(line)
+                     or CHRONO_RE.search(line))):
+            violations.append(Violation(
+                rel, lineno, "chrono",
+                "direct std::chrono outside util//obs/ — time through "
+                "util/stopwatch.h (Stopwatch) or obs/trace.h "
+                "(TraceRecorder::NowNs) so clock choice and trace export "
+                "stay centralized"))
     return violations
 
 
@@ -247,7 +269,7 @@ def main() -> int:
 
     if args.list_rules:
         for rule in ("layer-dag", "raw-assert", "determinism", "engine-ptr",
-                     "arena-ptr"):
+                     "arena-ptr", "chrono"):
             print(rule)
         return 0
 

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "instance/set_system.h"
+#include "obs/counters.h"
 #include "stream/engine_context.h"
 #include "util/space_meter.h"
 
@@ -27,6 +29,20 @@ enum class SolverKind {
 
 /// Stable display name for a SolverKind.
 const char* SolverKindName(SolverKind kind);
+
+/// One engine pass as the trace recorder saw it: name, wall time, and the
+/// deterministic work counters scoped to that pass. Assembled by
+/// SolveSession from the run's kPass spans when a TraceRecorder is bound
+/// (empty otherwise — the breakdown is an observability product, not part
+/// of the deterministic result surface).
+struct PassBreakdownRow {
+  std::string name;          ///< Pass primitive ("threshold", "subtract"...).
+  double wall_seconds = 0.0; ///< Span duration.
+  std::uint64_t items_scanned = 0;     ///< Items visited by the pass.
+  std::uint64_t shard_jobs = 0;        ///< Engine jobs the pass posted.
+  std::uint64_t sets_taken = 0;        ///< Takes committed during the pass.
+  std::uint64_t elements_covered = 0;  ///< Marginal gain committed.
+};
 
 /// Uniform outcome of one registry-driven run. Everything except
 /// wall_seconds is deterministic: bit-identical across thread counts and
@@ -55,6 +71,17 @@ struct SolveReport {
                                ///< logical peak_space_bytes.
   Bytes arena_reserved = 0;    ///< Chunk capacity the run arena owns
                                ///< (warm footprint kept across runs).
+
+  /// Full interned-counter snapshot of the run (obs/counters.h): the
+  /// engine.* counters the solver accumulated plus session-stamped arena
+  /// gauges. Supersedes the scalar `stats` view for anything that wants
+  /// every counter, not just the well-known ones.
+  CounterSet counters;
+
+  /// Per-pass timing/counter breakdown, in pass order. Filled only when
+  /// the session ran with a bound TraceRecorder (see
+  /// SolveSession::BindTrace); empty otherwise.
+  std::vector<PassBreakdownRow> pass_breakdown;
 };
 
 }  // namespace streamsc

@@ -1,9 +1,11 @@
 #include "api/solve_session.h"
 
+#include <string_view>
 #include <utility>
 
 #include "api/solver_registry.h"
 #include "instance/serialization.h"
+#include "obs/trace.h"
 #include "storage/mmap_set_stream.h"
 #include "stream/engine_context.h"
 #include "stream/stream_adapters.h"
@@ -28,6 +30,38 @@ void SplitArgs(const std::vector<std::string>& args,
     }
     (is_session ? session_args : solver_args)->push_back(arg);
   }
+}
+
+// Projects the run's kPass spans (engine_context.h PassScope emissions)
+// into the report's breakdown rows, in pass order. Quiesced-only read:
+// called after the run returned and the engine's traced rendezvous
+// guaranteed every worker retired its spans. \p since_ns scopes the
+// projection to this run when the caller accumulates several runs into
+// one recorder.
+void FillPassBreakdown(const TraceRecorder& trace, std::int64_t since_ns,
+                       SolveReport* report) {
+  report->pass_breakdown.clear();
+  trace.ForEachEvent([&](const TraceEvent& event) {
+    if (event.category != TraceCategory::kPass) return;
+    if (event.start_ns < since_ns) return;
+    PassBreakdownRow row;
+    row.name = event.name;
+    row.wall_seconds = static_cast<double>(event.dur_ns) * 1e-9;
+    for (unsigned char i = 0; i < event.num_args; ++i) {
+      const std::string_view key = event.arg_names[i];
+      const std::uint64_t value = event.arg_values[i];
+      if (key == "items") {
+        row.items_scanned = value;
+      } else if (key == "shards") {
+        row.shard_jobs = value;
+      } else if (key == "takes") {
+        row.sets_taken = value;
+      } else if (key == "covered") {
+        row.elements_covered = value;
+      }
+    }
+    report->pass_breakdown.push_back(std::move(row));
+  });
 }
 
 }  // namespace
@@ -156,9 +190,17 @@ StatusOr<SolveReport> SolveSession::Solve(
   RunContext context;
   context.engine = engine.get();
   context.arena = run_arena_.get();
+  context.trace = trace_;
+
+  // Scopes the breakdown below to this run when the caller accumulates
+  // several solves into one recorder.
+  const std::int64_t run_start_ns =
+      trace_ != nullptr ? TraceRecorder::NowNs() : 0;
 
   StatusOr<SolveReport> report = Status::Internal("solve did not run");
   try {
+    const TraceSpan session_span(trace_, TraceCategory::kSession,
+                                 "session.solve");
     report = (*created)->Run(*stream_, context);
   } catch (const ArenaBudgetExceeded& e) {
     // Budget throws happen only on the orchestrator thread, outside any
@@ -181,6 +223,15 @@ StatusOr<SolveReport> SolveSession::Solve(
   report->threads = threads;
   report->arena_high_water = run_arena_->high_water();
   report->arena_reserved = run_arena_->bytes_reserved();
+  // The arena peaks ride in the counter snapshot too, so a stats export
+  // (obs/stats_sink.h) sees physical memory next to the engine counters.
+  report->counters.RecordMax(CounterId::Gauge("arena.high_water_bytes"),
+                             run_arena_->high_water());
+  report->counters.RecordMax(CounterId::Gauge("arena.reserved_bytes"),
+                             run_arena_->bytes_reserved());
+  if (trace_ != nullptr) {
+    FillPassBreakdown(*trace_, run_start_ns, &*report);
+  }
   return report;
 }
 

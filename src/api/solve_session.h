@@ -47,6 +47,7 @@
 namespace streamsc {
 
 class FileSetStream;
+class TraceRecorder;
 
 /// One instance source plus the machinery to run any registered solver
 /// over it. Movable; not copyable.
@@ -89,6 +90,14 @@ class SolveSession {
   StatusOr<SolveReport> Solve(const std::string& solver,
                               const std::vector<std::string>& args);
 
+  /// Binds a span recorder (obs/trace.h) for every subsequent Solve():
+  /// the run emits session/solver/pass/shard spans into it, and the
+  /// report gains a per-pass breakdown assembled from the recorder after
+  /// the run quiesces. Borrowed — must outlive the session's runs; null
+  /// detaches. Tracing never changes results (solutions are byte-
+  /// identical with the recorder on or off), it only arms observability.
+  void BindTrace(TraceRecorder* recorder) { trace_ = recorder; }
+
   Source source() const { return source_; }
 
   /// "memory", "file", "mmap" (or "none").
@@ -114,6 +123,8 @@ class SolveSession {
   // errors surface through status() after the run, so Solve() must be
   // able to read it without downcasting.
   FileSetStream* file_stream_ = nullptr;
+  // Optional span recorder bound via BindTrace(); borrowed, never owned.
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace streamsc

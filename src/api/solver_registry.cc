@@ -11,6 +11,7 @@
 #include "core/one_pass_set_cover.h"
 #include "core/pair_finder.h"
 #include "core/threshold_greedy.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace streamsc {
@@ -33,6 +34,8 @@ void FillBase(const std::string& solver, SolverKind kind,
   report->feasible = false;
   report->extra = 0;
   report->stats = {};
+  report->counters.Clear();
+  report->pass_breakdown.clear();
 }
 
 // The one mapping from the per-family StreamRunStats shape to the
@@ -47,6 +50,7 @@ void FillFromRunStats(const StreamRunStats& stats, SolveReport* report) {
   report->stats.sets_taken = stats.sets_taken;
   report->stats.elements_covered = stats.elements_covered;
   report->wall_seconds = stats.wall_seconds;
+  report->counters = stats.counters;
 }
 
 /// Wraps a StreamingSetCoverAlgorithm as an AnySolver.
@@ -70,7 +74,14 @@ class SetCoverAnySolver : public AnySolver {
       const Status status = validate_(stream);
       if (!status.ok()) return status;
     }
-    const SetCoverRunResult r = algorithm_->Run(stream, context);
+    SetCoverRunResult r;
+    {
+      // The solver span brackets the run only (not the report fill), so
+      // it has retired before any post-run merge of the recorder.
+      const TraceSpan span(context.trace, TraceCategory::kSolver,
+                           solver_.c_str());
+      r = algorithm_->Run(stream, context);
+    }
     FillBase(solver_, SolverKind::kSetCover, name_, report);
     report->solution = r.solution;
     report->feasible = r.feasible;
@@ -104,7 +115,12 @@ class MaxCoverageAnySolver : public AnySolver {
 
   Status RunInto(SetStream& stream, const RunContext& context,
                  SolveReport* report) override {
-    const MaxCoverageRunResult r = algorithm_->Run(stream, k_, context);
+    MaxCoverageRunResult r;
+    {
+      const TraceSpan span(context.trace, TraceCategory::kSolver,
+                           solver_.c_str());
+      r = algorithm_->Run(stream, k_, context);
+    }
     FillBase(solver_, SolverKind::kMaxCoverage, name_, report);
     report->solution = r.solution;
     report->feasible = !r.solution.chosen.empty();
@@ -135,13 +151,19 @@ class PairFinderAnySolver : public AnySolver {
   Status RunInto(SetStream& stream, const RunContext& context,
                  SolveReport* report) override {
     Stopwatch timer;
-    const PairFinderResult r = finder_.Run(stream, context);
+    PairFinderResult r;
+    {
+      const TraceSpan span(context.trace, TraceCategory::kSolver,
+                           solver_.c_str());
+      r = finder_.Run(stream, context);
+    }
     FillBase(solver_, SolverKind::kPairFinder, name_, report);
     report->solution = r.solution;
     report->feasible = r.found;
     report->passes = r.passes;
     report->peak_space_bytes = r.peak_space_bytes;
     report->stats = r.engine_stats;
+    report->counters = r.counters;
     report->extra = r.candidates_after_first_pass;
     report->wall_seconds = timer.ElapsedSeconds();
     return Status::Ok();

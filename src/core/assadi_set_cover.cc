@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/sampling.h"
+#include "obs/trace.h"
 #include "offline/exact_set_cover.h"
 #include "offline/greedy.h"
 #include "stream/engine_context.h"
@@ -72,7 +73,10 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
       static_cast<double>(n) /
       (config_.epsilon * static_cast<double>(std::max<std::size_t>(
                              opt_guess, 1)));
-  ctx.ThresholdPass(prune_threshold, uncovered, take);
+  {
+    const TraceSpan phase(ctx.trace(), TraceCategory::kPhase, "prune");
+    ctx.ThresholdPass(prune_threshold, uncovered, take);
+  }
 
   // --- α iterations of sample / store / solve / subtract. ----------------
   const double rho = 1.0 / NthRoot(static_cast<double>(n), alpha);
@@ -89,6 +93,8 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
     // it, which would free anything the commit callbacks had kept there.)
     const ArenaCheckpoint iteration_checkpoint(ThreadTableArena());
     const auto table = ArenaAllocator<SetId>::Table();
+    TraceSpan iteration_span(ctx.trace(), TraceCategory::kPhase, "iteration");
+    iteration_span.AddArg("iter", iter);
 
     // (a) Sample U_smpl from the still-uncovered universe.
     const DynamicBitset sampled =
@@ -124,6 +130,10 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
     // The local ids land on the run arena (the exact solver brackets the
     // table arena internally, so its result must live elsewhere).
     ArenaVector<SetId> chosen_local(ctx.alloc<SetId>());
+    // Manual span: the sub-solve ends mid-scope (before the subtract
+    // pass), so an RAII span would swallow the rest of the iteration.
+    const std::int64_t subsolve_start =
+        ctx.trace() != nullptr ? TraceRecorder::NowNs() : 0;
     if (config_.use_exact_subsolver) {
       ExactSetCoverOptions exact_options;
       exact_options.max_nodes = config_.exact_node_budget;
@@ -157,6 +167,11 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
       } else {
         guess_ok = false;
       }
+    }
+
+    if (ctx.trace() != nullptr) {
+      ctx.trace()->Emit(TraceCategory::kPhase, "subsolve", subsolve_start,
+                        TraceRecorder::NowNs() - subsolve_start);
     }
 
     // Stored projections are dropped once the sub-instance is solved.
@@ -198,6 +213,7 @@ AssadiGuessResult AssadiSetCover::RunWithGuess(SetStream& stream,
   result.passes = stream.passes() - passes_before;
   result.peak_space_bytes = meter.peak();
   result.engine_stats = ctx.stats();
+  result.counters = ctx.counters();
   return result;
 }
 
@@ -213,10 +229,13 @@ SetCoverRunResult AssadiSetCover::Run(SetStream& stream,
   EnginePassStats totals;
 
   auto try_guess = [&](std::size_t guess) -> bool {
+    TraceSpan guess_span(context.trace, TraceCategory::kPhase, "guess");
+    guess_span.AddArg("opt_guess", guess);
     AssadiGuessResult r = RunWithGuess(stream, guess, rng, context);
     peak = std::max(peak, r.peak_space_bytes);
     totals.sets_taken += r.engine_stats.sets_taken;
     totals.elements_covered += r.engine_stats.elements_covered;
+    out.stats.counters.MergeFrom(r.counters);
     if (r.feasible && r.within_budget) {
       // Keep the smallest solution across successful guesses.
       if (out.solution.empty() ||

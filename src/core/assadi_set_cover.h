@@ -60,6 +60,7 @@ struct AssadiGuessResult {
   Bytes peak_space_bytes = 0;
   std::uint64_t residual_after_iterations = 0;  ///< |U| left before cleanup.
   EnginePassStats engine_stats;  ///< Deterministic per-guess pass counters.
+  CounterSet counters;           ///< Full per-guess counter snapshot.
 };
 
 /// Algorithm 1 with the geometric-guess driver.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/sampling.h"
+#include "obs/trace.h"
 #include "offline/greedy.h"
 #include "stream/engine_context.h"
 #include "util/check.h"
@@ -69,6 +70,8 @@ SetCoverRunResult DemaineSetCover::RunWithGuess(
   const std::size_t max_phases = config_.alpha;
   for (std::size_t phase = 0; phase < max_phases; ++phase) {
     if (uncovered.None()) break;
+    TraceSpan phase_span(ctx.trace(), TraceCategory::kPhase, "phase");
+    phase_span.AddArg("phase", phase);
     const double residual = static_cast<double>(uncovered.CountSet());
     const double rate = std::clamp(target / residual, 1e-12, 1.0);
 
@@ -98,7 +101,14 @@ SetCoverRunResult DemaineSetCover::RunWithGuess(
 
     // DIMV'14 covers the sample with greedy — the multiplicative loss per
     // phase is where the 4^{1/delta} approximation factor comes from.
+    const std::int64_t subsolve_start =
+        ctx.trace() != nullptr ? TraceRecorder::NowNs() : 0;
     const Solution local = GreedySetCover(projections, table);
+    if (ctx.trace() != nullptr) {
+      ctx.trace()->Emit(TraceCategory::kPhase, "greedy_subsolve",
+                        subsolve_start,
+                        TraceRecorder::NowNs() - subsolve_start);
+    }
     meter.Release(meter.CategoryCurrent(kProjectionsCat), kProjectionsCat);
 
     ArenaVector<SetId> chosen_global(table);
@@ -128,6 +138,7 @@ SetCoverRunResult DemaineSetCover::RunWithGuess(
   result.stats.sets_taken = ctx.stats().sets_taken;
   result.stats.elements_covered = ctx.stats().elements_covered;
   result.stats.wall_seconds = timer.ElapsedSeconds();
+  result.stats.counters = ctx.counters();
   return result;
 }
 
@@ -141,10 +152,13 @@ SetCoverRunResult DemaineSetCover::Run(SetStream& stream,
   EnginePassStats totals;
 
   auto try_guess = [&](std::size_t guess) {
+    TraceSpan guess_span(context.trace, TraceCategory::kPhase, "guess");
+    guess_span.AddArg("opt_guess", guess);
     SetCoverRunResult r = RunWithGuess(stream, guess, rng, context);
     peak = std::max(peak, r.stats.peak_space_bytes);
     totals.sets_taken += r.stats.sets_taken;
     totals.elements_covered += r.stats.elements_covered;
+    out.stats.counters.MergeFrom(r.stats.counters);
     const double budget = static_cast<double>(config_.alpha) *
                           static_cast<double>(guess);
     if (r.feasible && static_cast<double>(r.solution.size()) <= budget) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "stream/engine_context.h"
 #include "util/arena.h"
 #include "util/check.h"
@@ -69,6 +70,8 @@ SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream,
   // threshold take (eligible for the snapshot filter); the witness writes
   // happen in the in-order commit, so the witness array evolves exactly
   // as in the sequential loop.
+  const std::int64_t scan_start =
+      ctx.trace() != nullptr ? TraceRecorder::NowNs() : 0;
   ctx.GainScanPass(uncovered, [&](const StreamItem& item, Count bound,
                                   bool bound_is_exact) {
     if (bound >= theta) {
@@ -91,9 +94,15 @@ SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream,
     });
   });
 
+  if (ctx.trace() != nullptr) {
+    ctx.trace()->Emit(TraceCategory::kPhase, "witness_scan", scan_start,
+                      TraceRecorder::NowNs() - scan_start);
+  }
+
   // End of pass: close the cover with the witnesses of the survivors.
   // The leftover list is transient (consumed before the rewind): scratch.
   {
+    const TraceSpan phase(ctx.trace(), TraceCategory::kPhase, "closeout");
     MonotonicArena& scratch = ThreadScratchArena();
     const ArenaCheckpoint leftovers_checkpoint(scratch);
     ArenaVector<SetId> leftovers{ArenaAllocator<SetId>(&scratch)};
@@ -123,6 +132,7 @@ SetCoverRunResult EmekRosenSetCover::Run(SetStream& stream,
   result.stats.sets_taken = ctx.stats().sets_taken;
   result.stats.elements_covered = ctx.stats().elements_covered;
   result.stats.wall_seconds = timer.ElapsedSeconds();
+  result.stats.counters = ctx.counters();
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/sampling.h"
+#include "obs/trace.h"
 #include "offline/exact_set_cover.h"
 #include "offline/greedy.h"
 #include "stream/engine_context.h"
@@ -65,12 +66,17 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(
   bool guess_ok = true;
   for (std::size_t iter = 0; iter < iterations && guess_ok; ++iter) {
     if (uncovered.None()) break;
+    TraceSpan iteration_span(ctx.trace(), TraceCategory::kPhase, "iteration");
+    iteration_span.AddArg("iter", iter);
 
     // 1. Iterative pruning pass (per-iteration, threshold |U|/(2·õpt)).
     const double threshold =
         static_cast<double>(uncovered.CountSet()) /
         (2.0 * static_cast<double>(std::max<std::size_t>(opt_guess, 1)));
-    ctx.ThresholdPass(threshold, uncovered, take);
+    {
+      const TraceSpan phase(ctx.trace(), TraceCategory::kPhase, "prune");
+      ctx.ThresholdPass(threshold, uncovered, take);
+    }
     if (uncovered.None()) break;
 
     // 2. Sampling pass with the looser rate (ρ = n^{-2/α}). The sample,
@@ -101,7 +107,10 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(
           projection_ids.push_back(it.id);
         });
 
-    // 3. Optimal sub-solve + subtraction pass.
+    // 3. Optimal sub-solve + subtraction pass. (Manual span: the
+    // sub-solve ends mid-scope, before the subtract pass.)
+    const std::int64_t subsolve_start =
+        ctx.trace() != nullptr ? TraceRecorder::NowNs() : 0;
     ExactSetCoverOptions exact_options;
     exact_options.max_nodes = config_.exact_node_budget;
     exact_options.size_limit = opt_guess;
@@ -122,6 +131,10 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(
       }
     } else {
       guess_ok = false;
+    }
+    if (ctx.trace() != nullptr) {
+      ctx.trace()->Emit(TraceCategory::kPhase, "subsolve", subsolve_start,
+                        TraceRecorder::NowNs() - subsolve_start);
     }
     meter.Release(meter.CategoryCurrent(kProjectionsCat), kProjectionsCat);
     if (!guess_ok) break;
@@ -151,6 +164,7 @@ SetCoverRunResult HarPeledSetCover::RunWithGuess(
   result.stats.sets_taken = ctx.stats().sets_taken;
   result.stats.elements_covered = ctx.stats().elements_covered;
   result.stats.wall_seconds = timer.ElapsedSeconds();
+  result.stats.counters = ctx.counters();
   return result;
 }
 
@@ -164,10 +178,13 @@ SetCoverRunResult HarPeledSetCover::Run(SetStream& stream,
   EnginePassStats totals;
 
   auto try_guess = [&](std::size_t guess) {
+    TraceSpan guess_span(context.trace, TraceCategory::kPhase, "guess");
+    guess_span.AddArg("opt_guess", guess);
     SetCoverRunResult r = RunWithGuess(stream, guess, rng, context);
     peak = std::max(peak, r.stats.peak_space_bytes);
     totals.sets_taken += r.stats.sets_taken;
     totals.elements_covered += r.stats.elements_covered;
+    out.stats.counters.MergeFrom(r.stats.counters);
     const double budget = (static_cast<double>(config_.alpha) + 1.0) *
                           static_cast<double>(guess);
     if (r.feasible && static_cast<double>(r.solution.size()) <= budget) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/sampling.h"
+#include "obs/trace.h"
 #include "offline/exact_max_coverage.h"
 #include "offline/greedy.h"
 #include "stream/engine_context.h"
@@ -88,6 +89,8 @@ MaxCoverageRunResult ElementSamplingMaxCoverage::Run(
   // the thread's table arena; its result lands on the run arena.
   Solution local(ctx.alloc<SetId>());
   {
+    const TraceSpan phase(ctx.trace(), TraceCategory::kPhase,
+                          "offline_solve");
     const ArenaCheckpoint solve_checkpoint(ThreadTableArena());
     const auto table = ArenaAllocator<SetId>::Table();
     if (k <= config_.exact_k_limit) {
@@ -114,7 +117,10 @@ MaxCoverageRunResult ElementSamplingMaxCoverage::Run(
   // One more pass to compute the *true* coverage of the returned sets
   // (verification; not charged against the sketch space).
   DynamicBitset covered(n, ctx.alloc<DynamicBitset::Word>());
-  ctx.UnionPass(result.solution.chosen, covered);
+  {
+    const TraceSpan phase(ctx.trace(), TraceCategory::kPhase, "verify");
+    ctx.UnionPass(result.solution.chosen, covered);
+  }
   result.coverage = covered.CountSet();
   ctx.RecordTakes(result.solution.size(), result.coverage);
 
@@ -124,6 +130,7 @@ MaxCoverageRunResult ElementSamplingMaxCoverage::Run(
   result.stats.sets_taken = ctx.stats().sets_taken;
   result.stats.elements_covered = ctx.stats().elements_covered;
   result.stats.wall_seconds = timer.ElapsedSeconds();
+  result.stats.counters = ctx.counters();
   return result;
 }
 
@@ -171,6 +178,8 @@ MaxCoverageRunResult SieveMaxCoverage::Run(SetStream& stream, std::size_t k,
   // Every guess is an independent lane: its take decisions depend only on
   // its own covered/chosen state and the item sequence, so the lanes can
   // be scanned in parallel without changing any of them.
+  const std::int64_t sieve_start =
+      ctx.trace() != nullptr ? TraceRecorder::NowNs() : 0;
   ctx.IndependentScanPass(
       candidates.size(), [&](std::size_t lane, const StreamItem& item) {
         Candidate& cand = candidates[lane];
@@ -185,6 +194,12 @@ MaxCoverageRunResult SieveMaxCoverage::Run(SetStream& stream, std::size_t k,
           item.set.OrInto(cand.covered);
         }
       });
+
+  if (ctx.trace() != nullptr) {
+    const TraceArg args[] = {{"lanes", candidates.size()}};
+    ctx.trace()->Emit(TraceCategory::kPhase, "sieve_scan", sieve_start,
+                      TraceRecorder::NowNs() - sieve_start, args, 1);
+  }
 
   // Return the best candidate by actual (full-universe) coverage; counters
   // aggregate over every lane (deterministic for any thread count, unlike
@@ -216,6 +231,7 @@ MaxCoverageRunResult SieveMaxCoverage::Run(SetStream& stream, std::size_t k,
   result.stats.sets_taken = ctx.stats().sets_taken;
   result.stats.elements_covered = ctx.stats().elements_covered;
   result.stats.wall_seconds = timer.ElapsedSeconds();
+  result.stats.counters = ctx.counters();
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "stream/engine_context.h"
 #include "util/check.h"
 #include "util/space_meter.h"
@@ -45,6 +46,7 @@ SetCoverRunResult OnePassSetCover::Run(SetStream& stream,
   // only the zero-gain part of the snapshot filter is sound here: a
   // positive stale bound says nothing (the bar may have dropped faster
   // than the gain), so every visited item re-evaluates its exact gain.
+  const TraceSpan phase(ctx.trace(), TraceCategory::kPhase, "scan");
   ctx.GainScanPass(uncovered, [&](const StreamItem& item, Count bound,
                                   bool bound_is_exact) {
     const Count gain = bound_is_exact ? bound : item.set.CountAnd(uncovered);
@@ -68,6 +70,7 @@ SetCoverRunResult OnePassSetCover::Run(SetStream& stream,
   result.stats.sets_taken = ctx.stats().sets_taken;
   result.stats.elements_covered = ctx.stats().elements_covered;
   result.stats.wall_seconds = timer.ElapsedSeconds();
+  result.stats.counters = ctx.counters();
   return result;
 }
 

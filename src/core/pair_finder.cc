@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/arena.h"
 #include "util/check.h"
 #include "util/space_meter.h"
@@ -99,6 +100,7 @@ PairFinderResult ExactPairFinder::Run(SetStream& stream,
       // pure facts about the projections), then appended in row order so
       // the candidate list — and the abort point when the cap trips — is
       // exactly the sequential one.
+      TraceSpan phase(ctx.trace(), TraceCategory::kPhase, "seed");
       constexpr std::size_t kRowBlock = 64;
       for (std::size_t row0 = 0; row0 < m && !aborted; row0 += kRowBlock) {
         const std::size_t rows = std::min(kRowBlock, m - row0);
@@ -135,10 +137,12 @@ PairFinderResult ExactPairFinder::Run(SetStream& stream,
       }
       seeded = true;
       result.candidates_after_first_pass = candidates.size();
+      phase.AddArg("candidates", candidates.size());
     } else {
       // Survivor filter: per-candidate verdicts in parallel, compaction
       // in order. Verdicts and the compacted list stage in the
       // orchestrator's scratch (workers only write verdict bytes).
+      const TraceSpan phase(ctx.trace(), TraceCategory::kPhase, "filter");
       MonotonicArena& scratch = ThreadScratchArena();
       const ArenaCheckpoint filter_checkpoint(scratch);
       ArenaVector<char> keep(candidates.size(), 0,
@@ -186,6 +190,7 @@ PairFinderResult ExactPairFinder::Run(SetStream& stream,
   result.passes = stream.passes() - passes_before;
   result.peak_space_bytes = meter.peak();
   result.engine_stats = ctx.stats();
+  result.counters = ctx.counters();
   return result;
 }
 

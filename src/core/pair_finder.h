@@ -42,6 +42,7 @@ struct PairFinderResult {
   Bytes peak_space_bytes = 0;
   std::uint64_t candidates_after_first_pass = 0;
   EnginePassStats engine_stats;  ///< Deterministic pass counters.
+  CounterSet counters;           ///< Full interned-counter snapshot.
 };
 
 /// Finds a 2-set cover exactly in `config.passes` passes.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "stream/engine_context.h"
 #include "util/check.h"
 #include "util/space_meter.h"
@@ -50,7 +51,13 @@ SetCoverRunResult ThresholdGreedySetCover::Run(SetStream& stream,
   // one pass each. A set is taken the moment its marginal gain meets the
   // current threshold, which emulates offline greedy within a factor β.
   double threshold = static_cast<double>(n);
+  std::uint64_t round = 0;
   while (!uncovered.None()) {
+    TraceSpan round_span(ctx.trace(), TraceCategory::kPhase,
+                         "threshold_round");
+    round_span.AddArg("round", round++);
+    round_span.AddArg("threshold",
+                      static_cast<std::uint64_t>(std::max(threshold, 1.0)));
     ctx.ThresholdPass(std::max(threshold, 1.0), uncovered, take);
     if (threshold <= 1.0) break;
     threshold /= config_.beta;
@@ -64,6 +71,7 @@ SetCoverRunResult ThresholdGreedySetCover::Run(SetStream& stream,
   result.stats.sets_taken = ctx.stats().sets_taken;
   result.stats.elements_covered = ctx.stats().elements_covered;
   result.stats.wall_seconds = timer.ElapsedSeconds();
+  result.stats.counters = ctx.counters();
   return result;
 }
 

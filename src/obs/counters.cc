@@ -1,0 +1,102 @@
+#include "obs/counters.h"
+
+#include <mutex>
+#include <string>
+
+#include "util/check.h"
+
+namespace streamsc {
+
+namespace {
+
+/// Process-wide intern table. Mirrors the SpaceCategory registry: a
+/// mutex-guarded fixed array of names, linear-scanned on intern (the
+/// table is tiny and interning is cold — hot paths hold a CounterId).
+struct CounterRegistry {
+  std::mutex mu;
+  std::array<std::string, kMaxCounters> names;
+  std::array<CounterKind, kMaxCounters> kinds;
+  std::size_t count = 0;
+};
+
+CounterRegistry& Registry() {
+  static CounterRegistry* registry = new CounterRegistry();
+  return *registry;
+}
+
+std::size_t Intern(std::string_view name, CounterKind kind) {
+  CounterRegistry& registry = Registry();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  for (std::size_t i = 0; i < registry.count; ++i) {
+    if (registry.names[i] == name) {
+      STREAMSC_CHECK(registry.kinds[i] == kind,
+                     "counter name re-interned under a different kind");
+      return i;
+    }
+  }
+  STREAMSC_CHECK(registry.count < kMaxCounters,
+                 "too many distinct counter names (kMaxCounters)");
+  registry.names[registry.count] = std::string(name);
+  registry.kinds[registry.count] = kind;
+  return registry.count++;
+}
+
+}  // namespace
+
+const char* CounterKindName(CounterKind kind) {
+  return kind == CounterKind::kCounter ? "counter" : "gauge";
+}
+
+CounterId CounterId::Counter(std::string_view name) {
+  return CounterId(Intern(name, CounterKind::kCounter));
+}
+
+CounterId CounterId::Gauge(std::string_view name) {
+  return CounterId(Intern(name, CounterKind::kGauge));
+}
+
+std::string_view CounterId::name() const {
+  // Registered names are immutable once interned; reading without the
+  // mutex is safe because index_ proves the entry was fully published.
+  return Registry().names[index_];
+}
+
+CounterKind CounterId::kind() const { return Registry().kinds[index_]; }
+
+void CounterSet::MergeFrom(const CounterSet& other) {
+  CounterRegistry& registry = Registry();
+  std::size_t count;
+  {
+    const std::lock_guard<std::mutex> lock(registry.mu);
+    count = registry.count;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (registry.kinds[i] == CounterKind::kCounter) {
+      values_[i] += other.values_[i];
+    } else if (other.values_[i] > values_[i]) {
+      values_[i] = other.values_[i];
+    }
+  }
+}
+
+bool CounterSet::Empty() const {
+  for (const std::uint64_t value : values_) {
+    if (value != 0) return false;
+  }
+  return true;
+}
+
+void CounterSet::ForEachNonZero(
+    FunctionRef<void(CounterId, CounterKind, std::uint64_t)> fn) const {
+  CounterRegistry& registry = Registry();
+  std::size_t count;
+  {
+    const std::lock_guard<std::mutex> lock(registry.mu);
+    count = registry.count;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (values_[i] != 0) fn(CounterId(i), registry.kinds[i], values_[i]);
+  }
+}
+
+}  // namespace streamsc

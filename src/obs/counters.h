@@ -1,0 +1,122 @@
+#ifndef STREAMSC_OBS_COUNTERS_H_
+#define STREAMSC_OBS_COUNTERS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "util/function_ref.h"
+
+/// \file counters.h
+/// String-interned counter registry: the single place pass/scan/shard/
+/// arena statistics live.
+///
+/// A CounterId resolves a name to a small process-wide index once (the
+/// same interning model as SpaceCategory: mutex + fixed name table, first
+/// intern may allocate, later interns just find the entry). After that,
+/// every update is an array index into a CounterSet's inline values — no
+/// hashing, no allocation, no locking on the hot path.
+///
+/// Two kinds exist:
+///  - kCounter: monotonic (Add); shards merge by summation.
+///  - kGauge:   high-water (RecordMax); shards merge by max.
+/// Interning the same name under both kinds is a registration bug and
+/// CHECK-fails, so a name's merge semantics are process-wide consistent.
+///
+/// Determinism contract: a CounterSet is plain data (an inline uint64
+/// array). Per-worker sets merged via MergeFrom produce identical totals
+/// for any merge order — summation and max are commutative and
+/// associative — which keeps the repo's bit-identical-for-any-thread-count
+/// guarantee intact when counters replace ad-hoc stats fields.
+
+namespace streamsc {
+
+/// Merge/export semantics of an interned counter name.
+enum class CounterKind : unsigned char {
+  kCounter = 0,  ///< Monotonic; merged by summation.
+  kGauge = 1,    ///< High-water; merged by max.
+};
+
+/// Printable name of a counter kind ("counter" / "gauge").
+const char* CounterKindName(CounterKind kind);
+
+/// Hard cap on distinct counter names per process. Counters are
+/// hand-written labels, not data-driven: a handful per layer.
+inline constexpr std::size_t kMaxCounters = 64;
+
+/// An interned counter handle: name -> stable small index, resolved once.
+/// Copyable, trivially passable by value. CHECK-fails past kMaxCounters
+/// distinct names or when a name is re-interned under the other kind.
+class CounterId {
+ public:
+  /// Interns \p name as a monotonic counter.
+  static CounterId Counter(std::string_view name);
+
+  /// Interns \p name as a high-water gauge.
+  static CounterId Gauge(std::string_view name);
+
+  /// The stable per-process index of this counter.
+  std::size_t index() const { return index_; }
+
+  /// The interned name (points into the process-wide registry).
+  std::string_view name() const;
+
+  /// The merge kind this name was registered under.
+  CounterKind kind() const;
+
+  friend bool operator==(CounterId a, CounterId b) {
+    return a.index_ == b.index_;
+  }
+  friend bool operator!=(CounterId a, CounterId b) { return !(a == b); }
+
+ private:
+  friend class CounterSet;
+
+  explicit CounterId(std::size_t index) : index_(index) {}
+
+  std::size_t index_;
+};
+
+/// One shard of counter values: an inline array indexed by interned id.
+/// Trivially copyable, allocation-free, not thread-safe (one set per
+/// worker / per run; merge after the workers quiesce).
+class CounterSet {
+ public:
+  /// Adds \p delta to a monotonic counter.
+  void Add(CounterId id, std::uint64_t delta) {
+    values_[id.index()] += delta;
+  }
+
+  /// Raises a high-water gauge to at least \p value.
+  void RecordMax(CounterId id, std::uint64_t value) {
+    if (value > values_[id.index()]) values_[id.index()] = value;
+  }
+
+  /// Current value of one counter (0 if never touched).
+  std::uint64_t value(CounterId id) const { return values_[id.index()]; }
+
+  /// Deterministic shard merge: counters sum, gauges max. The result is
+  /// independent of merge order and of how work was split across shards
+  /// for every counter whose per-shard totals are themselves
+  /// deterministic.
+  void MergeFrom(const CounterSet& other);
+
+  /// Zeroes every value (interned names are unaffected).
+  void Clear() { values_.fill(0); }
+
+  /// True when every value is zero.
+  bool Empty() const;
+
+  /// Visits the non-zero values in interned-index order (stable within a
+  /// process run).
+  void ForEachNonZero(
+      FunctionRef<void(CounterId, CounterKind, std::uint64_t)> fn) const;
+
+ private:
+  std::array<std::uint64_t, kMaxCounters> values_{};
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_OBS_COUNTERS_H_

@@ -1,0 +1,124 @@
+#ifndef STREAMSC_OBS_HISTOGRAM_H_
+#define STREAMSC_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+/// \file histogram.h
+/// HdrHistogram-style fixed-bucket latency histogram.
+///
+/// Log-linear bucketing: values below 2^kSubBits land in exact unit
+/// buckets; above that, each power-of-two octave is split into
+/// 2^(kSubBits-1) linear sub-buckets, giving a bounded relative error of
+/// 2^-(kSubBits-1) (~6% at kSubBits=5) across the full uint64 range.
+/// Everything is inline storage: Record is an index computation plus one
+/// increment — no allocation, ready for the solve daemon's per-request
+/// p50/p99 tracking.
+
+namespace streamsc {
+
+/// Fixed-bucket value histogram (latencies in ns, sizes in bytes, ...).
+/// Trivially copyable; not thread-safe (one per worker, Merge after).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kSubBits = 5;
+  static constexpr std::size_t kHalfCount = std::size_t{1}
+                                            << (kSubBits - 1);
+  /// Max exponent for 64-bit values is 64 - kSubBits; one extra row
+  /// rounds the table up.
+  static constexpr std::size_t kBucketCount = (64 - kSubBits + 2)
+                                              << (kSubBits - 1);
+
+  /// Adds one observation.
+  void Record(std::uint64_t value) {
+    ++buckets_[BucketIndex(value)];
+    ++count_;
+    if (value > max_) max_ = value;
+    if (count_ == 1 || value < min_) min_ = value;
+    sum_ += value;
+  }
+
+  /// Observations recorded since construction / Clear.
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t sum() const { return sum_; }
+
+  /// The value at-or-below which \p percentile (in [0,100]) of the
+  /// observations fall; reported as the containing bucket's inclusive
+  /// upper bound (HdrHistogram's "highest equivalent value"), clamped to
+  /// the observed max. Returns 0 on an empty histogram.
+  std::uint64_t ValueAtPercentile(double percentile) const {
+    if (count_ == 0) return 0;
+    if (percentile < 0.0) percentile = 0.0;
+    if (percentile > 100.0) percentile = 100.0;
+    // Rank of the target observation, 1-based, rounded up.
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(percentile * 0.01 *
+                                   static_cast<double>(count_) +
+                                   0.5);
+    if (rank < 1) rank = 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) {
+        const std::uint64_t high = BucketHigh(i);
+        return high < max_ ? high : max_;
+      }
+    }
+    return max_;
+  }
+
+  /// Adds another histogram's observations into this one.
+  void Merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    if (other.count_ > 0) {
+      if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+      count_ += other.count_;
+      sum_ += other.sum_;
+    }
+  }
+
+  /// Forgets all observations.
+  void Clear() { *this = LatencyHistogram(); }
+
+  /// Bucket index for \p value (exposed for tests).
+  static std::size_t BucketIndex(std::uint64_t value) {
+    const int width = std::bit_width(value);
+    if (width <= static_cast<int>(kSubBits)) {
+      return static_cast<std::size_t>(value);
+    }
+    const int exponent = width - static_cast<int>(kSubBits);
+    // The top kSubBits bits of value, in [kHalfCount, 2*kHalfCount).
+    const std::uint64_t sub = value >> exponent;
+    return static_cast<std::size_t>(exponent) * kHalfCount +
+           static_cast<std::size_t>(sub);
+  }
+
+  /// Inclusive upper bound of bucket \p index (exposed for tests).
+  static std::uint64_t BucketHigh(std::size_t index) {
+    if (index < (std::size_t{1} << kSubBits)) {
+      return static_cast<std::uint64_t>(index);
+    }
+    const std::size_t exponent = index / kHalfCount - 1;
+    const std::uint64_t sub = index - exponent * kHalfCount;
+    return ((sub + 1) << exponent) - 1;
+  }
+
+ private:
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_OBS_HISTOGRAM_H_

@@ -1,0 +1,52 @@
+#include "obs/stats_sink.h"
+
+#include <ostream>
+#include <string>
+
+namespace streamsc {
+
+namespace {
+
+/// Maps an interned dotted label onto the Prometheus metric charset
+/// [a-zA-Z0-9_:]; anything else becomes '_'.
+std::string Sanitize(std::string_view prefix, std::string_view name) {
+  std::string result;
+  result.reserve(prefix.size() + 1 + name.size());
+  result.append(prefix);
+  result.push_back('_');
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    result.push_back(ok ? c : '_');
+  }
+  return result;
+}
+
+}  // namespace
+
+void WritePrometheusStats(std::ostream& out, const CounterSet& counters,
+                          std::string_view prefix) {
+  counters.ForEachNonZero(
+      [&](CounterId id, CounterKind kind, std::uint64_t value) {
+        const std::string metric = Sanitize(prefix, id.name());
+        out << "# TYPE " << metric << ' ' << CounterKindName(kind) << '\n'
+            << metric << ' ' << value << '\n';
+      });
+}
+
+void WritePrometheusHistogram(std::ostream& out,
+                              const LatencyHistogram& histogram,
+                              std::string_view name,
+                              std::string_view prefix) {
+  const std::string metric = Sanitize(prefix, name);
+  out << "# TYPE " << metric << " summary\n";
+  constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
+  for (const double q : kQuantiles) {
+    out << metric << "{quantile=\"" << q << "\"} "
+        << histogram.ValueAtPercentile(q * 100.0) << '\n';
+  }
+  out << metric << "_sum " << histogram.sum() << '\n'
+      << metric << "_count " << histogram.count() << '\n';
+}
+
+}  // namespace streamsc

@@ -1,0 +1,38 @@
+#ifndef STREAMSC_OBS_STATS_SINK_H_
+#define STREAMSC_OBS_STATS_SINK_H_
+
+#include <iosfwd>
+#include <string_view>
+
+#include "obs/counters.h"
+#include "obs/histogram.h"
+
+/// \file stats_sink.h
+/// Text export of counters and histograms in the Prometheus exposition
+/// format (text/plain; version 0.0.4) — the service-stats surface the
+/// solve daemon will serve from its /metrics endpoint.
+///
+/// Counter names are interned dotted labels ("engine.items_scanned");
+/// the sink sanitizes them to the Prometheus charset (dots and dashes
+/// become underscores) and prefixes them with the exporter name:
+///   streamsc_engine_items_scanned 123456
+/// Monotonic counters export as TYPE counter, high-water gauges as TYPE
+/// gauge. Histograms export as TYPE summary with p50/p90/p99 quantiles
+/// plus _sum and _count.
+
+namespace streamsc {
+
+/// Writes every non-zero counter of \p counters, prefixed by \p prefix.
+void WritePrometheusStats(std::ostream& out, const CounterSet& counters,
+                          std::string_view prefix = "streamsc");
+
+/// Writes \p histogram as a Prometheus summary named
+/// "<prefix>_<name>" with p50/p90/p99 quantiles, _sum and _count.
+void WritePrometheusHistogram(std::ostream& out,
+                              const LatencyHistogram& histogram,
+                              std::string_view name,
+                              std::string_view prefix = "streamsc");
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_OBS_STATS_SINK_H_

@@ -1,0 +1,281 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace streamsc {
+
+namespace {
+
+/// Process-unique id per OS thread: lets a thread re-find its claimed
+/// ring slot after the thread_local cache was evicted by a different
+/// recorder.
+std::uint64_t ThreadUid() {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local const std::uint64_t uid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return uid;
+}
+
+std::atomic<std::uint64_t> g_next_generation{1};
+
+/// One-entry per-thread cache of the last recorder's resolved ring.
+/// `resolved` distinguishes "cache empty" from "resolved to unslotted".
+struct SlotCache {
+  std::uint64_t generation = 0;
+  void* log = nullptr;
+  bool resolved = false;
+};
+thread_local SlotCache g_slot_cache;
+
+void AppendEscapedJson(std::ostream& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    if (c == '"' || c == '\\') {
+      out << '\\' << *p;
+    } else if (c < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out << buffer;
+    } else {
+      out << *p;
+    }
+  }
+}
+
+/// Chrome-trace timestamps are microseconds; emit ns-resolution as a
+/// fixed-point decimal so span nesting stays exact.
+void AppendMicros(std::ostream& out, std::int64_t ns) {
+  if (ns < 0) ns = 0;  // steady-clock spans can't be negative; be safe
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64 ".%03" PRId64, ns / 1000,
+                ns % 1000);
+  out << buffer;
+}
+
+}  // namespace
+
+const char* TraceCategoryName(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kSession:
+      return "session";
+    case TraceCategory::kSolver:
+      return "solver";
+    case TraceCategory::kPhase:
+      return "phase";
+    case TraceCategory::kPass:
+      return "pass";
+    case TraceCategory::kShard:
+      return "shard";
+  }
+  return "unknown";
+}
+
+struct TraceRecorder::ThreadLog {
+  TraceEvent* events = nullptr;
+  std::size_t capacity = 0;
+  /// Total events ever emitted to this ring; the ring index is
+  /// head % capacity, and head - capacity (when positive) is the count
+  /// of overwritten (dropped-oldest) events. Release-stored after the
+  /// event body is written, acquire-loaded by the merge phase.
+  std::atomic<std::uint64_t> head{0};
+  /// ThreadUid of the claiming thread (0 = unclaimed).
+  std::atomic<std::uint64_t> owner{0};
+};
+
+TraceRecorder::TraceRecorder(Options options)
+    : options_(options),
+      generation_(g_next_generation.fetch_add(1, std::memory_order_relaxed)) {
+  STREAMSC_CHECK(options_.events_per_thread > 0,
+                 "TraceRecorder needs at least one event per thread");
+  STREAMSC_CHECK(options_.max_threads > 0,
+                 "TraceRecorder needs at least one thread slot");
+  // Arm time: the one place the recorder allocates. Every ring lives in
+  // one contiguous block; emits only ever write into it in place.
+  storage_.resize(options_.max_threads * options_.events_per_thread);
+  logs_ = std::make_unique<ThreadLog[]>(options_.max_threads);
+  for (std::size_t i = 0; i < options_.max_threads; ++i) {
+    logs_[i].events = storage_.data() + i * options_.events_per_thread;
+    logs_[i].capacity = options_.events_per_thread;
+  }
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+std::int64_t TraceRecorder::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TraceRecorder::ThreadLog* TraceRecorder::AcquireLog() {
+  SlotCache& cache = g_slot_cache;
+  if (cache.resolved && cache.generation == generation_) {
+    return static_cast<ThreadLog*>(cache.log);
+  }
+  // Slow path: first emit from this thread to this recorder since the
+  // cache last pointed elsewhere. Re-attach to an already-claimed slot
+  // if one exists, else claim the next free one.
+  const std::uint64_t uid = ThreadUid();
+  const std::size_t used = std::min(
+      slots_used_.load(std::memory_order_acquire), options_.max_threads);
+  ThreadLog* log = nullptr;
+  for (std::size_t i = 0; i < used; ++i) {
+    if (logs_[i].owner.load(std::memory_order_acquire) == uid) {
+      log = &logs_[i];
+      break;
+    }
+  }
+  if (log == nullptr) {
+    const std::size_t slot =
+        slots_used_.fetch_add(1, std::memory_order_acq_rel);
+    if (slot < options_.max_threads) {
+      log = &logs_[slot];
+      log->owner.store(uid, std::memory_order_release);
+    }
+  }
+  cache.generation = generation_;
+  cache.log = log;
+  cache.resolved = true;
+  return log;
+}
+
+void TraceRecorder::Emit(TraceCategory category, const char* name,
+                         std::int64_t start_ns, std::int64_t dur_ns,
+                         const TraceArg* args, std::size_t num_args) {
+  ThreadLog* log = AcquireLog();
+  if (log == nullptr) {
+    unslotted_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t head = log->head.load(std::memory_order_relaxed);
+  TraceEvent& event = log->events[head % log->capacity];
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns;
+  event.category = category;
+  event.tid = static_cast<std::uint32_t>(log - logs_.get());
+  const std::size_t n =
+      num_args < TraceEvent::kMaxArgs ? num_args : TraceEvent::kMaxArgs;
+  for (std::size_t i = 0; i < n; ++i) {
+    event.arg_names[i] = args[i].name;
+    event.arg_values[i] = args[i].value;
+  }
+  event.num_args = static_cast<unsigned char>(n);
+  std::size_t i = 0;
+  for (; i < TraceEvent::kNameCapacity && name[i] != '\0'; ++i) {
+    event.name[i] = name[i];
+  }
+  event.name[i] = '\0';
+  log->head.store(head + 1, std::memory_order_release);
+}
+
+std::size_t TraceRecorder::threads_seen() const {
+  return std::min(slots_used_.load(std::memory_order_acquire),
+                  options_.max_threads);
+}
+
+std::size_t TraceRecorder::events_recorded() const {
+  std::size_t total = 0;
+  const std::size_t used = threads_seen();
+  for (std::size_t i = 0; i < used; ++i) {
+    const std::uint64_t head = logs_[i].head.load(std::memory_order_acquire);
+    total += static_cast<std::size_t>(
+        std::min<std::uint64_t>(head, logs_[i].capacity));
+  }
+  return total;
+}
+
+std::uint64_t TraceRecorder::events_dropped() const {
+  std::uint64_t total = unslotted_dropped_.load(std::memory_order_relaxed);
+  const std::size_t used = threads_seen();
+  for (std::size_t i = 0; i < used; ++i) {
+    const std::uint64_t head = logs_[i].head.load(std::memory_order_acquire);
+    if (head > logs_[i].capacity) total += head - logs_[i].capacity;
+  }
+  return total;
+}
+
+void TraceRecorder::ForEachEvent(
+    FunctionRef<void(const TraceEvent&)> fn) const {
+  struct Entry {
+    const TraceEvent* event;
+    std::uint64_t seq;
+  };
+  std::vector<Entry> merged;
+  merged.reserve(events_recorded());
+  const std::size_t used = threads_seen();
+  for (std::size_t i = 0; i < used; ++i) {
+    const ThreadLog& log = logs_[i];
+    const std::uint64_t head = log.head.load(std::memory_order_acquire);
+    const std::uint64_t first = head > log.capacity ? head - log.capacity : 0;
+    for (std::uint64_t seq = first; seq < head; ++seq) {
+      merged.push_back(Entry{&log.events[seq % log.capacity], seq});
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const Entry& a, const Entry& b) {
+    if (a.event->start_ns != b.event->start_ns) {
+      return a.event->start_ns < b.event->start_ns;
+    }
+    if (a.event->tid != b.event->tid) return a.event->tid < b.event->tid;
+    return a.seq < b.seq;
+  });
+  for (const Entry& entry : merged) fn(*entry.event);
+}
+
+void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
+  // Rebase timestamps to the earliest span so the viewer opens at t=0.
+  std::int64_t base_ns = 0;
+  bool have_base = false;
+  ForEachEvent([&](const TraceEvent& event) {
+    if (!have_base || event.start_ns < base_ns) {
+      base_ns = event.start_ns;
+      have_base = true;
+    }
+  });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"streamsc\"}}";
+  const std::size_t used = threads_seen();
+  for (std::size_t i = 0; i < used; ++i) {
+    out << ",\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" << i
+        << ",\"args\":{\"name\":\"slot-" << i << "\"}}";
+  }
+  ForEachEvent([&](const TraceEvent& event) {
+    out << ",\n{\"name\":\"";
+    AppendEscapedJson(out, event.name);
+    out << "\",\"cat\":\"" << TraceCategoryName(event.category)
+        << "\",\"ph\":\"X\",\"ts\":";
+    AppendMicros(out, event.start_ns - base_ns);
+    out << ",\"dur\":";
+    AppendMicros(out, event.dur_ns);
+    out << ",\"pid\":1,\"tid\":" << event.tid;
+    if (event.num_args > 0) {
+      out << ",\"args\":{";
+      for (std::size_t i = 0; i < event.num_args; ++i) {
+        if (i > 0) out << ',';
+        out << '"';
+        AppendEscapedJson(out, event.arg_names[i]);
+        out << "\":" << event.arg_values[i];
+      }
+      out << '}';
+    }
+    out << '}';
+  });
+  out << "\n]}\n";
+}
+
+void TraceRecorder::Reset() {
+  const std::size_t used = threads_seen();
+  for (std::size_t i = 0; i < used; ++i) {
+    logs_[i].head.store(0, std::memory_order_relaxed);
+  }
+  unslotted_dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace streamsc

@@ -1,0 +1,199 @@
+#ifndef STREAMSC_OBS_TRACE_H_
+#define STREAMSC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "util/function_ref.h"
+
+/// \file trace.h
+/// Pass-level tracing: per-thread preallocated span ring buffers that
+/// engine workers write lock-free and the session merges at run end,
+/// exported as chrome://tracing JSON (about:tracing / Perfetto loadable).
+///
+/// Memory model — tracing is opt-in and preserves the repo's zero-alloc
+/// steady-state contract:
+///  - *Armed off* (no recorder bound): every hook in the engine and the
+///    solvers is a single null-pointer branch. No allocation, no clock
+///    read, no atomic.
+///  - *Arm time* (recorder construction): ALL ring storage is allocated
+///    up front — max_threads rings of events_per_thread fixed-size slots.
+///  - *Emit* (hot path): resolve the caller's ring via a thread_local
+///    slot cache, write one fixed-size TraceEvent in place, bump the
+///    ring head. Never allocates, never locks, never blocks.
+///  - *Overflow*: the ring overwrites its oldest events; the number
+///    dropped is derivable from the head position and reported by
+///    dropped(). A full ring NEVER reallocates.
+///
+/// Threading model: each OS thread claims one ring slot on first emit
+/// (an atomic slot counter + thread_local cache); after that the thread
+/// is the ring's only writer. The ring head is a release-store /
+/// acquire-load atomic, so the merge phase — which runs on one thread
+/// after the workers quiesce — observes fully written events without any
+/// extra synchronization. Threads past max_threads drop their events
+/// into a (counted) void instead of racing for a ring.
+///
+/// Merge/export (ForEachEvent, WriteChromeTrace, Reset) are quiesced-only
+/// operations: no thread may be emitting concurrently. They are allowed
+/// to allocate — they run outside the measured solve window.
+
+namespace streamsc {
+
+/// What a span describes; becomes the chrome-trace "cat" field.
+enum class TraceCategory : unsigned char {
+  kSession = 0,  ///< One whole SolveSession::Solve call.
+  kSolver,       ///< One solver Run (named by registry key).
+  kPhase,        ///< An algorithm phase (sample, project, subsolve, ...).
+  kPass,         ///< One stream pass (engine primitive granularity).
+  kShard,        ///< One worker's share of one parallel job.
+};
+
+/// Printable name of a trace category ("session", "solver", ...).
+const char* TraceCategoryName(TraceCategory category);
+
+/// A named integer attached to a span. The name must be a string with
+/// static storage duration (a literal): only the pointer is stored.
+struct TraceArg {
+  const char* name;
+  std::uint64_t value;
+};
+
+/// One completed span. Fixed size; the name is copied (truncated) into
+/// inline storage at emit time, so dynamically built names are safe.
+struct TraceEvent {
+  static constexpr std::size_t kNameCapacity = 31;
+  static constexpr std::size_t kMaxArgs = 4;
+
+  std::int64_t start_ns = 0;                  ///< Steady-clock, ns.
+  std::int64_t dur_ns = 0;                    ///< Span duration, ns.
+  const char* arg_names[kMaxArgs] = {};       ///< Static-storage names.
+  std::uint64_t arg_values[kMaxArgs] = {};
+  char name[kNameCapacity + 1] = {};          ///< NUL-terminated copy.
+  TraceCategory category = TraceCategory::kSession;
+  unsigned char num_args = 0;
+  std::uint32_t tid = 0;                      ///< Ring slot index.
+};
+
+/// The per-thread ring-buffer span recorder. Construct (arm) before the
+/// run, pass through RunContext, merge after. Not copyable, not movable
+/// (emitters cache raw pointers into it).
+class TraceRecorder {
+ public:
+  struct Options {
+    /// Ring capacity per thread slot, in events. Oldest events are
+    /// overwritten past this; never a reallocation.
+    std::size_t events_per_thread = 8192;
+    /// Distinct OS threads that can claim a ring. Threads past this
+    /// drop (counted) instead of recording.
+    std::size_t max_threads = 16;
+  };
+
+  TraceRecorder() : TraceRecorder(Options{}) {}
+  explicit TraceRecorder(Options options);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Steady-clock timestamp in nanoseconds (the recorder's time base).
+  static std::int64_t NowNs();
+
+  /// Records one completed span. Lock-free, allocation-free; safe to
+  /// call from any thread, including engine workers inside jobs.
+  /// \p arg_names entries must have static storage duration.
+  void Emit(TraceCategory category, const char* name,
+            std::int64_t start_ns, std::int64_t dur_ns,
+            const TraceArg* args = nullptr, std::size_t num_args = 0);
+
+  // --- Quiesced-only API (no concurrent emitters) -----------------------
+
+  /// Events currently held across all rings (post-overwrite survivors).
+  std::size_t events_recorded() const;
+
+  /// Events lost: ring overwrites plus emits from threads that found
+  /// every slot taken.
+  std::uint64_t events_dropped() const;
+
+  /// Thread slots claimed so far.
+  std::size_t threads_seen() const;
+
+  /// Visits every surviving event merged across rings in ascending
+  /// start_ns order (ties broken by slot then sequence). Allocates a
+  /// merge buffer; call only outside the measured window.
+  void ForEachEvent(FunctionRef<void(const TraceEvent&)> fn) const;
+
+  /// Writes the merged events as chrome://tracing "Trace Event Format"
+  /// JSON (complete events, microsecond timestamps rebased to the
+  /// earliest span). Loadable in about:tracing and Perfetto.
+  void WriteChromeTrace(std::ostream& out) const;
+
+  /// Forgets all recorded events and drop counts. Thread slots stay
+  /// claimed, so warm emitters keep their rings across runs.
+  void Reset();
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct ThreadLog;
+
+  /// Returns the calling thread's ring, claiming a slot on first use;
+  /// nullptr when all slots are taken.
+  ThreadLog* AcquireLog();
+
+  Options options_;
+  std::uint64_t generation_;                 ///< Distinguishes recorders.
+  std::vector<TraceEvent> storage_;          ///< All rings, contiguous.
+  std::unique_ptr<ThreadLog[]> logs_;
+  std::atomic<std::size_t> slots_used_{0};
+  std::atomic<std::uint64_t> unslotted_dropped_{0};
+};
+
+/// RAII span: captures the start time at construction (when a recorder
+/// is bound; a null recorder reduces every operation to one branch) and
+/// emits one complete event at destruction.
+///
+/// The \p name pointer must outlive the span (string literals and
+/// registry-owned solver keys qualify); its characters are copied into
+/// the event at destruction time.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, TraceCategory category,
+            const char* name)
+      : recorder_(recorder),
+        name_(name),
+        category_(category),
+        start_ns_(recorder ? TraceRecorder::NowNs() : 0) {}
+
+  ~TraceSpan() {
+    if (recorder_ == nullptr) return;
+    recorder_->Emit(category_, name_, start_ns_,
+                    TraceRecorder::NowNs() - start_ns_, args_, num_args_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a named integer (up to TraceEvent::kMaxArgs; extras are
+  /// ignored). \p name must have static storage duration.
+  void AddArg(const char* name, std::uint64_t value) {
+    if (recorder_ == nullptr) return;
+    if (num_args_ >= TraceEvent::kMaxArgs) return;
+    args_[num_args_++] = TraceArg{name, value};
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  TraceCategory category_;
+  std::int64_t start_ns_;
+  TraceArg args_[TraceEvent::kMaxArgs] = {};
+  std::size_t num_args_ = 0;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_OBS_TRACE_H_

@@ -6,6 +6,36 @@
 
 namespace streamsc {
 
+namespace engine_counters {
+
+// Function-local statics: interned once, one guarded load afterwards.
+CounterId Passes() {
+  static const CounterId id = CounterId::Counter("engine.passes");
+  return id;
+}
+CounterId ItemsScanned() {
+  static const CounterId id = CounterId::Counter("engine.items_scanned");
+  return id;
+}
+CounterId SetsTaken() {
+  static const CounterId id = CounterId::Counter("engine.sets_taken");
+  return id;
+}
+CounterId ElementsCovered() {
+  static const CounterId id = CounterId::Counter("engine.elements_covered");
+  return id;
+}
+CounterId ShardJobs() {
+  static const CounterId id = CounterId::Counter("engine.shard_jobs");
+  return id;
+}
+CounterId ShardItems() {
+  static const CounterId id = CounterId::Counter("engine.shard_items");
+  return id;
+}
+
+}  // namespace engine_counters
+
 std::unique_ptr<ParallelPassEngine> MakeEngine(std::size_t num_threads) {
   STREAMSC_CHECK(num_threads >= 1,
                  "MakeEngine: thread count 0 is ambiguous — resolve "
@@ -29,6 +59,13 @@ void RequireSharded(const SetStream& stream,
 void EngineContext::GainScanPass(
     DynamicBitset& uncovered,
     FunctionRef<void(const StreamItem&, Count, bool)> visit) {
+  GainScanPassNamed("gain_scan", uncovered, visit);
+}
+
+void EngineContext::GainScanPassNamed(
+    const char* name, DynamicBitset& uncovered,
+    FunctionRef<void(const StreamItem&, Count, bool)> visit) {
+  const PassScope scope(*this, name);
   BeginCountedPass();
   if (!sharded_) {
     stream_.BeginPass();
@@ -42,7 +79,7 @@ void EngineContext::GainScanPass(
   // One copy of the chunked snapshot-filter + in-order-commit logic lives
   // in GainFilteredScan (shared with the free-standing ThresholdScan).
   DrainPassInto(stream_, items_);
-  GainFilteredScan(items_, uncovered, engine_, visit);
+  GainFilteredScan(items_, uncovered, engine_, visit, trace_);
 }
 
 void EngineContext::ThresholdPass(double threshold, DynamicBitset& uncovered,
@@ -52,12 +89,13 @@ void EngineContext::ThresholdPass(double threshold, DynamicBitset& uncovered,
     RecordTake(gain);
   };
   const ThresholdTakeVisitor visitor(threshold, uncovered, take);
-  GainScanPass(uncovered, visitor);
+  GainScanPassNamed("threshold", uncovered, visitor);
 }
 
 void EngineContext::IndependentScanPass(
     std::size_t num_lanes,
     FunctionRef<void(std::size_t, const StreamItem&)> visit) {
+  const PassScope scope(*this, "independent_scan");
   BeginCountedPass();
   if (!sharded_ || engine_->num_threads() <= 1 || num_lanes < 2) {
     stream_.BeginPass();
@@ -68,9 +106,12 @@ void EngineContext::IndependentScanPass(
     return;
   }
   DrainPassInto(stream_, items_);
-  engine_->ParallelFor(num_lanes, [&](std::size_t lane) {
-    for (const StreamItem& item : items_) visit(lane, item);
-  });
+  engine_->ParallelFor(
+      num_lanes,
+      [&](std::size_t lane) {
+        for (const StreamItem& item : items_) visit(lane, item);
+      },
+      trace_);
 }
 
 void EngineContext::SubtractPass(std::span<const SetId> chosen,
@@ -83,6 +124,7 @@ void EngineContext::SubtractPass(std::span<const SetId> chosen,
   SetId* const sorted = scratch.Allocate<SetId>(chosen.size());
   std::copy(chosen.begin(), chosen.end(), sorted);
   std::sort(sorted, sorted + chosen.size());
+  const PassScope scope(*this, "subtract");
   BeginCountedPass();
   const Count before = uncovered.CountSet();
   stream_.BeginPass();
@@ -92,7 +134,8 @@ void EngineContext::SubtractPass(std::span<const SetId> chosen,
       item.set.AndNotInto(uncovered);
     }
   }
-  stats_.elements_covered += before - uncovered.CountSet();
+  counters_.Add(engine_counters::ElementsCovered(),
+                before - uncovered.CountSet());
 }
 
 void EngineContext::UnionPass(std::span<const SetId> chosen,
@@ -103,6 +146,7 @@ void EngineContext::UnionPass(std::span<const SetId> chosen,
   SetId* const sorted = scratch.Allocate<SetId>(chosen.size());
   std::copy(chosen.begin(), chosen.end(), sorted);
   std::sort(sorted, sorted + chosen.size());
+  const PassScope scope(*this, "union");
   BeginCountedPass();
   stream_.BeginPass();
   StreamItem item;
@@ -115,6 +159,7 @@ void EngineContext::UnionPass(std::span<const SetId> chosen,
 
 void EngineContext::CoverResiduePass(DynamicBitset& uncovered,
                                      FunctionRef<void(SetId)> on_take) {
+  const PassScope scope(*this, "cover_residue");
   BeginCountedPass();
   stream_.BeginPass();
   StreamItem item;
@@ -134,7 +179,7 @@ void EngineContext::ParallelFor(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  engine_->ParallelFor(count, fn);
+  engine_->ParallelFor(count, fn, trace_);
 }
 
 }  // namespace streamsc

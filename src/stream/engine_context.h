@@ -6,6 +6,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "stream/parallel_pass_engine.h"
 #include "stream/set_stream.h"
 #include "stream/stream_algorithm.h"
@@ -46,6 +48,10 @@ namespace streamsc {
 /// of the bit-identical contract: for a fixed stream order the values are
 /// the same for any thread count and any stream source (unlike wall time
 /// or peak RSS). The conformance matrix asserts exactly that.
+///
+/// Since the observability layer landed this is a *view*: the context
+/// accumulates everything in an interned CounterSet (obs/counters.h) and
+/// stats() assembles this struct from the well-known engine.* ids below.
 struct EnginePassStats {
   std::uint64_t passes = 0;            ///< Stream passes driven.
   std::uint64_t items_scanned = 0;     ///< Logical items: num_sets per pass.
@@ -53,6 +59,21 @@ struct EnginePassStats {
                                        ///< offline sub-solver picks).
   std::uint64_t elements_covered = 0;  ///< Sum of committed marginal gains.
 };
+
+/// The well-known interned counters every EngineContext accumulates.
+/// Handles are function-local statics: the first call interns, later
+/// calls are one guarded load. The first four are deterministic (part of
+/// the bit-identical contract); the shard pair describes how work was
+/// dispatched and therefore varies with engine width — deterministic for
+/// a fixed width, but not comparable across widths.
+namespace engine_counters {
+CounterId Passes();           ///< "engine.passes"
+CounterId ItemsScanned();     ///< "engine.items_scanned"
+CounterId SetsTaken();        ///< "engine.sets_taken"
+CounterId ElementsCovered();  ///< "engine.elements_covered"
+CounterId ShardJobs();        ///< "engine.shard_jobs" (width-dependent)
+CounterId ShardItems();       ///< "engine.shard_items" (width-dependent)
+}  // namespace engine_counters
 
 /// Resolves a user-facing thread-count request: 1 yields a null engine
 /// (the sequential path has no pool to pay for), anything larger a pool of
@@ -84,6 +105,7 @@ class EngineContext {
       : stream_(stream),
         engine_(context.engine),
         arena_(context.arena),
+        trace_(context.trace),
         sharded_(context.engine != nullptr && stream.ItemsRemainValid()),
         items_(ArenaAllocator<StreamItem>(context.arena)) {}
 
@@ -112,8 +134,28 @@ class EngineContext {
   /// True iff buffered passes will actually be sharded over a pool.
   bool sharded() const { return sharded_; }
 
-  /// The counters accumulated so far.
-  const EnginePassStats& stats() const { return stats_; }
+  /// The span recorder bound for this run (null = tracing off). Solvers
+  /// use it to annotate their algorithm phases:
+  /// `TraceSpan span(ctx.trace(), TraceCategory::kPhase, "sample");`.
+  TraceRecorder* trace() const { return trace_; }
+
+  /// The deterministic counters accumulated so far, assembled from the
+  /// interned counter set (a snapshot, not a reference).
+  EnginePassStats stats() const {
+    EnginePassStats snapshot;
+    snapshot.passes = counters_.value(engine_counters::Passes());
+    snapshot.items_scanned = counters_.value(engine_counters::ItemsScanned());
+    snapshot.sets_taken = counters_.value(engine_counters::SetsTaken());
+    snapshot.elements_covered =
+        counters_.value(engine_counters::ElementsCovered());
+    return snapshot;
+  }
+
+  /// The full interned counter set (engine.* plus anything the solver
+  /// adds under its own ids). Mutable access so solvers can record
+  /// algorithm-specific counters next to the engine's.
+  CounterSet& counters() { return counters_; }
+  const CounterSet& counters() const { return counters_; }
 
   /// Records one committed take of \p gain newly covered elements.
   /// The threshold/cleanup passes call this themselves; solvers call it
@@ -123,8 +165,8 @@ class EngineContext {
 
   /// Bulk form of RecordTake.
   void RecordTakes(std::uint64_t sets, std::uint64_t elements) {
-    stats_.sets_taken += sets;
-    stats_.elements_covered += elements;
+    counters_.Add(engine_counters::SetsTaken(), sets);
+    counters_.Add(engine_counters::ElementsCovered(), elements);
   }
 
   /// One pruning-scan pass: sequentially equivalent to
@@ -172,6 +214,7 @@ class EngineContext {
   /// worker scratch is rewound at the worker's next job pickup.
   template <typename T, typename TransformFn, typename CommitFn>
   void TransformPass(TransformFn&& transform, CommitFn&& commit) {
+    const PassScope scope(*this, "transform");
     BeginCountedPass();
     if (!sharded_) {
       stream_.BeginPass();
@@ -187,7 +230,8 @@ class EngineContext {
     const ArenaCheckpoint checkpoint(scratch);
     ArenaVector<T> out(items_.size(), ArenaAllocator<T>(&scratch));
     engine_->ParallelFor(
-        items_.size(), [&](std::size_t i) { out[i] = transform(items_[i]); });
+        items_.size(), [&](std::size_t i) { out[i] = transform(items_[i]); },
+        trace_);
     for (std::size_t i = 0; i < items_.size(); ++i) {
       commit(items_[i], std::move(out[i]));
     }
@@ -230,18 +274,83 @@ class EngineContext {
   void ParallelFor(std::size_t count, FunctionRef<void(std::size_t)> fn);
 
  private:
+  /// RAII bracket around one pass primitive: accumulates the shard
+  /// dispatch counters (always — they are part of the counter registry's
+  /// single-source-of-truth contract, and cost two integer reads per
+  /// *pass*, not per item) and, when a recorder is bound, emits one
+  /// kPass span whose args are the pass's own counter deltas
+  /// (items/shards/takes/covered). With tracing off the span side is a
+  /// single branch.
+  class PassScope {
+   public:
+    PassScope(EngineContext& ctx, const char* name)
+        : ctx_(ctx),
+          name_(name),
+          start_ns_(ctx.trace_ != nullptr ? TraceRecorder::NowNs() : 0),
+          jobs0_(ctx.engine_ != nullptr ? ctx.engine_->jobs_posted() : 0),
+          shard_items0_(
+              ctx.engine_ != nullptr ? ctx.engine_->items_dispatched() : 0),
+          items0_(ctx.counters_.value(engine_counters::ItemsScanned())),
+          takes0_(ctx.counters_.value(engine_counters::SetsTaken())),
+          covered0_(
+              ctx.counters_.value(engine_counters::ElementsCovered())) {}
+
+    ~PassScope() {
+      const std::uint64_t jobs =
+          (ctx_.engine_ != nullptr ? ctx_.engine_->jobs_posted() : 0) -
+          jobs0_;
+      const std::uint64_t shard_items =
+          (ctx_.engine_ != nullptr ? ctx_.engine_->items_dispatched() : 0) -
+          shard_items0_;
+      ctx_.counters_.Add(engine_counters::ShardJobs(), jobs);
+      ctx_.counters_.Add(engine_counters::ShardItems(), shard_items);
+      if (ctx_.trace_ == nullptr) return;
+      const TraceArg args[] = {
+          {"items",
+           ctx_.counters_.value(engine_counters::ItemsScanned()) - items0_},
+          {"shards", jobs},
+          {"takes",
+           ctx_.counters_.value(engine_counters::SetsTaken()) - takes0_},
+          {"covered",
+           ctx_.counters_.value(engine_counters::ElementsCovered()) -
+               covered0_}};
+      ctx_.trace_->Emit(TraceCategory::kPass, name_, start_ns_,
+                        TraceRecorder::NowNs() - start_ns_, args, 4);
+    }
+
+    PassScope(const PassScope&) = delete;
+    PassScope& operator=(const PassScope&) = delete;
+
+   private:
+    EngineContext& ctx_;
+    const char* name_;
+    std::int64_t start_ns_;
+    std::uint64_t jobs0_;
+    std::uint64_t shard_items0_;
+    std::uint64_t items0_;
+    std::uint64_t takes0_;
+    std::uint64_t covered0_;
+  };
+
   // Counts one logical pass (stats only; the stream's own pass counter
   // advances via BeginPass/DrainPassInto inside the primitives).
   void BeginCountedPass() {
-    ++stats_.passes;
-    stats_.items_scanned += stream_.num_sets();
+    counters_.Add(engine_counters::Passes(), 1);
+    counters_.Add(engine_counters::ItemsScanned(), stream_.num_sets());
   }
+
+  // The named core of GainScanPass, so ThresholdPass's span reads
+  // "threshold" instead of the generic "gain_scan" it delegates to.
+  void GainScanPassNamed(
+      const char* name, DynamicBitset& uncovered,
+      FunctionRef<void(const StreamItem&, Count, bool)> visit);
 
   SetStream& stream_;
   ParallelPassEngine* engine_;
   MonotonicArena* arena_;
+  TraceRecorder* trace_;
   bool sharded_;
-  EnginePassStats stats_;
+  CounterSet counters_;
   // Reused pass item buffer: run-arena-backed when an arena is bound, so
   // repeat runs bump inside retained chunks instead of reallocating.
   ArenaVector<StreamItem> items_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace streamsc {
@@ -30,15 +31,26 @@ ParallelPassEngine::~ParallelPassEngine() {
 }
 
 void ParallelPassEngine::RunJob(Job& job) {
+  // One branch when untraced: the span start is read only when a
+  // recorder rode in on the job.
+  const std::int64_t start_ns =
+      job.trace != nullptr ? TraceRecorder::NowNs() : 0;
+  std::size_t claimed = 0;
   for (;;) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= job.count) return;
+    if (i >= job.count) break;
     (*job.fn)(i);
+    ++claimed;
     if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         job.count) {
       std::lock_guard<std::mutex> lock(mu_);
       done_cv_.notify_all();
     }
+  }
+  if (job.trace != nullptr && claimed > 0) {
+    const TraceArg args[] = {{"job", job.id}, {"items", claimed}};
+    job.trace->Emit(TraceCategory::kShard, "shard", start_ns,
+                    TraceRecorder::NowNs() - start_ns, args, 2);
   }
 }
 
@@ -54,6 +66,9 @@ void ParallelPassEngine::WorkerLoop() {
       if (shutdown_) return;
       job = job_;
       last_job_id = job->id;
+      // Counted under mu_ so the orchestrator, which unpublishes the job
+      // under the same lock, sees a complete roster of participants.
+      ++job->pickups;
     }
     // Worker scratch is job-scoped: anything a previous job staged there
     // has been committed by the orchestrator before it posted this one
@@ -64,6 +79,14 @@ void ParallelPassEngine::WorkerLoop() {
     // Each job owns its claim counters (shared_ptr keeps stale jobs
     // alive), so a late-waking worker can never claim into a newer job.
     RunJob(*job);
+    if (job->trace != nullptr) {
+      // Traced jobs check out: the orchestrator waits for every
+      // participant's shard span before it lets the caller touch the
+      // recorder (see ParallelFor).
+      std::lock_guard<std::mutex> lock(mu_);
+      ++job->exits;
+      done_cv_.notify_all();
+    }
   }
 }
 
@@ -81,8 +104,10 @@ std::shared_ptr<ParallelPassEngine::Job> ParallelPassEngine::AcquireJob() {
 }
 
 void ParallelPassEngine::ParallelFor(std::size_t count,
-                                     FunctionRef<void(std::size_t)> fn) {
+                                     FunctionRef<void(std::size_t)> fn,
+                                     TraceRecorder* trace) {
   if (count == 0) return;
+  items_dispatched_ += count;
   if (workers_.empty()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
@@ -90,10 +115,13 @@ void ParallelPassEngine::ParallelFor(std::size_t count,
   std::shared_ptr<Job> job = AcquireJob();
   job->count = count;
   job->fn = &fn;
+  job->trace = trace;
   job->next.store(0, std::memory_order_relaxed);
   job->completed.store(0, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    job->pickups = 0;
+    job->exits = 0;
     job->id = next_job_id_++;
     job_ = job;
   }
@@ -107,6 +135,13 @@ void ParallelPassEngine::ParallelFor(std::size_t count,
   // no longer pick this job up, so its pool slot recycles as soon as the
   // last straggler lets go.
   job_.reset();
+  if (trace != nullptr) {
+    // With the job unpublished there can be no new pickups; wait for
+    // every worker that did pick it up to retire its shard span, so a
+    // post-run merge of the recorder can never race an emit. Only traced
+    // jobs pay for this rendezvous.
+    done_cv_.wait(lock, [&] { return job->exits == job->pickups; });
+  }
 }
 
 std::vector<StreamItem> DrainPass(SetStream& stream) {
@@ -135,7 +170,8 @@ void DrainPassInto(SetStream& stream, ArenaVector<StreamItem>& items) {
 void GainFilteredScan(
     std::span<const StreamItem> items, DynamicBitset& uncovered,
     ParallelPassEngine* engine,
-    FunctionRef<void(const StreamItem&, Count, bool)> visit) {
+    FunctionRef<void(const StreamItem&, Count, bool)> visit,
+    TraceRecorder* trace) {
   if (engine == nullptr || engine->num_threads() <= 1 || items.size() < 2) {
     for (const StreamItem& item : items) {
       if (uncovered.None()) return;
@@ -158,9 +194,12 @@ void GainFilteredScan(
   for (std::size_t pos = 0; pos < items.size(); pos += chunk) {
     if (uncovered.None()) return;
     const std::size_t width = std::min(chunk, items.size() - pos);
-    engine->ParallelFor(width, [&](std::size_t k) {
-      bounds[k] = items[pos + k].set.CountAnd(uncovered);
-    });
+    engine->ParallelFor(
+        width,
+        [&](std::size_t k) {
+          bounds[k] = items[pos + k].set.CountAnd(uncovered);
+        },
+        trace);
     for (std::size_t k = 0; k < width; ++k) {
       if (bounds[k] > 0) {
         visit(items[pos + k], bounds[k], /*bound_is_exact=*/false);

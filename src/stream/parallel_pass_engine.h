@@ -39,6 +39,8 @@
 
 namespace streamsc {
 
+class TraceRecorder;
+
 /// A fixed pool of worker threads executing index-sharded jobs.
 /// ParallelFor blocks until the job completes; jobs must not throw.
 /// One engine can be reused across passes, algorithms, and runs; it is
@@ -60,13 +62,33 @@ class ParallelPassEngine {
   /// over the pool; blocks until all calls return. \p fn must be safe to
   /// call concurrently for distinct indices. Steady-state allocation-free:
   /// jobs come from a pool that is recycled once its workers let go.
-  void ParallelFor(std::size_t count, FunctionRef<void(std::size_t)> fn);
+  ///
+  /// When \p trace is non-null every pool member that claimed at least
+  /// one index emits one kShard span (with the job id and its claim
+  /// count) into the recorder, and ParallelFor additionally waits for
+  /// all participating workers to retire their spans before returning —
+  /// so a post-run merge can never race an emit. Null \p trace (the
+  /// default) keeps the exact pre-observability fast path.
+  void ParallelFor(std::size_t count, FunctionRef<void(std::size_t)> fn,
+                   TraceRecorder* trace = nullptr);
+
+  /// Jobs posted since construction. Orchestrator-only read (the engine
+  /// is not re-entrant, so the posting thread sees its own writes);
+  /// pass machinery diffs this across a pass to count shard jobs.
+  std::uint64_t jobs_posted() const { return next_job_id_ - 1; }
+
+  /// Total indices handed to ParallelFor since construction
+  /// (orchestrator-only read, like jobs_posted()).
+  std::uint64_t items_dispatched() const { return items_dispatched_; }
 
  private:
   struct Job {
     std::uint64_t id = 0;
     std::size_t count = 0;
     const FunctionRef<void(std::size_t)>* fn = nullptr;
+    TraceRecorder* trace = nullptr;
+    std::size_t pickups = 0;  // workers that took this job; guarded by mu_
+    std::size_t exits = 0;    // workers done with it; guarded by mu_
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
   };
@@ -88,6 +110,8 @@ class ParallelPassEngine {
   bool shutdown_ = false;           // guarded by mu_
   std::shared_ptr<Job> job_;        // guarded by mu_
   std::uint64_t next_job_id_ = 1;   // guarded by mu_
+  // Indices dispatched; orchestrator-only (ParallelFor is not re-entrant).
+  std::uint64_t items_dispatched_ = 0;
   // Recycled jobs; touched only by the orchestrating thread.
   std::vector<std::shared_ptr<Job>> job_pool_;
 };
@@ -114,10 +138,12 @@ void DrainPassInto(SetStream& stream, ArenaVector<StreamItem>& items);
 /// their magnitude and be a no-op at zero current gain. Stops early once
 /// `uncovered` is empty (every further visit would be such a no-op).
 /// The snapshot-bound buffer lives in the calling thread's scratch arena
-/// for the duration of the scan.
+/// for the duration of the scan. A non-null \p trace flows into the
+/// chunk jobs so workers emit their kShard spans.
 void GainFilteredScan(std::span<const StreamItem> items,
                       DynamicBitset& uncovered, ParallelPassEngine* engine,
-                      FunctionRef<void(const StreamItem&, Count, bool)> visit);
+                      FunctionRef<void(const StreamItem&, Count, bool)> visit,
+                      TraceRecorder* trace = nullptr);
 
 /// The threshold-take visit for GainFilteredScan — the one copy of the
 /// eligibility rule: a below-threshold bound is a proof of ineligibility

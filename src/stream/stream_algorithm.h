@@ -5,6 +5,7 @@
 #include <string>
 
 #include "instance/set_system.h"
+#include "obs/counters.h"
 #include "stream/set_stream.h"
 #include "util/space_meter.h"
 
@@ -23,6 +24,7 @@ namespace streamsc {
 
 class ParallelPassEngine;
 class MonotonicArena;
+class TraceRecorder;
 
 /// Per-run execution binding. Passed to Run() alongside the stream; a
 /// default-constructed context means "sequential, heap-allocating".
@@ -44,6 +46,16 @@ struct RunContext {
   /// A budgeted arena surfaces exhaustion as ArenaBudgetExceeded, which
   /// the api layer converts to a ResourceExhausted Status.
   MonotonicArena* arena = nullptr;
+
+  /// Optional span recorder (obs/trace.h). Null — the default — reduces
+  /// every trace hook in the engine and the solvers to a single branch,
+  /// preserving the zero-alloc steady-state and TSan-clean contracts.
+  /// When bound, the engine emits per-pass and per-shard spans and the
+  /// solvers annotate their algorithm phases; the recorder must outlive
+  /// the run and is merged by the caller after the run quiesces.
+  /// Tracing never changes results: solutions are byte-identical with
+  /// the recorder on or off (the conformance matrix pins this).
+  TraceRecorder* trace = nullptr;
 };
 
 /// Per-run resource statistics. Everything except wall_seconds is
@@ -58,6 +70,12 @@ struct StreamRunStats {
                                   ///< offline sub-solver picks.
   std::uint64_t elements_covered = 0;  ///< Sum of committed marginal gains.
   double wall_seconds = 0.0;      ///< Wall-clock time of the run.
+
+  /// Full interned-counter snapshot (obs/counters.h): every engine.*
+  /// counter the run's EngineContexts accumulated, merged across guess
+  /// iterations. The engine.* counters other than shard dispatch detail
+  /// are deterministic like the scalar fields above.
+  CounterSet counters;
 };
 
 /// Outcome of a streaming set cover run.

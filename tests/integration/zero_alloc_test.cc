@@ -2,7 +2,10 @@
 // model: after one warm-up run, re-running any registry solver over the
 // same session-shaped resources (reset run arena, warm thread-local
 // scratch/table arenas, reused SolveReport) performs **zero** heap
-// allocations — with no engine and on an 8-thread pool.
+// allocations — with no engine and on an 8-thread pool, and with a
+// TraceRecorder armed or not: tracing-off is a single branch per hook,
+// tracing-on allocates only at arm time (ring preallocation) and every
+// Emit writes in place.
 //
 // testing/alloc_counter.cc is compiled into this binary, replacing the
 // global operator new/delete with counting forwarders, so allocations on
@@ -27,6 +30,7 @@
 
 #include "api/solver_registry.h"
 #include "instance/generators.h"
+#include "obs/trace.h"
 #include "stream/parallel_pass_engine.h"
 #include "stream/stream_adapters.h"
 #include "testing/alloc_counter.h"
@@ -73,8 +77,9 @@ SetSystem PairInstance(std::size_t n, std::size_t decoys,
 void ExpectZeroAllocSteadyState(const SetSystem& system,
                                 const std::string& solver_key,
                                 const std::vector<std::string>& options,
-                                std::size_t threads) {
-  SCOPED_TRACE(solver_key + " threads=" + std::to_string(threads));
+                                std::size_t threads, bool traced) {
+  SCOPED_TRACE(solver_key + " threads=" + std::to_string(threads) +
+               (traced ? " traced" : ""));
 
   StatusOr<std::unique_ptr<AnySolver>> created =
       SolverRegistry::Global().Create(solver_key, options);
@@ -84,11 +89,18 @@ void ExpectZeroAllocSteadyState(const SetSystem& system,
   std::unique_ptr<ParallelPassEngine> engine;
   if (threads > 1) engine = std::make_unique<ParallelPassEngine>(threads);
 
+  // Tracing-on allocates only at arm time (recorder construction, here,
+  // outside the armed window); every Emit during the runs below writes
+  // into the preallocated rings and must count zero.
+  std::unique_ptr<TraceRecorder> recorder;
+  if (traced) recorder = std::make_unique<TraceRecorder>();
+
   VectorSetStream stream(system);
   MonotonicArena arena;
   RunContext context;
   context.engine = engine.get();
   context.arena = &arena;
+  context.trace = recorder.get();
 
   // Reused across runs: strings and the solution vector reach their
   // steady-state capacity during warm-up.
@@ -118,14 +130,21 @@ void ExpectZeroAllocSteadyState(const SetSystem& system,
   }
   EXPECT_EQ(steady_allocations, 0u)
       << "solver '" << solver_key << "' still allocated " << steady_bytes
-      << " heap bytes per run after warm-up";
+      << " heap bytes per run after warm-up"
+      << (traced ? " with tracing armed" : "");
+  if (traced) {
+    EXPECT_GT(recorder->events_recorded(), 0u)
+        << "traced runs must actually record spans";
+  }
 }
 
 void ExpectZeroAllocBothWidths(const SetSystem& system,
                                const std::string& solver_key,
                                const std::vector<std::string>& options) {
-  ExpectZeroAllocSteadyState(system, solver_key, options, 1);
-  ExpectZeroAllocSteadyState(system, solver_key, options, 8);
+  for (const bool traced : {false, true}) {
+    ExpectZeroAllocSteadyState(system, solver_key, options, 1, traced);
+    ExpectZeroAllocSteadyState(system, solver_key, options, 8, traced);
+  }
 }
 
 // The interposer must actually be linked and armed — otherwise every

@@ -1,0 +1,146 @@
+#include "obs/counters.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+// CounterId interning and CounterSet merge semantics: the registry is the
+// single place pass/scan/shard/arena counters live, so its identity and
+// determinism guarantees carry the whole observability layer. Names here
+// use a "test.counters." prefix so they cannot collide with production
+// labels in the process-wide table.
+
+namespace streamsc {
+namespace {
+
+TEST(CounterIdTest, SameNameInternsToSameIndex) {
+  const CounterId a = CounterId::Counter("test.counters.same");
+  const CounterId b = CounterId::Counter("test.counters.same");
+  EXPECT_EQ(a.index(), b.index());
+  EXPECT_EQ(a, b);
+}
+
+TEST(CounterIdTest, DistinctNamesGetDistinctIndices) {
+  const CounterId a = CounterId::Counter("test.counters.distinct_a");
+  const CounterId b = CounterId::Counter("test.counters.distinct_b");
+  EXPECT_NE(a, b);
+}
+
+TEST(CounterIdTest, NameAndKindRoundTrip) {
+  const CounterId counter = CounterId::Counter("test.counters.roundtrip");
+  EXPECT_EQ(counter.name(), "test.counters.roundtrip");
+  EXPECT_EQ(counter.kind(), CounterKind::kCounter);
+
+  const CounterId gauge = CounterId::Gauge("test.counters.roundtrip_gauge");
+  EXPECT_EQ(gauge.kind(), CounterKind::kGauge);
+  EXPECT_STREQ(CounterKindName(CounterKind::kCounter), "counter");
+  EXPECT_STREQ(CounterKindName(CounterKind::kGauge), "gauge");
+}
+
+TEST(CounterIdDeathTest, ReinterningUnderOtherKindChecks) {
+  const CounterId id = CounterId::Counter("test.counters.kind_clash");
+  (void)id;
+  EXPECT_DEATH(CounterId::Gauge("test.counters.kind_clash"), "kind");
+}
+
+TEST(CounterSetTest, AddAccumulatesAndValueReads) {
+  const CounterId id = CounterId::Counter("test.counters.add");
+  CounterSet set;
+  EXPECT_EQ(set.value(id), 0u);
+  set.Add(id, 3);
+  set.Add(id, 4);
+  EXPECT_EQ(set.value(id), 7u);
+}
+
+TEST(CounterSetTest, RecordMaxKeepsHighWater) {
+  const CounterId id = CounterId::Gauge("test.counters.high_water");
+  CounterSet set;
+  set.RecordMax(id, 10);
+  set.RecordMax(id, 4);   // lower: ignored
+  set.RecordMax(id, 25);  // higher: replaces
+  EXPECT_EQ(set.value(id), 25u);
+}
+
+TEST(CounterSetTest, MergeSumsCountersAndMaxesGauges) {
+  const CounterId items = CounterId::Counter("test.counters.merge_items");
+  const CounterId peak = CounterId::Gauge("test.counters.merge_peak");
+  CounterSet a;
+  a.Add(items, 100);
+  a.RecordMax(peak, 70);
+  CounterSet b;
+  b.Add(items, 23);
+  b.RecordMax(peak, 50);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.value(items), 123u);  // counters sum
+  EXPECT_EQ(a.value(peak), 70u);    // gauges max
+}
+
+TEST(CounterSetTest, MergeIsOrderIndependent) {
+  const CounterId items = CounterId::Counter("test.counters.order_items");
+  const CounterId peak = CounterId::Gauge("test.counters.order_peak");
+  // Three worker shards, merged in two different orders.
+  CounterSet shards[3];
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    shards[i].Add(items, 10 * (i + 1));
+    shards[i].RecordMax(peak, 7 * (i + 1));
+  }
+  CounterSet forward;
+  for (const CounterSet& s : shards) forward.MergeFrom(s);
+  CounterSet backward;
+  for (int i = 2; i >= 0; --i) backward.MergeFrom(shards[i]);
+
+  EXPECT_EQ(forward.value(items), backward.value(items));
+  EXPECT_EQ(forward.value(peak), backward.value(peak));
+  EXPECT_EQ(forward.value(items), 60u);
+  EXPECT_EQ(forward.value(peak), 21u);
+}
+
+TEST(CounterSetTest, ClearAndEmpty) {
+  const CounterId id = CounterId::Counter("test.counters.clear");
+  CounterSet set;
+  EXPECT_TRUE(set.Empty());
+  set.Add(id, 1);
+  EXPECT_FALSE(set.Empty());
+  set.Clear();
+  EXPECT_TRUE(set.Empty());
+  EXPECT_EQ(set.value(id), 0u);
+}
+
+TEST(CounterSetTest, ForEachNonZeroVisitsInIndexOrderWithKinds) {
+  const CounterId first = CounterId::Counter("test.counters.visit_a");
+  const CounterId second = CounterId::Gauge("test.counters.visit_b");
+  CounterSet set;
+  set.RecordMax(second, 9);
+  set.Add(first, 5);
+
+  std::vector<std::pair<std::size_t, std::uint64_t>> seen;
+  std::vector<CounterKind> kinds;
+  set.ForEachNonZero([&](CounterId id, CounterKind kind,
+                         std::uint64_t value) {
+    seen.emplace_back(id.index(), value);
+    kinds.push_back(kind);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  // Index order is interning order: first was interned before second.
+  EXPECT_EQ(seen[0], std::make_pair(first.index(), std::uint64_t{5}));
+  EXPECT_EQ(seen[1], std::make_pair(second.index(), std::uint64_t{9}));
+  EXPECT_EQ(kinds[0], CounterKind::kCounter);
+  EXPECT_EQ(kinds[1], CounterKind::kGauge);
+}
+
+TEST(CounterSetTest, CopyIsIndependent) {
+  const CounterId id = CounterId::Counter("test.counters.copy");
+  CounterSet a;
+  a.Add(id, 2);
+  CounterSet b = a;
+  b.Add(id, 5);
+  EXPECT_EQ(a.value(id), 2u);
+  EXPECT_EQ(b.value(id), 7u);
+}
+
+}  // namespace
+}  // namespace streamsc

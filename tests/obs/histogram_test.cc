@@ -1,0 +1,137 @@
+#include "obs/histogram.h"
+
+#include <cstdint>
+#include <limits>
+
+#include "gtest/gtest.h"
+
+// LatencyHistogram: log-linear bucketing with bounded relative error
+// (2^-(kSubBits-1) ~ 6% at kSubBits=5), HdrHistogram-style percentile
+// reporting, and deterministic shard merge.
+
+namespace streamsc {
+namespace {
+
+TEST(LatencyHistogramTest, SmallValuesLandInExactUnitBuckets) {
+  for (std::uint64_t v = 0; v < (std::uint64_t{1} <<
+                                 LatencyHistogram::kSubBits); ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketHigh(v), v);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketHighBoundsValueWithBoundedRelativeError) {
+  // The bucket's inclusive upper bound must contain the value, and the
+  // bound must not overshoot by more than the sub-bucket resolution.
+  const std::uint64_t probes[] = {
+      32,      33,     100,    1000,          4096,
+      123456,  1u << 20, (1u << 20) + 7,      std::uint64_t{1} << 40,
+      (std::uint64_t{1} << 40) + 12345,        std::uint64_t{1} << 62,
+      std::numeric_limits<std::uint64_t>::max() / 2,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : probes) {
+    const std::size_t index = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(index, LatencyHistogram::kBucketCount) << v;
+    const std::uint64_t high = LatencyHistogram::BucketHigh(index);
+    EXPECT_GE(high, v) << v;
+    // Relative error bound: (high - v) <= v / 2^(kSubBits-1).
+    EXPECT_LE(high - v, v / LatencyHistogram::kHalfCount + 1) << v;
+  }
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotone) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 100000; v += 37) {
+    const std::size_t index = LatencyHistogram::BucketIndex(v);
+    EXPECT_GE(index, prev) << v;
+    prev = index;
+  }
+}
+
+TEST(LatencyHistogramTest, CountMinMaxSumTrackObservations) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.Record(50);
+  h.Record(10);
+  h.Record(200);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 200u);
+  EXPECT_EQ(h.sum(), 260u);
+}
+
+TEST(LatencyHistogramTest, PercentilesOnUniformRange) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  // p50 within the ~6% bucket resolution of the true median.
+  const std::uint64_t p50 = h.ValueAtPercentile(50.0);
+  EXPECT_GE(p50, 470u);
+  EXPECT_LE(p50, 532u);
+  const std::uint64_t p99 = h.ValueAtPercentile(99.0);
+  EXPECT_GE(p99, 930u);
+  EXPECT_LE(p99, 1000u);
+  // Extremes clamp to observed bounds.
+  EXPECT_EQ(h.ValueAtPercentile(100.0), 1000u);
+  EXPECT_GE(h.ValueAtPercentile(0.0), 1u);
+  // Out-of-range percentiles clamp instead of misbehaving.
+  EXPECT_EQ(h.ValueAtPercentile(150.0), 1000u);
+  EXPECT_GE(h.ValueAtPercentile(-5.0), 1u);
+}
+
+TEST(LatencyHistogramTest, PercentileOnEmptyHistogramIsZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.ValueAtPercentile(50.0), 0u);
+}
+
+TEST(LatencyHistogramTest, SingleObservationReportsItselfEverywhere) {
+  LatencyHistogram h;
+  h.Record(777);
+  EXPECT_EQ(h.ValueAtPercentile(0.0), 777u);
+  EXPECT_EQ(h.ValueAtPercentile(50.0), 777u);
+  EXPECT_EQ(h.ValueAtPercentile(100.0), 777u);
+}
+
+TEST(LatencyHistogramTest, MergeCombinesShards) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (std::uint64_t v = 1; v <= 500; ++v) a.Record(v);
+  for (std::uint64_t v = 501; v <= 1000; ++v) b.Record(v);
+
+  LatencyHistogram merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.count(), 1000u);
+  EXPECT_EQ(merged.min(), 1u);
+  EXPECT_EQ(merged.max(), 1000u);
+  EXPECT_EQ(merged.sum(), a.sum() + b.sum());
+
+  // Merge in the other order produces the same percentile (merge is
+  // deterministic and order-independent).
+  LatencyHistogram reversed = b;
+  reversed.Merge(a);
+  EXPECT_EQ(merged.ValueAtPercentile(50.0),
+            reversed.ValueAtPercentile(50.0));
+}
+
+TEST(LatencyHistogramTest, MergeWithEmptyIsIdentity) {
+  LatencyHistogram h;
+  h.Record(42);
+  const LatencyHistogram empty;
+  h.Merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+}
+
+TEST(LatencyHistogramTest, ClearForgetsEverything) {
+  LatencyHistogram h;
+  h.Record(99);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.ValueAtPercentile(50.0), 0u);
+}
+
+}  // namespace
+}  // namespace streamsc

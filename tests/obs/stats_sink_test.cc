@@ -1,0 +1,99 @@
+#include "obs/stats_sink.h"
+
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/counters.h"
+#include "obs/histogram.h"
+
+// Prometheus-format export: the text surface the solve daemon will serve
+// from /metrics. The format is checked line-by-line because exposition
+// format is a wire contract (scrapers parse it), not a pretty-print.
+
+namespace streamsc {
+namespace {
+
+TEST(StatsSinkTest, CountersExportWithTypeLinesAndSanitizedNames) {
+  const CounterId items = CounterId::Counter("test.sink.items-scanned");
+  const CounterId peak = CounterId::Gauge("test.sink.peak_bytes");
+  CounterSet set;
+  set.Add(items, 1234);
+  set.RecordMax(peak, 9000);
+
+  std::ostringstream out;
+  WritePrometheusStats(out, set);
+  const std::string text = out.str();
+  // Dots and dashes sanitize to underscores; the default prefix applies.
+  EXPECT_NE(text.find("# TYPE streamsc_test_sink_items_scanned counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("streamsc_test_sink_items_scanned 1234\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE streamsc_test_sink_peak_bytes gauge\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("streamsc_test_sink_peak_bytes 9000\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(StatsSinkTest, ZeroValuedCountersAreOmitted) {
+  const CounterSet empty;
+  std::ostringstream out;
+  WritePrometheusStats(out, empty);
+  EXPECT_EQ(out.str(), "");
+}
+
+TEST(StatsSinkTest, CustomPrefixApplies) {
+  const CounterId id = CounterId::Counter("test.sink.prefixed");
+  CounterSet set;
+  set.Add(id, 1);
+  std::ostringstream out;
+  WritePrometheusStats(out, set, "daemon");
+  EXPECT_NE(out.str().find("daemon_test_sink_prefixed 1\n"),
+            std::string::npos)
+      << out.str();
+  EXPECT_EQ(out.str().find("streamsc_"), std::string::npos);
+}
+
+TEST(StatsSinkTest, HistogramExportsAsSummary) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.Record(v);
+
+  std::ostringstream out;
+  WritePrometheusHistogram(out, h, "solve.latency-ns");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE streamsc_solve_latency_ns summary\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("streamsc_solve_latency_ns{quantile=\"0.5\"} "),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("streamsc_solve_latency_ns{quantile=\"0.9\"} "),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("streamsc_solve_latency_ns{quantile=\"0.99\"} "),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("streamsc_solve_latency_ns_sum 5050\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("streamsc_solve_latency_ns_count 100\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(StatsSinkTest, EmptyHistogramStillExportsSummaryShape) {
+  const LatencyHistogram h;
+  std::ostringstream out;
+  WritePrometheusHistogram(out, h, "idle");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("streamsc_idle_sum 0\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("streamsc_idle_count 0\n"), std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,222 @@
+#include "obs/trace.h"
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "testing/alloc_counter.h"
+#include "testing/min_json.h"
+
+// TraceRecorder: the per-thread span ring buffers behind `--trace`. The
+// contracts under test are the ones the engine leans on — overflow
+// overwrites oldest and never reallocates, Emit is allocation-free once
+// the recorder is armed, and the chrome-trace export actually parses.
+
+namespace streamsc {
+namespace {
+
+using testing::JsonValue;
+using testing::ParseJson;
+
+TraceRecorder::Options SmallRing(std::size_t events, std::size_t threads) {
+  TraceRecorder::Options options;
+  options.events_per_thread = events;
+  options.max_threads = threads;
+  return options;
+}
+
+TEST(TraceRecorderTest, EmitStoresEventPayload) {
+  TraceRecorder recorder(SmallRing(8, 1));
+  const TraceArg args[] = {{"items", 42}, {"shards", 3}};
+  recorder.Emit(TraceCategory::kPass, "gain_scan", 1000, 250, args, 2);
+
+  std::size_t seen = 0;
+  recorder.ForEachEvent([&](const TraceEvent& event) {
+    ++seen;
+    EXPECT_STREQ(event.name, "gain_scan");
+    EXPECT_EQ(event.category, TraceCategory::kPass);
+    EXPECT_EQ(event.start_ns, 1000);
+    EXPECT_EQ(event.dur_ns, 250);
+    ASSERT_EQ(event.num_args, 2);
+    EXPECT_STREQ(event.arg_names[0], "items");
+    EXPECT_EQ(event.arg_values[0], 42u);
+    EXPECT_STREQ(event.arg_names[1], "shards");
+    EXPECT_EQ(event.arg_values[1], 3u);
+  });
+  EXPECT_EQ(seen, 1u);
+  EXPECT_EQ(recorder.events_recorded(), 1u);
+  EXPECT_EQ(recorder.events_dropped(), 0u);
+  EXPECT_EQ(recorder.threads_seen(), 1u);
+}
+
+TEST(TraceRecorderTest, MergeOrdersByStartTime) {
+  TraceRecorder recorder(SmallRing(16, 1));
+  // Emitted out of start order; the merge must sort.
+  recorder.Emit(TraceCategory::kPhase, "late", 300, 10);
+  recorder.Emit(TraceCategory::kPhase, "early", 100, 10);
+  recorder.Emit(TraceCategory::kPhase, "middle", 200, 10);
+
+  std::vector<std::string> names;
+  recorder.ForEachEvent(
+      [&](const TraceEvent& event) { names.push_back(event.name); });
+  EXPECT_EQ(names, (std::vector<std::string>{"early", "middle", "late"}));
+}
+
+TEST(TraceRecorderTest, LongNamesTruncateLongArgListsClamp) {
+  TraceRecorder recorder(SmallRing(8, 1));
+  const std::string long_name(64, 'x');
+  const TraceArg args[] = {{"a", 1}, {"b", 2}, {"c", 3},
+                           {"d", 4}, {"e", 5}, {"f", 6}};
+  recorder.Emit(TraceCategory::kPhase, long_name.c_str(), 0, 1, args, 6);
+
+  recorder.ForEachEvent([&](const TraceEvent& event) {
+    EXPECT_EQ(std::strlen(event.name), TraceEvent::kNameCapacity);
+    EXPECT_EQ(event.num_args, TraceEvent::kMaxArgs);
+  });
+}
+
+TEST(TraceRecorderTest, OverflowDropsOldestAndNeverGrows) {
+  constexpr std::size_t kCapacity = 8;
+  constexpr std::size_t kEmitted = 20;
+  TraceRecorder recorder(SmallRing(kCapacity, 1));
+  for (std::size_t i = 0; i < kEmitted; ++i) {
+    recorder.Emit(TraceCategory::kPhase, "tick",
+                  static_cast<std::int64_t>(i), 1);
+  }
+  // The ring holds exactly its capacity; the excess is counted dropped.
+  EXPECT_EQ(recorder.events_recorded(), kCapacity);
+  EXPECT_EQ(recorder.events_dropped(), kEmitted - kCapacity);
+  // Survivors are the *newest* events (oldest-overwritten policy).
+  std::vector<std::int64_t> starts;
+  recorder.ForEachEvent(
+      [&](const TraceEvent& event) { starts.push_back(event.start_ns); });
+  ASSERT_EQ(starts.size(), kCapacity);
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    EXPECT_EQ(starts[i],
+              static_cast<std::int64_t>(kEmitted - kCapacity + i));
+  }
+}
+
+TEST(TraceRecorderTest, EmitIsAllocationFreeEvenThroughOverflow) {
+  TraceRecorder recorder(SmallRing(64, 2));
+  // Warm the calling thread's slot cache outside the measured window
+  // (first contact may be a slow-path scan, but still must not allocate;
+  // arming the counter after construction isolates Emit itself).
+  recorder.Emit(TraceCategory::kPhase, "warm", 0, 0);
+
+  streamsc::testing::ArmAllocCounter();
+  const TraceArg args[] = {{"i", 7}};
+  for (std::size_t i = 0; i < 100000; ++i) {
+    recorder.Emit(TraceCategory::kPass, "steady",
+                  static_cast<std::int64_t>(i), 1, args, 1);
+  }
+  const auto stats = streamsc::testing::DisarmAllocCounter();
+  EXPECT_EQ(stats.allocations, 0u)
+      << "Emit must never allocate: the ring is fully preallocated at "
+         "arm time and overflow overwrites in place";
+  EXPECT_GT(recorder.events_dropped(), 0u);  // overflow really happened
+}
+
+TEST(TraceRecorderTest, ThreadsBeyondMaxThreadsDropCounted) {
+  TraceRecorder recorder(SmallRing(8, 1));
+  recorder.Emit(TraceCategory::kPhase, "claims_only_slot", 0, 1);
+  std::thread other([&recorder] {
+    recorder.Emit(TraceCategory::kPhase, "no_slot_left", 10, 1);
+    recorder.Emit(TraceCategory::kPhase, "still_no_slot", 20, 1);
+  });
+  other.join();
+  EXPECT_EQ(recorder.threads_seen(), 1u);
+  EXPECT_EQ(recorder.events_recorded(), 1u);
+  EXPECT_EQ(recorder.events_dropped(), 2u);
+}
+
+TEST(TraceRecorderTest, ResetForgetsEventsAndDrops) {
+  TraceRecorder recorder(SmallRing(4, 1));
+  for (int i = 0; i < 10; ++i) {
+    recorder.Emit(TraceCategory::kPhase, "noise", i, 1);
+  }
+  recorder.Reset();
+  EXPECT_EQ(recorder.events_recorded(), 0u);
+  EXPECT_EQ(recorder.events_dropped(), 0u);
+  // The ring is reusable after Reset.
+  recorder.Emit(TraceCategory::kPhase, "fresh", 0, 1);
+  EXPECT_EQ(recorder.events_recorded(), 1u);
+}
+
+TEST(TraceSpanTest, NullRecorderIsANoop) {
+  TraceSpan span(nullptr, TraceCategory::kPhase, "unbound");
+  span.AddArg("ignored", 1);
+  // Destruction must not crash; nothing to observe.
+}
+
+TEST(TraceSpanTest, SpanEmitsOnDestructionWithArgs) {
+  TraceRecorder recorder(SmallRing(8, 1));
+  {
+    TraceSpan span(&recorder, TraceCategory::kSolver, "assadi");
+    span.AddArg("alpha", 2);
+  }
+  std::size_t seen = 0;
+  recorder.ForEachEvent([&](const TraceEvent& event) {
+    ++seen;
+    EXPECT_STREQ(event.name, "assadi");
+    EXPECT_EQ(event.category, TraceCategory::kSolver);
+    EXPECT_GE(event.dur_ns, 0);
+    ASSERT_EQ(event.num_args, 1);
+    EXPECT_STREQ(event.arg_names[0], "alpha");
+    EXPECT_EQ(event.arg_values[0], 2u);
+  });
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(TraceRecorderTest, ChromeTraceExportParsesBack) {
+  TraceRecorder recorder(SmallRing(16, 2));
+  const TraceArg args[] = {{"items", 512}};
+  recorder.Emit(TraceCategory::kPass, "gain_scan", 2000, 1500, args, 1);
+  recorder.Emit(TraceCategory::kPhase, "weird \"name\"\n", 1000, 3000);
+
+  std::ostringstream out;
+  recorder.WriteChromeTrace(out);
+  const std::unique_ptr<JsonValue> root = ParseJson(out.str());
+  ASSERT_NE(root, nullptr) << "chrome trace is not valid JSON:\n"
+                           << out.str();
+  ASSERT_EQ(root->type, JsonValue::Type::kObject);
+
+  const JsonValue* events = root->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, JsonValue::Type::kArray);
+  // Metadata (process name + one thread name for the claimed slot) plus
+  // the two spans.
+  ASSERT_EQ(events->array.size(), 4u);
+
+  const JsonValue& process_meta = *events->array[0];
+  EXPECT_EQ(process_meta.Get("ph")->string, "M");
+  EXPECT_EQ(process_meta.Get("name")->string, "process_name");
+
+  // Spans are ordered by start time and rebased to ts=0.
+  const JsonValue& first = *events->array[2];
+  EXPECT_EQ(first.Get("ph")->string, "X");
+  EXPECT_EQ(first.Get("name")->string, "weird \"name\"\n");
+  EXPECT_EQ(first.Get("cat")->string, "phase");
+  EXPECT_DOUBLE_EQ(first.Get("ts")->number, 0.0);
+  EXPECT_DOUBLE_EQ(first.Get("dur")->number, 3.0);  // 3000 ns = 3 us
+
+  const JsonValue& second = *events->array[3];
+  EXPECT_EQ(second.Get("name")->string, "gain_scan");
+  EXPECT_EQ(second.Get("cat")->string, "pass");
+  EXPECT_DOUBLE_EQ(second.Get("ts")->number, 1.0);
+  ASSERT_NE(second.Get("args"), nullptr);
+  EXPECT_DOUBLE_EQ(second.Get("args")->Get("items")->number, 512.0);
+}
+
+TEST(TraceRecorderTest, NowNsIsMonotone) {
+  const std::int64_t a = TraceRecorder::NowNs();
+  const std::int64_t b = TraceRecorder::NowNs();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,214 @@
+#ifndef STREAMSC_TESTING_MIN_JSON_H_
+#define STREAMSC_TESTING_MIN_JSON_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file min_json.h
+/// A minimal recursive-descent JSON parser for tests that validate the
+/// repo's machine-readable exports (chrome-trace files, BENCH_*.json)
+/// actually parse — without pulling a JSON dependency into the tree.
+/// Strict enough for the subset our writers produce: objects, arrays,
+/// strings with \" \\ \uXXXX escapes, numbers, true/false/null. Parse
+/// failures return nullptr (callers assert on it).
+
+namespace streamsc {
+namespace testing {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::unique_ptr<JsonValue>> array;
+  std::map<std::string, std::unique_ptr<JsonValue>> object;
+
+  const JsonValue* Get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : it->second.get();
+  }
+};
+
+class MinJsonParser {
+ public:
+  explicit MinJsonParser(const std::string& text) : text_(text) {}
+
+  /// Parses the whole input as one JSON value; nullptr on any error or
+  /// trailing garbage.
+  std::unique_ptr<JsonValue> Parse() {
+    pos_ = 0;
+    std::unique_ptr<JsonValue> value = ParseValue();
+    SkipWhitespace();
+    if (value == nullptr || pos_ != text_.size()) return nullptr;
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const std::size_t start = pos_;
+    for (const char* p = literal; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        pos_ = start;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::unique_ptr<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return nullptr;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    auto value = std::make_unique<JsonValue>();
+    if (ConsumeLiteral("true")) {
+      value->type = JsonValue::Type::kBool;
+      value->bool_value = true;
+      return value;
+    }
+    if (ConsumeLiteral("false")) {
+      value->type = JsonValue::Type::kBool;
+      return value;
+    }
+    if (ConsumeLiteral("null")) return value;  // kNull
+    return nullptr;
+  }
+
+  std::unique_ptr<JsonValue> ParseObject() {
+    if (!Consume('{')) return nullptr;
+    auto value = std::make_unique<JsonValue>();
+    value->type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return value;
+    while (true) {
+      std::unique_ptr<JsonValue> key = ParseString();
+      if (key == nullptr || !Consume(':')) return nullptr;
+      std::unique_ptr<JsonValue> member = ParseValue();
+      if (member == nullptr) return nullptr;
+      value->object[key->string] = std::move(member);
+      if (Consume(',')) continue;
+      if (Consume('}')) return value;
+      return nullptr;
+    }
+  }
+
+  std::unique_ptr<JsonValue> ParseArray() {
+    if (!Consume('[')) return nullptr;
+    auto value = std::make_unique<JsonValue>();
+    value->type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return value;
+    while (true) {
+      std::unique_ptr<JsonValue> element = ParseValue();
+      if (element == nullptr) return nullptr;
+      value->array.push_back(std::move(element));
+      if (Consume(',')) continue;
+      if (Consume(']')) return value;
+      return nullptr;
+    }
+  }
+
+  std::unique_ptr<JsonValue> ParseString() {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return nullptr;
+    ++pos_;
+    auto value = std::make_unique<JsonValue>();
+    value->type = JsonValue::Type::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return nullptr;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': value->string.push_back('"'); break;
+          case '\\': value->string.push_back('\\'); break;
+          case '/': value->string.push_back('/'); break;
+          case 'b': value->string.push_back('\b'); break;
+          case 'f': value->string.push_back('\f'); break;
+          case 'n': value->string.push_back('\n'); break;
+          case 'r': value->string.push_back('\r'); break;
+          case 't': value->string.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return nullptr;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return nullptr;
+            }
+            // Our writers only escape control chars; keep it one byte.
+            value->string.push_back(static_cast<char>(code & 0x7f));
+            break;
+          }
+          default: return nullptr;
+        }
+        continue;
+      }
+      value->string.push_back(c);
+    }
+    return nullptr;  // unterminated
+  }
+
+  std::unique_ptr<JsonValue> ParseNumber() {
+    SkipWhitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return nullptr;
+    auto value = std::make_unique<JsonValue>();
+    value->type = JsonValue::Type::kNumber;
+    try {
+      value->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return nullptr;
+    }
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline std::unique_ptr<JsonValue> ParseJson(const std::string& text) {
+  MinJsonParser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace testing
+}  // namespace streamsc
+
+#endif  // STREAMSC_TESTING_MIN_JSON_H_

@@ -16,6 +16,7 @@
 #include "core/pair_finder.h"
 #include "instance/serialization.h"
 #include "instance/set_system.h"
+#include "obs/trace.h"
 #include "storage/binary_instance_writer.h"
 #include "storage/mmap_set_stream.h"
 #include "stream/engine_context.h"
@@ -135,15 +136,17 @@ using SolverFn = std::function<SolverOutcome(SetStream&, ParallelPassEngine*)>;
 /// string key + key=value options — the same construction path every
 /// external caller (CLI, bench sweep, service) uses.
 ///
-/// Every cell runs **twice**: once heap-allocating (no run arena) and
-/// once over a fresh MonotonicArena, asserting the two outcomes are
-/// byte-identical — the arena is a memory placement decision, never an
+/// Every cell runs **three times**: once heap-allocating (no run arena),
+/// once over a fresh MonotonicArena, and once with a TraceRecorder armed,
+/// asserting all outcomes are byte-identical — the arena is a memory
+/// placement decision and tracing is a pure observer; neither is ever an
 /// algorithmic one. The arena-backed outcome is returned.
 inline SolverFn RegistrySolverFn(std::string solver,
                                  std::vector<std::string> options) {
   return [solver = std::move(solver), options = std::move(options)](
              SetStream& stream, ParallelPassEngine* engine) -> SolverOutcome {
-    auto run_once = [&](MonotonicArena* arena) -> std::optional<SolverOutcome> {
+    auto run_once = [&](MonotonicArena* arena,
+                        TraceRecorder* trace) -> std::optional<SolverOutcome> {
       StatusOr<std::unique_ptr<AnySolver>> created =
           SolverRegistry::Global().Create(solver, options);
       if (!created.ok()) {
@@ -154,6 +157,7 @@ inline SolverFn RegistrySolverFn(std::string solver,
       RunContext context;
       context.engine = engine;
       context.arena = arena;
+      context.trace = trace;
       StatusOr<SolveReport> report = (*created)->Run(stream, context);
       if (!report.ok()) {
         ADD_FAILURE() << "'" << solver
@@ -162,10 +166,14 @@ inline SolverFn RegistrySolverFn(std::string solver,
       }
       return ToOutcome(*report);
     };
-    const std::optional<SolverOutcome> heap_outcome = run_once(nullptr);
+    const std::optional<SolverOutcome> heap_outcome = run_once(nullptr, nullptr);
     MonotonicArena arena;
-    const std::optional<SolverOutcome> arena_outcome = run_once(&arena);
-    if (!heap_outcome.has_value() || !arena_outcome.has_value()) {
+    const std::optional<SolverOutcome> arena_outcome = run_once(&arena, nullptr);
+    TraceRecorder trace;
+    const std::optional<SolverOutcome> traced_outcome =
+        run_once(nullptr, &trace);
+    if (!heap_outcome.has_value() || !arena_outcome.has_value() ||
+        !traced_outcome.has_value()) {
       return SolverOutcome{};
     }
     EXPECT_EQ(arena_outcome->chosen, heap_outcome->chosen)
@@ -177,6 +185,19 @@ inline SolverFn RegistrySolverFn(std::string solver,
     EXPECT_EQ(arena_outcome->elements_covered, heap_outcome->elements_covered);
     EXPECT_EQ(arena_outcome->peak_space_bytes, heap_outcome->peak_space_bytes);
     EXPECT_EQ(arena_outcome->extra, heap_outcome->extra);
+    EXPECT_EQ(traced_outcome->chosen, heap_outcome->chosen)
+        << "arming a TraceRecorder changed the solution";
+    EXPECT_EQ(traced_outcome->feasible, heap_outcome->feasible);
+    EXPECT_EQ(traced_outcome->passes, heap_outcome->passes);
+    EXPECT_EQ(traced_outcome->items_seen, heap_outcome->items_seen);
+    EXPECT_EQ(traced_outcome->sets_taken, heap_outcome->sets_taken);
+    EXPECT_EQ(traced_outcome->elements_covered,
+              heap_outcome->elements_covered);
+    EXPECT_EQ(traced_outcome->peak_space_bytes,
+              heap_outcome->peak_space_bytes);
+    EXPECT_EQ(traced_outcome->extra, heap_outcome->extra);
+    // Every traced run records at least the solver span.
+    EXPECT_GT(trace.events_recorded(), 0u);
     return *arena_outcome;
   };
 }

@@ -1,0 +1,9 @@
+// obs/ is chrono-exempt: it owns the trace clock. This file must lint
+// clean even though it reads std::chrono directly.
+#include <chrono>
+#include "util/ok.h"
+namespace streamsc {
+inline long ObsNowNs() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+}  // namespace streamsc

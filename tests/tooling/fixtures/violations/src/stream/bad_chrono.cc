@@ -1,0 +1,6 @@
+#include <chrono>
+namespace streamsc {
+inline long NowNs() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+}  // namespace streamsc

@@ -70,13 +70,18 @@ class LintStreamscTest(unittest.TestCase):
                              "determinism")
         self.assert_reported(result, "src/core/bad_random.cc", 3,
                              "determinism")
+        # Direct chrono outside util//obs/: the include and the use.
+        self.assert_reported(result, "src/stream/bad_chrono.cc", 1,
+                             "chrono")
+        self.assert_reported(result, "src/stream/bad_chrono.cc", 4,
+                             "chrono")
 
     def test_violation_count_is_exact(self):
         """No over-reporting: exactly the planted violations, nothing
         from comments, string literals, or the clean lines around them."""
         result = run_linter("--root", str(FIXTURES / "violations"))
         reported = [l for l in result.stdout.splitlines() if "[" in l]
-        self.assertEqual(len(reported), 8, result.stdout)
+        self.assertEqual(len(reported), 10, result.stdout)
 
     def test_real_tree_is_clean(self):
         """The wall starts (and stays) at zero violations on the repo."""
@@ -91,7 +96,7 @@ class LintStreamscTest(unittest.TestCase):
         rules = result.stdout.split()
         self.assertEqual(
             rules, ["layer-dag", "raw-assert", "determinism", "engine-ptr",
-                    "arena-ptr"])
+                    "arena-ptr", "chrono"])
 
 
 class TidyGatingTest(unittest.TestCase):

@@ -1,0 +1,206 @@
+// E16: the solve daemon under concurrent load — requests/sec and tail
+// latency through the full socket path.
+//
+// Every other bench measures the library in-process; this one measures
+// what the serving layer adds on top: frame encode/decode, a Unix-socket
+// round-trip, ring admission, and the per-slot warm SolveSession reuse.
+// An in-process SolveService is started over one mmap-cached instance,
+// then hammered by {1, 4, 8} client threads, each holding its own
+// connection and issuing back-to-back solve requests.
+//
+// Reported per width, for a cheap solver (threshold_greedy, the
+// protocol-overhead probe) and a multi-pass one (assadi, the
+// solver-bound regime):
+//
+//   req_per_sec  aggregate completed requests / wall time;
+//   p50/p99 ms   client-observed request latency percentiles
+//                (obs/histogram.h LatencyHistogram, merged across
+//                client threads).
+//
+// The daemon runs with as many worker slots as the widest client sweep,
+// and a ring sized so admission never answers BUSY — this bench measures
+// throughput, not backpressure (tests/serve/solve_service_test.cc pins
+// the BUSY path).
+//
+// Usage: bench_e16_serve [n] [opt] [decoys] [iters]
+//   defaults: n=16384 opt=16 decoys=48 iters=200
+//   (planted block size = n/opt; m = opt + decoys; iters is per client
+//    thread)
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "instance/generators.h"
+#include "instance/set_system.h"
+#include "obs/histogram.h"
+#include "serve/solve_client.h"
+#include "serve/solve_service.h"
+#include "storage/binary_instance_writer.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace streamsc;
+
+struct LoadResult {
+  double wall_seconds = 0.0;
+  LatencyHistogram latency;
+  std::uint64_t requests = 0;
+  std::uint64_t passes = 0;  // from the last response, for the JSON row
+};
+
+// Drives `clients` threads, each with a private connection, issuing
+// `iters` identical solve requests. Any wire or solver error aborts the
+// bench — this is a throughput probe, errors mean the setup is wrong.
+LoadResult DriveClients(const std::string& endpoint, int clients, int iters,
+                        const std::string& solver,
+                        const std::vector<std::string>& args) {
+  std::vector<LatencyHistogram> histograms(clients);
+  std::vector<std::uint64_t> passes(clients, 0);
+  std::vector<std::string> errors(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  Stopwatch wall;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      StatusOr<serve::SolveClient> client =
+          serve::SolveClient::Connect(endpoint);
+      if (!client.ok()) {
+        errors[c] = client.status().ToString();
+        return;
+      }
+      for (int i = 0; i < iters; ++i) {
+        Stopwatch request;
+        StatusOr<serve::SolveResponse> response =
+            client->Solve("bench", solver, args);
+        if (!response.ok()) {
+          errors[c] = response.status().ToString();
+          return;
+        }
+        histograms[c].Record(static_cast<std::uint64_t>(
+            request.ElapsedSeconds() * 1e9));
+        passes[c] = response->passes;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  LoadResult result;
+  result.wall_seconds = wall.ElapsedSeconds();
+  for (int c = 0; c < clients; ++c) {
+    if (!errors[c].empty()) {
+      std::cerr << "client " << c << " failed: " << errors[c] << "\n";
+      std::exit(1);
+    }
+    result.latency.Merge(histograms[c]);
+    result.requests += histograms[c].count();
+    result.passes = passes[c];
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16384;
+  const std::size_t opt = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 16;
+  const std::size_t decoys =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 48;
+  const int iters = argc > 4 ? std::atoi(argv[4]) : 200;
+
+  bench::Banner("E16",
+                "the serving layer adds protocol overhead, not solver "
+                "slowdown: daemon solves scale with client width until "
+                "worker slots saturate");
+  bench::Params("n=" + std::to_string(n) + " opt=" + std::to_string(opt) +
+                " decoys=" + std::to_string(decoys) +
+                " iters=" + std::to_string(iters) + " clients={1,4,8}");
+
+  Rng rng(16);
+  const SetSystem system = PlantedCoverInstance(n, opt + decoys, opt, rng);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "streamsc_bench_e16";
+  std::filesystem::create_directories(dir);
+  const std::string instance_path = (dir / "bench.sscb1").string();
+  const std::string socket_path = (dir / "solve.sock").string();
+  {
+    const Status written =
+        BinaryInstanceWriter::WriteSystem(system, instance_path);
+    if (!written.ok()) {
+      std::cerr << "write instance: " << written.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  constexpr int kMaxClients = 8;
+  serve::ServiceOptions options;
+  options.endpoint = "unix:" + socket_path;
+  options.workers = kMaxClients;
+  options.ring_capacity = 2 * kMaxClients;  // admission never answers BUSY
+  serve::SolveService service(std::move(options));
+  if (Status status = service.AddInstance("bench", instance_path);
+      !status.ok()) {
+    std::cerr << "add instance: " << status.ToString() << "\n";
+    return 1;
+  }
+  if (Status status = service.Start(); !status.ok()) {
+    std::cerr << "start daemon: " << status.ToString() << "\n";
+    return 1;
+  }
+
+  const std::string instance_label =
+      "planted n=" + std::to_string(n) + " opt=" + std::to_string(opt) +
+      " decoys=" + std::to_string(decoys);
+  bench::BenchJson json("e16");
+  TablePrinter table({"solver", "clients", "requests", "req_per_sec",
+                      "p50_ms", "p99_ms"});
+  const struct {
+    const char* solver;
+    std::vector<std::string> args;
+  } workloads[] = {
+      {"threshold_greedy", {"beta=4"}},
+      {"assadi", {"alpha=2"}},
+  };
+  for (const auto& workload : workloads) {
+    for (const int clients : {1, 4, 8}) {
+      const LoadResult run = DriveClients(
+          serve::EndpointSpec(service.endpoint()), clients, iters,
+          workload.solver, workload.args);
+      const double req_per_sec =
+          static_cast<double>(run.requests) / run.wall_seconds;
+      const double p50_ms = run.latency.ValueAtPercentile(50.0) / 1e6;
+      const double p99_ms = run.latency.ValueAtPercentile(99.0) / 1e6;
+      table.BeginRow();
+      table.AddCell(workload.solver);
+      table.AddCell(clients);
+      table.AddCell(run.requests);
+      table.AddCell(req_per_sec, 1);
+      table.AddCell(p50_ms, 3);
+      table.AddCell(p99_ms, 3);
+      bench::BenchResult row;
+      row.solver = workload.solver;
+      row.instance = instance_label;
+      row.n = n;
+      row.m = system.num_sets();
+      row.threads = static_cast<std::size_t>(clients);
+      row.passes = run.passes;
+      row.wall_seconds = run.wall_seconds;
+      row.extras = {{"requests_per_sec", req_per_sec},
+                    {"p50_ms", p50_ms},
+                    {"p99_ms", p99_ms}};
+      json.Add(std::move(row));
+    }
+  }
+  table.PrintWithTitle(std::cout, "solve daemon throughput (unix socket)");
+  json.Write();
+
+  service.Stop();
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,123 @@
+// workload_served: the solve daemon.
+//
+// Runs a SolveService (serve/solve_service.h) over a set of sscb1
+// instances registered at startup: a long-lived process that accepts
+// framed solve requests on a Unix or loopback TCP socket, admits them
+// into a fixed ring of worker slots (a full ring answers a typed BUSY
+// immediately — the daemon never queues unboundedly), and serves every
+// request from warm per-slot SolveSessions over one shared mmap per
+// instance.
+//
+// Usage:
+//   workload_served --listen=ENDPOINT --instance=NAME=PATH.sscb1 ...
+//                   [--workers=N] [--ring=N] [--threads=N]
+//                   [--memory-budget=BYTES] [--trace]
+//     ENDPOINT: unix:/path/to.sock or tcp:PORT (loopback; tcp:0 lets the
+//               kernel pick — the bound endpoint is printed on stdout).
+//     --workers        concurrently served connections (default 2)
+//     --ring           admission queue slots before BUSY (default 4)
+//     --threads        engine width per solve (default 1)
+//     --memory-budget  server-side arena cap per request; an over-budget
+//                      solve returns RESOURCE_EXHAUSTED, the daemon
+//                      keeps serving (default: client's choice)
+//     --trace          arm per-slot TraceRecorders so clients may request
+//                      per-pass breakdowns
+//
+// The daemon prints `listening on <endpoint>` once ready and runs until
+// a client sends a shutdown request (workload_tool client ... shutdown)
+// or the process is signalled.
+//
+// Example session (two shells):
+//   ./build/examples/workload_tool gen planted 4096 128 4 7 /tmp/w.ssc
+//   ./build/examples/workload_tool convert /tmp/w.ssc /tmp/w.sscb1
+//   ./build/examples/workload_served --listen=unix:/tmp/solve.sock
+//       --instance=w=/tmp/w.sscb1 --workers=4 --ring=8
+//   ./build/examples/workload_tool client unix:/tmp/solve.sock solve w
+//       assadi alpha=2
+//   ./build/examples/workload_tool client unix:/tmp/solve.sock stats
+//   ./build/examples/workload_tool client unix:/tmp/solve.sock shutdown
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/solve_service.h"
+
+namespace {
+
+using namespace streamsc;
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+      << "  workload_served --listen=ENDPOINT --instance=NAME=PATH ...\n"
+      << "                  [--workers=N] [--ring=N] [--threads=N]\n"
+      << "                  [--memory-budget=BYTES] [--trace]\n"
+      << "  ENDPOINT: unix:/path/to.sock | tcp:PORT (tcp:0 = kernel-"
+         "assigned,\n"
+      << "  printed on startup)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServiceOptions options;
+  options.endpoint.clear();
+  std::vector<std::pair<std::string, std::string>> instances;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      options.endpoint = arg.substr(9);
+    } else if (arg.rfind("--instance=", 0) == 0) {
+      const std::string spec = arg.substr(11);
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::cerr << "bad --instance (want NAME=PATH): " << arg << "\n";
+        return Usage();
+      }
+      instances.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      options.workers = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--ring=", 0) == 0) {
+      options.ring_capacity = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.solve_threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--memory-budget=", 0) == 0) {
+      options.memory_budget = std::strtoull(arg.c_str() + 16, nullptr, 10);
+    } else if (arg == "--trace") {
+      options.enable_trace = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return Usage();
+    }
+  }
+  if (options.endpoint.empty() || instances.empty()) return Usage();
+
+  serve::SolveService service(std::move(options));
+  for (const auto& [name, path] : instances) {
+    const Status status = service.AddInstance(name, path);
+    if (!status.ok()) {
+      std::cerr << "instance '" << name << "': " << status.ToString()
+                << "\n";
+      return 1;
+    }
+  }
+  const Status started = service.Start();
+  if (!started.ok()) {
+    std::cerr << "start failed: " << started.ToString() << "\n";
+    return 1;
+  }
+  // Printed (and flushed) once ready so wrappers can parse the resolved
+  // endpoint — essential for tcp:0.
+  std::cout << "listening on " << serve::EndpointSpec(service.endpoint())
+            << std::endl;
+  service.Wait();
+  std::cout << "solve service stopped\n";
+  return 0;
+}

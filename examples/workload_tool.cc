@@ -39,6 +39,17 @@
 //       chrome://tracing JSON file (per-pass and per-shard spans) plus
 //       a per-pass breakdown table; --stats prints the run's counter
 //       snapshot in Prometheus text format. Neither changes results.
+//   workload_tool client <endpoint> ping
+//   workload_tool client <endpoint> stats
+//   workload_tool client <endpoint> shutdown
+//   workload_tool client <endpoint> solve <instance> <solver>
+//                 [key=value ...] [--breakdown]
+//       talks to a running workload_served daemon over its framed
+//       socket protocol (serve/solve_client.h); endpoint is
+//       unix:/path/to.sock or tcp:PORT. `solve` prints the marshalled
+//       report exactly like the local command; --breakdown requests the
+//       per-pass table (daemon must run with --trace). A busy daemon
+//       answers UNAVAILABLE — retry later.
 //
 // Examples:
 //   ./build/examples/workload_tool gen planted 4096 128 4 7 /tmp/w.ssc
@@ -60,6 +71,7 @@
 #include "instance/serialization.h"
 #include "obs/stats_sink.h"
 #include "obs/trace.h"
+#include "serve/solve_client.h"
 #include "storage/binary_instance_writer.h"
 #include "storage/mmap_set_stream.h"
 #include "stream/set_stream.h"
@@ -79,6 +91,10 @@ int Usage() {
       << "  workload_tool solvers [--names]\n"
       << "  workload_tool solve <path> <solver> [key=value ...] "
          "[--trace=FILE] [--stats]\n"
+      << "  workload_tool client <endpoint> "
+         "<ping|stats|shutdown>\n"
+      << "  workload_tool client <endpoint> solve <instance> <solver> "
+         "[key=value ...] [--breakdown]\n"
       << "run `workload_tool solvers` for solver names and their options\n";
   return 2;
 }
@@ -394,6 +410,139 @@ int Solve(int argc, char** argv) {
   return 0;
 }
 
+// Prints a daemon-marshalled report in the same table shape as the
+// local `solve` command (fields the wire carries; engine counters come
+// from the marshalled snapshot rather than the scalar stats view).
+int PrintRemoteReport(const serve::SolveResponse& report) {
+  TablePrinter table({"property", "value"});
+  const auto add = [&](const std::string& key, const std::string& value) {
+    table.BeginRow();
+    table.AddCell(key);
+    table.AddCell(value);
+  };
+  add("solver", report.solver);
+  add("algorithm", report.algorithm);
+  add("kind", SolverKindName(report.kind));
+  add("source", report.source);
+  add("sets chosen", std::to_string(report.solution.size()));
+  add(report.kind == SolverKind::kPairFinder ? "found" : "feasible",
+      report.feasible ? "yes" : "NO");
+  add("passes", std::to_string(report.passes));
+  add("space bytes", std::to_string(report.peak_space_bytes));
+  add("arena high-water", std::to_string(report.arena_high_water));
+  if (report.kind == SolverKind::kMaxCoverage) {
+    add("coverage", std::to_string(report.extra));
+  }
+  if (report.kind == SolverKind::kPairFinder) {
+    add("candidates(p1)", std::to_string(report.extra));
+  }
+  add("wall ms", std::to_string(static_cast<double>(report.wall_ns) * 1e-6));
+  table.Print(std::cout);
+
+  if (!report.counters.empty()) {
+    std::cout << "\ncounters:\n";
+    TablePrinter counters({"counter", "kind", "value"});
+    for (const serve::WireCounter& counter : report.counters) {
+      counters.BeginRow();
+      counters.AddCell(counter.name);
+      counters.AddCell(CounterKindName(counter.kind));
+      counters.AddCell(counter.value);
+    }
+    counters.Print(std::cout);
+  }
+
+  if (!report.breakdown.empty()) {
+    std::cout << "\nper-pass breakdown:\n";
+    TablePrinter passes(
+        {"pass", "name", "items", "shards", "takes", "covered", "wall ms"});
+    std::size_t index = 0;
+    for (const serve::WireBreakdownRow& row : report.breakdown) {
+      passes.BeginRow();
+      passes.AddCell(static_cast<std::uint64_t>(index++));
+      passes.AddCell(row.name);
+      passes.AddCell(row.items_scanned);
+      passes.AddCell(row.shard_jobs);
+      passes.AddCell(row.sets_taken);
+      passes.AddCell(row.elements_covered);
+      passes.AddCell(std::to_string(static_cast<double>(row.wall_ns) * 1e-6));
+    }
+    passes.Print(std::cout);
+  }
+
+  if (!report.feasible) {
+    std::cerr << "solver did not find a "
+              << (report.kind == SolverKind::kPairFinder
+                      ? "covering pair"
+                      : "feasible solution")
+              << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int Client(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string endpoint = argv[2];
+  const std::string verb = argv[3];
+
+  StatusOr<serve::SolveClient> client = serve::SolveClient::Connect(endpoint);
+  if (!client.ok()) {
+    std::cerr << "connect failed: " << client.status().ToString() << "\n";
+    return 1;
+  }
+
+  if (verb == "ping") {
+    const Status status = client->Ping();
+    if (!status.ok()) {
+      std::cerr << "ping failed: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "pong\n";
+    return 0;
+  }
+  if (verb == "stats") {
+    StatusOr<std::string> stats = client->Stats();
+    if (!stats.ok()) {
+      std::cerr << "stats failed: " << stats.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << *stats;
+    return 0;
+  }
+  if (verb == "shutdown") {
+    const Status status = client->Shutdown();
+    if (!status.ok()) {
+      std::cerr << "shutdown failed: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "daemon stopping\n";
+    return 0;
+  }
+  if (verb == "solve") {
+    if (argc < 6) return Usage();
+    const std::string instance = argv[4];
+    const std::string solver = argv[5];
+    bool want_breakdown = false;
+    std::vector<std::string> args;
+    for (int i = 6; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--breakdown") {
+        want_breakdown = true;
+      } else {
+        args.push_back(arg);
+      }
+    }
+    StatusOr<serve::SolveResponse> report =
+        client->Solve(instance, solver, args, want_breakdown);
+    if (!report.ok()) {
+      std::cerr << "solve failed: " << report.status().ToString() << "\n";
+      return 1;
+    }
+    return PrintRemoteReport(*report);
+  }
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -404,5 +553,6 @@ int main(int argc, char** argv) {
   if (command == "info") return Info(argc, argv);
   if (command == "solvers") return Solvers(argc, argv);
   if (command == "solve") return Solve(argc, argv);
+  if (command == "client") return Client(argc, argv);
   return Usage();
 }

@@ -1,0 +1,66 @@
+// Fuzz harness for the solve daemon's wire codec (serve/frame.h), the
+// fourth untrusted parser: frame payloads arriving from arbitrary
+// network peers. Contract under attack: DecodeRequest and DecodeResponse
+// are *total* — any byte string, torn or hostile, returns a Status with
+// a diagnostic message; never an abort, never an out-of-bounds read,
+// never an attacker-sized allocation (a hostile count must be rejected
+// against the remaining payload before any resize).
+//
+// Input shape: first byte steers the decoder (even = request, odd =
+// response); the rest is the payload. Accepted payloads are re-encoded
+// and must decode again to the same bytes (a decode/encode/decode
+// round-trip pin, which keeps the two codecs from drifting apart under
+// mutation).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/frame.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  if (size > streamsc::serve::kMaxFrameBytes) return 0;
+  const bool as_request = (data[0] & 1) == 0;
+  const std::string_view payload(
+      reinterpret_cast<const char*>(data + 1), size - 1);
+
+  if (as_request) {
+    streamsc::serve::SolveRequest request;
+    const streamsc::Status status =
+        streamsc::serve::DecodeRequest(payload, &request);
+    if (!status.ok()) {
+      STREAMSC_CHECK(!status.message().empty(),
+                     "frame rejection must carry a diagnostic message");
+      return 0;
+    }
+    const std::string encoded = streamsc::serve::EncodeRequest(request);
+    streamsc::serve::SolveRequest again;
+    STREAMSC_CHECK(
+        streamsc::serve::DecodeRequest(encoded, &again).ok(),
+        "re-encoding an accepted request produced an undecodable frame");
+    STREAMSC_CHECK(streamsc::serve::EncodeRequest(again) == encoded,
+                   "request codec round-trip is not a fixed point");
+    return 0;
+  }
+
+  streamsc::serve::SolveResponse response;
+  const streamsc::Status status =
+      streamsc::serve::DecodeResponse(payload, &response);
+  if (!status.ok()) {
+    STREAMSC_CHECK(!status.message().empty(),
+                   "frame rejection must carry a diagnostic message");
+    return 0;
+  }
+  const std::string encoded = streamsc::serve::EncodeResponse(response);
+  streamsc::serve::SolveResponse again;
+  STREAMSC_CHECK(
+      streamsc::serve::DecodeResponse(encoded, &again).ok(),
+      "re-encoding an accepted response produced an undecodable frame");
+  STREAMSC_CHECK(streamsc::serve::EncodeResponse(again) == encoded,
+                 "response codec round-trip is not a fixed point");
+  return 0;
+}

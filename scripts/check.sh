@@ -95,6 +95,56 @@ PYEOF
   fi
 }
 
+# Serve smoke slice: boots the solve daemon (workload_served) on a temp
+# Unix socket over a tiny planted instance, then drives it through the
+# client verb of workload_tool — ping, one remote solve per registered
+# solver, a traced solve (--breakdown), the Prometheus stats page, and a
+# clean client-initiated shutdown. Any wire error, infeasible solve, or
+# daemon outliving its shutdown request fails the run. Under the
+# sanitizer lanes the whole socket/ring/session path runs instrumented.
+run_serve_smoke() {
+  local build_dir="$1"
+  local tool="${build_dir}/examples/workload_tool"
+  local daemon="${build_dir}/examples/workload_served"
+  local tmp
+  tmp="$(mktemp -d)"
+  # shellcheck disable=SC2064  # expand ${tmp} now; it is loop-local
+  trap "rm -rf '${tmp}'" RETURN
+  "${tool}" gen planted 256 24 2 7 "${tmp}/smoke.ssc" >/dev/null
+  "${tool}" convert "${tmp}/smoke.ssc" "${tmp}/smoke.sscb1" >/dev/null
+  local endpoint="unix:${tmp}/solve.sock"
+  "${daemon}" --listen="${endpoint}" --instance="w=${tmp}/smoke.sscb1" \
+    --workers=2 --ring=4 --trace > "${tmp}/daemon.log" 2>&1 &
+  local daemon_pid=$!
+  # The daemon prints `listening on <endpoint>` once the socket is bound.
+  local tries=0
+  until grep -q "listening on" "${tmp}/daemon.log" 2>/dev/null; do
+    tries=$((tries + 1))
+    if [[ "${tries}" -gt 100 ]] || ! kill -0 "${daemon_pid}" 2>/dev/null; then
+      echo "check.sh: FATAL: serve smoke: daemon failed to start" >&2
+      cat "${tmp}/daemon.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  "${tool}" client "${endpoint}" ping >/dev/null
+  local solver
+  while IFS= read -r solver; do
+    echo "serve smoke (${build_dir}): ${solver}"
+    "${tool}" client "${endpoint}" solve w "${solver}" >/dev/null
+  done < <("${tool}" solvers --names)
+  echo "serve smoke (${build_dir}): traced assadi solve"
+  "${tool}" client "${endpoint}" solve w assadi alpha=2 --breakdown \
+    >/dev/null
+  "${tool}" client "${endpoint}" stats | grep -q "streamsc_serve_requests"
+  "${tool}" client "${endpoint}" shutdown >/dev/null
+  if ! wait "${daemon_pid}"; then
+    echo "check.sh: FATAL: serve smoke: daemon exited non-zero" >&2
+    cat "${tmp}/daemon.log" >&2
+    exit 1
+  fi
+}
+
 # Project-invariant linter: cheap, dependency-free, runs on every
 # check.sh invocation so layer/determinism/check-policy violations never
 # land. (clang-tidy is the separate, heavier lane in scripts/tidy.sh.)
@@ -121,6 +171,7 @@ if [[ "${TIER1:-1}" == "1" ]]; then
   # the traced halves of the alloc/conformance proofs (ctest -L obs).
   ctest --test-dir "${BUILD_DIR}" -L 'obs' --output-on-failure -j "${JOBS}"
   run_registry_smoke "${BUILD_DIR}"
+  run_serve_smoke "${BUILD_DIR}"
 fi
 
 if [[ "${SANITIZE:-0}" == "1" ]]; then
@@ -158,6 +209,9 @@ if [[ "${SANITIZE:-0}" == "1" ]]; then
     # parsing, session source sniffing, per-run engine lifetime)
     # sanitized end to end.
     run_registry_smoke "${SAN_BUILD_DIR}"
+    # And the solve daemon: sockets, ring admission, warm sessions, and
+    # the mmap instance cache with full heap poisoning armed.
+    run_serve_smoke "${SAN_BUILD_DIR}"
   fi
 fi
 
@@ -185,6 +239,9 @@ if [[ "${TSAN:-0}" == "1" ]]; then
     # Registry smoke under TSan: multi-threaded solves through the whole
     # session surface (option parsing -> engine pool -> commit).
     run_registry_smoke "${TSAN_BUILD_DIR}"
+    # Serve smoke under TSan: acceptor + worker threads + client all
+    # contend over the ring and shared instance cache, instrumented.
+    run_serve_smoke "${TSAN_BUILD_DIR}"
   fi
 fi
 
@@ -202,10 +259,11 @@ if [[ "${FUZZ:-0}" == "1" ]]; then
   # shellcheck disable=SC2086
   cmake -B "${FUZZ_BUILD_DIR}" -S . ${FUZZ_CMAKE_ARGS}
   cmake --build "${FUZZ_BUILD_DIR}" -j "${JOBS}" \
-    --target fuzz_ssc1 fuzz_sscb1 fuzz_registry_options
-  # Fixed-iteration attack on the three untrusted-input parsers (ssc1
-  # text, sscb1 binary, registry options): corpus replay + deterministic
-  # mutations; any abort or sanitizer report fails.
+    --target fuzz_ssc1 fuzz_sscb1 fuzz_registry_options fuzz_serve_frame
+  # Fixed-iteration attack on the four untrusted-input parsers (ssc1
+  # text, sscb1 binary, registry options, serve wire frames): corpus
+  # replay + deterministic mutations; any abort or sanitizer report
+  # fails.
   ctest --test-dir "${FUZZ_BUILD_DIR}" -L 'fuzz' --output-on-failure
 fi
 

@@ -70,6 +70,7 @@ LAYER_DEPS = {
     "comm": {"stream", "instance", "util"},
     "info": {"comm", "instance", "util"},
     "api": {"core", "storage", "stream", "instance", "util"},
+    "serve": {"api", "storage", "obs", "util"},
 }
 
 # Layers whose headers/sources must not hold engine or arena pointers

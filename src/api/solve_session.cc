@@ -83,26 +83,51 @@ const std::vector<OptionDescriptor>& SolveSession::SessionOptions() {
 
 StatusOr<SolveSession> SolveSession::Open(const std::string& path) {
   SolveSession session;
-  session.path_ = path;
+  const Status status = session.Reopen(path);
+  if (!status.ok()) return status;
+  return session;
+}
+
+Status SolveSession::Reopen(const std::string& path) {
+  // Detach the old source first: a failed open must leave an *empty*
+  // session, not one half-bound to the previous stream (or carrying a
+  // stale memory-upgraded system / text-parse error). The run arena is
+  // deliberately kept — it is per-session capacity, reset before every
+  // run, and keeping it warm is the point of reopening in place.
+  source_ = Source::kNone;
+  path_.clear();
+  stream_.reset();
+  file_stream_ = nullptr;
+  owned_system_.reset();
   if (IsBinaryInstanceFile(path)) {
     auto stream = std::make_unique<MmapSetStream>(path);
     if (!stream->status().ok()) return stream->status();
-    session.stream_ = std::move(stream);
-    session.source_ = Source::kMmap;
-    return session;
+    stream_ = std::move(stream);
+    source_ = Source::kMmap;
+    path_ = path;
+    return Status::Ok();
   }
   auto stream = std::make_unique<FileSetStream>(path);
   if (!stream->status().ok()) return stream->status();
-  session.file_stream_ = stream.get();
-  session.stream_ = std::move(stream);
-  session.source_ = Source::kFile;
-  return session;
+  file_stream_ = stream.get();
+  stream_ = std::move(stream);
+  source_ = Source::kFile;
+  path_ = path;
+  return Status::Ok();
 }
 
 SolveSession SolveSession::OverSystem(const SetSystem& system) {
   SolveSession session;
   session.stream_ = std::make_unique<VectorSetStream>(system);
   session.source_ = Source::kMemory;
+  return session;
+}
+
+SolveSession SolveSession::OverStream(std::unique_ptr<SetStream> stream,
+                                      Source source) {
+  SolveSession session;
+  session.stream_ = std::move(stream);
+  session.source_ = source;
   return session;
 }
 

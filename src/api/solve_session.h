@@ -68,6 +68,25 @@ class SolveSession {
   /// Wraps \p system (borrowed — must outlive the session).
   static SolveSession OverSystem(const SetSystem& system);
 
+  /// Wraps an owned, ready-to-stream source (e.g. an MmapStreamView over
+  /// a cached MmapSetStream — the solve daemon's open-once / serve-many
+  /// shape). \p source labels the report ("mmap" for cached views).
+  static SolveSession OverStream(std::unique_ptr<SetStream> stream,
+                                 Source source);
+
+  /// Re-targets this session at \p path (same sniffing as Open), keeping
+  /// the warm run arena so per-slot daemon sessions reach a zero-
+  /// allocation steady state across instances.
+  ///
+  /// Reuse contract (regression-pinned in solve_session_test.cc): the old
+  /// source is detached *before* the open is attempted, so a failed
+  /// Reopen — missing file, bad magic, truncated sscb1 — leaves the
+  /// session empty (Solve() then reports FailedPrecondition), never
+  /// half-bound to a stale stream, memory-upgraded system, or text-parse
+  /// error from the previous source. A later successful Reopen on the
+  /// same session behaves exactly like a fresh Open.
+  Status Reopen(const std::string& path);
+
   /// Empty session (exists for StatusOr plumbing; Solve() on it errors).
   SolveSession() = default;
 

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "util/file_probe.h"
+
 namespace streamsc {
 namespace {
 
@@ -135,6 +137,12 @@ Status SaveSetSystem(const SetSystem& system, const std::string& path) {
 }
 
 StatusOr<SetSystem> LoadSetSystem(const std::string& path) {
+  // Probe before the blocking open: ifstream on an unfed FIFO hangs
+  // forever instead of failing.
+  const Status probe = ProbeRegularFile(path);
+  if (!probe.ok() && probe.code() == StatusCode::kInvalidArgument) {
+    return probe;
+  }
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound("cannot open '" + path + "' for reading");

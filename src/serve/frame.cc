@@ -1,0 +1,393 @@
+#include "serve/frame.h"
+
+#include <utility>
+
+namespace streamsc::serve {
+
+namespace {
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("serve frame: " + what);
+}
+
+// --- Little-endian writers into a byte string --------------------------
+
+void PutU8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, std::uint16_t v) {
+  PutU8(out, static_cast<std::uint8_t>(v & 0xFF));
+  PutU8(out, static_cast<std::uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    PutU8(out, static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    PutU8(out, static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+void PutString(std::string* out, std::string_view s) {
+  // Callers keep strings (solver keys, option args, counter names) far
+  // below 64 KiB; truncating here would silently corrupt, so clamp is a
+  // CHECK-free hard cap enforced at encode time.
+  const std::size_t n = s.size() < 0xFFFF ? s.size() : 0xFFFF;
+  PutU16(out, static_cast<std::uint16_t>(n));
+  out->append(s.data(), n);
+}
+
+// --- Bounds-checked little-endian reader -------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool U8(std::uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool U16(std::uint16_t* v) {
+    std::uint8_t lo = 0, hi = 0;
+    if (!U8(&lo) || !U8(&hi)) return false;
+    *v = static_cast<std::uint16_t>(lo | (hi << 8));
+    return true;
+  }
+
+  bool U32(std::uint32_t* v) {
+    *v = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      std::uint8_t b = 0;
+      if (!U8(&b)) return false;
+      *v |= static_cast<std::uint32_t>(b) << shift;
+    }
+    return true;
+  }
+
+  bool U64(std::uint64_t* v) {
+    *v = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      std::uint8_t b = 0;
+      if (!U8(&b)) return false;
+      *v |= static_cast<std::uint64_t>(b) << shift;
+    }
+    return true;
+  }
+
+  bool String(std::string* s) {
+    std::uint16_t n = 0;
+    if (!U16(&n)) return false;
+    if (pos_ + n > data_.size()) return false;
+    s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool Bytes(std::string* s, std::size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool Done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeRequest(const SolveRequest& request) {
+  std::string out;
+  PutU8(&out, kProtocolVersion);
+  PutU8(&out, static_cast<std::uint8_t>(request.type));
+  PutU8(&out, request.want_breakdown ? kFlagWantBreakdown : 0);
+  PutU8(&out, 0);
+  if (request.type == RequestType::kSolve) {
+    PutString(&out, request.instance);
+    PutString(&out, request.solver);
+    const std::size_t argc =
+        request.args.size() < 0xFFFF ? request.args.size() : 0xFFFF;
+    PutU16(&out, static_cast<std::uint16_t>(argc));
+    for (std::size_t i = 0; i < argc; ++i) PutString(&out, request.args[i]);
+  }
+  return out;
+}
+
+Status DecodeRequest(std::string_view payload, SolveRequest* request) {
+  Reader in(payload);
+  std::uint8_t version = 0, type = 0, flags = 0, reserved = 0;
+  if (!in.U8(&version) || !in.U8(&type) || !in.U8(&flags) ||
+      !in.U8(&reserved)) {
+    return Malformed("request shorter than its fixed header");
+  }
+  if (version != kProtocolVersion) {
+    return Malformed("unsupported protocol version " +
+                     std::to_string(version) + " (expected " +
+                     std::to_string(kProtocolVersion) + ")");
+  }
+  if (type < static_cast<std::uint8_t>(RequestType::kSolve) ||
+      type > static_cast<std::uint8_t>(RequestType::kShutdown)) {
+    return Malformed("unknown request type " + std::to_string(type));
+  }
+  *request = SolveRequest{};
+  request->type = static_cast<RequestType>(type);
+  request->want_breakdown = (flags & kFlagWantBreakdown) != 0;
+  if (request->type == RequestType::kSolve) {
+    if (!in.String(&request->instance) || !in.String(&request->solver)) {
+      return Malformed("truncated solve request strings");
+    }
+    std::uint16_t argc = 0;
+    if (!in.U16(&argc)) return Malformed("truncated solve request argc");
+    request->args.resize(argc);
+    for (std::uint16_t i = 0; i < argc; ++i) {
+      if (!in.String(&request->args[i])) {
+        return Malformed("truncated solve request arg " + std::to_string(i));
+      }
+    }
+  }
+  if (!in.Done()) {
+    return Malformed(std::to_string(in.remaining()) +
+                     " trailing byte(s) after request");
+  }
+  return Status::Ok();
+}
+
+std::string EncodeResponse(const SolveResponse& response) {
+  std::string out;
+  PutU8(&out, kProtocolVersion);
+  PutU8(&out, static_cast<std::uint8_t>(response.type));
+  PutU8(&out, 0);
+  PutU8(&out, 0);
+  switch (response.type) {
+    case ResponseType::kError:
+      PutU8(&out, static_cast<std::uint8_t>(response.code));
+      PutString(&out, response.message);
+      break;
+    case ResponseType::kReport: {
+      PutU8(&out, response.feasible ? 1 : 0);
+      PutU8(&out, static_cast<std::uint8_t>(response.kind));
+      PutU16(&out, 0);
+      PutU64(&out, response.passes);
+      PutU64(&out, response.extra);
+      PutU64(&out, response.peak_space_bytes);
+      PutU64(&out, response.arena_high_water);
+      PutU64(&out, response.wall_ns);
+      PutString(&out, response.solver);
+      PutString(&out, response.algorithm);
+      PutString(&out, response.source);
+      PutU32(&out, static_cast<std::uint32_t>(response.solution.size()));
+      for (const std::uint32_t id : response.solution) PutU32(&out, id);
+      const std::size_t counters = response.counters.size() < 0xFFFF
+                                       ? response.counters.size()
+                                       : 0xFFFF;
+      PutU16(&out, static_cast<std::uint16_t>(counters));
+      for (std::size_t i = 0; i < counters; ++i) {
+        const WireCounter& c = response.counters[i];
+        PutString(&out, c.name);
+        PutU8(&out, static_cast<std::uint8_t>(c.kind));
+        PutU64(&out, c.value);
+      }
+      const std::size_t rows = response.breakdown.size() < 0xFFFF
+                                   ? response.breakdown.size()
+                                   : 0xFFFF;
+      PutU16(&out, static_cast<std::uint16_t>(rows));
+      for (std::size_t i = 0; i < rows; ++i) {
+        const WireBreakdownRow& row = response.breakdown[i];
+        PutString(&out, row.name);
+        PutU64(&out, row.wall_ns);
+        PutU64(&out, row.items_scanned);
+        PutU64(&out, row.shard_jobs);
+        PutU64(&out, row.sets_taken);
+        PutU64(&out, row.elements_covered);
+      }
+      break;
+    }
+    case ResponseType::kStatsText:
+      PutU32(&out, static_cast<std::uint32_t>(response.stats_text.size()));
+      out.append(response.stats_text);
+      break;
+    case ResponseType::kPong:
+    case ResponseType::kBye:
+      break;
+  }
+  return out;
+}
+
+Status DecodeResponse(std::string_view payload, SolveResponse* response) {
+  Reader in(payload);
+  std::uint8_t version = 0, type = 0, r1 = 0, r2 = 0;
+  if (!in.U8(&version) || !in.U8(&type) || !in.U8(&r1) || !in.U8(&r2)) {
+    return Malformed("response shorter than its fixed header");
+  }
+  if (version != kProtocolVersion) {
+    return Malformed("unsupported protocol version " +
+                     std::to_string(version));
+  }
+  if (type < static_cast<std::uint8_t>(ResponseType::kReport) ||
+      type > static_cast<std::uint8_t>(ResponseType::kBye)) {
+    return Malformed("unknown response type " + std::to_string(type));
+  }
+  *response = SolveResponse{};
+  response->type = static_cast<ResponseType>(type);
+  switch (response->type) {
+    case ResponseType::kError: {
+      std::uint8_t code = 0;
+      if (!in.U8(&code) || !in.String(&response->message)) {
+        return Malformed("truncated error response");
+      }
+      if (code > static_cast<std::uint8_t>(StatusCode::kUnavailable) ||
+          code == static_cast<std::uint8_t>(StatusCode::kOk)) {
+        return Malformed("error response with invalid status code " +
+                         std::to_string(code));
+      }
+      response->code = static_cast<StatusCode>(code);
+      break;
+    }
+    case ResponseType::kReport: {
+      std::uint8_t feasible = 0, kind = 0;
+      std::uint16_t reserved = 0;
+      if (!in.U8(&feasible) || !in.U8(&kind) || !in.U16(&reserved)) {
+        return Malformed("truncated report header");
+      }
+      if (kind > static_cast<std::uint8_t>(SolverKind::kPairFinder)) {
+        return Malformed("report with invalid solver kind " +
+                         std::to_string(kind));
+      }
+      response->feasible = feasible != 0;
+      response->kind = static_cast<SolverKind>(kind);
+      if (!in.U64(&response->passes) || !in.U64(&response->extra) ||
+          !in.U64(&response->peak_space_bytes) ||
+          !in.U64(&response->arena_high_water) ||
+          !in.U64(&response->wall_ns)) {
+        return Malformed("truncated report scalars");
+      }
+      if (!in.String(&response->solver) ||
+          !in.String(&response->algorithm) ||
+          !in.String(&response->source)) {
+        return Malformed("truncated report strings");
+      }
+      std::uint32_t count = 0;
+      if (!in.U32(&count)) return Malformed("truncated solution count");
+      // 4 bytes per id: reject counts the remaining payload cannot hold
+      // before resizing, so a hostile count cannot balloon memory.
+      if (in.remaining() / 4 < count) {
+        return Malformed("solution count exceeds payload");
+      }
+      response->solution.resize(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (!in.U32(&response->solution[i])) {
+          return Malformed("truncated solution ids");
+        }
+      }
+      std::uint16_t counters = 0;
+      if (!in.U16(&counters)) return Malformed("truncated counter count");
+      response->counters.resize(counters);
+      for (std::uint16_t i = 0; i < counters; ++i) {
+        WireCounter& c = response->counters[i];
+        std::uint8_t counter_kind = 0;
+        if (!in.String(&c.name) || !in.U8(&counter_kind) ||
+            !in.U64(&c.value)) {
+          return Malformed("truncated counter " + std::to_string(i));
+        }
+        if (counter_kind > static_cast<std::uint8_t>(CounterKind::kGauge)) {
+          return Malformed("counter with invalid kind " +
+                           std::to_string(counter_kind));
+        }
+        c.kind = static_cast<CounterKind>(counter_kind);
+      }
+      std::uint16_t rows = 0;
+      if (!in.U16(&rows)) return Malformed("truncated breakdown count");
+      response->breakdown.resize(rows);
+      for (std::uint16_t i = 0; i < rows; ++i) {
+        WireBreakdownRow& row = response->breakdown[i];
+        if (!in.String(&row.name) || !in.U64(&row.wall_ns) ||
+            !in.U64(&row.items_scanned) || !in.U64(&row.shard_jobs) ||
+            !in.U64(&row.sets_taken) || !in.U64(&row.elements_covered)) {
+          return Malformed("truncated breakdown row " + std::to_string(i));
+        }
+      }
+      break;
+    }
+    case ResponseType::kStatsText: {
+      std::uint32_t bytes = 0;
+      if (!in.U32(&bytes)) return Malformed("truncated stats length");
+      if (in.remaining() < bytes) {
+        return Malformed("stats length exceeds payload");
+      }
+      if (!in.Bytes(&response->stats_text, bytes)) {
+        return Malformed("truncated stats text");
+      }
+      break;
+    }
+    case ResponseType::kPong:
+    case ResponseType::kBye:
+      break;
+  }
+  if (!in.Done()) {
+    return Malformed(std::to_string(in.remaining()) +
+                     " trailing byte(s) after response");
+  }
+  return Status::Ok();
+}
+
+SolveResponse ResponseFromReport(const SolveReport& report,
+                                 bool include_breakdown) {
+  SolveResponse response;
+  response.type = ResponseType::kReport;
+  response.feasible = report.feasible;
+  response.kind = report.kind;
+  response.passes = report.passes;
+  response.extra = report.extra;
+  response.peak_space_bytes = report.peak_space_bytes;
+  response.arena_high_water = report.arena_high_water;
+  response.wall_ns =
+      static_cast<std::uint64_t>(report.wall_seconds * 1e9);
+  response.solver = report.solver;
+  response.algorithm = report.algorithm;
+  response.source = report.source;
+  response.solution.reserve(report.solution.size());
+  for (const SetId id : report.solution.chosen) {
+    response.solution.push_back(static_cast<std::uint32_t>(id));
+  }
+  report.counters.ForEachNonZero(
+      [&](CounterId id, CounterKind kind, std::uint64_t value) {
+        response.counters.push_back(
+            WireCounter{std::string(id.name()), kind, value});
+      });
+  if (include_breakdown) {
+    response.breakdown.reserve(report.pass_breakdown.size());
+    for (const PassBreakdownRow& row : report.pass_breakdown) {
+      response.breakdown.push_back(WireBreakdownRow{
+          row.name, static_cast<std::uint64_t>(row.wall_seconds * 1e9),
+          row.items_scanned, row.shard_jobs, row.sets_taken,
+          row.elements_covered});
+    }
+  }
+  return response;
+}
+
+SolveResponse ErrorResponse(const Status& status) {
+  SolveResponse response;
+  response.type = ResponseType::kError;
+  response.code = status.ok() ? StatusCode::kInternal : status.code();
+  response.message = status.message();
+  return response;
+}
+
+Status ResponseStatus(const SolveResponse& response) {
+  if (response.type != ResponseType::kError) return Status::Ok();
+  return Status(response.code, response.message);
+}
+
+}  // namespace streamsc::serve

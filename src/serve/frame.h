@@ -1,0 +1,168 @@
+#ifndef STREAMSC_SERVE_FRAME_H_
+#define STREAMSC_SERVE_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/solve_report.h"
+#include "obs/counters.h"
+#include "util/status.h"
+
+/// \file frame.h
+/// The solve service's wire format: length-prefixed frames with a small
+/// versioned binary payload.
+///
+/// Framing (both directions):
+///
+///   [u32 payload_bytes (little-endian)] [payload_bytes bytes]
+///
+/// A frame's payload is capped at kMaxFrameBytes; a peer announcing more
+/// is malformed (a torn or hostile length prefix, not a big request) and
+/// the connection is dropped after a typed error. All multi-byte integers
+/// are little-endian on the wire regardless of host. Strings are a u16
+/// length followed by raw bytes (no NUL).
+///
+/// Request payload:
+///   u8 version (kProtocolVersion)  u8 type (RequestType)  u8 flags  u8 0
+///   type == kSolve only:
+///     str instance   str solver   u16 argc   argc x str "key=value"
+///
+/// Response payload:
+///   u8 version  u8 type (ResponseType)  u8 0  u8 0
+///   kError:     u8 status_code   str message
+///   kReport:    u8 feasible  u8 kind  u16 0
+///               u64 passes  u64 extra  u64 peak_space  u64 arena_high
+///               u64 wall_ns
+///               str solver  str algorithm  str source
+///               u32 solution_count  solution_count x u32 set ids
+///               u16 counter_count   counter_count x (str name, u8 kind,
+///                                                    u64 value)
+///               u16 row_count       row_count x (str name, u64 wall_ns,
+///                                   u64 items, u64 shards, u64 takes,
+///                                   u64 covered)
+///   kStatsText: u32 text_bytes  text (Prometheus exposition format)
+///   kPong/kBye: nothing
+///
+/// Every decoder is total: any truncated, oversized, or garbage payload
+/// returns an InvalidArgument Status — never an abort, never an
+/// out-of-bounds read (the fuzz harness fuzz_serve_frame attacks exactly
+/// this surface).
+
+namespace streamsc::serve {
+
+/// Protocol version byte; bumped on any incompatible layout change.
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Hard cap on one frame's payload. Large enough for a solution over the
+/// biggest supported instances (ids are 4 bytes each), small enough that
+/// a hostile length prefix cannot balloon server memory.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{16} << 20;
+
+/// What a client asks the daemon to do.
+enum class RequestType : std::uint8_t {
+  kSolve = 1,     ///< Run a registered solver over a cached instance.
+  kStats = 2,     ///< Return service stats (Prometheus text).
+  kPing = 3,      ///< Liveness probe.
+  kShutdown = 4,  ///< Ask the daemon to stop accepting and exit.
+};
+
+/// What a daemon frame carries back.
+enum class ResponseType : std::uint8_t {
+  kReport = 1,     ///< A marshalled SolveReport.
+  kError = 2,      ///< A typed Status (code + message). BUSY admission
+                   ///< rejections use StatusCode::kUnavailable.
+  kStatsText = 3,  ///< Prometheus exposition text.
+  kPong = 4,       ///< Reply to kPing.
+  kBye = 5,        ///< Reply to kShutdown (sent before the daemon stops).
+};
+
+/// Request flag bits.
+inline constexpr std::uint8_t kFlagWantBreakdown = 0x1;
+
+/// One decoded client request.
+struct SolveRequest {
+  RequestType type = RequestType::kPing;
+  /// kSolve only: ask for the per-pass breakdown (requires the daemon to
+  /// run with tracing armed; silently empty otherwise).
+  bool want_breakdown = false;
+  std::string instance;           ///< kSolve: cached instance name.
+  std::string solver;             ///< kSolve: registry key.
+  std::vector<std::string> args;  ///< kSolve: "key=value" solver/session
+                                  ///< options.
+};
+
+/// One counter from the run's snapshot, by interned name.
+struct WireCounter {
+  std::string name;
+  CounterKind kind = CounterKind::kCounter;
+  std::uint64_t value = 0;
+};
+
+/// One per-pass breakdown row (mirrors PassBreakdownRow with ns timing).
+struct WireBreakdownRow {
+  std::string name;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t items_scanned = 0;
+  std::uint64_t shard_jobs = 0;
+  std::uint64_t sets_taken = 0;
+  std::uint64_t elements_covered = 0;
+};
+
+/// One decoded daemon response (tagged union over ResponseType; only the
+/// fields of the active type are meaningful).
+struct SolveResponse {
+  ResponseType type = ResponseType::kPong;
+
+  // kError
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  // kReport
+  bool feasible = false;
+  SolverKind kind = SolverKind::kSetCover;
+  std::uint64_t passes = 0;
+  std::uint64_t extra = 0;
+  std::uint64_t peak_space_bytes = 0;
+  std::uint64_t arena_high_water = 0;
+  std::uint64_t wall_ns = 0;
+  std::string solver;
+  std::string algorithm;
+  std::string source;
+  std::vector<std::uint32_t> solution;
+  std::vector<WireCounter> counters;
+  std::vector<WireBreakdownRow> breakdown;
+
+  // kStatsText
+  std::string stats_text;
+};
+
+/// Serializes \p request into a frame payload (no length prefix).
+std::string EncodeRequest(const SolveRequest& request);
+
+/// Parses a frame payload into \p request. InvalidArgument on any
+/// malformed input; \p request is only valid on Ok.
+Status DecodeRequest(std::string_view payload, SolveRequest* request);
+
+/// Serializes \p response into a frame payload (no length prefix).
+std::string EncodeResponse(const SolveResponse& response);
+
+/// Parses a frame payload into \p response. InvalidArgument on any
+/// malformed input; \p response is only valid on Ok.
+Status DecodeResponse(std::string_view payload, SolveResponse* response);
+
+/// Builds a kReport response from a finished run. \p include_breakdown
+/// copies report.pass_breakdown (present only for traced runs).
+SolveResponse ResponseFromReport(const SolveReport& report,
+                                 bool include_breakdown);
+
+/// Builds a kError response carrying \p status (which must not be Ok).
+SolveResponse ErrorResponse(const Status& status);
+
+/// The Status a kError response carries; Ok for non-error responses.
+Status ResponseStatus(const SolveResponse& response);
+
+}  // namespace streamsc::serve
+
+#endif  // STREAMSC_SERVE_FRAME_H_

@@ -1,0 +1,93 @@
+#ifndef STREAMSC_SERVE_REQUEST_RING_H_
+#define STREAMSC_SERVE_REQUEST_RING_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "util/check.h"
+
+/// \file request_ring.h
+/// The daemon's admission queue: a fixed-capacity ring of accepted
+/// connection fds between the acceptor thread and the worker pool.
+///
+/// The ring IS the backpressure policy. Capacity is fixed at construction
+/// (one slot per queued connection); a full ring makes TryPush fail
+/// immediately — the acceptor then answers the client with a typed BUSY
+/// (StatusCode::kUnavailable) frame and closes, instead of queueing
+/// unboundedly or blocking the accept loop. Workers block in Pop until a
+/// connection arrives or the ring is closed; Close() wakes every waiter
+/// so shutdown drains deterministically (queued connections are still
+/// popped and served before workers observe the closed+empty state).
+
+namespace streamsc::serve {
+
+/// Bounded MPMC fd queue. All operations are O(1) under one mutex — the
+/// queue moves file descriptors, never request bytes.
+class RequestRing {
+ public:
+  explicit RequestRing(std::size_t capacity) : slots_(capacity) {
+    STREAMSC_CHECK(capacity > 0, "RequestRing needs at least one slot");
+  }
+
+  RequestRing(const RequestRing&) = delete;
+  RequestRing& operator=(const RequestRing&) = delete;
+
+  /// Admits \p fd if a slot is free. False = ring full (caller answers
+  /// BUSY) or closed (caller rejects — the daemon is stopping). Never
+  /// blocks.
+  bool TryPush(int fd) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || size_ == slots_.size()) return false;
+      slots_[(head_ + size_) % slots_.size()] = fd;
+      ++size_;
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a connection is available or the ring is closed and
+  /// drained. Returns true with *fd set, or false when no connection
+  /// will ever arrive again (closed + empty) — the worker's exit signal.
+  bool Pop(int* fd) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return false;
+    *fd = slots_[head_];
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return true;
+  }
+
+  /// Stops admission and wakes every blocked Pop. Queued fds remain
+  /// poppable (drain-then-exit); idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// Connections currently queued (racy by nature; for the stats gauge).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<int> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace streamsc::serve
+
+#endif  // STREAMSC_SERVE_REQUEST_RING_H_

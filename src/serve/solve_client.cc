@@ -1,0 +1,114 @@
+#include "serve/solve_client.h"
+
+#include <utility>
+
+namespace streamsc::serve {
+
+StatusOr<SolveClient> SolveClient::Connect(
+    const std::string& endpoint_spec) {
+  StatusOr<Endpoint> endpoint = ParseEndpoint(endpoint_spec);
+  if (!endpoint.ok()) return endpoint.status();
+  StatusOr<int> fd = ConnectTo(*endpoint);
+  if (!fd.ok()) return fd.status();
+  SolveClient client;
+  client.fd_ = *fd;
+  return client;
+}
+
+SolveClient::~SolveClient() { CloseFd(fd_); }
+
+SolveClient::SolveClient(SolveClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+SolveClient& SolveClient::operator=(SolveClient&& other) noexcept {
+  if (this != &other) {
+    CloseFd(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+StatusOr<SolveResponse> SolveClient::Call(const SolveRequest& request) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("SolveClient: not connected");
+  }
+  // A failed write is not yet a failed call: the daemon may have
+  // answered-and-closed before reading our request (the typed-BUSY
+  // admission path does exactly that), leaving its response queued on
+  // our side of the socket. Always attempt the read; surface the write
+  // error only when no frame was salvaged.
+  const Status sent = WriteFrame(fd_, EncodeRequest(request));
+  std::string payload;
+  bool eof = false;
+  const Status read = ReadFrame(fd_, &payload, &eof);
+  if (!read.ok()) return sent.ok() ? read : sent;
+  if (eof) {
+    if (!sent.ok()) return sent;
+    return Status::Internal(
+        "solve daemon closed the connection before responding");
+  }
+  SolveResponse response;
+  const Status decoded = DecodeResponse(payload, &response);
+  if (!decoded.ok()) return decoded;
+  const Status status = ResponseStatus(response);
+  if (!status.ok()) return status;
+  return response;
+}
+
+StatusOr<SolveResponse> SolveClient::Solve(
+    const std::string& instance, const std::string& solver,
+    const std::vector<std::string>& args, bool want_breakdown) {
+  SolveRequest request;
+  request.type = RequestType::kSolve;
+  request.want_breakdown = want_breakdown;
+  request.instance = instance;
+  request.solver = solver;
+  request.args = args;
+  StatusOr<SolveResponse> response = Call(request);
+  if (!response.ok()) return response.status();
+  if (response->type != ResponseType::kReport) {
+    return Status::Internal("solve daemon answered a solve with frame type " +
+                            std::to_string(static_cast<int>(response->type)));
+  }
+  return response;
+}
+
+Status SolveClient::Ping() {
+  SolveRequest request;
+  request.type = RequestType::kPing;
+  StatusOr<SolveResponse> response = Call(request);
+  if (!response.ok()) return response.status();
+  if (response->type != ResponseType::kPong) {
+    return Status::Internal("solve daemon answered a ping with frame type " +
+                            std::to_string(static_cast<int>(response->type)));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> SolveClient::Stats() {
+  SolveRequest request;
+  request.type = RequestType::kStats;
+  StatusOr<SolveResponse> response = Call(request);
+  if (!response.ok()) return response.status();
+  if (response->type != ResponseType::kStatsText) {
+    return Status::Internal("solve daemon answered a stats request with "
+                            "frame type " +
+                            std::to_string(static_cast<int>(response->type)));
+  }
+  return std::move(response->stats_text);
+}
+
+Status SolveClient::Shutdown() {
+  SolveRequest request;
+  request.type = RequestType::kShutdown;
+  StatusOr<SolveResponse> response = Call(request);
+  if (!response.ok()) return response.status();
+  if (response->type != ResponseType::kBye) {
+    return Status::Internal("solve daemon answered a shutdown with frame "
+                            "type " +
+                            std::to_string(static_cast<int>(response->type)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace streamsc::serve

@@ -1,0 +1,65 @@
+#ifndef STREAMSC_SERVE_SOLVE_CLIENT_H_
+#define STREAMSC_SERVE_SOLVE_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "serve/frame.h"
+#include "serve/wire.h"
+
+/// \file solve_client.h
+/// SolveClient: one connection to a running solve daemon.
+///
+/// The client is a thin, synchronous wrapper over the frame protocol:
+/// Connect, then any number of Solve/Ping/Stats calls on the same
+/// connection (the daemon serves a connection's frames in order), then
+/// drop it. Every transport or protocol failure is a Status; a BUSY
+/// admission rejection surfaces as StatusCode::kUnavailable from the
+/// first call on the connection.
+
+namespace streamsc::serve {
+
+/// A connected client. Movable; closing happens on destruction.
+class SolveClient {
+ public:
+  /// Connects to \p endpoint_spec ("unix:PATH" or "tcp:PORT").
+  static StatusOr<SolveClient> Connect(const std::string& endpoint_spec);
+
+  SolveClient() = default;
+  ~SolveClient();
+  SolveClient(SolveClient&& other) noexcept;
+  SolveClient& operator=(SolveClient&& other) noexcept;
+  SolveClient(const SolveClient&) = delete;
+  SolveClient& operator=(const SolveClient&) = delete;
+
+  /// Runs \p solver over cached instance \p instance with key=value
+  /// \p args. Returns the marshalled report response (kReport) on
+  /// success; server-side failures (unknown instance/solver, bad option,
+  /// RESOURCE_EXHAUSTED, BUSY) come back as their typed Status.
+  StatusOr<SolveResponse> Solve(const std::string& instance,
+                                const std::string& solver,
+                                const std::vector<std::string>& args,
+                                bool want_breakdown = false);
+
+  /// Liveness round-trip.
+  Status Ping();
+
+  /// Fetches the daemon's Prometheus stats text.
+  StatusOr<std::string> Stats();
+
+  /// Asks the daemon to shut down (acknowledged with kBye).
+  Status Shutdown();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  /// Sends \p request and reads one response frame, surfacing kError
+  /// responses as their Status.
+  StatusOr<SolveResponse> Call(const SolveRequest& request);
+
+  int fd_ = -1;
+};
+
+}  // namespace streamsc::serve
+
+#endif  // STREAMSC_SERVE_SOLVE_CLIENT_H_

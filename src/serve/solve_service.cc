@@ -1,0 +1,303 @@
+#include "serve/solve_service.h"
+
+#include <sys/socket.h>
+
+#include <sstream>
+#include <utility>
+
+#include "obs/stats_sink.h"
+#include "storage/mmap_set_stream.h"
+#include "util/stopwatch.h"
+
+namespace streamsc::serve {
+
+namespace {
+
+// Interned once; the serve layer's stats vocabulary.
+CounterId ConnectionsId() { return CounterId::Counter("serve.connections"); }
+CounterId BusyId() { return CounterId::Counter("serve.busy_rejected"); }
+CounterId RequestsId() { return CounterId::Counter("serve.requests"); }
+CounterId RequestsOkId() { return CounterId::Counter("serve.requests_ok"); }
+CounterId RequestsErrorId() {
+  return CounterId::Counter("serve.requests_error");
+}
+CounterId QueueDepthId() { return CounterId::Gauge("serve.queue_depth"); }
+CounterId RingCapacityId() {
+  return CounterId::Gauge("serve.ring_capacity");
+}
+CounterId WorkersId() { return CounterId::Gauge("serve.workers"); }
+CounterId InstancesId() { return CounterId::Gauge("serve.instances"); }
+
+// True when args[i] sets the given session option key.
+bool SetsKey(const std::string& arg, const char* key) {
+  const std::size_t eq = arg.find('=');
+  return eq != std::string::npos && arg.compare(0, eq, key) == 0;
+}
+
+}  // namespace
+
+SolveService::SolveService(ServiceOptions options)
+    : options_(std::move(options)) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+}
+
+SolveService::~SolveService() {
+  if (started_) Stop();
+  CloseFd(listen_fd_);
+}
+
+Status SolveService::AddInstance(const std::string& name,
+                                 const std::string& path) {
+  if (started_) {
+    return Status::FailedPrecondition(
+        "SolveService: AddInstance after Start (instances are bound at "
+        "startup)");
+  }
+  return cache_.Add(name, path);
+}
+
+Status SolveService::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("SolveService: Start called twice");
+  }
+  StatusOr<Endpoint> endpoint = ParseEndpoint(options_.endpoint);
+  if (!endpoint.ok()) return endpoint.status();
+  endpoint_ = std::move(*endpoint);
+  StatusOr<int> listen_fd = ListenOn(&endpoint_, options_.backlog);
+  if (!listen_fd.ok()) return listen_fd.status();
+  listen_fd_ = *listen_fd;
+
+  ring_ = std::make_unique<RequestRing>(options_.ring_capacity);
+  slots_.clear();
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    auto slot = std::make_unique<Slot>();
+    if (options_.enable_trace) {
+      slot->trace = std::make_unique<TraceRecorder>();
+    }
+    slots_.push_back(std::move(slot));
+  }
+  started_ = true;
+  stopping_.store(false, std::memory_order_relaxed);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(slots_.size());
+  for (auto& slot : slots_) {
+    workers_.emplace_back([this, raw = slot.get()] { WorkerLoop(raw); });
+  }
+  return Status::Ok();
+}
+
+void SolveService::RequestShutdown() {
+  if (!stopping_.exchange(true)) {
+    // Unblocks the acceptor's accept(2); the fd itself is closed in the
+    // destructor so a late Wait() still has a valid handle to shut down.
+    // shutdown() wakes a listening AF_UNIX accept but is a no-op
+    // (ENOTCONN) on a listening TCP socket on Linux, so also poke the
+    // acceptor with a throwaway connection; it sees stopping_ and exits.
+    // Both are best-effort — whichever lands first does the job.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    StatusOr<int> poke = ConnectTo(endpoint_);
+    if (poke.ok()) CloseFd(*poke);
+    if (ring_ != nullptr) ring_->Close();
+    // Half-close every in-flight connection: a worker parked in recv()
+    // on an idle connection wakes to EOF and exits; SHUT_RD (not RDWR)
+    // so the response of a request still being solved is written in
+    // full before the worker notices.
+    for (auto& slot : slots_) {
+      std::lock_guard<std::mutex> lock(slot->conn_mutex);
+      if (slot->active_fd >= 0) ::shutdown(slot->active_fd, SHUT_RD);
+    }
+  }
+}
+
+void SolveService::Wait() {
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  started_ = false;
+}
+
+void SolveService::Stop() {
+  RequestShutdown();
+  Wait();
+}
+
+void SolveService::AcceptLoop() {
+  for (;;) {
+    StatusOr<int> accepted = AcceptOn(listen_fd_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      if (accepted.ok()) CloseFd(*accepted);
+      return;
+    }
+    if (!accepted.ok()) return;  // Listener died outside shutdown.
+    const int fd = *accepted;
+    {
+      std::lock_guard<std::mutex> lock(accept_stats_mutex_);
+      accept_counters_.Add(ConnectionsId(), 1);
+    }
+    if (!ring_->TryPush(fd)) {
+      // Full ring: answer a typed BUSY and close. The write is
+      // best-effort — a peer that already vanished just loses the
+      // courtesy note.
+      {
+        std::lock_guard<std::mutex> lock(accept_stats_mutex_);
+        accept_counters_.Add(BusyId(), 1);
+      }
+      const SolveResponse busy = ErrorResponse(Status::Unavailable(
+          "service busy: all " + std::to_string(ring_->capacity()) +
+          " queue slots in use; retry"));
+      (void)WriteFrame(fd, EncodeResponse(busy));
+      CloseFd(fd);
+    }
+  }
+}
+
+void SolveService::WorkerLoop(Slot* slot) {
+  int fd = -1;
+  while (ring_->Pop(&fd)) {
+    {
+      std::lock_guard<std::mutex> lock(slot->conn_mutex);
+      slot->active_fd = fd;
+    }
+    ServeConnection(slot, fd);
+    {
+      // Clear before close, under the mutex, so a concurrent
+      // RequestShutdown can never shutdown(2) a recycled fd number.
+      std::lock_guard<std::mutex> lock(slot->conn_mutex);
+      slot->active_fd = -1;
+    }
+    CloseFd(fd);
+  }
+}
+
+void SolveService::ServeConnection(Slot* slot, int fd) {
+  std::string payload;
+  for (;;) {
+    bool eof = false;
+    const Status read = ReadFrame(fd, &payload, &eof);
+    if (!read.ok()) {
+      // Torn frame or hostile prefix: one typed error, then drop — the
+      // stream is not resynchronizable.
+      (void)WriteFrame(fd, EncodeResponse(ErrorResponse(read)));
+      return;
+    }
+    if (eof) return;
+
+    SolveRequest request;
+    const Status decoded = DecodeRequest(payload, &request);
+    if (!decoded.ok()) {
+      (void)WriteFrame(fd, EncodeResponse(ErrorResponse(decoded)));
+      return;
+    }
+
+    SolveResponse response;
+    switch (request.type) {
+      case RequestType::kPing:
+        response.type = ResponseType::kPong;
+        break;
+      case RequestType::kStats:
+        response.type = ResponseType::kStatsText;
+        response.stats_text = RenderStats();
+        break;
+      case RequestType::kShutdown:
+        response.type = ResponseType::kBye;
+        (void)WriteFrame(fd, EncodeResponse(response));
+        RequestShutdown();
+        return;
+      case RequestType::kSolve: {
+        Stopwatch timer;
+        response = HandleSolve(slot, request);
+        const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(
+            timer.ElapsedSeconds() * 1e9);
+        std::lock_guard<std::mutex> lock(slot->stats_mutex);
+        slot->counters.Add(RequestsId(), 1);
+        slot->counters.Add(response.type == ResponseType::kError
+                               ? RequestsErrorId()
+                               : RequestsOkId(),
+                           1);
+        slot->latency.Record(elapsed_ns);
+        break;
+      }
+    }
+    if (!WriteFrame(fd, EncodeResponse(response)).ok()) return;
+  }
+}
+
+SolveResponse SolveService::HandleSolve(Slot* slot,
+                                        const SolveRequest& request) {
+  // Bind (or reuse) this slot's session for the instance. Sessions are
+  // slot-private, so the map needs no lock, and their warm arenas are
+  // exactly the embedded-use steady state.
+  auto it = slot->sessions.find(request.instance);
+  if (it == slot->sessions.end()) {
+    StatusOr<const MmapSetStream*> cached = cache_.Get(request.instance);
+    if (!cached.ok()) return ErrorResponse(cached.status());
+    it = slot->sessions
+             .emplace(request.instance,
+                      SolveSession::OverStream(
+                          std::make_unique<MmapStreamView>(**cached),
+                          SolveSession::Source::kMmap))
+             .first;
+  }
+  SolveSession& session = it->second;
+
+  const bool traced = request.want_breakdown && slot->trace != nullptr;
+  if (traced) slot->trace->Reset();
+  session.BindTrace(traced ? slot->trace.get() : nullptr);
+
+  // Session options the service owns: engine width always, the arena cap
+  // when the operator set one (the server's ceiling beats the client's
+  // ask). With no server cap the client's own memory_budget rides
+  // through untouched.
+  std::vector<std::string> args;
+  args.reserve(request.args.size() + 2);
+  for (const std::string& arg : request.args) {
+    if (SetsKey(arg, "threads")) continue;
+    if (options_.memory_budget > 0 && SetsKey(arg, "memory_budget")) {
+      continue;
+    }
+    args.push_back(arg);
+  }
+  args.push_back("threads=" + std::to_string(options_.solve_threads));
+  if (options_.memory_budget > 0) {
+    args.push_back("memory_budget=" +
+                   std::to_string(options_.memory_budget));
+  }
+
+  StatusOr<SolveReport> report = session.Solve(request.solver, args);
+  session.BindTrace(nullptr);
+  if (!report.ok()) return ErrorResponse(report.status());
+  return ResponseFromReport(*report, traced);
+}
+
+std::string SolveService::RenderStats() const {
+  std::ostringstream out;
+  WriteStats(out);
+  return std::move(out).str();
+}
+
+void SolveService::WriteStats(std::ostream& out) const {
+  CounterSet merged;
+  LatencyHistogram latency;
+  {
+    std::lock_guard<std::mutex> lock(accept_stats_mutex_);
+    merged.MergeFrom(accept_counters_);
+  }
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->stats_mutex);
+    merged.MergeFrom(slot->counters);
+    latency.Merge(slot->latency);
+  }
+  merged.RecordMax(QueueDepthId(), ring_ != nullptr ? ring_->size() : 0);
+  merged.RecordMax(RingCapacityId(),
+                   ring_ != nullptr ? ring_->capacity()
+                                    : options_.ring_capacity);
+  merged.RecordMax(WorkersId(), options_.workers);
+  merged.RecordMax(InstancesId(), cache_.size());
+  WritePrometheusStats(out, merged);
+  WritePrometheusHistogram(out, latency, "serve.request_latency_ns");
+}
+
+}  // namespace streamsc::serve

@@ -1,0 +1,297 @@
+#include "serve/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(_WIN32)
+#error "serve/wire.cc is POSIX-only (gated out of the build elsewhere)"
+#endif
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/frame.h"
+
+namespace streamsc::serve {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+// accept4 is Linux/BSD; fall back to accept + FD_CLOEXEC elsewhere.
+int AcceptCloexec(int listen_fd) {
+#if defined(SOCK_CLOEXEC)
+  return ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+#else
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd >= 0) ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  return fd;
+#endif
+}
+
+int SocketCloexec(int domain) {
+#if defined(SOCK_CLOEXEC)
+  return ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+#else
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd >= 0) ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  return fd;
+#endif
+}
+
+}  // namespace
+
+StatusOr<Endpoint> ParseEndpoint(const std::string& spec) {
+  Endpoint endpoint;
+  if (spec.rfind("unix:", 0) == 0) {
+    endpoint.is_unix = true;
+    endpoint.path = spec.substr(5);
+    if (endpoint.path.empty()) {
+      return Status::InvalidArgument("endpoint 'unix:' needs a path");
+    }
+    // -1 leaves room for sun_path's trailing NUL.
+    if (endpoint.path.size() >= sizeof(sockaddr_un{}.sun_path) - 1) {
+      return Status::InvalidArgument("unix socket path too long (" +
+                                     std::to_string(endpoint.path.size()) +
+                                     " bytes): " + endpoint.path);
+    }
+    return endpoint;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string digits = spec.substr(4);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos ||
+        digits.size() > 5) {
+      return Status::InvalidArgument("endpoint 'tcp:' needs a port number, "
+                                     "got '" +
+                                     digits + "'");
+    }
+    const unsigned long port = std::stoul(digits);
+    if (port > 65535) {
+      return Status::InvalidArgument("tcp port out of range: " + digits);
+    }
+    endpoint.is_unix = false;
+    endpoint.port = static_cast<std::uint16_t>(port);
+    return endpoint;
+  }
+  return Status::InvalidArgument(
+      "endpoint must be 'unix:PATH' or 'tcp:PORT', got '" + spec + "'");
+}
+
+std::string EndpointSpec(const Endpoint& endpoint) {
+  return endpoint.is_unix ? "unix:" + endpoint.path
+                          : "tcp:" + std::to_string(endpoint.port);
+}
+
+StatusOr<int> ListenOn(Endpoint* endpoint, int backlog) {
+  if (endpoint->is_unix) {
+    const int fd = SocketCloexec(AF_UNIX);
+    if (fd < 0) return Errno("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, endpoint->path.c_str(),
+                endpoint->path.size() + 1);
+    // A previous daemon that died uncleanly leaves the path behind;
+    // rebinding over it is the expected restart behaviour.
+    ::unlink(endpoint->path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const Status status = Errno("bind(" + endpoint->path + ")");
+      CloseFd(fd);
+      return status;
+    }
+    if (::listen(fd, backlog) != 0) {
+      const Status status = Errno("listen(" + endpoint->path + ")");
+      CloseFd(fd);
+      return status;
+    }
+    return fd;
+  }
+  const int fd = SocketCloexec(AF_INET);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(endpoint->port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status =
+        Errno("bind(127.0.0.1:" + std::to_string(endpoint->port) + ")");
+    CloseFd(fd);
+    return status;
+  }
+  if (endpoint->port == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      const Status status = Errno("getsockname");
+      CloseFd(fd);
+      return status;
+    }
+    endpoint->port = ntohs(bound.sin_port);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status status = Errno("listen(tcp)");
+    CloseFd(fd);
+    return status;
+  }
+  return fd;
+}
+
+StatusOr<int> ConnectTo(const Endpoint& endpoint) {
+  if (endpoint.is_unix) {
+    const int fd = SocketCloexec(AF_UNIX);
+    if (fd < 0) return Errno("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, endpoint.path.c_str(),
+                endpoint.path.size() + 1);
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      const Status status = Errno("connect(" + endpoint.path + ")");
+      CloseFd(fd);
+      return status;
+    }
+    return fd;
+  }
+  const int fd = SocketCloexec(AF_INET);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(endpoint.port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const Status status =
+        Errno("connect(127.0.0.1:" + std::to_string(endpoint.port) + ")");
+    CloseFd(fd);
+    return status;
+  }
+  return fd;
+}
+
+StatusOr<int> AcceptOn(int listen_fd) {
+  for (;;) {
+    const int fd = AcceptCloexec(listen_fd);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    // ECONNABORTED: the peer gave up between connect and accept — keep
+    // serving, it is their problem, not the daemon's.
+    if (errno == ECONNABORTED) continue;
+    return Errno("accept");
+  }
+}
+
+Status SendAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Reads exactly n bytes into buf. Returns 1 on success, 0 on clean EOF
+// before the first byte, and a negative errno on failure / mid-read EOF
+// (reported as ECONNRESET).
+int RecvExact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -errno;
+    }
+    if (r == 0) return got == 0 ? 0 : -ECONNRESET;
+    got += static_cast<std::size_t>(r);
+  }
+  return 1;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame payload too large: " + std::to_string(payload.size()) +
+        " bytes (cap " + std::to_string(kMaxFrameBytes) + ")");
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  char prefix[4];
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<char>((n >> (8 * i)) & 0xFF);
+  }
+  // One send for the common small frame avoids a cross-packet split that
+  // a naive peer might mistake for a torn prefix.
+  std::string wire;
+  wire.reserve(4 + payload.size());
+  wire.append(prefix, 4);
+  wire.append(payload.data(), payload.size());
+  return SendAll(fd, wire);
+}
+
+Status ReadFrame(int fd, std::string* payload, bool* eof) {
+  *eof = false;
+  char prefix[4];
+  const int rc = RecvExact(fd, prefix, 4);
+  if (rc == 0) {
+    *eof = true;
+    return Status::Ok();
+  }
+  if (rc < 0) {
+    errno = -rc;
+    return Errno("recv(frame prefix)");
+  }
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n |= static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[i]))
+         << (8 * i);
+  }
+  if (n > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame announces " + std::to_string(n) + " bytes (cap " +
+        std::to_string(kMaxFrameBytes) + "); dropping connection");
+  }
+  payload->resize(n);
+  if (n > 0) {
+    const int body = RecvExact(fd, payload->data(), n);
+    if (body <= 0) {
+      errno = body == 0 ? ECONNRESET : -body;
+      return Errno("recv(frame body)");
+    }
+  }
+  return Status::Ok();
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  int rc;
+  do {
+    rc = ::close(fd);
+  } while (rc != 0 && errno == EINTR);
+}
+
+}  // namespace streamsc::serve

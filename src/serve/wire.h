@@ -1,0 +1,74 @@
+#ifndef STREAMSC_SERVE_WIRE_H_
+#define STREAMSC_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+/// \file wire.h
+/// POSIX socket plumbing for the solve service: listen/connect on the two
+/// supported endpoint forms, and framed I/O that survives everything a
+/// socket can throw at a long-lived daemon:
+///
+///   * every syscall retries EINTR;
+///   * short reads and short writes loop until the count is satisfied;
+///   * writes use MSG_NOSIGNAL, so a peer that vanished mid-response
+///     yields a Status instead of SIGPIPE killing the process;
+///   * a clean EOF at a frame boundary is reported as `eof`, not as an
+///     error — it is how clients hang up;
+///   * a hostile or torn length prefix (> kMaxFrameBytes) is a typed
+///     InvalidArgument, never an allocation of attacker-chosen size.
+///
+/// Endpoints are spelled `unix:/path/to.sock` or `tcp:PORT` (loopback
+/// only; PORT may be 0 to let the kernel pick — the bound port is
+/// reported back so tests can run fully parallel).
+
+namespace streamsc::serve {
+
+/// A parsed endpoint: exactly one of the two families.
+struct Endpoint {
+  bool is_unix = false;
+  std::string path;         ///< unix: socket path.
+  std::uint16_t port = 0;   ///< tcp: loopback port (0 = kernel-assigned).
+};
+
+/// Parses "unix:PATH" or "tcp:PORT". InvalidArgument otherwise.
+StatusOr<Endpoint> ParseEndpoint(const std::string& spec);
+
+/// Renders an endpoint back to its spec form (tcp shows the bound port).
+std::string EndpointSpec(const Endpoint& endpoint);
+
+/// Creates a listening socket for \p endpoint (CLOEXEC, backlog applied).
+/// For tcp with port 0, \p endpoint is updated with the kernel-assigned
+/// port. Unix sockets unlink a stale path first.
+StatusOr<int> ListenOn(Endpoint* endpoint, int backlog);
+
+/// Connects to \p endpoint. Returns the connected fd (CLOEXEC).
+StatusOr<int> ConnectTo(const Endpoint& endpoint);
+
+/// Accepts one connection from \p listen_fd (CLOEXEC, EINTR retried).
+/// Returns the connected fd; a closed/shut-down listener surfaces as a
+/// Status (the daemon's stop path).
+StatusOr<int> AcceptOn(int listen_fd);
+
+/// Writes all of \p data to \p fd (EINTR + short-write safe, no SIGPIPE).
+Status SendAll(int fd, std::string_view data);
+
+/// Writes one frame: u32 little-endian length prefix, then the payload.
+/// Payloads over kMaxFrameBytes are an InvalidArgument (caller bug).
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame into \p payload. On a clean EOF before any prefix
+/// byte, returns Ok with *eof = true and an untouched payload. A torn
+/// prefix, mid-frame EOF, or an announced length over kMaxFrameBytes is
+/// an error Status.
+Status ReadFrame(int fd, std::string* payload, bool* eof);
+
+/// close() with EINTR retry; safe on -1 (no-op).
+void CloseFd(int fd);
+
+}  // namespace streamsc::serve
+
+#endif  // STREAMSC_SERVE_WIRE_H_

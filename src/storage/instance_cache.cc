@@ -1,0 +1,46 @@
+#include "storage/instance_cache.h"
+
+#include <utility>
+
+namespace streamsc {
+
+Status InstanceCache::Add(const std::string& name, const std::string& path) {
+  // Open outside the lock: validation reads the whole file, and other
+  // requests should keep being served while a new instance loads.
+  auto stream = std::make_unique<MmapSetStream>(path);
+  if (!stream->status().ok()) return stream->status();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = entries_.emplace(name, std::move(stream));
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("instance cache: name '" + name +
+                                   "' is already registered");
+  }
+  return Status::Ok();
+}
+
+StatusOr<const MmapSetStream*> InstanceCache::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("instance cache: no instance named '" + name +
+                            "'");
+  }
+  return static_cast<const MmapSetStream*>(it->second.get());
+}
+
+std::vector<std::string> InstanceCache::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, stream] : entries_) names.push_back(name);
+  return names;
+}
+
+std::size_t InstanceCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace streamsc

@@ -1,0 +1,62 @@
+#ifndef STREAMSC_STORAGE_INSTANCE_CACHE_H_
+#define STREAMSC_STORAGE_INSTANCE_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/mmap_set_stream.h"
+#include "util/status.h"
+
+/// \file instance_cache.h
+/// InstanceCache: open-once / serve-many sscb1 instances.
+///
+/// Opening an sscb1 file costs one full sequential validation read
+/// (deliberately — see mmap_set_stream.h); a service that re-opened the
+/// instance per request would pay that on every solve. The cache opens
+/// and validates each path exactly once, keyed by name, and thereafter
+/// hands out borrowed `const MmapSetStream*` that any number of readers
+/// may share: the stream is immutable after construction, and each
+/// reader streams through its own MmapStreamView cursor.
+///
+/// Thread safety: Add/Get/Names are mutex-guarded; the returned streams
+/// are safe for concurrent use by contract (read-only + per-view
+/// cursors). Cached streams live until the cache is destroyed, so views
+/// and the SetViews they hand out stay valid for the cache's lifetime.
+
+namespace streamsc {
+
+/// A named, immutable, process-lifetime set of open instances.
+class InstanceCache {
+ public:
+  InstanceCache() = default;
+
+  InstanceCache(const InstanceCache&) = delete;
+  InstanceCache& operator=(const InstanceCache&) = delete;
+
+  /// Opens and validates \p path as an sscb1 instance under \p name.
+  /// Re-adding an existing name is InvalidArgument (entries are
+  /// immutable); a file that fails to open or validate reports its
+  /// status and caches nothing.
+  Status Add(const std::string& name, const std::string& path);
+
+  /// The cached instance registered under \p name, or NotFound. The
+  /// pointer stays valid for the cache's lifetime.
+  StatusOr<const MmapSetStream*> Get(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Number of cached instances.
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<MmapSetStream>> entries_;
+};
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_STORAGE_INSTANCE_CACHE_H_

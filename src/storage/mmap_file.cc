@@ -47,7 +47,13 @@ void MmapFile::Reset() {
 #if STREAMSC_HAVE_MMAP
 
 StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  // O_NONBLOCK makes opening a FIFO with no writer return immediately
+  // instead of blocking this thread forever (a daemon handed a FIFO path
+  // must reject it, not hang); O_CLOEXEC keeps the descriptor out of any
+  // fork/exec'd child during the open window. Both flags are cleared from
+  // the file's semantics below: the fd is read via mmap only and closed
+  // before returning.
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC | O_NONBLOCK);
   if (fd < 0) {
     return Status::NotFound("cannot open '" + path +
                             "': " + std::strerror(errno));
@@ -59,6 +65,26 @@ StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
     ::close(fd);
     return status;
   }
+  // Only regular files can be mapped: a directory would fail later with a
+  // confusing mmap/read error, and a FIFO or device node has no stable
+  // byte range at all. Say what the path actually is.
+  if (!S_ISREG(st.st_mode)) {
+    const char* what = S_ISDIR(st.st_mode)    ? "a directory"
+                       : S_ISFIFO(st.st_mode) ? "a FIFO"
+                       : S_ISCHR(st.st_mode)  ? "a character device"
+                       : S_ISBLK(st.st_mode)  ? "a block device"
+                       : S_ISSOCK(st.st_mode) ? "a socket"
+                                              : "not a regular file";
+    const Status status = Status::InvalidArgument(
+        "cannot map '" + path + "': it is " + what +
+        " (only regular files can be memory-mapped)");
+    ::close(fd);
+    return status;
+  }
+  // Drop O_NONBLOCK now that the probe is done — mmap of a regular file
+  // never blocks, but keep the descriptor's semantics conventional.
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
   MmapFile file;
   file.mapped_ = true;
   file.size_ = static_cast<std::size_t>(st.st_size);

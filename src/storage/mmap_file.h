@@ -31,8 +31,12 @@ class MmapFile {
   MmapFile() = default;
 
   /// Maps \p path read-only. NotFound if the file cannot be opened,
-  /// Internal on stat/map failures. Empty files map successfully with
-  /// size() == 0.
+  /// InvalidArgument if the path is not a regular file (a FIFO, directory,
+  /// device node, or socket — rejected up front, without blocking, rather
+  /// than hanging or failing later with a confusing mmap error), Internal
+  /// on stat/map failures. Empty files map successfully with size() == 0.
+  /// The descriptor is opened O_CLOEXEC and closed before returning, so a
+  /// successful Open leaves the fd table exactly as it found it.
   static StatusOr<MmapFile> Open(const std::string& path);
 
   ~MmapFile() { Reset(); }

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "util/check.h"
+#include "util/file_probe.h"
 
 namespace streamsc {
 
@@ -136,6 +137,10 @@ SetView MmapSetStream::set(SetId id) const {
 }
 
 bool IsBinaryInstanceFile(const std::string& path) {
+  // Probe before the blocking open: an ifstream open of an unfed FIFO
+  // hangs forever, and format sniffing runs before any hardened reader
+  // gets a look at the path.
+  if (!ProbeRegularFile(path).ok()) return false;
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
   unsigned char magic[sizeof(sscb1::kMagic)] = {};

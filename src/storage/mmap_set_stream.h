@@ -91,6 +91,51 @@ class MmapSetStream : public SetStream {
   std::uint64_t passes_ = 0;
 };
 
+/// An independent cursor over a shared, already-validated MmapSetStream.
+///
+/// MmapSetStream is read-only after construction except for its pass
+/// cursor — which is exactly what stops one validated mapping from
+/// serving many concurrent readers. MmapStreamView splits the cursor out:
+/// each view carries its own cursor/pass state and reads sets through the
+/// shared stream's O(1) random access, so N views over one stream can
+/// stream passes concurrently with zero additional validation, mapping,
+/// or payload copies. This is the open-once / serve-many shape the solve
+/// daemon's instance cache hands to its worker slots.
+///
+/// The underlying stream is borrowed and must outlive every view; its
+/// own BeginPass()/Next() cursor is never touched by views.
+class MmapStreamView : public SetStream {
+ public:
+  /// Views \p stream, which must have an Ok status() and must outlive
+  /// this view.
+  explicit MmapStreamView(const MmapSetStream& stream) : stream_(stream) {}
+
+  std::size_t universe_size() const override {
+    return stream_.universe_size();
+  }
+  std::size_t num_sets() const override { return stream_.num_sets(); }
+  void BeginPass() override {
+    cursor_ = 0;
+    ++passes_;
+  }
+  bool Next(StreamItem* item) override {
+    if (cursor_ >= stream_.num_sets()) return false;
+    const SetId id = static_cast<SetId>(cursor_++);
+    item->id = id;
+    item->set = stream_.set(id);
+    return true;
+  }
+  std::uint64_t passes() const override { return passes_; }
+  /// Views borrow the shared mapping, which outlives the view by
+  /// contract: buffered/sharded passes are safe.
+  bool ItemsRemainValid() const override { return true; }
+
+ private:
+  const MmapSetStream& stream_;
+  std::size_t cursor_ = 0;
+  std::uint64_t passes_ = 0;
+};
+
 /// True iff \p path starts with the sscb1 magic (cheap format sniff for
 /// tools that accept both text and binary instances).
 bool IsBinaryInstanceFile(const std::string& path);

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/file_probe.h"
 
 namespace streamsc {
 namespace {
@@ -113,6 +114,14 @@ FileSetStream::FileSetStream(std::string path) : path_(std::move(path)) {
 void FileSetStream::Reopen() {
   in_.close();
   in_.clear();
+  // Probe before the blocking open: ifstream on an unfed FIFO (or a
+  // device node) blocks forever, wedging whichever thread asked for the
+  // pass. Missing files fall through so the open supplies NotFound.
+  const Status probe = ProbeRegularFile(path_);
+  if (!probe.ok() && probe.code() == StatusCode::kInvalidArgument) {
+    status_ = probe;
+    return;
+  }
   in_.open(path_);
   if (!in_) {
     status_ = Status::NotFound("cannot open '" + path_ + "'");

@@ -1,0 +1,46 @@
+#include "util/file_probe.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define STREAMSC_HAVE_STAT 1
+#include <sys/stat.h>
+#else
+#define STREAMSC_HAVE_STAT 0
+#endif
+
+namespace streamsc {
+
+#if STREAMSC_HAVE_STAT
+
+Status ProbeRegularFile(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::NotFound("cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  if (S_ISREG(st.st_mode)) return Status::Ok();
+  // Same per-type wording as MmapFile::Open: say what the path actually
+  // is, so "why won't it load my file" is answerable from the message.
+  const char* what = S_ISDIR(st.st_mode)    ? "a directory"
+                     : S_ISFIFO(st.st_mode) ? "a FIFO"
+                     : S_ISCHR(st.st_mode)  ? "a character device"
+                     : S_ISBLK(st.st_mode)  ? "a block device"
+                     : S_ISSOCK(st.st_mode) ? "a socket"
+                                            : "not a regular file";
+  return Status::InvalidArgument("cannot read '" + path + "': it is " +
+                                 std::string(what) +
+                                 " (only regular files can be opened)");
+}
+
+#else  // !STREAMSC_HAVE_STAT
+
+Status ProbeRegularFile(const std::string& path) {
+  (void)path;
+  return Status::Ok();
+}
+
+#endif  // STREAMSC_HAVE_STAT
+
+}  // namespace streamsc

@@ -1,0 +1,32 @@
+#ifndef STREAMSC_UTIL_FILE_PROBE_H_
+#define STREAMSC_UTIL_FILE_PROBE_H_
+
+#include <string>
+
+#include "util/status.h"
+
+/// \file file_probe.h
+/// Non-blocking "is this a regular file?" probe.
+///
+/// Every reader in the stack that opens a user-supplied path with a
+/// blocking primitive (std::ifstream, O_RDONLY open) must probe first:
+/// opening a FIFO with no writer blocks the calling thread *forever*,
+/// which turns a bad --instance flag or an attacker-chosen path into a
+/// wedged daemon worker. stat(2) never blocks on FIFOs or devices, so
+/// the probe answers immediately.
+
+namespace streamsc {
+
+/// Returns Ok iff \p path names an existing regular file.
+///
+///   * missing path        -> NotFound
+///   * FIFO / directory /
+///     device / socket     -> InvalidArgument naming what the path is
+///
+/// On platforms without stat(2) the probe is a no-op returning Ok; the
+/// caller's own open supplies the error there.
+Status ProbeRegularFile(const std::string& path);
+
+}  // namespace streamsc
+
+#endif  // STREAMSC_UTIL_FILE_PROBE_H_

@@ -21,6 +21,7 @@ enum class StatusCode {
   kResourceExhausted,
   kNotFound,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -55,6 +56,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -60,6 +64,22 @@ TEST(SolveSessionTest, OpenMissingFileReports) {
   StatusOr<SolveSession> session =
       SolveSession::Open("/nonexistent/definitely/not/here.ssc");
   EXPECT_FALSE(session.ok());
+}
+
+TEST(SolveSessionTest, OpenFifoReportsInvalidArgumentWithoutHanging) {
+  // Regression: Open() sniffs the format before any hardened reader runs,
+  // and the sniff (IsBinaryInstanceFile) plus the text fallback both used
+  // blocking std::ifstream opens — so a FIFO path hung the session-open
+  // path forever even after MmapFile::Open itself was fixed. The whole
+  // chain must come straight back with a typed error.
+  ScopedTempDir dir;
+  const std::string path = dir.FilePath("pipe.fifo");
+  ASSERT_EQ(::mkfifo(path.c_str(), 0600), 0) << std::strerror(errno);
+  StatusOr<SolveSession> session = SolveSession::Open(path);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(session.status().message().find("FIFO"), std::string::npos)
+      << session.status().ToString();
 }
 
 TEST(SolveSessionTest, OpenGarbageFileReports) {
@@ -201,6 +221,92 @@ TEST(SolveSessionTest, UserInputFailuresAreStatusesNeverAborts) {
   EXPECT_EQ(big.status().code(), StatusCode::kOutOfRange);
   // The session still works after all those failures.
   EXPECT_TRUE(session.Solve("assadi", {}).ok());
+}
+
+// --- The Reopen reuse contract ----------------------------------------
+// A session is re-targetable in place (the daemon's warm-slot shape).
+// The pinned contract: a failed Reopen leaves the session *empty* — not
+// half-bound to the previous stream — and a later successful Reopen on
+// the very same session behaves exactly like a fresh Open.
+
+TEST(SolveSessionReopenTest, FailedReopenDetachesThePreviousSource) {
+  SessionFixture fx;
+  StatusOr<SolveSession> session = SolveSession::Open(fx.binary_path);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->Solve("assadi", {"alpha=2"}).ok());
+
+  // Reopen on a missing file fails...
+  EXPECT_FALSE(session->Reopen("/nonexistent/definitely/gone.sscb1").ok());
+  // ...and the session is now empty: no stale mmap keeps serving.
+  EXPECT_EQ(session->source(), SolveSession::Source::kNone);
+  EXPECT_EQ(session->universe_size(), 0u);
+  StatusOr<SolveReport> report = session->Solve("assadi", {"alpha=2"});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveSessionReopenTest, SuccessAfterFailureMatchesAFreshOpen) {
+  SessionFixture fx;
+  // Baseline from a fresh session.
+  StatusOr<SolveSession> fresh = SolveSession::Open(fx.binary_path);
+  ASSERT_TRUE(fresh.ok());
+  StatusOr<SolveReport> baseline = fresh->Solve("assadi", {"alpha=2"});
+  ASSERT_TRUE(baseline.ok());
+
+  // Interleave failing and succeeding opens on ONE session: text OK,
+  // garbage FAIL, binary OK, missing FAIL, binary OK — the surviving
+  // state must only ever reflect the last success (or be empty).
+  ScopedTempDir dir;
+  const std::string garbage = dir.FilePath("garbage.ssc");
+  {
+    std::ofstream out(garbage);
+    out << "not an instance at all\n";
+  }
+  SolveSession session;
+  ASSERT_TRUE(session.Reopen(fx.text_path).ok());
+  EXPECT_EQ(session.source(), SolveSession::Source::kFile);
+  ASSERT_FALSE(session.Reopen(garbage).ok());
+  EXPECT_EQ(session.source(), SolveSession::Source::kNone);
+  ASSERT_TRUE(session.Reopen(fx.binary_path).ok());
+  EXPECT_EQ(session.source(), SolveSession::Source::kMmap);
+  ASSERT_FALSE(session.Reopen("/nonexistent/nope.ssc").ok());
+  ASSERT_TRUE(session.Reopen(fx.binary_path).ok());
+
+  StatusOr<SolveReport> report = session.Solve("assadi", {"alpha=2"});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->source, "mmap");
+  EXPECT_EQ(report->solution.chosen, baseline->solution.chosen);
+}
+
+TEST(SolveSessionReopenTest, ReopenClearsTheTextUpgradeAndParseError) {
+  SessionFixture fx;
+  // Drive a text session through the threads>1 memory upgrade, then
+  // Reopen: the owned system must not leak into the new source's state.
+  StatusOr<SolveSession> session = SolveSession::Open(fx.text_path);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->Solve("threshold_greedy", {"beta=2", "threads=2"})
+                  .ok());
+  EXPECT_EQ(session->source(), SolveSession::Source::kMemory);
+  ASSERT_TRUE(session->Reopen(fx.text_path).ok());
+  EXPECT_EQ(session->source(), SolveSession::Source::kFile);
+  StatusOr<SolveReport> report =
+      session->Solve("threshold_greedy", {"beta=2"});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->source, "file");
+
+  // And a truncated-body text source whose Solve failed must not poison
+  // the session after a Reopen onto a good file.
+  ScopedTempDir dir;
+  const std::string truncated = dir.FilePath("truncated.ssc");
+  {
+    std::ofstream out(truncated);
+    out << "ssc1 8 4\n"
+        << "2 0 1\n";
+  }
+  ASSERT_TRUE(session->Reopen(truncated).ok());
+  EXPECT_FALSE(session->Solve("one_pass", {}).ok());
+  ASSERT_TRUE(session->Reopen(fx.text_path).ok());
+  EXPECT_TRUE(session->Solve("one_pass", {}).ok());
 }
 
 TEST(SolveSessionTest, EmptySessionSolveReports) {

@@ -1,0 +1,259 @@
+// serve/frame.h codec: round-trips for every request/response shape, and
+// the totality contract — truncated, oversized, or garbage payloads are
+// InvalidArgument, never an abort or out-of-bounds read. (The same
+// surface is attacked randomly by fuzz/fuzz_serve_frame.cc; these are
+// the deterministic pins.)
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/frame.h"
+
+namespace streamsc::serve {
+namespace {
+
+SolveRequest RoundTripRequest(const SolveRequest& in) {
+  SolveRequest out;
+  const Status status = DecodeRequest(EncodeRequest(in), &out);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out;
+}
+
+SolveResponse RoundTripResponse(const SolveResponse& in) {
+  SolveResponse out;
+  const Status status = DecodeResponse(EncodeResponse(in), &out);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out;
+}
+
+TEST(FrameTest, SolveRequestRoundTrip) {
+  SolveRequest request;
+  request.type = RequestType::kSolve;
+  request.want_breakdown = true;
+  request.instance = "web-graph";
+  request.solver = "assadi";
+  request.args = {"alpha=2", "epsilon=0.5", "memory_budget=1048576"};
+
+  const SolveRequest decoded = RoundTripRequest(request);
+  EXPECT_EQ(decoded.type, RequestType::kSolve);
+  EXPECT_TRUE(decoded.want_breakdown);
+  EXPECT_EQ(decoded.instance, request.instance);
+  EXPECT_EQ(decoded.solver, request.solver);
+  EXPECT_EQ(decoded.args, request.args);
+}
+
+TEST(FrameTest, ControlRequestsRoundTrip) {
+  for (const RequestType type :
+       {RequestType::kStats, RequestType::kPing, RequestType::kShutdown}) {
+    SolveRequest request;
+    request.type = type;
+    const SolveRequest decoded = RoundTripRequest(request);
+    EXPECT_EQ(decoded.type, type);
+    EXPECT_TRUE(decoded.instance.empty());
+    EXPECT_TRUE(decoded.args.empty());
+  }
+}
+
+TEST(FrameTest, ReportResponseRoundTrip) {
+  SolveResponse response;
+  response.type = ResponseType::kReport;
+  response.feasible = true;
+  response.kind = SolverKind::kMaxCoverage;
+  response.passes = 5;
+  response.extra = 96;
+  response.peak_space_bytes = 4096;
+  response.arena_high_water = 8192;
+  response.wall_ns = 1234567;
+  response.solver = "sieve_mc";
+  response.algorithm = "sieve_mc(k=2)";
+  response.source = "mmap";
+  response.solution = {3, 1, 4, 1, 5};
+  response.counters = {
+      {"engine.items_scanned", CounterKind::kCounter, 640},
+      {"arena.high_water_bytes", CounterKind::kGauge, 8192}};
+  response.breakdown = {{"threshold", 900, 128, 8, 2, 77},
+                        {"subtract", 450, 128, 8, 0, 0}};
+
+  const SolveResponse decoded = RoundTripResponse(response);
+  EXPECT_EQ(decoded.type, ResponseType::kReport);
+  EXPECT_TRUE(decoded.feasible);
+  EXPECT_EQ(decoded.kind, SolverKind::kMaxCoverage);
+  EXPECT_EQ(decoded.passes, 5u);
+  EXPECT_EQ(decoded.extra, 96u);
+  EXPECT_EQ(decoded.peak_space_bytes, 4096u);
+  EXPECT_EQ(decoded.arena_high_water, 8192u);
+  EXPECT_EQ(decoded.wall_ns, 1234567u);
+  EXPECT_EQ(decoded.solver, "sieve_mc");
+  EXPECT_EQ(decoded.algorithm, "sieve_mc(k=2)");
+  EXPECT_EQ(decoded.source, "mmap");
+  EXPECT_EQ(decoded.solution, response.solution);
+  ASSERT_EQ(decoded.counters.size(), 2u);
+  EXPECT_EQ(decoded.counters[0].name, "engine.items_scanned");
+  EXPECT_EQ(decoded.counters[0].kind, CounterKind::kCounter);
+  EXPECT_EQ(decoded.counters[0].value, 640u);
+  EXPECT_EQ(decoded.counters[1].kind, CounterKind::kGauge);
+  ASSERT_EQ(decoded.breakdown.size(), 2u);
+  EXPECT_EQ(decoded.breakdown[0].name, "threshold");
+  EXPECT_EQ(decoded.breakdown[0].wall_ns, 900u);
+  EXPECT_EQ(decoded.breakdown[1].elements_covered, 0u);
+}
+
+TEST(FrameTest, ErrorResponseRoundTripAndStatusMapping) {
+  const Status busy = Status::Unavailable("service busy: retry");
+  const SolveResponse encoded = ErrorResponse(busy);
+  const SolveResponse decoded = RoundTripResponse(encoded);
+  EXPECT_EQ(decoded.type, ResponseType::kError);
+  const Status back = ResponseStatus(decoded);
+  EXPECT_EQ(back.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(back.message(), "service busy: retry");
+
+  // Every distinct failure code survives the wire.
+  for (const Status& status :
+       {Status::InvalidArgument("a"), Status::NotFound("b"),
+        Status::ResourceExhausted("c"), Status::FailedPrecondition("d"),
+        Status::Internal("e")}) {
+    const SolveResponse round = RoundTripResponse(ErrorResponse(status));
+    EXPECT_EQ(ResponseStatus(round).code(), status.code());
+  }
+}
+
+TEST(FrameTest, StatsAndControlResponsesRoundTrip) {
+  SolveResponse stats;
+  stats.type = ResponseType::kStatsText;
+  stats.stats_text = "# TYPE streamsc_serve_requests counter\n"
+                     "streamsc_serve_requests 42\n";
+  EXPECT_EQ(RoundTripResponse(stats).stats_text, stats.stats_text);
+
+  SolveResponse pong;
+  pong.type = ResponseType::kPong;
+  EXPECT_EQ(RoundTripResponse(pong).type, ResponseType::kPong);
+  SolveResponse bye;
+  bye.type = ResponseType::kBye;
+  EXPECT_EQ(RoundTripResponse(bye).type, ResponseType::kBye);
+}
+
+TEST(FrameTest, EveryTruncationOfAValidRequestIsRejected) {
+  SolveRequest request;
+  request.type = RequestType::kSolve;
+  request.instance = "inst";
+  request.solver = "assadi";
+  request.args = {"alpha=2"};
+  const std::string wire = EncodeRequest(request);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    SolveRequest decoded;
+    const Status status =
+        DecodeRequest(std::string_view(wire).substr(0, cut), &decoded);
+    EXPECT_FALSE(status.ok()) << "truncation at " << cut << " accepted";
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(FrameTest, EveryTruncationOfAValidResponseIsRejected) {
+  SolveResponse response;
+  response.type = ResponseType::kReport;
+  response.solver = "assadi";
+  response.algorithm = "assadi(alpha=2)";
+  response.source = "mmap";
+  response.solution = {1, 2, 3};
+  response.counters = {{"engine.items_scanned", CounterKind::kCounter, 9}};
+  response.breakdown = {{"threshold", 10, 1, 1, 1, 1}};
+  const std::string wire = EncodeResponse(response);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    SolveResponse decoded;
+    const Status status =
+        DecodeResponse(std::string_view(wire).substr(0, cut), &decoded);
+    EXPECT_FALSE(status.ok()) << "truncation at " << cut << " accepted";
+  }
+}
+
+TEST(FrameTest, TrailingGarbageIsRejected) {
+  SolveRequest ping;
+  ping.type = RequestType::kPing;
+  std::string wire = EncodeRequest(ping);
+  wire.push_back('\x00');
+  SolveRequest decoded;
+  EXPECT_FALSE(DecodeRequest(wire, &decoded).ok());
+
+  SolveResponse pong;
+  pong.type = ResponseType::kPong;
+  std::string rwire = EncodeResponse(pong);
+  rwire += "junk";
+  SolveResponse rdecoded;
+  EXPECT_FALSE(DecodeResponse(rwire, &rdecoded).ok());
+}
+
+TEST(FrameTest, BadVersionTypeAndEnumBytesAreRejected) {
+  SolveRequest ping;
+  ping.type = RequestType::kPing;
+  std::string wire = EncodeRequest(ping);
+  {
+    std::string bad = wire;
+    bad[0] = static_cast<char>(kProtocolVersion + 1);
+    SolveRequest decoded;
+    const Status status = DecodeRequest(bad, &decoded);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("version"), std::string::npos);
+  }
+  {
+    std::string bad = wire;
+    bad[1] = '\x7F';  // no such RequestType
+    SolveRequest decoded;
+    EXPECT_FALSE(DecodeRequest(bad, &decoded).ok());
+  }
+  {
+    // An error response must carry a known non-Ok status code.
+    SolveResponse error = ErrorResponse(Status::Internal("x"));
+    std::string bad = EncodeResponse(error);
+    bad[4] = '\x63';  // status code 99
+    SolveResponse decoded;
+    EXPECT_FALSE(DecodeResponse(bad, &decoded).ok());
+    bad[4] = '\x00';  // StatusCode::kOk is not an error
+    EXPECT_FALSE(DecodeResponse(bad, &decoded).ok());
+  }
+}
+
+TEST(FrameTest, HostileSolutionCountCannotBalloonMemory) {
+  // A report announcing 4 billion solution ids with a 50-byte payload
+  // must be rejected before any resize happens.
+  SolveResponse response;
+  response.type = ResponseType::kReport;
+  std::string wire = EncodeResponse(response);
+  // The u32 solution count sits right after the fixed scalars and the
+  // three (empty) strings; find it by rebuilding: empty response layout
+  // is deterministic, count field is the 4 bytes before the final two
+  // u16 zero counts.
+  ASSERT_GE(wire.size(), 8u);
+  const std::size_t count_at = wire.size() - 8;
+  wire[count_at] = '\xFF';
+  wire[count_at + 1] = '\xFF';
+  wire[count_at + 2] = '\xFF';
+  wire[count_at + 3] = '\xFF';
+  SolveResponse decoded;
+  const Status status = DecodeResponse(wire, &decoded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("solution count"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(FrameTest, GarbagePayloadsNeverAbort) {
+  // Deterministic pseudo-garbage across a range of lengths; decoders
+  // must return (any) Status without crashing.
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (std::size_t len = 0; len < 300; ++len) {
+    std::string payload(len, '\0');
+    for (char& c : payload) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      c = static_cast<char>(state >> 56);
+    }
+    SolveRequest request;
+    (void)DecodeRequest(payload, &request);
+    SolveResponse response;
+    (void)DecodeResponse(payload, &response);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace streamsc::serve

@@ -1,0 +1,149 @@
+// InstanceCache + MmapStreamView: the open-once / serve-many pair. The
+// cache validates each sscb1 file exactly once and hands out shared
+// read-only streams; views give every reader its own cursor. Pinned
+// here: cache semantics (duplicate names, missing names, bad files cache
+// nothing) and the core concurrency claim — N threads streaming passes
+// through views over ONE mapping see exactly the same sets as a private
+// MmapSetStream, with no help from any lock of ours.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "instance/generators.h"
+#include "storage/binary_instance_writer.h"
+#include "storage/instance_cache.h"
+#include "storage/mmap_set_stream.h"
+#include "testing/scoped_temp_dir.h"
+#include "util/random.h"
+
+namespace streamsc {
+namespace {
+
+using testing::ScopedTempDir;
+
+std::string WriteInstance(const ScopedTempDir& dir, const std::string& name,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  const SetSystem system = PlantedCoverInstance(128, 16, 3, rng);
+  const std::string path = dir.FilePath(name);
+  EXPECT_TRUE(BinaryInstanceWriter::WriteSystem(system, path).ok());
+  return path;
+}
+
+// One full pass through a stream, flattened to (id, size) pairs — cheap
+// structural fingerprint that still depends on every set's payload.
+std::vector<std::pair<SetId, Count>> Fingerprint(SetStream& stream) {
+  std::vector<std::pair<SetId, Count>> out;
+  StreamItem item;
+  stream.BeginPass();
+  while (stream.Next(&item)) {
+    out.emplace_back(item.id, item.set.CountSet());
+  }
+  return out;
+}
+
+TEST(InstanceCacheTest, AddGetRoundTrip) {
+  ScopedTempDir dir;
+  const std::string path = WriteInstance(dir, "a.sscb1", 7);
+  InstanceCache cache;
+  ASSERT_TRUE(cache.Add("a", path).ok());
+  EXPECT_EQ(cache.size(), 1u);
+
+  StatusOr<const MmapSetStream*> stream = cache.Get("a");
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ((*stream)->universe_size(), 128u);
+  EXPECT_EQ((*stream)->num_sets(), 16u);
+}
+
+TEST(InstanceCacheTest, DuplicateNameIsInvalidArgument) {
+  ScopedTempDir dir;
+  const std::string path = WriteInstance(dir, "a.sscb1", 7);
+  InstanceCache cache;
+  ASSERT_TRUE(cache.Add("a", path).ok());
+  const Status again = cache.Add("a", path);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(InstanceCacheTest, MissingNameIsNotFound) {
+  InstanceCache cache;
+  StatusOr<const MmapSetStream*> missing = cache.Get("ghost");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(InstanceCacheTest, BadFileCachesNothing) {
+  ScopedTempDir dir;
+  InstanceCache cache;
+  EXPECT_FALSE(cache.Add("gone", dir.FilePath("missing.sscb1")).ok());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("gone").ok());
+}
+
+TEST(InstanceCacheTest, NamesAreSorted) {
+  ScopedTempDir dir;
+  InstanceCache cache;
+  ASSERT_TRUE(cache.Add("zeta", WriteInstance(dir, "z.sscb1", 1)).ok());
+  ASSERT_TRUE(cache.Add("alpha", WriteInstance(dir, "a.sscb1", 2)).ok());
+  ASSERT_TRUE(cache.Add("mid", WriteInstance(dir, "m.sscb1", 3)).ok());
+  EXPECT_EQ(cache.Names(),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(InstanceCacheTest, ViewMatchesPrivateStream) {
+  ScopedTempDir dir;
+  const std::string path = WriteInstance(dir, "a.sscb1", 11);
+  MmapSetStream direct(path);
+  ASSERT_TRUE(direct.status().ok());
+  const auto expected = Fingerprint(direct);
+
+  InstanceCache cache;
+  ASSERT_TRUE(cache.Add("a", path).ok());
+  MmapStreamView view(**cache.Get("a"));
+  EXPECT_EQ(Fingerprint(view), expected);
+  // A second pass through the same view re-streams from the top.
+  EXPECT_EQ(Fingerprint(view), expected);
+  EXPECT_EQ(view.passes(), 2u);
+}
+
+TEST(InstanceCacheTest, ConcurrentViewsOverOneMappingAgree) {
+  ScopedTempDir dir;
+  const std::string path = WriteInstance(dir, "a.sscb1", 23);
+  MmapSetStream direct(path);
+  ASSERT_TRUE(direct.status().ok());
+  const auto expected = Fingerprint(direct);
+
+  InstanceCache cache;
+  ASSERT_TRUE(cache.Add("a", path).ok());
+  const MmapSetStream& shared = **cache.Get("a");
+
+  constexpr int kThreads = 8;
+  constexpr int kPassesPerThread = 4;
+  std::vector<std::thread> threads;
+  // vector<char>, not vector<bool>: the packed specialization would make
+  // per-thread writes race on shared bytes.
+  std::vector<char> agreed(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      MmapStreamView view(shared);
+      bool all_ok = true;
+      for (int pass = 0; pass < kPassesPerThread; ++pass) {
+        all_ok = all_ok && Fingerprint(view) == expected;
+      }
+      agreed[static_cast<std::size_t>(t)] = all_ok;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(agreed[static_cast<std::size_t>(t)]) << "thread " << t;
+  }
+  // The shared stream's own cursor was never touched by any view.
+  EXPECT_EQ(shared.passes(), 0u);
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -1,0 +1,142 @@
+// MmapFile::Open hardening. The regression pinned here: Open on a
+// non-regular file (FIFO, directory, device node) must return a clear
+// InvalidArgument *without blocking* — an O_RDONLY open of an unfed FIFO
+// hangs forever without O_NONBLOCK, which is exactly the bug a daemon
+// fed an attacker-chosen path would trip on. And a successful Open must
+// leave the fd table exactly as it found it (descriptor closed, CLOEXEC
+// while it lived).
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "storage/mmap_file.h"
+#include "testing/scoped_temp_dir.h"
+
+namespace streamsc {
+namespace {
+
+using testing::ScopedTempDir;
+
+// Lowest free descriptor number — a before/after probe for fd leaks.
+int NextFreeFd() {
+  const int fd = ::open("/dev/null", O_RDONLY);
+  EXPECT_GE(fd, 0);
+  ::close(fd);
+  return fd;
+}
+
+TEST(MmapFileTest, OpensRegularFile) {
+  ScopedTempDir dir;
+  const std::string path = dir.FilePath("plain.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "sixteen byte file";
+  }
+  StatusOr<MmapFile> file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_TRUE(file->mapped());
+  EXPECT_EQ(file->size(), 17u);
+}
+
+TEST(MmapFileTest, OpensEmptyFileWithZeroSize) {
+  ScopedTempDir dir;
+  const std::string path = dir.FilePath("empty.bin");
+  { std::ofstream out(path, std::ios::binary); }
+  StatusOr<MmapFile> file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_TRUE(file->mapped());
+  EXPECT_EQ(file->size(), 0u);
+}
+
+TEST(MmapFileTest, MissingFileIsNotFound) {
+  StatusOr<MmapFile> file = MmapFile::Open("/nonexistent/not/here.bin");
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MmapFileTest, FifoIsRejectedWithoutHanging) {
+  ScopedTempDir dir;
+  const std::string path = dir.FilePath("pipe.fifo");
+  ASSERT_EQ(::mkfifo(path.c_str(), 0600), 0) << std::strerror(errno);
+  // No writer ever attaches: a blocking open would hang here until the
+  // test timeout. The hardened Open must come straight back.
+  StatusOr<MmapFile> file = MmapFile::Open(path);
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(file.status().message().find("FIFO"), std::string::npos)
+      << file.status().ToString();
+}
+
+TEST(MmapFileTest, DirectoryIsRejected) {
+  ScopedTempDir dir;
+  StatusOr<MmapFile> file = MmapFile::Open(dir.path().string());
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(file.status().message().find("directory"), std::string::npos)
+      << file.status().ToString();
+}
+
+TEST(MmapFileTest, CharacterDeviceIsRejected) {
+  StatusOr<MmapFile> file = MmapFile::Open("/dev/null");
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(file.status().message().find("character device"),
+            std::string::npos)
+      << file.status().ToString();
+}
+
+TEST(MmapFileTest, OpenLeavesTheFdTableUnchanged) {
+  ScopedTempDir dir;
+  const std::string path = dir.FilePath("plain.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "bytes";
+  }
+  const int before = NextFreeFd();
+  {
+    StatusOr<MmapFile> file = MmapFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    // The descriptor is closed before Open returns (the mapping keeps
+    // the pages), so even while the mapping is live the fd is free
+    // again.
+    EXPECT_EQ(NextFreeFd(), before);
+  }
+  EXPECT_EQ(NextFreeFd(), before);
+  // Failed opens must not leak either.
+  ASSERT_FALSE(MmapFile::Open(dir.path().string()).ok());
+  EXPECT_EQ(NextFreeFd(), before);
+}
+
+TEST(MmapFileTest, NoInheritedDescriptorsAreCloexecClean) {
+  // A paranoia sweep for the daemon: everything MmapFile touches is
+  // transient, so no descriptor at or above the pre-Open floor may
+  // survive Open at all (CLOEXEC moot once closed — the stronger
+  // property holds).
+  ScopedTempDir dir;
+  const std::string path = dir.FilePath("plain.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "bytes";
+  }
+  const int floor = NextFreeFd();
+  StatusOr<MmapFile> file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  std::set<int> open_fds;
+  for (int fd = floor; fd < floor + 16; ++fd) {
+    if (::fcntl(fd, F_GETFD) != -1) open_fds.insert(fd);
+  }
+  EXPECT_TRUE(open_fds.empty())
+      << "MmapFile::Open left " << open_fds.size() << " fd(s) open";
+}
+
+}  // namespace
+}  // namespace streamsc

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 
 #include "core/assadi_set_cover.h"
@@ -171,6 +175,22 @@ TEST(FileSetStreamTest, MissingFileReportsStatus) {
   stream.BeginPass();
   StreamItem item;
   EXPECT_FALSE(stream.Next(&item));
+}
+
+TEST(FileSetStreamTest, FifoPathReportsInvalidArgumentWithoutHanging) {
+  // Regression: FileSetStream opened with a bare std::ifstream, and an
+  // ifstream open of an unfed FIFO blocks forever — so a FIFO path
+  // handed to `workload_tool solve` wedged the process before any
+  // hardened reader saw it. The pre-open probe must turn this into an
+  // immediate typed error.
+  const testing::ScopedTempDir dir;
+  const std::string path = dir.FilePath("pipe.fifo");
+  ASSERT_EQ(::mkfifo(path.c_str(), 0600), 0) << std::strerror(errno);
+  FileSetStream stream(path);
+  ASSERT_FALSE(stream.status().ok());
+  EXPECT_EQ(stream.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(stream.status().message().find("FIFO"), std::string::npos)
+      << stream.status().ToString();
 }
 
 TEST(FileSetStreamTest, MalformedFileReportsStatus) {

@@ -1,0 +1,7 @@
+#include "comm/protocol.h"
+#include <chrono>
+namespace streamsc::serve {
+inline long DeadlineNs() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+}  // namespace streamsc::serve

@@ -1,0 +1,305 @@
+// E17: dynamic instances — what a delta re-solve costs compared to a
+// cold solve, and what the overlay view costs compared to a plain mmap.
+//
+// Every other bench treats the instance as frozen; this one measures the
+// dynamic subsystem's two claims:
+//
+//   1. **Warm re-solve.** After a small delta (adds plus removes of sets
+//      the previous solution did not choose), SolveSession keeps the
+//      surviving prefix and re-covers only the residue — one subtract
+//      pass instead of a full multi-pass solve. Reported per mutation
+//      rate in {0.1%, 1%, 10%} of the set count: warm wall time, a
+//      forced-cold (`warm=0`) wall time over the *same* composed
+//      instance, and the speedup ratio (the acceptance gate wants >= 5x
+//      at <= 1% mutation).
+//
+//   2. **Overlay read overhead.** One full pass over the composed
+//      OverlaySetStream vs. the same live instance materialized to a
+//      plain sscb1 mmap — the indirection tax per streamed set.
+//
+// Usage: bench_e17_dynamic [n] [opt] [decoys] [reps]
+//   defaults: n=1000000 opt=16 decoys=240 reps=3
+//   (planted block size = n/opt; m = opt + decoys; reps re-runs each
+//    timed solve and keeps the minimum, the usual noise floor trick)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/solve_session.h"
+#include "bench_common.h"
+#include "dynamic/delta_log.h"
+#include "dynamic/overlay_set_stream.h"
+#include "instance/generators.h"
+#include "instance/set_system.h"
+#include "storage/binary_instance_writer.h"
+#include "storage/mmap_set_stream.h"
+#include "util/bitset.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace streamsc;
+
+DynamicBitset RandomSet(std::size_t n, std::size_t k, Rng& rng) {
+  DynamicBitset set(n);
+  while (set.CountSet() < k) {
+    set.Set(static_cast<std::size_t>(rng.UniformInt(n)));
+  }
+  return set;
+}
+
+// One full pass, touching every payload word (CountSet forces the read).
+double TimedPass(SetStream& stream) {
+  Stopwatch timer;
+  stream.BeginPass();
+  StreamItem item;
+  std::uint64_t checksum = 0;
+  while (stream.Next(&item)) checksum += item.set.CountSet();
+  const double seconds = timer.ElapsedSeconds();
+  if (checksum == 0) std::cerr << "(empty pass?)\n";
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1000000;
+  const std::size_t opt = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 16;
+  const std::size_t decoys =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 240;
+  const int reps = argc > 4 ? std::atoi(argv[4]) : 3;
+  const std::size_t m = opt + decoys;
+
+  bench::Banner("E17",
+                "a small delta re-solves warm in one subtract pass — far "
+                "cheaper than the cold multi-pass solve — and the overlay "
+                "view streams at near-mmap speed");
+  bench::Params("n=" + std::to_string(n) + " opt=" + std::to_string(opt) +
+                " decoys=" + std::to_string(decoys) +
+                " reps=" + std::to_string(reps) +
+                " mutation_rates={0.1%,1%,10%}");
+
+  Rng rng(17);
+  const SetSystem system = PlantedCoverInstance(n, m, opt, rng);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "streamsc_bench_e17";
+  std::filesystem::create_directories(dir);
+  const std::string base_path = (dir / "base.sscb1").string();
+  const std::string delta_path = (dir / "delta.sscd1").string();
+  if (const Status written =
+          BinaryInstanceWriter::WriteSystem(system, base_path);
+      !written.ok()) {
+    std::cerr << "write base: " << written.ToString() << "\n";
+    return 1;
+  }
+  {
+    DeltaLogWriter writer(delta_path, n, m);
+    if (const Status finished = writer.Finish(); !finished.ok()) {
+      std::cerr << "init delta: " << finished.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  const std::string solver = "assadi";
+  const std::vector<std::string> args = {"alpha=2"};
+  std::vector<std::string> cold_args = args;
+  cold_args.push_back("warm=0");
+
+  StatusOr<SolveSession> session =
+      SolveSession::OpenOverlay(base_path, delta_path);
+  if (!session.ok()) {
+    std::cerr << "open overlay: " << session.status().ToString() << "\n";
+    return 1;
+  }
+  StatusOr<SolveReport> seed_report = session->Solve(solver, args);
+  if (!seed_report.ok() || !seed_report->feasible) {
+    std::cerr << "seed solve failed\n";
+    return 1;
+  }
+
+  const std::string instance_label =
+      "planted n=" + std::to_string(n) + " opt=" + std::to_string(opt) +
+      " decoys=" + std::to_string(decoys);
+  bench::BenchJson json("e17");
+  TablePrinter table({"mutation_rate", "mutated_sets", "warm_ms", "cold_ms",
+                      "speedup", "surviving", "residue"});
+
+  Rng mutate_rng(23);
+  for (const double rate : {0.001, 0.01, 0.1}) {
+    // Mutate `rate` of the set count: alternating adds and removes of
+    // slots the memoized solution did not choose, so the delta is benign
+    // for the prefix (the intended warm-path regime; gutted prefixes fall
+    // back to cold, which the cold column already prices).
+    const std::size_t mutations = std::max<std::size_t>(
+        1, static_cast<std::size_t>(rate * static_cast<double>(m)));
+    std::vector<bool> chosen_slot(session->overlay()->num_slots(), false);
+    {
+      // Re-derive the chosen slots from the most recent feasible report.
+      StatusOr<SolveReport> memo_probe = session->Solve(solver, args);
+      if (!memo_probe.ok()) {
+        std::cerr << "probe solve: " << memo_probe.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      chosen_slot.assign(session->overlay()->num_slots(), false);
+      for (const SetId id : memo_probe->solution.chosen) {
+        chosen_slot[session->overlay()->live_to_slot(id)] = true;
+      }
+    }
+    {
+      DeltaLogWriter writer(delta_path);
+      std::size_t removed = 0;
+      for (std::size_t i = 0; i < mutations; ++i) {
+        if (i % 2 == 0) {
+          const Status added =
+              writer.AddSet(RandomSet(n, n / (4 * opt), mutate_rng));
+          if (!added.ok()) {
+            std::cerr << "delta add: " << added.ToString() << "\n";
+            return 1;
+          }
+        } else {
+          // Remove a live, unchosen base slot (decoys vastly outnumber
+          // the solution, so a few probes always find one).
+          for (int probe = 0; probe < 1000; ++probe) {
+            const std::uint64_t slot = mutate_rng.UniformInt(m);
+            if (chosen_slot[slot]) continue;
+            const OverlaySetStream& overlay = *session->overlay();
+            if (overlay.slot_to_live(slot) == kInvalidSetId) continue;
+            if (!writer.RemoveSet(slot).ok()) continue;
+            chosen_slot[slot] = true;  // never pick it again
+            ++removed;
+            break;
+          }
+        }
+      }
+      if (const Status finished = writer.Finish(); !finished.ok()) {
+        std::cerr << "delta finish: " << finished.ToString() << "\n";
+        return 1;
+      }
+      (void)removed;
+    }
+    if (const Status refreshed = session->RefreshDelta(); !refreshed.ok()) {
+      std::cerr << "refresh: " << refreshed.ToString() << "\n";
+      return 1;
+    }
+
+    // Timed warm and forced-cold solves over the same composed instance,
+    // keeping the per-rep minimum. Re-running the warm solve is idempotent
+    // (each run re-memoizes the same solution).
+    double warm_seconds = 1e30;
+    double cold_seconds = 1e30;
+    std::uint64_t surviving = 0;
+    std::uint64_t residue = 0;
+    bool warm_taken = true;
+    std::uint64_t passes = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      StatusOr<SolveReport> warm = session->Solve(solver, args);
+      if (!warm.ok() || !warm->feasible) {
+        std::cerr << "warm solve failed\n";
+        return 1;
+      }
+      warm_seconds = std::min(warm_seconds, warm->wall_seconds);
+      warm_taken = warm_taken && warm->warm_start;
+      surviving = warm->surviving_prefix;
+      residue = warm->residue_elements;
+      passes = warm->passes;
+
+      StatusOr<SolveReport> cold = session->Solve(solver, cold_args);
+      if (!cold.ok() || !cold->feasible) {
+        std::cerr << "cold solve failed\n";
+        return 1;
+      }
+      cold_seconds = std::min(cold_seconds, cold->wall_seconds);
+    }
+    const double speedup = cold_seconds / warm_seconds;
+    char rate_buf[16];
+    std::snprintf(rate_buf, sizeof(rate_buf), "%g%%", rate * 100.0);
+    const std::string rate_label = rate_buf;
+    table.BeginRow();
+    table.AddCell(rate_label);
+    table.AddCell(static_cast<std::uint64_t>(mutations));
+    table.AddCell(warm_seconds * 1e3, 3);
+    table.AddCell(cold_seconds * 1e3, 3);
+    table.AddCell(speedup, 1);
+    table.AddCell(surviving);
+    table.AddCell(residue);
+    if (!warm_taken) {
+      std::cerr << "note: rate " << rate_label
+                << " fell back to a cold solve\n";
+    }
+    bench::BenchResult row;
+    row.solver = solver;
+    row.instance = instance_label;
+    row.n = n;
+    row.m = m;
+    row.passes = passes;
+    row.wall_seconds = warm_seconds;
+    row.extras = {{"mutation_rate", rate},
+                  {"mutated_sets", static_cast<double>(mutations)},
+                  {"warm_ms", warm_seconds * 1e3},
+                  {"cold_ms", cold_seconds * 1e3},
+                  {"speedup", speedup},
+                  {"surviving_prefix", static_cast<double>(surviving)},
+                  {"residue_elements", static_cast<double>(residue)}};
+    json.Add(std::move(row));
+  }
+  table.PrintWithTitle(std::cout, "warm re-solve vs cold solve");
+
+  // ---- overlay read overhead vs plain mmap -----------------------------
+  // Materialize the current live instance and stream both views.
+  const std::string compacted_path = (dir / "compacted.sscb1").string();
+  {
+    OverlaySetStream overlay(base_path, delta_path);
+    if (!overlay.status().ok() ||
+        !overlay.Materialize(compacted_path).ok()) {
+      std::cerr << "materialize failed\n";
+      return 1;
+    }
+    MmapSetStream mmap_stream(compacted_path);
+    if (!mmap_stream.status().ok()) {
+      std::cerr << "open compacted: " << mmap_stream.status().ToString()
+                << "\n";
+      return 1;
+    }
+    double overlay_seconds = 1e30;
+    double mmap_seconds = 1e30;
+    for (int rep = 0; rep < reps; ++rep) {
+      overlay_seconds = std::min(overlay_seconds, TimedPass(overlay));
+      mmap_seconds = std::min(mmap_seconds, TimedPass(mmap_stream));
+    }
+    TablePrinter pass_table({"view", "pass_ms", "overhead"});
+    pass_table.BeginRow();
+    pass_table.AddCell("mmap (materialized)");
+    pass_table.AddCell(mmap_seconds * 1e3, 3);
+    pass_table.AddCell(1.0, 2);
+    pass_table.BeginRow();
+    pass_table.AddCell("overlay (base+delta)");
+    pass_table.AddCell(overlay_seconds * 1e3, 3);
+    pass_table.AddCell(overlay_seconds / mmap_seconds, 2);
+    pass_table.PrintWithTitle(std::cout, "full-pass read overhead");
+
+    bench::BenchResult row;
+    row.solver = "(pass)";
+    row.instance = instance_label;
+    row.n = n;
+    row.m = overlay.num_sets();
+    row.passes = 1;
+    row.wall_seconds = overlay_seconds;
+    row.extras = {{"overlay_pass_ms", overlay_seconds * 1e3},
+                  {"mmap_pass_ms", mmap_seconds * 1e3},
+                  {"overhead", overlay_seconds / mmap_seconds}};
+    json.Add(std::move(row));
+  }
+
+  json.Write();
+  std::filesystem::remove_all(dir);
+  return 0;
+}

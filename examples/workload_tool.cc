@@ -39,9 +39,34 @@
 //       chrome://tracing JSON file (per-pass and per-shard spans) plus
 //       a per-pass breakdown table; --stats prints the run's counter
 //       snapshot in Prometheus text format. Neither changes results.
+//   workload_tool delta <base> <delta.sscd1> init
+//   workload_tool delta <base> <delta.sscd1> add-uniform <count> <size> <seed>
+//   workload_tool delta <base> <delta.sscd1> remove <slot>
+//   workload_tool delta <base> <delta.sscd1> replace <slot> <size> <seed>
+//       maintains an sscd1 delta log over a base instance (the dynamic-
+//       instance path): init writes an empty log, the mutation verbs
+//       append records. Slots are base order then append order.
+//   workload_tool solve ... [--delta=FILE]
+//       solves the live overlay (base + delta) instead of the base alone;
+//       repeated solves in watch mode re-use the warm-start path.
+//   workload_tool compact <base> <delta.sscd1> <out.sscb1>
+//       materializes the live overlay into a fresh sscb1 (tombstones
+//       dropped, ids densely renumbered — byte-compatible with what the
+//       overlay streams).
+//   workload_tool watch <base> <delta.sscd1> <solver> [key=value ...]
+//                 [--interval-ms=N] [--max-solves=N] [--stats]
+//       stat-polls base and delta (util/file_probe.h, no inotify): a
+//       delta change re-reads the log and re-solves warm (surviving
+//       prefix + residue re-cover); a base change reopens cold. Prints
+//       one line per solve; --max-solves bounds the loop (for scripts),
+//       --stats dumps the final counter snapshot.
 //   workload_tool client <endpoint> ping
 //   workload_tool client <endpoint> stats
 //   workload_tool client <endpoint> shutdown
+//   workload_tool client <endpoint> reload <instance> [<path>]
+//       live-reloads the daemon's instance table: with a path, adds or
+//       swaps the named instance; without, retires it. In-flight solves
+//       finish on the old mapping.
 //   workload_tool client <endpoint> solve <instance> <solver>
 //                 [key=value ...] [--breakdown]
 //       talks to a running workload_served daemon over its framed
@@ -58,15 +83,19 @@
 //   ./build/examples/workload_tool solve /tmp/w.sscb1 assadi alpha=3 threads=4
 //   ./build/examples/workload_tool solve /tmp/w.sscb1 threshold_greedy beta=4
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/solve_session.h"
 #include "api/solver_registry.h"
+#include "dynamic/delta_log.h"
+#include "dynamic/overlay_set_stream.h"
 #include "instance/generators.h"
 #include "instance/serialization.h"
 #include "obs/stats_sink.h"
@@ -75,6 +104,8 @@
 #include "storage/binary_instance_writer.h"
 #include "storage/mmap_set_stream.h"
 #include "stream/set_stream.h"
+#include "util/file_probe.h"
+#include "util/random.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -90,9 +121,19 @@ int Usage() {
       << "  workload_tool info <path>\n"
       << "  workload_tool solvers [--names]\n"
       << "  workload_tool solve <path> <solver> [key=value ...] "
-         "[--trace=FILE] [--stats]\n"
+         "[--trace=FILE] [--stats] [--delta=FILE]\n"
+      << "  workload_tool delta <base> <delta.sscd1> init\n"
+      << "  workload_tool delta <base> <delta.sscd1> add-uniform <count> "
+         "<size> <seed>\n"
+      << "  workload_tool delta <base> <delta.sscd1> remove <slot>\n"
+      << "  workload_tool delta <base> <delta.sscd1> replace <slot> <size> "
+         "<seed>\n"
+      << "  workload_tool compact <base> <delta.sscd1> <out.sscb1>\n"
+      << "  workload_tool watch <base> <delta.sscd1> <solver> "
+         "[key=value ...] [--interval-ms=N] [--max-solves=N] [--stats]\n"
       << "  workload_tool client <endpoint> "
          "<ping|stats|shutdown>\n"
+      << "  workload_tool client <endpoint> reload <instance> [<path>]\n"
       << "  workload_tool client <endpoint> solve <instance> <solver> "
          "[key=value ...] [--breakdown]\n"
       << "run `workload_tool solvers` for solver names and their options\n";
@@ -289,18 +330,126 @@ int Solvers(int argc, char** argv) {
   return 0;
 }
 
-int Solve(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  const std::string path = argv[2];
-  const std::string solver = argv[3];
-  std::string trace_path;
+// A uniform random size-k subset of [0, n) as an owning bitset.
+DynamicBitset RandomSubset(std::size_t n, std::size_t k, Rng& rng) {
+  DynamicBitset set(n);
+  if (k > n) k = n;
+  while (set.CountSet() < k) {
+    set.Set(static_cast<ElementId>(rng.UniformInt(n)));
+  }
+  return set;
+}
+
+int Delta(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const std::string base_path = argv[2];
+  const std::string delta_path = argv[3];
+  const std::string op = argv[4];
+
+  if (op == "init") {
+    if (argc != 5) return Usage();
+    // Sniff the base (sscb1 or ssc1) just for its dimensions.
+    StatusOr<SolveSession> base = SolveSession::Open(base_path);
+    if (!base.ok()) {
+      std::cerr << "delta init: base open failed: "
+                << base.status().ToString() << "\n";
+      return 1;
+    }
+    DeltaLogWriter writer(delta_path, base->universe_size(),
+                          base->num_sets());
+    const Status finished =
+        writer.status().ok() ? writer.Finish() : writer.status();
+    if (!finished.ok()) {
+      std::cerr << "delta init failed: " << finished.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "wrote empty delta log (n=" << base->universe_size()
+              << ", base m=" << base->num_sets() << ") to " << delta_path
+              << "\n";
+    return 0;
+  }
+
+  // Mutation verbs extend the existing log; its header carries the base
+  // dimensions, so the base file itself is not re-read here.
+  DeltaLogWriter writer(delta_path);
+  if (!writer.status().ok()) {
+    std::cerr << "delta: cannot append to '" << delta_path
+              << "': " << writer.status().ToString() << "\n";
+    return 1;
+  }
+  if (op == "add-uniform") {
+    if (argc != 8) return Usage();
+    const std::size_t count = std::strtoull(argv[5], nullptr, 10);
+    const std::size_t size = std::strtoull(argv[6], nullptr, 10);
+    Rng rng(std::strtoull(argv[7], nullptr, 10));
+    for (std::size_t i = 0; i < count; ++i) {
+      const DynamicBitset set =
+          RandomSubset(writer.universe_size(), size, rng);
+      if (!writer.AddSet(set).ok()) break;
+    }
+  } else if (op == "remove") {
+    if (argc != 6) return Usage();
+    (void)writer.RemoveSet(std::strtoull(argv[5], nullptr, 10));
+  } else if (op == "replace") {
+    if (argc != 8) return Usage();
+    const std::uint64_t slot = std::strtoull(argv[5], nullptr, 10);
+    const std::size_t size = std::strtoull(argv[6], nullptr, 10);
+    Rng rng(std::strtoull(argv[7], nullptr, 10));
+    (void)writer.ReplaceSet(slot,
+                            RandomSubset(writer.universe_size(), size, rng));
+  } else {
+    return Usage();
+  }
+  const Status finished =
+      writer.status().ok() ? writer.Finish() : writer.status();
+  if (!finished.ok()) {
+    std::cerr << "delta " << op << " failed: " << finished.ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << delta_path << ": " << writer.record_count() << " record(s), "
+            << writer.num_slots() << " slot(s)\n";
+  return 0;
+}
+
+int Compact(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  OverlaySetStream overlay(argv[2], argv[3]);
+  if (!overlay.status().ok()) {
+    std::cerr << "compact: overlay open failed: "
+              << overlay.status().ToString() << "\n";
+    return 1;
+  }
+  const std::string out_path = argv[4];
+  const Status written = overlay.Materialize(out_path);
+  if (!written.ok()) {
+    std::cerr << "compact failed: " << written.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote SetSystem(n=" << overlay.universe_size()
+            << ", m=" << overlay.num_sets() << ") to " << out_path << " ("
+            << overlay.delta_records() << " delta record(s) folded in, "
+            << (overlay.num_slots() - overlay.num_sets())
+            << " tombstone(s) dropped)\n";
+  return 0;
+}
+
+int Watch(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const std::string base_path = argv[2];
+  const std::string delta_path = argv[3];
+  const std::string solver = argv[4];
+  long interval_ms = 200;
+  std::uint64_t max_solves = 0;  // 0 = run until killed
   bool print_stats = false;
   std::vector<std::string> args;
-  for (int i = 4; i < argc; ++i) {
+  for (int i = 5; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--trace=", 0) == 0) {
-      trace_path = arg.substr(8);
-      if (trace_path.empty()) return Usage();
+    if (arg.rfind("--interval-ms=", 0) == 0) {
+      interval_ms = std::strtol(arg.c_str() + 14, nullptr, 10);
+      if (interval_ms <= 0) return Usage();
+    } else if (arg.rfind("--max-solves=", 0) == 0) {
+      max_solves = std::strtoull(arg.c_str() + 13, nullptr, 10);
     } else if (arg == "--stats") {
       print_stats = true;
     } else {
@@ -308,7 +457,107 @@ int Solve(int argc, char** argv) {
     }
   }
 
-  StatusOr<SolveSession> session = SolveSession::Open(path);
+  StatusOr<SolveSession> session =
+      SolveSession::OpenOverlay(base_path, delta_path);
+  if (!session.ok()) {
+    std::cerr << "watch: overlay open failed: "
+              << session.status().ToString() << "\n";
+    return 1;
+  }
+
+  CounterSet accumulated;
+  std::uint64_t solves = 0;
+  const auto solve_once = [&](const char* why) -> bool {
+    StatusOr<SolveReport> report = session->Solve(solver, args);
+    if (!report.ok()) {
+      std::cerr << "watch: solve failed: " << report.status().ToString()
+                << "\n";
+      return false;
+    }
+    accumulated.MergeFrom(report->counters);
+    ++solves;
+    std::cout << "solve #" << solves << " [" << why << "] "
+              << (report->warm_start ? "warm" : "cold")
+              << " sets=" << report->solution.size()
+              << " surviving=" << report->surviving_prefix
+              << " residue=" << report->residue_elements
+              << " passes=" << report->passes
+              << " feasible=" << (report->feasible ? "yes" : "NO")
+              << " wall_ms=" << report->wall_seconds * 1e3 << "\n";
+    std::cout.flush();
+    return true;
+  };
+
+  if (!solve_once("open")) return 1;
+  FileSignature base_sig = ProbeSignature(base_path);
+  FileSignature delta_sig = ProbeSignature(delta_path);
+  while (max_solves == 0 || solves < max_solves) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    const FileSignature base_now = ProbeSignature(base_path);
+    const FileSignature delta_now = ProbeSignature(delta_path);
+    const bool base_changed = base_now != base_sig;
+    const bool delta_changed = delta_now != delta_sig;
+    if (!base_changed && !delta_changed) continue;
+    if (base_changed) {
+      // The base file itself was replaced: the previous composition is
+      // void. Reopen from scratch (cold solve, fresh memo).
+      StatusOr<SolveSession> reopened =
+          SolveSession::OpenOverlay(base_path, delta_path);
+      if (!reopened.ok()) {
+        std::cerr << "watch: base reopen deferred: "
+                  << reopened.status().ToString() << "\n";
+        continue;
+      }
+      session = std::move(reopened);
+    } else {
+      // Delta-only change: re-read the log in place, keeping the memo so
+      // the next solve is warm-eligible.
+      const Status refreshed = session->RefreshDelta();
+      if (!refreshed.ok()) {
+        // Likely a torn mid-write poll: try again next tick.
+        std::cerr << "watch: delta refresh deferred: "
+                  << refreshed.ToString() << "\n";
+        continue;
+      }
+    }
+    base_sig = base_now;
+    delta_sig = delta_now;
+    if (!solve_once(base_changed ? "base-change" : "delta-change")) return 1;
+  }
+
+  if (print_stats) {
+    std::cout << "\n";
+    WritePrometheusStats(std::cout, accumulated);
+  }
+  return 0;
+}
+
+int Solve(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string path = argv[2];
+  const std::string solver = argv[3];
+  std::string trace_path;
+  std::string delta_path;
+  bool print_stats = false;
+  std::vector<std::string> args;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+      if (trace_path.empty()) return Usage();
+    } else if (arg.rfind("--delta=", 0) == 0) {
+      delta_path = arg.substr(8);
+      if (delta_path.empty()) return Usage();
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  StatusOr<SolveSession> session =
+      delta_path.empty() ? SolveSession::Open(path)
+                         : SolveSession::OpenOverlay(path, delta_path);
   if (!session.ok()) {
     std::cerr << "open failed: " << session.status().ToString() << "\n";
     return 1;
@@ -518,6 +767,18 @@ int Client(int argc, char** argv) {
     std::cout << "daemon stopping\n";
     return 0;
   }
+  if (verb == "reload") {
+    if (argc < 5 || argc > 6) return Usage();
+    const std::string name = argv[4];
+    const std::string path = argc == 6 ? argv[5] : "";
+    const Status status = client->Reload(name, path);
+    if (!status.ok()) {
+      std::cerr << "reload failed: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << (path.empty() ? "retired " : "reloaded ") << name << "\n";
+    return 0;
+  }
   if (verb == "solve") {
     if (argc < 6) return Usage();
     const std::string instance = argv[4];
@@ -553,6 +814,9 @@ int main(int argc, char** argv) {
   if (command == "info") return Info(argc, argv);
   if (command == "solvers") return Solvers(argc, argv);
   if (command == "solve") return Solve(argc, argv);
+  if (command == "delta") return Delta(argc, argv);
+  if (command == "compact") return Compact(argc, argv);
+  if (command == "watch") return Watch(argc, argv);
   if (command == "client") return Client(argc, argv);
   return Usage();
 }

@@ -1,0 +1,76 @@
+// Fuzz harness for the sscd1 delta-log reader (dynamic/delta_log.h), the
+// dynamic-instance untrusted-input surface: header arithmetic, record
+// framing, payload invariants, and replay liveness. Contract under
+// attack: any byte string either validates end to end — after which the
+// slot table is internally consistent and every payload view in bounds —
+// or is rejected with a non-empty typed Status at open; nothing may
+// abort, hang, or over-read.
+//
+// DeltaLog reads from a file, so each input is staged through one
+// per-process scratch file (same page-cache-hot inode every iteration).
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "dynamic/delta_log.h"
+#include "util/check.h"
+
+namespace {
+
+const std::string& ScratchPath() {
+  static const std::string path = [] {
+    const char* tmpdir = std::getenv("TMPDIR");
+    return std::string(tmpdir ? tmpdir : "/tmp") +
+           "/streamsc_fuzz_sscd1." + std::to_string(::getpid());
+  }();
+  return path;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (std::size_t{1} << 16)) return 0;
+  {
+    std::ofstream out(ScratchPath(), std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  }
+
+  streamsc::DeltaLog log(ScratchPath());
+  if (!log.status().ok()) {
+    STREAMSC_CHECK(!log.status().message().empty(),
+                   "sscd1 rejection must carry a diagnostic message");
+    // A rejected log must present as empty, not as a half-replayed one.
+    STREAMSC_CHECK(log.num_slots() == 0,
+                   "rejected sscd1 log still exposes slots");
+    return 0;
+  }
+
+  // Validated log: the slot table must be internally consistent and every
+  // delta payload view must stay inside the declared universe.
+  const std::size_t n = log.universe_size();
+  STREAMSC_CHECK(log.num_slots() >= log.base_num_sets(),
+                 "sscd1 replay lost base slots");
+  STREAMSC_CHECK(log.num_slots() - log.base_num_sets() <= log.record_count(),
+                 "sscd1 replay added more slots than records");
+  for (std::uint64_t slot = 0; slot < log.num_slots(); ++slot) {
+    STREAMSC_CHECK(log.slot_version(slot) <= log.record_count(),
+                   "sscd1 slot version beyond the record count");
+    if (slot >= log.base_num_sets()) {
+      STREAMSC_CHECK(log.slot_from_delta(slot),
+                     "sscd1 appended slot without a delta payload");
+    }
+    if (!log.slot_from_delta(slot)) continue;
+    log.slot_view(slot).ForEach([n](std::size_t element) {
+      STREAMSC_CHECK(element < n,
+                     "validated sscd1 payload served an out-of-range id");
+    });
+  }
+  return 0;
+}

@@ -137,12 +137,56 @@ run_serve_smoke() {
   "${tool}" client "${endpoint}" solve w assadi alpha=2 --breakdown \
     >/dev/null
   "${tool}" client "${endpoint}" stats | grep -q "streamsc_serve_requests"
+  # Live reload: re-mmap the instance under its name (reload without a
+  # path would retire it), prove the daemon keeps serving, and require
+  # the swap counter.
+  echo "serve smoke (${build_dir}): live reload"
+  "${tool}" client "${endpoint}" reload w "${tmp}/smoke.sscb1" >/dev/null
+  "${tool}" client "${endpoint}" solve w assadi alpha=2 >/dev/null
+  "${tool}" client "${endpoint}" stats | grep -q "streamsc_serve_reloads"
   "${tool}" client "${endpoint}" shutdown >/dev/null
   if ! wait "${daemon_pid}"; then
     echo "check.sh: FATAL: serve smoke: daemon exited non-zero" >&2
     cat "${tmp}/daemon.log" >&2
     exit 1
   fi
+}
+
+# Dynamic smoke slice: the delta-overlay surface through the CLI — init
+# an empty sscd1 log against a tiny planted base, mutate it (uniform
+# adds, a remove, a replace), solve through the composed overlay with
+# --stats and require the dynamic.* Prometheus counters, run watch mode
+# headlessly (--max-solves=1 exits after the open solve), then compact
+# the overlay to a plain sscb1 and prove the folded instance still
+# solves. Any rejected delta op, infeasible solve, or missing counter
+# fails the run.
+run_dynamic_smoke() {
+  local build_dir="$1"
+  local tool="${build_dir}/examples/workload_tool"
+  local tmp
+  tmp="$(mktemp -d)"
+  # shellcheck disable=SC2064  # expand ${tmp} now; it is loop-local
+  trap "rm -rf '${tmp}'" RETURN
+  "${tool}" gen planted 256 24 2 7 "${tmp}/base.ssc" >/dev/null
+  "${tool}" convert "${tmp}/base.ssc" "${tmp}/base.sscb1" >/dev/null
+  "${tool}" delta "${tmp}/base.sscb1" "${tmp}/delta.sscd1" init >/dev/null
+  "${tool}" delta "${tmp}/base.sscb1" "${tmp}/delta.sscd1" \
+    add-uniform 3 16 7 >/dev/null
+  "${tool}" delta "${tmp}/base.sscb1" "${tmp}/delta.sscd1" remove 5 \
+    >/dev/null
+  "${tool}" delta "${tmp}/base.sscb1" "${tmp}/delta.sscd1" replace 6 16 11 \
+    >/dev/null
+  echo "dynamic smoke (${build_dir}): overlay solve"
+  "${tool}" solve "${tmp}/base.sscb1" assadi alpha=2 \
+    --delta="${tmp}/delta.sscd1" --stats > "${tmp}/solve.out"
+  grep -q "streamsc_dynamic_cold_solves 1" "${tmp}/solve.out"
+  grep -q "streamsc_dynamic_delta_records 5" "${tmp}/solve.out"
+  echo "dynamic smoke (${build_dir}): watch + compact"
+  "${tool}" watch "${tmp}/base.sscb1" "${tmp}/delta.sscd1" assadi alpha=2 \
+    --max-solves=1 --stats | grep -q "streamsc_dynamic_"
+  "${tool}" compact "${tmp}/base.sscb1" "${tmp}/delta.sscd1" \
+    "${tmp}/compacted.sscb1" >/dev/null
+  "${tool}" solve "${tmp}/compacted.sscb1" assadi alpha=2 >/dev/null
 }
 
 # Project-invariant linter: cheap, dependency-free, runs on every
@@ -172,6 +216,7 @@ if [[ "${TIER1:-1}" == "1" ]]; then
   ctest --test-dir "${BUILD_DIR}" -L 'obs' --output-on-failure -j "${JOBS}"
   run_registry_smoke "${BUILD_DIR}"
   run_serve_smoke "${BUILD_DIR}"
+  run_dynamic_smoke "${BUILD_DIR}"
 fi
 
 if [[ "${SANITIZE:-0}" == "1" ]]; then
@@ -212,6 +257,9 @@ if [[ "${SANITIZE:-0}" == "1" ]]; then
     # And the solve daemon: sockets, ring admission, warm sessions, and
     # the mmap instance cache with full heap poisoning armed.
     run_serve_smoke "${SAN_BUILD_DIR}"
+    # Delta-overlay surface under ASan/UBSan: log replay, overlay
+    # composition, warm-start bookkeeping, and Materialize, poisoned.
+    run_dynamic_smoke "${SAN_BUILD_DIR}"
   fi
 fi
 
@@ -259,11 +307,12 @@ if [[ "${FUZZ:-0}" == "1" ]]; then
   # shellcheck disable=SC2086
   cmake -B "${FUZZ_BUILD_DIR}" -S . ${FUZZ_CMAKE_ARGS}
   cmake --build "${FUZZ_BUILD_DIR}" -j "${JOBS}" \
-    --target fuzz_ssc1 fuzz_sscb1 fuzz_registry_options fuzz_serve_frame
-  # Fixed-iteration attack on the four untrusted-input parsers (ssc1
-  # text, sscb1 binary, registry options, serve wire frames): corpus
-  # replay + deterministic mutations; any abort or sanitizer report
-  # fails.
+    --target fuzz_ssc1 fuzz_sscb1 fuzz_sscd1 fuzz_registry_options \
+             fuzz_serve_frame
+  # Fixed-iteration attack on the five untrusted-input parsers (ssc1
+  # text, sscb1 binary, sscd1 delta log, registry options, serve wire
+  # frames): corpus replay + deterministic mutations; any abort or
+  # sanitizer report fails.
   ctest --test-dir "${FUZZ_BUILD_DIR}" -L 'fuzz' --output-on-failure
 fi
 

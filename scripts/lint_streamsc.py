@@ -65,11 +65,12 @@ LAYER_DEPS = {
     "instance": {"util"},
     "stream": {"obs", "instance", "util"},
     "storage": {"stream", "instance", "util"},
+    "dynamic": {"storage", "stream", "instance", "obs", "util"},
     "offline": {"instance", "util"},
     "core": {"offline", "stream", "instance", "util"},
     "comm": {"stream", "instance", "util"},
     "info": {"comm", "instance", "util"},
-    "api": {"core", "storage", "stream", "instance", "util"},
+    "api": {"core", "dynamic", "storage", "stream", "instance", "util"},
     "serve": {"api", "storage", "obs", "util"},
 }
 

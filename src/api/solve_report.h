@@ -72,6 +72,17 @@ struct SolveReport {
   Bytes arena_reserved = 0;    ///< Chunk capacity the run arena owns
                                ///< (warm footprint kept across runs).
 
+  // Dynamic-instance (overlay source) runs only; see SolveSession's
+  // warm-start contract. Cold runs and non-overlay sources leave these at
+  // their defaults.
+  bool warm_start = false;  ///< True iff the warm path ran: the surviving
+                            ///< prefix of the previous solution was kept
+                            ///< and only the residue was re-covered.
+  std::uint64_t surviving_prefix = 0;  ///< Chosen sets kept from the
+                                       ///< previous solution (warm runs).
+  std::uint64_t residue_elements = 0;  ///< Elements left uncovered by the
+                                       ///< surviving prefix (warm runs).
+
   /// Full interned-counter snapshot of the run (obs/counters.h): the
   /// engine.* counters the solver accumulated plus session-stamped arena
   /// gauges. Supersedes the scalar `stats` view for anything that wants

@@ -4,15 +4,47 @@
 #include <utility>
 
 #include "api/solver_registry.h"
+#include "dynamic/overlay_set_stream.h"
 #include "instance/serialization.h"
 #include "obs/trace.h"
 #include "storage/mmap_set_stream.h"
 #include "stream/engine_context.h"
 #include "stream/stream_adapters.h"
+#include "util/stopwatch.h"
 
 namespace streamsc {
 
 namespace {
+
+// The dynamic.* counter/gauge family: warm-start decisions and delta
+// shape, stamped into every overlay run's report (and from there into any
+// merged stats export, e.g. the daemon's Prometheus text).
+CounterId DynWarmSolves() {
+  static const CounterId id = CounterId::Counter("dynamic.warm_solves");
+  return id;
+}
+CounterId DynColdSolves() {
+  static const CounterId id = CounterId::Counter("dynamic.cold_solves");
+  return id;
+}
+CounterId DynSurvivingPrefix() {
+  static const CounterId id = CounterId::Gauge("dynamic.surviving_prefix");
+  return id;
+}
+CounterId DynResidueElements() {
+  static const CounterId id = CounterId::Gauge("dynamic.residue_elements");
+  return id;
+}
+CounterId DynDeltaRecords() {
+  static const CounterId id = CounterId::Gauge("dynamic.delta_records");
+  return id;
+}
+
+// Warm start is refused when the delta invalidated at least half of the
+// previous solution: re-covering that much residue approaches a cold
+// solve's work anyway, and the cold path re-establishes a fresh memo.
+constexpr std::size_t kWarmMinSurvivingNumer = 1;
+constexpr std::size_t kWarmMinSurvivingDenom = 2;
 
 // Splits args into (session, solver) halves by key: anything whose key
 // names a session option is the session's; the rest goes to the solver.
@@ -77,7 +109,12 @@ const std::vector<OptionDescriptor>& SolveSession::SessionOptions() {
               "memory_budget", 0,
               "byte cap on the per-run arena (0 = unlimited); a run that "
               "would exceed it returns RESOURCE_EXHAUSTED instead of "
-              "allocating")};
+              "allocating"),
+          UintOption(
+              "warm", 1,
+              "overlay sources only: 1 (default) re-solves warm when a "
+              "memoized solution's surviving prefix qualifies; 0 forces a "
+              "cold solve")};
   return *kOptions;
 }
 
@@ -99,6 +136,9 @@ Status SolveSession::Reopen(const std::string& path) {
   stream_.reset();
   file_stream_ = nullptr;
   owned_system_.reset();
+  overlay_ = nullptr;
+  memo_.clear();
+  memo_valid_ = false;
   if (IsBinaryInstanceFile(path)) {
     auto stream = std::make_unique<MmapSetStream>(path);
     if (!stream->status().ok()) return stream->status();
@@ -114,6 +154,28 @@ Status SolveSession::Reopen(const std::string& path) {
   source_ = Source::kFile;
   path_ = path;
   return Status::Ok();
+}
+
+StatusOr<SolveSession> SolveSession::OpenOverlay(
+    const std::string& base_path, const std::string& delta_path) {
+  auto overlay = std::make_unique<OverlaySetStream>(base_path, delta_path);
+  if (!overlay->status().ok()) return overlay->status();
+  SolveSession session;
+  session.overlay_ = overlay.get();
+  session.stream_ = std::move(overlay);
+  session.source_ = Source::kOverlay;
+  return session;
+}
+
+Status SolveSession::RefreshDelta() {
+  if (overlay_ == nullptr) {
+    return Status::FailedPrecondition(
+        "SolveSession: RefreshDelta() on a non-overlay source (use "
+        "OpenOverlay())");
+  }
+  // The memo is deliberately kept: per-slot versions decide at the next
+  // Solve() which chosen sets survived this delta.
+  return overlay_->RefreshDelta();
 }
 
 SolveSession SolveSession::OverSystem(const SetSystem& system) {
@@ -141,6 +203,8 @@ const char* SolveSession::source_name() const {
       return "file";
     case Source::kMmap:
       return "mmap";
+    case Source::kOverlay:
+      return "overlay";
   }
   return "none";
 }
@@ -191,6 +255,20 @@ StatusOr<SolveReport> SolveSession::Solve(
       SolverRegistry::Global().Create(solver, solver_args);
   if (!created.ok()) return created.status();
 
+  // Warm-start decision (overlay sources only). Eligible when the memo
+  // answers for this exact (solver, options) configuration; taken when
+  // the surviving prefix is large enough that re-covering the residue
+  // beats a cold solve.
+  std::vector<SetId> warm_prefix;
+  bool warm = false;
+  if (overlay_ != nullptr && session_options->Uint("warm") != 0 &&
+      memo_valid_ && memo_solver_ == solver &&
+      memo_solver_args_ == solver_args) {
+    warm_prefix = SurvivingPrefix();
+    warm = kWarmMinSurvivingDenom * warm_prefix.size() >=
+           kWarmMinSurvivingNumer * memo_.size();
+  }
+
   if (threads > 1) {
     const Status status = EnsureBufferable();
     if (!status.ok()) return status;
@@ -226,7 +304,8 @@ StatusOr<SolveReport> SolveSession::Solve(
   try {
     const TraceSpan session_span(trace_, TraceCategory::kSession,
                                  "session.solve");
-    report = (*created)->Run(*stream_, context);
+    report = warm ? RunWarmStart(warm_prefix, context)
+                  : (*created)->Run(*stream_, context);
   } catch (const ArenaBudgetExceeded& e) {
     // Budget throws happen only on the orchestrator thread, outside any
     // in-flight parallel section (workers never touch the run arena), so
@@ -244,6 +323,9 @@ StatusOr<SolveReport> SolveSession::Solve(
   if (file_stream_ != nullptr && !file_stream_->status().ok()) {
     return file_stream_->status();
   }
+  if (overlay_ != nullptr) {
+    FinishOverlayRun(solver, solver_args, &*report);
+  }
   report->source = source_name();
   report->threads = threads;
   report->arena_high_water = run_arena_->high_water();
@@ -258,6 +340,88 @@ StatusOr<SolveReport> SolveSession::Solve(
     FillPassBreakdown(*trace_, run_start_ns, &*report);
   }
   return report;
+}
+
+std::vector<SetId> SolveSession::SurvivingPrefix() const {
+  std::vector<SetId> prefix;
+  prefix.reserve(memo_.size());
+  for (const MemoEntry& entry : memo_) {
+    // Slots are append-only, so a memoized slot index is always in range;
+    // the pair survives iff the slot is live with an unchanged version.
+    if (!overlay_->slot_live(entry.slot) ||
+        overlay_->slot_version(entry.slot) != entry.version) {
+      break;
+    }
+    const SetId id = overlay_->slot_to_live(entry.slot);
+    STREAMSC_CHECK(id != kInvalidSetId,
+                   "live slot must map to a live id");
+    prefix.push_back(id);
+  }
+  return prefix;
+}
+
+StatusOr<SolveReport> SolveSession::RunWarmStart(
+    const std::vector<SetId>& prefix, const RunContext& context) {
+  Stopwatch timer;
+  EngineContext ctx(*stream_, context);
+  const TraceSpan span(trace_, TraceCategory::kPhase, "dynamic.warm_resolve");
+  const std::uint64_t passes_before = stream_->passes();
+
+  // The surviving prefix is kept verbatim; subtracting it leaves exactly
+  // the residue the delta exposed, which one cleanup pass re-covers. With
+  // an unchanged delta the residue is empty and the previous solution is
+  // reproduced byte-for-byte.
+  DynamicBitset uncovered = DynamicBitset::Full(
+      stream_->universe_size(), ctx.alloc<DynamicBitset::Word>());
+  Solution solution(context.arena);
+  solution.chosen.assign(prefix.begin(), prefix.end());
+  ctx.SubtractPass(std::span<const SetId>(prefix), uncovered);
+  const std::uint64_t residue = uncovered.CountSet();
+  if (!uncovered.None()) {
+    ctx.CoverResiduePass(uncovered,
+                         [&](SetId id) { solution.chosen.push_back(id); });
+  }
+
+  SolveReport report;
+  report.solver = memo_solver_;
+  report.algorithm = memo_algorithm_;
+  report.kind = SolverKind::kSetCover;
+  report.feasible = uncovered.None();
+  report.passes = stream_->passes() - passes_before;
+  report.peak_space_bytes =
+      uncovered.ByteSize() + solution.chosen.size() * sizeof(SetId);
+  report.solution = std::move(solution);
+  report.stats = ctx.stats();
+  report.counters.MergeFrom(ctx.counters());
+  report.warm_start = true;
+  report.surviving_prefix = prefix.size();
+  report.residue_elements = residue;
+  report.wall_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+void SolveSession::FinishOverlayRun(const std::string& solver,
+                                    const std::vector<std::string>& solver_args,
+                                    SolveReport* report) {
+  report->counters.Add(report->warm_start ? DynWarmSolves() : DynColdSolves(),
+                       1);
+  report->counters.RecordMax(DynDeltaRecords(), overlay_->delta_records());
+  report->counters.RecordMax(DynSurvivingPrefix(), report->surviving_prefix);
+  report->counters.RecordMax(DynResidueElements(), report->residue_elements);
+  // Only a feasible set cover seeds the next warm start; anything else
+  // leaves the existing memo intact (it still answers for its own
+  // configuration).
+  if (report->kind != SolverKind::kSetCover || !report->feasible) return;
+  memo_.clear();
+  memo_.reserve(report->solution.size());
+  for (const SetId id : report->solution.chosen) {
+    const std::uint64_t slot = overlay_->live_to_slot(id);
+    memo_.push_back(MemoEntry{slot, overlay_->slot_version(slot)});
+  }
+  memo_solver_ = solver;
+  memo_solver_args_ = solver_args;
+  memo_algorithm_ = report->algorithm;
+  memo_valid_ = true;
 }
 
 }  // namespace streamsc

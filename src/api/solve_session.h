@@ -47,7 +47,9 @@
 namespace streamsc {
 
 class FileSetStream;
+class OverlaySetStream;
 class TraceRecorder;
+struct RunContext;
 
 /// One instance source plus the machinery to run any registered solver
 /// over it. Movable; not copyable.
@@ -55,10 +57,11 @@ class SolveSession {
  public:
   /// Where the streamed bytes live.
   enum class Source {
-    kNone,    ///< Default-constructed (empty) session.
-    kMemory,  ///< In-memory SetSystem via VectorSetStream.
-    kFile,    ///< ssc1 text via FileSetStream (one set at a time).
-    kMmap,    ///< sscb1 binary via MmapSetStream (zero-copy views).
+    kNone,     ///< Default-constructed (empty) session.
+    kMemory,   ///< In-memory SetSystem via VectorSetStream.
+    kFile,     ///< ssc1 text via FileSetStream (one set at a time).
+    kMmap,     ///< sscb1 binary via MmapSetStream (zero-copy views).
+    kOverlay,  ///< Base instance + sscd1 delta via OverlaySetStream.
   };
 
   /// Opens \p path, sniffing the format from its magic bytes. Returns a
@@ -73,6 +76,36 @@ class SolveSession {
   /// shape). \p source labels the report ("mmap" for cached views).
   static SolveSession OverStream(std::unique_ptr<SetStream> stream,
                                  Source source);
+
+  /// Opens \p base_path (sscb1 or ssc1, sniffed) composed with the sscd1
+  /// delta log at \p delta_path into one live instance — the dynamic-
+  /// instance source. Solves over it gain the warm-start contract:
+  ///
+  ///   * After a feasible set-cover solve, the session memoizes which
+  ///     (slot, version) pairs the solution chose.
+  ///   * RefreshDelta() re-reads the delta log (the watch-mode beat).
+  ///   * The next Solve() of the *same solver and options* keeps the
+  ///     longest prefix of the previous solution whose slots are still
+  ///     live and unreplaced, subtracts it, and re-covers only the
+  ///     residue (CoverResiduePass) — falling back to a cold solve when
+  ///     the delta invalidated more than half the previous solution, or
+  ///     when `warm=0` is passed. The decision, surviving prefix, and
+  ///     residue size are stamped into the report and the `dynamic.*`
+  ///     counters.
+  ///
+  /// Warm and cold paths both return *feasible covers over the same live
+  /// instance*; with an unchanged delta they are byte-identical.
+  static StatusOr<SolveSession> OpenOverlay(const std::string& base_path,
+                                            const std::string& delta_path);
+
+  /// Re-reads the overlay session's delta log from disk (base untouched).
+  /// FailedPrecondition for non-overlay sources. The memoized solution is
+  /// kept — per-slot versions decide at the next Solve() what survived.
+  Status RefreshDelta();
+
+  /// The overlay stream (null for non-overlay sources). Borrowed; valid
+  /// while the session lives.
+  const OverlaySetStream* overlay() const { return overlay_; }
 
   /// Re-targets this session at \p path (same sniffing as Open), keeping
   /// the warm run arena so per-slot daemon sessions reach a zero-
@@ -119,16 +152,41 @@ class SolveSession {
 
   Source source() const { return source_; }
 
-  /// "memory", "file", "mmap" (or "none").
+  /// "memory", "file", "mmap", "overlay" (or "none").
   const char* source_name() const;
 
   std::size_t universe_size() const;
   std::size_t num_sets() const;
 
  private:
+  // One chosen set of the memoized previous solution, identified by its
+  // overlay slot and the slot's version at memo time. The pair still
+  // denotes the same set content iff the slot is live and its version
+  // unchanged — the warm-start survival test.
+  struct MemoEntry {
+    std::uint64_t slot = 0;
+    std::uint64_t version = 0;
+  };
+
   // Ensures the active stream can buffer a pass, loading a text source
   // into memory if needed (the threads > 1 upgrade).
   Status EnsureBufferable();
+
+  // The surviving prefix of the memoized solution as *current* live ids:
+  // the longest prefix whose slots are live with unchanged versions.
+  std::vector<SetId> SurvivingPrefix() const;
+
+  // The warm path: subtract the surviving prefix from a full universe,
+  // re-cover the residue, and assemble a report without running the
+  // solver. Precondition: overlay source with a valid memo.
+  StatusOr<SolveReport> RunWarmStart(const std::vector<SetId>& prefix,
+                                     const RunContext& context);
+
+  // Memoizes (or refuses to memoize) the just-completed overlay run and
+  // stamps the dynamic.* counters into its report.
+  void FinishOverlayRun(const std::string& solver,
+                        const std::vector<std::string>& solver_args,
+                        SolveReport* report);
 
   Source source_ = Source::kNone;
   std::string path_;                          // Open() sources only
@@ -142,8 +200,19 @@ class SolveSession {
   // errors surface through status() after the run, so Solve() must be
   // able to read it without downcasting.
   FileSetStream* file_stream_ = nullptr;
+  // Non-owning view of stream_ when it is an OverlaySetStream (the
+  // dynamic-instance source): RefreshDelta and the warm-start path need
+  // the overlay surface without downcasting.
+  OverlaySetStream* overlay_ = nullptr;
   // Optional span recorder bound via BindTrace(); borrowed, never owned.
   TraceRecorder* trace_ = nullptr;
+  // Warm-start memo: the previous feasible set-cover solution as
+  // (slot, version) pairs, plus the configuration it answers for.
+  std::vector<MemoEntry> memo_;
+  std::string memo_solver_;
+  std::vector<std::string> memo_solver_args_;
+  std::string memo_algorithm_;
+  bool memo_valid_ = false;
 };
 
 }  // namespace streamsc

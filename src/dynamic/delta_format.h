@@ -1,0 +1,124 @@
+#ifndef STREAMSC_DYNAMIC_DELTA_FORMAT_H_
+#define STREAMSC_DYNAMIC_DELTA_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "storage/binary_format.h"
+#include "util/common.h"
+#include "util/status.h"
+
+/// \file delta_format.h
+/// The "sscd1" on-disk delta-log format: an append-only mutation journal
+/// over a base instance (an sscb1 file, an ssc1 text file, or an
+/// in-memory SetSystem). A file is
+///
+///   [FileHeader | Record | Record | ...]
+///
+/// where each record is a fixed 24-byte RecordHeader followed by an
+/// 8-byte-aligned payload in the *same representation rules as sscb1*
+/// (storage/binary_format.h): dense = ceil(n/64) little-endian u64 words
+/// with zero tail bits, sparse = count sorted duplicate-free u32 ids
+/// zero-padded to the next 8-byte boundary. All integers little-endian;
+/// big-endian hosts are rejected, matching sscb1.
+///
+/// Slot semantics (the contract OverlaySetStream replays):
+///
+///   * The base contributes slots 0 .. base_num_sets-1.
+///   * kAddSet      appends a new slot (target must be 0).
+///   * kRemoveSet   tombstones a currently-live slot (base or appended).
+///   * kReplaceSet  swaps a currently-live slot's payload in place.
+///
+/// The live instance is the slots that are not tombstoned, enumerated in
+/// slot order and densely renumbered — exactly the set ids a compacted
+/// sscb1 written by OverlaySetStream::Materialize would contain.
+///
+/// Records are length-prefixed (record_bytes, a multiple of 8 covering
+/// header + padded payload), and the file header's record_count and
+/// file_size are back-patched by the writer on Finish() — so truncation
+/// anywhere, torn trailing records, or a crashed writer are all detected
+/// structurally before any payload byte is dereferenced. Every decoder is
+/// total in the frame.h style: hostile bytes produce a typed
+/// InvalidArgument, never a hang, over-read, or abort.
+
+namespace streamsc {
+namespace sscd1 {
+
+/// Magic bytes at offset 0 ("sscd1" + NUL padding).
+inline constexpr unsigned char kMagic[8] = {'s', 's', 'c', 'd', '1',
+                                            '\0', '\0', '\0'};
+
+/// Current (and only) format version.
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Payload alignment, shared with sscb1: every record size is a multiple
+/// of this, so payloads (at record offset + 24, with 48 ≡ 24 ≡ 0 mod 8)
+/// are always 8-aligned and dense words readable in place.
+inline constexpr std::uint64_t kPayloadAlign = sscb1::kPayloadAlign;
+
+/// Same sanity cap as the sscb1 reader: a corrupt header must never drive
+/// allocation.
+inline constexpr std::uint64_t kMaxDimension = sscb1::kMaxDimension;
+
+/// Mutation kind (RecordHeader::type).
+enum RecordType : std::uint16_t {
+  kAddSet = 1,      ///< Append a new slot. target == 0; payload present.
+  kRemoveSet = 2,   ///< Tombstone a live slot. rep/count 0; no payload.
+  kReplaceSet = 3,  ///< Swap a live slot's payload. Payload present.
+};
+
+/// Fixed-size file header at offset 0.
+struct FileHeader {
+  unsigned char magic[8];       ///< kMagic.
+  std::uint32_t version;        ///< kVersion.
+  std::uint32_t reserved;       ///< Zero.
+  std::uint64_t universe_size;  ///< n — must match the base instance.
+  std::uint64_t base_num_sets;  ///< m0 of the base this log applies to.
+  std::uint64_t record_count;   ///< Records that follow (back-patched).
+  std::uint64_t file_size;      ///< Total file bytes (back-patched).
+};
+static_assert(sizeof(FileHeader) == 48, "sscd1 header layout drifted");
+
+/// Fixed-size record header; the payload (if any) follows immediately.
+struct RecordHeader {
+  std::uint32_t record_bytes;  ///< Header + padded payload; multiple of 8.
+  std::uint16_t type;          ///< RecordType.
+  std::uint16_t rep;           ///< sscb1::Rep; 0 for kRemoveSet.
+  std::uint64_t target;        ///< Slot id (kRemoveSet/kReplaceSet); else 0.
+  std::uint32_t count;         ///< Member count; 0 for kRemoveSet.
+  std::uint32_t reserved;      ///< Zero.
+};
+static_assert(sizeof(RecordHeader) == 24, "sscd1 record layout drifted");
+
+/// Bytes of one whole record (header + padded payload) for a dense
+/// payload over a universe of \p n bits.
+constexpr std::uint64_t DenseRecordBytes(std::uint64_t n) {
+  return sizeof(RecordHeader) + sscb1::DensePayloadBytes(n);
+}
+
+/// Bytes of one whole record for a sparse payload of \p count ids.
+constexpr std::uint64_t SparseRecordBytes(std::uint64_t count) {
+  return sizeof(RecordHeader) + sscb1::SparsePayloadBytes(count);
+}
+
+/// Bytes of a remove record (no payload).
+inline constexpr std::uint64_t kRemoveRecordBytes = sizeof(RecordHeader);
+
+/// Structural validation of a file header against the actual byte count
+/// of the file it came from: magic, version, dimension caps, size echo.
+Status ValidateHeader(const FileHeader& header, std::uint64_t actual_size);
+
+/// Structural validation of one record header at byte \p offset of a file
+/// of \p file_size bytes under a validated file header: type/rep tags,
+/// alignment, count ranges, exact record_bytes arithmetic, and that the
+/// whole record lies inside the file. Slot-liveness and payload-content
+/// checks need replay state and live in DeltaLog.
+Status ValidateRecordHeader(const FileHeader& header,
+                            const RecordHeader& record, std::uint64_t offset,
+                            std::uint64_t file_size,
+                            std::uint64_t record_index);
+
+}  // namespace sscd1
+}  // namespace streamsc
+
+#endif  // STREAMSC_DYNAMIC_DELTA_FORMAT_H_

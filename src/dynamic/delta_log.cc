@@ -1,0 +1,381 @@
+#include "dynamic/delta_log.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+#include "util/file_probe.h"
+
+namespace streamsc {
+
+namespace {
+
+using sscd1::FileHeader;
+using sscd1::RecordHeader;
+using Word = DynamicBitset::Word;
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("sscd1: " + what);
+}
+
+FileHeader MakeHeader(std::uint64_t universe_size, std::uint64_t base_num_sets,
+                      std::uint64_t record_count, std::uint64_t file_size) {
+  FileHeader header = {};
+  std::memcpy(header.magic, sscd1::kMagic, sizeof(sscd1::kMagic));
+  header.version = sscd1::kVersion;
+  header.universe_size = universe_size;
+  header.base_num_sets = base_num_sets;
+  header.record_count = record_count;
+  header.file_size = file_size;
+  return header;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DeltaLog (reader)
+
+DeltaLog::DeltaLog(const std::string& path) {
+  status_ = Load(path);
+  if (!status_.ok()) {
+    // Leave a well-defined empty log so accidental use without a status
+    // check replays nothing instead of reading junk.
+    universe_size_ = 0;
+    base_num_sets_ = 0;
+    record_count_ = 0;
+    slots_.clear();
+    dense_.clear();
+    sparse_.clear();
+  }
+}
+
+Status DeltaLog::Load(const std::string& path) {
+  Status endian = sscb1::CheckHostEndianness();
+  if (!endian.ok()) return endian;
+
+  StatusOr<MmapFile> mapped = MmapFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  file_ = std::move(*mapped);
+
+  if (file_.size() < sizeof(FileHeader)) {
+    return Malformed("file too small for an sscd1 header");
+  }
+  FileHeader header;
+  std::memcpy(&header, file_.data(), sizeof(header));
+  Status status = sscd1::ValidateHeader(header, file_.size());
+  if (!status.ok()) return status;
+
+  universe_size_ = static_cast<std::size_t>(header.universe_size);
+  base_num_sets_ = header.base_num_sets;
+  record_count_ = header.record_count;
+  slots_.assign(static_cast<std::size_t>(base_num_sets_), Slot{});
+
+  const std::size_t word_count = (universe_size_ + 63) / 64;
+  std::uint64_t offset = sizeof(FileHeader);
+  for (std::uint64_t i = 0; i < record_count_; ++i) {
+    const std::string where = "record " + std::to_string(i) + ": ";
+    if (file_.size() - offset < sizeof(RecordHeader)) {
+      return Malformed(where + "record overruns the file (truncated?)");
+    }
+    RecordHeader record;
+    std::memcpy(&record, file_.data() + offset, sizeof(record));
+    status = sscd1::ValidateRecordHeader(header, record, offset, file_.size(),
+                                         i);
+    if (!status.ok()) return status;
+
+    switch (static_cast<sscd1::RecordType>(record.type)) {
+      case sscd1::kRemoveSet: {
+        if (record.target >= slots_.size() || !slots_[record.target].live) {
+          return Malformed(where + "removes a dead or out-of-range slot " +
+                           std::to_string(record.target));
+        }
+        slots_[record.target].live = false;
+        break;
+      }
+      case sscd1::kAddSet:
+      case sscd1::kReplaceSet: {
+        const std::byte* payload = file_.data() + offset + sizeof(record);
+        Slot slot;
+        slot.from_delta = true;
+        slot.rep = static_cast<sscb1::Rep>(record.rep);
+        slot.version = i + 1;
+        if (record.rep == sscb1::kDense) {
+          const Word* words = reinterpret_cast<const Word*>(payload);
+          // Same tail invariant as sscb1: phantom bits beyond n would
+          // silently corrupt counts and projections.
+          if (universe_size_ % 64 != 0 && word_count > 0) {
+            const Word tail_mask = ~Word{0} << (universe_size_ % 64);
+            if ((words[word_count - 1] & tail_mask) != 0) {
+              return Malformed(
+                  where + "dense tail bits beyond the universe are set");
+            }
+          }
+          DenseSpan span(words, universe_size_);
+          if (span.CountSet() != record.count) {
+            return Malformed(where +
+                             "payload popcount mismatches the record count");
+          }
+          dense_.push_back(span);
+          slot.payload = static_cast<std::uint32_t>(dense_.size() - 1);
+        } else {
+          const ElementId* ids = reinterpret_cast<const ElementId*>(payload);
+          for (std::uint32_t k = 0; k < record.count; ++k) {
+            if (ids[k] >= universe_size_) {
+              return Malformed(where + "element out of range");
+            }
+            if (k > 0 && ids[k] <= ids[k - 1]) {
+              return Malformed(where + "elements not strictly increasing");
+            }
+          }
+          // The pad bytes are part of the record; require them zero so a
+          // log has exactly one byte representation per logical content.
+          const std::uint64_t raw = record.count * sizeof(ElementId);
+          const std::uint64_t padded = sscb1::SparsePayloadBytes(record.count);
+          for (std::uint64_t b = raw; b < padded; ++b) {
+            if (payload[b] != std::byte{0}) {
+              return Malformed(where + "nonzero sparse payload padding");
+            }
+          }
+          sparse_.push_back(SparseSpan(ids, record.count, universe_size_));
+          slot.payload = static_cast<std::uint32_t>(sparse_.size() - 1);
+        }
+        if (record.type == sscd1::kAddSet) {
+          slots_.push_back(slot);
+        } else {
+          if (record.target >= slots_.size() || !slots_[record.target].live) {
+            return Malformed(where + "replaces a dead or out-of-range slot " +
+                             std::to_string(record.target));
+          }
+          slots_[record.target] = slot;
+        }
+        break;
+      }
+      default:
+        // Unreachable: ValidateRecordHeader rejects unknown types.
+        return Malformed(where + "unknown record type");
+    }
+    offset += record.record_bytes;
+  }
+  if (offset != file_.size()) {
+    return Malformed("trailing bytes after the last record");
+  }
+  return Status::Ok();
+}
+
+SetView DeltaLog::slot_view(std::uint64_t slot) const {
+  STREAMSC_CHECK(status_.ok() && slot < slots_.size() &&
+                     slots_[slot].from_delta,
+                 "DeltaLog::slot_view: invalid log, slot, or base-backed "
+                 "slot");
+  const Slot& s = slots_[slot];
+  if (s.rep == sscb1::kDense) return SetView(dense_[s.payload]);
+  return SetView(sparse_[s.payload]);
+}
+
+// ---------------------------------------------------------------------------
+// DeltaLogWriter
+
+DeltaLogWriter::DeltaLogWriter(const std::string& path,
+                               std::size_t universe_size,
+                               std::size_t base_num_sets,
+                               double sparsity_threshold)
+    : path_(path),
+      universe_size_(universe_size),
+      base_num_sets_(base_num_sets),
+      sparsity_threshold_(sparsity_threshold) {
+  status_ = sscb1::CheckHostEndianness();
+  if (!status_.ok()) return;
+  if (universe_size > sscd1::kMaxDimension ||
+      base_num_sets > sscd1::kMaxDimension) {
+    status_ = Status::InvalidArgument(
+        "sscd1: base dimensions exceed the 2^31 format cap");
+    return;
+  }
+  out_.open(path, std::ios::binary | std::ios::in | std::ios::out |
+                      std::ios::trunc);
+  if (!out_) {
+    status_ = Status::Internal("cannot open '" + path + "' for writing");
+    return;
+  }
+  live_.assign(base_num_sets, true);
+  // The header written up front is already *valid* for an empty log, so a
+  // writer that never reaches Finish() leaves a well-formed zero-record
+  // file behind, not garbage.
+  const FileHeader header =
+      MakeHeader(universe_size_, base_num_sets_, 0, sizeof(FileHeader));
+  if (!WriteBytes(&header, sizeof(header))) {
+    status_ = Status::Internal("write to '" + path + "' failed");
+    return;
+  }
+  out_.flush();
+}
+
+DeltaLogWriter::DeltaLogWriter(const std::string& path,
+                               double sparsity_threshold)
+    : path_(path), sparsity_threshold_(sparsity_threshold) {
+  // Full reader replay first: append mode refuses to extend a log it
+  // could not itself read back, and the replay hands us the liveness
+  // state the new records must be validated against.
+  DeltaLog existing(path);
+  if (!existing.status().ok()) {
+    status_ = existing.status();
+    return;
+  }
+  universe_size_ = existing.universe_size();
+  base_num_sets_ = existing.base_num_sets();
+  record_count_ = existing.record_count();
+  live_.resize(static_cast<std::size_t>(existing.num_slots()));
+  for (std::uint64_t s = 0; s < existing.num_slots(); ++s) {
+    live_[static_cast<std::size_t>(s)] = existing.slot_live(s);
+  }
+  out_.open(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!out_) {
+    status_ = Status::Internal("cannot open '" + path + "' for appending");
+    return;
+  }
+  out_.seekp(0, std::ios::end);
+  offset_ = static_cast<std::uint64_t>(out_.tellp());
+}
+
+Status DeltaLogWriter::Fail(Status status) {
+  status_ = std::move(status);
+  return status_;
+}
+
+bool DeltaLogWriter::WriteBytes(const void* bytes, std::size_t count) {
+  if (count == 0) return static_cast<bool>(out_);
+  out_.write(static_cast<const char*>(bytes),
+             static_cast<std::streamsize>(count));
+  offset_ += count;
+  return static_cast<bool>(out_);
+}
+
+Status DeltaLogWriter::WritePayloadRecord(sscd1::RecordType type,
+                                          std::uint64_t target, SetView set) {
+  if (!set.valid() || set.size() != universe_size_) {
+    return Fail(Status::InvalidArgument(
+        "sscd1: set universe size mismatches the log header"));
+  }
+  const Count count = set.CountSet();
+  const bool sparse = static_cast<double>(count) <
+                      sparsity_threshold_ * static_cast<double>(universe_size_);
+
+  RecordHeader record = {};
+  record.type = static_cast<std::uint16_t>(type);
+  record.rep = sparse ? sscb1::kSparse : sscb1::kDense;
+  record.target = target;
+  record.count = static_cast<std::uint32_t>(count);
+  record.record_bytes = static_cast<std::uint32_t>(
+      sparse ? sscd1::SparseRecordBytes(count)
+             : sscd1::DenseRecordBytes(universe_size_));
+  bool written = WriteBytes(&record, sizeof(record));
+
+  if (sparse) {
+    scratch_ids_.clear();
+    scratch_ids_.reserve(static_cast<std::size_t>(count));
+    set.ForEach([&](ElementId e) { scratch_ids_.push_back(e); });
+    if (written && !scratch_ids_.empty()) {
+      written = WriteBytes(scratch_ids_.data(),
+                           scratch_ids_.size() * sizeof(ElementId));
+    }
+    const std::uint64_t raw = scratch_ids_.size() * sizeof(ElementId);
+    const std::uint64_t padded = sscb1::SparsePayloadBytes(count);
+    if (written && padded > raw) {
+      const std::uint64_t zero = 0;
+      written = WriteBytes(&zero, static_cast<std::size_t>(padded - raw));
+    }
+  } else if (const DynamicBitset* dense = set.dense()) {
+    written = written && WriteBytes(dense->WordData(),
+                                    dense->WordCount() * sizeof(Word));
+  } else if (const DenseSpan* span = set.dense_span()) {
+    written = written &&
+              WriteBytes(span->WordData(), span->WordCount() * sizeof(Word));
+  } else {
+    // Sparse-represented set dense enough to store dense: materialize once.
+    const DynamicBitset materialized = set.ToDense();
+    written = written && WriteBytes(materialized.WordData(),
+                                    materialized.WordCount() * sizeof(Word));
+  }
+  if (!written) {
+    return Fail(Status::Internal("write to '" + path_ + "' failed"));
+  }
+  ++record_count_;
+  return status_;
+}
+
+Status DeltaLogWriter::AddSet(SetView set) {
+  if (!status_.ok()) return status_;
+  if (finished_) {
+    return Fail(Status::FailedPrecondition("sscd1: AddSet after Finish"));
+  }
+  const Status written = WritePayloadRecord(sscd1::kAddSet, 0, set);
+  if (!written.ok()) return written;
+  live_.push_back(true);
+  return status_;
+}
+
+Status DeltaLogWriter::RemoveSet(std::uint64_t slot) {
+  if (!status_.ok()) return status_;
+  if (finished_) {
+    return Fail(Status::FailedPrecondition("sscd1: RemoveSet after Finish"));
+  }
+  if (slot >= live_.size() || !live_[static_cast<std::size_t>(slot)]) {
+    return Fail(Status::InvalidArgument(
+        "sscd1: RemoveSet of dead or out-of-range slot " +
+        std::to_string(slot)));
+  }
+  RecordHeader record = {};
+  record.type = sscd1::kRemoveSet;
+  record.target = slot;
+  record.record_bytes = static_cast<std::uint32_t>(sscd1::kRemoveRecordBytes);
+  if (!WriteBytes(&record, sizeof(record))) {
+    return Fail(Status::Internal("write to '" + path_ + "' failed"));
+  }
+  ++record_count_;
+  live_[static_cast<std::size_t>(slot)] = false;
+  return status_;
+}
+
+Status DeltaLogWriter::ReplaceSet(std::uint64_t slot, SetView set) {
+  if (!status_.ok()) return status_;
+  if (finished_) {
+    return Fail(Status::FailedPrecondition("sscd1: ReplaceSet after Finish"));
+  }
+  if (slot >= live_.size() || !live_[static_cast<std::size_t>(slot)]) {
+    return Fail(Status::InvalidArgument(
+        "sscd1: ReplaceSet of dead or out-of-range slot " +
+        std::to_string(slot)));
+  }
+  return WritePayloadRecord(sscd1::kReplaceSet, slot, set);
+}
+
+Status DeltaLogWriter::Finish() {
+  if (!status_.ok()) return status_;
+  if (finished_) return status_;
+  finished_ = true;
+
+  const FileHeader header =
+      MakeHeader(universe_size_, base_num_sets_, record_count_, offset_);
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out_.flush();
+  if (!out_) {
+    return Fail(Status::Internal("header patch of '" + path_ + "' failed"));
+  }
+  out_.close();
+  return status_;
+}
+
+bool IsDeltaLogFile(const std::string& path) {
+  // Probe before the blocking open, same as the sscb1 sniff: an ifstream
+  // open of an unfed FIFO hangs forever.
+  if (!ProbeRegularFile(path).ok()) return false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  unsigned char magic[sizeof(sscd1::kMagic)] = {};
+  in.read(reinterpret_cast<char*>(magic), sizeof(magic));
+  return in.gcount() == sizeof(magic) &&
+         std::memcmp(magic, sscd1::kMagic, sizeof(magic)) == 0;
+}
+
+}  // namespace streamsc

@@ -1,0 +1,161 @@
+#include "dynamic/overlay_set_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "instance/serialization.h"
+#include "storage/binary_instance_writer.h"
+#include "util/check.h"
+
+namespace streamsc {
+
+OverlaySetStream::OverlaySetStream(const std::string& base_path,
+                                   const std::string& delta_path)
+    : delta_path_(delta_path) {
+  status_ = OpenBase(base_path);
+  if (status_.ok()) {
+    delta_ = DeltaLog(delta_path);
+    status_ = delta_.status();
+  }
+  if (status_.ok()) status_ = Compose();
+  if (!status_.ok()) {
+    live_.clear();
+    slot_live_.clear();
+    universe_size_ = 0;
+    base_num_sets_ = 0;
+  }
+}
+
+OverlaySetStream::OverlaySetStream(const SetSystem& base,
+                                   const std::string& delta_path)
+    : delta_path_(delta_path), borrowed_system_(&base) {
+  delta_ = DeltaLog(delta_path);
+  status_ = delta_.status();
+  if (status_.ok()) status_ = Compose();
+  if (!status_.ok()) {
+    live_.clear();
+    slot_live_.clear();
+    universe_size_ = 0;
+    base_num_sets_ = 0;
+  }
+}
+
+Status OverlaySetStream::OpenBase(const std::string& base_path) {
+  if (IsBinaryInstanceFile(base_path)) {
+    mmap_base_ = std::make_unique<MmapSetStream>(base_path);
+    return mmap_base_->status();
+  }
+  StatusOr<SetSystem> loaded = LoadSetSystem(base_path);
+  if (!loaded.ok()) return loaded.status();
+  owned_system_ = std::make_unique<SetSystem>(std::move(*loaded));
+  return Status::Ok();
+}
+
+Status OverlaySetStream::Compose() {
+  std::size_t base_n = 0;
+  std::uint64_t base_m = 0;
+  if (mmap_base_) {
+    base_n = mmap_base_->universe_size();
+    base_m = mmap_base_->num_sets();
+  } else {
+    const SetSystem* system =
+        owned_system_ ? owned_system_.get() : borrowed_system_;
+    base_n = system->universe_size();
+    base_m = system->num_sets();
+  }
+  if (delta_.universe_size() != base_n) {
+    return Status::InvalidArgument(
+        "sscd1: delta universe size " +
+        std::to_string(delta_.universe_size()) +
+        " mismatches the base instance's " + std::to_string(base_n));
+  }
+  if (delta_.base_num_sets() != base_m) {
+    return Status::InvalidArgument(
+        "sscd1: delta declares a base of " +
+        std::to_string(delta_.base_num_sets()) + " sets; the base has " +
+        std::to_string(base_m));
+  }
+  universe_size_ = base_n;
+  base_num_sets_ = base_m;
+
+  const std::uint64_t slots = delta_.num_slots();
+  slot_live_.assign(static_cast<std::size_t>(slots), false);
+  live_.clear();
+  for (std::uint64_t slot = 0; slot < slots; ++slot) {
+    if (!delta_.slot_live(slot)) continue;
+    slot_live_[static_cast<std::size_t>(slot)] = true;
+    live_.push_back(slot);
+  }
+  cursor_ = 0;
+  return Status::Ok();
+}
+
+SetView OverlaySetStream::BaseSet(std::uint64_t slot) const {
+  if (mmap_base_) return mmap_base_->set(static_cast<SetId>(slot));
+  const SetSystem* system =
+      owned_system_ ? owned_system_.get() : borrowed_system_;
+  return system->set(static_cast<SetId>(slot));
+}
+
+void OverlaySetStream::BeginPass() {
+  cursor_ = 0;
+  ++passes_;
+}
+
+bool OverlaySetStream::Next(StreamItem* item) {
+  STREAMSC_DCHECK(passes_ > 0 && "BeginPass() before Next()");
+  if (cursor_ >= live_.size()) return false;
+  const SetId id = static_cast<SetId>(cursor_++);
+  item->id = id;
+  item->set = set(id);
+  return true;
+}
+
+SetView OverlaySetStream::set(SetId id) const {
+  STREAMSC_CHECK(status_.ok() && id < live_.size(),
+                 "OverlaySetStream::set: invalid stream or id");
+  const std::uint64_t slot = live_[id];
+  if (delta_.slot_from_delta(slot)) return delta_.slot_view(slot);
+  return BaseSet(slot);
+}
+
+Status OverlaySetStream::RefreshDelta() {
+  if (!status_.ok()) return status_;
+  DeltaLog fresh(delta_path_);
+  if (!fresh.status().ok()) return fresh.status();
+  delta_ = std::move(fresh);
+  const Status composed = Compose();
+  // A delta that stopped matching the base is a real error, not a
+  // "no change yet": the stream is poisoned like a failed open.
+  if (!composed.ok()) {
+    status_ = composed;
+    live_.clear();
+    slot_live_.clear();
+  }
+  return composed;
+}
+
+Status OverlaySetStream::Materialize(const std::string& out_path) const {
+  if (!status_.ok()) return status_;
+  BinaryInstanceWriter writer(out_path, universe_size_, live_.size());
+  if (!writer.status().ok()) return writer.status();
+  for (SetId id = 0; id < live_.size(); ++id) {
+    if (!writer.AddSet(set(id)).ok()) return writer.status();
+  }
+  return writer.Finish();
+}
+
+std::uint64_t OverlaySetStream::slot_version(std::uint64_t slot) const {
+  STREAMSC_DCHECK(slot < delta_.num_slots());
+  return delta_.slot_version(slot);
+}
+
+SetId OverlaySetStream::slot_to_live(std::uint64_t slot) const {
+  // live_ holds slots in increasing order; a binary search recovers the
+  // dense renumbering without a slots-sized side table.
+  const auto it = std::lower_bound(live_.begin(), live_.end(), slot);
+  if (it == live_.end() || *it != slot) return kInvalidSetId;
+  return static_cast<SetId>(it - live_.begin());
+}
+
+}  // namespace streamsc

@@ -121,6 +121,10 @@ std::string EncodeRequest(const SolveRequest& request) {
     PutU16(&out, static_cast<std::uint16_t>(argc));
     for (std::size_t i = 0; i < argc; ++i) PutString(&out, request.args[i]);
   }
+  if (request.type == RequestType::kReload) {
+    PutString(&out, request.instance);
+    PutString(&out, request.path);
+  }
   return out;
 }
 
@@ -137,7 +141,7 @@ Status DecodeRequest(std::string_view payload, SolveRequest* request) {
                      std::to_string(kProtocolVersion) + ")");
   }
   if (type < static_cast<std::uint8_t>(RequestType::kSolve) ||
-      type > static_cast<std::uint8_t>(RequestType::kShutdown)) {
+      type > static_cast<std::uint8_t>(RequestType::kReload)) {
     return Malformed("unknown request type " + std::to_string(type));
   }
   *request = SolveRequest{};
@@ -154,6 +158,11 @@ Status DecodeRequest(std::string_view payload, SolveRequest* request) {
       if (!in.String(&request->args[i])) {
         return Malformed("truncated solve request arg " + std::to_string(i));
       }
+    }
+  }
+  if (request->type == RequestType::kReload) {
+    if (!in.String(&request->instance) || !in.String(&request->path)) {
+      return Malformed("truncated reload request strings");
     }
   }
   if (!in.Done()) {
@@ -219,6 +228,7 @@ std::string EncodeResponse(const SolveResponse& response) {
       break;
     case ResponseType::kPong:
     case ResponseType::kBye:
+    case ResponseType::kReloadOk:
       break;
   }
   return out;
@@ -235,7 +245,7 @@ Status DecodeResponse(std::string_view payload, SolveResponse* response) {
                      std::to_string(version));
   }
   if (type < static_cast<std::uint8_t>(ResponseType::kReport) ||
-      type > static_cast<std::uint8_t>(ResponseType::kBye)) {
+      type > static_cast<std::uint8_t>(ResponseType::kReloadOk)) {
     return Malformed("unknown response type " + std::to_string(type));
   }
   *response = SolveResponse{};
@@ -332,6 +342,7 @@ Status DecodeResponse(std::string_view payload, SolveResponse* response) {
     }
     case ResponseType::kPong:
     case ResponseType::kBye:
+    case ResponseType::kReloadOk:
       break;
   }
   if (!in.Done()) {

@@ -28,6 +28,8 @@
 ///   u8 version (kProtocolVersion)  u8 type (RequestType)  u8 flags  u8 0
 ///   type == kSolve only:
 ///     str instance   str solver   u16 argc   argc x str "key=value"
+///   type == kReload only:
+///     str instance   str path   (empty path = retire the instance)
 ///
 /// Response payload:
 ///   u8 version  u8 type (ResponseType)  u8 0  u8 0
@@ -66,6 +68,8 @@ enum class RequestType : std::uint8_t {
   kStats = 2,     ///< Return service stats (Prometheus text).
   kPing = 3,      ///< Liveness probe.
   kShutdown = 4,  ///< Ask the daemon to stop accepting and exit.
+  kReload = 5,    ///< Add/refresh (non-empty path) or retire (empty path)
+                  ///< an instance without restarting the daemon.
 };
 
 /// What a daemon frame carries back.
@@ -76,6 +80,7 @@ enum class ResponseType : std::uint8_t {
   kStatsText = 3,  ///< Prometheus exposition text.
   kPong = 4,       ///< Reply to kPing.
   kBye = 5,        ///< Reply to kShutdown (sent before the daemon stops).
+  kReloadOk = 6,   ///< Reply to a successful kReload.
 };
 
 /// Request flag bits.
@@ -87,10 +92,12 @@ struct SolveRequest {
   /// kSolve only: ask for the per-pass breakdown (requires the daemon to
   /// run with tracing armed; silently empty otherwise).
   bool want_breakdown = false;
-  std::string instance;           ///< kSolve: cached instance name.
+  std::string instance;           ///< kSolve/kReload: cached instance name.
   std::string solver;             ///< kSolve: registry key.
   std::vector<std::string> args;  ///< kSolve: "key=value" solver/session
                                   ///< options.
+  std::string path;               ///< kReload: sscb1 file to (re)open;
+                                  ///< empty retires the instance.
 };
 
 /// One counter from the run's snapshot, by interned name.

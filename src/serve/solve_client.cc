@@ -98,6 +98,21 @@ StatusOr<std::string> SolveClient::Stats() {
   return std::move(response->stats_text);
 }
 
+Status SolveClient::Reload(const std::string& name, const std::string& path) {
+  SolveRequest request;
+  request.type = RequestType::kReload;
+  request.instance = name;
+  request.path = path;
+  StatusOr<SolveResponse> response = Call(request);
+  if (!response.ok()) return response.status();
+  if (response->type != ResponseType::kReloadOk) {
+    return Status::Internal("solve daemon answered a reload with frame "
+                            "type " +
+                            std::to_string(static_cast<int>(response->type)));
+  }
+  return Status::Ok();
+}
+
 Status SolveClient::Shutdown() {
   SolveRequest request;
   request.type = RequestType::kShutdown;

@@ -47,6 +47,10 @@ class SolveClient {
   /// Fetches the daemon's Prometheus stats text.
   StatusOr<std::string> Stats();
 
+  /// Asks the daemon to add/refresh instance \p name from \p path, or to
+  /// retire it when \p path is empty (acknowledged with kReloadOk).
+  Status Reload(const std::string& name, const std::string& path);
+
   /// Asks the daemon to shut down (acknowledged with kBye).
   Status Shutdown();
 

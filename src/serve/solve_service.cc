@@ -27,6 +27,10 @@ CounterId RingCapacityId() {
 }
 CounterId WorkersId() { return CounterId::Gauge("serve.workers"); }
 CounterId InstancesId() { return CounterId::Gauge("serve.instances"); }
+CounterId ReloadsId() { return CounterId::Counter("serve.reloads"); }
+CounterId ReloadErrorsId() {
+  return CounterId::Counter("serve.reload_errors");
+}
 
 // True when args[i] sets the given session option key.
 bool SetsKey(const std::string& arg, const char* key) {
@@ -49,12 +53,12 @@ SolveService::~SolveService() {
 
 Status SolveService::AddInstance(const std::string& name,
                                  const std::string& path) {
-  if (started_) {
-    return Status::FailedPrecondition(
-        "SolveService: AddInstance after Start (instances are bound at "
-        "startup)");
-  }
   return cache_.Add(name, path);
+}
+
+Status SolveService::ReloadInstance(const std::string& name,
+                                    const std::string& path) {
+  return path.empty() ? cache_.Remove(name) : cache_.Refresh(name, path);
 }
 
 Status SolveService::Start() {
@@ -206,6 +210,21 @@ void SolveService::ServeConnection(Slot* slot, int fd) {
         (void)WriteFrame(fd, EncodeResponse(response));
         RequestShutdown();
         return;
+      case RequestType::kReload: {
+        const Status reloaded =
+            ReloadInstance(request.instance, request.path);
+        {
+          std::lock_guard<std::mutex> lock(slot->stats_mutex);
+          slot->counters.Add(ReloadsId(), 1);
+          if (!reloaded.ok()) slot->counters.Add(ReloadErrorsId(), 1);
+        }
+        if (reloaded.ok()) {
+          response.type = ResponseType::kReloadOk;
+        } else {
+          response = ErrorResponse(reloaded);
+        }
+        break;
+      }
       case RequestType::kSolve: {
         Stopwatch timer;
         response = HandleSolve(slot, request);
@@ -227,21 +246,32 @@ void SolveService::ServeConnection(Slot* slot, int fd) {
 
 SolveResponse SolveService::HandleSolve(Slot* slot,
                                         const SolveRequest& request) {
-  // Bind (or reuse) this slot's session for the instance. Sessions are
-  // slot-private, so the map needs no lock, and their warm arenas are
-  // exactly the embedded-use steady state.
+  // Bind (or reuse) this slot's session for the instance. Bindings are
+  // slot-private, so the map needs no lock; the cache lookup is the only
+  // synchronized step. A binding is reused only while its generation
+  // matches the cache's — a reload swaps the cache entry, so the next
+  // request here rebinds over the new mapping while the old one stays
+  // pinned by any slot still mid-solve on it.
+  StatusOr<InstanceCache::Snapshot> snapshot = cache_.Get(request.instance);
+  if (!snapshot.ok()) {
+    // Retired (or never-registered) instance: drop any stale binding so
+    // the slot does not pin a removed mapping forever.
+    slot->sessions.erase(request.instance);
+    return ErrorResponse(snapshot.status());
+  }
   auto it = slot->sessions.find(request.instance);
-  if (it == slot->sessions.end()) {
-    StatusOr<const MmapSetStream*> cached = cache_.Get(request.instance);
-    if (!cached.ok()) return ErrorResponse(cached.status());
-    it = slot->sessions
-             .emplace(request.instance,
-                      SolveSession::OverStream(
-                          std::make_unique<MmapStreamView>(**cached),
-                          SolveSession::Source::kMmap))
+  if (it == slot->sessions.end() ||
+      it->second.generation != snapshot->generation) {
+    BoundInstance bound;
+    bound.stream = snapshot->stream;
+    bound.generation = snapshot->generation;
+    bound.session = SolveSession::OverStream(
+        std::make_unique<MmapStreamView>(*snapshot->stream),
+        SolveSession::Source::kMmap);
+    it = slot->sessions.insert_or_assign(request.instance, std::move(bound))
              .first;
   }
-  SolveSession& session = it->second;
+  SolveSession& session = it->second.session;
 
   const bool traced = request.want_breakdown && slot->trace != nullptr;
   if (traced) slot->trace->Reset();

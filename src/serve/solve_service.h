@@ -35,11 +35,17 @@
 ///   queues unboundedly — the client gets a typed BUSY frame immediately
 ///   and can retry. The e2e tests pin this: a filled ring answers
 ///   kUnavailable, it does not abort or hang.
-/// * **Open-once / serve-many**: instances are registered up front into
-///   an InstanceCache (one mmap + one validation pass per file, ever).
-///   Each worker slot lazily binds a per-slot SolveSession over an
-///   MmapStreamView of the cached mapping, so concurrent solves of the
-///   same instance share bytes but never a cursor.
+/// * **Open-once / serve-many**: instances are registered into an
+///   InstanceCache (one mmap + one validation pass per load). Each worker
+///   slot lazily binds a per-slot SolveSession over an MmapStreamView of
+///   the cached mapping, so concurrent solves of the same instance share
+///   bytes but never a cursor.
+/// * **Live reload**: a kReload request (or ReloadInstance()) adds,
+///   refreshes, or retires instances while the daemon serves. Slots pin
+///   the mapping they bound via shared ownership and compare cache
+///   generations per request, so an in-flight solve finishes on the
+///   bytes it started with and the next request on that slot rebinds the
+///   new generation — zero failed in-flight requests across a swap.
 /// * **Warm slots**: a slot's sessions persist across requests — the run
 ///   arena reaches its zero-alloc steady state exactly as in embedded
 ///   use, and `memory_budget` makes an oversized request return
@@ -92,9 +98,17 @@ class SolveService {
   SolveService(const SolveService&) = delete;
   SolveService& operator=(const SolveService&) = delete;
 
-  /// Registers \p path (sscb1 binary) as instance \p name. Call before
-  /// Start(); opens and validates immediately.
+  /// Registers \p path (sscb1 binary) as instance \p name; opens and
+  /// validates immediately. Safe before or after Start() (the cache is
+  /// concurrent); InvalidArgument if the name is already registered —
+  /// use ReloadInstance() to replace.
   Status AddInstance(const std::string& name, const std::string& path);
+
+  /// Adds or refreshes (\p path non-empty) or retires (\p path empty)
+  /// instance \p name while serving. In-flight solves finish on the
+  /// mapping they bound; subsequent requests see the new state. On
+  /// failure the previous binding, if any, keeps serving.
+  Status ReloadInstance(const std::string& name, const std::string& path);
 
   /// Binds the endpoint and launches the acceptor and worker threads.
   Status Start();
@@ -123,11 +137,21 @@ class SolveService {
   void WriteStats(std::ostream& out) const;
 
  private:
+  /// One slot's binding of a cached instance: the shared mapping (pinned
+  /// so a reload cannot unmap bytes mid-solve), the generation it came
+  /// from (staleness check against the cache per request), and the warm
+  /// per-slot session over it.
+  struct BoundInstance {
+    std::shared_ptr<const MmapSetStream> stream;
+    std::uint64_t generation = 0;
+    SolveSession session;
+  };
+
   /// One worker's private state. Sessions and the trace recorder are
   /// only ever touched by the owning worker thread; the stats shard is
   /// mutex-guarded because kStats scrapes read it cross-thread.
   struct Slot {
-    std::map<std::string, SolveSession> sessions;
+    std::map<std::string, BoundInstance> sessions;
     std::unique_ptr<TraceRecorder> trace;
     mutable std::mutex stats_mutex;
     CounterSet counters;

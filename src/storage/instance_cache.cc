@@ -7,19 +7,39 @@ namespace streamsc {
 Status InstanceCache::Add(const std::string& name, const std::string& path) {
   // Open outside the lock: validation reads the whole file, and other
   // requests should keep being served while a new instance loads.
-  auto stream = std::make_unique<MmapSetStream>(path);
+  auto stream = std::make_shared<MmapSetStream>(path);
   if (!stream->status().ok()) return stream->status();
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] = entries_.emplace(name, std::move(stream));
-  (void)it;
-  if (!inserted) {
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
     return Status::InvalidArgument("instance cache: name '" + name +
                                    "' is already registered");
+  }
+  entries_.emplace(name, Entry{std::move(stream), next_generation_++});
+  return Status::Ok();
+}
+
+Status InstanceCache::Refresh(const std::string& name,
+                              const std::string& path) {
+  // Same open-outside-the-lock discipline as Add: a slow or failing load
+  // never stalls Get(), and a failed one leaves the old entry serving.
+  auto stream = std::make_shared<MmapSetStream>(path);
+  if (!stream->status().ok()) return stream->status();
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[name] = Entry{std::move(stream), next_generation_++};
+  return Status::Ok();
+}
+
+Status InstanceCache::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("instance cache: no instance named '" + name +
+                            "'");
   }
   return Status::Ok();
 }
 
-StatusOr<const MmapSetStream*> InstanceCache::Get(
+StatusOr<InstanceCache::Snapshot> InstanceCache::Get(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(name);
@@ -27,14 +47,14 @@ StatusOr<const MmapSetStream*> InstanceCache::Get(
     return Status::NotFound("instance cache: no instance named '" + name +
                             "'");
   }
-  return static_cast<const MmapSetStream*>(it->second.get());
+  return Snapshot{it->second.stream, it->second.generation};
 }
 
 std::vector<std::string> InstanceCache::Names() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
-  for (const auto& [name, stream] : entries_) names.push_back(name);
+  for (const auto& [name, entry] : entries_) names.push_back(name);
   return names;
 }
 

@@ -34,11 +34,34 @@ Status ProbeRegularFile(const std::string& path) {
                                  " (only regular files can be opened)");
 }
 
+FileSignature ProbeSignature(const std::string& path) {
+  FileSignature sig;
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return sig;
+  sig.exists = true;
+  sig.size = static_cast<std::uint64_t>(st.st_size);
+#if defined(__APPLE__)
+  sig.mtime_ns = static_cast<std::int64_t>(st.st_mtimespec.tv_sec) *
+                     1'000'000'000 +
+                 st.st_mtimespec.tv_nsec;
+#else
+  sig.mtime_ns =
+      static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1'000'000'000 +
+      st.st_mtim.tv_nsec;
+#endif
+  return sig;
+}
+
 #else  // !STREAMSC_HAVE_STAT
 
 Status ProbeRegularFile(const std::string& path) {
   (void)path;
   return Status::Ok();
+}
+
+FileSignature ProbeSignature(const std::string& path) {
+  (void)path;
+  return FileSignature{};
 }
 
 #endif  // STREAMSC_HAVE_STAT

@@ -1,6 +1,7 @@
 #ifndef STREAMSC_UTIL_FILE_PROBE_H_
 #define STREAMSC_UTIL_FILE_PROBE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "util/status.h"
@@ -26,6 +27,26 @@ namespace streamsc {
 /// On platforms without stat(2) the probe is a no-op returning Ok; the
 /// caller's own open supplies the error there.
 Status ProbeRegularFile(const std::string& path);
+
+/// A point-in-time identity snapshot of a path: existence, byte size, and
+/// modification time. Two equal signatures mean "no observable change" at
+/// stat(2) granularity — the polling primitive behind watch mode, which
+/// deliberately avoids inotify so it works on any filesystem (NFS,
+/// overlayfs, containers) with zero extra descriptors.
+struct FileSignature {
+  bool exists = false;
+  std::uint64_t size = 0;
+  std::int64_t mtime_ns = 0;  ///< Nanoseconds where the platform has them,
+                              ///< else whole seconds scaled up.
+
+  friend bool operator==(const FileSignature& a,
+                         const FileSignature& b) = default;
+};
+
+/// Stats \p path and returns its signature. A missing (or stat-failing)
+/// path yields {exists=false, 0, 0} — a valid, comparable value, so a
+/// watch loop treats deletion as just another change. Never blocks.
+FileSignature ProbeSignature(const std::string& path);
 
 }  // namespace streamsc
 

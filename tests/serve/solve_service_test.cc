@@ -320,11 +320,122 @@ TEST(SolveServiceTest, TracedDaemonServesPerPassBreakdowns) {
   EXPECT_TRUE(plain->breakdown.empty());
 }
 
-TEST(SolveServiceTest, AddInstanceAfterStartIsRejected) {
+TEST(SolveServiceTest, AddInstanceAfterStartServesImmediately) {
   ServiceFixture fx;
-  const Status late = fx.service->AddInstance("late", fx.instance_path);
-  ASSERT_FALSE(late.ok());
-  EXPECT_EQ(late.code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(fx.service->AddInstance("late", fx.instance_path).ok());
+  StatusOr<SolveClient> client = SolveClient::Connect(fx.endpoint_spec);
+  ASSERT_TRUE(client.ok());
+  StatusOr<SolveResponse> response =
+      client->Solve("late", "assadi", {"alpha=2"});
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->feasible);
+}
+
+TEST(SolveServiceTest, ReloadAddsSwapsAndRetiresOverTheWire) {
+  ServiceFixture fx;
+  StatusOr<SolveClient> client = SolveClient::Connect(fx.endpoint_spec);
+  ASSERT_TRUE(client.ok());
+
+  // Add a brand-new instance by reload, solve it.
+  Rng rng(41);
+  const SetSystem other = PlantedCoverInstance(128, 16, 3, rng);
+  const std::string other_path = fx.dir.FilePath("other.sscb1");
+  ASSERT_TRUE(BinaryInstanceWriter::WriteSystem(other, other_path).ok());
+  ASSERT_TRUE(client->Reload("other", other_path).ok());
+  StatusOr<SolveResponse> added = client->Solve("other", "assadi", {});
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_TRUE(added->feasible);
+
+  // Swap an existing name to a different file: answers change with it.
+  const std::string expected_other =
+      ExpectedBytes(other_path, "assadi", {"alpha=2"});
+  ASSERT_TRUE(client->Reload("inst", other_path).ok());
+  StatusOr<SolveResponse> swapped =
+      client->Solve("inst", "assadi", {"alpha=2"});
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(DeterministicBytes(*swapped), expected_other);
+
+  // A failed reload (missing file) keeps the old binding serving.
+  const Status bad = client->Reload("inst", fx.dir.FilePath("nope.sscb1"));
+  ASSERT_FALSE(bad.ok());
+  StatusOr<SolveResponse> still =
+      client->Solve("inst", "assadi", {"alpha=2"});
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(DeterministicBytes(*still), expected_other);
+
+  // Empty path retires: the next solve is NotFound, and the daemon keeps
+  // serving everything else.
+  ASSERT_TRUE(client->Reload("other", "").ok());
+  StatusOr<SolveResponse> retired = client->Solve("other", "assadi", {});
+  ASSERT_FALSE(retired.ok());
+  EXPECT_EQ(retired.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(client->Ping().ok());
+
+  // The reload counters made it to the stats surface.
+  StatusOr<std::string> stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("streamsc_serve_reloads"), std::string::npos)
+      << *stats;
+}
+
+TEST(SolveServiceTest, ReloadMidTrafficLosesNoRequests) {
+  ServiceOptions options;
+  options.workers = 4;
+  options.ring_capacity = 64;
+  ServiceFixture fx(options);
+
+  // A second instance file with different contents under the same name,
+  // swapped in and out while clients hammer solves: every request must
+  // succeed and match one of the two files byte-for-byte.
+  Rng rng(43);
+  const SetSystem v2 = PlantedCoverInstance(192, 24, 4, rng);
+  const std::string v2_path = fx.dir.FilePath("inst_v2.sscb1");
+  ASSERT_TRUE(BinaryInstanceWriter::WriteSystem(v2, v2_path).ok());
+  const std::string expected_v1 =
+      ExpectedBytes(fx.instance_path, "assadi", {"alpha=2"});
+  const std::string expected_v2 =
+      ExpectedBytes(v2_path, "assadi", {"alpha=2"});
+
+  constexpr int kClients = 3;
+  constexpr int kSolvesPerClient = 12;
+  std::vector<std::thread> threads;
+  std::vector<char> clients_ok(kClients, 0);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      bool all_ok = true;
+      for (int i = 0; i < kSolvesPerClient; ++i) {
+        StatusOr<SolveClient> client =
+            SolveClient::Connect(fx.endpoint_spec);
+        if (!client.ok()) {
+          all_ok = false;
+          continue;
+        }
+        StatusOr<SolveResponse> response =
+            client->Solve("inst", "assadi", {"alpha=2"});
+        if (!response.ok()) {
+          all_ok = false;
+          continue;
+        }
+        const std::string bytes = DeterministicBytes(*response);
+        all_ok = all_ok && (bytes == expected_v1 || bytes == expected_v2);
+      }
+      clients_ok[static_cast<std::size_t>(t)] = all_ok;
+    });
+  }
+  // The reloader: swap the instance back and forth while traffic flows.
+  threads.emplace_back([&] {
+    StatusOr<SolveClient> reloader = SolveClient::Connect(fx.endpoint_spec);
+    ASSERT_TRUE(reloader.ok());
+    for (int i = 0; i < 10; ++i) {
+      const Status swapped = reloader->Reload(
+          "inst", (i % 2) == 0 ? v2_path : fx.instance_path);
+      ASSERT_TRUE(swapped.ok()) << swapped.ToString();
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kClients; ++t) {
+    EXPECT_TRUE(clients_ok[static_cast<std::size_t>(t)]) << "client " << t;
+  }
 }
 
 TEST(SolveServiceTest, TcpLoopbackEndpointWorksWithKernelAssignedPort) {

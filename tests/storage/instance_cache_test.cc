@@ -52,10 +52,11 @@ TEST(InstanceCacheTest, AddGetRoundTrip) {
   ASSERT_TRUE(cache.Add("a", path).ok());
   EXPECT_EQ(cache.size(), 1u);
 
-  StatusOr<const MmapSetStream*> stream = cache.Get("a");
-  ASSERT_TRUE(stream.ok());
-  EXPECT_EQ((*stream)->universe_size(), 128u);
-  EXPECT_EQ((*stream)->num_sets(), 16u);
+  StatusOr<InstanceCache::Snapshot> snapshot = cache.Get("a");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->stream->universe_size(), 128u);
+  EXPECT_EQ(snapshot->stream->num_sets(), 16u);
+  EXPECT_NE(snapshot->generation, 0u);
 }
 
 TEST(InstanceCacheTest, DuplicateNameIsInvalidArgument) {
@@ -71,7 +72,7 @@ TEST(InstanceCacheTest, DuplicateNameIsInvalidArgument) {
 
 TEST(InstanceCacheTest, MissingNameIsNotFound) {
   InstanceCache cache;
-  StatusOr<const MmapSetStream*> missing = cache.Get("ghost");
+  StatusOr<InstanceCache::Snapshot> missing = cache.Get("ghost");
   ASSERT_FALSE(missing.ok());
   EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
 }
@@ -103,7 +104,7 @@ TEST(InstanceCacheTest, ViewMatchesPrivateStream) {
 
   InstanceCache cache;
   ASSERT_TRUE(cache.Add("a", path).ok());
-  MmapStreamView view(**cache.Get("a"));
+  MmapStreamView view(*cache.Get("a")->stream);
   EXPECT_EQ(Fingerprint(view), expected);
   // A second pass through the same view re-streams from the top.
   EXPECT_EQ(Fingerprint(view), expected);
@@ -119,7 +120,8 @@ TEST(InstanceCacheTest, ConcurrentViewsOverOneMappingAgree) {
 
   InstanceCache cache;
   ASSERT_TRUE(cache.Add("a", path).ok());
-  const MmapSetStream& shared = **cache.Get("a");
+  const InstanceCache::Snapshot snapshot = *cache.Get("a");
+  const MmapSetStream& shared = *snapshot.stream;
 
   constexpr int kThreads = 8;
   constexpr int kPassesPerThread = 4;
@@ -143,6 +145,93 @@ TEST(InstanceCacheTest, ConcurrentViewsOverOneMappingAgree) {
   }
   // The shared stream's own cursor was never touched by any view.
   EXPECT_EQ(shared.passes(), 0u);
+}
+
+TEST(InstanceCacheTest, RefreshSwapsMappingAndBumpsGeneration) {
+  ScopedTempDir dir;
+  InstanceCache cache;
+  ASSERT_TRUE(cache.Add("a", WriteInstance(dir, "v1.sscb1", 7)).ok());
+  const InstanceCache::Snapshot before = *cache.Get("a");
+
+  // Refresh may also *create* a name (upsert).
+  ASSERT_TRUE(cache.Refresh("b", WriteInstance(dir, "b.sscb1", 9)).ok());
+  EXPECT_EQ(cache.size(), 2u);
+
+  ASSERT_TRUE(cache.Refresh("a", WriteInstance(dir, "v2.sscb1", 8)).ok());
+  const InstanceCache::Snapshot after = *cache.Get("a");
+  EXPECT_NE(after.generation, before.generation);
+  EXPECT_NE(after.stream.get(), before.stream.get());
+  // The old snapshot still reads: shared ownership pins the old mapping
+  // across the swap (the in-flight-solve guarantee).
+  MmapStreamView old_view(*before.stream);
+  EXPECT_EQ(Fingerprint(old_view).size(), before.stream->num_sets());
+}
+
+TEST(InstanceCacheTest, FailedRefreshKeepsServingTheOldEntry) {
+  ScopedTempDir dir;
+  InstanceCache cache;
+  ASSERT_TRUE(cache.Add("a", WriteInstance(dir, "v1.sscb1", 7)).ok());
+  const std::uint64_t generation = cache.Get("a")->generation;
+  EXPECT_FALSE(cache.Refresh("a", dir.FilePath("missing.sscb1")).ok());
+  StatusOr<InstanceCache::Snapshot> kept = cache.Get("a");
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->generation, generation);
+}
+
+TEST(InstanceCacheTest, RemoveRetiresButSnapshotsSurvive) {
+  ScopedTempDir dir;
+  InstanceCache cache;
+  ASSERT_TRUE(cache.Add("a", WriteInstance(dir, "a.sscb1", 7)).ok());
+  const InstanceCache::Snapshot held = *cache.Get("a");
+  ASSERT_TRUE(cache.Remove("a").ok());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("a").ok());
+  EXPECT_EQ(cache.Remove("a").code(), StatusCode::kNotFound);
+  // Retire-then-re-add never aliases the retired generation.
+  ASSERT_TRUE(cache.Add("a", WriteInstance(dir, "a2.sscb1", 8)).ok());
+  EXPECT_NE(cache.Get("a")->generation, held.generation);
+  // The held snapshot still streams after the remove.
+  MmapStreamView view(*held.stream);
+  EXPECT_EQ(Fingerprint(view).size(), held.stream->num_sets());
+}
+
+TEST(InstanceCacheTest, ConcurrentRefreshAndGetAreSafe) {
+  ScopedTempDir dir;
+  const std::string v1 = WriteInstance(dir, "v1.sscb1", 31);
+  const std::string v2 = WriteInstance(dir, "v2.sscb1", 32);
+  InstanceCache cache;
+  ASSERT_TRUE(cache.Add("a", v1).ok());
+
+  constexpr int kReaders = 6;
+  constexpr int kOpsPerThread = 50;
+  std::vector<std::thread> threads;
+  std::vector<char> readers_ok(kReaders, 0);
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      bool all_ok = true;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        StatusOr<InstanceCache::Snapshot> snapshot = cache.Get("a");
+        if (!snapshot.ok()) {
+          all_ok = false;
+          continue;
+        }
+        // Touch the mapping: a racing refresh must never unmap it.
+        MmapStreamView view(*snapshot->stream);
+        all_ok = all_ok &&
+                 Fingerprint(view).size() == snapshot->stream->num_sets();
+      }
+      readers_ok[static_cast<std::size_t>(t)] = all_ok;
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      ASSERT_TRUE(cache.Refresh("a", (i % 2) == 0 ? v2 : v1).ok());
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kReaders; ++t) {
+    EXPECT_TRUE(readers_ok[static_cast<std::size_t>(t)]) << "reader " << t;
+  }
 }
 
 }  // namespace

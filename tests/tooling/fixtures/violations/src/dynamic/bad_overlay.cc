@@ -1,0 +1,7 @@
+#include "serve/solve_service.h"
+#include <chrono>
+namespace streamsc {
+inline long DeltaPollNs() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+}  // namespace streamsc

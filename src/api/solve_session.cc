@@ -173,9 +173,23 @@ Status SolveSession::RefreshDelta() {
         "SolveSession: RefreshDelta() on a non-overlay source (use "
         "OpenOverlay())");
   }
-  // The memo is deliberately kept: per-slot versions decide at the next
-  // Solve() which chosen sets survived this delta.
-  return overlay_->RefreshDelta();
+  // The memo is deliberately kept across an append-only refresh: per-slot
+  // versions decide at the next Solve() which chosen sets survived this
+  // delta. But versions only identify content within one log lineage — if
+  // the log *shrank* (a re-created delta file), a memoized (slot, version)
+  // pair may alias unrelated content, so the memo is dropped and the next
+  // Solve() runs cold. A failed refresh also drops it: the overlay
+  // retained its previous composition, but the caller was told the file
+  // is suspect and a stale warm hint is not worth carrying across that.
+  const std::uint64_t records_before = overlay_->delta_records();
+  const std::uint64_t slots_before = overlay_->num_slots();
+  const Status refreshed = overlay_->RefreshDelta();
+  if (!refreshed.ok() || overlay_->delta_records() < records_before ||
+      overlay_->num_slots() < slots_before) {
+    memo_.clear();
+    memo_valid_ = false;
+  }
+  return refreshed;
 }
 
 SolveSession SolveSession::OverSystem(const SetSystem& system) {
@@ -237,6 +251,12 @@ StatusOr<SolveReport> SolveSession::Solve(
     return Status::FailedPrecondition(
         "SolveSession: Solve() on an empty session (use Open() or "
         "OverSystem())");
+  }
+  // An overlay that never composed is an error, not an empty instance: a
+  // caller that ignored OpenOverlay()'s status must not get a trivially
+  // "feasible" cover over zero sets (which would then seed the memo).
+  if (overlay_ != nullptr && !overlay_->status().ok()) {
+    return overlay_->status();
   }
 
   std::vector<std::string> session_args;
@@ -346,9 +366,12 @@ std::vector<SetId> SolveSession::SurvivingPrefix() const {
   std::vector<SetId> prefix;
   prefix.reserve(memo_.size());
   for (const MemoEntry& entry : memo_) {
-    // Slots are append-only, so a memoized slot index is always in range;
-    // the pair survives iff the slot is live with an unchanged version.
-    if (!overlay_->slot_live(entry.slot) ||
+    // A slot beyond the current table means the log shrank under us (a
+    // re-created delta file) — the entry is dead, not in-range-by-
+    // contract; never index the overlay with it. Otherwise the pair
+    // survives iff the slot is live with an unchanged version.
+    if (entry.slot >= overlay_->num_slots() ||
+        !overlay_->slot_live(entry.slot) ||
         overlay_->slot_version(entry.slot) != entry.version) {
       break;
     }

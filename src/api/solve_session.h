@@ -99,8 +99,12 @@ class SolveSession {
                                             const std::string& delta_path);
 
   /// Re-reads the overlay session's delta log from disk (base untouched).
-  /// FailedPrecondition for non-overlay sources. The memoized solution is
-  /// kept — per-slot versions decide at the next Solve() what survived.
+  /// FailedPrecondition for non-overlay sources. Across an append-only
+  /// refresh the memoized solution is kept — per-slot versions decide at
+  /// the next Solve() what survived. If the refresh fails (the overlay
+  /// retains its previous composition) or the log shrank (a re-created
+  /// delta file, where versions no longer identify content), the memo is
+  /// dropped and the next Solve() runs cold.
   Status RefreshDelta();
 
   /// The overlay stream (null for non-overlay sources). Borrowed; valid

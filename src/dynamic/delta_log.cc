@@ -43,10 +43,40 @@ DeltaLog::DeltaLog(const std::string& path) {
     universe_size_ = 0;
     base_num_sets_ = 0;
     record_count_ = 0;
-    slots_.clear();
+    touched_base_.clear();
+    appended_.clear();
     dense_.clear();
     sparse_.clear();
   }
+}
+
+const DeltaLog::Slot& DeltaLog::SlotRef(std::uint64_t slot) const {
+  if (slot >= base_num_sets_) {
+    return appended_[static_cast<std::size_t>(slot - base_num_sets_)];
+  }
+  static const Slot kUntouchedBase{};
+  const auto it = touched_base_.find(slot);
+  return it == touched_base_.end() ? kUntouchedBase : it->second;
+}
+
+DeltaLog::Slot& DeltaLog::MutableSlot(std::uint64_t slot) {
+  if (slot >= base_num_sets_) {
+    return appended_[static_cast<std::size_t>(slot - base_num_sets_)];
+  }
+  // Default-inserts the untouched-base state (live, version 0) on the
+  // first record that touches a base slot.
+  return touched_base_[slot];
+}
+
+std::vector<std::uint64_t> DeltaLog::TombstonedSlots() const {
+  std::vector<std::uint64_t> dead;
+  for (const auto& [slot, state] : touched_base_) {
+    if (!state.live) dead.push_back(slot);
+  }
+  for (std::size_t i = 0; i < appended_.size(); ++i) {
+    if (!appended_[i].live) dead.push_back(base_num_sets_ + i);
+  }
+  return dead;
 }
 
 Status DeltaLog::Load(const std::string& path) {
@@ -65,10 +95,13 @@ Status DeltaLog::Load(const std::string& path) {
   Status status = sscd1::ValidateHeader(header, file_.size());
   if (!status.ok()) return status;
 
+  // No allocation keyed on base_num_sets_: the claim is not backed by any
+  // bytes of this file (unlike sscb1's offset table), so a hostile header
+  // must not be able to drive a giant slot-table reservation. Slots
+  // materialize lazily as records touch them.
   universe_size_ = static_cast<std::size_t>(header.universe_size);
   base_num_sets_ = header.base_num_sets;
   record_count_ = header.record_count;
-  slots_.assign(static_cast<std::size_t>(base_num_sets_), Slot{});
 
   const std::size_t word_count = (universe_size_ + 63) / 64;
   std::uint64_t offset = sizeof(FileHeader);
@@ -85,11 +118,11 @@ Status DeltaLog::Load(const std::string& path) {
 
     switch (static_cast<sscd1::RecordType>(record.type)) {
       case sscd1::kRemoveSet: {
-        if (record.target >= slots_.size() || !slots_[record.target].live) {
+        if (record.target >= num_slots() || !slot_live(record.target)) {
           return Malformed(where + "removes a dead or out-of-range slot " +
                            std::to_string(record.target));
         }
-        slots_[record.target].live = false;
+        MutableSlot(record.target).live = false;
         break;
       }
       case sscd1::kAddSet:
@@ -140,13 +173,13 @@ Status DeltaLog::Load(const std::string& path) {
           slot.payload = static_cast<std::uint32_t>(sparse_.size() - 1);
         }
         if (record.type == sscd1::kAddSet) {
-          slots_.push_back(slot);
+          appended_.push_back(slot);
         } else {
-          if (record.target >= slots_.size() || !slots_[record.target].live) {
+          if (record.target >= num_slots() || !slot_live(record.target)) {
             return Malformed(where + "replaces a dead or out-of-range slot " +
                              std::to_string(record.target));
           }
-          slots_[record.target] = slot;
+          MutableSlot(record.target) = slot;
         }
         break;
       }
@@ -163,11 +196,10 @@ Status DeltaLog::Load(const std::string& path) {
 }
 
 SetView DeltaLog::slot_view(std::uint64_t slot) const {
-  STREAMSC_CHECK(status_.ok() && slot < slots_.size() &&
-                     slots_[slot].from_delta,
+  STREAMSC_CHECK(status_.ok() && slot < num_slots() && slot_from_delta(slot),
                  "DeltaLog::slot_view: invalid log, slot, or base-backed "
                  "slot");
-  const Slot& s = slots_[slot];
+  const Slot& s = SlotRef(slot);
   if (s.rep == sscb1::kDense) return SetView(dense_[s.payload]);
   return SetView(sparse_[s.payload]);
 }
@@ -197,7 +229,7 @@ DeltaLogWriter::DeltaLogWriter(const std::string& path,
     status_ = Status::Internal("cannot open '" + path + "' for writing");
     return;
   }
-  live_.assign(base_num_sets, true);
+  num_slots_ = base_num_sets;
   // The header written up front is already *valid* for an empty log, so a
   // writer that never reaches Finish() leaves a well-formed zero-record
   // file behind, not garbage.
@@ -224,9 +256,9 @@ DeltaLogWriter::DeltaLogWriter(const std::string& path,
   universe_size_ = existing.universe_size();
   base_num_sets_ = existing.base_num_sets();
   record_count_ = existing.record_count();
-  live_.resize(static_cast<std::size_t>(existing.num_slots()));
-  for (std::uint64_t s = 0; s < existing.num_slots(); ++s) {
-    live_[static_cast<std::size_t>(s)] = existing.slot_live(s);
+  num_slots_ = existing.num_slots();
+  for (const std::uint64_t slot : existing.TombstonedSlots()) {
+    dead_.insert(slot);
   }
   out_.open(path, std::ios::binary | std::ios::in | std::ios::out);
   if (!out_) {
@@ -310,7 +342,7 @@ Status DeltaLogWriter::AddSet(SetView set) {
   }
   const Status written = WritePayloadRecord(sscd1::kAddSet, 0, set);
   if (!written.ok()) return written;
-  live_.push_back(true);
+  ++num_slots_;
   return status_;
 }
 
@@ -319,7 +351,7 @@ Status DeltaLogWriter::RemoveSet(std::uint64_t slot) {
   if (finished_) {
     return Fail(Status::FailedPrecondition("sscd1: RemoveSet after Finish"));
   }
-  if (slot >= live_.size() || !live_[static_cast<std::size_t>(slot)]) {
+  if (slot >= num_slots_ || dead_.count(slot) != 0) {
     return Fail(Status::InvalidArgument(
         "sscd1: RemoveSet of dead or out-of-range slot " +
         std::to_string(slot)));
@@ -332,7 +364,7 @@ Status DeltaLogWriter::RemoveSet(std::uint64_t slot) {
     return Fail(Status::Internal("write to '" + path_ + "' failed"));
   }
   ++record_count_;
-  live_[static_cast<std::size_t>(slot)] = false;
+  dead_.insert(slot);
   return status_;
 }
 
@@ -341,7 +373,7 @@ Status DeltaLogWriter::ReplaceSet(std::uint64_t slot, SetView set) {
   if (finished_) {
     return Fail(Status::FailedPrecondition("sscd1: ReplaceSet after Finish"));
   }
-  if (slot >= live_.size() || !live_[static_cast<std::size_t>(slot)]) {
+  if (slot >= num_slots_ || dead_.count(slot) != 0) {
     return Fail(Status::InvalidArgument(
         "sscd1: ReplaceSet of dead or out-of-range slot " +
         std::to_string(slot)));

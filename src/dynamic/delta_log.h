@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <fstream>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "dynamic/delta_format.h"
@@ -24,14 +26,21 @@
 /// whenever a record touches the slot (the warm-start survival test).
 /// After an Ok status() no operation can read out of bounds; a corrupt or
 /// torn log is a typed InvalidArgument at open, never an abort mid-pass.
+/// Memory is proportional to the *records*, never to the header's claimed
+/// base size: a hostile base_num_sets cannot drive allocation.
 ///
 /// DeltaLogWriter appends records and back-patches the header's
-/// record_count / file_size on Finish(), so readers racing a writer see
-/// either the old consistent log or the new one — a half-appended record
-/// beyond the patched file_size is invisible. Append mode revalidates the
-/// existing log (through DeltaLog) before extending it, and both modes
-/// track slot liveness so a remove/replace of a dead or out-of-range slot
-/// fails at write time with the same typed error a reader would produce.
+/// record_count / file_size on Finish(). A reader never decodes a
+/// half-appended record as data — but the atomicity is *reject-and-retry*,
+/// not old-or-new: a reader that maps the file between an append and the
+/// Finish() patch sees a header whose file_size no longer matches the
+/// file and gets a typed InvalidArgument ("file size mismatch"), the same
+/// rejection as any torn write. Pollers (watch mode, RefreshDelta) treat
+/// that as "no change yet" and retry after Finish(). Append mode
+/// revalidates the existing log (through DeltaLog) before extending it,
+/// and both modes track slot liveness so a remove/replace of a dead or
+/// out-of-range slot fails at write time with the same typed error a
+/// reader would produce.
 
 namespace streamsc {
 
@@ -64,15 +73,15 @@ class DeltaLog {
   std::uint64_t record_count() const { return record_count_; }
 
   /// Total slots after replay: base_num_sets() + number of AddSet records.
-  std::uint64_t num_slots() const { return slots_.size(); }
+  std::uint64_t num_slots() const { return base_num_sets_ + appended_.size(); }
 
   /// True iff \p slot is not tombstoned. Precondition: slot < num_slots().
-  bool slot_live(std::uint64_t slot) const { return slots_[slot].live; }
+  bool slot_live(std::uint64_t slot) const { return SlotRef(slot).live; }
 
   /// True iff \p slot's current payload lives in this log (added or
   /// replaced) rather than in the base. Precondition: slot < num_slots().
   bool slot_from_delta(std::uint64_t slot) const {
-    return slots_[slot].from_delta;
+    return SlotRef(slot).from_delta;
   }
 
   /// Version of \p slot: 0 for a base slot no record has touched, else
@@ -80,8 +89,12 @@ class DeltaLog {
   /// (slot, version) pair from a previous solve is still valid iff the
   /// slot is live and its version is unchanged — the warm-start test.
   std::uint64_t slot_version(std::uint64_t slot) const {
-    return slots_[slot].version;
+    return SlotRef(slot).version;
   }
+
+  /// Every tombstoned slot, in no particular order. O(slots touched by a
+  /// record) — never proportional to the base size.
+  std::vector<std::uint64_t> TombstonedSlots() const;
 
   /// View of \p slot's delta payload. Precondition: slot_from_delta(slot).
   /// The view borrows the mapping and lives as long as this log.
@@ -97,6 +110,13 @@ class DeltaLog {
   };
 
   Status Load(const std::string& path);
+  // The slot \p slot resolves to: an appended slot, a record-touched base
+  // slot, or the shared untouched-base default. Precondition:
+  // slot < num_slots().
+  const Slot& SlotRef(std::uint64_t slot) const;
+  // Mutable variant for replay; default-inserts an untouched base slot
+  // into touched_base_ on first touch.
+  Slot& MutableSlot(std::uint64_t slot);
 
   Status status_ =
       Status::FailedPrecondition("sscd1: delta log not opened");
@@ -104,7 +124,12 @@ class DeltaLog {
   std::size_t universe_size_ = 0;
   std::uint64_t base_num_sets_ = 0;
   std::uint64_t record_count_ = 0;
-  std::vector<Slot> slots_;
+  // The slot table is sparse on purpose: base_num_sets_ is a header claim
+  // backed by nothing in *this* file, so memory must scale with the
+  // replayed records, not with it. Base slots no record touched resolve
+  // to a shared default (live, version 0, base payload).
+  std::unordered_map<std::uint64_t, Slot> touched_base_;
+  std::vector<Slot> appended_;  // slots base_num_sets_ .. num_slots()-1
   std::vector<DenseSpan> dense_;
   std::vector<SparseSpan> sparse_;
 };
@@ -143,7 +168,7 @@ class DeltaLogWriter {
   std::uint64_t record_count() const { return record_count_; }
 
   /// Total slots as of the last mutation (base + adds).
-  std::uint64_t num_slots() const { return live_.size(); }
+  std::uint64_t num_slots() const { return num_slots_; }
 
   /// Appends a kAddSet record; the new slot's id is num_slots()-1 after
   /// the call. The view's universe must match.
@@ -156,8 +181,9 @@ class DeltaLogWriter {
   Status ReplaceSet(std::uint64_t slot, SetView set);
 
   /// Back-patches record_count / file_size and flushes. Until Finish()
-  /// the file still carries the previous consistent header, so readers
-  /// never observe a torn log.
+  /// the header still describes the previous consistent state, so a
+  /// reader racing the appends gets a typed size-mismatch rejection
+  /// (retryable — "no change yet"), never a half-appended record.
   Status Finish();
 
  private:
@@ -175,7 +201,10 @@ class DeltaLogWriter {
   double sparsity_threshold_ = 0.0;
   std::uint64_t offset_ = 0;  // current write position (== file size)
   std::uint64_t record_count_ = 0;
-  std::vector<bool> live_;  // slot liveness, replayed + extended
+  // Liveness as (slot count, tombstone set): like the reader's slot
+  // table, memory scales with the mutations, not the claimed base size.
+  std::uint64_t num_slots_ = 0;
+  std::unordered_set<std::uint64_t> dead_;
   std::vector<ElementId> scratch_ids_;  // reused per sparse payload
   bool finished_ = false;
 };

@@ -17,10 +17,12 @@ OverlaySetStream::OverlaySetStream(const std::string& base_path,
     delta_ = DeltaLog(delta_path);
     status_ = delta_.status();
   }
-  if (status_.ok()) status_ = Compose();
+  if (status_.ok()) status_ = CheckCompatible(delta_);
+  if (status_.ok()) Compose();
   if (!status_.ok()) {
     live_.clear();
     slot_live_.clear();
+    slot_from_delta_.clear();
     universe_size_ = 0;
     base_num_sets_ = 0;
   }
@@ -31,10 +33,12 @@ OverlaySetStream::OverlaySetStream(const SetSystem& base,
     : delta_path_(delta_path), borrowed_system_(&base) {
   delta_ = DeltaLog(delta_path);
   status_ = delta_.status();
-  if (status_.ok()) status_ = Compose();
+  if (status_.ok()) status_ = CheckCompatible(delta_);
+  if (status_.ok()) Compose();
   if (!status_.ok()) {
     live_.clear();
     slot_live_.clear();
+    slot_from_delta_.clear();
     universe_size_ = 0;
     base_num_sets_ = 0;
   }
@@ -51,43 +55,57 @@ Status OverlaySetStream::OpenBase(const std::string& base_path) {
   return Status::Ok();
 }
 
-Status OverlaySetStream::Compose() {
+void OverlaySetStream::BaseDims(std::size_t* base_n,
+                                std::uint64_t* base_m) const {
+  if (mmap_base_) {
+    *base_n = mmap_base_->universe_size();
+    *base_m = mmap_base_->num_sets();
+    return;
+  }
+  const SetSystem* system =
+      owned_system_ ? owned_system_.get() : borrowed_system_;
+  *base_n = system->universe_size();
+  *base_m = system->num_sets();
+}
+
+Status OverlaySetStream::CheckCompatible(const DeltaLog& delta) const {
   std::size_t base_n = 0;
   std::uint64_t base_m = 0;
-  if (mmap_base_) {
-    base_n = mmap_base_->universe_size();
-    base_m = mmap_base_->num_sets();
-  } else {
-    const SetSystem* system =
-        owned_system_ ? owned_system_.get() : borrowed_system_;
-    base_n = system->universe_size();
-    base_m = system->num_sets();
-  }
-  if (delta_.universe_size() != base_n) {
+  BaseDims(&base_n, &base_m);
+  if (delta.universe_size() != base_n) {
     return Status::InvalidArgument(
-        "sscd1: delta universe size " +
-        std::to_string(delta_.universe_size()) +
+        "sscd1: delta universe size " + std::to_string(delta.universe_size()) +
         " mismatches the base instance's " + std::to_string(base_n));
   }
-  if (delta_.base_num_sets() != base_m) {
+  if (delta.base_num_sets() != base_m) {
     return Status::InvalidArgument(
         "sscd1: delta declares a base of " +
-        std::to_string(delta_.base_num_sets()) + " sets; the base has " +
+        std::to_string(delta.base_num_sets()) + " sets; the base has " +
         std::to_string(base_m));
   }
+  return Status::Ok();
+}
+
+void OverlaySetStream::Compose() {
+  std::size_t base_n = 0;
+  std::uint64_t base_m = 0;
+  BaseDims(&base_n, &base_m);
   universe_size_ = base_n;
   base_num_sets_ = base_m;
 
   const std::uint64_t slots = delta_.num_slots();
   slot_live_.assign(static_cast<std::size_t>(slots), false);
+  slot_from_delta_.assign(static_cast<std::size_t>(slots), false);
   live_.clear();
   for (std::uint64_t slot = 0; slot < slots; ++slot) {
+    if (delta_.slot_from_delta(slot)) {
+      slot_from_delta_[static_cast<std::size_t>(slot)] = true;
+    }
     if (!delta_.slot_live(slot)) continue;
     slot_live_[static_cast<std::size_t>(slot)] = true;
     live_.push_back(slot);
   }
   cursor_ = 0;
-  return Status::Ok();
 }
 
 SetView OverlaySetStream::BaseSet(std::uint64_t slot) const {
@@ -115,24 +133,27 @@ SetView OverlaySetStream::set(SetId id) const {
   STREAMSC_CHECK(status_.ok() && id < live_.size(),
                  "OverlaySetStream::set: invalid stream or id");
   const std::uint64_t slot = live_[id];
-  if (delta_.slot_from_delta(slot)) return delta_.slot_view(slot);
+  if (slot_from_delta_[static_cast<std::size_t>(slot)]) {
+    return delta_.slot_view(slot);
+  }
   return BaseSet(slot);
 }
 
 Status OverlaySetStream::RefreshDelta() {
+  // A constructor-failed stream never composed; there is no previous
+  // state to fall back to, so it stays empty.
   if (!status_.ok()) return status_;
+  // Validate the fresh log end to end *before* committing anything: a
+  // torn, hostile, or base-mismatched file returns its typed error while
+  // the current composition (and status_) stay untouched — the caller's
+  // poll degrades to "no change yet" and a repaired file refreshes fine.
   DeltaLog fresh(delta_path_);
   if (!fresh.status().ok()) return fresh.status();
+  const Status compatible = CheckCompatible(fresh);
+  if (!compatible.ok()) return compatible;
   delta_ = std::move(fresh);
-  const Status composed = Compose();
-  // A delta that stopped matching the base is a real error, not a
-  // "no change yet": the stream is poisoned like a failed open.
-  if (!composed.ok()) {
-    status_ = composed;
-    live_.clear();
-    slot_live_.clear();
-  }
-  return composed;
+  Compose();
+  return Status::Ok();
 }
 
 Status OverlaySetStream::Materialize(const std::string& out_path) const {

@@ -74,8 +74,10 @@ class OverlaySetStream : public SetStream {
 
   /// Re-reads the delta log from disk; the base is untouched. On success
   /// the live table is rebuilt (ids renumber, old views invalidate). On
-  /// failure the previous composed state is *retained* — a torn write
-  /// observed mid-poll degrades to "no change yet", not a dead stream.
+  /// *any* failure — torn bytes, hostile records, or a log whose declared
+  /// base stopped matching — the previous composed state is retained and
+  /// status() stays Ok: a bad poll degrades to "no change yet", not a
+  /// dead stream, and a later RefreshDelta() of a repaired file recovers.
   Status RefreshDelta();
 
   /// Writes the live instance as a fresh sscb1 at \p out_path — the
@@ -114,8 +116,14 @@ class OverlaySetStream : public SetStream {
  private:
   // Opens the base named by base_path (sniffed) into the owned members.
   Status OpenBase(const std::string& base_path);
-  // Validates delta-vs-base compatibility and rebuilds live_/slot_live_.
-  Status Compose();
+  // The base's (universe size, set count).
+  void BaseDims(std::size_t* base_n, std::uint64_t* base_m) const;
+  // Validates \p delta against the base's dimensions — the gate both the
+  // constructors and RefreshDelta() pass a log through before composing.
+  Status CheckCompatible(const DeltaLog& delta) const;
+  // Rebuilds live_/slot_live_ from delta_. Infallible: the delta already
+  // passed CheckCompatible().
+  void Compose();
   // The base's view of base slot \p slot.
   SetView BaseSet(std::uint64_t slot) const;
 
@@ -131,6 +139,11 @@ class OverlaySetStream : public SetStream {
   std::uint64_t base_num_sets_ = 0;
   std::vector<std::uint64_t> live_;  // live id -> slot
   std::vector<bool> slot_live_;      // slot -> liveness (mirrors delta_)
+  // slot -> payload residency, cached densely at compose time: set() is
+  // the per-item hot path and must not pay the delta's sparse-slot-table
+  // lookup per access. Sizing by num_slots is safe here — compose is
+  // gated on the delta matching the actual base, whose size is real.
+  std::vector<bool> slot_from_delta_;
   std::size_t cursor_ = 0;
   std::uint64_t passes_ = 0;
 };

@@ -161,6 +161,38 @@ TEST(DeltaLogTest, WriterTypesLivenessErrorsAtWriteTime) {
   }
 }
 
+TEST(DeltaLogTest, HugeBaseClaimDoesNotDriveAllocation) {
+  // A 72-byte log whose header claims a base at the 2^31 format cap. The
+  // claim is backed by no bytes of *this* file (unlike sscb1's offset
+  // table), so the reader must stay O(records) in memory: opening it may
+  // neither reject a valid log nor size a slot table off the claim —
+  // before the sparse slot table this was a ~48GB allocation and an OOM
+  // abort, violating the typed-error contract.
+  testing::ScopedTempDir dir;
+  const std::string path = dir.FilePath("huge.sscd1");
+  const std::uint64_t huge = sscd1::kMaxDimension;
+  {
+    DeltaLogWriter writer(path, 100, static_cast<std::size_t>(huge));
+    ASSERT_TRUE(writer.status().ok()) << writer.status().ToString();
+    ASSERT_TRUE(writer.RemoveSet(huge - 1).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  DeltaLog log(path);
+  ASSERT_TRUE(log.status().ok()) << log.status().ToString();
+  EXPECT_EQ(log.base_num_sets(), huge);
+  EXPECT_EQ(log.num_slots(), huge);
+  EXPECT_FALSE(log.slot_live(huge - 1));
+  EXPECT_TRUE(log.slot_live(0));
+  EXPECT_TRUE(log.slot_live(huge / 2));
+  EXPECT_EQ(log.slot_version(huge / 2), 0u);
+  // Append mode replays the same liveness without a slots-sized table.
+  DeltaLogWriter append(path);
+  ASSERT_TRUE(append.status().ok()) << append.status().ToString();
+  EXPECT_EQ(append.num_slots(), huge);
+  EXPECT_EQ(append.RemoveSet(huge - 1).code(),
+            StatusCode::kInvalidArgument);  // already dead
+}
+
 TEST(DeltaLogTest, SniffsDeltaLogFiles) {
   testing::ScopedTempDir dir;
   const std::string log_path = dir.FilePath("log.sscd1");

@@ -218,6 +218,45 @@ TEST(OverlaySetStreamTest, RefreshDeltaPicksUpAppendsAndRetainsOnFailure) {
   EXPECT_TRUE(overlay.set(0) == base.set(1));
 }
 
+TEST(OverlaySetStreamTest, RefreshDeltaRetainsOnMismatchAndRecovers) {
+  ScopedTempDir dir;
+  const SetSystem base = FixtureBase();
+  const std::string delta_path = dir.FilePath("delta.sscd1");
+  {
+    DeltaLogWriter writer(delta_path, base.universe_size(), base.num_sets());
+    ASSERT_TRUE(writer.RemoveSet(0).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  OverlaySetStream overlay(base, delta_path);
+  ASSERT_TRUE(overlay.status().ok()) << overlay.status().ToString();
+  EXPECT_EQ(overlay.num_sets(), base.num_sets() - 1);
+
+  // The log is re-created at the same path for the *wrong* base — a
+  // well-formed sscd1 file that no longer matches. The refresh reports
+  // the mismatch but retains the previous composition; the stream is not
+  // poisoned.
+  {
+    DeltaLogWriter writer(delta_path, base.universe_size(),
+                          base.num_sets() + 5);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  EXPECT_EQ(overlay.RefreshDelta().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(overlay.status().ok());
+  EXPECT_EQ(overlay.num_sets(), base.num_sets() - 1);
+  EXPECT_FALSE(overlay.slot_live(0));
+  EXPECT_TRUE(overlay.set(0) == base.set(1));
+
+  // And the failure is not sticky: once the file matches again, the next
+  // poll refreshes — no base change or reopen needed.
+  {
+    DeltaLogWriter writer(delta_path, base.universe_size(), base.num_sets());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  ASSERT_TRUE(overlay.RefreshDelta().ok());
+  EXPECT_EQ(overlay.num_sets(), base.num_sets());
+  EXPECT_TRUE(overlay.set(0) == base.set(0));
+}
+
 TEST(OverlaySetStreamTest, RejectsBaseDeltaMismatch) {
   ScopedTempDir dir;
   const SetSystem base = FixtureBase();

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -258,6 +259,74 @@ TEST(WarmStartTest, WarmSolvesComposeAcrossRepeatedMutations) {
     EXPECT_TRUE(report->feasible);
     EXPECT_TRUE(CoversLiveInstance(*session, *report));
   }
+}
+
+TEST(WarmStartTest, RecreatedShrunkDeltaDropsTheMemoAndSolvesCold) {
+  Fixture fx(47);
+  StatusOr<SolveSession> session =
+      SolveSession::OpenOverlay(fx.base_path, fx.delta_path);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  // Grow the instance with dominant added sets so the memo is likely to
+  // reference appended slots — the ids a shrunk log no longer has.
+  {
+    Rng rng(53);
+    DeltaLogWriter writer(fx.delta_path);
+    ASSERT_TRUE(writer.status().ok()) << writer.status().ToString();
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          writer.AddSet(RandomSet(fx.base.universe_size(), 300, rng)).ok());
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  ASSERT_TRUE(session->RefreshDelta().ok());
+  StatusOr<SolveReport> cold = session->Solve(kSolver, kArgs);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_TRUE(cold->feasible);
+
+  // Re-create the log from scratch (same base dims, zero records): every
+  // appended slot is gone and slot versions restart, so memoized
+  // (slot, version) pairs no longer identify content. The refresh itself
+  // succeeds — and the next solve must run cold over the shrunk
+  // instance, never index the overlay with a stale out-of-range slot.
+  {
+    DeltaLogWriter writer(fx.delta_path, fx.base.universe_size(),
+                          fx.base.num_sets());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  ASSERT_TRUE(session->RefreshDelta().ok());
+  EXPECT_EQ(session->overlay()->num_sets(), fx.base.num_sets());
+  StatusOr<SolveReport> after = session->Solve(kSolver, kArgs);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_FALSE(after->warm_start);
+  EXPECT_TRUE(after->feasible);
+  EXPECT_TRUE(CoversLiveInstance(*session, *after));
+  EXPECT_EQ(DynCounter(*after, "dynamic.cold_solves"), 1u);
+}
+
+TEST(WarmStartTest, FailedRefreshDropsTheMemoButKeepsTheInstance) {
+  Fixture fx(59);
+  StatusOr<SolveSession> session =
+      SolveSession::OpenOverlay(fx.base_path, fx.delta_path);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  StatusOr<SolveReport> cold = session->Solve(kSolver, kArgs);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_TRUE(cold->feasible);
+
+  // A torn write observed mid-poll: the refresh reports it, the overlay
+  // retains the previous composition, and the suspect memo is dropped —
+  // the next solve is cold but answers over the retained instance.
+  {
+    std::ofstream out(fx.delta_path, std::ios::binary | std::ios::app);
+    out.write("torn", 4);
+  }
+  EXPECT_FALSE(session->RefreshDelta().ok());
+  StatusOr<SolveReport> after = session->Solve(kSolver, kArgs);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_FALSE(after->warm_start);
+  EXPECT_TRUE(after->feasible);
+  EXPECT_EQ(after->solution.chosen, cold->solution.chosen);
+  EXPECT_TRUE(CoversLiveInstance(*session, *after));
 }
 
 TEST(WarmStartTest, RefreshDeltaOnNonOverlaySourcesIsTyped) {
